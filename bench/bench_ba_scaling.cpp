@@ -1,0 +1,103 @@
+// E2 — Section 5.2.1: "As the load on a particular Binding Agent increases,
+// or as the domain serviced by a particular agent enlarges, more Binding
+// Agents may be created. Thus, each Binding Agent can be set up to service
+// a bounded number of clients."
+//
+// Two series as the system grows from 2 to 16 jurisdictions (8 to 64
+// hosts): (a) one Binding Agent per jurisdiction — per-agent load stays
+// flat; (b) a single global Binding Agent — its load grows linearly with
+// the system. The contrast is the claim.
+#include "support.hpp"
+
+namespace legion::bench {
+namespace {
+
+constexpr std::size_t kHostsPer = 4;
+constexpr std::size_t kObjectsPerJurisdiction = 16;
+constexpr int kInvocationsPerClient = 400;
+
+struct Outcome {
+  std::uint64_t max_ba_received = 0;
+  std::uint64_t total_ba_received = 0;
+  std::size_t agents = 0;
+};
+
+Outcome RunOnce(std::size_t jurisdictions, bool scale_agents) {
+  core::SystemConfig config;
+  config.binding_agents_per_jurisdiction = 1;
+  Deployment d = MakeDeployment(jurisdictions, kHostsPer, config, 23);
+
+  // In the "single global agent" series, every participant is pointed at
+  // agent 0 regardless of jurisdiction.
+  auto handles_for = [&](HostId host) {
+    core::SystemHandles handles = d.system->handles_for(host);
+    if (!scale_agents) {
+      handles.default_binding_agent =
+          d.system->shell_of(d.system->binding_agents()[0])->binding();
+    }
+    return handles;
+  };
+
+  auto setup = d.system->make_client(d.host(0, 0), "setup");
+  std::vector<std::vector<Loid>> objects(jurisdictions);
+  for (std::size_t j = 0; j < jurisdictions; ++j) {
+    const Loid cls =
+        DeriveWorkerClass(*setup, "W" + std::to_string(j),
+                          {d.system->magistrate_of(d.jurisdictions[j])});
+    for (std::size_t i = 0; i < kObjectsPerJurisdiction; ++i) {
+      objects[j].push_back(CreateWorker(*setup, cls));
+    }
+  }
+  d.runtime->reset_stats();
+
+  // One client per host; 90% of accesses stay in the client's jurisdiction.
+  Rng rng(7);
+  for (std::size_t j = 0; j < jurisdictions; ++j) {
+    for (std::size_t h = 0; h < kHostsPer; ++h) {
+      core::Client client(*d.runtime, d.host(j, h), "measured",
+                          handles_for(d.host(j, h)), /*cache=*/8,
+                          Rng(100 * j + h));
+      for (int i = 0; i < kInvocationsPerClient; ++i) {
+        const std::size_t src_j =
+            rng.chance(0.9) ? j : rng.below(jurisdictions);
+        const auto& pool = objects[src_j];
+        MustCall(client, pool[rng.below(pool.size())], "Noop");
+      }
+    }
+  }
+
+  Outcome out;
+  out.agents = d.system->binding_agents().size();
+  out.max_ba_received = d.runtime->max_received_with_label("binding-agent");
+  out.total_ba_received = d.runtime->received_by_label().at("binding-agent");
+  return out;
+}
+
+void Run() {
+  sim::Table table(
+      "E2 per-Binding-Agent load: scaled agents vs one global agent "
+      "(Sec 5.2.1)",
+      {"jurisdictions", "hosts", "series", "agents",
+       "max_requests_at_one_agent"});
+  for (const std::size_t j : {std::size_t{2}, std::size_t{4}, std::size_t{8},
+                              std::size_t{16}}) {
+    for (const bool scaled : {true, false}) {
+      const Outcome out = RunOnce(j, scaled);
+      table.row({sim::Table::num(static_cast<std::uint64_t>(j)),
+                 sim::Table::num(static_cast<std::uint64_t>(j * kHostsPer)),
+                 scaled ? "one-agent-per-jurisdiction" : "single-global-agent",
+                 sim::Table::num(static_cast<std::uint64_t>(
+                     scaled ? out.agents : 1)),
+                 sim::Table::num(out.max_ba_received)});
+    }
+  }
+  table.print();
+  std::printf("\nexpected shape: the scaled series stays ~flat as hosts "
+              "grow 8 -> 64;\nthe single-global-agent series grows "
+              "linearly — the bounded-clients claim.\n");
+}
+
+}  // namespace
+}  // namespace legion::bench
+
+int main() { legion::bench::Run(); }

@@ -1,0 +1,134 @@
+// E10 — micro-benchmarks (google-benchmark) for the primitives that sit on
+// every call path: LOIDs (Sec 3.2), bindings and the cache (Sec 3.5/3.6),
+// Object Addresses (Sec 3.4), and wire serialization.
+#include <benchmark/benchmark.h>
+
+#include "base/loid.hpp"
+#include "base/rng.hpp"
+#include "core/binding_cache.hpp"
+#include "core/object_address.hpp"
+#include "net/address.hpp"
+#include "sim/workload.hpp"
+
+namespace legion {
+namespace {
+
+void BM_LoidHash(benchmark::State& state) {
+  Loid loid{42, 12345, {1, 2, 3, 4, 5, 6, 7, 8}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LoidHash{}(loid));
+  }
+}
+BENCHMARK(BM_LoidHash);
+
+void BM_LoidSerializeRoundTrip(benchmark::State& state) {
+  Loid loid{42, 12345, {1, 2, 3, 4, 5, 6, 7, 8}};
+  for (auto _ : state) {
+    Buffer buf;
+    Writer w(buf);
+    loid.Serialize(w);
+    Reader r(buf);
+    benchmark::DoNotOptimize(Loid::Deserialize(r));
+  }
+}
+BENCHMARK(BM_LoidSerializeRoundTrip);
+
+void BM_BindingSerializeRoundTrip(benchmark::State& state) {
+  core::Binding binding;
+  binding.loid = Loid{42, 1, {1, 2, 3, 4}};
+  binding.address = core::ObjectAddress{
+      core::ObjectAddressElement::Sim(EndpointId{7})};
+  for (auto _ : state) {
+    Buffer buf;
+    Writer w(buf);
+    binding.Serialize(w);
+    Reader r(buf);
+    benchmark::DoNotOptimize(core::Binding::Deserialize(r));
+  }
+}
+BENCHMARK(BM_BindingSerializeRoundTrip);
+
+void BM_NetworkAddressIpV4Encode(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::NetworkAddress::IpV4(0xC0A80001, 8080, 3));
+  }
+}
+BENCHMARK(BM_NetworkAddressIpV4Encode);
+
+void BM_BindingCacheHit(benchmark::State& state) {
+  core::BindingCache cache(static_cast<std::size_t>(state.range(0)));
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    core::Binding b;
+    b.loid = Loid{9, static_cast<std::uint64_t>(i)};
+    b.address = core::ObjectAddress{
+        core::ObjectAddressElement::Sim(EndpointId{static_cast<std::uint64_t>(i + 1)})};
+    cache.put(b);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    const Loid key{9, rng.below(static_cast<std::uint64_t>(state.range(0)))};
+    benchmark::DoNotOptimize(cache.get(key, 0));
+  }
+}
+BENCHMARK(BM_BindingCacheHit)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_BindingCacheChurn(benchmark::State& state) {
+  core::BindingCache cache(256);
+  Rng rng(1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    core::Binding b;
+    b.loid = Loid{9, i++};
+    b.address = core::ObjectAddress{
+        core::ObjectAddressElement::Sim(EndpointId{i})};
+    cache.put(b);  // evicts once full
+  }
+  benchmark::DoNotOptimize(cache.size());
+}
+BENCHMARK(BM_BindingCacheChurn);
+
+void BM_SelectTargetsKOfN(benchmark::State& state) {
+  std::vector<core::ObjectAddressElement> elements;
+  for (std::uint64_t i = 1; i <= 16; ++i) {
+    elements.push_back(core::ObjectAddressElement::Sim(EndpointId{i}));
+  }
+  core::ObjectAddress address{std::move(elements),
+                              core::AddressSemantic::kKOfN, 4};
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(address.select_targets(rng));
+  }
+}
+BENCHMARK(BM_SelectTargetsKOfN);
+
+void BM_ZipfSample(benchmark::State& state) {
+  sim::ZipfSampler zipf(static_cast<std::size_t>(state.range(0)), 1.0);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+void BM_WireBufferRoundTrip(benchmark::State& state) {
+  const std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    Buffer buf;
+    Writer w(buf);
+    w.u64(1);
+    w.str("GetBinding");
+    w.bytes(payload);
+    Reader r(buf);
+    benchmark::DoNotOptimize(r.u64());
+    benchmark::DoNotOptimize(r.str());
+    benchmark::DoNotOptimize(r.bytes());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WireBufferRoundTrip)->Arg(64)->Arg(4096);
+
+}  // namespace
+}  // namespace legion
+
+BENCHMARK_MAIN();

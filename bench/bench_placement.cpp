@@ -1,0 +1,81 @@
+// E12 (ablation) — placement policies over a heterogeneous jurisdiction.
+//
+// Section 3.8 deliberately keeps Magistrates simple and pushes policy into
+// Scheduling Agents; this ablation shows why the policy choice matters:
+// random and round-robin ignore capacity, least-loaded tracks it.
+#include <algorithm>
+
+#include "support.hpp"
+
+namespace legion::bench {
+namespace {
+
+constexpr int kObjects = 120;
+
+struct Outcome {
+  double max_cpu_load = 0;
+  double spread = 0;  // max - min active objects, capacity-normalized
+};
+
+Outcome RunOnce(const std::string& policy) {
+  // One jurisdiction, four hosts with very different capacities (a
+  // workstation next to an SMP — the paper's UnixHost vs UnixSMMP).
+  auto runtime = std::make_unique<rt::SimRuntime>(101);
+  auto& topo = runtime->topology();
+  const auto jur = topo.add_jurisdiction("j");
+  const HostId hosts[4] = {
+      topo.add_host("ws-1", {jur}, 4.0),
+      topo.add_host("ws-2", {jur}, 8.0),
+      topo.add_host("smp-1", {jur}, 32.0),
+      topo.add_host("smp-2", {jur}, 64.0),
+  };
+
+  core::SystemConfig config;
+  config.placement_policy = policy;
+  auto system = std::make_unique<core::LegionSystem>(*runtime, config);
+  if (!sim::RegisterSampleObjects(system->registry()).ok()) std::abort();
+  if (!system->bootstrap().ok()) std::abort();
+
+  auto client = system->make_client(hosts[0]);
+  const Loid cls = DeriveWorkerClass(*client, "Worker");
+  for (int i = 0; i < kObjects; ++i) {
+    auto reply = client->create(cls, sim::WorkerInit(0, 0));
+    if (!reply.ok()) std::abort();
+  }
+
+  Outcome out;
+  double min_norm = 1e18;
+  double max_norm = 0;
+  for (const HostId h : hosts) {
+    const auto* info = runtime->topology().host(h);
+    const double load =
+        static_cast<double>(system->host_impl(h)->active_objects()) /
+        info->capacity;
+    out.max_cpu_load = std::max(out.max_cpu_load, load);
+    min_norm = std::min(min_norm, load);
+    max_norm = std::max(max_norm, load);
+  }
+  out.spread = max_norm - min_norm;
+  return out;
+}
+
+void Run() {
+  sim::Table table(
+      "E12 placement-policy ablation on heterogeneous hosts (Sec 3.7/3.8)",
+      {"policy", "max_cpu_load(objects/capacity)", "load_spread"});
+  for (const std::string policy : {"random", "round-robin", "least-loaded"}) {
+    const Outcome out = RunOnce(policy);
+    table.row({policy, sim::Table::num(out.max_cpu_load, 2),
+               sim::Table::num(out.spread, 2)});
+  }
+  table.print();
+  std::printf("\nexpected shape: random and round-robin overload the small "
+              "workstations\n(high max load and spread); least-loaded "
+              "equalizes normalized load across\nthe 4x-64x capacity "
+              "range.\n");
+}
+
+}  // namespace
+}  // namespace legion::bench
+
+int main() { legion::bench::Run(); }

@@ -1,0 +1,109 @@
+// E11 — the model under real concurrency: invocation throughput on
+// ThreadRuntime (one OS thread per active object), scaling client threads.
+// Section 2's non-blocking method invocation should let independent
+// client/object pairs proceed in parallel.
+#include <atomic>
+#include <thread>
+
+#include "core/system.hpp"
+#include "core/well_known.hpp"
+#include "rt/tcp_runtime.hpp"
+#include "rt/thread_runtime.hpp"
+#include "sim/sample_objects.hpp"
+#include "sim/table.hpp"
+
+namespace legion::bench {
+namespace {
+
+constexpr int kCallsPerThread = 2000;
+
+template <typename RuntimeT>
+double RunOnce(int client_threads, int calls_per_thread) {
+  RuntimeT runtime;
+  auto& topo = runtime.topology();
+  const auto jur = topo.add_jurisdiction("j");
+  std::vector<HostId> hosts;
+  for (int h = 0; h < 4; ++h) {
+    hosts.push_back(topo.add_host("h" + std::to_string(h), {jur}, 1e9));
+  }
+  core::LegionSystem system(runtime, core::SystemConfig{});
+  if (!sim::RegisterSampleObjects(system.registry()).ok()) std::abort();
+  if (!system.bootstrap().ok()) std::abort();
+
+  auto setup = system.make_client(hosts[0], "setup");
+  core::wire::DeriveRequest derive;
+  derive.name = "Worker";
+  derive.instance_impl = std::string(sim::WorkerImpl::kName);
+  auto cls = setup->derive(core::LegionObjectLoid(), derive);
+  if (!cls.ok()) std::abort();
+
+  // One target object per client thread: independent pairs, no contention
+  // beyond the runtime itself.
+  std::vector<Loid> targets;
+  std::vector<std::unique_ptr<core::Client>> clients;
+  for (int t = 0; t < client_threads; ++t) {
+    auto reply = setup->create(cls->loid, sim::WorkerInit(0, 0));
+    if (!reply.ok()) std::abort();
+    targets.push_back(reply->loid);
+    clients.push_back(
+        system.make_client(hosts[t % hosts.size()], "client"));
+  }
+
+  std::atomic<int> failures{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < client_threads; ++t) {
+    threads.emplace_back([&, t, calls_per_thread] {
+      for (int i = 0; i < calls_per_thread; ++i) {
+        if (!clients[t]->ref(targets[t]).call("Increment", Buffer{}).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  if (failures.load() != 0) std::abort();
+  return 1e6 * static_cast<double>(client_threads) * calls_per_thread /
+         static_cast<double>(elapsed);
+}
+
+void Run() {
+  sim::Table table(
+      "E11 invocation throughput under real concurrency (Sec 2/3.3)",
+      {"runtime", "client_threads", "calls_total",
+       "throughput_calls_per_sec"});
+  for (const int threads : {1, 2, 4, 8}) {
+    const double throughput =
+        RunOnce<rt::ThreadRuntime>(threads, kCallsPerThread);
+    table.row({"threads (mailboxes)",
+               sim::Table::num(static_cast<std::int64_t>(threads)),
+               sim::Table::num(static_cast<std::int64_t>(threads) *
+                               kCallsPerThread),
+               sim::Table::num(throughput, 0)});
+  }
+  // TCP pays two real connect+write exchanges per call: fewer iterations.
+  constexpr int kTcpCalls = 300;
+  for (const int threads : {1, 4}) {
+    const double throughput = RunOnce<rt::TcpRuntime>(threads, kTcpCalls);
+    table.row({"tcp loopback sockets",
+               sim::Table::num(static_cast<std::int64_t>(threads)),
+               sim::Table::num(static_cast<std::int64_t>(threads) * kTcpCalls),
+               sim::Table::num(throughput, 0)});
+  }
+  table.print();
+  std::printf("\nexpected shape: aggregate throughput stays ~flat as pairs "
+              "scale on a\nsingle-core host (no runtime-level contention "
+              "collapse — each call is two\nfutex handoffs) and rises toward "
+              "the core count on multi-core hosts.\nThe TCP series grounds "
+              "the model on real sockets at real-socket cost.\n(this "
+              "machine: %u hardware threads)\n",
+              std::thread::hardware_concurrency());
+}
+
+}  // namespace
+}  // namespace legion::bench
+
+int main() { legion::bench::Run(); }

@@ -1,0 +1,108 @@
+// Shared scaffolding for the experiment binaries.
+//
+// Each bench builds a simulated Legion deployment, runs a workload, and
+// prints the table its experiment id (see DESIGN.md Section 3) calls for.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "core/well_known.hpp"
+#include "rt/sim_runtime.hpp"
+#include "sim/sample_objects.hpp"
+#include "sim/table.hpp"
+#include "sim/workload.hpp"
+
+namespace legion::bench {
+
+struct Deployment {
+  std::unique_ptr<rt::SimRuntime> runtime;
+  std::unique_ptr<core::LegionSystem> system;
+  std::vector<JurisdictionId> jurisdictions;
+  std::vector<std::vector<HostId>> hosts;  // per jurisdiction
+
+  [[nodiscard]] HostId host(std::size_t jurisdiction, std::size_t index) const {
+    return hosts[jurisdiction][index % hosts[jurisdiction].size()];
+  }
+  [[nodiscard]] std::size_t total_hosts() const {
+    std::size_t n = 0;
+    for (const auto& js : hosts) n += js.size();
+    return n;
+  }
+};
+
+// J jurisdictions x H hosts, bootstrapped, with the sample worker
+// registered. Aborts (prints + exits) on bootstrap failure: benches have no
+// meaningful fallback.
+inline Deployment MakeDeployment(std::size_t jurisdictions_count,
+                                 std::size_t hosts_per_jurisdiction,
+                                 core::SystemConfig config,
+                                 std::uint64_t seed = 11) {
+  Deployment d;
+  d.runtime = std::make_unique<rt::SimRuntime>(seed);
+  auto& topo = d.runtime->topology();
+  for (std::size_t j = 0; j < jurisdictions_count; ++j) {
+    const auto jur = topo.add_jurisdiction("j" + std::to_string(j));
+    d.jurisdictions.push_back(jur);
+    std::vector<HostId> hosts;
+    for (std::size_t h = 0; h < hosts_per_jurisdiction; ++h) {
+      hosts.push_back(topo.add_host(
+          "j" + std::to_string(j) + "-h" + std::to_string(h), {jur}, 1e9));
+    }
+    d.hosts.push_back(std::move(hosts));
+  }
+  d.system = std::make_unique<core::LegionSystem>(*d.runtime, config);
+  Status st = sim::RegisterSampleObjects(d.system->registry());
+  if (st.ok()) st = d.system->bootstrap();
+  if (!st.ok()) {
+    std::fprintf(stderr, "deployment failed: %s\n", st.to_string().c_str());
+    std::abort();
+  }
+  return d;
+}
+
+// Derives one worker class whose candidate magistrate is the given
+// jurisdiction's (or all, when none given).
+inline Loid DeriveWorkerClass(core::Client& client, const std::string& name,
+                              std::vector<Loid> magistrates = {}) {
+  core::wire::DeriveRequest req;
+  req.name = name;
+  req.instance_impl = std::string(sim::WorkerImpl::kName);
+  req.candidate_magistrates = std::move(magistrates);
+  auto reply = client.derive(core::LegionObjectLoid(), req);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "derive %s: %s\n", name.c_str(),
+                 reply.status().to_string().c_str());
+    std::abort();
+  }
+  return reply->loid;
+}
+
+inline Loid CreateWorker(core::Client& client, const Loid& worker_class,
+                         std::vector<Loid> magistrates = {},
+                         std::size_t ballast = 0) {
+  auto reply = client.create(worker_class, sim::WorkerInit(0, ballast),
+                             std::move(magistrates));
+  if (!reply.ok()) {
+    std::fprintf(stderr, "create: %s\n", reply.status().to_string().c_str());
+    std::abort();
+  }
+  return reply->loid;
+}
+
+// One checked invocation; aborts on failure so silent errors cannot skew a
+// measurement.
+inline void MustCall(core::Client& client, const Loid& target,
+                     std::string_view method) {
+  auto result = client.ref(target).call(method, Buffer{});
+  if (!result.ok()) {
+    std::fprintf(stderr, "call %s on %s: %s\n", std::string(method).c_str(),
+                 target.to_string().c_str(),
+                 result.status().to_string().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace legion::bench

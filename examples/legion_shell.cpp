@@ -1,0 +1,317 @@
+// legion_shell: an interactive tour of the Legion system.
+//
+// A tiny REPL over the public API: compile IDL into classes, create
+// objects, bind them into the persistent name space, invoke methods,
+// deactivate/migrate them, and watch the binding machinery repair itself.
+// Run with no arguments on a terminal for interactive use; with --demo (or
+// when stdin is not a terminal) it executes a canned script of the same
+// commands.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scheduling_agent.hpp"
+#include "core/system.hpp"
+#include "core/well_known.hpp"
+#include "idl/compiler.hpp"
+#include "naming/context.hpp"
+#include "rt/sim_runtime.hpp"
+#include "sim/sample_objects.hpp"
+
+#include <unistd.h>
+
+namespace {
+
+using namespace legion;
+
+class Shell {
+ public:
+  Shell() {
+    auto& topo = runtime_.topology();
+    jurisdictions_.push_back(topo.add_jurisdiction("uva"));
+    jurisdictions_.push_back(topo.add_jurisdiction("ncsa"));
+    for (std::size_t j = 0; j < jurisdictions_.size(); ++j) {
+      for (int h = 0; h < 2; ++h) {
+        hosts_.push_back(topo.add_host(
+            topo.jurisdiction(jurisdictions_[j])->name + "-" +
+                std::to_string(h + 1),
+            {jurisdictions_[j]}, 16.0));
+      }
+    }
+    system_ = std::make_unique<core::LegionSystem>(runtime_,
+                                                   core::SystemConfig{});
+    (void)sim::RegisterSampleObjects(system_->registry());
+    (void)naming::RegisterNamingImpls(system_->registry());
+    (void)core::RegisterSchedulingImpls(system_->registry());
+    if (auto st = system_->bootstrap(); !st.ok()) {
+      std::fprintf(stderr, "bootstrap failed: %s\n", st.to_string().c_str());
+      std::exit(1);
+    }
+    client_ = system_->make_client(hosts_.front(), "shell");
+    auto root = naming::CreateContext(*client_);
+    if (!root.ok()) std::exit(1);
+    root_ = *root;
+  }
+
+  // Returns false on quit/EOF.
+  bool Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') return true;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") return Help();
+    if (cmd == "topology") return Topology();
+    if (cmd == "compile") return Compile(line.substr(line.find(' ') + 1));
+    if (cmd == "create") return Create(in);
+    if (cmd == "ls") return List(in);
+    if (cmd == "call") return Call(in);
+    if (cmd == "deactivate") return Deactivate(in);
+    if (cmd == "move") return Move(in);
+    if (cmd == "delete") return Delete(in);
+    if (cmd == "stats") return Stats();
+    std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+    return true;
+  }
+
+ private:
+  bool Help() {
+    std::printf(
+        "commands:\n"
+        "  topology                      show jurisdictions and hosts\n"
+        "  compile <idl text>            compile an interface, e.g.\n"
+        "                                compile interface Worker { int Get(); };\n"
+        "  create <Class> <name>         create an instance, bind as <name>\n"
+        "  ls                            list the name space\n"
+        "  call <name> <method>          invoke a no-arg method\n"
+        "  deactivate <name>             put the object into a vault\n"
+        "  move <name> <jurisdiction#>   migrate between jurisdictions\n"
+        "  delete <name>                 remove the object\n"
+        "  stats                         client comm-layer statistics\n"
+        "  quit\n");
+    return true;
+  }
+
+  bool Topology() {
+    const auto& topo = runtime_.topology();
+    for (std::size_t j = 0; j < jurisdictions_.size(); ++j) {
+      std::printf("jurisdiction %zu: %s (magistrate %s)\n", j,
+                  topo.jurisdiction(jurisdictions_[j])->name.c_str(),
+                  system_->magistrate_of(jurisdictions_[j]).to_string().c_str());
+      for (HostId h : topo.hosts_in(jurisdictions_[j])) {
+        std::printf("  host %-8s host-object %s\n", topo.host(h)->name.c_str(),
+                    system_->host_object_of(h).to_string().c_str());
+      }
+    }
+    return true;
+  }
+
+  bool Compile(const std::string& source) {
+    idl::CompileOptions options;
+    options.instance_impl = std::string(sim::WorkerImpl::kName);
+    options.naming_context = root_;
+    auto replies = idl::CompileText(*client_, source, options);
+    if (!replies.ok()) {
+      std::printf("compile error: %s\n", replies.status().to_string().c_str());
+      return true;
+    }
+    for (const auto& reply : *replies) {
+      std::printf("class %s = %s\n",
+                  reply.loid.names_class_object() ? "object" : "?",
+                  reply.loid.to_string().c_str());
+    }
+    return true;
+  }
+
+  bool Create(std::istringstream& in) {
+    std::string class_name, object_name;
+    in >> class_name >> object_name;
+    auto cls = naming::Lookup(*client_, root_, class_name);
+    if (!cls.ok()) {
+      std::printf("no such class '%s' (compile it first)\n",
+                  class_name.c_str());
+      return true;
+    }
+    auto reply = client_->create(*cls);
+    if (!reply.ok()) {
+      std::printf("create failed: %s\n", reply.status().to_string().c_str());
+      return true;
+    }
+    if (object_name.empty()) object_name = class_name + "-obj";
+    (void)naming::Bind(*client_, root_, object_name, reply->loid);
+    std::printf("created %s = %s\n", object_name.c_str(),
+                reply->loid.to_string().c_str());
+    return true;
+  }
+
+  bool List(std::istringstream&) {
+    auto entries = naming::List(*client_, root_);
+    if (!entries.ok()) return true;
+    for (const auto& entry : *entries) {
+      std::printf("  %-16s %s\n", entry.name.c_str(),
+                  entry.loid.to_string().c_str());
+    }
+    return true;
+  }
+
+  Result<Loid> Resolve(const std::string& name) {
+    return naming::ResolvePath(*client_, root_, name);
+  }
+
+  bool Call(std::istringstream& in) {
+    std::string name, method;
+    in >> name >> method;
+    auto loid = Resolve(name);
+    if (!loid.ok()) {
+      std::printf("no such object '%s'\n", name.c_str());
+      return true;
+    }
+    auto raw = client_->ref(*loid).call(method, Buffer{});
+    if (!raw.ok()) {
+      std::printf("error: %s\n", raw.status().to_string().c_str());
+      return true;
+    }
+    if (raw->size() == 8) {
+      Reader r(*raw);
+      std::printf("-> %lld\n", static_cast<long long>(r.i64()));
+    } else if (!raw->empty()) {
+      std::printf("-> \"%s\"\n", raw->as_string().c_str());
+    } else {
+      std::printf("-> ok\n");
+    }
+    return true;
+  }
+
+  core::MagistrateImpl* OwnerOf(const Loid& loid, Loid* magistrate_loid) {
+    for (JurisdictionId j : jurisdictions_) {
+      core::MagistrateImpl* impl = system_->magistrate_impl(j);
+      if (impl != nullptr && impl->manages(loid)) {
+        *magistrate_loid = system_->magistrate_of(j);
+        return impl;
+      }
+    }
+    return nullptr;
+  }
+
+  bool Deactivate(std::istringstream& in) {
+    std::string name;
+    in >> name;
+    auto loid = Resolve(name);
+    if (!loid.ok()) return true;
+    Loid magistrate;
+    if (OwnerOf(*loid, &magistrate) == nullptr) {
+      std::printf("no magistrate manages %s\n", name.c_str());
+      return true;
+    }
+    core::wire::LoidRequest req{*loid};
+    auto st = client_->ref(magistrate)
+                  .call(core::methods::kDeactivate, req.to_buffer())
+                  .status();
+    std::printf("%s\n", st.ok() ? "now inert (reference it to reactivate)"
+                                : st.to_string().c_str());
+    return true;
+  }
+
+  bool Move(std::istringstream& in) {
+    std::string name;
+    std::size_t dest = 0;
+    in >> name >> dest;
+    auto loid = Resolve(name);
+    if (!loid.ok() || dest >= jurisdictions_.size()) {
+      std::printf("usage: move <name> <jurisdiction 0..%zu>\n",
+                  jurisdictions_.size() - 1);
+      return true;
+    }
+    Loid src;
+    if (OwnerOf(*loid, &src) == nullptr) {
+      std::printf("no magistrate manages %s\n", name.c_str());
+      return true;
+    }
+    const Loid dest_magistrate =
+        system_->magistrate_of(jurisdictions_[dest]);
+    if (dest_magistrate == src) {
+      std::printf("already managed by jurisdiction %zu\n", dest);
+      return true;
+    }
+    core::wire::TransferRequest req{*loid, dest_magistrate};
+    auto st =
+        client_->ref(src).call(core::methods::kMove, req.to_buffer()).status();
+    std::printf("%s\n", st.ok() ? "moved" : st.to_string().c_str());
+    return true;
+  }
+
+  bool Delete(std::istringstream& in) {
+    std::string name;
+    in >> name;
+    auto loid = Resolve(name);
+    if (!loid.ok()) return true;
+    auto st = client_->delete_object(loid->responsible_class(), *loid);
+    if (st.ok()) (void)naming::Unbind(*client_, root_, name);
+    std::printf("%s\n", st.ok() ? "deleted" : st.to_string().c_str());
+    return true;
+  }
+
+  bool Stats() {
+    const auto& rs = client_->resolver().stats();
+    const auto& cs = client_->resolver().cache().stats();
+    std::printf("binding-agent consults %llu · stale retries %llu · "
+                "refreshes %llu · cache hit-rate %.2f\n",
+                static_cast<unsigned long long>(rs.binding_agent_consults),
+                static_cast<unsigned long long>(rs.stale_retries),
+                static_cast<unsigned long long>(rs.refreshes), cs.hit_rate());
+    return true;
+  }
+
+  rt::SimRuntime runtime_{2026};
+  std::unique_ptr<core::LegionSystem> system_;
+  std::unique_ptr<core::Client> client_;
+  std::vector<JurisdictionId> jurisdictions_;
+  std::vector<HostId> hosts_;
+  Loid root_;
+};
+
+int RunDemo(Shell& shell) {
+  const char* script[] = {
+      "topology",
+      "compile interface Worker { int Increment(); int Get(); };",
+      "create Worker alpha",
+      "create Worker beta",
+      "ls",
+      "call alpha Increment",
+      "call alpha Increment",
+      "call alpha Get",
+      "deactivate alpha",
+      "call alpha Get",
+      "move alpha 1",
+      "call alpha Get",
+      "delete beta",
+      "ls",
+      "stats",
+  };
+  for (const char* line : script) {
+    std::printf("legion> %s\n", line);
+    if (!shell.Execute(line)) break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  const bool demo =
+      (argc > 1 && std::string(argv[1]) == "--demo") || isatty(0) == 0;
+  if (demo) return RunDemo(shell);
+
+  std::printf("Legion shell — 'help' for commands, 'quit' to exit.\n");
+  std::string line;
+  while (true) {
+    std::printf("legion> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.Execute(line)) break;
+  }
+  return 0;
+}

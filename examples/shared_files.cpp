@@ -1,0 +1,154 @@
+// The single persistent name space in action (paper Section 1: "This makes
+// remote files and data more easily accessible, thereby facilitating the
+// construction of applications that span multiple sites").
+//
+// File-like Legion objects are bound into a hierarchical context tree. A
+// writer at one site publishes results under a path; readers at other sites
+// resolve the same path. Files survive deactivation — the name space is
+// persistent, not a cache.
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "core/well_known.hpp"
+#include "naming/context.hpp"
+#include "rt/sim_runtime.hpp"
+
+namespace {
+
+using namespace legion;
+
+// An append-only text file object.
+class TextFileImpl final : public core::ObjectImpl {
+ public:
+  static constexpr std::string_view kName = "example.textfile";
+
+  std::string implementation_name() const override {
+    return std::string(kName);
+  }
+
+  void RegisterMethods(core::MethodTable& table) override {
+    table.add("Append", [this](core::ObjectContext&, Reader& args) -> Result<Buffer> {
+      const std::string line = args.str();
+      if (!args.ok()) return InvalidArgumentError("Append(line)");
+      content_ += line;
+      content_ += '\n';
+      return Buffer{};
+    });
+    table.add("Read", [this](core::ObjectContext&, Reader&) -> Result<Buffer> {
+      return Buffer::FromString(content_);
+    });
+    table.add("Size", [this](core::ObjectContext&, Reader&) -> Result<Buffer> {
+      Buffer out;
+      Writer w(out);
+      w.u64(content_.size());
+      return out;
+    });
+  }
+
+  void SaveState(Writer& w) const override { w.str(content_); }
+  Status RestoreState(Reader& r) override {
+    if (!r.exhausted()) content_ = r.str();
+    return OkStatus();
+  }
+
+ private:
+  std::string content_;
+};
+
+Buffer Line(std::string_view s) {
+  Buffer buf;
+  Writer w(buf);
+  w.str(s);
+  return buf;
+}
+
+int Run() {
+  rt::SimRuntime runtime(41);
+  auto& topo = runtime.topology();
+  const auto uva = topo.add_jurisdiction("uva");
+  const auto lanl = topo.add_jurisdiction("lanl");
+  const auto uva_host = topo.add_host("uva-fs", {uva});
+  const auto lanl_host = topo.add_host("lanl-ws", {lanl});
+
+  core::LegionSystem system(runtime, core::SystemConfig{});
+  (void)system.registry().add(std::string(TextFileImpl::kName), [] {
+    return std::make_unique<TextFileImpl>();
+  });
+  (void)naming::RegisterNamingImpls(system.registry());
+  if (auto st = system.bootstrap(); !st.ok()) {
+    std::fprintf(stderr, "bootstrap: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  // The writer lives at UVa.
+  auto writer = system.make_client(uva_host, "writer");
+
+  core::wire::DeriveRequest derive;
+  derive.name = "TextFile";
+  derive.instance_impl = std::string(TextFileImpl::kName);
+  auto file_class = writer->derive(core::LegionObjectLoid(), derive);
+  if (!file_class.ok()) return 1;
+
+  // Build the shared name space root and publish two files.
+  auto root = naming::CreateContext(*writer);
+  if (!root.ok()) return 1;
+  std::printf("root context: %s\n", root->to_string().c_str());
+
+  auto results = writer->create(file_class->loid, Buffer{}, {system.magistrate_of(uva)});
+  auto readme = writer->create(file_class->loid, Buffer{}, {system.magistrate_of(uva)});
+  if (!results.ok() || !readme.ok()) return 1;
+
+  (void)naming::BindPath(*writer, *root, "projects/legion/results.txt",
+                         results->loid);
+  (void)naming::BindPath(*writer, *root, "projects/legion/README",
+                         readme->loid);
+  (void)writer->ref(readme->loid).call("Append", Line("Legion shared files"));
+  (void)writer->ref(results->loid)
+      .call("Append", Line("run 1: converged in 42 iterations"));
+  (void)writer->ref(results->loid)
+      .call("Append", Line("run 2: converged in 17 iterations"));
+  std::printf("writer published projects/legion/{results.txt,README}\n");
+
+  // The file goes inert — e.g. the workstation reclaims memory overnight.
+  core::wire::LoidRequest deactivate{results->loid};
+  (void)writer->ref(system.magistrate_of(uva))
+      .call(core::methods::kDeactivate, deactivate.to_buffer());
+  std::printf("results.txt deactivated to persistent storage\n");
+
+  // A reader at LANL — another organization entirely — resolves the same
+  // path and reads; the reference transparently reactivates the file.
+  auto reader = system.make_client(lanl_host, "reader");
+  auto found = naming::ResolvePath(*reader, *root,
+                                   "projects/legion/results.txt");
+  if (!found.ok()) {
+    std::fprintf(stderr, "resolve: %s\n", found.status().to_string().c_str());
+    return 1;
+  }
+  auto content = reader->ref(*found).call("Read", Buffer{});
+  if (!content.ok()) {
+    std::fprintf(stderr, "read: %s\n", content.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("reader at lanl sees:\n%s", content->as_string().c_str());
+
+  // Directory listing across sites.
+  auto dir = naming::ResolvePath(*reader, *root, "projects/legion");
+  if (dir.ok()) {
+    auto entries = naming::List(*reader, *dir);
+    if (entries.ok()) {
+      std::printf("ls projects/legion:\n");
+      for (const auto& e : *entries) {
+        std::printf("  %-14s -> %s\n", e.name.c_str(),
+                    e.loid.to_string().c_str());
+      }
+    }
+  }
+  const bool ok =
+      content->as_string().find("run 2") != std::string::npos;
+  std::printf("%s\n", ok ? "shared persistent name space: OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,149 @@
+// Site autonomy and the market in service provision (paper Sections 2.1.3
+// and 2.2): per-organization Magistrates with their own security policies.
+//
+// Three organizations offer jurisdictions:
+//   * DOE    — its magistrate only serves callers of DOE-certified classes;
+//   * NASA   — serves anyone on its explicit partner ACL;
+//   * campus — a grad student's magistrate that serves everyone.
+// A DOE job placement succeeds only on magistrates it trusts; national labs
+// "may choose to trust the DOE, and use the DOE implementations".
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "core/well_known.hpp"
+#include "rt/sim_runtime.hpp"
+#include "security/policy.hpp"
+
+namespace {
+
+using namespace legion;
+
+class JobImpl final : public core::ObjectImpl {
+ public:
+  static constexpr std::string_view kName = "example.job";
+
+  std::string implementation_name() const override {
+    return std::string(kName);
+  }
+  void RegisterMethods(core::MethodTable& table) override {
+    table.add("Run", [](core::ObjectContext& ctx, Reader&) -> Result<Buffer> {
+      return Buffer::FromString("ran on " + ctx.shell.self().to_string());
+    });
+  }
+};
+
+// The class id DOE certifies for its own agents' identities.
+constexpr std::uint64_t kDoeAgentClass = 9001;
+// NASA's explicit partner list uses caller identities.
+const Loid kNasaPartner{9002, 1};
+
+struct Placement {
+  const char* site;
+  Loid magistrate;
+};
+
+int Run() {
+  rt::SimRuntime runtime(5150);
+  auto& topo = runtime.topology();
+  const auto doe_j = topo.add_jurisdiction("doe");
+  const auto nasa_j = topo.add_jurisdiction("nasa");
+  const auto campus_j = topo.add_jurisdiction("campus");
+  topo.add_host("doe-1", {doe_j});
+  topo.add_host("nasa-1", {nasa_j});
+  const auto campus_host = topo.add_host("campus-1", {campus_j});
+
+  core::LegionSystem system(runtime, core::SystemConfig{});
+  (void)system.registry().add(std::string(JobImpl::kName),
+                              [] { return std::make_unique<JobImpl>(); });
+  if (auto st = system.bootstrap(); !st.ok()) {
+    std::fprintf(stderr, "bootstrap: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  // Each organization replaces its magistrate's policy with its own —
+  // "resource owners can provide their own, trusted by them,
+  //  implementations of Legion functions and objects" (Section 2.1.4).
+  // Policies gate the management verbs; registration and reads stay open.
+  auto guard = [](security::PolicyPtr inner) {
+    return std::make_shared<security::MethodGuard>(
+        std::set<std::string>{std::string(core::methods::kStoreNew),
+                              std::string(core::methods::kActivate),
+                              std::string(core::methods::kMove),
+                              std::string(core::methods::kCopy),
+                              std::string(core::methods::kReceiveOpr)},
+        std::move(inner), security::MakeAllowAll());
+  };
+  // Authorization is by *Responsible Agent*: placement requests arrive via
+  // class objects acting on the user's behalf (Section 2.4's RA role).
+  system.magistrate_impl(doe_j)->set_policy(
+      guard(std::make_shared<security::TrustedClassPolicy>(
+          std::vector<std::uint64_t>{kDoeAgentClass}, /*allow_system=*/false,
+          security::AgentSelector::kResponsibleAgent)));
+  system.magistrate_impl(nasa_j)->set_policy(
+      guard(std::make_shared<security::CallerAcl>(
+          std::vector<Loid>{kNasaPartner}, /*allow_system=*/false,
+          security::AgentSelector::kResponsibleAgent)));
+  // campus keeps the default allow-all.
+
+  auto job_owner = system.make_client(campus_host, "doe-agent");
+  job_owner->set_identity(Loid{kDoeAgentClass, 7});  // a DOE-certified agent
+
+  core::wire::DeriveRequest derive;
+  derive.name = "Job";
+  derive.instance_impl = std::string(JobImpl::kName);
+  auto job_class = job_owner->derive(core::LegionObjectLoid(), derive);
+  if (!job_class.ok()) {
+    std::fprintf(stderr, "derive: %s\n", job_class.status().to_string().c_str());
+    return 1;
+  }
+
+  const Placement placements[] = {
+      {"doe", system.magistrate_of(doe_j)},
+      {"nasa", system.magistrate_of(nasa_j)},
+      {"campus", system.magistrate_of(campus_j)},
+  };
+
+  std::printf("DOE agent (class %llu) shopping for placement:\n",
+              static_cast<unsigned long long>(kDoeAgentClass));
+  int successes = 0;
+  for (const Placement& p : placements) {
+    auto reply = job_owner->create(job_class->loid, Buffer{}, {p.magistrate});
+    if (reply.ok()) {
+      auto ran = job_owner->ref(reply->loid).call("Run", Buffer{});
+      std::printf("  %-7s ACCEPTED  (%s)\n", p.site,
+                  ran.ok() ? ran->as_string().c_str() : "run failed");
+      ++successes;
+    } else {
+      std::printf("  %-7s refused: %s\n", p.site,
+                  reply.status().to_string().c_str());
+    }
+  }
+
+  // A NASA partner gets the opposite treatment at NASA.
+  auto partner = system.make_client(campus_host, "nasa-partner");
+  partner->set_identity(kNasaPartner);
+  auto partner_job =
+      partner->create(job_class->loid, Buffer{},
+                      {system.magistrate_of(nasa_j)});
+  std::printf("NASA partner at nasa: %s\n",
+              partner_job.ok() ? "ACCEPTED" : partner_job.status().to_string().c_str());
+
+  // An anonymous student is served only by the campus magistrate.
+  auto anon = system.make_client(campus_host, "anon");
+  int anon_accepted = 0;
+  for (const Placement& p : placements) {
+    if (anon->create(job_class->loid, Buffer{}, {p.magistrate}).ok()) {
+      ++anon_accepted;
+      std::printf("anonymous client accepted at %s only\n", p.site);
+    }
+  }
+
+  const bool ok = successes == 2 /* doe + campus */ && partner_job.ok() &&
+                  anon_accepted == 1;
+  std::printf("%s\n", ok ? "site autonomy market: OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build, test, run every experiment, and run every example — the full
+# reproduction pipeline. Outputs land in test_output.txt / bench_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt
+
+for e in quickstart wide_area_farm shared_files trust_market \
+         replicated_service; do
+  echo "=== examples/$e"
+  "build/examples/$e"
+done
+build/examples/legion_shell --demo

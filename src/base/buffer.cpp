@@ -1,0 +1,4 @@
+#include "base/buffer.hpp"
+
+// Header-only today; the translation unit anchors the target and keeps room
+// for out-of-line growth (e.g. rope-style buffers) without touching users.

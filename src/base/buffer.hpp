@@ -1,0 +1,51 @@
+// A byte buffer: the unit of everything marshalled in Legion.
+//
+// Object Persistent Representations (Section 3.1.1 of the paper) are "a
+// sequential set of bytes"; method arguments, replies, and saved state all
+// travel as Buffers between disjoint address spaces.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace legion {
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+  static Buffer FromString(std::string_view s) {
+    return Buffer{std::vector<std::uint8_t>(s.begin(), s.end())};
+  }
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  [[nodiscard]] bool empty() const { return bytes_.empty(); }
+  [[nodiscard]] const std::uint8_t* data() const { return bytes_.data(); }
+  [[nodiscard]] std::uint8_t* data() { return bytes_.data(); }
+  [[nodiscard]] std::span<const std::uint8_t> span() const { return bytes_; }
+
+  void append(const void* src, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(src);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+  void append(std::span<const std::uint8_t> src) { append(src.data(), src.size()); }
+  void clear() { bytes_.clear(); }
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+
+  [[nodiscard]] std::string as_string() const {
+    return std::string(bytes_.begin(), bytes_.end());
+  }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.bytes_ == b.bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace legion

@@ -1,0 +1,27 @@
+// Small non-cryptographic hash helpers used for LOID hashing and for
+// synthesizing deterministic "public keys" in tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace legion {
+
+// SplitMix64 finalizer: excellent avalanche for 64-bit integers.
+constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t Fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace legion

@@ -1,0 +1,33 @@
+#include "base/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace legion {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kNone)};
+std::mutex g_mutex;
+
+const char* Prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void LogLine(LogLevel level, const std::string& line) {
+  if (static_cast<int>(GetLogLevel()) < static_cast<int>(level)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[legion %s] %s\n", Prefix(level), line.c_str());
+}
+
+}  // namespace legion

@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// Silent by default (benchmarks print tables, tests must stay clean); raise
+// the level for debugging. Thread-safe: a single mutex serializes lines from
+// the ThreadRuntime's many object threads.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace legion {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogLine(LogLevel level, const std::string& line);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogLine(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define LEGION_LOG(level)                                      \
+  if (static_cast<int>(::legion::GetLogLevel()) >=             \
+      static_cast<int>(::legion::LogLevel::level))             \
+  ::legion::detail::LogStream(::legion::LogLevel::level)
+
+}  // namespace legion

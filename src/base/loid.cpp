@@ -1,0 +1,33 @@
+#include "base/loid.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "base/hash.hpp"
+
+namespace legion {
+
+std::string Loid::to_string() const {
+  std::array<char, 64> head{};
+  const int n = std::snprintf(head.data(), head.size(), "L%llu.%llu",
+                              static_cast<unsigned long long>(class_id_),
+                              static_cast<unsigned long long>(class_specific_));
+  std::string out(head.data(), static_cast<std::size_t>(n));
+  if (!public_key_.empty()) {
+    out += ':';
+    static constexpr char kHex[] = "0123456789abcdef";
+    for (std::uint8_t b : public_key_) {
+      out += kHex[b >> 4];
+      out += kHex[b & 0xF];
+    }
+  }
+  return out;
+}
+
+std::size_t LoidHash::operator()(const Loid& l) const noexcept {
+  // Identity bits only, consistent with operator==.
+  return static_cast<std::size_t>(
+      Mix64(l.class_id() * 0x9E3779B97F4A7C15ULL ^ l.class_specific()));
+}
+
+}  // namespace legion

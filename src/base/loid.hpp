@@ -1,0 +1,111 @@
+// Legion Object Identifiers (paper Section 3.2).
+//
+// "The 128 high order bits are separated into CLASS IDENTIFIER (64 bits) and
+//  CLASS SPECIFIC (64 bits) parts. The P low order bits comprise the PUBLIC
+//  KEY of the object." The paper leaves P open ("a constant whose size has
+//  yet to be determined"), so the key field here is a run-length-configurable
+//  byte string; identity comparisons include it, while routing uses only the
+//  128 identity bits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/serialize.hpp"
+
+namespace legion {
+
+class Loid {
+ public:
+  Loid() = default;
+  Loid(std::uint64_t class_id, std::uint64_t class_specific,
+       std::vector<std::uint8_t> public_key = {})
+      : class_id_(class_id),
+        class_specific_(class_specific),
+        public_key_(std::move(public_key)) {}
+
+  // LegionClass hands out class identifiers; conventionally the class-
+  // specific field of a *class object's* LOID is zero (Section 3.7).
+  static Loid ForClass(std::uint64_t class_id,
+                       std::vector<std::uint8_t> public_key = {}) {
+    return Loid{class_id, 0, std::move(public_key)};
+  }
+
+  [[nodiscard]] std::uint64_t class_id() const { return class_id_; }
+  [[nodiscard]] std::uint64_t class_specific() const { return class_specific_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& public_key() const {
+    return public_key_;
+  }
+
+  // The nil LOID (0,0) names nothing.
+  [[nodiscard]] bool valid() const {
+    return class_id_ != 0 || class_specific_ != 0;
+  }
+  // Class objects carry class-specific == 0 by convention.
+  [[nodiscard]] bool names_class_object() const {
+    return valid() && class_specific_ == 0;
+  }
+
+  // Section 4.1.3: "the LOID of the responsible class can be determined by
+  // setting the Class Identifier field to match [the object's] and setting
+  // the Class Specific field to zero."
+  [[nodiscard]] Loid responsible_class() const {
+    return Loid::ForClass(class_id_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  void Serialize(Writer& w) const {
+    w.u64(class_id_);
+    w.u64(class_specific_);
+    w.bytes(public_key_);
+  }
+  static Loid Deserialize(Reader& r) {
+    Loid l;
+    l.class_id_ = r.u64();
+    l.class_specific_ = r.u64();
+    l.public_key_ = r.bytes();
+    return l;
+  }
+
+  // Equality, ordering, and hashing use only the 128 identity bits. The
+  // paper's Section 4.1.3 locating trick — "setting the Class Identifier
+  // field to match [the object's] and setting the Class Specific field to
+  // zero" — produces LOIDs *without* the target's public key, so naming must
+  // resolve on identity alone; the key authenticates (Section 3.2), it does
+  // not disambiguate.
+  friend bool operator==(const Loid& a, const Loid& b) {
+    return a.class_id_ == b.class_id_ &&
+           a.class_specific_ == b.class_specific_;
+  }
+  friend bool operator<(const Loid& a, const Loid& b) {
+    if (a.class_id_ != b.class_id_) return a.class_id_ < b.class_id_;
+    return a.class_specific_ < b.class_specific_;
+  }
+  // Full comparison including the public key field.
+  [[nodiscard]] bool identical_including_key(const Loid& other) const {
+    return *this == other && public_key_ == other.public_key_;
+  }
+
+ private:
+  std::uint64_t class_id_ = 0;
+  std::uint64_t class_specific_ = 0;
+  std::vector<std::uint8_t> public_key_;
+};
+
+struct LoidHash {
+  std::size_t operator()(const Loid& l) const noexcept;
+};
+
+}  // namespace legion
+
+namespace std {
+template <>
+struct hash<legion::Loid> {
+  size_t operator()(const legion::Loid& l) const noexcept {
+    return legion::LoidHash{}(l);
+  }
+};
+}  // namespace std

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random generation.
+//
+// Every stochastic choice in the simulator (latency jitter, placement,
+// workload targets) draws from a seeded SplitMix64 stream so that tests and
+// message-count benchmarks are exactly reproducible run to run.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "base/hash.hpp"
+
+namespace legion {
+
+class Rng {
+ public:
+  static constexpr std::uint64_t kDefaultSeed = 0x4C4547494F4E2131ULL;  // "LEGION!1"
+
+  explicit Rng(std::uint64_t seed = kDefaultSeed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    return Mix64(state_);
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) {
+    assert(bound != 0);
+    // Multiply-shift mapping; bias is negligible for the bounds used here
+    // (simulation choices, not cryptography).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool chance(double p) { return unit() < p; }
+
+  // Derive an independent stream (e.g. one per simulated host).
+  [[nodiscard]] Rng fork(std::uint64_t salt) const {
+    return Rng{Mix64(state_ ^ Mix64(salt))};
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace legion

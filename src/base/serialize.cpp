@@ -1,0 +1,4 @@
+#include "base/serialize.hpp"
+
+// Intentionally empty: templates live in the header. The TU anchors the
+// library target.

@@ -1,0 +1,157 @@
+// Portable little-endian wire serialization.
+//
+// Writer appends fixed-width primitives, length-prefixed strings/blobs, and
+// containers to a Buffer. Reader consumes them; any malformed read trips a
+// sticky failure flag that callers check once after parsing (the usual
+// pattern for untrusted wire input — no partial-trust exceptions).
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "base/buffer.hpp"
+
+namespace legion {
+
+class Writer {
+ public:
+  explicit Writer(Buffer& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.append(&v, 1); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    put_le(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    out_.append(b);
+  }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  void buffer(const Buffer& b) { bytes(b.span()); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    std::array<std::uint8_t, sizeof(T)> raw;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    out_.append(raw.data(), raw.size());
+  }
+
+  Buffer& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> in) : in_(in) {}
+  explicit Reader(const Buffer& b) : in_(b.span()) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == in_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+
+  std::uint8_t u8() { return take_le<std::uint8_t>(); }
+  std::uint16_t u16() { return take_le<std::uint16_t>(); }
+  std::uint32_t u32() { return take_le<std::uint32_t>(); }
+  std::uint64_t u64() { return take_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take_le<std::uint64_t>()); }
+  double f64() {
+    const std::uint64_t bits = take_le<std::uint64_t>();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+
+  // Consumes and returns all remaining bytes (no length prefix) — used to
+  // capture raw arguments for verbatim forwarding.
+  Buffer remainder() {
+    std::vector<std::uint8_t> out(
+        in_.begin() + static_cast<std::ptrdiff_t>(pos_), in_.end());
+    pos_ = in_.size();
+    return Buffer{std::move(out)};
+  }
+
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t n = u32();
+    if (!ok_ || remaining() < n) {
+      fail();
+      return {};
+    }
+    std::vector<std::uint8_t> out(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  in_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  std::string str() {
+    auto raw = bytes();
+    return std::string(raw.begin(), raw.end());
+  }
+  Buffer buffer() { return Buffer{bytes()}; }
+
+ private:
+  template <typename T>
+  T take_le() {
+    if (!ok_ || remaining() < sizeof(T)) {
+      fail();
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(in_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+  void fail() { ok_ = false; pos_ = in_.size(); }
+
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Serialization adapters for common aggregates. A type opts in by providing
+//   void Serialize(Writer&) const;  and  static T Deserialize(Reader&);
+template <typename T>
+concept WireSerializable = requires(const T& t, Writer& w, Reader& r) {
+  { t.Serialize(w) } -> std::same_as<void>;
+  { T::Deserialize(r) } -> std::same_as<T>;
+};
+
+template <WireSerializable T>
+void WriteVector(Writer& w, const std::vector<T>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& item : v) item.Serialize(w);
+}
+
+template <WireSerializable T>
+std::vector<T> ReadVector(Reader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<T> out;
+  // Guard against hostile lengths: each element consumes >= 1 byte.
+  if (!r.ok() || n > r.remaining()) return out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) out.push_back(T::Deserialize(r));
+  return out;
+}
+
+}  // namespace legion

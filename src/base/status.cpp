@@ -1,0 +1,54 @@
+#include "base/status.hpp"
+
+namespace legion {
+
+std::string_view to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kStaleBinding: return "STALE_BINDING";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out{legion::to_string(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace {
+Status Make(StatusCode code, std::string_view msg) {
+  return Status{code, std::string{msg}};
+}
+}  // namespace
+
+Status InvalidArgumentError(std::string_view msg) { return Make(StatusCode::kInvalidArgument, msg); }
+Status NotFoundError(std::string_view msg) { return Make(StatusCode::kNotFound, msg); }
+Status AlreadyExistsError(std::string_view msg) { return Make(StatusCode::kAlreadyExists, msg); }
+Status PermissionDeniedError(std::string_view msg) { return Make(StatusCode::kPermissionDenied, msg); }
+Status FailedPreconditionError(std::string_view msg) { return Make(StatusCode::kFailedPrecondition, msg); }
+Status UnavailableError(std::string_view msg) { return Make(StatusCode::kUnavailable, msg); }
+Status StaleBindingError(std::string_view msg) { return Make(StatusCode::kStaleBinding, msg); }
+Status TimeoutError(std::string_view msg) { return Make(StatusCode::kTimeout, msg); }
+Status UnimplementedError(std::string_view msg) { return Make(StatusCode::kUnimplemented, msg); }
+Status AbortedError(std::string_view msg) { return Make(StatusCode::kAborted, msg); }
+Status OutOfRangeError(std::string_view msg) { return Make(StatusCode::kOutOfRange, msg); }
+Status ResourceExhaustedError(std::string_view msg) { return Make(StatusCode::kResourceExhausted, msg); }
+Status InternalError(std::string_view msg) { return Make(StatusCode::kInternal, msg); }
+
+}  // namespace legion

@@ -1,0 +1,132 @@
+// Error model for the Legion libraries.
+//
+// Remote failures are data: they are marshalled over the (simulated) wire and
+// inspected by retry logic, so the RPC-facing API reports them as Status /
+// Result<T> values rather than exceptions. Exceptions remain for programmer
+// errors via assertions.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace legion {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kPermissionDenied = 4,   // MayI() refused the invocation.
+  kFailedPrecondition = 5, // e.g. Create() on an Abstract class.
+  kUnavailable = 6,        // transient: endpoint congested / partitioned.
+  kStaleBinding = 7,       // delivery failed: the Object Address is dead.
+  kTimeout = 8,
+  kUnimplemented = 9,
+  kAborted = 10,
+  kOutOfRange = 11,
+  kResourceExhausted = 12, // host refused: CPU/memory limits (Section 3.9).
+  kInternal = 13,
+};
+
+[[nodiscard]] std::string_view to_string(StatusCode code);
+
+// A status is a code plus an optional human-readable detail message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status{}; }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+Status InvalidArgumentError(std::string_view msg);
+Status NotFoundError(std::string_view msg);
+Status AlreadyExistsError(std::string_view msg);
+Status PermissionDeniedError(std::string_view msg);
+Status FailedPreconditionError(std::string_view msg);
+Status UnavailableError(std::string_view msg);
+Status StaleBindingError(std::string_view msg);
+Status TimeoutError(std::string_view msg);
+Status UnimplementedError(std::string_view msg);
+Status AbortedError(std::string_view msg);
+Status OutOfRangeError(std::string_view msg);
+Status ResourceExhaustedError(std::string_view msg);
+Status InternalError(std::string_view msg);
+
+// Result<T>: either a value or a non-OK status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() && "Result built from OK status");
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagate non-OK statuses up the call stack.
+#define LEGION_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::legion::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define LEGION_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto LEGION_CONCAT_(_res_, __LINE__) = (expr);             \
+  if (!LEGION_CONCAT_(_res_, __LINE__).ok())                 \
+    return LEGION_CONCAT_(_res_, __LINE__).status();         \
+  lhs = std::move(LEGION_CONCAT_(_res_, __LINE__)).take()
+
+#define LEGION_CONCAT_IMPL_(a, b) a##b
+#define LEGION_CONCAT_(a, b) LEGION_CONCAT_IMPL_(a, b)
+
+}  // namespace legion

@@ -1,0 +1,61 @@
+// Strong identifier types shared across the Legion substrate layers.
+//
+// Each id is a distinct struct wrapping an integer so that a HostId can never
+// be passed where an EndpointId is expected (C++ Core Guidelines I.4: make
+// interfaces precisely and strongly typed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace legion {
+
+namespace detail {
+
+// CRTP-free tagged integer id. `Tag` makes each instantiation a unique type.
+template <typename Tag, typename Rep = std::uint64_t>
+struct TaggedId {
+  Rep value{0};
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(Rep v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != 0; }
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+};
+
+}  // namespace detail
+
+// A physical machine participating in (or hosting part of) a Legion system.
+struct HostTag {};
+using HostId = detail::TaggedId<HostTag, std::uint32_t>;
+
+// A message destination registered with the runtime. Each *active* Legion
+// object owns exactly one endpoint; endpoints die when objects deactivate.
+struct EndpointTag {};
+using EndpointId = detail::TaggedId<EndpointTag, std::uint64_t>;
+
+// An autonomous resource partition (set of hosts + persistent storage).
+struct JurisdictionTag {};
+using JurisdictionId = detail::TaggedId<JurisdictionTag, std::uint32_t>;
+
+// One unit of aggregate persistent storage inside a jurisdiction ("disk").
+struct DiskTag {};
+using DiskId = detail::TaggedId<DiskTag, std::uint32_t>;
+
+// Virtual time, in microseconds, advanced by the simulation kernel. The
+// thread kernel maps it onto the steady clock instead.
+using SimTime = std::int64_t;
+inline constexpr SimTime kSimTimeNever = INT64_MAX;
+
+}  // namespace legion
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<legion::detail::TaggedId<Tag, Rep>> {
+  size_t operator()(const legion::detail::TaggedId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,168 @@
+#include "core/active_object.hpp"
+
+#include <utility>
+
+#include "core/implementation_registry.hpp"
+#include "core/state_sections.hpp"
+#include "core/well_known.hpp"
+
+namespace legion::core {
+
+ActiveObject::ActiveObject(rt::Runtime& runtime, HostId host, Loid self,
+                           std::vector<std::unique_ptr<ObjectImpl>> impls,
+                           SystemHandles handles, ActiveObjectConfig config)
+    : runtime_(runtime),
+      self_(std::move(self)),
+      handles_(std::move(handles)),
+      config_(std::move(config)),
+      messenger_(runtime, host, config_.label, rt::ExecutionMode::kServiced,
+                 [this](rt::ServerContext& ctx, Reader& args) {
+                   return dispatch(ctx, args);
+                 }),
+      rng_(Rng{Rng::kDefaultSeed}
+               .fork(self_.class_id())
+               .fork(self_.class_specific())),
+      impls_(std::move(impls)) {
+  resolver_ = std::make_unique<Resolver>(messenger_, handles_,
+                                         config_.cache_capacity, rng_.fork(1));
+  // Derived-first registration: overrides shadow base implementations.
+  for (auto& impl : impls_) impl->RegisterMethods(table_);
+  install_mandatory_methods();
+  collect_policies();
+}
+
+void ActiveObject::collect_policies() {
+  std::vector<security::PolicyPtr> policies;
+  for (const auto& impl : impls_) {
+    if (auto p = impl->policy()) policies.push_back(std::move(p));
+  }
+  if (policies.empty()) {
+    policy_ = nullptr;
+  } else if (policies.size() == 1) {
+    policy_ = std::move(policies.front());
+  } else {
+    policy_ = std::make_shared<security::AllOf>(std::move(policies));
+  }
+}
+
+ActiveObject::~ActiveObject() {
+  for (auto& impl : impls_) impl->OnDeactivate();
+  messenger_.close();
+}
+
+SimTime ActiveObject::now() const { return runtime_.now(); }
+
+Status ActiveObject::restore(const Buffer& state) {
+  LEGION_ASSIGN_OR_RETURN(StateSections sections,
+                          StateSections::from_buffer(state));
+  for (std::size_t i = 0; i < impls_.size(); ++i) {
+    const Buffer* bytes = sections.find(impls_[i]->implementation_name());
+    // The primary (first) implementation also accepts an anonymous section:
+    // Create() passes raw init state without knowing implementation names.
+    if (bytes == nullptr && i == 0) bytes = sections.find("");
+    Buffer empty;
+    Reader r(bytes != nullptr ? *bytes : empty);
+    LEGION_RETURN_IF_ERROR(impls_[i]->RestoreState(r));
+  }
+  // Policies may depend on restored state (e.g. an ACL saved in the OPR).
+  collect_policies();
+  for (auto& impl : impls_) impl->OnActivate(*this);
+  return OkStatus();
+}
+
+Buffer ActiveObject::save_state() const {
+  StateSections sections;
+  for (const auto& impl : impls_) {
+    Buffer bytes;
+    Writer w(bytes);
+    impl->SaveState(w);
+    sections.sections.emplace_back(impl->implementation_name(),
+                                   std::move(bytes));
+  }
+  return sections.to_buffer();
+}
+
+ObjectAddress ActiveObject::address() const {
+  return ObjectAddress{ObjectAddressElement::Sim(messenger_.endpoint())};
+}
+
+Binding ActiveObject::binding() const {
+  Binding b;
+  b.loid = self_;
+  b.address = address();
+  b.expires = config_.binding_ttl_us == kSimTimeNever
+                  ? kSimTimeNever
+                  : runtime_.now() + config_.binding_ttl_us;
+  return b;
+}
+
+std::string ActiveObject::impl_spec() const {
+  std::vector<std::string> names;
+  names.reserve(impls_.size());
+  for (const auto& impl : impls_) names.push_back(impl->implementation_name());
+  return ImplementationRegistry::JoinSpec(names);
+}
+
+InterfaceDescription ActiveObject::interface() const {
+  InterfaceDescription out =
+      impls_.empty() ? InterfaceDescription{"LegionObject"}
+                     : impls_.front()->interface();
+  for (std::size_t i = 1; i < impls_.size(); ++i) {
+    out.merge(impls_[i]->interface());
+  }
+  out.merge(ObjectMandatoryInterface());
+  return out;
+}
+
+void ActiveObject::install_mandatory_methods() {
+  // Object-mandatory member functions (Section 2.1). try_emplace semantics
+  // let an implementation override any of them — "classes may alter the
+  // functionality of object-mandatory member functions".
+  table_.add(methods::kPing,
+             [](ObjectContext&, Reader&) -> Result<Buffer> { return Buffer{}; });
+  table_.add(methods::kIam, [this](ObjectContext&, Reader&) -> Result<Buffer> {
+    Buffer out;
+    Writer w(out);
+    self_.Serialize(w);
+    return out;
+  });
+  table_.add(methods::kMayI,
+             [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+               const std::string method = args.str();
+               if (!args.ok()) return InvalidArgumentError("bad MayI args");
+               if (policy_) {
+                 LEGION_RETURN_IF_ERROR(policy_->MayI(method, ctx.call.env));
+               }
+               return Buffer{};
+             });
+  table_.add(methods::kGetInterface,
+             [this](ObjectContext&, Reader&) -> Result<Buffer> {
+               Buffer out;
+               Writer w(out);
+               interface().Serialize(w);
+               return out;
+             });
+  table_.add(methods::kSaveState,
+             [this](ObjectContext&, Reader&) -> Result<Buffer> {
+               return save_state();
+             });
+}
+
+Result<Buffer> ActiveObject::dispatch(rt::ServerContext& ctx, Reader& args) {
+  // MayI() gates every invocation (Section 2.4). The MayI method itself is
+  // always answerable, so callers can probe before committing.
+  if (policy_ && ctx.call.method != methods::kMayI) {
+    LEGION_RETURN_IF_ERROR(policy_->MayI(ctx.call.method, ctx.call.env));
+  }
+  const MethodFn* fn = table_.find(ctx.call.method);
+  if (fn == nullptr) {
+    ++exceptions_;
+    return UnimplementedError("no such method: " + ctx.call.method);
+  }
+  ObjectContext octx{*this, ctx.call};
+  Result<Buffer> result = (*fn)(octx, args);
+  if (!result.ok()) ++exceptions_;
+  return result;
+}
+
+}  // namespace legion::core

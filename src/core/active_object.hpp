@@ -1,0 +1,141 @@
+// The runtime shell of an active Legion object.
+//
+// Paper Section 3.1: an Active object "is running as a process ... on one or
+// more of the hosts in a Jurisdiction, and is described by an OBJECT
+// ADDRESS". The shell is that process: it owns the endpoint/messenger, the
+// object's Legion-aware communication layer (Resolver), the composed
+// implementation stack, and the dispatch loop that enforces MayI() and
+// serves the object-mandatory methods.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "core/comm.hpp"
+#include "core/interface.hpp"
+#include "core/method_table.hpp"
+#include "core/object_impl.hpp"
+#include "rt/messenger.hpp"
+
+namespace legion::core {
+
+// Services an implementation can use outside (or inside) a call: the
+// object's identity, comm layer, clock, and randomness.
+class ShellServices {
+ public:
+  virtual ~ShellServices() = default;
+
+  [[nodiscard]] virtual const Loid& self() const = 0;
+  [[nodiscard]] virtual Resolver& resolver() = 0;
+  [[nodiscard]] virtual rt::Messenger& messenger() = 0;
+  [[nodiscard]] virtual Rng& rng() = 0;
+  [[nodiscard]] virtual SimTime now() const = 0;
+  [[nodiscard]] virtual const SystemHandles& handles() const = 0;
+
+  // Environment for calls this object originates on its own behalf.
+  [[nodiscard]] rt::EnvTriple self_env() const {
+    return rt::EnvTriple::ForCaller(self());
+  }
+  // A client handle to another object, calling as ourselves.
+  [[nodiscard]] ObjectRef ref(const Loid& target) {
+    return ObjectRef{resolver(), target, self_env()};
+  }
+};
+
+// Per-invocation view handed to method implementations.
+struct ObjectContext {
+  ShellServices& shell;
+  const rt::CallInfo& call;
+
+  // Environment for nested calls made while serving this invocation: the
+  // responsible and security agents propagate from the inbound triple
+  // (Section 2.4); the calling agent becomes this object.
+  [[nodiscard]] rt::EnvTriple outgoing_env() const {
+    rt::EnvTriple env = call.env;
+    if (!env.responsible_agent.valid()) env.responsible_agent = shell.self();
+    if (!env.security_agent.valid()) env.security_agent = shell.self();
+    env.calling_agent = shell.self();
+    return env;
+  }
+  // A handle that propagates this invocation's environment onward.
+  [[nodiscard]] ObjectRef ref(const Loid& target) const {
+    return ObjectRef{shell.resolver(), target, outgoing_env()};
+  }
+};
+
+struct ActiveObjectConfig {
+  std::string label = "object";     // stats label (component kind)
+  std::size_t cache_capacity = 64;  // local binding cache entries
+  SimTime binding_ttl_us = kSimTimeNever;  // expiry stamped on own bindings
+};
+
+class ActiveObject final : public ShellServices {
+ public:
+  // The shell registers its endpoint immediately; impls are attached and
+  // activated via restore().
+  ActiveObject(rt::Runtime& runtime, HostId host, Loid self,
+               std::vector<std::unique_ptr<ObjectImpl>> impls,
+               SystemHandles handles, ActiveObjectConfig config);
+  ~ActiveObject() override;
+
+  ActiveObject(const ActiveObject&) = delete;
+  ActiveObject& operator=(const ActiveObject&) = delete;
+
+  // Restores per-implementation state from an OPR state buffer (the named-
+  // sections format produced by save_state) and fires OnActivate hooks.
+  Status restore(const Buffer& state);
+
+  // Captures the full object state (every composed implementation).
+  [[nodiscard]] Buffer save_state() const;
+
+  [[nodiscard]] ObjectAddress address() const;
+  [[nodiscard]] Binding binding() const;
+  [[nodiscard]] std::string impl_spec() const;
+  [[nodiscard]] InterfaceDescription interface() const;
+  [[nodiscard]] EndpointId endpoint() const { return messenger_.endpoint(); }
+
+  // ShellServices:
+  [[nodiscard]] const Loid& self() const override { return self_; }
+  [[nodiscard]] Resolver& resolver() override { return *resolver_; }
+  [[nodiscard]] rt::Messenger& messenger() override { return messenger_; }
+  [[nodiscard]] Rng& rng() override { return rng_; }
+  [[nodiscard]] SimTime now() const override;
+  [[nodiscard]] const SystemHandles& handles() const override {
+    return handles_;
+  }
+  // Bootstrap only: see Resolver::set_handles.
+  void set_handles(SystemHandles handles) {
+    handles_ = handles;
+    resolver_->set_handles(std::move(handles));
+  }
+
+  // Direct access for same-process collaborators (Host Object, tests).
+  [[nodiscard]] const std::vector<std::unique_ptr<ObjectImpl>>& impls() const {
+    return impls_;
+  }
+
+  // Method invocations that ended in an error status — the "object
+  // exceptions" a Host Object reports (Section 2.3).
+  [[nodiscard]] std::uint64_t exceptions() const { return exceptions_; }
+
+ private:
+  Result<Buffer> dispatch(rt::ServerContext& ctx, Reader& args);
+  void install_mandatory_methods();
+  void collect_policies();
+
+  rt::Runtime& runtime_;
+  Loid self_;
+  SystemHandles handles_;
+  ActiveObjectConfig config_;
+  rt::Messenger messenger_;
+  std::unique_ptr<Resolver> resolver_;
+  Rng rng_;
+  std::vector<std::unique_ptr<ObjectImpl>> impls_;
+  MethodTable table_;
+  security::PolicyPtr policy_;  // composed MayI policy (null = allow)
+  std::uint64_t exceptions_ = 0;
+};
+
+}  // namespace legion::core

@@ -1,0 +1,52 @@
+// Bindings, paper Section 3.5.
+//
+// "Bindings from LOID's to Object Addresses in Legion are implemented as
+//  simple triples. A binding consists of an LOID, an Object Address, and a
+//  field that specifies the time that the binding becomes invalid... Bindings
+//  are first class entities that can be passed around the system and cached
+//  within objects."
+#pragma once
+
+#include <string>
+
+#include "base/loid.hpp"
+#include "base/types.hpp"
+#include "core/object_address.hpp"
+
+namespace legion::core {
+
+struct Binding {
+  Loid loid;
+  ObjectAddress address;
+  // Virtual time at which the binding becomes invalid; kSimTimeNever means
+  // it never explicitly expires (it can still turn out to be stale).
+  SimTime expires = kSimTimeNever;
+
+  [[nodiscard]] bool valid() const { return loid.valid() && address.valid(); }
+  [[nodiscard]] bool expired_at(SimTime now) const {
+    return expires != kSimTimeNever && now >= expires;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return loid.to_string() + "@" + address.to_string();
+  }
+
+  void Serialize(Writer& w) const {
+    loid.Serialize(w);
+    address.Serialize(w);
+    w.i64(expires);
+  }
+  static Binding Deserialize(Reader& r) {
+    Binding b;
+    b.loid = Loid::Deserialize(r);
+    b.address = ObjectAddress::Deserialize(r);
+    b.expires = r.i64();
+    return b;
+  }
+
+  friend bool operator==(const Binding& a, const Binding& b) {
+    return a.loid == b.loid && a.address == b.address && a.expires == b.expires;
+  }
+};
+
+}  // namespace legion::core

@@ -1,0 +1,212 @@
+#include "core/binding_agent.hpp"
+
+#include "core/active_object.hpp"
+#include "core/well_known.hpp"
+
+namespace legion::core {
+
+void BindingAgentImpl::SaveState(Writer& w) const { config_.Serialize(w); }
+
+Status BindingAgentImpl::RestoreState(Reader& r) {
+  if (r.exhausted()) return OkStatus();  // default-configured agent
+  config_ = BindingAgentConfig::Deserialize(r);
+  if (!r.ok()) return InvalidArgumentError("bad binding agent state");
+  cache_ = BindingCache(config_.cache_capacity);
+  return OkStatus();
+}
+
+Result<Buffer> BindingAgentImpl::agent_call(ObjectContext& ctx,
+                                            const Binding& target,
+                                            std::string_view method,
+                                            Buffer args) {
+  return ctx.shell.resolver().call_binding(target, method, args,
+                                           ctx.outgoing_env(),
+                                           rt::Messenger::kDefaultTimeoutUs);
+}
+
+Result<Binding> BindingAgentImpl::resolve_class(ObjectContext& ctx,
+                                                const Loid& class_loid,
+                                                bool bypass_cache,
+                                                const Binding* stale) {
+  // The recursion of Section 4.1.3 terminates at LegionClass itself, whose
+  // binding is part of every object's persistent state.
+  if (class_loid == ctx.shell.handles().legion_class.loid) {
+    return ctx.shell.handles().legion_class;
+  }
+  if (!bypass_cache && stale == nullptr) {
+    if (auto cached = cache_.get(class_loid, ctx.shell.now())) {
+      ++stats_.cache_hits;
+      return *cached;
+    }
+  }
+  // The final GetBinding hop carries the refresh evidence when we have it.
+  wire::GetBindingRequest get;
+  get.loid = class_loid;
+  if (stale != nullptr) {
+    get.mode = wire::GetBindingMode::kRefresh;
+    get.stale = *stale;
+  } else {
+    get.mode = wire::GetBindingMode::kByLoid;
+  }
+
+  Binding binding;
+  if (config_.parent.valid()) {
+    // Tree path (Section 5.2.2): class lookups climb toward the root,
+    // "eliminating traffic from 'leaf' Binding Agents to LegionClass".
+    ++stats_.parent_consults;
+    LEGION_ASSIGN_OR_RETURN(
+        Buffer raw,
+        agent_call(ctx, config_.parent, methods::kGetBinding, get.to_buffer()));
+    LEGION_ASSIGN_OR_RETURN(wire::BindingReply reply,
+                            wire::BindingReply::from_buffer(raw));
+    binding = std::move(reply.binding);
+  } else {
+    // Root: consult LegionClass (Section 4.1.3).
+    ++stats_.legion_class_consults;
+    wire::LoidRequest req{class_loid};
+    LEGION_ASSIGN_OR_RETURN(
+        Buffer raw, agent_call(ctx, ctx.shell.handles().legion_class,
+                               methods::kLocateClass, req.to_buffer()));
+    LEGION_ASSIGN_OR_RETURN(wire::LocateClassReply located,
+                            wire::LocateClassReply::from_buffer(raw));
+    if (located.kind == wire::LocateClassReply::Kind::kBinding) {
+      binding = std::move(located.binding);
+    } else {
+      // "LegionClass can point them toward C": resolve the creator, then
+      // ask it for the subclass's binding (refresh-forwarding as needed —
+      // a deactivated class object is reactivated by its creator here).
+      LEGION_ASSIGN_OR_RETURN(Binding creator,
+                              resolve_class(ctx, located.creator, false));
+      ++stats_.class_consults;
+      Result<Buffer> raw2 =
+          agent_call(ctx, creator, methods::kGetBinding, get.to_buffer());
+      if (!raw2.ok() && raw2.status().code() == StatusCode::kStaleBinding) {
+        // The creator itself moved: one level of recursive repair.
+        const Binding stale_creator = creator;
+        LEGION_ASSIGN_OR_RETURN(
+            creator,
+            resolve_class(ctx, located.creator, true, &stale_creator));
+        ++stats_.class_consults;
+        raw2 = agent_call(ctx, creator, methods::kGetBinding, get.to_buffer());
+      }
+      if (!raw2.ok()) return raw2.status();
+      LEGION_ASSIGN_OR_RETURN(wire::BindingReply reply,
+                              wire::BindingReply::from_buffer(*raw2));
+      binding = std::move(reply.binding);
+    }
+  }
+  cache_.put(binding);
+  return binding;
+}
+
+Result<Binding> BindingAgentImpl::resolve(ObjectContext& ctx,
+                                          const Loid& target) {
+  if (auto cached = cache_.get(target, ctx.shell.now())) {
+    ++stats_.cache_hits;
+    return *cached;
+  }
+  if (target.names_class_object()) {
+    return resolve_class(ctx, target, /*bypass_cache=*/false);
+  }
+
+  // Instance path: the responsible class's LOID is derived by zeroing the
+  // class-specific field (Section 4.1.3), then the class "must be able to
+  // return a binding if one exists".
+  LEGION_ASSIGN_OR_RETURN(
+      Binding class_binding,
+      resolve_class(ctx, target.responsible_class(), /*bypass_cache=*/false));
+  ++stats_.class_consults;
+  wire::GetBindingRequest req;
+  req.mode = wire::GetBindingMode::kByLoid;
+  req.loid = target;
+  Result<Buffer> raw =
+      agent_call(ctx, class_binding, methods::kGetBinding, req.to_buffer());
+  if (!raw.ok() && raw.status().code() == StatusCode::kStaleBinding) {
+    // The class itself moved or went inert (rare: "class objects will not
+    // migrate frequently"). Repair it with refresh evidence and retry.
+    const Binding stale_class = class_binding;
+    LEGION_ASSIGN_OR_RETURN(class_binding,
+                            resolve_class(ctx, target.responsible_class(),
+                                          /*bypass_cache=*/true, &stale_class));
+    ++stats_.class_consults;
+    raw = agent_call(ctx, class_binding, methods::kGetBinding, req.to_buffer());
+  }
+  if (!raw.ok()) return raw.status();
+  LEGION_ASSIGN_OR_RETURN(wire::BindingReply reply,
+                          wire::BindingReply::from_buffer(*raw));
+  cache_.put(reply.binding);
+  return reply.binding;
+}
+
+Result<Binding> BindingAgentImpl::refresh(ObjectContext& ctx,
+                                          const wire::GetBindingRequest& req) {
+  // "Passing a binding requests that the Binding Agent return a different
+  //  binding than the one passed as a parameter" (Section 3.6).
+  cache_.invalidate_exact(req.stale);
+
+  if (req.loid.names_class_object()) {
+    // Forward the refresh down the responsibility chain: the class's
+    // creator NILs its row and reactivates the class.
+    return resolve_class(ctx, req.loid, /*bypass_cache=*/true, &req.stale);
+  }
+  LEGION_ASSIGN_OR_RETURN(
+      Binding class_binding,
+      resolve_class(ctx, req.loid.responsible_class(), /*bypass_cache=*/false));
+  ++stats_.class_consults;
+  // Forward the refresh so the class can NIL its own stale Object Address
+  // and consult the magistrate (Section 4.1.4).
+  Result<Buffer> raw =
+      agent_call(ctx, class_binding, methods::kGetBinding, req.to_buffer());
+  if (!raw.ok() && raw.status().code() == StatusCode::kStaleBinding) {
+    // The class itself is gone (deactivated or migrated): repair the class
+    // binding with refresh evidence, then retry the instance lookup.
+    const Binding stale_class = class_binding;
+    LEGION_ASSIGN_OR_RETURN(class_binding,
+                            resolve_class(ctx, req.loid.responsible_class(),
+                                          /*bypass_cache=*/true, &stale_class));
+    ++stats_.class_consults;
+    raw = agent_call(ctx, class_binding, methods::kGetBinding, req.to_buffer());
+  }
+  if (!raw.ok()) return raw.status();
+  LEGION_ASSIGN_OR_RETURN(wire::BindingReply reply,
+                          wire::BindingReply::from_buffer(*raw));
+  cache_.put(reply.binding);
+  return reply.binding;
+}
+
+void BindingAgentImpl::RegisterMethods(MethodTable& table) {
+  table.add(methods::kGetBinding,
+            [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::GetBindingRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad GetBinding");
+              ++stats_.requests;
+              Result<Binding> binding =
+                  req.mode == wire::GetBindingMode::kRefresh
+                      ? refresh(ctx, req)
+                      : resolve(ctx, req.loid);
+              if (!binding.ok()) return binding.status();
+              return wire::BindingReply{std::move(*binding)}.to_buffer();
+            });
+  table.add(methods::kAddBinding,
+            [this](ObjectContext&, Reader& args) -> Result<Buffer> {
+              auto req = wire::AddBindingRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad AddBinding");
+              // "used ... to explicitly propagate binding information for
+              //  performance purposes" (Section 3.6).
+              cache_.put(std::move(req.binding));
+              return Buffer{};
+            });
+  table.add(methods::kInvalidateBinding,
+            [this](ObjectContext&, Reader& args) -> Result<Buffer> {
+              auto req = wire::InvalidateBindingRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad Invalidate");
+              if (req.mode == wire::GetBindingMode::kByLoid) {
+                cache_.invalidate(req.loid);
+              } else {
+                cache_.invalidate_exact(req.binding);
+              }
+              return Buffer{};
+            });
+}
+
+}  // namespace legion::core

@@ -1,0 +1,92 @@
+// Binding Agents, paper Sections 3.6, 4.1 and 5.2.2.
+//
+// "A Binding Agent acts on behalf of other Legion objects to bind LOID's to
+//  Object Addresses... Typically, a Binding Agent will maintain a cache of
+//  bindings... But any particular Binding Agent may also consult other
+//  Binding Agents... If all else fails, the Binding Agent can consult the
+//  class of the object which must be able to return a binding if one
+//  exists."
+//
+// Tree organization (Section 5.2.2): instance lookups go straight to the
+// responsible class; *class-object* lookups climb the Binding-Agent tree so
+// that only the root ever queries LegionClass — the software combining tree
+// that arbitrarily reduces LegionClass load.
+#pragma once
+
+#include <cstdint>
+
+#include "core/binding_cache.hpp"
+#include "core/object_impl.hpp"
+#include "core/wire.hpp"
+
+namespace legion::core {
+
+struct ObjectContext;
+
+inline constexpr std::string_view kBindingAgentImpl = "legion.binding-agent";
+
+struct BindingAgentConfig {
+  std::size_t cache_capacity = 4096;
+  Binding parent;              // invalid = root (consults LegionClass)
+  SimTime binding_ttl_us = kSimTimeNever;  // TTL stamped on cached answers
+
+  void Serialize(Writer& w) const {
+    w.u64(cache_capacity);
+    parent.Serialize(w);
+    w.i64(binding_ttl_us);
+  }
+  static BindingAgentConfig Deserialize(Reader& r) {
+    BindingAgentConfig c;
+    c.cache_capacity = static_cast<std::size_t>(r.u64());
+    c.parent = Binding::Deserialize(r);
+    c.binding_ttl_us = r.i64();
+    return c;
+  }
+};
+
+struct BindingAgentStats {
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t parent_consults = 0;
+  std::uint64_t class_consults = 0;
+  std::uint64_t legion_class_consults = 0;
+};
+
+class BindingAgentImpl final : public ObjectImpl {
+ public:
+  BindingAgentImpl() : cache_(config_.cache_capacity) {}
+  explicit BindingAgentImpl(BindingAgentConfig config)
+      : config_(std::move(config)), cache_(config_.cache_capacity) {}
+
+  [[nodiscard]] std::string implementation_name() const override {
+    return std::string(kBindingAgentImpl);
+  }
+  void RegisterMethods(MethodTable& table) override;
+  void SaveState(Writer& w) const override;
+  Status RestoreState(Reader& r) override;
+
+  [[nodiscard]] const BindingAgentStats& agent_stats() const { return stats_; }
+  [[nodiscard]] const BindingCache& cache() const { return cache_; }
+
+ private:
+  Result<Binding> resolve(ObjectContext& ctx, const Loid& target);
+  Result<Binding> refresh(ObjectContext& ctx,
+                          const wire::GetBindingRequest& req);
+  // Resolves the binding of a *class object* — the recursion of Section
+  // 4.1.3, ending at LegionClass. When `stale` is non-null the caller has
+  // proof the current binding is dead (e.g. the class was deactivated), so
+  // the final hop issues a *refresh* — the creator then NILs its table row
+  // and reactivates the class via its magistrate. Classes are objects too.
+  Result<Binding> resolve_class(ObjectContext& ctx, const Loid& class_loid,
+                                bool bypass_cache,
+                                const Binding* stale = nullptr);
+  // One remote call on an explicit binding, as this agent.
+  Result<Buffer> agent_call(ObjectContext& ctx, const Binding& target,
+                            std::string_view method, Buffer args);
+
+  BindingAgentConfig config_;
+  BindingCache cache_;
+  BindingAgentStats stats_;
+};
+
+}  // namespace legion::core

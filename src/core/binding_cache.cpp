@@ -1,0 +1,69 @@
+#include "core/binding_cache.hpp"
+
+namespace legion::core {
+
+void BindingCache::touch(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+}
+
+std::optional<Binding> BindingCache::get(const Loid& loid, SimTime now) {
+  auto it = entries_.find(loid);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.binding.expired_at(now)) {
+    // Expired entries are misses *and* are removed so they cannot be
+    // resurrected by a later lookup at an earlier virtual time.
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  touch(it->second);
+  ++stats_.hits;
+  return it->second.binding;
+}
+
+void BindingCache::put(Binding binding) {
+  if (capacity_ == 0 || !binding.valid()) return;
+  auto it = entries_.find(binding.loid);
+  if (it != entries_.end()) {
+    it->second.binding = std::move(binding);
+    touch(it->second);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    const Loid& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(binding.loid);
+  entries_.emplace(binding.loid, Entry{std::move(binding), lru_.begin()});
+}
+
+bool BindingCache::invalidate(const Loid& loid) {
+  auto it = entries_.find(loid);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  ++stats_.invalidations;
+  return true;
+}
+
+bool BindingCache::invalidate_exact(const Binding& binding) {
+  auto it = entries_.find(binding.loid);
+  if (it == entries_.end() || !(it->second.binding == binding)) return false;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  ++stats_.invalidations;
+  return true;
+}
+
+void BindingCache::clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace legion::core

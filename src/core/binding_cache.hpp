@@ -1,0 +1,67 @@
+// The binding cache used at every layer of the Section 4.1 binding path.
+//
+// Objects cache bindings locally; Binding Agents cache on behalf of their
+// clients; classes cache in their logical tables. The same LRU structure
+// with TTL awareness backs the first two. Hit/miss/eviction counters feed
+// the Section 5.2.1 experiments directly.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "core/binding.hpp"
+
+namespace legion::core {
+
+struct BindingCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class BindingCache {
+ public:
+  // capacity == 0 disables caching entirely (every lookup misses).
+  explicit BindingCache(std::size_t capacity) : capacity_(capacity) {}
+
+  // Returns a fresh (unexpired) cached binding, updating LRU order.
+  std::optional<Binding> get(const Loid& loid, SimTime now);
+
+  // Inserts or refreshes; evicts the least recently used entry when full.
+  void put(Binding binding);
+
+  // Section 3.6 InvalidateBinding(LOID): drop whatever is cached.
+  bool invalidate(const Loid& loid);
+  // Section 3.6 InvalidateBinding(binding): drop only on exact match, so a
+  // newer binding that already replaced the stale one survives.
+  bool invalidate_exact(const Binding& binding);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const BindingCacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = BindingCacheStats{}; }
+
+ private:
+  struct Entry {
+    Binding binding;
+    std::list<Loid>::iterator lru_pos;
+  };
+
+  void touch(Entry& entry);
+
+  std::size_t capacity_;
+  std::unordered_map<Loid, Entry> entries_;
+  std::list<Loid> lru_;  // front = most recent
+  BindingCacheStats stats_;
+};
+
+}  // namespace legion::core

@@ -1,0 +1,143 @@
+#include "core/comm.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "core/wire.hpp"
+
+namespace legion::core {
+
+namespace {
+// Extracts the sim-transport endpoint of one Object Address element. Other
+// transport types have no in-process delivery path.
+Result<EndpointId> EndpointOf(const ObjectAddressElement& element) {
+  if (element.type() != net::AddressType::kSim) {
+    return UnavailableError("no transport for address type");
+  }
+  return element.sim_endpoint();
+}
+}  // namespace
+
+Result<Binding> Resolver::consult_binding_agent(const Loid& target,
+                                                SimTime timeout_us) {
+  ++stats_.binding_agent_consults;
+  wire::GetBindingRequest req;
+  req.mode = wire::GetBindingMode::kByLoid;
+  req.loid = target;
+  LEGION_ASSIGN_OR_RETURN(
+      Buffer raw,
+      call_binding(handles_.default_binding_agent, methods::kGetBinding,
+                   req.to_buffer(), rt::EnvTriple::System(), timeout_us));
+  LEGION_ASSIGN_OR_RETURN(wire::BindingReply reply,
+                          wire::BindingReply::from_buffer(raw));
+  return reply.binding;
+}
+
+Result<Binding> Resolver::resolve(const Loid& target, SimTime timeout_us) {
+  if (!target.valid()) return InvalidArgumentError("nil LOID");
+  // Talking to one's own Binding Agent or to LegionClass needs no lookup:
+  // their bindings are part of our persistent state.
+  if (target == handles_.default_binding_agent.loid) {
+    return handles_.default_binding_agent;
+  }
+  if (target == handles_.legion_class.loid) return handles_.legion_class;
+
+  if (auto cached = cache_.get(target, messenger_.runtime().now())) {
+    return *cached;
+  }
+  LEGION_ASSIGN_OR_RETURN(Binding binding,
+                          consult_binding_agent(target, timeout_us));
+  cache_.put(binding);
+  return binding;
+}
+
+Result<Binding> Resolver::refresh(const Binding& stale, SimTime timeout_us) {
+  ++stats_.refreshes;
+  cache_.invalidate_exact(stale);
+  wire::GetBindingRequest req;
+  req.mode = wire::GetBindingMode::kRefresh;
+  req.loid = stale.loid;
+  req.stale = stale;
+  LEGION_ASSIGN_OR_RETURN(
+      Buffer raw,
+      call_binding(handles_.default_binding_agent, methods::kGetBinding,
+                   req.to_buffer(), rt::EnvTriple::System(), timeout_us));
+  LEGION_ASSIGN_OR_RETURN(wire::BindingReply reply,
+                          wire::BindingReply::from_buffer(raw));
+  cache_.put(reply.binding);
+  return reply.binding;
+}
+
+Result<Buffer> Resolver::call_binding(const Binding& binding,
+                                      std::string_view method,
+                                      const Buffer& args,
+                                      const rt::EnvTriple& env,
+                                      SimTime timeout_us) {
+  if (!binding.valid()) return InvalidArgumentError("invalid binding");
+  const std::vector<std::size_t> targets = binding.address.select_targets(rng_);
+
+  // Fan out per the address semantic (Section 4.3), then take the first
+  // successful reply; replicas are assumed interchangeable at this level.
+  std::vector<rt::Future<rt::ReplyMsg>> futures;
+  futures.reserve(targets.size());
+  Status last = UnavailableError("no reachable address element");
+  for (std::size_t index : targets) {
+    auto endpoint = EndpointOf(binding.address.elements()[index]);
+    if (!endpoint.ok()) {
+      last = endpoint.status();
+      continue;
+    }
+    futures.push_back(messenger_.invoke(*endpoint, method, args, env));
+  }
+  if (futures.empty()) return last;
+
+  Result<Buffer> best = last;
+  bool any_ok = false;
+  for (auto& future : futures) {
+    Result<Buffer> reply = messenger_.await(std::move(future), timeout_us);
+    if (reply.ok() && !any_ok) {
+      best = std::move(reply);
+      any_ok = true;
+    } else if (!reply.ok() && !any_ok) {
+      best = reply.status();
+    }
+  }
+  return best;
+}
+
+Result<Buffer> Resolver::call(const Loid& target, std::string_view method,
+                              Buffer args, const rt::EnvTriple& env,
+                              SimTime timeout_us) {
+  Status last = InternalError("unreached");
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Result<Binding> binding =
+        attempt == 0 ? resolve(target, timeout_us)
+                     : Result<Binding>(NotFoundError("refresh path"));
+    if (attempt > 0) {
+      // We arrive here only after a failed send: last_binding_ holds the
+      // stale one and refresh() consults the Binding Agent's refresh path.
+      binding = refresh(last_stale_, timeout_us);
+    }
+    if (!binding.ok()) return binding.status();
+
+    Result<Buffer> reply =
+        call_binding(*binding, method, args, env, timeout_us);
+    if (reply.ok()) return reply;
+
+    last = reply.status();
+    const StatusCode code = last.code();
+    // Section 4.1.4: a send that bounces (or silently times out) marks the
+    // binding stale; refresh and retry. Application-level errors (NotFound,
+    // PermissionDenied, ...) are returned as-is.
+    if (code != StatusCode::kStaleBinding && code != StatusCode::kTimeout &&
+        code != StatusCode::kUnavailable) {
+      return last;
+    }
+    ++stats_.stale_retries;
+    last_stale_ = *binding;
+    cache_.invalidate_exact(*binding);
+  }
+  return last;
+}
+
+}  // namespace legion::core

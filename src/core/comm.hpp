@@ -1,0 +1,134 @@
+// The Legion-aware communication layer (paper Sections 3.3, 4.1, 4.1.4).
+//
+// Every Legion object (and every external driver) owns a Resolver: a local
+// binding cache plus the Object Address of its Binding Agent ("The
+// persistent state of each Legion object contains the Object Address of its
+// Binding Agent", Section 3.6). Invocations by LOID resolve locally first,
+// consult the Binding Agent on a miss, and — when a send bounces or times
+// out — invalidate, request a *refresh* via the GetBinding(binding)
+// overload, and retry: the stale-binding mechanism of Section 4.1.4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "base/loid.hpp"
+#include "base/rng.hpp"
+#include "core/binding.hpp"
+#include "core/binding_cache.hpp"
+#include "core/well_known.hpp"
+#include "rt/messenger.hpp"
+
+namespace legion::core {
+
+// Well-known bindings every participant receives at startup (the bootstrap
+// residue of Section 4.2.1).
+struct SystemHandles {
+  Binding legion_class;          // the single logical LegionClass object
+  Binding default_binding_agent; // this participant's Binding Agent
+
+  void Serialize(Writer& w) const {
+    legion_class.Serialize(w);
+    default_binding_agent.Serialize(w);
+  }
+  static SystemHandles Deserialize(Reader& r) {
+    SystemHandles h;
+    h.legion_class = Binding::Deserialize(r);
+    h.default_binding_agent = Binding::Deserialize(r);
+    return h;
+  }
+};
+
+struct ResolverStats {
+  std::uint64_t binding_agent_consults = 0;
+  std::uint64_t stale_retries = 0;
+  std::uint64_t refreshes = 0;
+};
+
+class Resolver {
+ public:
+  Resolver(rt::Messenger& messenger, SystemHandles handles,
+           std::size_t cache_capacity, Rng rng)
+      : messenger_(messenger),
+        handles_(std::move(handles)),
+        cache_(cache_capacity),
+        rng_(rng) {}
+
+  // LOID -> binding: local cache, then the Binding Agent (Section 4.1.2).
+  Result<Binding> resolve(const Loid& target, SimTime timeout_us);
+
+  // Explicitly refresh a binding that "doesn't work" (Section 3.6's
+  // GetBinding(binding) overload).
+  Result<Binding> refresh(const Binding& stale, SimTime timeout_us);
+
+  // Invoke `method` on the object a binding points at, honouring the Object
+  // Address semantics (replication, Section 4.3): sends to the selected
+  // element(s) and returns the first successful reply.
+  Result<Buffer> call_binding(const Binding& binding, std::string_view method,
+                              const Buffer& args, const rt::EnvTriple& env,
+                              SimTime timeout_us);
+
+  // Full LOID invocation with the Section 4.1.4 stale-binding loop:
+  // resolve -> call -> on failure invalidate + refresh -> retry.
+  Result<Buffer> call(const Loid& target, std::string_view method,
+                      Buffer args, const rt::EnvTriple& env,
+                      SimTime timeout_us);
+
+  // Seeds or drops cache entries (AddBinding / InvalidateBinding analogues
+  // for the *local* cache).
+  void add_binding(Binding binding) { cache_.put(std::move(binding)); }
+  void invalidate(const Loid& loid) { cache_.invalidate(loid); }
+
+  [[nodiscard]] BindingCache& cache() { return cache_; }
+  [[nodiscard]] const ResolverStats& stats() const { return stats_; }
+  void reset_stats() {
+    stats_ = ResolverStats{};
+    cache_.reset_stats();
+  }
+
+  [[nodiscard]] rt::Messenger& messenger() { return messenger_; }
+  [[nodiscard]] const SystemHandles& handles() const { return handles_; }
+  // Bootstrap only: core objects are constructed before their Binding Agent
+  // exists, so the handles are completed afterwards (Section 4.2.1).
+  void set_handles(SystemHandles handles) { handles_ = std::move(handles); }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  static constexpr int kMaxAttempts = 3;
+
+ private:
+  Result<Binding> consult_binding_agent(const Loid& target,
+                                        SimTime timeout_us);
+
+  rt::Messenger& messenger_;
+  SystemHandles handles_;
+  BindingCache cache_;
+  Rng rng_;
+  ResolverStats stats_;
+  Binding last_stale_;  // the binding whose send failed, awaiting refresh
+};
+
+// A client-side handle to one Legion object: the LOID plus the comm layer
+// used to reach it. Copyable and cheap; all heavy state lives in the
+// Resolver.
+class ObjectRef {
+ public:
+  ObjectRef(Resolver& resolver, Loid target, rt::EnvTriple env)
+      : resolver_(&resolver), target_(std::move(target)), env_(std::move(env)) {}
+
+  [[nodiscard]] const Loid& loid() const { return target_; }
+
+  Result<Buffer> call(std::string_view method, Buffer args,
+                      SimTime timeout_us = rt::Messenger::kDefaultTimeoutUs) {
+    return resolver_->call(target_, method, std::move(args), env_, timeout_us);
+  }
+  Result<Buffer> call(std::string_view method) {
+    return call(method, Buffer{});
+  }
+
+ private:
+  Resolver* resolver_;
+  Loid target_;
+  rt::EnvTriple env_;
+};
+
+}  // namespace legion::core

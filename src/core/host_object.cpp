@@ -1,0 +1,160 @@
+#include "core/host_object.hpp"
+
+#include <utility>
+
+#include "core/binding_agent.hpp"
+#include "core/class_object.hpp"
+#include "core/legion_class.hpp"
+#include "core/well_known.hpp"
+#include "persist/opr.hpp"
+
+namespace legion::core {
+
+namespace {
+// Endpoint label by implementation kind: Section 5's experiments measure
+// per-component-kind load.
+std::string LabelFor(const std::string& impl_spec) {
+  const auto parts = ImplementationRegistry::SplitSpec(impl_spec);
+  if (parts.empty()) return "object";
+  const std::string& primary = parts.front();
+  if (primary == kClassObjectImpl || primary == kLegionClassImpl) {
+    return "class";
+  }
+  if (primary == kBindingAgentImpl) return "binding-agent";
+  return "object";
+}
+}  // namespace
+
+ActiveObject* HostObjectImpl::find_object(const Loid& loid) {
+  auto it = objects_.find(loid);
+  return it == objects_.end() ? nullptr : it->second.get();
+}
+
+bool HostObjectImpl::accepting() const {
+  if (max_objects_ != 0 && objects_.size() >= max_objects_) return false;
+  if (max_memory_ != 0 && memory_used_ >= max_memory_) return false;
+  return true;
+}
+
+wire::HostStateReply HostObjectImpl::state_reply() const {
+  const net::HostInfo* info =
+      services_.runtime->topology().host(services_.host);
+  const double capacity = info != nullptr ? info->capacity : 1.0;
+  wire::HostStateReply reply;
+  reply.active_objects = static_cast<std::uint32_t>(objects_.size());
+  reply.capacity = capacity;
+  reply.cpu_load =
+      capacity > 0.0 ? static_cast<double>(objects_.size()) / capacity : 1e9;
+  reply.accepting = accepting();
+  return reply;
+}
+
+Result<Binding> HostObjectImpl::StartObject(ObjectContext& ctx,
+                                            const Buffer& opr_bytes) {
+  if (!accepting()) {
+    ++stats_.refused;
+    return ResourceExhaustedError("host at its configured limits");
+  }
+  LEGION_ASSIGN_OR_RETURN(persist::Opr opr, persist::Opr::from_bytes(opr_bytes));
+  if (objects_.contains(opr.loid)) {
+    return AlreadyExistsError(opr.loid.to_string() + " already running here");
+  }
+  LEGION_ASSIGN_OR_RETURN(auto impls,
+                          services_.registry->instantiate(opr.implementation));
+
+  ActiveObjectConfig config;
+  config.label = LabelFor(opr.implementation);
+  config.cache_capacity = services_.object_cache_capacity;
+  config.binding_ttl_us = services_.binding_ttl_us;
+  auto shell = std::make_unique<ActiveObject>(
+      *services_.runtime, services_.host, opr.loid, std::move(impls),
+      services_.handles, std::move(config));
+  LEGION_RETURN_IF_ERROR(shell->restore(opr.state));
+
+  Binding binding = shell->binding();
+  memory_used_ += opr.state.size();
+  objects_.emplace(opr.loid, std::move(shell));
+  ++stats_.started;
+  (void)ctx;
+  return binding;
+}
+
+Result<Buffer> HostObjectImpl::StopObject(ObjectContext& ctx, const Loid& loid,
+                                          bool discard_state) {
+  auto it = objects_.find(loid);
+  if (it == objects_.end()) {
+    return NotFoundError(loid.to_string() + " not running on this host");
+  }
+  Buffer opr_bytes;
+  if (!discard_state) {
+    // Fetch the state over the object's own endpoint so the capture
+    // serializes with whatever it is currently doing.
+    LEGION_ASSIGN_OR_RETURN(
+        Buffer state,
+        ctx.shell.resolver().call_binding(
+            it->second->binding(), methods::kSaveState, Buffer{},
+            ctx.outgoing_env(), rt::Messenger::kDefaultTimeoutUs));
+    persist::Opr opr;
+    opr.loid = loid;
+    opr.implementation = it->second->impl_spec();
+    opr.state = std::move(state);
+    opr_bytes = opr.to_bytes();
+  }
+  // Destroying the shell closes the endpoint: the "process" is reaped.
+  objects_.erase(it);
+  ++stats_.stopped;
+  return opr_bytes;
+}
+
+void HostObjectImpl::RegisterMethods(MethodTable& table) {
+  table.add(methods::kStartObject,
+            [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::StartObjectRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad StartObject");
+              LEGION_ASSIGN_OR_RETURN(Binding binding,
+                                      StartObject(ctx, req.opr_bytes));
+              return wire::StartObjectReply{std::move(binding)}.to_buffer();
+            });
+  table.add(methods::kStopObject,
+            [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::StopObjectRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad StopObject");
+              LEGION_ASSIGN_OR_RETURN(Buffer opr_bytes,
+                                      StopObject(ctx, req.loid,
+                                                 req.discard_state));
+              return wire::StopObjectReply{std::move(opr_bytes)}.to_buffer();
+            });
+  table.add(methods::kGetState,
+            [this](ObjectContext&, Reader&) -> Result<Buffer> {
+              return state_reply().to_buffer();
+            });
+  table.add(methods::kGetExceptions,
+            [this](ObjectContext&, Reader&) -> Result<Buffer> {
+              // "Reporting object exceptions" (Section 2.3): per-object
+              // counts of method invocations that ended in an error.
+              Buffer out;
+              Writer w(out);
+              w.u32(static_cast<std::uint32_t>(objects_.size()));
+              for (const auto& [loid, shell] : objects_) {
+                loid.Serialize(w);
+                w.u64(shell->exceptions());
+              }
+              return out;
+            });
+  table.add(methods::kSetCPULoad,
+            [this](ObjectContext&, Reader& args) -> Result<Buffer> {
+              auto req = wire::SetLimitRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad SetCPULoad");
+              max_objects_ = req.limit;
+              return Buffer{};
+            });
+  table.add(methods::kSetMemoryUsage,
+            [this](ObjectContext&, Reader& args) -> Result<Buffer> {
+              auto req = wire::SetLimitRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad SetMemoryUsage");
+              max_memory_ = req.limit;
+              return Buffer{};
+            });
+}
+
+}  // namespace legion::core

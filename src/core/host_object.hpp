@@ -1,0 +1,83 @@
+// Host Objects, paper Sections 2.3 and 3.9.
+//
+// "A Host Object is a host's representative to Legion. It is responsible
+//  for executing objects on the host, reaping objects, and reporting object
+//  exceptions... the Host Object for a host is ultimately responsible for
+//  deciding which objects can run on the host it represents."
+//
+// The Host Object holds the ActiveObject shells of everything running on
+// its host (they execute "with the same privilege as the Host Object") and
+// enforces the SetCPULoad / SetMemoryUsage admission limits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/active_object.hpp"
+#include "core/implementation_registry.hpp"
+#include "core/object_impl.hpp"
+#include "core/wire.hpp"
+
+namespace legion::core {
+
+inline constexpr std::string_view kHostObjectImpl = "legion.host";
+
+// Direct references a Host Object legitimately holds: it is started "from
+// outside Legion" on its machine (Section 4.2.1) and is the mechanism by
+// which processes come to exist there.
+struct HostServices {
+  rt::Runtime* runtime = nullptr;
+  const ImplementationRegistry* registry = nullptr;
+  SystemHandles handles;             // given to every object it starts
+  HostId host;
+  std::size_t object_cache_capacity = 64;
+  SimTime binding_ttl_us = kSimTimeNever;
+};
+
+struct HostObjectStats {
+  std::uint64_t started = 0;
+  std::uint64_t stopped = 0;
+  std::uint64_t refused = 0;
+};
+
+class HostObjectImpl final : public ObjectImpl {
+ public:
+  explicit HostObjectImpl(HostServices services,
+                          security::PolicyPtr policy = nullptr)
+      : services_(std::move(services)), policy_(std::move(policy)) {}
+
+  [[nodiscard]] std::string implementation_name() const override {
+    return std::string(kHostObjectImpl);
+  }
+  void RegisterMethods(MethodTable& table) override;
+  [[nodiscard]] security::PolicyPtr policy() const override { return policy_; }
+
+  [[nodiscard]] std::size_t active_objects() const { return objects_.size(); }
+  [[nodiscard]] const HostObjectStats& host_stats() const { return stats_; }
+  [[nodiscard]] HostId host() const { return services_.host; }
+  // Direct shell access for same-process collaborators (tests).
+  [[nodiscard]] ActiveObject* find_object(const Loid& loid);
+
+  // Propagate refreshed handles to objects started later (bootstrap).
+  void set_handles(SystemHandles handles) {
+    services_.handles = std::move(handles);
+  }
+
+ private:
+  Result<Binding> StartObject(ObjectContext& ctx, const Buffer& opr_bytes);
+  Result<Buffer> StopObject(ObjectContext& ctx, const Loid& loid,
+                            bool discard_state);
+  [[nodiscard]] wire::HostStateReply state_reply() const;
+  [[nodiscard]] bool accepting() const;
+
+  HostServices services_;
+  security::PolicyPtr policy_;
+  std::unordered_map<Loid, std::unique_ptr<ActiveObject>> objects_;
+  std::uint64_t max_objects_ = 0;   // 0 = unlimited (SetCPULoad)
+  std::uint64_t max_memory_ = 0;    // 0 = unlimited (SetMemoryUsage, bytes)
+  std::uint64_t memory_used_ = 0;   // sum of restored state sizes
+  HostObjectStats stats_;
+};
+
+}  // namespace legion::core

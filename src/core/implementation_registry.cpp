@@ -1,0 +1,75 @@
+#include "core/implementation_registry.hpp"
+
+#include <algorithm>
+
+namespace legion::core {
+
+Status ImplementationRegistry::add(const std::string& name,
+                                   ImplFactory factory) {
+  if (name.empty() || name.find('+') != std::string::npos) {
+    return InvalidArgumentError("implementation name must be non-empty and "
+                                "'+'-free: " + name);
+  }
+  if (!factory) return InvalidArgumentError("null factory for " + name);
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    return AlreadyExistsError("implementation already registered: " + name);
+  }
+  return OkStatus();
+}
+
+bool ImplementationRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::vector<std::string> ImplementationRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;
+}
+
+Result<std::vector<std::unique_ptr<ObjectImpl>>>
+ImplementationRegistry::instantiate(const std::string& spec) const {
+  const std::vector<std::string> parts = SplitSpec(spec);
+  if (parts.empty()) return InvalidArgumentError("empty implementation spec");
+  std::vector<std::unique_ptr<ObjectImpl>> out;
+  out.reserve(parts.size());
+  for (const std::string& name : parts) {
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return NotFoundError("unknown implementation: " + name);
+    }
+    out.push_back(it->second());
+  }
+  return out;
+}
+
+std::string ImplementationRegistry::JoinSpec(
+    const std::vector<std::string>& names) {
+  std::string out;
+  std::vector<std::string> seen;
+  for (const std::string& name : names) {
+    if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
+    seen.push_back(name);
+    if (!out.empty()) out += '+';
+    out += name;
+  }
+  return out;
+}
+
+std::vector<std::string> ImplementationRegistry::SplitSpec(
+    const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t end = spec.find('+', start);
+    const std::string part =
+        spec.substr(start, end == std::string::npos ? end : end - start);
+    if (!part.empty()) out.push_back(part);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace legion::core

@@ -1,0 +1,48 @@
+// The implementation registry: Legion's stand-in for shipped executables.
+//
+// Paper Section 4.2 lets a class hand a Magistrate "an executable program,
+// the name of an executable, a list of steps to follow" to create an object.
+// In-process we cannot load native code at run time, so an OPR instead names
+// implementations registered here. A '+'-separated spec ("worker+loggable")
+// composes several implementations into one object — the mechanism behind
+// run-time multiple inheritance (Section 2.1.1): the first name is the
+// derived implementation, later names are bases, and method lookup takes the
+// first registration of each name.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+#include "core/object_impl.hpp"
+
+namespace legion::core {
+
+using ImplFactory = std::function<std::unique_ptr<ObjectImpl>()>;
+
+class ImplementationRegistry {
+ public:
+  Status add(const std::string& name, ImplFactory factory);
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  // Instantiates every implementation named in a '+'-separated spec, in
+  // spec order.
+  [[nodiscard]] Result<std::vector<std::unique_ptr<ObjectImpl>>> instantiate(
+      const std::string& spec) const;
+
+  // Joins implementation names into a spec, deduplicating while preserving
+  // first occurrence order.
+  [[nodiscard]] static std::string JoinSpec(
+      const std::vector<std::string>& names);
+  [[nodiscard]] static std::vector<std::string> SplitSpec(
+      const std::string& spec);
+
+ private:
+  std::map<std::string, ImplFactory> factories_;
+};
+
+}  // namespace legion::core

@@ -1,0 +1,87 @@
+#include "core/interface.hpp"
+
+#include <algorithm>
+
+#include "core/well_known.hpp"
+
+namespace legion::core {
+
+std::string MethodSignature::to_string() const {
+  std::string out = return_type + " " + name + "(";
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += parameters[i].type;
+    if (!parameters[i].name.empty()) out += " " + parameters[i].name;
+  }
+  out += ")";
+  return out;
+}
+
+bool InterfaceDescription::has_method(std::string_view method) const {
+  return find(method) != nullptr;
+}
+
+const MethodSignature* InterfaceDescription::find(
+    std::string_view method) const {
+  auto it = std::find_if(methods_.begin(), methods_.end(),
+                         [&](const MethodSignature& m) { return m.name == method; });
+  return it == methods_.end() ? nullptr : &*it;
+}
+
+void InterfaceDescription::add_method(MethodSignature signature) {
+  auto it = std::find_if(
+      methods_.begin(), methods_.end(),
+      [&](const MethodSignature& m) { return m.name == signature.name; });
+  if (it != methods_.end()) {
+    *it = std::move(signature);
+  } else {
+    methods_.push_back(std::move(signature));
+  }
+}
+
+void InterfaceDescription::merge(const InterfaceDescription& base) {
+  for (const MethodSignature& m : base.methods()) {
+    if (!has_method(m.name)) methods_.push_back(m);
+  }
+}
+
+std::string InterfaceDescription::to_string() const {
+  std::string out = "interface " + name_ + " {\n";
+  for (const auto& m : methods_) {
+    out += "  " + m.to_string() + ";\n";
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+MethodSignature Sig(std::string_view ret, std::string_view name,
+                    std::vector<Parameter> params = {}) {
+  return MethodSignature{std::string(ret), std::string(name),
+                         std::move(params)};
+}
+}  // namespace
+
+InterfaceDescription ObjectMandatoryInterface() {
+  InterfaceDescription d("LegionObject");
+  d.add_method(Sig("void", methods::kPing));
+  d.add_method(Sig("loid", methods::kIam));
+  d.add_method(Sig("status", methods::kMayI, {{"string", "method"}}));
+  d.add_method(Sig("interface", methods::kGetInterface));
+  d.add_method(Sig("bytes", methods::kSaveState));
+  return d;
+}
+
+InterfaceDescription ClassMandatoryInterface() {
+  InterfaceDescription d("LegionClass");
+  d.merge(ObjectMandatoryInterface());
+  d.set_name("LegionClass");
+  d.add_method(Sig("binding", methods::kCreate, {{"bytes", "init_state"}}));
+  d.add_method(Sig("loid", methods::kDerive, {{"string", "name"}}));
+  d.add_method(Sig("void", methods::kInheritFrom, {{"loid", "base"}}));
+  d.add_method(Sig("void", methods::kDelete, {{"loid", "target"}}));
+  d.add_method(Sig("binding", methods::kGetBinding, {{"loid", "target"}}));
+  return d;
+}
+
+}  // namespace legion::core

@@ -1,0 +1,109 @@
+// Interface descriptions.
+//
+// Paper Section 2: "Each method has a signature that describes the
+// parameters and return value, if any, of the method. The complete set of
+// method signatures for an object fully describes that object's interface,
+// which is inherited from its class. Legion class interfaces can be
+// described in an Interface Description Language."
+//
+// legion::idl parses IDL text into these structures; InheritFrom() merges
+// them at run time (Section 2.1.1's inherits-from relation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/serialize.hpp"
+#include "base/status.hpp"
+
+namespace legion::core {
+
+struct Parameter {
+  std::string type;
+  std::string name;
+
+  void Serialize(Writer& w) const {
+    w.str(type);
+    w.str(name);
+  }
+  static Parameter Deserialize(Reader& r) {
+    Parameter p;
+    p.type = r.str();
+    p.name = r.str();
+    return p;
+  }
+  friend bool operator==(const Parameter&, const Parameter&) = default;
+};
+
+struct MethodSignature {
+  std::string return_type = "void";
+  std::string name;
+  std::vector<Parameter> parameters;
+
+  [[nodiscard]] std::string to_string() const;
+
+  void Serialize(Writer& w) const {
+    w.str(return_type);
+    w.str(name);
+    WriteVector(w, parameters);
+  }
+  static MethodSignature Deserialize(Reader& r) {
+    MethodSignature m;
+    m.return_type = r.str();
+    m.name = r.str();
+    m.parameters = ReadVector<Parameter>(r);
+    return m;
+  }
+  friend bool operator==(const MethodSignature&, const MethodSignature&) =
+      default;
+};
+
+class InterfaceDescription {
+ public:
+  InterfaceDescription() = default;
+  explicit InterfaceDescription(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] const std::vector<MethodSignature>& methods() const {
+    return methods_;
+  }
+  [[nodiscard]] bool has_method(std::string_view method) const;
+  [[nodiscard]] const MethodSignature* find(std::string_view method) const;
+
+  // Adds a signature; replaces any existing method of the same name
+  // (overriding during inheritance).
+  void add_method(MethodSignature signature);
+
+  // Merges another interface in (InheritFrom semantics): methods already
+  // present locally win, inherited ones are appended.
+  void merge(const InterfaceDescription& base);
+
+  [[nodiscard]] std::string to_string() const;
+
+  void Serialize(Writer& w) const {
+    w.str(name_);
+    WriteVector(w, methods_);
+  }
+  static InterfaceDescription Deserialize(Reader& r) {
+    InterfaceDescription d;
+    d.name_ = r.str();
+    d.methods_ = ReadVector<MethodSignature>(r);
+    return d;
+  }
+
+  friend bool operator==(const InterfaceDescription&,
+                         const InterfaceDescription&) = default;
+
+ private:
+  std::string name_;
+  std::vector<MethodSignature> methods_;
+};
+
+// The object-mandatory interface every Legion object exports (Section 2.1).
+[[nodiscard]] InterfaceDescription ObjectMandatoryInterface();
+// The class-mandatory additions exported by class objects (Section 3.7).
+[[nodiscard]] InterfaceDescription ClassMandatoryInterface();
+
+}  // namespace legion::core

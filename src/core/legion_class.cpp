@@ -1,0 +1,138 @@
+#include "core/legion_class.hpp"
+
+#include "core/well_known.hpp"
+
+namespace legion::core {
+
+namespace {
+ClassDefinition MetaclassDefinition() {
+  ClassDefinition def;
+  def.class_id = kLegionClassClassId;
+  def.name = "LegionClass";
+  // New classes are minted by Derive(), not by instantiating LegionClass.
+  def.flags = wire::kClassFlagAbstract;
+  def.interface = ClassMandatoryInterface();
+  def.superclass = LegionObjectLoid();  // "LegionClass is derived from
+                                        //  LegionObject" (Section 2.1.3)
+  return def;
+}
+}  // namespace
+
+LegionClassImpl::LegionClassImpl() : ClassObjectImpl(MetaclassDefinition()) {}
+LegionClassImpl::LegionClassImpl(ClassDefinition def)
+    : ClassObjectImpl(std::move(def)) {}
+
+void LegionClassImpl::SaveState(Writer& w) const {
+  ClassObjectImpl::SaveState(w);
+  w.u64(next_class_id_);
+  w.u32(static_cast<std::uint32_t>(pairs_.size()));
+  for (const auto& [id, creator] : pairs_) {
+    w.u64(id);
+    creator.Serialize(w);
+  }
+  w.u32(static_cast<std::uint32_t>(bindings_.size()));
+  for (const auto& [id, binding] : bindings_) {
+    w.u64(id);
+    binding.Serialize(w);
+  }
+}
+
+Status LegionClassImpl::RestoreState(Reader& r) {
+  if (r.exhausted()) return OkStatus();  // fresh bootstrap instance
+  LEGION_RETURN_IF_ERROR(ClassObjectImpl::RestoreState(r));
+  next_class_id_ = r.u64();
+  const std::uint32_t np = r.u32();
+  for (std::uint32_t i = 0; i < np && r.ok(); ++i) {
+    const std::uint64_t id = r.u64();
+    pairs_[id] = Loid::Deserialize(r);
+  }
+  const std::uint32_t nb = r.u32();
+  for (std::uint32_t i = 0; i < nb && r.ok(); ++i) {
+    const std::uint64_t id = r.u64();
+    bindings_[id] = Binding::Deserialize(r);
+  }
+  return r.ok() ? OkStatus() : InvalidArgumentError("bad LegionClass state");
+}
+
+void LegionClassImpl::register_class_binding(std::uint64_t class_id,
+                                             Binding binding) {
+  register_component(binding.loid, binding);
+  bindings_[class_id] = std::move(binding);
+}
+
+void LegionClassImpl::RegisterMethods(MethodTable& table) {
+  // Registered *before* the base set: MethodTable is first-wins, and these
+  // override the inherited row-update behaviour with responsibility-pair
+  // forwarding (magistrates report class-object moves to LegionClass, which
+  // relays to the class's creator — the holder of the table row).
+  for (std::string_view method :
+       {methods::kReportMove, std::string_view("ReportCopy")}) {
+    table.add(method, [this, method](ObjectContext& ctx,
+                                     Reader& args) -> Result<Buffer> {
+      auto req = wire::ReportMoveRequest::Deserialize(args);
+      if (!args.ok()) return InvalidArgumentError("bad report args");
+      if (TableRow* row = this->table().find(req.object)) {
+        row->current_magistrates = {req.new_magistrate};
+        row->address = ObjectAddress{};
+        return Buffer{};
+      }
+      if (auto it = pairs_.find(req.object.class_id());
+          it != pairs_.end() && !(it->second == ctx.shell.self())) {
+        return ctx.ref(it->second).call(method, req.to_buffer());
+      }
+      return Buffer{};  // unknown object: reports are best-effort
+    });
+  }
+
+  ClassObjectImpl::RegisterMethods(table);
+
+  table.add(methods::kAssignClassId,
+            [this](ObjectContext&, Reader& args) -> Result<Buffer> {
+              auto req = wire::AssignClassIdRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad AssignClassId");
+              if (!req.creator.names_class_object()) {
+                return InvalidArgumentError(
+                    "class ids are assigned to creating class objects only");
+              }
+              const std::uint64_t id = next_class_id_++;
+              pairs_[id] = req.creator;
+              return wire::AssignClassIdReply{id}.to_buffer();
+            });
+
+  table.add(methods::kLocateClass,
+            [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::LoidRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad LocateClass");
+              const std::uint64_t id = req.loid.class_id();
+
+              wire::LocateClassReply reply;
+              if (auto it = bindings_.find(id); it != bindings_.end()) {
+                // "LegionClass simply hands out the appropriate binding
+                //  which, as a class object, it is responsible for
+                //  maintaining" (Section 4.1.3).
+                reply.kind = wire::LocateClassReply::Kind::kBinding;
+                reply.binding = it->second;
+                return reply.to_buffer();
+              }
+              if (auto it = pairs_.find(id); it != pairs_.end()) {
+                // "LegionClass can point them toward C."
+                reply.kind = wire::LocateClassReply::Kind::kDelegate;
+                reply.creator = it->second;
+                return reply.to_buffer();
+              }
+              (void)ctx;
+              return NotFoundError("unknown class id " + std::to_string(id));
+            });
+
+  table.add(methods::kRegisterClassBinding,
+            [this](ObjectContext&, Reader& args) -> Result<Buffer> {
+              auto req = wire::NotifyStartedRequest::Deserialize(args);
+              if (!args.ok()) {
+                return InvalidArgumentError("bad RegisterClassBinding");
+              }
+              register_class_binding(req.loid.class_id(), req.binding);
+              return Buffer{};
+            });
+}
+
+}  // namespace legion::core

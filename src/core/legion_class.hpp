@@ -1,0 +1,52 @@
+// LegionClass: the metaclass and class-identifier authority.
+//
+// Paper Section 4.1.3: "LegionClass can be the authority for locating class
+// objects. LegionClass does not directly maintain the bindings; instead, it
+// delegates that responsibility to other class objects. To do so,
+// LegionClass maintains a mapping of LOID pairs. The existence of pair
+// <X,Y> indicates that X is responsible for locating Y."
+//
+// It is itself a class object (classes are objects), so it inherits the full
+// class-mandatory behaviour and adds AssignClassId / LocateClass /
+// RegisterClassBinding.
+#pragma once
+
+#include <map>
+
+#include "core/class_object.hpp"
+
+namespace legion::core {
+
+inline constexpr std::string_view kLegionClassImpl = "legion.metaclass";
+
+class LegionClassImpl final : public ClassObjectImpl {
+ public:
+  LegionClassImpl();
+  explicit LegionClassImpl(ClassDefinition def);
+
+  [[nodiscard]] std::string implementation_name() const override {
+    return std::string(kLegionClassImpl);
+  }
+  void RegisterMethods(MethodTable& table) override;
+  void SaveState(Writer& w) const override;
+  Status RestoreState(Reader& r) override;
+
+  // Bootstrap: record a core class whose binding LegionClass itself
+  // maintains ("started exactly once — when the Legion system comes alive").
+  void register_class_binding(std::uint64_t class_id, Binding binding);
+
+  [[nodiscard]] std::uint64_t next_class_id() const { return next_class_id_; }
+  [[nodiscard]] const std::map<std::uint64_t, Loid>& responsibility_pairs()
+      const {
+    return pairs_;
+  }
+
+ private:
+  std::uint64_t next_class_id_ = kFirstUserClassId;
+  // <creator, created>: keyed by the created class id.
+  std::map<std::uint64_t, Loid> pairs_;
+  // Classes whose bindings LegionClass maintains directly (the core set).
+  std::map<std::uint64_t, Binding> bindings_;
+};
+
+}  // namespace legion::core

@@ -1,0 +1,125 @@
+// The class object's logical table, paper Section 3.7 / Figure 16.
+//
+// One row per object the class created (instance or subclass), with the
+// paper's five fields: LOID, Object Address (NIL when Inert or unknown),
+// Current Magistrate List, Scheduling Agent, and Candidate Magistrate List.
+// Registered rows additionally cover bootstrap components (host objects,
+// magistrates, binding agents) that "contact their class" on startup
+// (Section 4.2.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/loid.hpp"
+#include "core/object_address.hpp"
+
+namespace legion::core {
+
+enum class RowKind : std::uint8_t {
+  kInstance = 0,   // created via Create()
+  kSubclass = 1,   // created via Derive()
+  kRegistered = 2, // bootstrap component that registered itself
+};
+
+// Candidate Magistrate List: "this field could be implemented as a simple
+// list, but more likely it will need to encapsulate more sophisticated
+// information, such as 'no restriction'".
+struct CandidateMagistrates {
+  enum class Mode : std::uint8_t { kNoRestriction = 0, kExplicit = 1 };
+  Mode mode = Mode::kNoRestriction;
+  std::vector<Loid> magistrates;
+
+  [[nodiscard]] bool permits(const Loid& magistrate) const {
+    if (mode == Mode::kNoRestriction) return true;
+    for (const Loid& m : magistrates) {
+      if (m == magistrate) return true;
+    }
+    return false;
+  }
+
+  void Serialize(Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(mode));
+    WriteVector(w, magistrates);
+  }
+  static CandidateMagistrates Deserialize(Reader& r) {
+    CandidateMagistrates c;
+    c.mode = static_cast<Mode>(r.u8());
+    c.magistrates = ReadVector<Loid>(r);
+    return c;
+  }
+};
+
+struct TableRow {
+  Loid loid;
+  RowKind kind = RowKind::kInstance;
+  ObjectAddress address;                 // invalid == the paper's NIL
+  std::vector<Loid> current_magistrates; // who holds / can produce the OPR
+  Loid scheduling_agent;
+  CandidateMagistrates candidates;
+
+  void Serialize(Writer& w) const {
+    loid.Serialize(w);
+    w.u8(static_cast<std::uint8_t>(kind));
+    address.Serialize(w);
+    WriteVector(w, current_magistrates);
+    scheduling_agent.Serialize(w);
+    candidates.Serialize(w);
+  }
+  static TableRow Deserialize(Reader& r) {
+    TableRow row;
+    row.loid = Loid::Deserialize(r);
+    row.kind = static_cast<RowKind>(r.u8());
+    row.address = ObjectAddress::Deserialize(r);
+    row.current_magistrates = ReadVector<Loid>(r);
+    row.scheduling_agent = Loid::Deserialize(r);
+    row.candidates = CandidateMagistrates::Deserialize(r);
+    return row;
+  }
+};
+
+class LogicalTable {
+ public:
+  void upsert(TableRow row) { rows_[row.loid] = std::move(row); }
+  bool erase(const Loid& loid) { return rows_.erase(loid) > 0; }
+
+  [[nodiscard]] TableRow* find(const Loid& loid) {
+    auto it = rows_.find(loid);
+    return it == rows_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const TableRow* find(const Loid& loid) const {
+    auto it = rows_.find(loid);
+    return it == rows_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  [[nodiscard]] std::vector<Loid> loids(
+      std::optional<RowKind> kind = std::nullopt) const {
+    std::vector<Loid> out;
+    for (const auto& [loid, row] : rows_) {
+      if (!kind || row.kind == *kind) out.push_back(loid);
+    }
+    return out;
+  }
+
+  void Serialize(Writer& w) const {
+    w.u32(static_cast<std::uint32_t>(rows_.size()));
+    for (const auto& [_, row] : rows_) row.Serialize(w);
+  }
+  static LogicalTable Deserialize(Reader& r) {
+    LogicalTable t;
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      t.upsert(TableRow::Deserialize(r));
+    }
+    return t;
+  }
+
+ private:
+  std::unordered_map<Loid, TableRow> rows_;
+};
+
+}  // namespace legion::core

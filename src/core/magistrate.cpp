@@ -1,0 +1,547 @@
+#include "core/magistrate.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/active_object.hpp"
+#include "core/well_known.hpp"
+#include "persist/opr.hpp"
+
+namespace legion::core {
+
+MagistrateImpl::MagistrateImpl(MagistrateConfig config)
+    : config_(std::move(config)),
+      placement_(sched::MakePolicy(config_.placement_policy)) {
+  if (!placement_) placement_ = sched::MakePolicy("round-robin");
+}
+
+namespace {
+// Defers to the magistrate's policy slot at call time, so set_policy takes
+// effect without rebuilding the shell's composed policy.
+class LivePolicy final : public security::SecurityPolicy {
+ public:
+  explicit LivePolicy(const security::PolicyPtr* slot) : slot_(slot) {}
+  [[nodiscard]] Status MayI(const std::string& method,
+                            const rt::EnvTriple& env) const override {
+    return *slot_ ? (*slot_)->MayI(method, env) : OkStatus();
+  }
+  [[nodiscard]] std::string name() const override { return "live"; }
+
+ private:
+  const security::PolicyPtr* slot_;
+};
+}  // namespace
+
+security::PolicyPtr MagistrateImpl::policy() const {
+  return std::make_shared<LivePolicy>(&config_.policy);
+}
+
+Result<sched::HostCandidate> MagistrateImpl::host_state(
+    ObjectContext& ctx, const Loid& host_object) {
+  auto it = host_states_.find(host_object);
+  if (it != host_states_.end() &&
+      ctx.shell.now() - it->second.fetched_at < config_.host_state_ttl_us) {
+    return it->second.candidate;
+  }
+  LEGION_ASSIGN_OR_RETURN(Buffer raw,
+                          ctx.ref(host_object).call(methods::kGetState, Buffer{}));
+  LEGION_ASSIGN_OR_RETURN(wire::HostStateReply reply,
+                          wire::HostStateReply::from_buffer(raw));
+  sched::HostCandidate candidate;
+  candidate.host_object = host_object;
+  candidate.cpu_load = reply.cpu_load;
+  candidate.active_objects = reply.active_objects;
+  candidate.capacity = reply.capacity;
+  candidate.accepting = reply.accepting;
+  host_states_[host_object] = CachedHostState{candidate, ctx.shell.now()};
+  return candidate;
+}
+
+Result<Loid> MagistrateImpl::pick_host(ObjectContext& ctx,
+                                       const Loid& suggested_host,
+                                       const std::vector<Loid>& exclude) {
+  if (hosts_.empty()) {
+    return FailedPreconditionError("jurisdiction has no hosts");
+  }
+  auto excluded = [&](const Loid& h) {
+    for (const Loid& e : exclude) {
+      if (e == h) return true;
+    }
+    return false;
+  };
+  if (suggested_host.valid()) {
+    // The Activate(LOID, LOID) overload: "allow a Scheduling Agent (or any
+    // other Legion object) to provide suggestions about where to run the
+    // object" — honoured when the host belongs to this jurisdiction.
+    for (const Loid& h : hosts_) {
+      if (h == suggested_host && !excluded(h)) return suggested_host;
+    }
+    return FailedPreconditionError("suggested host not in this jurisdiction");
+  }
+  std::vector<sched::HostCandidate> candidates;
+  candidates.reserve(hosts_.size());
+  for (const Loid& h : hosts_) {
+    if (excluded(h)) continue;
+    auto state = host_state(ctx, h);
+    if (state.ok()) candidates.push_back(*state);
+  }
+  const std::size_t pick = placement_->pick(candidates, ctx.shell.rng());
+  if (pick >= candidates.size()) {
+    return ResourceExhaustedError("no accepting host in jurisdiction");
+  }
+  return candidates[pick].host_object;
+}
+
+Result<Binding> MagistrateImpl::Activate(ObjectContext& ctx, const Loid& loid,
+                                         const Loid& suggested_host) {
+  if (auto it = active_.find(loid); it != active_.end()) {
+    // "causes it to become a running process ... if the object isn't
+    //  already Active."
+    return Binding{loid, it->second.address,
+                   config_.binding_ttl_us == kSimTimeNever
+                       ? kSimTimeNever
+                       : ctx.shell.now() + config_.binding_ttl_us};
+  }
+  auto inert_it = inert_.find(loid);
+  if (inert_it == inert_.end()) {
+    return NotFoundError("magistrate does not manage " + loid.to_string());
+  }
+  LEGION_ASSIGN_OR_RETURN(persist::Opr opr, vaults_.load(inert_it->second));
+
+  LEGION_ASSIGN_OR_RETURN(Loid host, pick_host(ctx, suggested_host));
+  wire::StartObjectRequest start{opr.to_bytes()};
+  LEGION_ASSIGN_OR_RETURN(
+      Buffer raw, ctx.ref(host).call(methods::kStartObject, start.to_buffer()));
+  LEGION_ASSIGN_OR_RETURN(wire::StartObjectReply reply,
+                          wire::StartObjectReply::from_buffer(raw));
+
+  ++stats_.activations;
+  host_states_.erase(host);  // its load just changed
+  active_[loid] = ActiveRecord{reply.binding.address, {host}, opr.implementation};
+  // The live process now owns the state; the on-disk OPR is obsolete.
+  (void)vaults_.remove(inert_it->second);
+  inert_.erase(inert_it);
+  return reply.binding;
+}
+
+Status MagistrateImpl::Deactivate(ObjectContext& ctx, const Loid& loid) {
+  auto it = active_.find(loid);
+  if (it == active_.end()) {
+    return inert_.contains(loid)
+               ? OkStatus()  // already Inert
+               : NotFoundError("magistrate does not manage " + loid.to_string());
+  }
+  // The first replica's state becomes the OPR; further replicas of a
+  // replicated object (Section 4.3) are assumed interchangeable and are
+  // simply reaped.
+  Buffer kept_opr;
+  for (std::size_t i = 0; i < it->second.host_objects.size(); ++i) {
+    const Loid& host = it->second.host_objects[i];
+    wire::StopObjectRequest stop{loid, /*discard_state=*/i != 0};
+    LEGION_ASSIGN_OR_RETURN(
+        Buffer raw, ctx.ref(host).call(methods::kStopObject, stop.to_buffer()));
+    if (i == 0) {
+      LEGION_ASSIGN_OR_RETURN(wire::StopObjectReply reply,
+                              wire::StopObjectReply::from_buffer(raw));
+      kept_opr = std::move(reply.opr_bytes);
+    }
+    host_states_.erase(host);
+  }
+  LEGION_ASSIGN_OR_RETURN(persist::Opr opr, persist::Opr::from_bytes(kept_opr));
+  LEGION_ASSIGN_OR_RETURN(persist::PersistentAddress addr, vaults_.store(opr));
+  ++stats_.deactivations;
+  inert_[loid] = addr;
+  active_.erase(it);
+  return OkStatus();
+}
+
+Status MagistrateImpl::Delete(ObjectContext& ctx, const Loid& loid) {
+  // "Both Active and Inert copies of the object are removed from the
+  //  system" (Section 3.8).
+  bool found = false;
+  if (auto it = active_.find(loid); it != active_.end()) {
+    for (const Loid& host : it->second.host_objects) {
+      wire::StopObjectRequest stop{loid, /*discard_state=*/true};
+      (void)ctx.ref(host).call(methods::kStopObject, stop.to_buffer());
+      host_states_.erase(host);
+    }
+    active_.erase(it);
+    found = true;
+  }
+  if (auto it = inert_.find(loid); it != inert_.end()) {
+    (void)vaults_.remove(it->second);
+    inert_.erase(it);
+    found = true;
+  }
+  if (!found) {
+    return NotFoundError("magistrate does not manage " + loid.to_string());
+  }
+  ++stats_.deletions;
+  return OkStatus();
+}
+
+Result<Buffer> MagistrateImpl::capture_opr(ObjectContext& ctx,
+                                           const Loid& loid) {
+  // Copy/Move "causes the Magistrate to deactivate the object, creating an
+  // Object Persistent Representation" (Section 3.8).
+  if (active_.contains(loid)) {
+    LEGION_RETURN_IF_ERROR(Deactivate(ctx, loid));
+  }
+  auto it = inert_.find(loid);
+  if (it == inert_.end()) {
+    return NotFoundError("magistrate does not manage " + loid.to_string());
+  }
+  LEGION_ASSIGN_OR_RETURN(persist::Opr opr, vaults_.load(it->second));
+  return opr.to_bytes();
+}
+
+void MagistrateImpl::notify_class(ObjectContext& ctx, std::string_view method,
+                                  const Loid& object,
+                                  const Loid& other_magistrate) {
+  // Best-effort: classes also learn lazily via GetBinding refreshes. For a
+  // migrated *class object* the responsible-class trick would name the
+  // object itself; route through LegionClass, which forwards to the
+  // creator holding the table row (Section 4.1.3).
+  const Loid target = object.names_class_object()
+                          ? ctx.shell.handles().legion_class.loid
+                          : object.responsible_class();
+  wire::ReportMoveRequest report{object, other_magistrate};
+  (void)ctx.ref(target).call(method, report.to_buffer());
+}
+
+Status MagistrateImpl::Copy(ObjectContext& ctx, const Loid& loid,
+                            const Loid& dest) {
+  LEGION_ASSIGN_OR_RETURN(Buffer opr_bytes, capture_opr(ctx, loid));
+  wire::ReceiveOprRequest req{std::move(opr_bytes)};
+  LEGION_ASSIGN_OR_RETURN(Buffer raw,
+                          ctx.ref(dest).call(methods::kReceiveOpr, req.to_buffer()));
+  (void)raw;
+  ++stats_.copies;
+  notify_class(ctx, "ReportCopy", loid, dest);
+  return OkStatus();
+}
+
+Status MagistrateImpl::Move(ObjectContext& ctx, const Loid& loid,
+                            const Loid& dest) {
+  // "Move() is equivalent to Copy() then Delete(). It serves to change the
+  //  Magistrate that manages a given object."
+  if (dest == ctx.shell.self()) {
+    return manages(loid)
+               ? OkStatus()  // already here
+               : NotFoundError("magistrate does not manage " + loid.to_string());
+  }
+  LEGION_ASSIGN_OR_RETURN(Buffer opr_bytes, capture_opr(ctx, loid));
+  wire::ReceiveOprRequest req{std::move(opr_bytes)};
+  LEGION_ASSIGN_OR_RETURN(Buffer raw,
+                          ctx.ref(dest).call(methods::kReceiveOpr, req.to_buffer()));
+  (void)raw;
+  if (auto it = inert_.find(loid); it != inert_.end()) {
+    (void)vaults_.remove(it->second);
+    inert_.erase(it);
+  }
+  ++stats_.moves;
+  notify_class(ctx, std::string(methods::kReportMove), loid, dest);
+  return OkStatus();
+}
+
+Result<std::uint32_t> MagistrateImpl::Split(ObjectContext& ctx,
+                                            const Loid& dest) {
+  if (dest == ctx.shell.self()) {
+    return InvalidArgumentError("cannot split a jurisdiction onto itself");
+  }
+  // Snapshot the managed set first: Move() mutates both maps.
+  std::vector<Loid> managed;
+  managed.reserve(active_.size() + inert_.size());
+  for (const auto& [loid, _] : active_) managed.push_back(loid);
+  for (const auto& [loid, _] : inert_) managed.push_back(loid);
+  std::sort(managed.begin(), managed.end());
+
+  std::uint32_t moved = 0;
+  for (std::size_t i = 0; i < managed.size(); ++i) {
+    if (i % 2 != 0) continue;  // keep half, hand off half
+    const Status st = Move(ctx, managed[i], dest);
+    if (st.ok()) ++moved;
+  }
+  return moved;
+}
+
+Result<Binding> MagistrateImpl::StoreNew(ObjectContext& ctx,
+                                         const wire::StoreNewRequest& req) {
+  LEGION_ASSIGN_OR_RETURN(persist::Opr opr,
+                          persist::Opr::from_bytes(req.opr_bytes));
+  if (active_.contains(opr.loid) || inert_.contains(opr.loid)) {
+    return AlreadyExistsError("already managing " + opr.loid.to_string());
+  }
+  LEGION_ASSIGN_OR_RETURN(persist::PersistentAddress addr, vaults_.store(opr));
+  inert_[opr.loid] = addr;
+  ++stats_.received;
+  return Activate(ctx, opr.loid, req.suggested_host);
+}
+
+Result<Binding> MagistrateImpl::StoreNewReplicated(
+    ObjectContext& ctx, const wire::StoreNewReplicatedRequest& req) {
+  LEGION_ASSIGN_OR_RETURN(persist::Opr opr,
+                          persist::Opr::from_bytes(req.opr_bytes));
+  if (active_.contains(opr.loid) || inert_.contains(opr.loid)) {
+    return AlreadyExistsError("already managing " + opr.loid.to_string());
+  }
+  if (req.replicas == 0) return InvalidArgumentError("zero replicas");
+  if (req.replicas > hosts_.size()) {
+    return ResourceExhaustedError(
+        "replication needs one distinct host per replica");
+  }
+
+  // "Replicating an object at the Legion level is a matter of creating an
+  //  Object Address with multiple physical addresses in its list, assigning
+  //  the address semantic appropriately, and binding the LOID of the object
+  //  to this Object Address" (Section 4.3).
+  std::vector<ObjectAddressElement> elements;
+  std::vector<Loid> used_hosts;
+  for (std::uint32_t i = 0; i < req.replicas; ++i) {
+    LEGION_ASSIGN_OR_RETURN(Loid host, pick_host(ctx, Loid{}, used_hosts));
+    wire::StartObjectRequest start{opr.to_bytes()};
+    LEGION_ASSIGN_OR_RETURN(
+        Buffer raw, ctx.ref(host).call(methods::kStartObject, start.to_buffer()));
+    LEGION_ASSIGN_OR_RETURN(wire::StartObjectReply reply,
+                            wire::StartObjectReply::from_buffer(raw));
+    for (const auto& element : reply.binding.address.elements()) {
+      elements.push_back(element);
+    }
+    used_hosts.push_back(host);
+    host_states_.erase(host);
+  }
+  ObjectAddress combined{std::move(elements),
+                         static_cast<AddressSemantic>(req.semantic), req.k};
+  active_[opr.loid] =
+      ActiveRecord{combined, std::move(used_hosts), opr.implementation};
+  ++stats_.activations;
+  ++stats_.received;
+  return Binding{opr.loid, std::move(combined),
+                 config_.binding_ttl_us == kSimTimeNever
+                     ? kSimTimeNever
+                     : ctx.shell.now() + config_.binding_ttl_us};
+}
+
+Result<Binding> MagistrateImpl::Heal(ObjectContext& ctx, const Loid& loid) {
+  auto it = active_.find(loid);
+  if (it == active_.end()) {
+    return NotFoundError("magistrate has no active record for " +
+                         loid.to_string());
+  }
+  ActiveRecord& record = it->second;
+  const auto& elements = record.address.elements();
+  if (elements.size() != record.host_objects.size()) {
+    return InternalError("replica bookkeeping out of sync");
+  }
+
+  // Probe every replica with a short Ping.
+  std::vector<bool> alive(elements.size(), false);
+  std::size_t survivor = elements.size();
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    Binding single{loid, ObjectAddress{elements[i]}, kSimTimeNever};
+    alive[i] = ctx.shell.resolver()
+                   .call_binding(single, methods::kPing, Buffer{},
+                                 ctx.outgoing_env(), 200'000)
+                   .ok();
+    if (alive[i] && survivor == elements.size()) survivor = i;
+  }
+  if (survivor == elements.size()) {
+    return UnavailableError("no live replica to heal from");
+  }
+
+  // Capture the survivor's state once; restart every dead replica from it.
+  Binding survivor_binding{loid, ObjectAddress{elements[survivor]},
+                           kSimTimeNever};
+  LEGION_ASSIGN_OR_RETURN(
+      Buffer state,
+      ctx.shell.resolver().call_binding(survivor_binding, methods::kSaveState,
+                                        Buffer{}, ctx.outgoing_env(),
+                                        rt::Messenger::kDefaultTimeoutUs));
+
+  std::vector<ObjectAddressElement> healed_elements;
+  std::vector<Loid> healed_hosts;
+  std::vector<Loid> occupied;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (alive[i]) occupied.push_back(record.host_objects[i]);
+  }
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (alive[i]) {
+      healed_elements.push_back(elements[i]);
+      healed_hosts.push_back(record.host_objects[i]);
+      continue;
+    }
+    persist::Opr opr;
+    opr.loid = loid;
+    opr.implementation = record.impl_spec;
+    opr.state = state;
+    LEGION_ASSIGN_OR_RETURN(Loid host, pick_host(ctx, Loid{}, occupied));
+    wire::StartObjectRequest start{opr.to_bytes()};
+    LEGION_ASSIGN_OR_RETURN(
+        Buffer raw, ctx.ref(host).call(methods::kStartObject, start.to_buffer()));
+    LEGION_ASSIGN_OR_RETURN(wire::StartObjectReply reply,
+                            wire::StartObjectReply::from_buffer(raw));
+    for (const auto& element : reply.binding.address.elements()) {
+      healed_elements.push_back(element);
+    }
+    healed_hosts.push_back(host);
+    occupied.push_back(host);
+    host_states_.erase(host);
+  }
+
+  record.address = ObjectAddress{std::move(healed_elements),
+                                 record.address.semantic(),
+                                 record.address.k()};
+  record.host_objects = std::move(healed_hosts);
+  return Binding{loid, record.address,
+                 config_.binding_ttl_us == kSimTimeNever
+                     ? kSimTimeNever
+                     : ctx.shell.now() + config_.binding_ttl_us};
+}
+
+Status MagistrateImpl::ReceiveOpr(ObjectContext& ctx, const Buffer& opr_bytes) {
+  (void)ctx;
+  LEGION_ASSIGN_OR_RETURN(persist::Opr opr, persist::Opr::from_bytes(opr_bytes));
+  LEGION_ASSIGN_OR_RETURN(persist::PersistentAddress addr, vaults_.store(opr));
+  inert_[opr.loid] = addr;
+  ++stats_.received;
+  return OkStatus();
+}
+
+Result<Buffer> MagistrateImpl::forward_to_subs(ObjectContext& ctx,
+                                               std::string_view method,
+                                               const Buffer& args) {
+  Status last = NotFoundError("no sub-magistrate manages the object");
+  for (const Loid& sub : sub_magistrates_) {
+    Result<Buffer> reply = ctx.ref(sub).call(method, args);
+    if (reply.ok()) return reply;
+    last = reply.status();
+    if (last.code() != StatusCode::kNotFound) break;  // real failure: stop
+  }
+  return last;
+}
+
+void MagistrateImpl::RegisterMethods(MethodTable& table) {
+  // The lifecycle verbs fall through to adopted sub-magistrates when this
+  // magistrate does not manage the object itself (Section 2.2 hierarchies).
+  auto with_fallthrough = [this](std::string_view method, auto local_op) {
+    return [this, method, local_op](ObjectContext& ctx,
+                                    Reader& args) -> Result<Buffer> {
+      Buffer raw = args.remainder();
+      Reader local(raw);
+      Result<Buffer> result = local_op(ctx, local);
+      if (!result.ok() && result.status().code() == StatusCode::kNotFound &&
+          !sub_magistrates_.empty()) {
+        return forward_to_subs(ctx, method, raw);
+      }
+      return result;
+    };
+  };
+
+  table.add(methods::kActivate,
+            with_fallthrough(methods::kActivate,
+                             [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::ActivateRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad Activate");
+              LEGION_ASSIGN_OR_RETURN(
+                  Binding binding, Activate(ctx, req.loid, req.suggested_host));
+              return wire::BindingReply{std::move(binding)}.to_buffer();
+            }));
+  table.add(methods::kDeactivate,
+            with_fallthrough(methods::kDeactivate,
+                             [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::LoidRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad Deactivate");
+              LEGION_RETURN_IF_ERROR(Deactivate(ctx, req.loid));
+              return Buffer{};
+            }));
+  table.add(methods::kDelete,
+            with_fallthrough(methods::kDelete,
+                             [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::LoidRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad Delete");
+              LEGION_RETURN_IF_ERROR(Delete(ctx, req.loid));
+              return Buffer{};
+            }));
+  table.add(methods::kCopy,
+            with_fallthrough(methods::kCopy,
+                             [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::TransferRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad Copy");
+              LEGION_RETURN_IF_ERROR(Copy(ctx, req.object, req.dest_magistrate));
+              return Buffer{};
+            }));
+  table.add(methods::kMove,
+            with_fallthrough(methods::kMove,
+                             [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::TransferRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad Move");
+              LEGION_RETURN_IF_ERROR(Move(ctx, req.object, req.dest_magistrate));
+              return Buffer{};
+            }));
+  table.add(methods::kStoreNew,
+            [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::StoreNewRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad StoreNew");
+              if (hosts_.empty() && !sub_magistrates_.empty()) {
+                // A pure "front" magistrate: delegate placement to a sub.
+                const Loid sub =
+                    sub_magistrates_[sub_rr_++ % sub_magistrates_.size()];
+                return ctx.ref(sub).call(methods::kStoreNew, req.to_buffer());
+              }
+              LEGION_ASSIGN_OR_RETURN(Binding binding, StoreNew(ctx, req));
+              return wire::BindingReply{std::move(binding)}.to_buffer();
+            });
+  table.add(methods::kHeal,
+            [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::LoidRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad Heal");
+              LEGION_ASSIGN_OR_RETURN(Binding binding, Heal(ctx, req.loid));
+              return wire::BindingReply{std::move(binding)}.to_buffer();
+            });
+  table.add(methods::kAdoptMagistrate,
+            [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::LoidRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad Adopt");
+              if (req.loid == ctx.shell.self()) {
+                return InvalidArgumentError("cannot adopt oneself");
+              }
+              adopt_magistrate(req.loid);
+              return Buffer{};
+            });
+  table.add(methods::kStoreNewReplicated,
+            [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::StoreNewReplicatedRequest::Deserialize(args);
+              if (!args.ok()) {
+                return InvalidArgumentError("bad StoreNewReplicated");
+              }
+              LEGION_ASSIGN_OR_RETURN(Binding binding,
+                                      StoreNewReplicated(ctx, req));
+              return wire::BindingReply{std::move(binding)}.to_buffer();
+            });
+  table.add(methods::kSplit,
+            [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::LoidRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad Split");
+              LEGION_ASSIGN_OR_RETURN(std::uint32_t moved,
+                                      Split(ctx, req.loid));
+              Buffer out;
+              Writer w(out);
+              w.u32(moved);
+              return out;
+            });
+  table.add(methods::kListHosts,
+            [this](ObjectContext&, Reader&) -> Result<Buffer> {
+              // Scheduling Agents enumerate the jurisdiction's Host Objects
+              // before making placement suggestions (Section 3.7 hook).
+              return wire::LoidListReply{hosts_}.to_buffer();
+            });
+  table.add(methods::kReceiveOpr,
+            [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::ReceiveOprRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad ReceiveOpr");
+              LEGION_RETURN_IF_ERROR(ReceiveOpr(ctx, req.opr_bytes));
+              return Buffer{};
+            });
+}
+
+}  // namespace legion::core

@@ -1,0 +1,148 @@
+// Magistrates and Jurisdictions, paper Sections 2.2 and 3.8.
+//
+// "A Magistrate is in charge of a Jurisdiction. Thus, a Magistrate manages a
+//  set of hosts and some aggregate persistent storage. The purpose of a
+//  Magistrate is to perform the activation, deactivation, and migration of
+//  the Legion objects under its control... member function calls on
+//  Magistrates should be thought of as requests rather than commands" —
+// hence the pluggable security policy that may refuse anything.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/binding.hpp"
+#include "core/object_impl.hpp"
+#include "core/wire.hpp"
+#include "persist/vault.hpp"
+#include "sched/placement.hpp"
+
+namespace legion::core {
+
+struct ObjectContext;
+
+inline constexpr std::string_view kMagistrateImpl = "legion.magistrate";
+
+struct MagistrateConfig {
+  JurisdictionId jurisdiction;
+  std::string placement_policy = "round-robin";  // the magistrate's default
+  security::PolicyPtr policy;                    // null = allow all requests
+  SimTime binding_ttl_us = kSimTimeNever;
+  SimTime host_state_ttl_us = 1'000'000;  // GetState cache (virtual 1s)
+};
+
+struct MagistrateStats {
+  std::uint64_t activations = 0;
+  std::uint64_t deactivations = 0;
+  std::uint64_t deletions = 0;
+  std::uint64_t copies = 0;
+  std::uint64_t moves = 0;
+  std::uint64_t received = 0;
+};
+
+class MagistrateImpl final : public ObjectImpl {
+ public:
+  explicit MagistrateImpl(MagistrateConfig config);
+
+  [[nodiscard]] std::string implementation_name() const override {
+    return std::string(kMagistrateImpl);
+  }
+  void RegisterMethods(MethodTable& table) override;
+  // Always consults the *current* policy so a resource provider can replace
+  // it at run time ("requests rather than commands", Section 3.8).
+  [[nodiscard]] security::PolicyPtr policy() const override;
+  void set_policy(security::PolicyPtr policy) {
+    config_.policy = std::move(policy);
+  }
+
+  // Jurisdiction assembly (bootstrap: magistrates start outside Legion).
+  DiskId add_vault(std::string name) { return vaults_.add_vault(std::move(name)); }
+  void add_host(const Loid& host_object) { hosts_.push_back(host_object); }
+  // Section 2.2: "Jurisdictions can be organized to form hierarchies" — a
+  // sub-magistrate's objects are reachable and manageable through this one;
+  // StoreNew on a host-less front magistrate delegates to its subs.
+  void adopt_magistrate(const Loid& magistrate) {
+    sub_magistrates_.push_back(magistrate);
+  }
+  [[nodiscard]] const std::vector<Loid>& sub_magistrates() const {
+    return sub_magistrates_;
+  }
+
+  [[nodiscard]] JurisdictionId jurisdiction() const {
+    return config_.jurisdiction;
+  }
+  [[nodiscard]] const std::vector<Loid>& hosts() const { return hosts_; }
+  [[nodiscard]] persist::VaultSet& vaults() { return vaults_; }
+  [[nodiscard]] const MagistrateStats& magistrate_stats() const {
+    return stats_;
+  }
+  [[nodiscard]] std::size_t active_count() const { return active_.size(); }
+  [[nodiscard]] std::size_t inert_count() const { return inert_.size(); }
+  [[nodiscard]] bool manages(const Loid& loid) const {
+    return active_.contains(loid) || inert_.contains(loid);
+  }
+
+ private:
+  struct ActiveRecord {
+    ObjectAddress address;               // all replica elements
+    std::vector<Loid> host_objects;      // one per replica process
+    std::string impl_spec;               // implementation behind the OPR
+  };
+  struct CachedHostState {
+    sched::HostCandidate candidate;
+    SimTime fetched_at = 0;
+  };
+
+  Result<Binding> Activate(ObjectContext& ctx, const Loid& loid,
+                           const Loid& suggested_host);
+  Status Deactivate(ObjectContext& ctx, const Loid& loid);
+  Status Delete(ObjectContext& ctx, const Loid& loid);
+  Status Copy(ObjectContext& ctx, const Loid& loid, const Loid& dest);
+  Status Move(ObjectContext& ctx, const Loid& loid, const Loid& dest);
+  // Section 2.2: "if a Jurisdiction's resources impose a substantial load
+  // on its Magistrate, the Jurisdiction can be split, and a new Magistrate
+  // can be created to take over responsibility for some of the resources
+  // and objects." Moves every other managed object to `dest`; returns how
+  // many moved.
+  Result<std::uint32_t> Split(ObjectContext& ctx, const Loid& dest);
+  Result<Binding> StoreNew(ObjectContext& ctx, const wire::StoreNewRequest& req);
+  // Section 4.3: start `replicas` processes of one object on distinct hosts
+  // and publish a multi-element Object Address with the given semantic.
+  Result<Binding> StoreNewReplicated(ObjectContext& ctx,
+                                     const wire::StoreNewReplicatedRequest& req);
+  // Application-adjustable fault tolerance (Section 1's objective): probe
+  // each replica of an Active object, restart the dead ones from a
+  // survivor's state, and return the repaired binding.
+  Result<Binding> Heal(ObjectContext& ctx, const Loid& loid);
+  Status ReceiveOpr(ObjectContext& ctx, const Buffer& opr_bytes);
+
+  Result<Loid> pick_host(ObjectContext& ctx, const Loid& suggested_host,
+                         const std::vector<Loid>& exclude = {});
+  Result<sched::HostCandidate> host_state(ObjectContext& ctx,
+                                          const Loid& host_object);
+  // Captures an OPR for `loid` (deactivating it if Active) and returns its
+  // bytes; used by Copy/Move.
+  Result<Buffer> capture_opr(ObjectContext& ctx, const Loid& loid);
+  void notify_class(ObjectContext& ctx, std::string_view method,
+                    const Loid& object, const Loid& other_magistrate);
+
+  // Forwards a request to the first sub-magistrate that accepts it; returns
+  // NotFound when none does (or none exist).
+  Result<Buffer> forward_to_subs(ObjectContext& ctx, std::string_view method,
+                                 const Buffer& args);
+
+  MagistrateConfig config_;
+  std::unique_ptr<sched::PlacementPolicy> placement_;
+  persist::VaultSet vaults_;
+  std::vector<Loid> hosts_;
+  std::vector<Loid> sub_magistrates_;
+  std::uint64_t sub_rr_ = 0;  // delegation cursor for StoreNew
+  std::unordered_map<Loid, persist::PersistentAddress> inert_;
+  std::unordered_map<Loid, ActiveRecord> active_;
+  std::unordered_map<Loid, CachedHostState> host_states_;
+  MagistrateStats stats_;
+};
+
+}  // namespace legion::core

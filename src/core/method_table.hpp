@@ -1,0 +1,52 @@
+// Server-side method dispatch for Legion objects.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/buffer.hpp"
+#include "base/serialize.hpp"
+#include "base/status.hpp"
+
+namespace legion::core {
+
+struct ObjectContext;
+
+// A bound member-function implementation: parses its arguments from the
+// reader and returns the serialized result (or a status error, which the
+// messenger marshals back to the caller).
+using MethodFn = std::function<Result<Buffer>(ObjectContext&, Reader&)>;
+
+class MethodTable {
+ public:
+  // First registration of a name wins: composition installs the derived
+  // implementation's methods before its bases', so overrides resolve the
+  // C++-like way.
+  void add(std::string_view name, MethodFn fn) {
+    methods_.try_emplace(std::string(name), std::move(fn));
+  }
+
+  [[nodiscard]] const MethodFn* find(std::string_view name) const {
+    auto it = methods_.find(std::string(name));
+    return it == methods_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return methods_.contains(std::string(name));
+  }
+
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(methods_.size());
+    for (const auto& [name, _] : methods_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  std::map<std::string, MethodFn, std::less<>> methods_;
+};
+
+}  // namespace legion::core

@@ -1,0 +1,78 @@
+#include "core/object_address.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace legion::core {
+
+std::string_view to_string(AddressSemantic s) {
+  switch (s) {
+    case AddressSemantic::kAll: return "all";
+    case AddressSemantic::kRandomOne: return "random-one";
+    case AddressSemantic::kKOfN: return "k-of-n";
+    case AddressSemantic::kFirst: return "first";
+  }
+  return "unknown";
+}
+
+std::vector<std::size_t> ObjectAddress::select_targets(Rng& rng) const {
+  std::vector<std::size_t> out;
+  if (elements_.empty()) return out;
+  switch (semantic_) {
+    case AddressSemantic::kFirst:
+      out.push_back(0);
+      break;
+    case AddressSemantic::kRandomOne:
+      out.push_back(static_cast<std::size_t>(rng.below(elements_.size())));
+      break;
+    case AddressSemantic::kAll:
+      out.resize(elements_.size());
+      std::iota(out.begin(), out.end(), 0);
+      break;
+    case AddressSemantic::kKOfN: {
+      // Partial Fisher-Yates over the index vector.
+      std::vector<std::size_t> idx(elements_.size());
+      std::iota(idx.begin(), idx.end(), 0);
+      const std::size_t take =
+          std::min<std::size_t>(std::max<std::uint32_t>(k_, 1), idx.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.below(idx.size() - i));
+        std::swap(idx[i], idx[j]);
+      }
+      out.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(take));
+      break;
+    }
+  }
+  return out;
+}
+
+std::string ObjectAddress::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += elements_[i].to_string();
+  }
+  out += "]/";
+  out += std::string(core::to_string(semantic_));
+  if (semantic_ == AddressSemantic::kKOfN) {
+    out += ":" + std::to_string(k_);
+  }
+  return out;
+}
+
+void ObjectAddress::Serialize(Writer& w) const {
+  WriteVector(w, elements_);
+  w.u8(static_cast<std::uint8_t>(semantic_));
+  w.u32(k_);
+}
+
+ObjectAddress ObjectAddress::Deserialize(Reader& r) {
+  ObjectAddress a;
+  a.elements_ = ReadVector<ObjectAddressElement>(r);
+  a.semantic_ = static_cast<AddressSemantic>(r.u8());
+  a.k_ = r.u32();
+  return a;
+}
+
+}  // namespace legion::core

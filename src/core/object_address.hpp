@@ -1,0 +1,74 @@
+// Object Addresses, paper Section 3.4 and replication per Section 4.3.
+//
+// "An Object Address is a list of Object Address Elements, along with
+//  semantic information that describes how to utilize the list. The address
+//  semantic is intended to encapsulate various forms of multicast
+//  communication. For example ... all addresses should be sent to, that one
+//  of the addresses should be chosen at random, that k of the N addresses in
+//  the list should be used."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/serialize.hpp"
+#include "net/address.hpp"
+
+namespace legion::core {
+
+// An Object Address Element is precisely the paper's 32-bit-type + 256-bit
+// physical address (net::NetworkAddress reproduces that layout).
+using ObjectAddressElement = net::NetworkAddress;
+
+enum class AddressSemantic : std::uint8_t {
+  kAll = 0,        // send to every element
+  kRandomOne = 1,  // choose one element at random
+  kKOfN = 2,       // send to k randomly chosen elements
+  kFirst = 3,      // always the first element (primary replica)
+};
+
+[[nodiscard]] std::string_view to_string(AddressSemantic s);
+
+class ObjectAddress {
+ public:
+  ObjectAddress() = default;
+  explicit ObjectAddress(ObjectAddressElement single)
+      : elements_{std::move(single)} {}
+  ObjectAddress(std::vector<ObjectAddressElement> elements,
+                AddressSemantic semantic, std::uint32_t k = 1)
+      : elements_(std::move(elements)), semantic_(semantic), k_(k) {}
+
+  [[nodiscard]] bool valid() const { return !elements_.empty(); }
+  [[nodiscard]] const std::vector<ObjectAddressElement>& elements() const {
+    return elements_;
+  }
+  [[nodiscard]] AddressSemantic semantic() const { return semantic_; }
+  [[nodiscard]] std::uint32_t k() const { return k_; }
+
+  void add_element(ObjectAddressElement element) {
+    elements_.push_back(std::move(element));
+  }
+
+  // Chooses the element indices one invocation should target, honouring the
+  // address semantic. Always returns at least one index when valid().
+  [[nodiscard]] std::vector<std::size_t> select_targets(Rng& rng) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  void Serialize(Writer& w) const;
+  static ObjectAddress Deserialize(Reader& r);
+
+  friend bool operator==(const ObjectAddress& a, const ObjectAddress& b) {
+    return a.elements_ == b.elements_ && a.semantic_ == b.semantic_ &&
+           a.k_ == b.k_;
+  }
+
+ private:
+  std::vector<ObjectAddressElement> elements_;
+  AddressSemantic semantic_ = AddressSemantic::kFirst;
+  std::uint32_t k_ = 1;
+};
+
+}  // namespace legion::core

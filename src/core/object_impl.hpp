@@ -1,0 +1,57 @@
+// The base class of every Legion object implementation.
+//
+// An ObjectImpl is the user-visible half of an active object: it registers
+// wire methods, saves and restores its state (the object-mandatory
+// SaveState()/RestoreState() of paper Section 2.1), and optionally supplies
+// a security policy consulted as MayI() before each dispatch. The runtime
+// half — endpoint, dispatch loop, binding cache — is the ActiveObject shell.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "base/buffer.hpp"
+#include "base/serialize.hpp"
+#include "base/status.hpp"
+#include "core/interface.hpp"
+#include "core/method_table.hpp"
+#include "security/policy.hpp"
+
+namespace legion::core {
+
+class ShellServices;
+
+class ObjectImpl {
+ public:
+  virtual ~ObjectImpl() = default;
+
+  // The registry key this implementation was instantiated under; stands in
+  // for the executable name carried by an OPR (Section 3.1.1).
+  [[nodiscard]] virtual std::string implementation_name() const = 0;
+
+  // Installs this implementation's wire methods.
+  virtual void RegisterMethods(MethodTable& table) = 0;
+
+  // Object-mandatory state capture (Section 2.1). Defaults model stateless
+  // objects whose OPR is "an executable file" only.
+  virtual void SaveState(Writer& /*w*/) const {}
+  virtual Status RestoreState(Reader& /*r*/) { return OkStatus(); }
+
+  // The interface this implementation contributes; merged across composed
+  // implementations and with the object-mandatory set by the shell.
+  [[nodiscard]] virtual InterfaceDescription interface() const {
+    return InterfaceDescription{implementation_name()};
+  }
+
+  // The object's MayI() policy; null means "default to empty for the case
+  // of no security" (Section 2.4) — i.e. allow.
+  [[nodiscard]] virtual security::PolicyPtr policy() const { return nullptr; }
+
+  // Called once the shell is attached (self LOID, resolver, messenger are
+  // available through `shell`) and state has been restored.
+  virtual void OnActivate(ShellServices& /*shell*/) {}
+  // Called before orderly deactivation (after the final SaveState).
+  virtual void OnDeactivate() {}
+};
+
+}  // namespace legion::core

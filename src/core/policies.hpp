@@ -1,0 +1,44 @@
+// Policy combinators that depend on the core object model.
+//
+// The paper makes every object responsible for its own MayI() (Section 2.4)
+// — but an object that refuses *everyone* also refuses the Host Object and
+// Magistrate that deactivate and migrate it, making it unmanageable. The
+// conventional pattern is therefore: admit the management plane for the
+// object-mandatory state-capture call, enforce the user policy everywhere
+// else.
+#pragma once
+
+#include "core/well_known.hpp"
+#include "security/policy.hpp"
+
+namespace legion::core {
+
+class ManageablePolicy final : public security::SecurityPolicy {
+ public:
+  explicit ManageablePolicy(security::PolicyPtr inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] Status MayI(const std::string& method,
+                            const rt::EnvTriple& env) const override {
+    if (method == methods::kSaveState && is_management_plane(env)) {
+      return OkStatus();
+    }
+    return inner_ ? inner_->MayI(method, env) : OkStatus();
+  }
+  [[nodiscard]] std::string name() const override { return "manageable"; }
+
+ private:
+  static bool is_management_plane(const rt::EnvTriple& env) {
+    const std::uint64_t cls = env.calling_agent.class_id();
+    return cls == kLegionHostClassId || cls == kLegionMagistrateClassId;
+  }
+
+  security::PolicyPtr inner_;
+};
+
+[[nodiscard]] inline security::PolicyPtr MakeManageable(
+    security::PolicyPtr inner) {
+  return std::make_shared<ManageablePolicy>(std::move(inner));
+}
+
+}  // namespace legion::core

@@ -1,0 +1,59 @@
+#include "core/scheduling_agent.hpp"
+
+#include "core/active_object.hpp"
+#include "core/well_known.hpp"
+#include "core/wire.hpp"
+
+namespace legion::core {
+
+void SchedulingAgentImpl::RegisterMethods(MethodTable& table) {
+  table.add(methods::kSuggestHost,
+            [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::LoidRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad SuggestHost");
+
+              // Enumerate the jurisdiction's hosts via its Magistrate...
+              LEGION_ASSIGN_OR_RETURN(
+                  Buffer raw,
+                  ctx.ref(req.loid).call(methods::kListHosts, Buffer{}));
+              LEGION_ASSIGN_OR_RETURN(wire::LoidListReply hosts,
+                                      wire::LoidListReply::from_buffer(raw));
+              if (hosts.loids.empty()) {
+                return FailedPreconditionError("jurisdiction has no hosts");
+              }
+
+              // ...query each Host Object's state (Section 3.9 GetState)...
+              std::vector<sched::HostCandidate> candidates;
+              for (const Loid& host : hosts.loids) {
+                auto state_raw =
+                    ctx.ref(host).call(methods::kGetState, Buffer{});
+                if (!state_raw.ok()) continue;  // unreachable host: skip
+                auto state = wire::HostStateReply::from_buffer(*state_raw);
+                if (!state.ok()) continue;
+                sched::HostCandidate candidate;
+                candidate.host_object = host;
+                candidate.cpu_load = state->cpu_load;
+                candidate.active_objects = state->active_objects;
+                candidate.capacity = state->capacity;
+                candidate.accepting = state->accepting;
+                candidates.push_back(candidate);
+              }
+
+              // ...and apply the policy.
+              const std::size_t pick =
+                  policy_->pick(candidates, ctx.shell.rng());
+              if (pick >= candidates.size()) {
+                return ResourceExhaustedError("no accepting host");
+              }
+              return wire::LoidReply{candidates[pick].host_object}.to_buffer();
+            });
+}
+
+Status RegisterSchedulingImpls(ImplementationRegistry& registry) {
+  return registry.add(std::string(kSchedulingAgentImpl), [] {
+    auto agent = std::make_unique<SchedulingAgentImpl>();
+    return agent;
+  });
+}
+
+}  // namespace legion::core

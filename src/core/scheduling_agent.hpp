@@ -1,0 +1,82 @@
+// Scheduling Agents, paper Section 3.7.
+//
+// "The Scheduling Agent field contains the LOID of the object that is
+//  responsible for scheduling the object entered in the table. Scheduling
+//  is intentionally left out of the core object model, except for a few
+//  'hooks' ... It is expected that each class will have a default
+//  Scheduling Agent that is inherited by each of its objects unless a
+//  different Scheduling Agent is explicitly specified."
+//
+// A Scheduling Agent is an ordinary Legion object: classes consult it
+// during Create() (the hook), it asks the jurisdiction's Magistrate for its
+// Host Objects, queries their GetState(), and applies a placement policy.
+// Complex policies live here, outside the Magistrate — exactly as Section
+// 3.8 prescribes ("complex scheduling policies are intended to be
+// implemented outside of the Magistrate in Scheduling Agents").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/implementation_registry.hpp"
+#include "core/object_impl.hpp"
+#include "sched/placement.hpp"
+
+namespace legion::core {
+
+inline constexpr std::string_view kSchedulingAgentImpl =
+    "legion.scheduling-agent";
+
+class SchedulingAgentImpl final : public ObjectImpl {
+ public:
+  SchedulingAgentImpl() { rebuild("round-robin"); }
+  explicit SchedulingAgentImpl(std::string policy_name) {
+    rebuild(std::move(policy_name));
+  }
+
+  [[nodiscard]] std::string implementation_name() const override {
+    return std::string(kSchedulingAgentImpl);
+  }
+  void RegisterMethods(MethodTable& table) override;
+  void SaveState(Writer& w) const override { w.str(policy_name_); }
+  Status RestoreState(Reader& r) override {
+    if (!r.exhausted()) rebuild(r.str());
+    return r.ok() ? OkStatus() : InvalidArgumentError("bad agent state");
+  }
+  [[nodiscard]] InterfaceDescription interface() const override {
+    InterfaceDescription d("SchedulingAgent");
+    d.add_method(MethodSignature{"loid", "SuggestHost",
+                                 {{"loid", "magistrate"}}});
+    return d;
+  }
+
+  [[nodiscard]] const std::string& policy_name() const { return policy_name_; }
+
+ private:
+  void rebuild(std::string policy_name) {
+    policy_name_ = std::move(policy_name);
+    policy_ = sched::MakePolicy(policy_name_);
+    if (!policy_) {
+      policy_name_ = "round-robin";
+      policy_ = sched::MakePolicy(policy_name_);
+    }
+  }
+
+  std::string policy_name_;
+  std::unique_ptr<sched::PlacementPolicy> policy_;
+};
+
+// Registers the scheduling-agent implementation with a registry; the OPR
+// init state is the placement policy name ("random", "round-robin",
+// "least-loaded").
+Status RegisterSchedulingImpls(ImplementationRegistry& registry);
+
+// Create()-time init state selecting the agent's placement policy.
+[[nodiscard]] inline Buffer SchedulingAgentInit(std::string_view policy) {
+  Buffer b;
+  Writer w(b);
+  w.str(policy);
+  return b;
+}
+
+}  // namespace legion::core

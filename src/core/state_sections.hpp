@@ -1,0 +1,64 @@
+// OPR state framing: named per-implementation sections.
+//
+// A composed object (run-time multiple inheritance) saves one section per
+// implementation so each restores exactly what it wrote. The anonymous ""
+// section carries caller-supplied init state for the primary implementation
+// — Create() callers need not know implementation names.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/buffer.hpp"
+#include "base/serialize.hpp"
+#include "base/status.hpp"
+
+namespace legion::core {
+
+struct StateSections {
+  std::vector<std::pair<std::string, Buffer>> sections;
+
+  [[nodiscard]] Buffer to_buffer() const {
+    Buffer out;
+    Writer w(out);
+    w.u32(static_cast<std::uint32_t>(sections.size()));
+    for (const auto& [name, bytes] : sections) {
+      w.str(name);
+      w.buffer(bytes);
+    }
+    return out;
+  }
+
+  static Result<StateSections> from_buffer(const Buffer& buf) {
+    StateSections out;
+    if (buf.empty()) return out;  // fresh object: no acquired state
+    Reader r(buf);
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      std::string name = r.str();
+      Buffer bytes = r.buffer();
+      out.sections.emplace_back(std::move(name), std::move(bytes));
+    }
+    if (!r.ok()) return InvalidArgumentError("malformed state sections");
+    return out;
+  }
+
+  [[nodiscard]] const Buffer* find(const std::string& name) const {
+    for (const auto& [n, bytes] : sections) {
+      if (n == name) return &bytes;
+    }
+    return nullptr;
+  }
+};
+
+// Wraps raw init state as the anonymous primary section. Empty init state
+// stays an empty buffer (a fresh, stateless object).
+[[nodiscard]] inline Buffer WrapPrimaryState(Buffer init_state) {
+  if (init_state.empty()) return Buffer{};
+  StateSections s;
+  s.sections.emplace_back("", std::move(init_state));
+  return s.to_buffer();
+}
+
+}  // namespace legion::core

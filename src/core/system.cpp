@@ -1,0 +1,431 @@
+#include "core/system.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "core/well_known.hpp"
+
+namespace legion::core {
+
+// ---- Client -----------------------------------------------------------------
+
+Client::Client(rt::Runtime& runtime, HostId host, std::string label,
+               SystemHandles handles, std::size_t cache_capacity, Rng rng)
+    : messenger_(runtime, host, std::move(label), rt::ExecutionMode::kDriver,
+                 nullptr),
+      resolver_(messenger_, std::move(handles), cache_capacity, rng),
+      env_(rt::EnvTriple::System()) {}
+
+Result<wire::CreateReply> Client::create(const Loid& class_loid,
+                                         Buffer init_state,
+                                         std::vector<Loid> candidate_magistrates,
+                                         const Loid& suggested_host) {
+  wire::CreateRequest req;
+  req.init_state = std::move(init_state);
+  req.candidate_magistrates = std::move(candidate_magistrates);
+  req.suggested_host = suggested_host;
+  LEGION_ASSIGN_OR_RETURN(Buffer raw,
+                          ref(class_loid).call(methods::kCreate, req.to_buffer()));
+  LEGION_ASSIGN_OR_RETURN(wire::CreateReply reply,
+                          wire::CreateReply::from_buffer(raw));
+  resolver_.add_binding(reply.binding);  // warm start for the creator
+  return reply;
+}
+
+Result<wire::CreateReply> Client::create_replicated(
+    const Loid& class_loid, Buffer init_state, std::uint32_t replicas,
+    AddressSemantic semantic, std::uint32_t k,
+    std::vector<Loid> candidate_magistrates) {
+  wire::CreateReplicatedRequest req;
+  req.init_state = std::move(init_state);
+  req.replicas = replicas;
+  req.semantic = static_cast<std::uint8_t>(semantic);
+  req.k = k;
+  req.candidate_magistrates = std::move(candidate_magistrates);
+  LEGION_ASSIGN_OR_RETURN(
+      Buffer raw,
+      ref(class_loid).call(methods::kCreateReplicated, req.to_buffer()));
+  LEGION_ASSIGN_OR_RETURN(wire::CreateReply reply,
+                          wire::CreateReply::from_buffer(raw));
+  resolver_.add_binding(reply.binding);
+  return reply;
+}
+
+Result<wire::CreateReply> Client::derive(const Loid& parent_class,
+                                         wire::DeriveRequest request) {
+  LEGION_ASSIGN_OR_RETURN(
+      Buffer raw, ref(parent_class).call(methods::kDerive, request.to_buffer()));
+  LEGION_ASSIGN_OR_RETURN(wire::CreateReply reply,
+                          wire::CreateReply::from_buffer(raw));
+  resolver_.add_binding(reply.binding);
+  return reply;
+}
+
+Status Client::inherit_from(const Loid& class_loid, const Loid& base_class) {
+  wire::LoidRequest req{base_class};
+  return ref(class_loid)
+      .call(methods::kInheritFrom, req.to_buffer())
+      .status();
+}
+
+Status Client::delete_object(const Loid& class_loid, const Loid& target) {
+  wire::LoidRequest req{target};
+  return ref(class_loid).call(methods::kDelete, req.to_buffer()).status();
+}
+
+Result<Binding> Client::get_binding(const Loid& target) {
+  return resolver_.resolve(target, rt::Messenger::kDefaultTimeoutUs);
+}
+
+// ---- LegionSystem -----------------------------------------------------------
+
+LegionSystem::LegionSystem(rt::Runtime& runtime, SystemConfig config)
+    : runtime_(runtime), config_(std::move(config)), rng_(config_.seed) {}
+
+LegionSystem::~LegionSystem() {
+  // Clients must die before the shells whose endpoints they reference.
+  bootstrap_client_.reset();
+  shells_.clear();
+}
+
+template <typename Impl>
+LegionSystem::Booted<Impl> LegionSystem::boot_shell(HostId host, Loid loid,
+                                                    std::unique_ptr<Impl> impl,
+                                                    std::string label,
+                                                    SystemHandles handles) {
+  Impl* raw = impl.get();
+  std::vector<std::unique_ptr<ObjectImpl>> impls;
+  impls.push_back(std::move(impl));
+  ActiveObjectConfig shell_config;
+  shell_config.label = std::move(label);
+  shell_config.cache_capacity = config_.object_cache_capacity;
+  shell_config.binding_ttl_us = config_.binding_ttl_us;
+  auto shell = std::make_unique<ActiveObject>(runtime_, host, std::move(loid),
+                                              std::move(impls),
+                                              std::move(handles),
+                                              std::move(shell_config));
+  ActiveObject* shell_raw = shell.get();
+  shell_by_loid_[shell_raw->self()] = shell_raw;
+  shells_.push_back(std::move(shell));
+  return Booted<Impl>{shell_raw, raw};
+}
+
+ActiveObject* LegionSystem::shell_of(const Loid& loid) {
+  auto it = shell_by_loid_.find(loid);
+  return it == shell_by_loid_.end() ? nullptr : it->second;
+}
+
+SystemHandles LegionSystem::handles_for(HostId host) const {
+  SystemHandles handles;
+  handles.legion_class = legion_class_binding_;
+  const net::HostInfo* info = runtime_.topology().host(host);
+  std::size_t ba_index = 0;
+  if (info != nullptr && !info->jurisdictions.empty()) {
+    auto it = ba_of_jurisdiction_.find(info->jurisdictions.front().value);
+    if (it != ba_of_jurisdiction_.end()) ba_index = it->second;
+  }
+  if (ba_index < ba_bindings_.size()) {
+    handles.default_binding_agent = ba_bindings_[ba_index];
+  }
+  return handles;
+}
+
+Status LegionSystem::start_legion_class(HostId primary) {
+  auto booted = boot_shell(primary, LegionClassLoid(),
+                           std::make_unique<LegionClassImpl>(), "class",
+                           SystemHandles{});
+  LEGION_RETURN_IF_ERROR(booted.shell->restore(Buffer{}));
+  legion_class_ = booted.impl;
+  legion_class_binding_ = booted.shell->binding();
+  return OkStatus();
+}
+
+Status LegionSystem::start_core_classes(HostId primary) {
+  struct CoreClassSpec {
+    std::uint64_t class_id;
+    std::string name;
+    std::uint8_t flags;
+    std::string instance_impl;
+    InterfaceDescription interface;
+  };
+  std::vector<CoreClassSpec> specs;
+  specs.push_back({kLegionObjectClassId, "LegionObject",
+                   wire::kClassFlagAbstract, "", ObjectMandatoryInterface()});
+  {
+    InterfaceDescription host_iface("LegionHost");
+    host_iface.merge(ObjectMandatoryInterface());
+    for (std::string_view m :
+         {methods::kStartObject, methods::kStopObject, methods::kGetState,
+          methods::kSetCPULoad, methods::kSetMemoryUsage}) {
+      host_iface.add_method(MethodSignature{"bytes", std::string(m), {}});
+    }
+    specs.push_back({kLegionHostClassId, "LegionHost",
+                     wire::kClassFlagAbstract, "", std::move(host_iface)});
+  }
+  {
+    InterfaceDescription mag_iface("LegionMagistrate");
+    mag_iface.merge(ObjectMandatoryInterface());
+    for (std::string_view m : {methods::kActivate, methods::kDeactivate,
+                               methods::kDelete, methods::kCopy, methods::kMove}) {
+      mag_iface.add_method(MethodSignature{"bytes", std::string(m), {}});
+    }
+    specs.push_back({kLegionMagistrateClassId, "LegionMagistrate",
+                     wire::kClassFlagAbstract, "", std::move(mag_iface)});
+  }
+  {
+    InterfaceDescription ba_iface("LegionBindingAgent");
+    ba_iface.merge(ObjectMandatoryInterface());
+    for (std::string_view m : {methods::kGetBinding, methods::kAddBinding,
+                               methods::kInvalidateBinding}) {
+      ba_iface.add_method(MethodSignature{"binding", std::string(m), {}});
+    }
+    specs.push_back({kLegionBindingAgentClassId, "LegionBindingAgent", 0,
+                     std::string(kBindingAgentImpl), std::move(ba_iface)});
+  }
+  {
+    InterfaceDescription ctx_iface("LegionContext");
+    ctx_iface.merge(ObjectMandatoryInterface());
+    for (std::string_view m : {"Lookup", "Bind", "Unbind", "List"}) {
+      ctx_iface.add_method(MethodSignature{"loid", std::string(m), {}});
+    }
+    specs.push_back({kLegionContextClassId, "LegionContext", 0,
+                     "legion.context", std::move(ctx_iface)});
+  }
+
+  for (auto& spec : specs) {
+    ClassDefinition def;
+    def.class_id = spec.class_id;
+    def.name = spec.name;
+    def.flags = spec.flags;
+    def.instance_impl = spec.instance_impl;
+    def.interface = std::move(spec.interface);
+    def.superclass =
+        spec.class_id == kLegionObjectClassId ? Loid{} : LegionObjectLoid();
+    def.instance_key_bytes = config_.instance_key_bytes;
+
+    auto booted = boot_shell(primary, def.loid(),
+                             std::make_unique<ClassObjectImpl>(def), "class",
+                             SystemHandles{});
+    LEGION_RETURN_IF_ERROR(booted.shell->restore(Buffer{}));
+    core_classes_[spec.class_id] = booted.impl;
+    core_class_bindings_[spec.class_id] = booted.shell->binding();
+  }
+  return OkStatus();
+}
+
+Status LegionSystem::start_binding_agents() {
+  const SimTime ttl = config_.binding_ttl_us;
+  for (const auto& jurisdiction : runtime_.topology().jurisdictions()) {
+    const auto hosts = runtime_.topology().hosts_in(jurisdiction.id);
+    if (hosts.empty()) continue;
+    for (std::size_t i = 0; i < config_.binding_agents_per_jurisdiction; ++i) {
+      BindingAgentConfig ba_config;
+      ba_config.cache_capacity = config_.ba_cache_capacity;
+      ba_config.binding_ttl_us = ttl;
+      const std::size_t index = ba_loids_.size();
+      if (config_.ba_tree_fanout > 0 && index > 0) {
+        // k-ary combining tree over the global agent order (Section 5.2.2).
+        ba_config.parent = ba_bindings_[(index - 1) / config_.ba_tree_fanout];
+      }
+      const Loid loid{kLegionBindingAgentClassId, next_component_seq_++};
+      const HostId host = hosts[i % hosts.size()];
+      SystemHandles handles;
+      handles.legion_class = legion_class_binding_;
+      auto booted = boot_shell(host, loid,
+                               std::make_unique<BindingAgentImpl>(ba_config),
+                               "binding-agent", handles);
+      LEGION_RETURN_IF_ERROR(booted.shell->restore(Buffer{}));
+      // An agent is its own Binding Agent.
+      handles.default_binding_agent = booted.shell->binding();
+      booted.shell->set_handles(handles);
+
+      if (!ba_of_jurisdiction_.contains(jurisdiction.id.value)) {
+        ba_of_jurisdiction_[jurisdiction.id.value] = index;
+      }
+      ba_loids_.push_back(loid);
+      ba_bindings_.push_back(booted.shell->binding());
+      ba_impls_.push_back(booted.impl);
+    }
+  }
+  if (ba_loids_.empty()) {
+    return FailedPreconditionError("no jurisdiction could host a binding agent");
+  }
+  return OkStatus();
+}
+
+Status LegionSystem::start_host_objects() {
+  for (const auto& info : runtime_.topology().hosts()) {
+    HostServices services;
+    services.runtime = &runtime_;
+    services.registry = &registry_;
+    services.handles = handles_for(info.id);
+    services.host = info.id;
+    services.object_cache_capacity = config_.object_cache_capacity;
+    services.binding_ttl_us = config_.binding_ttl_us;
+
+    const Loid loid{kLegionHostClassId, next_component_seq_++};
+    auto booted = boot_shell(info.id, loid,
+                             std::make_unique<HostObjectImpl>(services), "host",
+                             handles_for(info.id));
+    LEGION_RETURN_IF_ERROR(booted.shell->restore(Buffer{}));
+    host_impls_[info.id.value] = booted.impl;
+    host_loids_[info.id.value] = loid;
+    host_bindings_[info.id.value] = booted.shell->binding();
+  }
+  return OkStatus();
+}
+
+Status LegionSystem::start_magistrates() {
+  for (const auto& jurisdiction : runtime_.topology().jurisdictions()) {
+    const auto hosts = runtime_.topology().hosts_in(jurisdiction.id);
+    if (hosts.empty()) continue;
+
+    MagistrateConfig mag_config;
+    mag_config.jurisdiction = jurisdiction.id;
+    mag_config.placement_policy = config_.placement_policy;
+    mag_config.binding_ttl_us = config_.binding_ttl_us;
+    auto impl = std::make_unique<MagistrateImpl>(mag_config);
+    for (std::size_t i = 0; i < config_.vaults_per_jurisdiction; ++i) {
+      impl->add_vault(jurisdiction.name + "-disk" + std::to_string(i + 1));
+    }
+    for (HostId h : hosts) {
+      impl->add_host(host_loids_.at(h.value));
+    }
+
+    const Loid loid{kLegionMagistrateClassId, next_component_seq_++};
+    auto booted = boot_shell(hosts.front(), loid, std::move(impl), "magistrate",
+                             handles_for(hosts.front()));
+    LEGION_RETURN_IF_ERROR(booted.shell->restore(Buffer{}));
+    magistrate_impls_[jurisdiction.id.value] = booted.impl;
+    magistrate_loids_[jurisdiction.id.value] = loid;
+    magistrate_bindings_[jurisdiction.id.value] = booted.shell->binding();
+  }
+  if (magistrate_impls_.empty()) {
+    return FailedPreconditionError("no jurisdiction has hosts");
+  }
+  return OkStatus();
+}
+
+Status LegionSystem::finalize_registrations() {
+  // Core classes now learn the complete fabric.
+  const SystemHandles primary_handles =
+      handles_for(runtime_.topology().hosts().front().id);
+  legion_class_->register_class_binding(kLegionClassClassId,
+                                        legion_class_binding_);
+  for (const auto& [class_id, binding] : core_class_bindings_) {
+    legion_class_->register_class_binding(class_id, binding);
+  }
+  shell_of(LegionClassLoid())->set_handles(primary_handles);
+  for (const auto& [class_id, _] : core_classes_) {
+    shell_of(Loid::ForClass(class_id))->set_handles(primary_handles);
+  }
+
+  const std::vector<Loid> all_magistrates = magistrates();
+  for (auto& [_, impl] : core_classes_) {
+    impl->set_default_magistrates(all_magistrates);
+    impl->set_binding_ttl(config_.binding_ttl_us);
+  }
+  legion_class_->set_default_magistrates(all_magistrates);
+  legion_class_->set_binding_ttl(config_.binding_ttl_us);
+
+  // Components announce themselves to their classes over the wire, exactly
+  // as Section 4.2.1 prescribes ("they contact their class").
+  bootstrap_client_ = make_client(runtime_.topology().hosts().front().id,
+                                  "bootstrap");
+  auto notify = [&](const Binding& class_binding, const Loid& loid,
+                    const Binding& binding) -> Status {
+    wire::NotifyStartedRequest req{loid, binding};
+    return bootstrap_client_->resolver()
+        .call_binding(class_binding, methods::kNotifyStarted, req.to_buffer(),
+                      rt::EnvTriple::System(),
+                      rt::Messenger::kDefaultTimeoutUs)
+        .status();
+  };
+  for (const auto& [host_value, loid] : host_loids_) {
+    LEGION_RETURN_IF_ERROR(notify(core_class_bindings_.at(kLegionHostClassId),
+                                  loid, host_bindings_.at(host_value)));
+  }
+  for (const auto& [j_value, loid] : magistrate_loids_) {
+    LEGION_RETURN_IF_ERROR(
+        notify(core_class_bindings_.at(kLegionMagistrateClassId), loid,
+               magistrate_bindings_.at(j_value)));
+  }
+  for (std::size_t i = 0; i < ba_loids_.size(); ++i) {
+    LEGION_RETURN_IF_ERROR(
+        notify(core_class_bindings_.at(kLegionBindingAgentClassId),
+               ba_loids_[i], ba_bindings_[i]));
+  }
+  return OkStatus();
+}
+
+Status LegionSystem::bootstrap() {
+  if (bootstrapped_) return FailedPreconditionError("already bootstrapped");
+  if (runtime_.topology().hosts().empty()) {
+    return FailedPreconditionError("topology has no hosts");
+  }
+  LEGION_RETURN_IF_ERROR(registry_.add(std::string(kClassObjectImpl), [] {
+    return std::make_unique<ClassObjectImpl>();
+  }));
+  LEGION_RETURN_IF_ERROR(registry_.add(std::string(kLegionClassImpl), [] {
+    return std::make_unique<LegionClassImpl>();
+  }));
+  LEGION_RETURN_IF_ERROR(registry_.add(std::string(kBindingAgentImpl), [] {
+    return std::make_unique<BindingAgentImpl>();
+  }));
+
+  const HostId primary = runtime_.topology().hosts().front().id;
+  LEGION_RETURN_IF_ERROR(start_legion_class(primary));
+  LEGION_RETURN_IF_ERROR(start_core_classes(primary));
+  LEGION_RETURN_IF_ERROR(start_binding_agents());
+  LEGION_RETURN_IF_ERROR(start_host_objects());
+  LEGION_RETURN_IF_ERROR(start_magistrates());
+  LEGION_RETURN_IF_ERROR(finalize_registrations());
+  bootstrapped_ = true;
+  return OkStatus();
+}
+
+std::unique_ptr<Client> LegionSystem::make_client(HostId host,
+                                                  std::string label) {
+  return std::make_unique<Client>(runtime_, host, std::move(label),
+                                  handles_for(host),
+                                  config_.client_cache_capacity,
+                                  rng_.fork(shells_.size() + 0x7EA));
+}
+
+Loid LegionSystem::magistrate_of(JurisdictionId jurisdiction) const {
+  auto it = magistrate_loids_.find(jurisdiction.value);
+  return it == magistrate_loids_.end() ? Loid{} : it->second;
+}
+
+std::vector<Loid> LegionSystem::magistrates() const {
+  std::vector<Loid> out;
+  out.reserve(magistrate_loids_.size());
+  for (const auto& [_, loid] : magistrate_loids_) out.push_back(loid);
+  return out;
+}
+
+Loid LegionSystem::host_object_of(HostId host) const {
+  auto it = host_loids_.find(host.value);
+  return it == host_loids_.end() ? Loid{} : it->second;
+}
+
+ClassObjectImpl* LegionSystem::core_class_impl(std::uint64_t class_id) {
+  auto it = core_classes_.find(class_id);
+  return it == core_classes_.end() ? nullptr : it->second;
+}
+
+MagistrateImpl* LegionSystem::magistrate_impl(JurisdictionId jurisdiction) {
+  auto it = magistrate_impls_.find(jurisdiction.value);
+  return it == magistrate_impls_.end() ? nullptr : it->second;
+}
+
+HostObjectImpl* LegionSystem::host_impl(HostId host) {
+  auto it = host_impls_.find(host.value);
+  return it == host_impls_.end() ? nullptr : it->second;
+}
+
+BindingAgentImpl* LegionSystem::binding_agent_impl(std::size_t index) {
+  return index < ba_impls_.size() ? ba_impls_[index] : nullptr;
+}
+
+}  // namespace legion::core

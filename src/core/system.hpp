@@ -1,0 +1,182 @@
+// LegionSystem: bootstrapping the core objects (paper Section 4.2.1).
+//
+// "The core objects, including the core Abstract classes (LegionObject,
+//  LegionClass, etc.), Host Objects, and Magistrates, are intended to be
+//  started from the command line or shell script in the host operating
+//  system... The Abstract class objects are started exactly once — when the
+//  Legion system comes alive."
+//
+// LegionSystem is that shell script: given a Runtime whose topology already
+// describes jurisdictions and hosts, bootstrap() starts LegionClass, the
+// core Abstract classes, the Binding-Agent fabric (optionally a k-ary
+// tree), one Host Object per host, and one Magistrate per jurisdiction —
+// then wires registrations exactly as the paper prescribes (components
+// "contact their class" to announce themselves).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/active_object.hpp"
+#include "core/binding_agent.hpp"
+#include "core/class_object.hpp"
+#include "core/host_object.hpp"
+#include "core/legion_class.hpp"
+#include "core/magistrate.hpp"
+
+namespace legion::core {
+
+struct SystemConfig {
+  std::uint64_t seed = Rng::kDefaultSeed;
+
+  // Binding-Agent fabric (Sections 3.6 / 5.2).
+  std::size_t binding_agents_per_jurisdiction = 1;
+  std::size_t ba_tree_fanout = 0;  // 0 = flat: every agent consults
+                                   // LegionClass directly; k>0 = k-ary tree
+  std::size_t ba_cache_capacity = 4096;
+
+  // Per-object communication layer.
+  std::size_t object_cache_capacity = 64;
+  std::size_t client_cache_capacity = 64;
+  SimTime binding_ttl_us = kSimTimeNever;
+
+  // Jurisdiction defaults.
+  std::string placement_policy = "round-robin";
+  std::size_t vaults_per_jurisdiction = 1;
+  std::uint32_t instance_key_bytes = 8;
+};
+
+// An external program's handle on Legion: a driver endpoint plus the
+// Legion-aware communication layer, with the convenience verbs the paper's
+// compiler/run-time would emit (Section 4.1: the binding process "will
+// typically be carried out by the various compilers and run-time systems").
+class Client {
+ public:
+  Client(rt::Runtime& runtime, HostId host, std::string label,
+         SystemHandles handles, std::size_t cache_capacity, Rng rng);
+
+  [[nodiscard]] Resolver& resolver() { return resolver_; }
+  [[nodiscard]] rt::Messenger& messenger() { return messenger_; }
+
+  // The identity this client's calls carry (RA/SA/CA triple). Defaults to
+  // the anonymous system environment.
+  void set_identity(const Loid& identity) {
+    env_ = rt::EnvTriple::ForCaller(identity);
+  }
+  [[nodiscard]] const rt::EnvTriple& env() const { return env_; }
+
+  [[nodiscard]] ObjectRef ref(const Loid& target) {
+    return ObjectRef{resolver_, target, env_};
+  }
+
+  // --- convenience verbs -----------------------------------------------
+  Result<wire::CreateReply> create(const Loid& class_loid,
+                                   Buffer init_state = Buffer{},
+                                   std::vector<Loid> candidate_magistrates = {},
+                                   const Loid& suggested_host = Loid{});
+  Result<wire::CreateReply> create_replicated(
+      const Loid& class_loid, Buffer init_state, std::uint32_t replicas,
+      AddressSemantic semantic, std::uint32_t k = 1,
+      std::vector<Loid> candidate_magistrates = {});
+  Result<wire::CreateReply> derive(const Loid& parent_class,
+                                   wire::DeriveRequest request);
+  Status inherit_from(const Loid& class_loid, const Loid& base_class);
+  Status delete_object(const Loid& class_loid, const Loid& target);
+  Result<Binding> get_binding(const Loid& target);
+
+ private:
+  rt::Messenger messenger_;
+  Resolver resolver_;
+  rt::EnvTriple env_;
+};
+
+class LegionSystem {
+ public:
+  // The runtime's topology must already contain at least one jurisdiction
+  // with at least one host.
+  LegionSystem(rt::Runtime& runtime, SystemConfig config);
+  ~LegionSystem();
+
+  LegionSystem(const LegionSystem&) = delete;
+  LegionSystem& operator=(const LegionSystem&) = delete;
+
+  Status bootstrap();
+
+  [[nodiscard]] rt::Runtime& runtime() { return runtime_; }
+  [[nodiscard]] ImplementationRegistry& registry() { return registry_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+  // Handles appropriate for a participant living on `host` (its Binding
+  // Agent is the one serving that host's first jurisdiction).
+  [[nodiscard]] SystemHandles handles_for(HostId host) const;
+
+  [[nodiscard]] std::unique_ptr<Client> make_client(
+      HostId host, std::string label = "client");
+
+  // --- component directory ----------------------------------------------
+  [[nodiscard]] Loid magistrate_of(JurisdictionId jurisdiction) const;
+  [[nodiscard]] std::vector<Loid> magistrates() const;
+  [[nodiscard]] Loid host_object_of(HostId host) const;
+  [[nodiscard]] const std::vector<Loid>& binding_agents() const {
+    return ba_loids_;
+  }
+
+  // --- direct impl access (bootstrap collaborators & tests) --------------
+  [[nodiscard]] LegionClassImpl* legion_class_impl() { return legion_class_; }
+  [[nodiscard]] ClassObjectImpl* core_class_impl(std::uint64_t class_id);
+  [[nodiscard]] MagistrateImpl* magistrate_impl(JurisdictionId jurisdiction);
+  [[nodiscard]] HostObjectImpl* host_impl(HostId host);
+  [[nodiscard]] BindingAgentImpl* binding_agent_impl(std::size_t index);
+  [[nodiscard]] ActiveObject* shell_of(const Loid& loid);
+
+ private:
+  template <typename Impl>
+  struct Booted {
+    ActiveObject* shell = nullptr;
+    Impl* impl = nullptr;
+  };
+  template <typename Impl>
+  Booted<Impl> boot_shell(HostId host, Loid loid, std::unique_ptr<Impl> impl,
+                          std::string label, SystemHandles handles);
+
+  Status start_legion_class(HostId primary);
+  Status start_core_classes(HostId primary);
+  Status start_binding_agents();
+  Status start_host_objects();
+  Status start_magistrates();
+  Status finalize_registrations();
+
+  rt::Runtime& runtime_;
+  SystemConfig config_;
+  ImplementationRegistry registry_;
+  Rng rng_;
+  bool bootstrapped_ = false;
+
+  std::vector<std::unique_ptr<ActiveObject>> shells_;
+  std::map<Loid, ActiveObject*> shell_by_loid_;
+
+  LegionClassImpl* legion_class_ = nullptr;
+  Binding legion_class_binding_;
+  std::map<std::uint64_t, ClassObjectImpl*> core_classes_;  // by class id
+  std::map<std::uint64_t, Binding> core_class_bindings_;
+
+  std::vector<Loid> ba_loids_;
+  std::vector<Binding> ba_bindings_;
+  std::vector<BindingAgentImpl*> ba_impls_;
+  std::map<std::uint32_t, std::size_t> ba_of_jurisdiction_;  // first BA index
+
+  std::map<std::uint32_t, HostObjectImpl*> host_impls_;   // by HostId
+  std::map<std::uint32_t, Loid> host_loids_;
+  std::map<std::uint32_t, Binding> host_bindings_;
+
+  std::map<std::uint32_t, MagistrateImpl*> magistrate_impls_;  // by JId
+  std::map<std::uint32_t, Loid> magistrate_loids_;
+  std::map<std::uint32_t, Binding> magistrate_bindings_;
+
+  std::unique_ptr<Client> bootstrap_client_;
+  std::uint64_t next_component_seq_ = 1;
+};
+
+}  // namespace legion::core

@@ -1,0 +1,106 @@
+// Well-known identifiers of the Legion core.
+//
+// LegionClass hands out class identifiers (paper Section 3.2); the core
+// Abstract classes of Section 2.1.3 receive the first few at bootstrap, in a
+// fixed order so that their LOIDs are stable across every Legion instance.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "base/loid.hpp"
+
+namespace legion::core {
+
+// Class identifiers of the core Abstract classes (Section 2.1.3).
+inline constexpr std::uint64_t kLegionObjectClassId = 1;
+inline constexpr std::uint64_t kLegionClassClassId = 2;
+inline constexpr std::uint64_t kLegionHostClassId = 3;
+inline constexpr std::uint64_t kLegionMagistrateClassId = 4;
+inline constexpr std::uint64_t kLegionBindingAgentClassId = 5;
+inline constexpr std::uint64_t kLegionContextClassId = 6;
+// Class identifiers below this are reserved for the core.
+inline constexpr std::uint64_t kFirstUserClassId = 64;
+
+[[nodiscard]] inline Loid LegionObjectLoid() {
+  return Loid::ForClass(kLegionObjectClassId);
+}
+[[nodiscard]] inline Loid LegionClassLoid() {
+  return Loid::ForClass(kLegionClassClassId);
+}
+[[nodiscard]] inline Loid LegionHostLoid() {
+  return Loid::ForClass(kLegionHostClassId);
+}
+[[nodiscard]] inline Loid LegionMagistrateLoid() {
+  return Loid::ForClass(kLegionMagistrateClassId);
+}
+[[nodiscard]] inline Loid LegionBindingAgentLoid() {
+  return Loid::ForClass(kLegionBindingAgentClassId);
+}
+[[nodiscard]] inline Loid LegionContextLoid() {
+  return Loid::ForClass(kLegionContextClassId);
+}
+
+// --- Method names -----------------------------------------------------------
+namespace methods {
+
+// Object-mandatory (Section 2.1): exported by every Legion object.
+inline constexpr std::string_view kPing = "Ping";
+inline constexpr std::string_view kIam = "Iam";
+inline constexpr std::string_view kMayI = "MayI";
+inline constexpr std::string_view kGetInterface = "GetInterface";
+inline constexpr std::string_view kSaveState = "SaveState";
+
+// Class-mandatory (Section 3.7).
+inline constexpr std::string_view kCreate = "Create";
+inline constexpr std::string_view kDerive = "Derive";
+inline constexpr std::string_view kInheritFrom = "InheritFrom";
+inline constexpr std::string_view kDelete = "Delete";
+inline constexpr std::string_view kGetBinding = "GetBinding";
+inline constexpr std::string_view kClone = "Clone";        // Section 5.2.2
+inline constexpr std::string_view kReportMove = "ReportMove";
+inline constexpr std::string_view kMoveInstance = "MoveInstance";
+inline constexpr std::string_view kListInstances = "ListInstances";
+
+// LegionClass metaclass (Section 4.1.3).
+inline constexpr std::string_view kAssignClassId = "AssignClassId";
+inline constexpr std::string_view kLocateClass = "LocateClass";
+inline constexpr std::string_view kRegisterClassBinding = "RegisterClassBinding";
+
+// Binding Agents (Section 3.6).
+inline constexpr std::string_view kAddBinding = "AddBinding";
+inline constexpr std::string_view kInvalidateBinding = "InvalidateBinding";
+
+// Magistrates (Section 3.8).
+inline constexpr std::string_view kActivate = "Activate";
+inline constexpr std::string_view kDeactivate = "Deactivate";
+inline constexpr std::string_view kCopy = "Copy";
+inline constexpr std::string_view kMove = "Move";
+inline constexpr std::string_view kStoreNew = "StoreNew";
+inline constexpr std::string_view kStoreNewReplicated = "StoreNewReplicated";
+inline constexpr std::string_view kCreateReplicated = "CreateReplicated";
+inline constexpr std::string_view kReceiveOpr = "ReceiveOpr";
+inline constexpr std::string_view kListHosts = "ListHosts";
+inline constexpr std::string_view kSplit = "Split";
+inline constexpr std::string_view kAdoptMagistrate = "AdoptMagistrate";
+inline constexpr std::string_view kHeal = "Heal";
+
+// Scheduling Agents (the Section 3.7 hook).
+inline constexpr std::string_view kSuggestHost = "SuggestHost";
+inline constexpr std::string_view kSetSchedulingAgent = "SetSchedulingAgent";
+
+// Host Objects (Section 3.9).
+inline constexpr std::string_view kStartObject = "StartObject";
+inline constexpr std::string_view kStopObject = "StopObject";
+inline constexpr std::string_view kGetState = "GetState";
+inline constexpr std::string_view kSetCPULoad = "SetCPULoad";
+inline constexpr std::string_view kSetMemoryUsage = "SetMemoryUsage";
+inline constexpr std::string_view kGetExceptions = "GetExceptions";
+
+// Registration calls made by bootstrap components (Section 4.2.1: Host
+// Objects and Magistrates start outside Legion and "contact their class").
+inline constexpr std::string_view kNotifyStarted = "NotifyStarted";
+
+}  // namespace methods
+
+}  // namespace legion::core

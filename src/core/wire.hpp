@@ -1,0 +1,550 @@
+// Wire formats of the core object protocol.
+//
+// One struct per request/reply, each with Serialize/Deserialize and
+// to_buffer()/from_buffer() helpers so handlers stay declarative. All
+// formats are length-checked on the way in (untrusted input).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/buffer.hpp"
+#include "base/loid.hpp"
+#include "base/serialize.hpp"
+#include "base/status.hpp"
+#include "core/binding.hpp"
+#include "core/interface.hpp"
+
+namespace legion::core::wire {
+
+namespace detail {
+template <typename T>
+Buffer ToBuffer(const T& msg) {
+  Buffer out;
+  Writer w(out);
+  msg.Serialize(w);
+  return out;
+}
+template <typename T>
+Result<T> FromBuffer(const Buffer& buf) {
+  Reader r(buf);
+  T msg = T::Deserialize(r);
+  if (!r.ok()) return InvalidArgumentError("malformed wire message");
+  return msg;
+}
+}  // namespace detail
+
+#define LEGION_WIRE_HELPERS(T)                                    \
+  [[nodiscard]] Buffer to_buffer() const {                        \
+    return ::legion::core::wire::detail::ToBuffer(*this);         \
+  }                                                               \
+  [[nodiscard]] static Result<T> from_buffer(const Buffer& buf) { \
+    return ::legion::core::wire::detail::FromBuffer<T>(buf);      \
+  }
+
+// ---- Binding protocol (Binding Agents & class GetBinding, Section 3.6) ----
+
+enum class GetBindingMode : std::uint8_t {
+  kByLoid = 0,    // GetBinding(LOID)
+  kRefresh = 1,   // GetBinding(binding): "return a different binding"
+};
+
+struct GetBindingRequest {
+  GetBindingMode mode = GetBindingMode::kByLoid;
+  Loid loid;      // set in both modes (refresh carries stale.loid too)
+  Binding stale;  // meaningful in kRefresh mode
+
+  void Serialize(Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(mode));
+    loid.Serialize(w);
+    stale.Serialize(w);
+  }
+  static GetBindingRequest Deserialize(Reader& r) {
+    GetBindingRequest m;
+    m.mode = static_cast<GetBindingMode>(r.u8());
+    m.loid = Loid::Deserialize(r);
+    m.stale = Binding::Deserialize(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(GetBindingRequest)
+};
+
+struct BindingReply {
+  Binding binding;
+
+  void Serialize(Writer& w) const { binding.Serialize(w); }
+  static BindingReply Deserialize(Reader& r) {
+    return BindingReply{Binding::Deserialize(r)};
+  }
+  LEGION_WIRE_HELPERS(BindingReply)
+};
+
+struct AddBindingRequest {
+  Binding binding;
+
+  void Serialize(Writer& w) const { binding.Serialize(w); }
+  static AddBindingRequest Deserialize(Reader& r) {
+    return AddBindingRequest{Binding::Deserialize(r)};
+  }
+  LEGION_WIRE_HELPERS(AddBindingRequest)
+};
+
+struct InvalidateBindingRequest {
+  GetBindingMode mode = GetBindingMode::kByLoid;  // by-LOID or exact binding
+  Loid loid;
+  Binding binding;
+
+  void Serialize(Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(mode));
+    loid.Serialize(w);
+    binding.Serialize(w);
+  }
+  static InvalidateBindingRequest Deserialize(Reader& r) {
+    InvalidateBindingRequest m;
+    m.mode = static_cast<GetBindingMode>(r.u8());
+    m.loid = Loid::Deserialize(r);
+    m.binding = Binding::Deserialize(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(InvalidateBindingRequest)
+};
+
+// ---- Class-mandatory protocol (Section 3.7) --------------------------------
+
+struct CreateRequest {
+  Buffer init_state;                      // primary implementation's state
+  std::vector<Loid> candidate_magistrates;  // empty = class default
+  Loid suggested_host;                      // scheduling suggestion (optional)
+
+  void Serialize(Writer& w) const {
+    w.buffer(init_state);
+    WriteVector(w, candidate_magistrates);
+    suggested_host.Serialize(w);
+  }
+  static CreateRequest Deserialize(Reader& r) {
+    CreateRequest m;
+    m.init_state = r.buffer();
+    m.candidate_magistrates = ReadVector<Loid>(r);
+    m.suggested_host = Loid::Deserialize(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(CreateRequest)
+};
+
+struct CreateReply {
+  Loid loid;
+  Binding binding;
+
+  void Serialize(Writer& w) const {
+    loid.Serialize(w);
+    binding.Serialize(w);
+  }
+  static CreateReply Deserialize(Reader& r) {
+    CreateReply m;
+    m.loid = Loid::Deserialize(r);
+    m.binding = Binding::Deserialize(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(CreateReply)
+};
+
+// System-level replication (Section 4.3): one LOID implemented by several
+// processes behind a multi-element Object Address.
+struct CreateReplicatedRequest {
+  Buffer init_state;
+  std::uint32_t replicas = 1;
+  std::uint8_t semantic = 0;  // AddressSemantic
+  std::uint32_t k = 1;        // for k-of-n
+  std::vector<Loid> candidate_magistrates;
+
+  void Serialize(Writer& w) const {
+    w.buffer(init_state);
+    w.u32(replicas);
+    w.u8(semantic);
+    w.u32(k);
+    WriteVector(w, candidate_magistrates);
+  }
+  static CreateReplicatedRequest Deserialize(Reader& r) {
+    CreateReplicatedRequest m;
+    m.init_state = r.buffer();
+    m.replicas = r.u32();
+    m.semantic = r.u8();
+    m.k = r.u32();
+    m.candidate_magistrates = ReadVector<Loid>(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(CreateReplicatedRequest)
+};
+
+struct StoreNewReplicatedRequest {
+  Buffer opr_bytes;
+  std::uint32_t replicas = 1;
+  std::uint8_t semantic = 0;
+  std::uint32_t k = 1;
+
+  void Serialize(Writer& w) const {
+    w.buffer(opr_bytes);
+    w.u32(replicas);
+    w.u8(semantic);
+    w.u32(k);
+  }
+  static StoreNewReplicatedRequest Deserialize(Reader& r) {
+    StoreNewReplicatedRequest m;
+    m.opr_bytes = r.buffer();
+    m.replicas = r.u32();
+    m.semantic = static_cast<std::uint8_t>(r.u8());
+    m.k = r.u32();
+    return m;
+  }
+  LEGION_WIRE_HELPERS(StoreNewReplicatedRequest)
+};
+
+// Class type flags, Section 2.1.2: empty Create / Derive / InheritFrom.
+inline constexpr std::uint8_t kClassFlagAbstract = 1u << 0;
+inline constexpr std::uint8_t kClassFlagPrivate = 1u << 1;
+inline constexpr std::uint8_t kClassFlagFixed = 1u << 2;
+// Marks a clone (Section 5.2.2); clones refuse further cloning.
+inline constexpr std::uint8_t kClassFlagClone = 1u << 3;
+
+struct DeriveRequest {
+  std::string name;
+  std::string instance_impl;  // "" = inherit the superclass's implementation
+  InterfaceDescription extra_interface;
+  std::uint8_t flags = 0;
+  std::vector<Loid> candidate_magistrates;  // empty = superclass default
+
+  void Serialize(Writer& w) const {
+    w.str(name);
+    w.str(instance_impl);
+    extra_interface.Serialize(w);
+    w.u8(flags);
+    WriteVector(w, candidate_magistrates);
+  }
+  static DeriveRequest Deserialize(Reader& r) {
+    DeriveRequest m;
+    m.name = r.str();
+    m.instance_impl = r.str();
+    m.extra_interface = InterfaceDescription::Deserialize(r);
+    m.flags = r.u8();
+    m.candidate_magistrates = ReadVector<Loid>(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(DeriveRequest)
+};
+
+struct LoidRequest {  // InheritFrom / Delete / ListInstances cursor etc.
+  Loid loid;
+
+  void Serialize(Writer& w) const { loid.Serialize(w); }
+  static LoidRequest Deserialize(Reader& r) {
+    return LoidRequest{Loid::Deserialize(r)};
+  }
+  LEGION_WIRE_HELPERS(LoidRequest)
+};
+
+struct LoidListReply {
+  std::vector<Loid> loids;
+
+  void Serialize(Writer& w) const { WriteVector(w, loids); }
+  static LoidListReply Deserialize(Reader& r) {
+    return LoidListReply{ReadVector<Loid>(r)};
+  }
+  LEGION_WIRE_HELPERS(LoidListReply)
+};
+
+struct DescribeClassReply {
+  std::uint64_t class_id = 0;
+  std::string name;
+  InterfaceDescription interface;
+  std::string impl_spec;
+  std::uint8_t flags = 0;
+
+  void Serialize(Writer& w) const {
+    w.u64(class_id);
+    w.str(name);
+    interface.Serialize(w);
+    w.str(impl_spec);
+    w.u8(flags);
+  }
+  static DescribeClassReply Deserialize(Reader& r) {
+    DescribeClassReply m;
+    m.class_id = r.u64();
+    m.name = r.str();
+    m.interface = InterfaceDescription::Deserialize(r);
+    m.impl_spec = r.str();
+    m.flags = r.u8();
+    return m;
+  }
+  LEGION_WIRE_HELPERS(DescribeClassReply)
+};
+
+struct ReportMoveRequest {
+  Loid object;
+  Loid new_magistrate;
+
+  void Serialize(Writer& w) const {
+    object.Serialize(w);
+    new_magistrate.Serialize(w);
+  }
+  static ReportMoveRequest Deserialize(Reader& r) {
+    ReportMoveRequest m;
+    m.object = Loid::Deserialize(r);
+    m.new_magistrate = Loid::Deserialize(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(ReportMoveRequest)
+};
+
+struct MoveInstanceRequest {
+  Loid object;
+  Loid dest_magistrate;
+
+  void Serialize(Writer& w) const {
+    object.Serialize(w);
+    dest_magistrate.Serialize(w);
+  }
+  static MoveInstanceRequest Deserialize(Reader& r) {
+    MoveInstanceRequest m;
+    m.object = Loid::Deserialize(r);
+    m.dest_magistrate = Loid::Deserialize(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(MoveInstanceRequest)
+};
+
+// NotifyStarted: bootstrap components registering with their class
+// (Section 4.2.1).
+struct NotifyStartedRequest {
+  Loid loid;
+  Binding binding;
+
+  void Serialize(Writer& w) const {
+    loid.Serialize(w);
+    binding.Serialize(w);
+  }
+  static NotifyStartedRequest Deserialize(Reader& r) {
+    NotifyStartedRequest m;
+    m.loid = Loid::Deserialize(r);
+    m.binding = Binding::Deserialize(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(NotifyStartedRequest)
+};
+
+// ---- LegionClass metaclass protocol (Section 4.1.3) ------------------------
+
+struct AssignClassIdRequest {
+  Loid creator;
+
+  void Serialize(Writer& w) const { creator.Serialize(w); }
+  static AssignClassIdRequest Deserialize(Reader& r) {
+    return AssignClassIdRequest{Loid::Deserialize(r)};
+  }
+  LEGION_WIRE_HELPERS(AssignClassIdRequest)
+};
+
+struct AssignClassIdReply {
+  std::uint64_t class_id = 0;
+
+  void Serialize(Writer& w) const { w.u64(class_id); }
+  static AssignClassIdReply Deserialize(Reader& r) {
+    return AssignClassIdReply{r.u64()};
+  }
+  LEGION_WIRE_HELPERS(AssignClassIdReply)
+};
+
+struct LocateClassReply {
+  enum class Kind : std::uint8_t {
+    kBinding = 0,   // LegionClass maintains this binding itself
+    kDelegate = 1,  // "ask the creator": responsibility pair <creator, X>
+  };
+  Kind kind = Kind::kBinding;
+  Binding binding;
+  Loid creator;
+
+  void Serialize(Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(kind));
+    binding.Serialize(w);
+    creator.Serialize(w);
+  }
+  static LocateClassReply Deserialize(Reader& r) {
+    LocateClassReply m;
+    m.kind = static_cast<Kind>(r.u8());
+    m.binding = Binding::Deserialize(r);
+    m.creator = Loid::Deserialize(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(LocateClassReply)
+};
+
+// ---- Magistrate protocol (Section 3.8) --------------------------------------
+
+struct StoreNewRequest {
+  Buffer opr_bytes;
+  Loid suggested_host;
+
+  void Serialize(Writer& w) const {
+    w.buffer(opr_bytes);
+    suggested_host.Serialize(w);
+  }
+  static StoreNewRequest Deserialize(Reader& r) {
+    StoreNewRequest m;
+    m.opr_bytes = r.buffer();
+    m.suggested_host = Loid::Deserialize(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(StoreNewRequest)
+};
+
+struct ActivateRequest {
+  Loid loid;
+  Loid suggested_host;  // the Activate(LOID, LOID) overload
+
+  void Serialize(Writer& w) const {
+    loid.Serialize(w);
+    suggested_host.Serialize(w);
+  }
+  static ActivateRequest Deserialize(Reader& r) {
+    ActivateRequest m;
+    m.loid = Loid::Deserialize(r);
+    m.suggested_host = Loid::Deserialize(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(ActivateRequest)
+};
+
+struct TransferRequest {  // Copy(LOID, LOID) and Move(LOID, LOID)
+  Loid object;
+  Loid dest_magistrate;
+
+  void Serialize(Writer& w) const {
+    object.Serialize(w);
+    dest_magistrate.Serialize(w);
+  }
+  static TransferRequest Deserialize(Reader& r) {
+    TransferRequest m;
+    m.object = Loid::Deserialize(r);
+    m.dest_magistrate = Loid::Deserialize(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(TransferRequest)
+};
+
+struct ReceiveOprRequest {
+  Buffer opr_bytes;
+
+  void Serialize(Writer& w) const { w.buffer(opr_bytes); }
+  static ReceiveOprRequest Deserialize(Reader& r) {
+    return ReceiveOprRequest{r.buffer()};
+  }
+  LEGION_WIRE_HELPERS(ReceiveOprRequest)
+};
+
+// ---- Host Object protocol (Section 3.9) -------------------------------------
+
+struct StartObjectRequest {
+  Buffer opr_bytes;
+
+  void Serialize(Writer& w) const { w.buffer(opr_bytes); }
+  static StartObjectRequest Deserialize(Reader& r) {
+    return StartObjectRequest{r.buffer()};
+  }
+  LEGION_WIRE_HELPERS(StartObjectRequest)
+};
+
+struct StartObjectReply {
+  Binding binding;
+
+  void Serialize(Writer& w) const { binding.Serialize(w); }
+  static StartObjectReply Deserialize(Reader& r) {
+    return StartObjectReply{Binding::Deserialize(r)};
+  }
+  LEGION_WIRE_HELPERS(StartObjectReply)
+};
+
+struct StopObjectRequest {
+  Loid loid;
+  bool discard_state = false;  // Delete() path: no OPR wanted
+
+  void Serialize(Writer& w) const {
+    loid.Serialize(w);
+    w.boolean(discard_state);
+  }
+  static StopObjectRequest Deserialize(Reader& r) {
+    StopObjectRequest m;
+    m.loid = Loid::Deserialize(r);
+    m.discard_state = r.boolean();
+    return m;
+  }
+  LEGION_WIRE_HELPERS(StopObjectRequest)
+};
+
+struct StopObjectReply {
+  Buffer opr_bytes;  // empty when discarded
+
+  void Serialize(Writer& w) const { w.buffer(opr_bytes); }
+  static StopObjectReply Deserialize(Reader& r) {
+    return StopObjectReply{r.buffer()};
+  }
+  LEGION_WIRE_HELPERS(StopObjectReply)
+};
+
+struct HostStateReply {
+  double cpu_load = 0.0;
+  std::uint32_t active_objects = 0;
+  double capacity = 1.0;
+  bool accepting = true;
+
+  void Serialize(Writer& w) const {
+    w.f64(cpu_load);
+    w.u32(active_objects);
+    w.f64(capacity);
+    w.boolean(accepting);
+  }
+  static HostStateReply Deserialize(Reader& r) {
+    HostStateReply m;
+    m.cpu_load = r.f64();
+    m.active_objects = r.u32();
+    m.capacity = r.f64();
+    m.accepting = r.boolean();
+    return m;
+  }
+  LEGION_WIRE_HELPERS(HostStateReply)
+};
+
+struct SetLimitRequest {  // SetCPULoad / SetMemoryUsage
+  std::uint64_t limit = 0;
+
+  void Serialize(Writer& w) const { w.u64(limit); }
+  static SetLimitRequest Deserialize(Reader& r) {
+    return SetLimitRequest{r.u64()};
+  }
+  LEGION_WIRE_HELPERS(SetLimitRequest)
+};
+
+// ---- Misc -------------------------------------------------------------------
+
+struct LoidReply {
+  Loid loid;
+
+  void Serialize(Writer& w) const { loid.Serialize(w); }
+  static LoidReply Deserialize(Reader& r) {
+    return LoidReply{Loid::Deserialize(r)};
+  }
+  LEGION_WIRE_HELPERS(LoidReply)
+};
+
+struct StringRequest {
+  std::string value;
+
+  void Serialize(Writer& w) const { w.str(value); }
+  static StringRequest Deserialize(Reader& r) {
+    return StringRequest{r.str()};
+  }
+  LEGION_WIRE_HELPERS(StringRequest)
+};
+
+#undef LEGION_WIRE_HELPERS
+
+}  // namespace legion::core::wire

@@ -1,0 +1,73 @@
+#include "idl/compiler.hpp"
+
+#include "core/well_known.hpp"
+#include "naming/context.hpp"
+
+namespace legion::idl {
+
+Result<core::wire::CreateReply> CompileInterface(
+    core::Client& client, const ParsedInterface& parsed,
+    const CompileOptions& options) {
+  if (parsed.interface.name().empty()) {
+    return InvalidArgumentError("interface has no name");
+  }
+
+  // Map base names to class LOIDs through the context.
+  std::vector<Loid> bases;
+  for (const std::string& base_name : parsed.bases) {
+    if (!options.naming_context.valid()) {
+      return FailedPreconditionError(
+          "interface has bases but no naming context was supplied");
+    }
+    auto base = naming::Lookup(client, options.naming_context, base_name);
+    if (!base.ok()) {
+      return NotFoundError("base '" + base_name +
+                           "' not found in the compilation context");
+    }
+    if (!base->names_class_object()) {
+      return InvalidArgumentError("base '" + base_name +
+                                  "' does not name a class object");
+    }
+    bases.push_back(*base);
+  }
+
+  // kind-of: derive from the first base (or LegionObject).
+  core::wire::DeriveRequest derive;
+  derive.name = parsed.interface.name();
+  derive.instance_impl = options.instance_impl;
+  derive.extra_interface = parsed.interface;
+  derive.flags = options.flags;
+  derive.candidate_magistrates = options.candidate_magistrates;
+  const Loid parent = bases.empty() ? core::LegionObjectLoid() : bases[0];
+  LEGION_ASSIGN_OR_RETURN(core::wire::CreateReply reply,
+                          client.derive(parent, derive));
+
+  // inherits-from: wire the remaining bases at run time (Section 2.1.1's
+  // two-step multiple inheritance).
+  for (std::size_t i = 1; i < bases.size(); ++i) {
+    LEGION_RETURN_IF_ERROR(client.inherit_from(reply.loid, bases[i]));
+  }
+
+  // Publish the class under its name for later compilation units.
+  if (options.naming_context.valid()) {
+    LEGION_RETURN_IF_ERROR(naming::Bind(client, options.naming_context,
+                                        parsed.interface.name(), reply.loid));
+  }
+  return reply;
+}
+
+Result<std::vector<core::wire::CreateReply>> CompileText(
+    core::Client& client, std::string_view source,
+    const CompileOptions& options) {
+  LEGION_ASSIGN_OR_RETURN(std::vector<ParsedInterface> parsed, Parse(source));
+  std::vector<core::wire::CreateReply> out;
+  out.reserve(parsed.size());
+  for (const ParsedInterface& interface : parsed) {
+    LEGION_ASSIGN_OR_RETURN(core::wire::CreateReply reply,
+                            CompileInterface(client, interface, options));
+    out.push_back(std::move(reply));
+  }
+  return out;
+}
+
+}  // namespace legion::idl

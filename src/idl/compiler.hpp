@@ -1,0 +1,45 @@
+// The front half of a Legion-aware compiler (paper Section 4.1).
+//
+// "A user will write a Legion application program in her favorite language,
+//  and will typically name Legion objects with string names. The program is
+//  compiled within a particular 'context' by a Legion-aware compiler. The
+//  compiler uses the context to map string names to LOID's."
+//
+// CompileInterface does exactly that for class definitions: base names in
+// the IDL resolve through a naming context to class LOIDs; the first base
+// becomes the Derive() parent (kind-of), further bases are wired with
+// InheritFrom(); and the new class is bound back into the context under its
+// interface name, ready for the next compilation unit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "idl/idl.hpp"
+
+namespace legion::idl {
+
+struct CompileOptions {
+  // Registry name of the implementation behind the interface ("" = inherit
+  // the parent class's implementation).
+  std::string instance_impl;
+  // Context used to resolve base names and to bind the new class's name.
+  Loid naming_context;
+  std::uint8_t flags = 0;  // core::wire::kClassFlag*
+  std::vector<Loid> candidate_magistrates;
+};
+
+// Compiles one parsed interface into a live Legion class object. Returns
+// the new class's LOID and binding.
+Result<core::wire::CreateReply> CompileInterface(core::Client& client,
+                                                 const ParsedInterface& parsed,
+                                                 const CompileOptions& options);
+
+// Parses and compiles a whole IDL source in order (so later interfaces can
+// inherit from earlier ones), using the same options for each.
+Result<std::vector<core::wire::CreateReply>> CompileText(
+    core::Client& client, std::string_view source,
+    const CompileOptions& options);
+
+}  // namespace legion::idl

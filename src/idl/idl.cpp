@@ -1,0 +1,267 @@
+#include "idl/idl.hpp"
+
+#include <cctype>
+
+namespace legion::idl {
+
+namespace {
+
+enum class TokenKind : std::uint8_t {
+  kIdent,
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kColon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 1;
+  int column = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (c == '\n') {
+        advance();
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') advance();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        LEGION_RETURN_IF_ERROR(skip_block_comment());
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(lex_ident());
+        continue;
+      }
+      Token tok{TokenKind::kEnd, std::string(1, c), line_, column_};
+      switch (c) {
+        case '{': tok.kind = TokenKind::kLBrace; break;
+        case '}': tok.kind = TokenKind::kRBrace; break;
+        case '(': tok.kind = TokenKind::kLParen; break;
+        case ')': tok.kind = TokenKind::kRParen; break;
+        case ',': tok.kind = TokenKind::kComma; break;
+        case ';': tok.kind = TokenKind::kSemicolon; break;
+        case ':': tok.kind = TokenKind::kColon; break;
+        default:
+          return error("unexpected character '" + std::string(1, c) + "'");
+      }
+      tokens.push_back(tok);
+      advance();
+    }
+    tokens.push_back(Token{TokenKind::kEnd, "", line_, column_});
+    return tokens;
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  void advance() {
+    if (source_[pos_] == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    ++pos_;
+  }
+  Token lex_ident() {
+    Token tok{TokenKind::kIdent, "", line_, column_};
+    while (pos_ < source_.size() &&
+           (std::isalnum(static_cast<unsigned char>(source_[pos_])) ||
+            source_[pos_] == '_')) {
+      tok.text += source_[pos_];
+      advance();
+    }
+    return tok;
+  }
+  Status skip_block_comment() {
+    const int start_line = line_;
+    advance();  // '/'
+    advance();  // '*'
+    while (pos_ < source_.size()) {
+      if (source_[pos_] == '*' && peek(1) == '/') {
+        advance();
+        advance();
+        return OkStatus();
+      }
+      advance();
+    }
+    return InvalidArgumentError("unterminated block comment starting at line " +
+                                std::to_string(start_line));
+  }
+  [[nodiscard]] Status error(const std::string& message) const {
+    return InvalidArgumentError(std::to_string(line_) + ":" +
+                                std::to_string(column_) + ": " + message);
+  }
+
+  std::string_view source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<ParsedInterface>> run() {
+    std::vector<ParsedInterface> out;
+    while (!at(TokenKind::kEnd)) {
+      LEGION_ASSIGN_OR_RETURN(ParsedInterface parsed, parse_interface());
+      out.push_back(std::move(parsed));
+    }
+    return out;
+  }
+
+ private:
+  Result<ParsedInterface> parse_interface() {
+    // Two dialects (the paper's footnote: "At least two different IDL's
+    // will be supported": the CORBA IDL and the Mentat Programming
+    // Language):
+    //   interface Name [: Base, ...] { ... };              (CORBA-style)
+    //   [persistent] mentat class Name [: Base, ...] { ... };  (MPL-style)
+    LEGION_ASSIGN_OR_RETURN(
+        Token kw, expect(TokenKind::kIdent, "'interface' or 'mentat class'"));
+    if (kw.text == "persistent") {
+      LEGION_ASSIGN_OR_RETURN(kw, expect(TokenKind::kIdent, "'mentat'"));
+      if (kw.text != "mentat") {
+        return error(kw, "expected 'mentat' after 'persistent'");
+      }
+    }
+    if (kw.text == "mentat") {
+      LEGION_ASSIGN_OR_RETURN(Token cls, expect(TokenKind::kIdent, "'class'"));
+      if (cls.text != "class") {
+        return error(cls, "expected 'class' after 'mentat'");
+      }
+    } else if (kw.text != "interface") {
+      return error(kw, "expected 'interface' or 'mentat class', found '" +
+                           kw.text + "'");
+    }
+    LEGION_ASSIGN_OR_RETURN(Token name,
+                            expect(TokenKind::kIdent, "interface name"));
+    ParsedInterface parsed;
+    parsed.interface.set_name(name.text);
+
+    if (at(TokenKind::kColon)) {
+      ++pos_;
+      for (;;) {
+        LEGION_ASSIGN_OR_RETURN(Token base,
+                                expect(TokenKind::kIdent, "base name"));
+        parsed.bases.push_back(base.text);
+        if (!at(TokenKind::kComma)) break;
+        ++pos_;
+      }
+    }
+    LEGION_RETURN_IF_ERROR(expect(TokenKind::kLBrace, "'{'").status());
+    while (!at(TokenKind::kRBrace)) {
+      LEGION_ASSIGN_OR_RETURN(core::MethodSignature method, parse_method());
+      if (parsed.interface.has_method(method.name)) {
+        return error(current(), "duplicate method '" + method.name + "'");
+      }
+      parsed.interface.add_method(std::move(method));
+    }
+    ++pos_;  // '}'
+    if (at(TokenKind::kSemicolon)) ++pos_;
+    return parsed;
+  }
+
+  Result<core::MethodSignature> parse_method() {
+    LEGION_ASSIGN_OR_RETURN(Token ret, expect(TokenKind::kIdent, "return type"));
+    LEGION_ASSIGN_OR_RETURN(Token name, expect(TokenKind::kIdent, "method name"));
+    LEGION_RETURN_IF_ERROR(expect(TokenKind::kLParen, "'('").status());
+
+    core::MethodSignature method;
+    method.return_type = ret.text;
+    method.name = name.text;
+    if (!at(TokenKind::kRParen)) {
+      for (;;) {
+        LEGION_ASSIGN_OR_RETURN(Token type,
+                                expect(TokenKind::kIdent, "parameter type"));
+        core::Parameter param;
+        param.type = type.text;
+        if (at(TokenKind::kIdent)) {
+          param.name = current().text;
+          ++pos_;
+        }
+        method.parameters.push_back(std::move(param));
+        if (!at(TokenKind::kComma)) break;
+        ++pos_;
+      }
+    }
+    LEGION_RETURN_IF_ERROR(expect(TokenKind::kRParen, "')'").status());
+    LEGION_RETURN_IF_ERROR(expect(TokenKind::kSemicolon, "';'").status());
+    return method;
+  }
+
+  [[nodiscard]] const Token& current() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenKind kind) const {
+    return current().kind == kind;
+  }
+  Result<Token> expect(TokenKind kind, std::string_view what) {
+    if (!at(kind)) {
+      return error(current(), "expected " + std::string(what) + ", found '" +
+                                  (current().kind == TokenKind::kEnd
+                                       ? "<end>"
+                                       : current().text) +
+                                  "'");
+    }
+    return tokens_[pos_++];
+  }
+  [[nodiscard]] static Status error(const Token& at, const std::string& msg) {
+    return InvalidArgumentError(std::to_string(at.line) + ":" +
+                                std::to_string(at.column) + ": " + msg);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<ParsedInterface>> Parse(std::string_view source) {
+  Lexer lexer(source);
+  LEGION_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.run());
+  Parser parser(std::move(tokens));
+  return parser.run();
+}
+
+Result<ParsedInterface> ParseSingle(std::string_view source) {
+  LEGION_ASSIGN_OR_RETURN(std::vector<ParsedInterface> all, Parse(source));
+  if (all.size() != 1) {
+    return InvalidArgumentError("expected exactly one interface, found " +
+                                std::to_string(all.size()));
+  }
+  return std::move(all.front());
+}
+
+std::string Render(const core::InterfaceDescription& interface) {
+  std::string out = "interface " + interface.name() + " {\n";
+  for (const auto& method : interface.methods()) {
+    out += "  " + method.to_string() + ";\n";
+  }
+  out += "};\n";
+  return out;
+}
+
+}  // namespace legion::idl

@@ -1,0 +1,45 @@
+// A small Interface Description Language.
+//
+// Paper Section 2 (footnote): "Legion class interfaces can be described in
+// an Interface Description Language... At least two different IDL's will be
+// supported." This module provides the parsing half of what a Legion-aware
+// compiler would do: turn interface text into InterfaceDescriptions (and
+// base-class names for the inherits-from wiring).
+//
+// Grammar (two dialects share one method syntax — the paper's footnote
+// promises "at least two different IDL's": the CORBA IDL and MPL):
+//   file      := interface*
+//   interface := head NAME [':' NAME {',' NAME}] '{' method* '}' [';']
+//   head      := 'interface'                     (CORBA-style)
+//              | ['persistent'] 'mentat' 'class' (MPL-style)
+//   method    := TYPE NAME '(' [param {',' param}] ')' ';'
+//   param     := TYPE [NAME]
+//
+// '//' line comments and '/* */' block comments are ignored.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.hpp"
+#include "core/interface.hpp"
+
+namespace legion::idl {
+
+struct ParsedInterface {
+  core::InterfaceDescription interface;
+  std::vector<std::string> bases;  // names after ':' — inherits-from targets
+};
+
+// Parses IDL text; errors carry 1-based line:column positions.
+Result<std::vector<ParsedInterface>> Parse(std::string_view source);
+
+// Convenience: parse text expected to contain exactly one interface.
+Result<ParsedInterface> ParseSingle(std::string_view source);
+
+// Renders an interface back to IDL text (inverse of Parse, modulo
+// whitespace) — useful for GetInterface displays.
+std::string Render(const core::InterfaceDescription& interface);
+
+}  // namespace legion::idl

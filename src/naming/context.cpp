@@ -1,0 +1,204 @@
+#include "naming/context.hpp"
+
+#include "core/active_object.hpp"
+#include "core/wire.hpp"
+
+namespace legion::naming {
+
+using core::ObjectContext;
+using core::wire::LoidReply;
+using core::wire::StringRequest;
+
+namespace {
+struct BindRequest {
+  std::string name;
+  Loid loid;
+
+  [[nodiscard]] Buffer to_buffer() const {
+    Buffer out;
+    Writer w(out);
+    w.str(name);
+    loid.Serialize(w);
+    return out;
+  }
+  static BindRequest Deserialize(Reader& r) {
+    BindRequest b;
+    b.name = r.str();
+    b.loid = Loid::Deserialize(r);
+    return b;
+  }
+};
+
+bool ValidName(const std::string& name) {
+  return !name.empty() && name.find('/') == std::string::npos;
+}
+}  // namespace
+
+void ContextImpl::RegisterMethods(core::MethodTable& table) {
+  table.add(methods::kBind, [this](ObjectContext&, Reader& args) -> Result<Buffer> {
+    auto req = BindRequest::Deserialize(args);
+    if (!args.ok()) return InvalidArgumentError("bad Bind args");
+    if (!ValidName(req.name)) {
+      return InvalidArgumentError("names must be non-empty and '/'-free");
+    }
+    if (!req.loid.valid()) return InvalidArgumentError("nil LOID");
+    entries_[req.name] = req.loid;
+    return Buffer{};
+  });
+  table.add(methods::kUnbind,
+            [this](ObjectContext&, Reader& args) -> Result<Buffer> {
+              const std::string name = args.str();
+              if (!args.ok()) return InvalidArgumentError("bad Unbind args");
+              if (entries_.erase(name) == 0) {
+                return NotFoundError("no binding for name: " + name);
+              }
+              return Buffer{};
+            });
+  table.add(methods::kLookup,
+            [this](ObjectContext&, Reader& args) -> Result<Buffer> {
+              const std::string name = args.str();
+              if (!args.ok()) return InvalidArgumentError("bad Lookup args");
+              auto it = entries_.find(name);
+              if (it == entries_.end()) {
+                return NotFoundError("no binding for name: " + name);
+              }
+              return LoidReply{it->second}.to_buffer();
+            });
+  table.add(methods::kList, [this](ObjectContext&, Reader&) -> Result<Buffer> {
+    Buffer out;
+    Writer w(out);
+    w.u32(static_cast<std::uint32_t>(entries_.size()));
+    for (const auto& [name, loid] : entries_) {
+      NameEntry{name, loid}.Serialize(w);
+    }
+    return out;
+  });
+}
+
+void ContextImpl::SaveState(Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [name, loid] : entries_) {
+    NameEntry{name, loid}.Serialize(w);
+  }
+}
+
+Status ContextImpl::RestoreState(Reader& r) {
+  if (r.exhausted()) return OkStatus();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    NameEntry e = NameEntry::Deserialize(r);
+    entries_[e.name] = e.loid;
+  }
+  return r.ok() ? OkStatus() : InvalidArgumentError("bad context state");
+}
+
+core::InterfaceDescription ContextImpl::interface() const {
+  core::InterfaceDescription d("LegionContext");
+  d.add_method(core::MethodSignature{"void", std::string(methods::kBind),
+                                     {{"string", "name"}, {"loid", "target"}}});
+  d.add_method(core::MethodSignature{"void", std::string(methods::kUnbind),
+                                     {{"string", "name"}}});
+  d.add_method(core::MethodSignature{"loid", std::string(methods::kLookup),
+                                     {{"string", "name"}}});
+  d.add_method(core::MethodSignature{"entries", std::string(methods::kList), {}});
+  return d;
+}
+
+Status RegisterNamingImpls(core::ImplementationRegistry& registry) {
+  return registry.add(std::string(kContextImpl),
+                      [] { return std::make_unique<ContextImpl>(); });
+}
+
+Result<Loid> CreateContext(core::Client& client) {
+  LEGION_ASSIGN_OR_RETURN(core::wire::CreateReply reply,
+                          client.create(core::LegionContextLoid()));
+  return reply.loid;
+}
+
+Status Bind(core::Client& client, const Loid& context, const std::string& name,
+            const Loid& loid) {
+  return client.ref(context)
+      .call(methods::kBind, BindRequest{name, loid}.to_buffer())
+      .status();
+}
+
+Status Unbind(core::Client& client, const Loid& context,
+              const std::string& name) {
+  Buffer args;
+  Writer w(args);
+  w.str(name);
+  return client.ref(context).call(methods::kUnbind, std::move(args)).status();
+}
+
+Result<Loid> Lookup(core::Client& client, const Loid& context,
+                    const std::string& name) {
+  Buffer args;
+  Writer w(args);
+  w.str(name);
+  LEGION_ASSIGN_OR_RETURN(Buffer raw,
+                          client.ref(context).call(methods::kLookup,
+                                                   std::move(args)));
+  LEGION_ASSIGN_OR_RETURN(LoidReply reply, LoidReply::from_buffer(raw));
+  return reply.loid;
+}
+
+Result<std::vector<NameEntry>> List(core::Client& client, const Loid& context) {
+  LEGION_ASSIGN_OR_RETURN(Buffer raw,
+                          client.ref(context).call(methods::kList, Buffer{}));
+  Reader r(raw);
+  const std::uint32_t n = r.u32();
+  std::vector<NameEntry> out;
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    out.push_back(NameEntry::Deserialize(r));
+  }
+  if (!r.ok()) return InvalidArgumentError("bad List reply");
+  return out;
+}
+
+namespace {
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t end = path.find('/', start);
+    const std::string part =
+        path.substr(start, end == std::string::npos ? end : end - start);
+    if (!part.empty()) parts.push_back(part);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return parts;
+}
+}  // namespace
+
+Result<Loid> ResolvePath(core::Client& client, const Loid& root,
+                         const std::string& path) {
+  const auto parts = SplitPath(path);
+  if (parts.empty()) return root;
+  Loid current = root;
+  for (const std::string& part : parts) {
+    LEGION_ASSIGN_OR_RETURN(current, Lookup(client, current, part));
+  }
+  return current;
+}
+
+Status BindPath(core::Client& client, const Loid& root, const std::string& path,
+                const Loid& loid) {
+  const auto parts = SplitPath(path);
+  if (parts.empty()) return InvalidArgumentError("empty path");
+  Loid current = root;
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    auto next = Lookup(client, current, parts[i]);
+    if (!next.ok()) {
+      if (next.status().code() != StatusCode::kNotFound) return next.status();
+      LEGION_ASSIGN_OR_RETURN(Loid fresh, CreateContext(client));
+      LEGION_RETURN_IF_ERROR(Bind(client, current, parts[i], fresh));
+      current = fresh;
+    } else {
+      current = *next;
+    }
+  }
+  return Bind(client, current, parts.back(), loid);
+}
+
+}  // namespace legion::naming

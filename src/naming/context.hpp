@@ -1,0 +1,93 @@
+// The single persistent name space (paper Sections 1 and 4.1).
+//
+// "A single persistent name space unites the objects in the Legion system."
+// "The compiler uses the context to map string names to LOID's, which then
+//  become embedded within Legion executable programs."
+//
+// Contexts are themselves Legion objects (instances of the core
+// LegionContext class): they persist, migrate, and secure themselves like
+// anything else. A context maps simple names to LOIDs; hierarchical paths
+// ("home/data/results") resolve by walking subcontext objects.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/object_impl.hpp"
+#include "core/system.hpp"
+
+namespace legion::naming {
+
+inline constexpr std::string_view kContextImpl = "legion.context";
+
+// Wire methods exported by context objects.
+namespace methods {
+inline constexpr std::string_view kBind = "Bind";
+inline constexpr std::string_view kUnbind = "Unbind";
+inline constexpr std::string_view kLookup = "Lookup";
+inline constexpr std::string_view kList = "List";
+}  // namespace methods
+
+struct NameEntry {
+  std::string name;
+  Loid loid;
+
+  void Serialize(Writer& w) const {
+    w.str(name);
+    loid.Serialize(w);
+  }
+  static NameEntry Deserialize(Reader& r) {
+    NameEntry e;
+    e.name = r.str();
+    e.loid = Loid::Deserialize(r);
+    return e;
+  }
+};
+
+class ContextImpl final : public core::ObjectImpl {
+ public:
+  [[nodiscard]] std::string implementation_name() const override {
+    return std::string(kContextImpl);
+  }
+  void RegisterMethods(core::MethodTable& table) override;
+  void SaveState(Writer& w) const override;
+  Status RestoreState(Reader& r) override;
+  [[nodiscard]] core::InterfaceDescription interface() const override;
+
+ private:
+  std::map<std::string, Loid> entries_;
+};
+
+// Registers the context implementation; call once per system before
+// creating contexts.
+Status RegisterNamingImpls(core::ImplementationRegistry& registry);
+
+// --- Client-side helpers ------------------------------------------------
+
+// Creates a fresh, empty context object.
+Result<Loid> CreateContext(core::Client& client);
+
+// Binds `name` (a single path component) to `loid` in `context`.
+Status Bind(core::Client& client, const Loid& context, const std::string& name,
+            const Loid& loid);
+Status Unbind(core::Client& client, const Loid& context,
+              const std::string& name);
+
+// Looks up a single component.
+Result<Loid> Lookup(core::Client& client, const Loid& context,
+                    const std::string& name);
+
+// Lists the entries of one context.
+Result<std::vector<NameEntry>> List(core::Client& client, const Loid& context);
+
+// Resolves a '/'-separated path by walking subcontexts from `root`.
+Result<Loid> ResolvePath(core::Client& client, const Loid& root,
+                         const std::string& path);
+
+// Creates intermediate contexts as needed and binds the final component —
+// like `mkdir -p` plus `ln`.
+Status BindPath(core::Client& client, const Loid& root, const std::string& path,
+                const Loid& loid);
+
+}  // namespace legion::naming

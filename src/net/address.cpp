@@ -1,0 +1,116 @@
+#include "net/address.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace legion::net {
+
+void NetworkAddress::put_u64(std::size_t offset, std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    payload_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+std::uint64_t NetworkAddress::get_u64(std::size_t offset) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(payload_[offset + i]) << (8 * i);
+  }
+  return v;
+}
+void NetworkAddress::put_u32(std::size_t offset, std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    payload_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+std::uint32_t NetworkAddress::get_u32(std::size_t offset) const {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(payload_[offset + i]) << (8 * i);
+  }
+  return v;
+}
+void NetworkAddress::put_u16(std::size_t offset, std::uint16_t v) {
+  payload_[offset] = static_cast<std::uint8_t>(v);
+  payload_[offset + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+std::uint16_t NetworkAddress::get_u16(std::size_t offset) const {
+  return static_cast<std::uint16_t>(payload_[offset] |
+                                    (payload_[offset + 1] << 8));
+}
+
+NetworkAddress NetworkAddress::Sim(EndpointId endpoint) {
+  NetworkAddress a;
+  a.type_ = AddressType::kSim;
+  a.put_u64(0, endpoint.value);
+  return a;
+}
+
+NetworkAddress NetworkAddress::IpV4(std::uint32_t ip, std::uint16_t port,
+                                    std::uint32_t node) {
+  // Paper layout: "For a normal IP address, 48 of the 256 bits will be
+  // utilized: 32 bits for the IP address, and 16 bits for a port number. On
+  // multiprocessors, a 32 bit platform-specific internal node number may be
+  // used."
+  NetworkAddress a;
+  a.type_ = AddressType::kIpV4;
+  a.put_u32(0, ip);
+  a.put_u16(4, port);
+  a.put_u32(6, node);
+  return a;
+}
+
+EndpointId NetworkAddress::sim_endpoint() const {
+  assert(type_ == AddressType::kSim);
+  return EndpointId{get_u64(0)};
+}
+std::uint32_t NetworkAddress::ipv4_address() const {
+  assert(type_ == AddressType::kIpV4);
+  return get_u32(0);
+}
+std::uint16_t NetworkAddress::ipv4_port() const {
+  assert(type_ == AddressType::kIpV4);
+  return get_u16(4);
+}
+std::uint32_t NetworkAddress::ipv4_node() const {
+  assert(type_ == AddressType::kIpV4);
+  return get_u32(6);
+}
+
+std::string NetworkAddress::to_string() const {
+  char buf[64];
+  switch (type_) {
+    case AddressType::kInvalid:
+      return "invalid";
+    case AddressType::kSim:
+      std::snprintf(buf, sizeof buf, "sim:%llu",
+                    static_cast<unsigned long long>(get_u64(0)));
+      return buf;
+    case AddressType::kIpV4: {
+      const std::uint32_t ip = ipv4_address();
+      std::snprintf(buf, sizeof buf, "ip:%u.%u.%u.%u:%u/%u", (ip >> 24) & 0xFF,
+                    (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF,
+                    ipv4_port(), ipv4_node());
+      return buf;
+    }
+  }
+  return "unknown";
+}
+
+void NetworkAddress::Serialize(Writer& w) const {
+  w.u32(static_cast<std::uint32_t>(type_));
+  w.bytes(std::span<const std::uint8_t>(payload_.data(), payload_.size()));
+}
+
+NetworkAddress NetworkAddress::Deserialize(Reader& r) {
+  NetworkAddress a;
+  a.type_ = static_cast<AddressType>(r.u32());
+  auto raw = r.bytes();
+  if (raw.size() == kPayloadBytes) {
+    std::copy(raw.begin(), raw.end(), a.payload_.begin());
+  } else {
+    a.type_ = AddressType::kInvalid;
+  }
+  return a;
+}
+
+}  // namespace legion::net

@@ -1,0 +1,72 @@
+// Physical addresses, paper Section 3.4.
+//
+// "An Object Address Element contains, at the highest level, two basic
+//  parts: a 32 bit address type field, and 256 bits of address specific
+//  information."
+//
+// The format is reproduced exactly: a 32-bit type tag plus a 32-byte
+// payload. Two types are registered: kSim (the simulated transport, payload
+// = endpoint id) and kIpV4 (the paper's envisioned common case: 32-bit IP +
+// 16-bit port + optional 32-bit multiprocessor node number). Others can be
+// added without changing the wire format.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/serialize.hpp"
+#include "base/types.hpp"
+
+namespace legion::net {
+
+enum class AddressType : std::uint32_t {
+  kInvalid = 0,
+  kSim = 1,   // in-process simulated transport
+  kIpV4 = 2,  // IP + port (+ node number on multiprocessors)
+};
+
+class NetworkAddress {
+ public:
+  static constexpr std::size_t kPayloadBytes = 32;  // 256 bits
+
+  NetworkAddress() = default;
+
+  static NetworkAddress Sim(EndpointId endpoint);
+  static NetworkAddress IpV4(std::uint32_t ip, std::uint16_t port,
+                             std::uint32_t node = 0);
+
+  [[nodiscard]] AddressType type() const { return type_; }
+  [[nodiscard]] bool valid() const { return type_ != AddressType::kInvalid; }
+  [[nodiscard]] const std::array<std::uint8_t, kPayloadBytes>& payload() const {
+    return payload_;
+  }
+
+  // Accessors for the registered encodings. Call only when type() matches.
+  [[nodiscard]] EndpointId sim_endpoint() const;
+  [[nodiscard]] std::uint32_t ipv4_address() const;
+  [[nodiscard]] std::uint16_t ipv4_port() const;
+  [[nodiscard]] std::uint32_t ipv4_node() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  void Serialize(Writer& w) const;
+  static NetworkAddress Deserialize(Reader& r);
+
+  friend bool operator==(const NetworkAddress& a, const NetworkAddress& b) {
+    return a.type_ == b.type_ && a.payload_ == b.payload_;
+  }
+
+ private:
+  void put_u64(std::size_t offset, std::uint64_t v);
+  [[nodiscard]] std::uint64_t get_u64(std::size_t offset) const;
+  void put_u32(std::size_t offset, std::uint32_t v);
+  [[nodiscard]] std::uint32_t get_u32(std::size_t offset) const;
+  void put_u16(std::size_t offset, std::uint16_t v);
+  [[nodiscard]] std::uint16_t get_u16(std::size_t offset) const;
+
+  AddressType type_ = AddressType::kInvalid;
+  std::array<std::uint8_t, kPayloadBytes> payload_{};
+};
+
+}  // namespace legion::net

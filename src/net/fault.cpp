@@ -1,0 +1,3 @@
+#include "net/fault.hpp"
+
+// Header-only; TU anchors the target.

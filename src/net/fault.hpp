@@ -1,0 +1,66 @@
+// Fault injection for the simulated network.
+//
+// Supports per-latency-class message drop probabilities, pairwise host
+// partitions, and whole-host outages. The runtime consults the plan at
+// delivery time, so faults interact naturally with in-flight messages —
+// which is how stale bindings (paper Section 4.1.4) arise in practice.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+
+#include "base/rng.hpp"
+#include "base/types.hpp"
+#include "net/topology.hpp"
+
+namespace legion::net {
+
+class FaultPlan {
+ public:
+  void set_drop_probability(LatencyClass c, double p) {
+    drop_p_[static_cast<std::size_t>(c)] = p;
+  }
+  [[nodiscard]] double drop_probability(LatencyClass c) const {
+    return drop_p_[static_cast<std::size_t>(c)];
+  }
+
+  void partition(HostId a, HostId b) { partitions_.insert(key(a, b)); }
+  void heal(HostId a, HostId b) { partitions_.erase(key(a, b)); }
+  [[nodiscard]] bool partitioned(HostId a, HostId b) const {
+    return partitions_.contains(key(a, b));
+  }
+
+  void take_host_down(HostId h) { down_.insert(h.value); }
+  void bring_host_up(HostId h) { down_.erase(h.value); }
+  [[nodiscard]] bool host_down(HostId h) const { return down_.contains(h.value); }
+
+  // True if a message from a to b (class c) should be silently dropped.
+  [[nodiscard]] bool should_drop(HostId a, HostId b, LatencyClass c,
+                                 Rng& rng) const {
+    if (host_down(a) || host_down(b) || partitioned(a, b)) return true;
+    const double p = drop_probability(c);
+    return p > 0.0 && rng.chance(p);
+  }
+
+  [[nodiscard]] bool any_faults() const {
+    if (!partitions_.empty() || !down_.empty()) return true;
+    for (double p : drop_p_) {
+      if (p > 0.0) return true;
+    }
+    return false;
+  }
+
+ private:
+  static std::uint64_t key(HostId a, HostId b) {
+    const std::uint64_t lo = a.value < b.value ? a.value : b.value;
+    const std::uint64_t hi = a.value < b.value ? b.value : a.value;
+    return (hi << 32) | lo;
+  }
+
+  std::array<double, kNumLatencyClasses> drop_p_{};
+  std::unordered_set<std::uint64_t> partitions_;
+  std::unordered_set<std::uint32_t> down_;
+};
+
+}  // namespace legion::net

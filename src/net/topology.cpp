@@ -1,0 +1,100 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+
+namespace legion::net {
+
+std::string_view to_string(LatencyClass c) {
+  switch (c) {
+    case LatencyClass::kSameHost: return "same-host";
+    case LatencyClass::kIntraJurisdiction: return "intra-jurisdiction";
+    case LatencyClass::kCrossJurisdiction: return "cross-jurisdiction";
+  }
+  return "unknown";
+}
+
+JurisdictionId Topology::add_jurisdiction(std::string name) {
+  const JurisdictionId id{static_cast<std::uint32_t>(jurisdictions_.size() + 1)};
+  jurisdictions_.push_back(JurisdictionInfo{id, std::move(name)});
+  return id;
+}
+
+HostId Topology::add_host(std::string name,
+                          std::vector<JurisdictionId> jurisdictions,
+                          double capacity) {
+  const HostId id{static_cast<std::uint32_t>(hosts_.size() + 1)};
+  hosts_.push_back(HostInfo{id, std::move(name), std::move(jurisdictions),
+                            capacity});
+  return id;
+}
+
+const HostInfo* Topology::host(HostId id) const {
+  if (!id.valid() || id.value > hosts_.size()) return nullptr;
+  return &hosts_[id.value - 1];
+}
+
+const JurisdictionInfo* Topology::jurisdiction(JurisdictionId id) const {
+  if (!id.valid() || id.value > jurisdictions_.size()) return nullptr;
+  return &jurisdictions_[id.value - 1];
+}
+
+std::vector<HostId> Topology::hosts_in(JurisdictionId id) const {
+  std::vector<HostId> out;
+  for (const auto& h : hosts_) {
+    if (std::find(h.jurisdictions.begin(), h.jurisdictions.end(), id) !=
+        h.jurisdictions.end()) {
+      out.push_back(h.id);
+    }
+  }
+  return out;
+}
+
+bool Topology::share_jurisdiction(HostId a, HostId b) const {
+  const HostInfo* ha = host(a);
+  const HostInfo* hb = host(b);
+  if (ha == nullptr || hb == nullptr) return false;
+  for (JurisdictionId ja : ha->jurisdictions) {
+    if (std::find(hb->jurisdictions.begin(), hb->jurisdictions.end(), ja) !=
+        hb->jurisdictions.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+LatencyClass Topology::classify(HostId a, HostId b) const {
+  if (a == b) return LatencyClass::kSameHost;
+  if (share_jurisdiction(a, b)) return LatencyClass::kIntraJurisdiction;
+  return LatencyClass::kCrossJurisdiction;
+}
+
+SimTime Topology::sample_latency(HostId a, HostId b, Rng& rng,
+                                 std::size_t bytes) const {
+  SimTime mean = 0;
+  double bytes_per_us = 0.0;
+  switch (classify(a, b)) {
+    case LatencyClass::kSameHost:
+      mean = profile_.same_host_us;
+      bytes_per_us = profile_.same_host_bytes_per_us;
+      break;
+    case LatencyClass::kIntraJurisdiction:
+      mean = profile_.intra_jurisdiction_us;
+      bytes_per_us = profile_.intra_bytes_per_us;
+      break;
+    case LatencyClass::kCrossJurisdiction:
+      mean = profile_.cross_jurisdiction_us;
+      bytes_per_us = profile_.cross_bytes_per_us;
+      break;
+  }
+  SimTime total = mean;
+  if (bytes > 0 && bytes_per_us > 0.0) {
+    total += static_cast<SimTime>(static_cast<double>(bytes) / bytes_per_us);
+  }
+  if (profile_.jitter > 0.0) {
+    const double scale = 1.0 + profile_.jitter * (2.0 * rng.unit() - 1.0);
+    total = static_cast<SimTime>(static_cast<double>(total) * scale);
+  }
+  return total > 1 ? total : 1;
+}
+
+}  // namespace legion::net

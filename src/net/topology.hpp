@@ -1,0 +1,87 @@
+// Simulated wide-area topology.
+//
+// Hosts are grouped into jurisdictions (paper Section 2.2; membership may be
+// non-disjoint). The latency model has three classes — same host, intra-
+// jurisdiction, cross-jurisdiction — because Section 5's locality argument
+// ("most accesses will be local") is about exactly this distinction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/status.hpp"
+#include "base/types.hpp"
+
+namespace legion::net {
+
+enum class LatencyClass : std::uint8_t {
+  kSameHost = 0,
+  kIntraJurisdiction = 1,
+  kCrossJurisdiction = 2,
+};
+inline constexpr std::size_t kNumLatencyClasses = 3;
+
+[[nodiscard]] std::string_view to_string(LatencyClass c);
+
+// Mean one-way delivery latencies (virtual microseconds) plus a relative
+// jitter fraction applied uniformly in [1-jitter, 1+jitter], plus per-class
+// throughput so that large transfers (OPR migration, Section 3.8) cost what
+// they should on mid-90s links.
+struct LatencyProfile {
+  SimTime same_host_us = 20;
+  SimTime intra_jurisdiction_us = 500;      // campus LAN
+  SimTime cross_jurisdiction_us = 40'000;   // mid-90s wide area
+  double jitter = 0.10;
+  // Bytes per virtual microsecond (0 = infinite bandwidth).
+  double same_host_bytes_per_us = 1000.0;   // memory-speed loopback
+  double intra_bytes_per_us = 1.25;         // 10 Mb/s Ethernet
+  double cross_bytes_per_us = 0.5;          // shared T3-era wide area
+};
+
+struct HostInfo {
+  HostId id;
+  std::string name;
+  std::vector<JurisdictionId> jurisdictions;
+  // Relative compute capacity; Host Objects report load against this.
+  double capacity = 1.0;
+};
+
+struct JurisdictionInfo {
+  JurisdictionId id;
+  std::string name;
+};
+
+class Topology {
+ public:
+  JurisdictionId add_jurisdiction(std::string name);
+  HostId add_host(std::string name, std::vector<JurisdictionId> jurisdictions,
+                  double capacity = 1.0);
+
+  [[nodiscard]] const HostInfo* host(HostId id) const;
+  [[nodiscard]] const JurisdictionInfo* jurisdiction(JurisdictionId id) const;
+  [[nodiscard]] const std::vector<HostInfo>& hosts() const { return hosts_; }
+  [[nodiscard]] const std::vector<JurisdictionInfo>& jurisdictions() const {
+    return jurisdictions_;
+  }
+  [[nodiscard]] std::vector<HostId> hosts_in(JurisdictionId id) const;
+
+  [[nodiscard]] bool share_jurisdiction(HostId a, HostId b) const;
+  [[nodiscard]] LatencyClass classify(HostId a, HostId b) const;
+
+  void set_latency_profile(LatencyProfile profile) { profile_ = profile; }
+  [[nodiscard]] const LatencyProfile& latency_profile() const { return profile_; }
+
+  // One-way delivery latency sample for a `bytes`-sized message a -> b:
+  // propagation (with jitter) plus serialization at the class bandwidth.
+  [[nodiscard]] SimTime sample_latency(HostId a, HostId b, Rng& rng,
+                                       std::size_t bytes = 0) const;
+
+ private:
+  std::vector<HostInfo> hosts_;
+  std::vector<JurisdictionInfo> jurisdictions_;
+  LatencyProfile profile_;
+};
+
+}  // namespace legion::net

@@ -1,0 +1,3 @@
+#include "persist/opr.hpp"
+
+// Header-only; TU anchors the target.

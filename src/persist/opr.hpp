@@ -1,0 +1,85 @@
+// Object Persistent Representations, paper Section 3.1.1.
+//
+// "An Object Persistent Representation is a sequential set of bytes that
+//  represents an Inert object, and that can be used by a Magistrate to
+//  activate the object."
+//
+// An OPR here carries the object's LOID, the name of its implementation
+// (standing in for "an executable file / the name of an executable" — see
+// DESIGN.md substitutions), and the state produced by SaveState(). The whole
+// thing round-trips through a flat byte buffer, as the paper requires.
+#pragma once
+
+#include <string>
+
+#include "base/buffer.hpp"
+#include "base/loid.hpp"
+#include "base/serialize.hpp"
+#include "base/status.hpp"
+#include "base/types.hpp"
+
+namespace legion::persist {
+
+struct ObjectPersistentRepresentation {
+  Loid loid;
+  std::string implementation;  // key into the ImplementationRegistry
+  Buffer state;                // output of SaveState()
+
+  void Serialize(Writer& w) const {
+    loid.Serialize(w);
+    w.str(implementation);
+    w.buffer(state);
+  }
+  static ObjectPersistentRepresentation Deserialize(Reader& r) {
+    ObjectPersistentRepresentation opr;
+    opr.loid = Loid::Deserialize(r);
+    opr.implementation = r.str();
+    opr.state = r.buffer();
+    return opr;
+  }
+
+  [[nodiscard]] Buffer to_bytes() const {
+    Buffer out;
+    Writer w(out);
+    Serialize(w);
+    return out;
+  }
+  static Result<ObjectPersistentRepresentation> from_bytes(const Buffer& b) {
+    Reader r(b);
+    auto opr = Deserialize(r);
+    if (!r.ok() || !r.exhausted()) {
+      return InvalidArgumentError("malformed OPR bytes");
+    }
+    return opr;
+  }
+};
+
+using Opr = ObjectPersistentRepresentation;
+
+// "The Object Persistent Address of an Inert object ... will typically be a
+//  file name, and will only be meaningful within the Jurisdiction in which
+//  it resides."
+struct PersistentAddress {
+  DiskId disk;
+  std::string path;
+
+  [[nodiscard]] bool valid() const { return disk.valid() && !path.empty(); }
+
+  void Serialize(Writer& w) const {
+    w.u32(disk.value);
+    w.str(path);
+  }
+  static PersistentAddress Deserialize(Reader& r) {
+    PersistentAddress a;
+    a.disk = DiskId{r.u32()};
+    a.path = r.str();
+    return a;
+  }
+
+  friend bool operator==(const PersistentAddress& a,
+                         const PersistentAddress& b) {
+    return a.disk == b.disk && a.path == b.path;
+  }
+};
+
+}  // namespace legion::persist

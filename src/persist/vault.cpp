@@ -1,0 +1,203 @@
+#include "persist/vault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace legion::persist {
+
+namespace fs = std::filesystem;
+
+std::string EncodeVaultPath(const std::string& path) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(path.size());
+  for (char c : path) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                      c == '_';
+    if (safe) {
+      out += c;
+    } else {
+      out += '%';
+      out += kHex[static_cast<unsigned char>(c) >> 4];
+      out += kHex[static_cast<unsigned char>(c) & 0xF];
+    }
+  }
+  return out;
+}
+
+Result<std::string> DecodeVaultPath(const std::string& encoded) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string out;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded[i] != '%') {
+      out += encoded[i];
+      continue;
+    }
+    if (i + 2 >= encoded.size()) return InvalidArgumentError("truncated escape");
+    const int hi = hex(encoded[i + 1]);
+    const int lo = hex(encoded[i + 2]);
+    if (hi < 0 || lo < 0) return InvalidArgumentError("bad escape");
+    out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return out;
+}
+
+std::string Vault::file_for(const std::string& path) const {
+  return backing_dir_ + "/" + EncodeVaultPath(path);
+}
+
+Status Vault::mirror_write(const std::string& path, const Buffer& bytes) const {
+  if (!backed()) return OkStatus();
+  std::ofstream out(file_for(path), std::ios::binary | std::ios::trunc);
+  if (!out) return InternalError("cannot open backing file for " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good() ? OkStatus()
+                    : InternalError("short write to backing file");
+}
+
+Status Vault::mirror_erase(const std::string& path) const {
+  if (!backed()) return OkStatus();
+  std::error_code ec;
+  fs::remove(file_for(path), ec);
+  return ec ? InternalError("cannot remove backing file: " + ec.message())
+            : OkStatus();
+}
+
+Status Vault::attach_backing(const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) return InternalError("cannot create " + directory);
+  backing_dir_ = directory;
+  for (const auto& [path, bytes] : files_) {
+    LEGION_RETURN_IF_ERROR(mirror_write(path, bytes));
+  }
+  return OkStatus();
+}
+
+Status Vault::load_backing() {
+  if (!backed()) return FailedPreconditionError("vault has no backing");
+  files_.clear();
+  bytes_stored_ = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(backing_dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    LEGION_ASSIGN_OR_RETURN(std::string path,
+                            DecodeVaultPath(entry.path().filename().string()));
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    bytes_stored_ += bytes.size();
+    files_.emplace(std::move(path), Buffer{std::move(bytes)});
+  }
+  return ec ? InternalError("cannot scan backing dir: " + ec.message())
+            : OkStatus();
+}
+
+Status Vault::write(const std::string& path, Buffer bytes) {
+  if (path.empty()) return InvalidArgumentError("empty path");
+  LEGION_RETURN_IF_ERROR(mirror_write(path, bytes));
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    bytes_stored_ -= it->second.size();
+    it->second = std::move(bytes);
+    bytes_stored_ += it->second.size();
+  } else {
+    bytes_stored_ += bytes.size();
+    files_.emplace(path, std::move(bytes));
+  }
+  return OkStatus();
+}
+
+Result<Buffer> Vault::read(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("no such file: " + path);
+  return it->second;
+}
+
+Status Vault::erase(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("no such file: " + path);
+  LEGION_RETURN_IF_ERROR(mirror_erase(path));
+  bytes_stored_ -= it->second.size();
+  files_.erase(it);
+  return OkStatus();
+}
+
+bool Vault::exists(const std::string& path) const {
+  return files_.contains(path);
+}
+
+std::vector<std::string> Vault::list() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, _] : files_) out.push_back(path);
+  return out;
+}
+
+DiskId VaultSet::add_vault(std::string name) {
+  const DiskId id{static_cast<std::uint32_t>(vaults_.size() + 1)};
+  vaults_.push_back(std::make_unique<Vault>(id, std::move(name)));
+  return id;
+}
+
+Status VaultSet::attach_backing(const std::string& directory) {
+  for (auto& vault : vaults_) {
+    LEGION_RETURN_IF_ERROR(
+        vault->attach_backing(directory + "/" + EncodeVaultPath(vault->name())));
+  }
+  return OkStatus();
+}
+
+Vault* VaultSet::vault(DiskId id) {
+  if (!id.valid() || id.value > vaults_.size()) return nullptr;
+  return vaults_[id.value - 1].get();
+}
+const Vault* VaultSet::vault(DiskId id) const {
+  if (!id.valid() || id.value > vaults_.size()) return nullptr;
+  return vaults_[id.value - 1].get();
+}
+
+Result<PersistentAddress> VaultSet::store(const Opr& opr) {
+  if (vaults_.empty()) {
+    return FailedPreconditionError("jurisdiction has no persistent storage");
+  }
+  auto it = std::min_element(vaults_.begin(), vaults_.end(),
+                             [](const auto& a, const auto& b) {
+                               return a->bytes_stored() < b->bytes_stored();
+                             });
+  Vault& v = **it;
+  PersistentAddress addr{v.id(),
+                         "opr/" + opr.loid.to_string() + "." +
+                             std::to_string(next_file_++)};
+  LEGION_RETURN_IF_ERROR(v.write(addr.path, opr.to_bytes()));
+  return addr;
+}
+
+Result<Opr> VaultSet::load(const PersistentAddress& addr) const {
+  const Vault* v = vault(addr.disk);
+  if (v == nullptr) return NotFoundError("no such disk");
+  LEGION_ASSIGN_OR_RETURN(Buffer bytes, v->read(addr.path));
+  return Opr::from_bytes(bytes);
+}
+
+Status VaultSet::remove(const PersistentAddress& addr) {
+  Vault* v = vault(addr.disk);
+  if (v == nullptr) return NotFoundError("no such disk");
+  return v->erase(addr.path);
+}
+
+bool VaultSet::holds(const PersistentAddress& addr) const {
+  const Vault* v = vault(addr.disk);
+  return v != nullptr && v->exists(addr.path);
+}
+
+}  // namespace legion::persist

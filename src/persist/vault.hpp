@@ -1,0 +1,88 @@
+// A jurisdiction's aggregate persistent storage.
+//
+// Paper Section 3.1: "all of a Jurisdiction's persistent storage space must
+// be visible from each of its hosts" — so a Vault is shared by every host in
+// the jurisdiction. A VaultSet groups the jurisdiction's disks (Figure 11
+// shows three disks visible from three hosts) and places new representations
+// across them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/buffer.hpp"
+#include "base/status.hpp"
+#include "base/types.hpp"
+#include "persist/opr.hpp"
+
+namespace legion::persist {
+
+// One "disk": a flat namespace of named byte sequences. Optionally backed
+// by a real directory, in which case every write/erase is mirrored to disk
+// and load_backing() recovers the namespace after a restart.
+class Vault {
+ public:
+  explicit Vault(DiskId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  [[nodiscard]] DiskId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  Status write(const std::string& path, Buffer bytes);
+  [[nodiscard]] Result<Buffer> read(const std::string& path) const;
+  Status erase(const std::string& path);
+  [[nodiscard]] bool exists(const std::string& path) const;
+  [[nodiscard]] std::vector<std::string> list() const;
+  [[nodiscard]] std::size_t count() const { return files_.size(); }
+  [[nodiscard]] std::uint64_t bytes_stored() const { return bytes_stored_; }
+
+  // Mirrors this vault into `directory` (created if missing): the current
+  // contents are flushed immediately, subsequent writes/erases follow.
+  Status attach_backing(const std::string& directory);
+  // Replaces the in-memory namespace with the backing directory's contents.
+  Status load_backing();
+  [[nodiscard]] bool backed() const { return !backing_dir_.empty(); }
+
+ private:
+  Status mirror_write(const std::string& path, const Buffer& bytes) const;
+  Status mirror_erase(const std::string& path) const;
+  [[nodiscard]] std::string file_for(const std::string& path) const;
+
+  DiskId id_;
+  std::string name_;
+  std::map<std::string, Buffer> files_;
+  std::uint64_t bytes_stored_ = 0;
+  std::string backing_dir_;
+};
+
+// Filesystem-safe encoding of vault paths (they may contain '/' and ':').
+[[nodiscard]] std::string EncodeVaultPath(const std::string& path);
+[[nodiscard]] Result<std::string> DecodeVaultPath(const std::string& encoded);
+
+// The aggregate storage of one jurisdiction.
+class VaultSet {
+ public:
+  DiskId add_vault(std::string name);
+
+  // Backs every vault (current and future reads) under
+  // `directory`/<vault-name>/.
+  Status attach_backing(const std::string& directory);
+
+  [[nodiscard]] Vault* vault(DiskId id);
+  [[nodiscard]] const Vault* vault(DiskId id) const;
+  [[nodiscard]] std::size_t size() const { return vaults_.size(); }
+
+  // Stores an OPR, choosing the least-full disk, and returns where it went.
+  Result<PersistentAddress> store(const Opr& opr);
+  [[nodiscard]] Result<Opr> load(const PersistentAddress& addr) const;
+  Status remove(const PersistentAddress& addr);
+  [[nodiscard]] bool holds(const PersistentAddress& addr) const;
+
+ private:
+  std::vector<std::unique_ptr<Vault>> vaults_;
+  std::uint64_t next_file_ = 1;
+};
+
+}  // namespace legion::persist

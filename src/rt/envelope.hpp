@@ -1,0 +1,31 @@
+// The unit of transport between endpoints.
+//
+// An envelope is what the (simulated) network moves: opaque payload bytes
+// plus source/destination endpoints. kBounce envelopes are transport-level
+// negative acknowledgements: when delivery fails because the destination
+// endpoint no longer exists, the runtime returns the original payload to the
+// sender so its communication layer can detect the stale binding (paper
+// Section 4.1.4: "the Legion communication layer of the object is expected
+// to detect that it has become invalid").
+#pragma once
+
+#include <cstdint>
+
+#include "base/buffer.hpp"
+#include "base/types.hpp"
+
+namespace legion::rt {
+
+enum class DeliveryKind : std::uint8_t {
+  kData = 0,
+  kBounce = 1,
+};
+
+struct Envelope {
+  EndpointId src;
+  EndpointId dst;
+  DeliveryKind kind = DeliveryKind::kData;
+  Buffer payload;
+};
+
+}  // namespace legion::rt

@@ -1,0 +1,74 @@
+// Pump-friendly futures.
+//
+// Method invocation in Legion is non-blocking (paper Section 2); an invoke
+// returns a Future the caller can poll or wait on. Unlike std::future, these
+// are designed for the runtime's wait loops: waiting threads keep servicing
+// their endpoint's mailbox, so readiness is checked by polling `ready()`
+// rather than by blocking on the future itself.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace legion::rt {
+
+template <typename T>
+class Future;
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<State>()) {}
+
+  void set(T value) {
+    std::lock_guard lock(state_->mutex);
+    assert(!state_->value.has_value() && "promise fulfilled twice");
+    state_->value = std::move(value);
+  }
+
+  [[nodiscard]] Future<T> future() const { return Future<T>{state_}; }
+
+ private:
+  friend class Future<T>;
+  struct State {
+    std::mutex mutex;
+    std::optional<T> value;
+  };
+  std::shared_ptr<State> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  [[nodiscard]] bool ready() const {
+    if (!state_) return false;
+    std::lock_guard lock(state_->mutex);
+    return state_->value.has_value();
+  }
+
+  // Requires ready(). Moves the value out.
+  [[nodiscard]] T take() {
+    assert(state_);
+    std::lock_guard lock(state_->mutex);
+    assert(state_->value.has_value());
+    T out = std::move(*state_->value);
+    state_->value.reset();
+    state_.reset();
+    return out;
+  }
+
+ private:
+  friend class Promise<T>;
+  using State = typename Promise<T>::State;
+  explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace legion::rt

@@ -1,0 +1,168 @@
+#include "rt/messenger.hpp"
+
+#include <utility>
+
+namespace legion::rt {
+
+Messenger::Messenger(Runtime& runtime, HostId host, std::string label,
+                     ExecutionMode mode, RequestDispatcher dispatcher)
+    : runtime_(runtime), host_(host), dispatcher_(std::move(dispatcher)) {
+  endpoint_ = runtime_.create_endpoint(
+      host, std::move(label), [this](Envelope&& env) { on_message(std::move(env)); },
+      mode);
+}
+
+Messenger::~Messenger() { close(); }
+
+void Messenger::close() {
+  if (closed_) return;
+  closed_ = true;
+  runtime_.close_endpoint(endpoint_);
+  // Fail anything still pending: replies can no longer arrive.
+  std::lock_guard lock(pending_mutex_);
+  for (auto& [_, promise] : pending_) {
+    promise.set(ReplyMsg{AbortedError("messenger closed"), Buffer{}});
+  }
+  pending_.clear();
+}
+
+Future<ReplyMsg> Messenger::invoke(EndpointId dst, std::string_view method,
+                                   Buffer args, const EnvTriple& env) {
+  std::uint64_t call_id;
+  Promise<ReplyMsg> promise;
+  Future<ReplyMsg> future = promise.future();
+  {
+    std::lock_guard lock(pending_mutex_);
+    call_id = next_call_id_++;
+    pending_.emplace(call_id, promise);
+  }
+
+  Buffer payload;
+  Writer w(payload);
+  w.u8(static_cast<std::uint8_t>(FrameKind::kRequest));
+  w.u64(call_id);
+  env.Serialize(w);
+  w.str(method);
+  w.buffer(args);
+
+  const Status sent = runtime_.post(
+      Envelope{endpoint_, dst, DeliveryKind::kData, std::move(payload)});
+  if (!sent.ok()) {
+    fail_pending(call_id, sent);
+  }
+  return future;
+}
+
+Result<Buffer> Messenger::await(Future<ReplyMsg> future, SimTime timeout_us) {
+  const bool ok = runtime_.wait(
+      endpoint_, [&future] { return future.ready(); }, timeout_us);
+  if (!ok || !future.ready()) {
+    return TimeoutError("no reply before deadline");
+  }
+  ReplyMsg reply = future.take();
+  if (!reply.status.ok()) return reply.status;
+  return std::move(reply.result);
+}
+
+Result<Buffer> Messenger::call(EndpointId dst, std::string_view method,
+                               Buffer args, const EnvTriple& env,
+                               SimTime timeout_us) {
+  return await(invoke(dst, method, std::move(args), env), timeout_us);
+}
+
+bool Messenger::wait(const std::function<bool()>& ready, SimTime timeout_us) {
+  return runtime_.wait(endpoint_, ready, timeout_us);
+}
+
+void Messenger::fail_pending(std::uint64_t call_id, Status status) {
+  Promise<ReplyMsg> promise;
+  {
+    std::lock_guard lock(pending_mutex_);
+    auto it = pending_.find(call_id);
+    if (it == pending_.end()) return;
+    promise = it->second;
+    pending_.erase(it);
+  }
+  promise.set(ReplyMsg{std::move(status), Buffer{}});
+}
+
+void Messenger::on_message(Envelope&& env) {
+  Reader r(env.payload);
+  if (env.kind == DeliveryKind::kBounce) {
+    handle_bounce(r);
+    return;
+  }
+  const auto kind = static_cast<FrameKind>(r.u8());
+  switch (kind) {
+    case FrameKind::kRequest:
+      handle_request(std::move(env), r);
+      break;
+    case FrameKind::kReply:
+      handle_reply(r);
+      break;
+    default:
+      break;  // malformed frame: drop
+  }
+}
+
+void Messenger::handle_request(Envelope&& env, Reader& r) {
+  CallInfo info;
+  info.call_id = r.u64();
+  info.env = EnvTriple::Deserialize(r);
+  info.method = r.str();
+  Buffer args = r.buffer();
+  info.reply_to = env.src;
+  if (!r.ok()) return;  // malformed: drop
+
+  Result<Buffer> result = [&]() -> Result<Buffer> {
+    if (!dispatcher_) {
+      return UnimplementedError("endpoint accepts no requests");
+    }
+    ServerContext ctx{*this, info};
+    Reader args_reader(args);
+    return dispatcher_(ctx, args_reader);
+  }();
+
+  Buffer payload;
+  Writer w(payload);
+  w.u8(static_cast<std::uint8_t>(FrameKind::kReply));
+  w.u64(info.call_id);
+  const Status status = result.status();
+  w.u8(static_cast<std::uint8_t>(status.code()));
+  w.str(status.message());
+  w.buffer(result.ok() ? result.value() : Buffer{});
+  // A failed reply post means the caller is gone; nothing useful to do.
+  (void)runtime_.post(Envelope{endpoint_, info.reply_to, DeliveryKind::kData,
+                               std::move(payload)});
+}
+
+void Messenger::handle_reply(Reader& r) {
+  const std::uint64_t call_id = r.u64();
+  const auto code = static_cast<StatusCode>(r.u8());
+  std::string message = r.str();
+  Buffer result = r.buffer();
+  if (!r.ok()) return;
+
+  Promise<ReplyMsg> promise;
+  {
+    std::lock_guard lock(pending_mutex_);
+    auto it = pending_.find(call_id);
+    if (it == pending_.end()) return;  // late reply for a timed-out call
+    promise = it->second;
+    pending_.erase(it);
+  }
+  promise.set(ReplyMsg{Status{code, std::move(message)}, std::move(result)});
+}
+
+void Messenger::handle_bounce(Reader& r) {
+  // The payload is one of *our own* frames returned undelivered. Only
+  // bounced requests matter: fail the pending call with kStaleBinding so the
+  // object's communication layer can refresh its binding and retry.
+  const auto kind = static_cast<FrameKind>(r.u8());
+  if (kind != FrameKind::kRequest) return;
+  const std::uint64_t call_id = r.u64();
+  if (!r.ok()) return;
+  fail_pending(call_id, StaleBindingError("request bounced: endpoint gone"));
+}
+
+}  // namespace legion::rt

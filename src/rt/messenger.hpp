@@ -1,0 +1,138 @@
+// Method-invocation messaging on top of the raw runtime.
+//
+// Frames requests and replies, matches replies to pending calls by call id,
+// and carries the security environment triple on every invocation (paper
+// Section 2.4: "Every method invocation is performed in an environment
+// consisting of a triple of object names — those of the operative
+// Responsible Agent, the Security Agent, and the Calling Agent").
+//
+// invoke() is non-blocking and returns a Future (paper Section 2: "Method
+// calls are non-blocking"); call() is the convenience invoke-then-wait,
+// during which the endpoint keeps serving incoming requests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "base/buffer.hpp"
+#include "base/loid.hpp"
+#include "base/serialize.hpp"
+#include "base/status.hpp"
+#include "rt/future.hpp"
+#include "rt/runtime.hpp"
+
+namespace legion::rt {
+
+// The RA/SA/CA environment of a method invocation.
+struct EnvTriple {
+  Loid responsible_agent;
+  Loid security_agent;
+  Loid calling_agent;
+
+  void Serialize(Writer& w) const {
+    responsible_agent.Serialize(w);
+    security_agent.Serialize(w);
+    calling_agent.Serialize(w);
+  }
+  static EnvTriple Deserialize(Reader& r) {
+    EnvTriple t;
+    t.responsible_agent = Loid::Deserialize(r);
+    t.security_agent = Loid::Deserialize(r);
+    t.calling_agent = Loid::Deserialize(r);
+    return t;
+  }
+
+  // The bootstrap environment used by core objects acting on their own
+  // behalf before any user identities exist.
+  static EnvTriple System() { return EnvTriple{}; }
+  static EnvTriple ForCaller(const Loid& caller) {
+    return EnvTriple{caller, caller, caller};
+  }
+};
+
+// Server-side view of one inbound request.
+struct CallInfo {
+  std::string method;
+  EnvTriple env;
+  EndpointId reply_to;
+  std::uint64_t call_id = 0;
+};
+
+struct ReplyMsg {
+  Status status;
+  Buffer result;
+};
+
+class Messenger;
+
+// Passed to the dispatcher so handlers can issue nested calls through the
+// same endpoint while their own invocation is in progress.
+struct ServerContext {
+  Messenger& messenger;
+  CallInfo call;
+};
+
+using RequestDispatcher =
+    std::function<Result<Buffer>(ServerContext& ctx, Reader& args)>;
+
+class Messenger {
+ public:
+  // Creates (and owns) an endpoint on `host`. A null dispatcher makes a
+  // pure client: inbound requests are answered with kUnimplemented.
+  Messenger(Runtime& runtime, HostId host, std::string label,
+            ExecutionMode mode, RequestDispatcher dispatcher);
+  ~Messenger();
+
+  Messenger(const Messenger&) = delete;
+  Messenger& operator=(const Messenger&) = delete;
+
+  [[nodiscard]] EndpointId endpoint() const { return endpoint_; }
+  [[nodiscard]] Runtime& runtime() { return runtime_; }
+  [[nodiscard]] HostId host() const { return host_; }
+
+  // Non-blocking invocation. The returned future resolves with the peer's
+  // reply, a kStaleBinding error (endpoint gone), or stays pending until
+  // timed out by await().
+  Future<ReplyMsg> invoke(EndpointId dst, std::string_view method, Buffer args,
+                          const EnvTriple& env);
+
+  // Waits for `future`, serving incoming messages meanwhile.
+  Result<Buffer> await(Future<ReplyMsg> future, SimTime timeout_us);
+
+  // invoke + await.
+  Result<Buffer> call(EndpointId dst, std::string_view method, Buffer args,
+                      const EnvTriple& env, SimTime timeout_us);
+
+  // Generic predicate wait that keeps serving this endpoint.
+  bool wait(const std::function<bool()>& ready, SimTime timeout_us);
+
+  void close();
+
+  // Default per-call timeout used by higher layers, in virtual microseconds.
+  static constexpr SimTime kDefaultTimeoutUs = 10'000'000;
+
+ private:
+  enum class FrameKind : std::uint8_t { kRequest = 1, kReply = 2 };
+
+  void on_message(Envelope&& env);
+  void handle_request(Envelope&& env, Reader& r);
+  void handle_reply(Reader& r);
+  void handle_bounce(Reader& r);
+  void fail_pending(std::uint64_t call_id, Status status);
+
+  Runtime& runtime_;
+  HostId host_;
+  EndpointId endpoint_;
+  RequestDispatcher dispatcher_;
+  bool closed_ = false;
+
+  std::mutex pending_mutex_;
+  std::unordered_map<std::uint64_t, Promise<ReplyMsg>> pending_;
+  std::uint64_t next_call_id_ = 1;
+};
+
+}  // namespace legion::rt

@@ -1,0 +1,122 @@
+// The execution substrate behind the disjoint-address-space object model.
+//
+// A Runtime owns endpoints (one per active Legion object, plus "driver"
+// endpoints for external threads) and moves envelopes between them across a
+// simulated topology. Two implementations share this interface:
+//
+//   * SimRuntime    — sequential, virtual-time, deterministic. Every message
+//                     is accounted per endpoint and per latency class, which
+//                     is precisely what the paper's Section 5 scalability
+//                     claims quantify.
+//   * ThreadRuntime — one OS thread per serviced endpoint with real
+//                     mailboxes; demonstrates the model under true
+//                     concurrency.
+//
+// Blocking semantics: wait() keeps servicing the waiting endpoint's incoming
+// messages (the paper allows methods to be "accepted in any order"), which
+// keeps nested call chains — object -> class -> magistrate -> host — free of
+// deadlock in both runtimes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/status.hpp"
+#include "base/types.hpp"
+#include "net/fault.hpp"
+#include "net/topology.hpp"
+#include "rt/envelope.hpp"
+
+namespace legion::rt {
+
+// Handler invoked for each envelope delivered to an endpoint. Runs on the
+// endpoint's service context (sim: the pumping stack; thread: the endpoint's
+// own thread). Never invoked concurrently for the same endpoint, but may be
+// invoked re-entrantly beneath a wait().
+using MessageHandler = std::function<void(Envelope&&)>;
+
+enum class ExecutionMode : std::uint8_t {
+  // The runtime services the endpoint: SimRuntime dispatches inline during
+  // event processing; ThreadRuntime dedicates a mailbox-draining thread.
+  kServiced = 0,
+  // Only serviced while its owning external thread sits in wait(): the mode
+  // for client/driver endpoints living on the caller's own thread.
+  kDriver = 1,
+};
+
+struct EndpointStats {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+struct RuntimeStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t bounced = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t by_latency_class[net::kNumLatencyClasses] = {0, 0, 0};
+};
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Registers a new endpoint on `host`. `label` groups stats by component
+  // kind (e.g. "binding-agent", "class", "magistrate").
+  virtual EndpointId create_endpoint(HostId host, std::string label,
+                                     MessageHandler handler,
+                                     ExecutionMode mode) = 0;
+
+  virtual void close_endpoint(EndpointId id) = 0;
+  [[nodiscard]] virtual bool endpoint_alive(EndpointId id) const = 0;
+  [[nodiscard]] virtual HostId host_of(EndpointId id) const = 0;
+
+  // Asynchronous send. Fails fast with kStaleBinding when the destination
+  // endpoint is already known to be gone; otherwise the envelope is in
+  // flight and may still bounce at delivery time.
+  virtual Status post(Envelope env) = 0;
+
+  // Virtual (sim) or steady-clock-derived (thread) time in microseconds.
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  // Waits until ready() returns true, servicing `self`'s incoming messages
+  // meanwhile. Returns false on timeout (timeout_us relative; kSimTimeNever
+  // = no limit) or when no further progress is possible.
+  virtual bool wait(EndpointId self, const std::function<bool()>& ready,
+                    SimTime timeout_us) = 0;
+
+  // Drains all queued work (sim: run events to quiescence; thread:
+  // best-effort settle).
+  virtual void run_until_idle() = 0;
+
+  // --- Introspection for tests and the Section-5 experiment harness. ---
+  [[nodiscard]] virtual RuntimeStats stats() const = 0;
+  [[nodiscard]] virtual EndpointStats endpoint_stats(EndpointId id) const = 0;
+  // Aggregated received-message counts keyed by endpoint label.
+  [[nodiscard]] virtual std::map<std::string, std::uint64_t>
+  received_by_label() const = 0;
+  // Maximum messages received by any single endpoint with the given label —
+  // the "requests to any particular system component" of Section 5.2.
+  [[nodiscard]] virtual std::uint64_t max_received_with_label(
+      const std::string& label) const = 0;
+  virtual void reset_stats() = 0;
+
+  [[nodiscard]] net::Topology& topology() { return topology_; }
+  [[nodiscard]] const net::Topology& topology() const { return topology_; }
+  [[nodiscard]] net::FaultPlan& faults() { return faults_; }
+
+ protected:
+  Runtime() = default;
+
+  net::Topology topology_;
+  net::FaultPlan faults_;
+};
+
+}  // namespace legion::rt

@@ -1,0 +1,179 @@
+#include "rt/sim_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace legion::rt {
+
+SimRuntime::SimRuntime(std::uint64_t seed) : rng_(seed) {}
+SimRuntime::~SimRuntime() = default;
+
+EndpointId SimRuntime::create_endpoint(HostId host, std::string label,
+                                       MessageHandler handler,
+                                       ExecutionMode /*mode*/) {
+  // Execution mode is irrelevant in the sequential kernel: every delivery is
+  // dispatched inline on the pumping stack.
+  assert(topology_.host(host) != nullptr && "endpoint on unknown host");
+  const EndpointId id{next_endpoint_++};
+  endpoints_.emplace(id.value,
+                     Endpoint{host, std::move(label), std::move(handler),
+                              /*alive=*/true, EndpointStats{}});
+  return id;
+}
+
+void SimRuntime::close_endpoint(EndpointId id) {
+  if (Endpoint* ep = find(id)) {
+    ep->alive = false;
+    ep->handler = nullptr;  // release captured state promptly
+  }
+}
+
+bool SimRuntime::endpoint_alive(EndpointId id) const {
+  const Endpoint* ep = find(id);
+  return ep != nullptr && ep->alive;
+}
+
+HostId SimRuntime::host_of(EndpointId id) const {
+  const Endpoint* ep = find(id);
+  return ep != nullptr ? ep->host : HostId{};
+}
+
+SimRuntime::Endpoint* SimRuntime::find(EndpointId id) {
+  auto it = endpoints_.find(id.value);
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+const SimRuntime::Endpoint* SimRuntime::find(EndpointId id) const {
+  auto it = endpoints_.find(id.value);
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+Status SimRuntime::post(Envelope env) {
+  Endpoint* src = find(env.src);
+  if (src == nullptr) return InternalError("post from unknown endpoint");
+  Endpoint* dst = find(env.dst);
+  if (dst == nullptr || !dst->alive) {
+    // Fail fast: the destination endpoint is already known to be gone. The
+    // sender's communication layer treats this exactly like a bounce.
+    return StaleBindingError("destination endpoint closed");
+  }
+
+  const net::LatencyClass cls = topology_.classify(src->host, dst->host);
+  if (faults_.should_drop(src->host, dst->host, cls, rng_)) {
+    ++stats_.dropped;
+    return OkStatus();  // silently lost; the caller's timeout covers it
+  }
+
+  src->stats.sent += 1;
+  src->stats.bytes_sent += env.payload.size();
+  const SimTime at =
+      now_ + topology_.sample_latency(src->host, dst->host, rng_,
+                                      env.payload.size());
+  queue_.push(Event{at, next_seq_++, std::move(env)});
+  return OkStatus();
+}
+
+void SimRuntime::deliver(Event&& ev) {
+  Envelope env = std::move(ev.env);
+  Endpoint* dst = find(env.dst);
+  if (dst == nullptr || !dst->alive) {
+    // The destination died while the message was in flight: bounce the
+    // payload back to the sender (transport-level NACK) so its comm layer
+    // can detect the stale binding (paper Section 4.1.4).
+    if (env.kind == DeliveryKind::kBounce) return;  // never bounce a bounce
+    Endpoint* src = find(env.src);
+    if (src == nullptr || !src->alive) return;
+    ++stats_.bounced;
+    const HostId dead_host = dst != nullptr ? dst->host : src->host;
+    const SimTime at =
+        now_ + topology_.sample_latency(dead_host, src->host, rng_);
+    queue_.push(Event{at, next_seq_++,
+                      Envelope{env.dst, env.src, DeliveryKind::kBounce,
+                               std::move(env.payload)}});
+    return;
+  }
+
+  ++stats_.delivered;
+  Endpoint* src = find(env.src);
+  if (src != nullptr) {
+    const auto cls = topology_.classify(src->host, dst->host);
+    ++stats_.by_latency_class[static_cast<std::size_t>(cls)];
+  }
+  dst->stats.received += 1;
+  dst->stats.bytes_received += env.payload.size();
+  if (dst->handler) {
+    // Dispatch inline on a *copy* of the handler: the handler may create or
+    // close endpoints (rehashing the map, or nulling dst->handler itself),
+    // so neither `dst` nor the stored std::function may be touched while the
+    // call runs.
+    MessageHandler handler = dst->handler;
+    handler(std::move(env));
+  }
+}
+
+bool SimRuntime::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const&; moving requires the const_cast idiom or
+  // a copy. Envelope payloads can be large, so move via const_cast, which is
+  // safe: the element is removed immediately after.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  assert(ev.at >= now_ && "time went backwards");
+  now_ = ev.at;
+  deliver(std::move(ev));
+  return true;
+}
+
+bool SimRuntime::wait(EndpointId /*self*/, const std::function<bool()>& ready,
+                      SimTime timeout_us) {
+  const SimTime deadline =
+      timeout_us == kSimTimeNever ? kSimTimeNever : now_ + timeout_us;
+  for (;;) {
+    if (ready()) return true;
+    if (queue_.empty()) return false;  // quiescent: no progress possible
+    if (deadline != kSimTimeNever && queue_.top().at > deadline) {
+      now_ = deadline;
+      return false;
+    }
+    step();
+  }
+}
+
+void SimRuntime::run_until_idle() {
+  while (step()) {
+  }
+}
+
+void SimRuntime::advance(SimTime delta_us) {
+  const SimTime target = now_ + delta_us;
+  while (!queue_.empty() && queue_.top().at <= target) {
+    step();
+  }
+  if (now_ < target) now_ = target;
+}
+
+EndpointStats SimRuntime::endpoint_stats(EndpointId id) const {
+  const Endpoint* ep = find(id);
+  return ep != nullptr ? ep->stats : EndpointStats{};
+}
+
+std::map<std::string, std::uint64_t> SimRuntime::received_by_label() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [_, ep] : endpoints_) out[ep.label] += ep.stats.received;
+  return out;
+}
+
+std::uint64_t SimRuntime::max_received_with_label(
+    const std::string& label) const {
+  std::uint64_t best = 0;
+  for (const auto& [_, ep] : endpoints_) {
+    if (ep.label == label) best = std::max(best, ep.stats.received);
+  }
+  return best;
+}
+
+void SimRuntime::reset_stats() {
+  stats_ = RuntimeStats{};
+  for (auto& [_, ep] : endpoints_) ep.stats = EndpointStats{};
+}
+
+}  // namespace legion::rt

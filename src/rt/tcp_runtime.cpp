@@ -1,0 +1,388 @@
+#include "rt/tcp_runtime.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "base/serialize.hpp"
+
+namespace legion::rt {
+
+namespace {
+
+// Frame: u32 payload length | u64 src | u64 dst | u8 kind | payload bytes.
+constexpr std::size_t kHeaderBytes = 4 + 8 + 8 + 1;
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB sanity cap
+
+bool WriteAll(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd, p, n);
+    if (written <= 0) return false;
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t got = ::read(fd, p, n);
+    if (got <= 0) return false;
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+void PutU32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void PutU64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint32_t GetU32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+std::uint64_t GetU64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+TcpRuntime::TcpRuntime() : epoch_(std::chrono::steady_clock::now()) {}
+
+TcpRuntime::~TcpRuntime() {
+  std::vector<EndpointPtr> eps;
+  {
+    std::unique_lock lock(map_mutex_);
+    for (auto& [_, ep] : endpoints_) eps.push_back(ep);
+    endpoints_.clear();
+  }
+  for (auto& ep : eps) {
+    ep->alive.store(false);
+    if (ep->listen_fd >= 0) {
+      ::shutdown(ep->listen_fd, SHUT_RDWR);
+      ::close(ep->listen_fd);
+    }
+    {
+      std::lock_guard lock(ep->mutex);
+      ep->stopping = true;
+    }
+    ep->cv.notify_all();
+  }
+  for (auto& ep : eps) {
+    if (ep->acceptor.joinable()) ep->acceptor.join();
+    if (ep->service.joinable()) ep->service.join();
+  }
+  std::lock_guard lock(graveyard_mutex_);
+  for (auto& t : graveyard_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+EndpointId TcpRuntime::create_endpoint(HostId host, std::string label,
+                                       MessageHandler handler,
+                                       ExecutionMode mode) {
+  assert(topology_.host(host) != nullptr && "endpoint on unknown host");
+  auto ep = std::make_shared<Endpoint>();
+  ep->host = host;
+  ep->label = std::move(label);
+  ep->handler = std::move(handler);
+  ep->mode = mode;
+
+  // Bind a loopback listener on an ephemeral port.
+  ep->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ep->listen_fd < 0) return EndpointId{};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(ep->listen_fd, 64) != 0) {
+    ::close(ep->listen_fd);
+    return EndpointId{};
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(ep->listen_fd);
+    return EndpointId{};
+  }
+  ep->port = ntohs(addr.sin_port);
+
+  EndpointId id;
+  {
+    std::unique_lock lock(map_mutex_);
+    id = EndpointId{next_endpoint_++};
+    endpoints_.emplace(id.value, ep);
+  }
+  ep->acceptor = std::thread([this, ep] { acceptor_loop(ep); });
+  if (mode == ExecutionMode::kServiced) {
+    ep->service = std::thread([this, ep] { service_loop(ep); });
+  }
+  return id;
+}
+
+void TcpRuntime::close_endpoint(EndpointId id) {
+  EndpointPtr ep = find(id);
+  if (!ep) return;
+  {
+    std::unique_lock lock(map_mutex_);
+    endpoints_.erase(id.value);
+  }
+  ep->alive.store(false);
+  if (ep->listen_fd >= 0) {
+    ::shutdown(ep->listen_fd, SHUT_RDWR);
+    ::close(ep->listen_fd);
+  }
+  {
+    std::lock_guard lock(ep->mutex);
+    ep->stopping = true;
+  }
+  ep->cv.notify_all();
+  auto reap = [this](std::thread& t) {
+    if (!t.joinable()) return;
+    if (t.get_id() == std::this_thread::get_id()) {
+      std::lock_guard lock(graveyard_mutex_);
+      graveyard_.push_back(std::move(t));
+    } else {
+      t.join();
+    }
+  };
+  reap(ep->acceptor);
+  reap(ep->service);
+}
+
+bool TcpRuntime::endpoint_alive(EndpointId id) const {
+  EndpointPtr ep = find(id);
+  return ep && ep->alive.load();
+}
+
+HostId TcpRuntime::host_of(EndpointId id) const {
+  EndpointPtr ep = find(id);
+  return ep ? ep->host : HostId{};
+}
+
+std::uint16_t TcpRuntime::port_of(EndpointId id) const {
+  EndpointPtr ep = find(id);
+  return ep ? ep->port : 0;
+}
+
+TcpRuntime::EndpointPtr TcpRuntime::find(EndpointId id) const {
+  std::shared_lock lock(map_mutex_);
+  auto it = endpoints_.find(id.value);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+Status TcpRuntime::post(Envelope env) {
+  EndpointPtr src = find(env.src);
+  if (!src) return InternalError("post from unknown endpoint");
+  EndpointPtr dst = find(env.dst);
+  if (!dst || !dst->alive.load()) {
+    return StaleBindingError("destination endpoint closed");
+  }
+  const std::uint16_t port = dst->port;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return InternalError("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    // The physical stale binding: nothing listens there anymore.
+    return StaleBindingError("connection refused");
+  }
+
+  std::vector<std::uint8_t> header(kHeaderBytes);
+  PutU32(header.data(), static_cast<std::uint32_t>(env.payload.size()));
+  PutU64(header.data() + 4, env.src.value);
+  PutU64(header.data() + 12, env.dst.value);
+  header[20] = static_cast<std::uint8_t>(env.kind);
+  const bool ok = WriteAll(fd, header.data(), header.size()) &&
+                  (env.payload.empty() ||
+                   WriteAll(fd, env.payload.data(), env.payload.size()));
+  ::close(fd);
+  if (!ok) return UnavailableError("short write on TCP send");
+
+  {
+    std::lock_guard lock(src->mutex);
+    src->stats.sent += 1;
+    src->stats.bytes_sent += env.payload.size();
+  }
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  return OkStatus();
+}
+
+void TcpRuntime::acceptor_loop(const EndpointPtr& ep) {
+  for (;;) {
+    const int conn = ::accept(ep->listen_fd, nullptr, nullptr);
+    if (conn < 0) return;  // listener closed: endpoint is going away
+
+    std::vector<std::uint8_t> header(kHeaderBytes);
+    if (!ReadAll(conn, header.data(), header.size())) {
+      ::close(conn);
+      continue;
+    }
+    const std::uint32_t payload_len = GetU32(header.data());
+    if (payload_len > kMaxFrameBytes) {
+      ::close(conn);
+      continue;  // hostile or corrupt frame
+    }
+    Envelope env;
+    env.src = EndpointId{GetU64(header.data() + 4)};
+    env.dst = EndpointId{GetU64(header.data() + 12)};
+    env.kind = static_cast<DeliveryKind>(header[20]);
+    if (payload_len > 0) {
+      std::vector<std::uint8_t> payload(payload_len);
+      if (!ReadAll(conn, payload.data(), payload.size())) {
+        ::close(conn);
+        continue;
+      }
+      env.payload = Buffer{std::move(payload)};
+    }
+    ::close(conn);
+
+    {
+      std::lock_guard lock(ep->mutex);
+      if (ep->stopping) return;
+      ep->stats.received += 1;
+      ep->stats.bytes_received += env.payload.size();
+      ep->inbox.push_back(std::move(env));
+    }
+    ep->cv.notify_all();
+  }
+}
+
+bool TcpRuntime::pop_one(const EndpointPtr& ep, Envelope& out) {
+  std::lock_guard lock(ep->mutex);
+  if (ep->inbox.empty()) return false;
+  out = std::move(ep->inbox.front());
+  ep->inbox.pop_front();
+  return true;
+}
+
+void TcpRuntime::service_loop(const EndpointPtr& ep) {
+  for (;;) {
+    Envelope env;
+    {
+      std::unique_lock lock(ep->mutex);
+      ep->cv.wait(lock, [&] { return ep->stopping || !ep->inbox.empty(); });
+      if (ep->inbox.empty()) return;
+      env = std::move(ep->inbox.front());
+      ep->inbox.pop_front();
+    }
+    if (ep->handler) ep->handler(std::move(env));
+  }
+}
+
+SimTime TcpRuntime::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+bool TcpRuntime::wait(EndpointId self, const std::function<bool()>& ready,
+                      SimTime timeout_us) {
+  EndpointPtr ep = find(self);
+  if (!ep) return ready();
+  const auto deadline =
+      timeout_us == kSimTimeNever
+          ? std::chrono::steady_clock::time_point::max()
+          : std::chrono::steady_clock::now() +
+                std::chrono::microseconds(timeout_us);
+  for (;;) {
+    if (ready()) return true;
+    Envelope env;
+    if (pop_one(ep, env)) {
+      if (ep->handler) ep->handler(std::move(env));
+      continue;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return ready();
+    std::unique_lock lock(ep->mutex);
+    ep->cv.wait_for(lock, std::chrono::milliseconds(2),
+                    [&] { return !ep->inbox.empty() || ep->stopping; });
+  }
+}
+
+void TcpRuntime::run_until_idle() {
+  for (int calm = 0; calm < 2;) {
+    bool busy = false;
+    {
+      std::shared_lock lock(map_mutex_);
+      for (const auto& [_, ep] : endpoints_) {
+        std::lock_guard elock(ep->mutex);
+        if (!ep->inbox.empty()) {
+          busy = true;
+          break;
+        }
+      }
+    }
+    calm = busy ? 0 : calm + 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+RuntimeStats TcpRuntime::stats() const {
+  RuntimeStats out;
+  out.delivered = delivered_.load(std::memory_order_relaxed);
+  out.dropped = dropped_.load(std::memory_order_relaxed);
+  return out;
+}
+
+EndpointStats TcpRuntime::endpoint_stats(EndpointId id) const {
+  EndpointPtr ep = find(id);
+  if (!ep) return EndpointStats{};
+  std::lock_guard lock(ep->mutex);
+  return ep->stats;
+}
+
+std::map<std::string, std::uint64_t> TcpRuntime::received_by_label() const {
+  std::map<std::string, std::uint64_t> out;
+  std::shared_lock lock(map_mutex_);
+  for (const auto& [_, ep] : endpoints_) {
+    std::lock_guard elock(ep->mutex);
+    out[ep->label] += ep->stats.received;
+  }
+  return out;
+}
+
+std::uint64_t TcpRuntime::max_received_with_label(
+    const std::string& label) const {
+  std::uint64_t best = 0;
+  std::shared_lock lock(map_mutex_);
+  for (const auto& [_, ep] : endpoints_) {
+    if (ep->label != label) continue;
+    std::lock_guard elock(ep->mutex);
+    best = std::max(best, ep->stats.received);
+  }
+  return best;
+}
+
+void TcpRuntime::reset_stats() {
+  delivered_.store(0);
+  dropped_.store(0);
+  std::shared_lock lock(map_mutex_);
+  for (const auto& [_, ep] : endpoints_) {
+    std::lock_guard elock(ep->mutex);
+    ep->stats = EndpointStats{};
+  }
+}
+
+}  // namespace legion::rt

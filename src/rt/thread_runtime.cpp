@@ -1,0 +1,278 @@
+#include "rt/thread_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace legion::rt {
+
+namespace {
+std::chrono::microseconds clamp_timeout(SimTime timeout_us) {
+  // Never-blocking waits still wake periodically to re-check predicates that
+  // another thread may have satisfied indirectly.
+  constexpr SimTime kSliceUs = 2'000;
+  if (timeout_us == kSimTimeNever || timeout_us > kSliceUs) {
+    return std::chrono::microseconds(kSliceUs);
+  }
+  return std::chrono::microseconds(std::max<SimTime>(timeout_us, 100));
+}
+}  // namespace
+
+ThreadRuntime::ThreadRuntime(std::uint64_t seed)
+    : rng_(seed), epoch_(std::chrono::steady_clock::now()) {}
+
+ThreadRuntime::~ThreadRuntime() {
+  // Stop all serviced endpoints, then reap self-closed threads.
+  std::vector<EndpointPtr> eps;
+  {
+    std::unique_lock lock(map_mutex_);
+    for (auto& [_, ep] : endpoints_) eps.push_back(ep);
+    endpoints_.clear();
+  }
+  for (auto& ep : eps) {
+    ep->alive.store(false);
+    {
+      std::lock_guard lock(ep->mutex);
+      ep->stopping = true;
+    }
+    ep->cv.notify_all();
+  }
+  for (auto& ep : eps) {
+    if (ep->service.joinable()) ep->service.join();
+  }
+  std::lock_guard lock(graveyard_mutex_);
+  for (auto& t : graveyard_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+EndpointId ThreadRuntime::create_endpoint(HostId host, std::string label,
+                                          MessageHandler handler,
+                                          ExecutionMode mode) {
+  assert(topology_.host(host) != nullptr && "endpoint on unknown host");
+  auto ep = std::make_shared<Endpoint>();
+  ep->host = host;
+  ep->label = std::move(label);
+  ep->handler = std::move(handler);
+  ep->mode = mode;
+
+  EndpointId id;
+  {
+    std::unique_lock lock(map_mutex_);
+    id = EndpointId{next_endpoint_++};
+    endpoints_.emplace(id.value, ep);
+  }
+  if (mode == ExecutionMode::kServiced) {
+    ep->service = std::thread([this, ep] { service_loop(ep); });
+  }
+  return id;
+}
+
+void ThreadRuntime::close_endpoint(EndpointId id) {
+  EndpointPtr ep = find(id);
+  if (!ep) return;
+  {
+    std::unique_lock lock(map_mutex_);
+    endpoints_.erase(id.value);
+  }
+  ep->alive.store(false);
+  {
+    std::lock_guard lock(ep->mutex);
+    ep->stopping = true;
+  }
+  ep->cv.notify_all();
+  if (ep->service.joinable()) {
+    if (ep->service.get_id() == std::this_thread::get_id()) {
+      // An endpoint closing itself from its own handler: defer the join to
+      // the runtime destructor so we do not deadlock on self-join.
+      std::lock_guard lock(graveyard_mutex_);
+      graveyard_.push_back(std::move(ep->service));
+    } else {
+      ep->service.join();
+    }
+  }
+}
+
+bool ThreadRuntime::endpoint_alive(EndpointId id) const {
+  EndpointPtr ep = find(id);
+  return ep && ep->alive.load();
+}
+
+HostId ThreadRuntime::host_of(EndpointId id) const {
+  EndpointPtr ep = find(id);
+  return ep ? ep->host : HostId{};
+}
+
+ThreadRuntime::EndpointPtr ThreadRuntime::find(EndpointId id) const {
+  std::shared_lock lock(map_mutex_);
+  auto it = endpoints_.find(id.value);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+Status ThreadRuntime::post(Envelope env) {
+  EndpointPtr src = find(env.src);
+  if (!src) return InternalError("post from unknown endpoint");
+  EndpointPtr dst = find(env.dst);
+  if (!dst || !dst->alive.load()) {
+    return StaleBindingError("destination endpoint closed");
+  }
+
+  const net::LatencyClass cls = topology_.classify(src->host, dst->host);
+  if (faults_.any_faults()) {
+    // Fault checks need the shared RNG; skip the lock entirely on the
+    // (common) fault-free configuration.
+    std::lock_guard lock(rng_mutex_);
+    if (faults_.should_drop(src->host, dst->host, cls, rng_)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return OkStatus();
+    }
+  }
+
+  {
+    std::lock_guard lock(src->mutex);
+    src->stats.sent += 1;
+    src->stats.bytes_sent += env.payload.size();
+  }
+  {
+    std::lock_guard lock(dst->mutex);
+    if (dst->stopping) {
+      // Lost the race with close: fail fast like a bounce.
+      return StaleBindingError("destination endpoint closing");
+    }
+    dst->stats.received += 1;
+    dst->stats.bytes_received += env.payload.size();
+    dst->inbox.push_back(std::move(env));
+  }
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  by_class_[static_cast<std::size_t>(cls)].fetch_add(
+      1, std::memory_order_relaxed);
+  dst->cv.notify_all();
+  return OkStatus();
+}
+
+SimTime ThreadRuntime::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+bool ThreadRuntime::pop_one(const EndpointPtr& ep, Envelope& out) {
+  std::lock_guard lock(ep->mutex);
+  if (ep->inbox.empty()) return false;
+  out = std::move(ep->inbox.front());
+  ep->inbox.pop_front();
+  return true;
+}
+
+void ThreadRuntime::service_loop(const EndpointPtr& ep) {
+  for (;;) {
+    Envelope env;
+    {
+      std::unique_lock lock(ep->mutex);
+      ep->cv.wait(lock, [&] { return ep->stopping || !ep->inbox.empty(); });
+      if (ep->inbox.empty()) return;  // stopping and drained
+      env = std::move(ep->inbox.front());
+      ep->inbox.pop_front();
+    }
+    if (ep->handler) ep->handler(std::move(env));
+  }
+}
+
+bool ThreadRuntime::wait(EndpointId self, const std::function<bool()>& ready,
+                         SimTime timeout_us) {
+  EndpointPtr ep = find(self);
+  if (!ep) return ready();
+  const auto deadline =
+      timeout_us == kSimTimeNever
+          ? std::chrono::steady_clock::time_point::max()
+          : std::chrono::steady_clock::now() +
+                std::chrono::microseconds(timeout_us);
+  for (;;) {
+    if (ready()) return true;
+    Envelope env;
+    if (pop_one(ep, env)) {
+      if (ep->handler) ep->handler(std::move(env));
+      continue;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return ready();
+    std::unique_lock lock(ep->mutex);
+    ep->cv.wait_for(lock, clamp_timeout(timeout_us),
+                    [&] { return !ep->inbox.empty() || ep->stopping; });
+  }
+}
+
+void ThreadRuntime::run_until_idle() {
+  // Best-effort settle: spin until all mailboxes look empty twice in a row.
+  for (int calm = 0; calm < 2;) {
+    bool busy = false;
+    {
+      std::shared_lock lock(map_mutex_);
+      for (const auto& [_, ep] : endpoints_) {
+        std::lock_guard elock(ep->mutex);
+        if (!ep->inbox.empty()) {
+          busy = true;
+          break;
+        }
+      }
+    }
+    if (busy) {
+      calm = 0;
+    } else {
+      ++calm;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+RuntimeStats ThreadRuntime::stats() const {
+  RuntimeStats out;
+  out.delivered = delivered_.load(std::memory_order_relaxed);
+  out.bounced = bounced_.load(std::memory_order_relaxed);
+  out.dropped = dropped_.load(std::memory_order_relaxed);
+  for (std::size_t c = 0; c < net::kNumLatencyClasses; ++c) {
+    out.by_latency_class[c] = by_class_[c].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+EndpointStats ThreadRuntime::endpoint_stats(EndpointId id) const {
+  EndpointPtr ep = find(id);
+  if (!ep) return EndpointStats{};
+  std::lock_guard lock(ep->mutex);
+  return ep->stats;
+}
+
+std::map<std::string, std::uint64_t> ThreadRuntime::received_by_label() const {
+  std::map<std::string, std::uint64_t> out;
+  std::shared_lock lock(map_mutex_);
+  for (const auto& [_, ep] : endpoints_) {
+    std::lock_guard elock(ep->mutex);
+    out[ep->label] += ep->stats.received;
+  }
+  return out;
+}
+
+std::uint64_t ThreadRuntime::max_received_with_label(
+    const std::string& label) const {
+  std::uint64_t best = 0;
+  std::shared_lock lock(map_mutex_);
+  for (const auto& [_, ep] : endpoints_) {
+    if (ep->label != label) continue;
+    std::lock_guard elock(ep->mutex);
+    best = std::max(best, ep->stats.received);
+  }
+  return best;
+}
+
+void ThreadRuntime::reset_stats() {
+  delivered_.store(0);
+  bounced_.store(0);
+  dropped_.store(0);
+  for (auto& c : by_class_) c.store(0);
+  std::shared_lock lock(map_mutex_);
+  for (const auto& [_, ep] : endpoints_) {
+    std::lock_guard elock(ep->mutex);
+    ep->stats = EndpointStats{};
+  }
+}
+
+}  // namespace legion::rt

@@ -1,0 +1,57 @@
+#include "sched/placement.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace legion::sched {
+
+namespace {
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+std::vector<std::size_t> accepting_indices(
+    std::span<const HostCandidate> candidates) {
+  std::vector<std::size_t> out;
+  out.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].accepting) out.push_back(i);
+  }
+  return out;
+}
+}  // namespace
+
+std::size_t RandomPlacement::pick(std::span<const HostCandidate> candidates,
+                                  Rng& rng) {
+  const auto ok = accepting_indices(candidates);
+  if (ok.empty()) return kNone;
+  return ok[rng.below(ok.size())];
+}
+
+std::size_t RoundRobinPlacement::pick(std::span<const HostCandidate> candidates,
+                                      Rng& /*rng*/) {
+  const auto ok = accepting_indices(candidates);
+  if (ok.empty()) return kNone;
+  return ok[next_++ % ok.size()];
+}
+
+std::size_t LeastLoadedPlacement::pick(std::span<const HostCandidate> candidates,
+                                       Rng& /*rng*/) {
+  std::size_t best = kNone;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!candidates[i].accepting) continue;
+    if (candidates[i].cpu_load < best_load) {
+      best_load = candidates[i].cpu_load;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<PlacementPolicy> MakePolicy(const std::string& name) {
+  if (name == "random") return std::make_unique<RandomPlacement>();
+  if (name == "round-robin") return std::make_unique<RoundRobinPlacement>();
+  if (name == "least-loaded") return std::make_unique<LeastLoadedPlacement>();
+  return nullptr;
+}
+
+}  // namespace legion::sched

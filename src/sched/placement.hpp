@@ -1,0 +1,73 @@
+// Scheduling hooks, paper Section 3.7.
+//
+// "Scheduling is intentionally left out of the core object model, except for
+//  a few 'hooks' ... that allow other Legion objects to suggest scheduling
+//  policies to Magistrates."
+//
+// A PlacementPolicy is the decision procedure a Scheduling Agent runs over
+// the candidate Host Objects of a jurisdiction. Magistrates have "some
+// default scheduling behavior" (round-robin here); richer policies live
+// outside the magistrate, exactly as the paper prescribes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "base/loid.hpp"
+#include "base/rng.hpp"
+#include "base/types.hpp"
+
+namespace legion::sched {
+
+// A snapshot of one candidate host, as reported by its Host Object's
+// GetState() (paper Section 3.9).
+struct HostCandidate {
+  Loid host_object;
+  HostId host;
+  double cpu_load = 0.0;       // active objects / capacity
+  std::uint32_t active_objects = 0;
+  double capacity = 1.0;
+  bool accepting = true;       // SetCPULoad/SetMemoryUsage limits not exceeded
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  // Returns the index of the chosen candidate, or SIZE_MAX if none is
+  // acceptable. Candidates with accepting == false must not be chosen.
+  [[nodiscard]] virtual std::size_t pick(
+      std::span<const HostCandidate> candidates, Rng& rng) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class RandomPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::size_t pick(std::span<const HostCandidate> candidates,
+                                 Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+};
+
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::size_t pick(std::span<const HostCandidate> candidates,
+                                 Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class LeastLoadedPlacement final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::size_t pick(std::span<const HostCandidate> candidates,
+                                 Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "least-loaded"; }
+};
+
+[[nodiscard]] std::unique_ptr<PlacementPolicy> MakePolicy(
+    const std::string& name);
+
+}  // namespace legion::sched

@@ -1,0 +1,59 @@
+#include "security/policy.hpp"
+
+namespace legion::security {
+
+CallerAcl::CallerAcl(std::vector<Loid> allowed, bool allow_system,
+                     AgentSelector selector)
+    : allowed_(allowed.begin(), allowed.end()),
+      allow_system_(allow_system),
+      selector_(selector) {}
+
+Status CallerAcl::MayI(const std::string& method,
+                       const rt::EnvTriple& env) const {
+  if (allow_system_ && IsSystemEnv(env)) return OkStatus();
+  const Loid& agent = SelectAgent(env, selector_);
+  if (allowed_.contains(agent)) return OkStatus();
+  return PermissionDeniedError("agent " + agent.to_string() +
+                               " not on ACL for " + method);
+}
+
+TrustedClassPolicy::TrustedClassPolicy(
+    std::vector<std::uint64_t> trusted_class_ids, bool allow_system,
+    AgentSelector selector)
+    : trusted_(trusted_class_ids.begin(), trusted_class_ids.end()),
+      allow_system_(allow_system),
+      selector_(selector) {}
+
+Status TrustedClassPolicy::MayI(const std::string& method,
+                                const rt::EnvTriple& env) const {
+  if (allow_system_ && IsSystemEnv(env)) return OkStatus();
+  const Loid& agent = SelectAgent(env, selector_);
+  if (trusted_.contains(agent.class_id())) return OkStatus();
+  return PermissionDeniedError("agent's class " +
+                               std::to_string(agent.class_id()) +
+                               " untrusted for " + method);
+}
+
+MethodGuard::MethodGuard(std::set<std::string> guarded_methods,
+                         PolicyPtr guarded_policy, PolicyPtr default_policy)
+    : guarded_(std::move(guarded_methods)),
+      guarded_policy_(std::move(guarded_policy)),
+      default_policy_(std::move(default_policy)) {}
+
+Status MethodGuard::MayI(const std::string& method,
+                         const rt::EnvTriple& env) const {
+  const PolicyPtr& policy =
+      guarded_.contains(method) ? guarded_policy_ : default_policy_;
+  return policy ? policy->MayI(method, env) : OkStatus();
+}
+
+AllOf::AllOf(std::vector<PolicyPtr> policies) : policies_(std::move(policies)) {}
+
+Status AllOf::MayI(const std::string& method, const rt::EnvTriple& env) const {
+  for (const auto& policy : policies_) {
+    LEGION_RETURN_IF_ERROR(policy->MayI(method, env));
+  }
+  return OkStatus();
+}
+
+}  // namespace legion::security

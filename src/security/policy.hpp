@@ -1,0 +1,152 @@
+// The Legion security model's enforcement hook (paper Section 2.4).
+//
+// "Every object provides certain security-related member functions,
+//  including MayI() and Iam(). These functions may default to empty for the
+//  case of no security... Legion will invoke the known member functions to
+//  define and enforce security, thus giving objects the responsibility of
+//  defining and ensuring the policy they choose."
+//
+// A SecurityPolicy is the implementation behind an object's MayI(): the
+// dispatch layer consults it before every method executes, passing the
+// method name and the RA/SA/CA environment triple that accompanied the
+// invocation. Objects (and whole Magistrates — Section 3.8 says a Magistrate
+// "may choose to refuse to service any of the requests") select or implement
+// their own policies; these are the stock ones.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/loid.hpp"
+#include "base/status.hpp"
+#include "rt/messenger.hpp"
+
+namespace legion::security {
+
+class SecurityPolicy {
+ public:
+  virtual ~SecurityPolicy() = default;
+
+  // OK to proceed, or kPermissionDenied with the reason.
+  [[nodiscard]] virtual Status MayI(const std::string& method,
+                                    const rt::EnvTriple& env) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using PolicyPtr = std::shared_ptr<const SecurityPolicy>;
+
+// "These functions may default to empty for the case of no security."
+class AllowAll final : public SecurityPolicy {
+ public:
+  [[nodiscard]] Status MayI(const std::string&, const rt::EnvTriple&) const override {
+    return OkStatus();
+  }
+  [[nodiscard]] std::string name() const override { return "allow-all"; }
+};
+
+class DenyAll final : public SecurityPolicy {
+ public:
+  [[nodiscard]] Status MayI(const std::string& method,
+                            const rt::EnvTriple&) const override {
+    return PermissionDeniedError("deny-all policy refuses " + method);
+  }
+  [[nodiscard]] std::string name() const override { return "deny-all"; }
+};
+
+// Which member of the RA/SA/CA triple a policy authenticates against. The
+// immediate caller (CA) is right for direct access control; the responsible
+// agent (RA) is right for resource providers, because requests often arrive
+// *via* infrastructure objects acting on a user's behalf — e.g. a class
+// object calling StoreNew on a Magistrate during Create().
+enum class AgentSelector : std::uint8_t {
+  kCallingAgent = 0,
+  kResponsibleAgent = 1,
+};
+
+[[nodiscard]] inline const Loid& SelectAgent(const rt::EnvTriple& env,
+                                             AgentSelector selector) {
+  return selector == AgentSelector::kResponsibleAgent ? env.responsible_agent
+                                                      : env.calling_agent;
+}
+
+// Grants access when the selected agent is on the list. The empty-key
+// system triple (used by core objects during bootstrap) can be admitted
+// explicitly via allow_system.
+class CallerAcl final : public SecurityPolicy {
+ public:
+  CallerAcl(std::vector<Loid> allowed, bool allow_system,
+            AgentSelector selector = AgentSelector::kCallingAgent);
+  [[nodiscard]] Status MayI(const std::string& method,
+                            const rt::EnvTriple& env) const override;
+  [[nodiscard]] std::string name() const override { return "caller-acl"; }
+
+ private:
+  std::set<Loid> allowed_;
+  bool allow_system_;
+  AgentSelector selector_;
+};
+
+// Grants access when the selected agent is an instance of a trusted class —
+// the DOE scenario of Section 2.1.3: "insist ... that all objects that the
+// DOE owns execute only on Magistrates that it trusts."
+class TrustedClassPolicy final : public SecurityPolicy {
+ public:
+  TrustedClassPolicy(std::vector<std::uint64_t> trusted_class_ids,
+                     bool allow_system,
+                     AgentSelector selector = AgentSelector::kCallingAgent);
+  [[nodiscard]] Status MayI(const std::string& method,
+                            const rt::EnvTriple& env) const override;
+  [[nodiscard]] std::string name() const override { return "trusted-class"; }
+
+ private:
+  std::set<std::uint64_t> trusted_;
+  bool allow_system_;
+  AgentSelector selector_;
+};
+
+// Restricts individual methods: unlisted methods fall through to a base
+// policy. Used to expose read-only interfaces publicly while guarding
+// mutators.
+class MethodGuard final : public SecurityPolicy {
+ public:
+  MethodGuard(std::set<std::string> guarded_methods, PolicyPtr guarded_policy,
+              PolicyPtr default_policy);
+  [[nodiscard]] Status MayI(const std::string& method,
+                            const rt::EnvTriple& env) const override;
+  [[nodiscard]] std::string name() const override { return "method-guard"; }
+
+ private:
+  std::set<std::string> guarded_;
+  PolicyPtr guarded_policy_;
+  PolicyPtr default_policy_;
+};
+
+// All composed policies must consent.
+class AllOf final : public SecurityPolicy {
+ public:
+  explicit AllOf(std::vector<PolicyPtr> policies);
+  [[nodiscard]] Status MayI(const std::string& method,
+                            const rt::EnvTriple& env) const override;
+  [[nodiscard]] std::string name() const override { return "all-of"; }
+
+ private:
+  std::vector<PolicyPtr> policies_;
+};
+
+[[nodiscard]] inline PolicyPtr MakeAllowAll() {
+  return std::make_shared<AllowAll>();
+}
+[[nodiscard]] inline PolicyPtr MakeDenyAll() {
+  return std::make_shared<DenyAll>();
+}
+
+// True for the bootstrap/system environment (all-nil triple).
+[[nodiscard]] inline bool IsSystemEnv(const rt::EnvTriple& env) {
+  return !env.responsible_agent.valid() && !env.security_agent.valid() &&
+         !env.calling_agent.valid();
+}
+
+}  // namespace legion::security

@@ -1,0 +1,87 @@
+// Sample Legion object implementations shared by benchmarks and examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/implementation_registry.hpp"
+#include "core/method_table.hpp"
+#include "core/object_impl.hpp"
+
+namespace legion::sim {
+
+// A worker with cheap methods: the standard invocation target for the
+// Section 5 experiments. State is one counter so that lifecycle benches
+// also exercise non-trivial SaveState/RestoreState.
+class WorkerImpl final : public core::ObjectImpl {
+ public:
+  static constexpr std::string_view kName = "sim.worker";
+
+  [[nodiscard]] std::string implementation_name() const override {
+    return std::string(kName);
+  }
+
+  void RegisterMethods(core::MethodTable& table) override {
+    table.add("Noop", [](core::ObjectContext&, Reader&) -> Result<Buffer> {
+      return Buffer{};
+    });
+    table.add("Echo", [](core::ObjectContext&, Reader& args) -> Result<Buffer> {
+      return args.buffer();
+    });
+    table.add("Increment",
+              [this](core::ObjectContext&, Reader&) -> Result<Buffer> {
+                ++count_;
+                Buffer out;
+                Writer w(out);
+                w.i64(count_);
+                return out;
+              });
+    table.add("Get", [this](core::ObjectContext&, Reader&) -> Result<Buffer> {
+      Buffer out;
+      Writer w(out);
+      w.i64(count_);
+      return out;
+    });
+  }
+
+  void SaveState(Writer& w) const override {
+    w.i64(count_);
+    w.bytes(ballast_);
+  }
+  Status RestoreState(Reader& r) override {
+    if (r.exhausted()) return OkStatus();
+    count_ = r.i64();
+    ballast_ = r.bytes();
+    return r.ok() ? OkStatus() : InvalidArgumentError("bad worker state");
+  }
+
+  [[nodiscard]] core::InterfaceDescription interface() const override {
+    core::InterfaceDescription d("Worker");
+    d.add_method(core::MethodSignature{"void", "Noop", {}});
+    d.add_method(core::MethodSignature{"bytes", "Echo", {{"bytes", "data"}}});
+    d.add_method(core::MethodSignature{"int", "Increment", {}});
+    d.add_method(core::MethodSignature{"int", "Get", {}});
+    return d;
+  }
+
+ private:
+  std::int64_t count_ = 0;
+  std::vector<std::uint8_t> ballast_;  // sized by init state (lifecycle bench)
+};
+
+inline Status RegisterSampleObjects(core::ImplementationRegistry& registry) {
+  return registry.add(std::string(WorkerImpl::kName),
+                      [] { return std::make_unique<WorkerImpl>(); });
+}
+
+// Init state giving the worker `ballast_bytes` of saved state.
+inline Buffer WorkerInit(std::int64_t start, std::size_t ballast_bytes) {
+  Buffer b;
+  Writer w(b);
+  w.i64(start);
+  w.bytes(std::vector<std::uint8_t>(ballast_bytes, 0xAB));
+  return b;
+}
+
+}  // namespace legion::sim

@@ -1,0 +1,72 @@
+// Fixed-width result tables for the benchmark harness.
+//
+// Every experiment binary prints one or more of these — the rows/series the
+// paper's evaluation would have reported.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace legion::sim {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    std::fprintf(out, "\n== %s ==\n", title_.c_str());
+    print_row(out, columns_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c], '-');
+      if (c + 1 < widths.size()) rule += "-+-";
+    }
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(out, row, widths);
+  }
+
+  // Number formatting helpers for bench code.
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+  static std::string num(std::int64_t v) { return std::to_string(v); }
+  static std::string num(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+  }
+
+ private:
+  static void print_row(std::FILE* out, const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& widths) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      line += cell;
+      line += std::string(widths[c] - cell.size(), ' ');
+      if (c + 1 < widths.size()) line += " | ";
+    }
+    std::fprintf(out, "%s\n", line.c_str());
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace legion::sim

@@ -1,0 +1,3 @@
+#include "sim/workload.hpp"
+
+// Header-only; TU anchors the target.

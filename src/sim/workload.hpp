@@ -1,0 +1,92 @@
+// Workload generators for the Section 5 experiments.
+//
+// The paper's scalability argument rests on "most accesses will be local"
+// and on skewed popularity ("commonly used classes"); these generators
+// produce exactly those access patterns, deterministically.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
+
+namespace legion::sim {
+
+// Zipf(s) sampler over {0..n-1} via inverse-CDF on a precomputed table.
+// s = 0 degenerates to uniform; s ~ 0.8-1.2 models realistic skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    assert(n > 0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / pow_s(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (double& v : cdf_) v /= total;
+  }
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    const double u = rng.unit();
+    // Binary search for the first cdf >= u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  static double pow_s(double base, double s) {
+    if (s == 0.0) return 1.0;
+    if (s == 1.0) return base;
+    return std::exp(s * std::log(base));
+  }
+
+  std::vector<double> cdf_;
+};
+
+// Picks a target index: with probability `local_fraction` from the caller's
+// own partition of the target space, otherwise from anywhere. Models the
+// paper's "most accesses will be local ... within a department or campus".
+class LocalityMix {
+ public:
+  LocalityMix(std::size_t targets, std::size_t partitions,
+              double local_fraction)
+      : targets_(targets),
+        partitions_(partitions == 0 ? 1 : partitions),
+        local_fraction_(local_fraction) {
+    assert(targets > 0);
+  }
+
+  [[nodiscard]] std::size_t sample(std::size_t caller_partition,
+                                   Rng& rng) const {
+    if (rng.chance(local_fraction_)) {
+      const std::size_t base =
+          (caller_partition % partitions_) * (targets_ / partitions_);
+      const std::size_t span =
+          (caller_partition % partitions_) == partitions_ - 1
+              ? targets_ - base
+              : targets_ / partitions_;
+      return base + rng.below(span == 0 ? 1 : span);
+    }
+    return rng.below(targets_);
+  }
+
+ private:
+  std::size_t targets_;
+  std::size_t partitions_;
+  double local_fraction_;
+};
+
+}  // namespace legion::sim

@@ -1,0 +1,41 @@
+#include "base/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace legion {
+namespace {
+
+TEST(BufferTest, StartsEmpty) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(BufferTest, FromStringRoundTrips) {
+  Buffer b = Buffer::FromString("legion");
+  EXPECT_EQ(b.size(), 6u);
+  EXPECT_EQ(b.as_string(), "legion");
+}
+
+TEST(BufferTest, AppendGrows) {
+  Buffer b;
+  const char first[] = {'a', 'b'};
+  b.append(first, 2);
+  Buffer tail = Buffer::FromString("cd");
+  b.append(tail.span());
+  EXPECT_EQ(b.as_string(), "abcd");
+}
+
+TEST(BufferTest, EqualityIsByteWise) {
+  EXPECT_EQ(Buffer::FromString("x"), Buffer::FromString("x"));
+  EXPECT_FALSE(Buffer::FromString("x") == Buffer::FromString("y"));
+}
+
+TEST(BufferTest, ClearEmpties) {
+  Buffer b = Buffer::FromString("data");
+  b.clear();
+  EXPECT_TRUE(b.empty());
+}
+
+}  // namespace
+}  // namespace legion

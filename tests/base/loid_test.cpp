@@ -1,0 +1,116 @@
+#include "base/loid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace legion {
+namespace {
+
+TEST(LoidTest, DefaultIsInvalidNil) {
+  Loid l;
+  EXPECT_FALSE(l.valid());
+  EXPECT_FALSE(l.names_class_object());
+}
+
+TEST(LoidTest, ClassLoidHasZeroClassSpecific) {
+  // Paper Section 3.7: "Conventionally, the Class Specific portion of a
+  // class object's LOID is set to zero."
+  Loid c = Loid::ForClass(7);
+  EXPECT_TRUE(c.valid());
+  EXPECT_TRUE(c.names_class_object());
+  EXPECT_EQ(c.class_id(), 7u);
+  EXPECT_EQ(c.class_specific(), 0u);
+}
+
+TEST(LoidTest, InstanceLoidIsNotAClassLoid) {
+  Loid o{7, 42};
+  EXPECT_TRUE(o.valid());
+  EXPECT_FALSE(o.names_class_object());
+}
+
+TEST(LoidTest, ResponsibleClassZeroesClassSpecific) {
+  // Paper Section 4.1.3: the responsible class of any non-class object is
+  // found by zeroing the class-specific field.
+  Loid o{9, 1234};
+  Loid c = o.responsible_class();
+  EXPECT_EQ(c.class_id(), 9u);
+  EXPECT_EQ(c.class_specific(), 0u);
+  EXPECT_TRUE(c.names_class_object());
+}
+
+TEST(LoidTest, EqualityUsesIdentityBitsOnly) {
+  // Section 4.1.3's class-id-zeroing trick names the responsible class
+  // without knowing its public key, so naming equality must ignore the key.
+  Loid a{1, 2, {0xAA}};
+  Loid b{1, 2, {0xBB}};
+  Loid c{1, 2, {0xAA}};
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.identical_including_key(c));
+  EXPECT_FALSE(a.identical_including_key(b));
+  EXPECT_FALSE(Loid(1, 2) == Loid(1, 3));
+  EXPECT_FALSE(Loid(1, 2) == Loid(2, 2));
+}
+
+TEST(LoidTest, ToStringIncludesKeyHex) {
+  Loid l{3, 14, {0xDE, 0xAD}};
+  EXPECT_EQ(l.to_string(), "L3.14:dead");
+  EXPECT_EQ(Loid(3, 14).to_string(), "L3.14");
+}
+
+TEST(LoidTest, SerializeRoundTrips) {
+  Loid in{88, 1024, {1, 2, 3, 4}};
+  Buffer buf;
+  Writer w(buf);
+  in.Serialize(w);
+  Reader r(buf);
+  EXPECT_EQ(Loid::Deserialize(r), in);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(LoidTest, HashSpreadsSequentialInstances) {
+  // Classes commonly use the class-specific field as a sequence number
+  // (Section 3.2); the hash must not collapse such LOIDs.
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    hashes.insert(LoidHash{}(Loid{42, i}));
+  }
+  EXPECT_GT(hashes.size(), 995u);
+}
+
+TEST(LoidTest, OrderingIsTotal) {
+  Loid a{1, 1};
+  Loid b{1, 2};
+  Loid c{2, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(a < a);
+}
+
+class LoidIdentitySweep
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(LoidIdentitySweep, RoundTripPreservesFields) {
+  const auto [cls, inst] = GetParam();
+  Loid in{cls, inst};
+  Buffer buf;
+  Writer w(buf);
+  in.Serialize(w);
+  Reader r(buf);
+  Loid out = Loid::Deserialize(r);
+  EXPECT_EQ(out.class_id(), cls);
+  EXPECT_EQ(out.class_specific(), inst);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FieldPatterns, LoidIdentitySweep,
+    ::testing::Values(std::pair{0ULL, 1ULL}, std::pair{1ULL, 0ULL},
+                      std::pair{UINT64_MAX, UINT64_MAX},
+                      std::pair{UINT64_MAX, 0ULL},
+                      std::pair{0x8000000000000000ULL, 0x7FFFFFFFFFFFFFFFULL}));
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,95 @@
+#include "base/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace legion {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, BetweenIsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UnitInHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.25, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng base(42);
+  Rng a = base.fork(1);
+  Rng b = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+  // Forking is deterministic.
+  Rng a2 = Rng(42).fork(1);
+  EXPECT_EQ(Rng(42).fork(1).next(), a2.next());
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> histogram(10, 0);
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) {
+    ++histogram[rng.below(10)];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, trials / 10, trials / 100);
+  }
+}
+
+}  // namespace
+}  // namespace legion

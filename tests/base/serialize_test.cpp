@@ -1,0 +1,119 @@
+#include "base/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "base/loid.hpp"
+
+namespace legion {
+namespace {
+
+TEST(SerializeTest, PrimitiveRoundTrip) {
+  Buffer buf;
+  Writer w(buf);
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerializeTest, StringsAndBytes) {
+  Buffer buf;
+  Writer w(buf);
+  w.str("hello legion");
+  w.str("");
+  Buffer inner = Buffer::FromString("\x00\x01\x02");
+  w.buffer(inner);
+
+  Reader r(buf);
+  EXPECT_EQ(r.str(), "hello legion");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.buffer().size(), inner.size());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SerializeTest, LittleEndianLayout) {
+  Buffer buf;
+  Writer w(buf);
+  w.u32(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.data()[0], 0x04);
+  EXPECT_EQ(buf.data()[3], 0x01);
+}
+
+TEST(SerializeTest, ShortReadTripsStickyFailure) {
+  Buffer buf;
+  Writer w(buf);
+  w.u16(7);
+  Reader r(buf);
+  (void)r.u64();  // needs 8 bytes, only 2 available
+  EXPECT_FALSE(r.ok());
+  // All subsequent reads return zero values without touching memory.
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_EQ(r.str(), "");
+}
+
+TEST(SerializeTest, HostileLengthPrefixIsRejected) {
+  Buffer buf;
+  Writer w(buf);
+  w.u32(std::numeric_limits<std::uint32_t>::max());  // claims 4 GiB follow
+  Reader r(buf);
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializeTest, VectorOfSerializablesRoundTrips) {
+  std::vector<Loid> in = {Loid{1, 0}, Loid{2, 17}, Loid{3, 99, {0xAA, 0xBB}}};
+  Buffer buf;
+  Writer w(buf);
+  WriteVector(w, in);
+
+  Reader r(buf);
+  const std::vector<Loid> out = ReadVector<Loid>(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(SerializeTest, VectorWithHostileCountIsBounded) {
+  Buffer buf;
+  Writer w(buf);
+  w.u32(1'000'000'000);  // absurd element count, no data
+  Reader r(buf);
+  EXPECT_TRUE(ReadVector<Loid>(r).empty());
+}
+
+class SerializeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializeSweep, U64RoundTripsAcrossPatterns) {
+  Buffer buf;
+  Writer w(buf);
+  w.u64(GetParam());
+  Reader r(buf);
+  EXPECT_EQ(r.u64(), GetParam());
+  EXPECT_TRUE(r.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, SerializeSweep,
+    ::testing::Values(0ULL, 1ULL, 0xFFULL, 0xFF00ULL, 0x8000000000000000ULL,
+                      0xFFFFFFFFFFFFFFFFULL, 0x0102030405060708ULL));
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,166 @@
+// The ActiveObject shell in isolation: mandatory methods, state sections,
+// implementation composition, and policy plumbing.
+#include <gtest/gtest.h>
+
+#include "core/active_object.hpp"
+#include "core/state_sections.hpp"
+#include "core/test_support.hpp"
+#include "rt/sim_runtime.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterImpl;
+using testing::GreeterImpl;
+
+class ActiveObjectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto j = runtime_.topology().add_jurisdiction("j");
+    host_ = runtime_.topology().add_host("h", {j});
+    client_host_ = runtime_.topology().add_host("c", {j});
+  }
+
+  std::unique_ptr<ActiveObject> MakeShell(
+      std::vector<std::unique_ptr<ObjectImpl>> impls,
+      const Buffer& state = Buffer{}) {
+    auto shell = std::make_unique<ActiveObject>(
+        runtime_, host_, Loid{77, 1}, std::move(impls), SystemHandles{},
+        ActiveObjectConfig{});
+    EXPECT_TRUE(shell->restore(state).ok());
+    return shell;
+  }
+
+  Result<Buffer> Call(ActiveObject& shell, std::string_view method,
+                      Buffer args = Buffer{},
+                      rt::EnvTriple env = rt::EnvTriple::System()) {
+    rt::Messenger client(runtime_, client_host_, "test-client",
+                         rt::ExecutionMode::kDriver, nullptr);
+    return client.call(shell.endpoint(), method, std::move(args), env,
+                       rt::Messenger::kDefaultTimeoutUs);
+  }
+
+  rt::SimRuntime runtime_{3};
+  HostId host_, client_host_;
+};
+
+std::vector<std::unique_ptr<ObjectImpl>> Single() {
+  std::vector<std::unique_ptr<ObjectImpl>> impls;
+  impls.push_back(std::make_unique<CounterImpl>());
+  return impls;
+}
+
+std::vector<std::unique_ptr<ObjectImpl>> Composite() {
+  std::vector<std::unique_ptr<ObjectImpl>> impls;
+  impls.push_back(std::make_unique<CounterImpl>());
+  impls.push_back(std::make_unique<GreeterImpl>());
+  return impls;
+}
+
+TEST_F(ActiveObjectTest, MandatoryMethodsAlwaysPresent) {
+  auto shell = MakeShell(Single());
+  EXPECT_TRUE(Call(*shell, methods::kPing).ok());
+  auto iam = Call(*shell, methods::kIam);
+  ASSERT_TRUE(iam.ok());
+  Reader r(*iam);
+  EXPECT_EQ(Loid::Deserialize(r), (Loid{77, 1}));
+}
+
+TEST_F(ActiveObjectTest, InterfaceMergesImplsAndMandatory) {
+  auto shell = MakeShell(Composite());
+  const InterfaceDescription iface = shell->interface();
+  EXPECT_TRUE(iface.has_method("Increment"));  // CounterImpl
+  EXPECT_TRUE(iface.has_method("Greet"));      // GreeterImpl
+  EXPECT_TRUE(iface.has_method(methods::kSaveState));  // mandatory
+}
+
+TEST_F(ActiveObjectTest, CompositionDispatchOrderDerivedFirst) {
+  auto shell = MakeShell(Composite());
+  // Both impls define Get; the first (derived) wins.
+  auto raw = Call(*shell, "Get");
+  ASSERT_TRUE(raw.ok());
+  Reader r(*raw);
+  EXPECT_EQ(r.i64(), 0);  // CounterImpl's Get, not Greeter's -777
+}
+
+TEST_F(ActiveObjectTest, ImplSpecJoinsNames) {
+  auto shell = MakeShell(Composite());
+  EXPECT_EQ(shell->impl_spec(), "test.counter+test.greeter");
+}
+
+TEST_F(ActiveObjectTest, SaveStateProducesNamedSections) {
+  auto shell = MakeShell(Composite());
+  ASSERT_TRUE(Call(*shell, "Increment").ok());
+  const Buffer state = shell->save_state();
+  auto sections = StateSections::from_buffer(state);
+  ASSERT_TRUE(sections.ok());
+  EXPECT_EQ(sections->sections.size(), 2u);
+  EXPECT_NE(sections->find("test.counter"), nullptr);
+  EXPECT_NE(sections->find("test.greeter"), nullptr);
+}
+
+TEST_F(ActiveObjectTest, SaveRestoreRoundTripsThroughNewShell) {
+  auto shell = MakeShell(Single());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(Call(*shell, "Increment").ok());
+  const Buffer state = shell->save_state();
+  shell.reset();
+
+  auto revived = MakeShell(Single(), state);
+  auto raw = Call(*revived, "Get");
+  ASSERT_TRUE(raw.ok());
+  Reader r(*raw);
+  EXPECT_EQ(r.i64(), 5);
+}
+
+TEST_F(ActiveObjectTest, AnonymousSectionFeedsPrimaryImpl) {
+  // Create() passes raw init state without knowing implementation names.
+  Buffer init;
+  Writer w(init);
+  w.i64(41);
+  auto shell = MakeShell(Composite(), WrapPrimaryState(std::move(init)));
+  auto raw = Call(*shell, "Increment");
+  ASSERT_TRUE(raw.ok());
+  Reader r(*raw);
+  EXPECT_EQ(r.i64(), 42);
+}
+
+TEST_F(ActiveObjectTest, MalformedStateReported) {
+  auto shell = std::make_unique<ActiveObject>(
+      runtime_, host_, Loid{77, 2}, Single(), SystemHandles{},
+      ActiveObjectConfig{});
+  Buffer junk;
+  Writer w(junk);
+  w.u32(3);  // claims three sections, provides none
+  w.str("test.counter");
+  EXPECT_FALSE(shell->restore(junk).ok());
+}
+
+TEST_F(ActiveObjectTest, BindingCarriesConfiguredTtl) {
+  ActiveObjectConfig config;
+  config.binding_ttl_us = 5'000;
+  ActiveObject shell(runtime_, host_, Loid{77, 3}, Single(), SystemHandles{},
+                     config);
+  const Binding binding = shell.binding();
+  EXPECT_EQ(binding.expires, runtime_.now() + 5'000);
+  EXPECT_FALSE(binding.expired_at(runtime_.now()));
+  EXPECT_TRUE(binding.expired_at(runtime_.now() + 5'000));
+}
+
+TEST_F(ActiveObjectTest, SaveStateGuardedOnlyByPolicy) {
+  // Without a policy, even SaveState is open (the "no security" default).
+  auto shell = MakeShell(Single());
+  EXPECT_TRUE(Call(*shell, methods::kSaveState).ok());
+}
+
+TEST_F(ActiveObjectTest, EndpointDiesWithShell) {
+  EndpointId endpoint;
+  {
+    auto shell = MakeShell(Single());
+    endpoint = shell->endpoint();
+    EXPECT_TRUE(runtime_.endpoint_alive(endpoint));
+  }
+  EXPECT_FALSE(runtime_.endpoint_alive(endpoint));
+}
+
+}  // namespace
+}  // namespace legion::core

@@ -1,0 +1,126 @@
+#include "core/binding_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace legion::core {
+namespace {
+
+Binding MakeBinding(std::uint64_t n, SimTime expires = kSimTimeNever) {
+  Binding b;
+  b.loid = Loid{100, n};
+  b.address = ObjectAddress{ObjectAddressElement::Sim(EndpointId{n})};
+  b.expires = expires;
+  return b;
+}
+
+TEST(BindingCacheTest, MissThenHit) {
+  BindingCache cache(8);
+  EXPECT_FALSE(cache.get(Loid{100, 1}, 0).has_value());
+  cache.put(MakeBinding(1));
+  auto hit = cache.get(Loid{100, 1}, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->loid, (Loid{100, 1}));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(BindingCacheTest, LruEvictionOrder) {
+  BindingCache cache(3);
+  cache.put(MakeBinding(1));
+  cache.put(MakeBinding(2));
+  cache.put(MakeBinding(3));
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_TRUE(cache.get(Loid{100, 1}, 0).has_value());
+  cache.put(MakeBinding(4));
+  EXPECT_TRUE(cache.get(Loid{100, 1}, 0).has_value());
+  EXPECT_FALSE(cache.get(Loid{100, 2}, 0).has_value());
+  EXPECT_TRUE(cache.get(Loid{100, 3}, 0).has_value());
+  EXPECT_TRUE(cache.get(Loid{100, 4}, 0).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(BindingCacheTest, ZeroCapacityDisablesCaching) {
+  BindingCache cache(0);
+  cache.put(MakeBinding(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(Loid{100, 1}, 0).has_value());
+}
+
+TEST(BindingCacheTest, ExpiredEntryIsMissAndPurged) {
+  // Section 3.5: a binding carries "the time that the binding becomes
+  // invalid".
+  BindingCache cache(8);
+  cache.put(MakeBinding(1, /*expires=*/100));
+  EXPECT_TRUE(cache.get(Loid{100, 1}, 99).has_value());
+  EXPECT_FALSE(cache.get(Loid{100, 1}, 100).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BindingCacheTest, PutRefreshesExistingEntry) {
+  BindingCache cache(8);
+  cache.put(MakeBinding(1, 100));
+  Binding updated = MakeBinding(1, kSimTimeNever);
+  updated.address = ObjectAddress{ObjectAddressElement::Sim(EndpointId{42})};
+  cache.put(updated);
+  auto hit = cache.get(Loid{100, 1}, 500);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->address, updated.address);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(BindingCacheTest, InvalidateByLoid) {
+  BindingCache cache(8);
+  cache.put(MakeBinding(1));
+  EXPECT_TRUE(cache.invalidate(Loid{100, 1}));
+  EXPECT_FALSE(cache.invalidate(Loid{100, 1}));
+  EXPECT_FALSE(cache.get(Loid{100, 1}, 0).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(BindingCacheTest, InvalidateExactSparesNewerBinding) {
+  // Section 3.6's second InvalidateBinding form "remove[s] a binding if it
+  // matches exactly" — so a newer replacement must survive.
+  BindingCache cache(8);
+  const Binding stale = MakeBinding(1);
+  Binding fresh = MakeBinding(1);
+  fresh.address = ObjectAddress{ObjectAddressElement::Sim(EndpointId{99})};
+  cache.put(fresh);
+  EXPECT_FALSE(cache.invalidate_exact(stale));  // no exact match
+  EXPECT_TRUE(cache.get(Loid{100, 1}, 0).has_value());
+  EXPECT_TRUE(cache.invalidate_exact(fresh));
+  EXPECT_FALSE(cache.get(Loid{100, 1}, 0).has_value());
+}
+
+TEST(BindingCacheTest, InvalidBindingNotStored) {
+  BindingCache cache(8);
+  cache.put(Binding{});
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BindingCacheTest, HitRateComputation) {
+  BindingCache cache(8);
+  cache.put(MakeBinding(1));
+  (void)cache.get(Loid{100, 1}, 0);
+  (void)cache.get(Loid{100, 1}, 0);
+  (void)cache.get(Loid{100, 2}, 0);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 2.0 / 3.0);
+  cache.reset_stats();
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.0);
+}
+
+class CacheCapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CacheCapacitySweep, SizeNeverExceedsCapacity) {
+  BindingCache cache(GetParam());
+  for (std::uint64_t i = 0; i < 100; ++i) cache.put(MakeBinding(i + 1));
+  EXPECT_LE(cache.size(), GetParam());
+  if (GetParam() > 0 && GetParam() <= 100) {
+    EXPECT_EQ(cache.size(), GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheCapacitySweep,
+                         ::testing::Values(0, 1, 2, 16, 64, 1000));
+
+}  // namespace
+}  // namespace legion::core

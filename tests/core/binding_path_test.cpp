@@ -1,0 +1,207 @@
+// The Section 4.1 binding path: local cache -> Binding Agent -> class ->
+// magistrate, with each layer absorbing traffic, plus the Binding-Agent
+// tree of Section 5.2.2.
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::SimSystemFixture;
+
+class BindingPathTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    counter_class_ = DeriveCounterClass();
+    auto reply = client_->create(counter_class_, CounterInit(0),
+                                 {system_->magistrate_of(uva_)});
+    ASSERT_TRUE(reply.ok());
+    counter_ = reply->loid;
+  }
+
+  Loid counter_class_;
+  Loid counter_;
+};
+
+TEST_F(BindingPathTest, LocalCacheAbsorbsRepeatInvocations) {
+  client_->resolver().cache().clear();
+  client_->resolver().reset_stats();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client_->ref(counter_).call("Get", Buffer{}).ok());
+  }
+  // One BA consult for the cold miss; nine local hits.
+  EXPECT_EQ(client_->resolver().stats().binding_agent_consults, 1u);
+  EXPECT_EQ(client_->resolver().cache().stats().hits, 9u);
+}
+
+TEST_F(BindingPathTest, BindingAgentCacheAbsorbsAcrossClients) {
+  // Client A populates the BA's cache; client B's miss is served from it
+  // without a class consult (Section 5.2.1's locality argument).
+  client_->resolver().cache().clear();
+  ASSERT_TRUE(client_->ref(counter_).call("Get", Buffer{}).ok());
+
+  BindingAgentImpl* uva_agent = system_->binding_agent_impl(0);
+  const auto class_consults_before = uva_agent->agent_stats().class_consults;
+
+  auto other = system_->make_client(uva2_, "other");  // same jurisdiction
+  ASSERT_TRUE(other->ref(counter_).call("Get", Buffer{}).ok());
+  EXPECT_EQ(uva_agent->agent_stats().class_consults, class_consults_before);
+}
+
+TEST_F(BindingPathTest, ColdBindingAgentConsultsClass) {
+  BindingAgentImpl* doe_agent = system_->binding_agent_impl(1);
+  const auto before = doe_agent->agent_stats().class_consults;
+  auto doe_client = system_->make_client(doe1_, "doe-client");
+  ASSERT_TRUE(doe_client->ref(counter_).call("Get", Buffer{}).ok());
+  EXPECT_GT(doe_agent->agent_stats().class_consults, before);
+}
+
+TEST_F(BindingPathTest, ExplicitAddBindingPropagation) {
+  // Section 3.6 AddBinding: "explicitly propagate binding information for
+  // performance purposes."
+  auto binding = client_->get_binding(counter_);
+  ASSERT_TRUE(binding.ok());
+
+  BindingAgentImpl* doe_agent = system_->binding_agent_impl(1);
+  auto doe_client = system_->make_client(doe1_, "doe-client");
+  wire::AddBindingRequest add{*binding};
+  ASSERT_TRUE(doe_client->ref(system_->binding_agents()[1])
+                  .call(methods::kAddBinding, add.to_buffer())
+                  .ok());
+
+  const auto class_consults_before = doe_agent->agent_stats().class_consults;
+  doe_client->resolver().cache().clear();
+  ASSERT_TRUE(doe_client->ref(counter_).call("Get", Buffer{}).ok());
+  EXPECT_EQ(doe_agent->agent_stats().class_consults, class_consults_before);
+}
+
+TEST_F(BindingPathTest, InvalidateBindingByLoidAndExact) {
+  // Warm the BA.
+  client_->resolver().cache().clear();
+  ASSERT_TRUE(client_->ref(counter_).call("Get", Buffer{}).ok());
+  BindingAgentImpl* agent = system_->binding_agent_impl(0);
+  const Loid agent_loid = system_->binding_agents()[0];
+
+  wire::InvalidateBindingRequest inv;
+  inv.mode = wire::GetBindingMode::kByLoid;
+  inv.loid = counter_;
+  ASSERT_TRUE(client_->ref(agent_loid)
+                  .call(methods::kInvalidateBinding, inv.to_buffer())
+                  .ok());
+  // Next miss from a cold client forces a class consult again.
+  const auto before = agent->agent_stats().class_consults;
+  auto cold = system_->make_client(uva2_, "cold");
+  ASSERT_TRUE(cold->ref(counter_).call("Get", Buffer{}).ok());
+  EXPECT_GT(agent->agent_stats().class_consults, before);
+}
+
+TEST_F(BindingPathTest, RefreshReturnsDifferentBindingAfterMigration) {
+  auto stale = client_->get_binding(counter_);
+  ASSERT_TRUE(stale.ok());
+
+  wire::TransferRequest move{counter_, system_->magistrate_of(doe_)};
+  ASSERT_TRUE(client_->ref(system_->magistrate_of(uva_))
+                  .call(methods::kMove, move.to_buffer())
+                  .ok());
+
+  // Section 3.6: GetBinding(binding) must return a *different* binding.
+  auto fresh = client_->resolver().refresh(*stale, 10'000'000);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().to_string();
+  EXPECT_EQ(fresh->loid, counter_);
+  EXPECT_FALSE(fresh->address == stale->address);
+}
+
+TEST_F(BindingPathTest, ClassGetBindingServesDirectCallers) {
+  // "If all else fails, the Binding Agent can consult the class of the
+  //  object which must be able to return a binding if one exists."
+  wire::GetBindingRequest req;
+  req.mode = wire::GetBindingMode::kByLoid;
+  req.loid = counter_;
+  auto raw = client_->ref(counter_class_).call(methods::kGetBinding,
+                                               req.to_buffer());
+  ASSERT_TRUE(raw.ok());
+  auto reply = wire::BindingReply::from_buffer(*raw);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->binding.loid, counter_);
+  EXPECT_TRUE(reply->binding.address.valid());
+}
+
+TEST_F(BindingPathTest, ClassRefusesBindingForForeignLoid) {
+  wire::GetBindingRequest req;
+  req.mode = wire::GetBindingMode::kByLoid;
+  req.loid = Loid{counter_class_.class_id(), 999999};
+  EXPECT_EQ(client_->ref(counter_class_)
+                .call(methods::kGetBinding, req.to_buffer())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+// --- Binding-Agent tree (Section 5.2.2) -------------------------------------
+
+class BindingTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_ = std::make_unique<rt::SimRuntime>(99);
+    for (int j = 0; j < 4; ++j) {
+      auto jur =
+          runtime_->topology().add_jurisdiction("j" + std::to_string(j));
+      jurisdictions_.push_back(jur);
+      hosts_.push_back(runtime_->topology().add_host(
+          "h" + std::to_string(j), {jur}, 16.0));
+    }
+    SystemConfig config;
+    config.ba_tree_fanout = 2;  // binary combining tree over 4 agents
+    system_ = std::make_unique<LegionSystem>(*runtime_, config);
+    ASSERT_TRUE(system_
+                    ->registry()
+                    .add(std::string(testing::CounterImpl::kName),
+                         [] { return std::make_unique<testing::CounterImpl>(); })
+                    .ok());
+    ASSERT_TRUE(system_->bootstrap().ok());
+  }
+
+  std::unique_ptr<rt::SimRuntime> runtime_;
+  std::unique_ptr<LegionSystem> system_;
+  std::vector<JurisdictionId> jurisdictions_;
+  std::vector<HostId> hosts_;
+};
+
+TEST_F(BindingTreeTest, LeafAgentsConsultParentsNotLegionClass) {
+  // Derive a user class from a client in jurisdiction 0 (its agent is the
+  // tree root), then resolve it from jurisdiction 3 (a leaf agent).
+  auto creator = system_->make_client(hosts_[0], "creator");
+  wire::DeriveRequest req;
+  req.name = "Counter";
+  req.instance_impl = std::string(testing::CounterImpl::kName);
+  auto counter_class = creator->derive(LegionObjectLoid(), req);
+  ASSERT_TRUE(counter_class.ok());
+  auto instance = creator->create(counter_class->loid, testing::CounterInit(0));
+  ASSERT_TRUE(instance.ok());
+
+  BindingAgentImpl* leaf = system_->binding_agent_impl(3);
+  BindingAgentImpl* root = system_->binding_agent_impl(0);
+  const auto root_lc_before = root->agent_stats().legion_class_consults;
+
+  auto far_client = system_->make_client(hosts_[3], "far");
+  ASSERT_TRUE(far_client->ref(instance->loid).call("Get", Buffer{}).ok());
+
+  // The leaf climbed the tree (parent consult) instead of going to
+  // LegionClass itself; only the root talks to LegionClass.
+  EXPECT_GT(leaf->agent_stats().parent_consults, 0u);
+  EXPECT_EQ(leaf->agent_stats().legion_class_consults, 0u);
+  EXPECT_GT(root->agent_stats().legion_class_consults, root_lc_before);
+
+  // A second cold client behind the same leaf is absorbed by the leaf's
+  // cache — the combining-tree effect.
+  const auto parent_before = leaf->agent_stats().parent_consults;
+  auto another = system_->make_client(hosts_[3], "far2");
+  ASSERT_TRUE(another->ref(instance->loid).call("Get", Buffer{}).ok());
+  EXPECT_EQ(leaf->agent_stats().parent_consults, parent_before);
+}
+
+}  // namespace
+}  // namespace legion::core

@@ -1,0 +1,89 @@
+// ClassDefinition serialization properties: the class object's entire
+// definition must round-trip bit-faithfully (it is the class's OPR state).
+#include <gtest/gtest.h>
+
+#include "core/class_object.hpp"
+#include "core/wire.hpp"
+
+namespace legion::core {
+namespace {
+
+ClassDefinition SampleDefinition(std::uint64_t seed) {
+  Rng rng(seed);
+  ClassDefinition d;
+  d.class_id = rng.next();
+  d.name = "Class" + std::to_string(seed);
+  d.public_key = {static_cast<std::uint8_t>(seed), 0xAB};
+  d.flags = static_cast<std::uint8_t>(rng.below(16));
+  d.instance_impl = "impl.primary";
+  d.inherited_impls = {"impl.base1", "impl.base2"};
+  d.interface.set_name(d.name);
+  d.interface.add_method(MethodSignature{"int", "m", {{"int", "x"}}});
+  d.superclass = Loid::ForClass(rng.next());
+  d.bases = {Loid::ForClass(rng.next()), Loid::ForClass(rng.next())};
+  d.clone_parent = Loid::ForClass(rng.next());
+  d.default_magistrates = {Loid{4, rng.below(100) + 1}};
+  d.default_scheduling_agent = Loid{70, 1};
+  d.instance_key_bytes = static_cast<std::uint32_t>(rng.below(32));
+  d.binding_ttl_us = static_cast<SimTime>(rng.below(1'000'000));
+  return d;
+}
+
+class DefinitionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DefinitionSweep, RoundTripsAllFields) {
+  const ClassDefinition in = SampleDefinition(GetParam());
+  Buffer buf;
+  Writer w(buf);
+  in.Serialize(w);
+  Reader r(buf);
+  const ClassDefinition out = ClassDefinition::Deserialize(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(out.class_id, in.class_id);
+  EXPECT_EQ(out.name, in.name);
+  EXPECT_EQ(out.public_key, in.public_key);
+  EXPECT_EQ(out.flags, in.flags);
+  EXPECT_EQ(out.instance_impl, in.instance_impl);
+  EXPECT_EQ(out.inherited_impls, in.inherited_impls);
+  EXPECT_EQ(out.interface, in.interface);
+  EXPECT_EQ(out.superclass, in.superclass);
+  EXPECT_EQ(out.bases, in.bases);
+  EXPECT_EQ(out.clone_parent, in.clone_parent);
+  EXPECT_EQ(out.default_magistrates, in.default_magistrates);
+  EXPECT_EQ(out.default_scheduling_agent, in.default_scheduling_agent);
+  EXPECT_EQ(out.instance_key_bytes, in.instance_key_bytes);
+  EXPECT_EQ(out.binding_ttl_us, in.binding_ttl_us);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DefinitionSweep,
+                         ::testing::Values(1, 2, 3, 10, 77, 1000));
+
+TEST(ClassDefinitionTest, FlagsDecodeIndependently) {
+  ClassDefinition d;
+  d.flags = wire::kClassFlagAbstract | wire::kClassFlagFixed;
+  EXPECT_TRUE(d.is_abstract());
+  EXPECT_FALSE(d.is_private());
+  EXPECT_TRUE(d.is_fixed());
+  EXPECT_FALSE(d.is_clone());
+}
+
+TEST(ClassDefinitionTest, LoidUsesClassIdAndKey) {
+  ClassDefinition d;
+  d.class_id = 99;
+  d.public_key = {0xDE};
+  EXPECT_EQ(d.loid(), Loid::ForClass(99));
+  EXPECT_EQ(d.loid().public_key(), (std::vector<std::uint8_t>{0xDE}));
+}
+
+TEST(ClassDefinitionTest, ImplSpecComposesDerivedFirst) {
+  ClassDefinition d;
+  d.instance_impl = "derived";
+  d.inherited_impls = {"base1", "base2", "base1"};  // dup collapses
+  EXPECT_EQ(d.instance_impl_spec(), "derived+base1+base2");
+  d.instance_impl.clear();
+  EXPECT_EQ(d.instance_impl_spec(), "base1+base2");
+}
+
+}  // namespace
+}  // namespace legion::core

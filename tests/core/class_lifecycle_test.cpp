@@ -1,0 +1,128 @@
+// Classes are objects (paper Section 2.1.3): class objects themselves go
+// inert, migrate, and come back — and the binding machinery repairs the
+// whole responsibility chain when they do.
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::ReadI64;
+using testing::SimSystemFixture;
+
+class ClassLifecycleTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    counter_class_ = DeriveCounterClass();
+    ASSERT_TRUE(counter_class_.valid());
+    auto reply = client_->create(counter_class_, CounterInit(33));
+    ASSERT_TRUE(reply.ok());
+    counter_ = reply->loid;
+  }
+
+  // The magistrate currently holding the class object.
+  MagistrateImpl* ClassOwner() {
+    return system_->magistrate_impl(uva_)->manages(counter_class_)
+               ? system_->magistrate_impl(uva_)
+               : system_->magistrate_impl(doe_);
+  }
+  Loid ClassOwnerLoid() {
+    return ClassOwner() == system_->magistrate_impl(uva_)
+               ? system_->magistrate_of(uva_)
+               : system_->magistrate_of(doe_);
+  }
+
+  void DeactivateClass() {
+    wire::LoidRequest req{counter_class_};
+    ASSERT_TRUE(client_->ref(ClassOwnerLoid())
+                    .call(methods::kDeactivate, req.to_buffer())
+                    .ok());
+  }
+
+  Loid counter_class_;
+  Loid counter_;
+};
+
+TEST_F(ClassLifecycleTest, ClassObjectSurvivesDeactivation) {
+  DeactivateClass();
+  // Direct reference to the class reactivates it with its definition and
+  // logical table intact.
+  auto raw = client_->ref(counter_class_).call("DescribeClass", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  auto desc = wire::DescribeClassReply::from_buffer(*raw);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc->name, "Counter");
+  EXPECT_EQ(desc->class_id, counter_class_.class_id());
+}
+
+TEST_F(ClassLifecycleTest, InstanceResolutionReactivatesInertClass) {
+  DeactivateClass();
+  // A cold client resolving an *instance* forces the Binding Agent down the
+  // responsibility chain: the stale class binding is refreshed at the
+  // creator (LegionObject), which reactivates the class via its magistrate
+  // — then the class serves the instance binding from its restored table.
+  auto cold = system_->make_client(doe2_, "cold");
+  auto raw = cold->ref(counter_).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(ReadI64(*raw), 33);
+}
+
+TEST_F(ClassLifecycleTest, CreateAfterClassReactivationContinuesSequence) {
+  const std::uint64_t seq_before = counter_.class_specific();
+  DeactivateClass();
+  auto reply = client_->create(counter_class_, CounterInit(1));
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  // next_seq_ was serialized with the class: no LOID reuse after the cycle.
+  EXPECT_GT(reply->loid.class_specific(), seq_before);
+}
+
+TEST_F(ClassLifecycleTest, ClassObjectMigratesBetweenJurisdictions) {
+  const Loid src = ClassOwnerLoid();
+  const Loid dst = src == system_->magistrate_of(uva_)
+                       ? system_->magistrate_of(doe_)
+                       : system_->magistrate_of(uva_);
+  wire::TransferRequest move{counter_class_, dst};
+  ASSERT_TRUE(client_->ref(src).call(methods::kMove, move.to_buffer()).ok());
+
+  // Both the class and its instances remain fully usable.
+  auto reply = client_->create(counter_class_, CounterInit(5));
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  auto raw = client_->ref(counter_).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(ReadI64(*raw), 33);
+}
+
+TEST_F(ClassLifecycleTest, LogicalTableSurvivesClassCycle) {
+  // Create several instances, cycle the class, and check every row is
+  // still served.
+  std::vector<Loid> instances = {counter_};
+  for (int i = 0; i < 3; ++i) {
+    auto reply = client_->create(counter_class_, CounterInit(i));
+    ASSERT_TRUE(reply.ok());
+    instances.push_back(reply->loid);
+  }
+  DeactivateClass();
+  auto cold = system_->make_client(doe1_, "cold");
+  for (const Loid& instance : instances) {
+    auto binding = cold->get_binding(instance);
+    EXPECT_TRUE(binding.ok())
+        << instance.to_string() << ": " << binding.status().to_string();
+  }
+}
+
+TEST_F(ClassLifecycleTest, ListInstancesAfterCycle) {
+  DeactivateClass();
+  auto raw = client_->ref(counter_class_).call(methods::kListInstances,
+                                               Buffer{});
+  ASSERT_TRUE(raw.ok());
+  auto reply = wire::LoidListReply::from_buffer(*raw);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->loids.size(), 1u);
+  EXPECT_EQ(reply->loids.front(), counter_);
+}
+
+}  // namespace
+}  // namespace legion::core

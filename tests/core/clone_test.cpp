@@ -1,0 +1,133 @@
+// Class cloning, paper Section 5.2.2: relieving popular class objects.
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::ReadI64;
+using testing::SimSystemFixture;
+
+class CloneTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    counter_class_ = DeriveCounterClass();
+    ASSERT_TRUE(counter_class_.valid());
+  }
+
+  Result<wire::CreateReply> CloneClass() {
+    wire::CreateRequest req;
+    auto raw = client_->ref(counter_class_).call(methods::kClone,
+                                                 req.to_buffer());
+    if (!raw.ok()) return raw.status();
+    return wire::CreateReply::from_buffer(*raw);
+  }
+
+  Loid counter_class_;
+};
+
+TEST_F(CloneTest, CloneKeepsInterface) {
+  // "The cloned class is derived from the heavily used class without
+  //  changing the interface in any way."
+  auto clone = CloneClass();
+  ASSERT_TRUE(clone.ok()) << clone.status().to_string();
+  EXPECT_NE(clone->loid.class_id(), counter_class_.class_id());
+
+  auto raw = client_->ref(clone->loid).call("DescribeClass", Buffer{});
+  ASSERT_TRUE(raw.ok());
+  auto desc = wire::DescribeClassReply::from_buffer(*raw);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_TRUE(desc->interface.has_method("Increment"));
+  EXPECT_TRUE((desc->flags & wire::kClassFlagClone) != 0);
+}
+
+TEST_F(CloneTest, CreateForwardsToClones) {
+  // "New instantiation and derivation requests are passed to the cloned
+  //  object, making it responsible for the new objects."
+  auto clone = CloneClass();
+  ASSERT_TRUE(clone.ok());
+
+  auto instance = client_->create(counter_class_, CounterInit(5));
+  ASSERT_TRUE(instance.ok()) << instance.status().to_string();
+  // The instance carries the *clone's* class id: the clone is responsible.
+  EXPECT_EQ(instance->loid.class_id(), clone->loid.class_id());
+
+  // And it works like any counter, resolvable through the clone.
+  auto raw = client_->ref(instance->loid).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(ReadI64(*raw), 5);
+}
+
+TEST_F(CloneTest, MultipleClonesRoundRobin) {
+  // "Several clones can exist simultaneously."
+  auto clone1 = CloneClass();
+  auto clone2 = CloneClass();
+  ASSERT_TRUE(clone1.ok());
+  ASSERT_TRUE(clone2.ok());
+
+  int to_first = 0;
+  int to_second = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto instance = client_->create(counter_class_, CounterInit(0));
+    ASSERT_TRUE(instance.ok());
+    if (instance->loid.class_id() == clone1->loid.class_id()) ++to_first;
+    if (instance->loid.class_id() == clone2->loid.class_id()) ++to_second;
+  }
+  EXPECT_EQ(to_first, 4);
+  EXPECT_EQ(to_second, 4);
+}
+
+TEST_F(CloneTest, ClonesCannotBeCloned) {
+  auto clone = CloneClass();
+  ASSERT_TRUE(clone.ok());
+  wire::CreateRequest req;
+  EXPECT_EQ(client_->ref(clone->loid)
+                .call(methods::kClone, req.to_buffer())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CloneTest, GetCloneHandsOutCloneForDirectUse) {
+  // Clients in different domains adopt a clone and create directly against
+  // it — "the different clones residing in different domains."
+  auto clone = CloneClass();
+  ASSERT_TRUE(clone.ok());
+
+  auto raw = client_->ref(counter_class_).call("GetClone", Buffer{});
+  ASSERT_TRUE(raw.ok());
+  auto reply = wire::LoidReply::from_buffer(*raw);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->loid.class_id(), clone->loid.class_id());
+
+  // Direct creation against the clone bypasses the parent entirely.
+  auto instance = client_->create(reply->loid, CounterInit(1));
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->loid.class_id(), clone->loid.class_id());
+}
+
+TEST_F(CloneTest, GetCloneWithoutClonesReturnsSelf) {
+  auto raw = client_->ref(counter_class_).call("GetClone", Buffer{});
+  ASSERT_TRUE(raw.ok());
+  auto reply = wire::LoidReply::from_buffer(*raw);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->loid, counter_class_);
+}
+
+TEST_F(CloneTest, CloneInstancesResolvableByColdClients) {
+  auto clone = CloneClass();
+  ASSERT_TRUE(clone.ok());
+  auto instance = client_->create(counter_class_, CounterInit(9));
+  ASSERT_TRUE(instance.ok());
+
+  auto cold = system_->make_client(doe1_, "cold");
+  auto raw = cold->ref(instance->loid).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(ReadI64(*raw), 9);
+}
+
+}  // namespace
+}  // namespace legion::core

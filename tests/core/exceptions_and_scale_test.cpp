@@ -1,0 +1,117 @@
+// Exception reporting (Section 2.3) plus retry exhaustion and a small
+// scale smoke (thousands of objects in the simulator).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::SimSystemFixture;
+
+class ExceptionsTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    counter_class_ = DeriveCounterClass();
+  }
+
+  std::map<Loid, std::uint64_t> GetExceptions(HostId host) {
+    auto raw = client_->ref(system_->host_object_of(host))
+                   .call(methods::kGetExceptions, Buffer{});
+    EXPECT_TRUE(raw.ok());
+    std::map<Loid, std::uint64_t> out;
+    if (!raw.ok()) return out;
+    Reader r(*raw);
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      const Loid loid = Loid::Deserialize(r);
+      out[loid] = r.u64();
+    }
+    return out;
+  }
+
+  Loid counter_class_;
+};
+
+TEST_F(ExceptionsTest, HostReportsPerObjectErrorCounts) {
+  auto reply = client_->create(counter_class_, CounterInit(0),
+                               {system_->magistrate_of(uva_)},
+                               system_->host_object_of(uva1_));
+  ASSERT_TRUE(reply.ok());
+
+  // Two application errors and one unknown method.
+  (void)client_->ref(reply->loid).call("Boom", Buffer{});
+  (void)client_->ref(reply->loid).call("Boom", Buffer{});
+  (void)client_->ref(reply->loid).call("NoSuchMethod", Buffer{});
+  ASSERT_TRUE(client_->ref(reply->loid).call("Get", Buffer{}).ok());
+
+  const auto exceptions = GetExceptions(uva1_);
+  ASSERT_TRUE(exceptions.contains(reply->loid));
+  EXPECT_EQ(exceptions.at(reply->loid), 3u);
+}
+
+TEST_F(ExceptionsTest, CleanObjectsReportZero) {
+  auto reply = client_->create(counter_class_, CounterInit(0),
+                               {system_->magistrate_of(uva_)},
+                               system_->host_object_of(uva1_));
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(client_->ref(reply->loid).call("Get", Buffer{}).ok());
+  EXPECT_EQ(GetExceptions(uva1_).at(reply->loid), 0u);
+}
+
+TEST_F(ExceptionsTest, RetryExhaustionIsBounded) {
+  // A component registered with a dead Object Address and no magistrate to
+  // reactivate it: the resolver's repair loop must give up after
+  // kMaxAttempts instead of spinning.
+  Binding dead;
+  dead.loid = Loid{kLegionHostClassId, 4242};
+  dead.address = ObjectAddress{ObjectAddressElement::Sim(EndpointId{999999})};
+  wire::NotifyStartedRequest reg{dead.loid, dead};
+  ASSERT_TRUE(client_->ref(LegionHostLoid())
+                  .call(methods::kNotifyStarted, reg.to_buffer())
+                  .ok());
+
+  client_->resolver().reset_stats();
+  auto result = client_->ref(dead.loid).call(methods::kPing, Buffer{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(client_->resolver().stats().stale_retries,
+            static_cast<std::uint64_t>(Resolver::kMaxAttempts));
+}
+
+TEST_F(ExceptionsTest, ScaleSmokeThousandObjects) {
+  // 1000 objects across both jurisdictions: unique LOIDs, all resolvable
+  // from a cold client, logical table intact.
+  std::vector<Loid> objects;
+  std::set<std::uint64_t> seqs;
+  for (int i = 0; i < 1000; ++i) {
+    auto reply = client_->create(counter_class_, CounterInit(i));
+    ASSERT_TRUE(reply.ok()) << i << ": " << reply.status().to_string();
+    objects.push_back(reply->loid);
+    seqs.insert(reply->loid.class_specific());
+  }
+  EXPECT_EQ(seqs.size(), 1000u);
+
+  auto cold = system_->make_client(doe2_, "cold");
+  Rng rng(17);
+  for (int probe = 0; probe < 50; ++probe) {
+    const Loid& target = objects[rng.below(objects.size())];
+    auto raw = cold->ref(target).call("Get", Buffer{});
+    ASSERT_TRUE(raw.ok()) << target.to_string();
+  }
+
+  // The class's table has exactly the created rows.
+  auto raw = client_->ref(counter_class_).call(methods::kListInstances,
+                                               Buffer{});
+  ASSERT_TRUE(raw.ok());
+  auto list = wire::LoidListReply::from_buffer(*raw);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->loids.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace legion::core

@@ -1,0 +1,140 @@
+// Replica healing: the fault-tolerance objective of Section 1 applied to
+// Section 4.3's replicated objects. A magistrate probes replicas, restarts
+// the dead ones from a survivor's state, and republishes the address.
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::ReadI64;
+using testing::SimSystemFixture;
+
+class HealTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    counter_class_ = DeriveCounterClass();
+    auto reply = client_->create_replicated(
+        counter_class_, CounterInit(0), 2, AddressSemantic::kAll, 1,
+        {system_->magistrate_of(uva_)});
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+    object_ = reply->loid;
+    binding_ = reply->binding;
+  }
+
+  // Kills the replica process on `host` behind the magistrate's back.
+  void KillReplicaOn(HostId host) {
+    wire::StopObjectRequest stop{object_, /*discard_state=*/true};
+    ASSERT_TRUE(client_->ref(system_->host_object_of(host))
+                    .call(methods::kStopObject, stop.to_buffer())
+                    .ok());
+  }
+
+  HostId HostRunningReplica() {
+    for (HostId h : {uva1_, uva2_}) {
+      if (system_->host_impl(h)->find_object(object_) != nullptr) return h;
+    }
+    return HostId{};
+  }
+
+  Result<Binding> Heal() {
+    wire::LoidRequest req{object_};
+    auto raw = client_->ref(system_->magistrate_of(uva_))
+                   .call(methods::kHeal, req.to_buffer());
+    if (!raw.ok()) return raw.status();
+    LEGION_ASSIGN_OR_RETURN(wire::BindingReply reply,
+                            wire::BindingReply::from_buffer(*raw));
+    return reply.binding;
+  }
+
+  Loid counter_class_;
+  Loid object_;
+  Binding binding_;
+};
+
+TEST_F(HealTest, HealIsNoopWhenAllReplicasLive) {
+  auto healed = Heal();
+  ASSERT_TRUE(healed.ok()) << healed.status().to_string();
+  EXPECT_EQ(healed->address.elements().size(), 2u);
+  EXPECT_EQ(healed->address, binding_.address);  // nothing changed
+}
+
+TEST_F(HealTest, DeadReplicaIsRestartedFromSurvivorState) {
+  // Put state into both replicas (kAll), then murder one.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client_->ref(object_).call("Increment", Buffer{}).ok());
+  }
+  KillReplicaOn(uva1_);
+  ASSERT_EQ(system_->host_impl(uva1_)->find_object(object_), nullptr);
+
+  auto healed = Heal();
+  ASSERT_TRUE(healed.ok()) << healed.status().to_string();
+  EXPECT_EQ(healed->address.elements().size(), 2u);
+  EXPECT_FALSE(healed->address == binding_.address);  // one element replaced
+
+  // Both replicas answer with the survivor's count.
+  for (const auto& element : healed->address.elements()) {
+    Binding single{object_, ObjectAddress{element}, kSimTimeNever};
+    auto raw = client_->resolver().call_binding(single, "Get", Buffer{},
+                                                rt::EnvTriple::System(),
+                                                10'000'000);
+    ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+    EXPECT_EQ(ReadI64(*raw), 6);
+  }
+}
+
+TEST_F(HealTest, ClientsRecoverThroughRefreshAfterHeal) {
+  ASSERT_TRUE(client_->ref(object_).call("Increment", Buffer{}).ok());
+  KillReplicaOn(uva1_);
+  ASSERT_TRUE(Heal().ok());
+
+  // The client still caches the pre-heal address (one dead element under
+  // kAll); the call succeeds via the surviving element, or repairs through
+  // refresh — either way the object remains available.
+  auto raw = client_->ref(object_).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_GE(ReadI64(*raw), 1);
+
+  // A cold client resolves the *healed* address from the class.
+  client_->resolver().cache().clear();
+  auto fresh = client_->get_binding(object_);
+  ASSERT_TRUE(fresh.ok());
+  // Refresh the row first if the class still holds the stale address.
+  if (fresh->address == binding_.address) {
+    auto repaired = client_->resolver().refresh(*fresh, 10'000'000);
+    ASSERT_TRUE(repaired.ok());
+  }
+  SUCCEED();
+}
+
+TEST_F(HealTest, AllReplicasDeadIsUnrecoverable) {
+  KillReplicaOn(uva1_);
+  KillReplicaOn(uva2_);
+  EXPECT_EQ(Heal().status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(HealTest, HealUnknownObjectFails) {
+  wire::LoidRequest req{Loid{counter_class_.class_id(), 31337}};
+  EXPECT_EQ(client_->ref(system_->magistrate_of(uva_))
+                .call(methods::kHeal, req.to_buffer())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(HealTest, SingleProcessObjectsCanHealToo) {
+  auto solo = client_->create(counter_class_, CounterInit(4),
+                              {system_->magistrate_of(uva_)});
+  ASSERT_TRUE(solo.ok());
+  // A healthy singleton heals to itself.
+  wire::LoidRequest req{solo->loid};
+  auto raw = client_->ref(system_->magistrate_of(uva_))
+                 .call(methods::kHeal, req.to_buffer());
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+}
+
+}  // namespace
+}  // namespace legion::core

@@ -1,0 +1,140 @@
+// Jurisdiction hierarchies, paper Section 2.2: "Jurisdictions are
+// potentially non-disjoint ... and Jurisdictions can be organized to form
+// hierarchies. ... The organization could also simply put its resources
+// under the control of another Magistrate."
+//
+// A host-less "front" magistrate adopts the two leaf magistrates: creation
+// through the front delegates placement; lifecycle verbs on the front fall
+// through to whichever leaf manages the object.
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::ReadI64;
+using testing::SimSystemFixture;
+
+class HierarchyTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    counter_class_ = DeriveCounterClass();
+
+    // Build the front magistrate (no hosts, no vault use of its own) and
+    // adopt both leaf magistrates over the wire.
+    MagistrateConfig config;
+    config.jurisdiction = runtime_->topology().add_jurisdiction("org");
+    auto impl = std::make_unique<MagistrateImpl>(config);
+    front_impl_ = impl.get();
+    std::vector<std::unique_ptr<ObjectImpl>> impls;
+    impls.push_back(std::move(impl));
+    ActiveObjectConfig shell_config;
+    shell_config.label = "magistrate";
+    front_shell_ = std::make_unique<ActiveObject>(
+        *runtime_, uva1_, Loid{kLegionMagistrateClassId, 777},
+        std::move(impls), system_->handles_for(uva1_), shell_config);
+    ASSERT_TRUE(front_shell_->restore(Buffer{}).ok());
+    front_ = front_shell_->self();
+
+    // Register with LegionMagistrate so the front is locatable by LOID.
+    wire::NotifyStartedRequest reg{front_, front_shell_->binding()};
+    ASSERT_TRUE(client_->ref(LegionMagistrateLoid())
+                    .call(methods::kNotifyStarted, reg.to_buffer())
+                    .ok());
+    for (JurisdictionId j : {uva_, doe_}) {
+      wire::LoidRequest adopt{system_->magistrate_of(j)};
+      ASSERT_TRUE(client_->ref(front_)
+                      .call(methods::kAdoptMagistrate, adopt.to_buffer())
+                      .ok());
+    }
+  }
+
+  void TearDown() override {
+    front_shell_.reset();
+    SimSystemFixture::TearDown();
+  }
+
+  Loid counter_class_;
+  Loid front_;
+  MagistrateImpl* front_impl_ = nullptr;
+  std::unique_ptr<ActiveObject> front_shell_;
+};
+
+TEST_F(HierarchyTest, CreateThroughFrontDelegatesPlacement) {
+  // The class targets only the front magistrate; objects land on leaves.
+  auto a = client_->create(counter_class_, CounterInit(1), {front_});
+  auto b = client_->create(counter_class_, CounterInit(2), {front_});
+  ASSERT_TRUE(a.ok()) << a.status().to_string();
+  ASSERT_TRUE(b.ok()) << b.status().to_string();
+
+  const bool a_leaf = system_->magistrate_impl(uva_)->manages(a->loid) ||
+                      system_->magistrate_impl(doe_)->manages(a->loid);
+  EXPECT_TRUE(a_leaf);
+  EXPECT_EQ(front_impl_->active_count() + front_impl_->inert_count(), 0u);
+
+  // Round-robin delegation spreads across the two leaves.
+  EXPECT_NE(system_->magistrate_impl(uva_)->manages(a->loid),
+            system_->magistrate_impl(uva_)->manages(b->loid));
+}
+
+TEST_F(HierarchyTest, LifecycleVerbsFallThroughToLeaves) {
+  auto reply = client_->create(counter_class_, CounterInit(7), {front_});
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(client_->ref(reply->loid).call("Increment", Buffer{}).ok());
+
+  // Deactivate via the FRONT: it forwards to whichever leaf manages it.
+  wire::LoidRequest req{reply->loid};
+  ASSERT_TRUE(client_->ref(front_)
+                  .call(methods::kDeactivate, req.to_buffer())
+                  .ok());
+
+  // Reference reactivates (through the class/magistrate chain as usual).
+  auto raw = client_->ref(reply->loid).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(ReadI64(*raw), 8);
+
+  // Delete through the front as well.
+  ASSERT_TRUE(client_->ref(front_).call(methods::kDelete, req.to_buffer()).ok());
+  client_->resolver().cache().clear();
+  EXPECT_FALSE(client_->ref(reply->loid).call("Get", Buffer{}).ok());
+}
+
+TEST_F(HierarchyTest, UnknownObjectStillNotFound) {
+  wire::LoidRequest req{Loid{counter_class_.class_id(), 99999}};
+  EXPECT_EQ(client_->ref(front_)
+                .call(methods::kDeactivate, req.to_buffer())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(HierarchyTest, SelfAdoptionRejected) {
+  wire::LoidRequest req{front_};
+  EXPECT_EQ(client_->ref(front_)
+                .call(methods::kAdoptMagistrate, req.to_buffer())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(HierarchyTest, MoveThroughFrontBetweenLeaves) {
+  auto reply = client_->create(counter_class_, CounterInit(3), {front_});
+  ASSERT_TRUE(reply.ok());
+  const bool at_uva = system_->magistrate_impl(uva_)->manages(reply->loid);
+  const Loid dest =
+      at_uva ? system_->magistrate_of(doe_) : system_->magistrate_of(uva_);
+
+  wire::TransferRequest move{reply->loid, dest};
+  ASSERT_TRUE(client_->ref(front_).call(methods::kMove, move.to_buffer()).ok());
+  EXPECT_EQ(system_->magistrate_impl(uva_)->manages(reply->loid), !at_uva);
+
+  auto raw = client_->ref(reply->loid).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(ReadI64(*raw), 3);
+}
+
+}  // namespace
+}  // namespace legion::core

@@ -1,0 +1,146 @@
+// Host Object admission control, paper Section 3.9: SetCPULoad and
+// SetMemoryUsage "restrict access to the host"; placement routes around
+// full hosts; an exhausted jurisdiction refuses cleanly.
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::SimSystemFixture;
+
+class HostLimitsTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    counter_class_ = DeriveCounterClass();
+    ASSERT_TRUE(counter_class_.valid());
+  }
+
+  Status SetLimit(HostId host, std::string_view method, std::uint64_t limit) {
+    wire::SetLimitRequest req{limit};
+    return client_->ref(system_->host_object_of(host))
+        .call(method, req.to_buffer())
+        .status();
+  }
+
+  wire::HostStateReply GetState(HostId host) {
+    auto raw = client_->ref(system_->host_object_of(host))
+                   .call(methods::kGetState, Buffer{});
+    EXPECT_TRUE(raw.ok());
+    auto reply = wire::HostStateReply::from_buffer(*raw);
+    EXPECT_TRUE(reply.ok());
+    return reply.ok() ? *reply : wire::HostStateReply{};
+  }
+
+  Loid counter_class_;
+};
+
+TEST_F(HostLimitsTest, GetStateReportsLoadAndCapacity) {
+  const auto before = GetState(uva1_);
+  EXPECT_TRUE(before.accepting);
+  ASSERT_TRUE(client_
+                  ->create(counter_class_, CounterInit(0),
+                           {system_->magistrate_of(uva_)},
+                           system_->host_object_of(uva1_))
+                  .ok());
+  const auto after = GetState(uva1_);
+  EXPECT_EQ(after.active_objects, before.active_objects + 1);
+  EXPECT_GT(after.cpu_load, before.cpu_load);
+}
+
+TEST_F(HostLimitsTest, CpuLimitStopsAdmission) {
+  const auto current = GetState(uva1_).active_objects;
+  ASSERT_TRUE(SetLimit(uva1_, methods::kSetCPULoad, current + 1).ok());
+
+  // One more fits...
+  ASSERT_TRUE(client_
+                  ->create(counter_class_, CounterInit(0),
+                           {system_->magistrate_of(uva_)},
+                           system_->host_object_of(uva1_))
+                  .ok());
+  EXPECT_FALSE(GetState(uva1_).accepting);
+  // ...the next explicit placement is refused by the host itself.
+  auto refused = client_->create(counter_class_, CounterInit(0),
+                                 {system_->magistrate_of(uva_)},
+                                 system_->host_object_of(uva1_));
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(HostLimitsTest, PlacementRoutesAroundFullHost) {
+  const auto current = GetState(uva1_).active_objects;
+  ASSERT_TRUE(SetLimit(uva1_, methods::kSetCPULoad,
+                       current == 0 ? 1 : current)
+                  .ok());
+  // Unsuggested placements in uva must now land on uva-2 only.
+  const auto uva2_before = GetState(uva2_).active_objects;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client_
+                    ->create(counter_class_, CounterInit(0),
+                             {system_->magistrate_of(uva_)})
+                    .ok());
+  }
+  EXPECT_GE(GetState(uva2_).active_objects, uva2_before + 3);
+}
+
+TEST_F(HostLimitsTest, ExhaustedJurisdictionRefusesCleanly) {
+  for (HostId h : {uva1_, uva2_}) {
+    const auto current = GetState(h).active_objects;
+    ASSERT_TRUE(SetLimit(h, methods::kSetCPULoad,
+                         current == 0 ? 1 : current)
+                    .ok());
+  }
+  // Fill any remaining single slots.
+  while (client_
+             ->create(counter_class_, CounterInit(0),
+                      {system_->magistrate_of(uva_)})
+             .ok()) {
+  }
+  auto refused = client_->create(counter_class_, CounterInit(0),
+                                 {system_->magistrate_of(uva_)});
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Counter init with trailing ballast to inflate the OPR state size.
+Buffer BallastInit(std::size_t ballast) {
+  Buffer b;
+  Writer w(b);
+  w.i64(0);
+  const std::vector<std::uint8_t> pad(ballast, 0);
+  b.append(pad.data(), pad.size());
+  return b;
+}
+
+TEST_F(HostLimitsTest, MemoryLimitCountsRestoredState) {
+  ASSERT_TRUE(SetLimit(uva1_, methods::kSetMemoryUsage, 10'000).ok());
+  // A fat object fills the budget...
+  auto fat = client_->create(counter_class_, BallastInit(20'000),
+                             {system_->magistrate_of(uva_)},
+                             system_->host_object_of(uva1_));
+  ASSERT_TRUE(fat.ok()) << fat.status().to_string();
+  EXPECT_FALSE(GetState(uva1_).accepting);
+  auto refused = client_->create(counter_class_, CounterInit(0),
+                                 {system_->magistrate_of(uva_)},
+                                 system_->host_object_of(uva1_));
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(HostLimitsTest, RaisingLimitReopensHost) {
+  // Occupy one slot so a limit equal to the occupancy closes the host.
+  ASSERT_TRUE(client_
+                  ->create(counter_class_, CounterInit(0),
+                           {system_->magistrate_of(uva_)},
+                           system_->host_object_of(uva1_))
+                  .ok());
+  const auto current = GetState(uva1_).active_objects;
+  ASSERT_GE(current, 1u);
+  ASSERT_TRUE(SetLimit(uva1_, methods::kSetCPULoad, current).ok());
+  EXPECT_FALSE(GetState(uva1_).accepting);
+  ASSERT_TRUE(SetLimit(uva1_, methods::kSetCPULoad, 0).ok());  // unlimited
+  EXPECT_TRUE(GetState(uva1_).accepting);
+}
+
+}  // namespace
+}  // namespace legion::core

@@ -1,0 +1,94 @@
+#include "core/implementation_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/method_table.hpp"
+
+namespace legion::core {
+namespace {
+
+class DummyImpl final : public ObjectImpl {
+ public:
+  explicit DummyImpl(std::string name) : name_(std::move(name)) {}
+  [[nodiscard]] std::string implementation_name() const override {
+    return name_;
+  }
+  void RegisterMethods(MethodTable&) override {}
+
+ private:
+  std::string name_;
+};
+
+ImplFactory Factory(std::string name) {
+  return [name] { return std::make_unique<DummyImpl>(name); };
+}
+
+TEST(ImplementationRegistryTest, AddAndInstantiate) {
+  ImplementationRegistry registry;
+  ASSERT_TRUE(registry.add("a", Factory("a")).ok());
+  EXPECT_TRUE(registry.contains("a"));
+  auto impls = registry.instantiate("a");
+  ASSERT_TRUE(impls.ok());
+  ASSERT_EQ(impls->size(), 1u);
+  EXPECT_EQ((*impls)[0]->implementation_name(), "a");
+}
+
+TEST(ImplementationRegistryTest, RejectsBadNames) {
+  ImplementationRegistry registry;
+  EXPECT_EQ(registry.add("", Factory("")).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.add("a+b", Factory("x")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.add("a", nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ImplementationRegistryTest, RejectsDuplicates) {
+  ImplementationRegistry registry;
+  ASSERT_TRUE(registry.add("a", Factory("a")).ok());
+  EXPECT_EQ(registry.add("a", Factory("a")).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ImplementationRegistryTest, CompositeSpecInstantiatesInOrder) {
+  ImplementationRegistry registry;
+  ASSERT_TRUE(registry.add("derived", Factory("derived")).ok());
+  ASSERT_TRUE(registry.add("base", Factory("base")).ok());
+  auto impls = registry.instantiate("derived+base");
+  ASSERT_TRUE(impls.ok());
+  ASSERT_EQ(impls->size(), 2u);
+  EXPECT_EQ((*impls)[0]->implementation_name(), "derived");
+  EXPECT_EQ((*impls)[1]->implementation_name(), "base");
+}
+
+TEST(ImplementationRegistryTest, UnknownSpecPartFails) {
+  ImplementationRegistry registry;
+  ASSERT_TRUE(registry.add("a", Factory("a")).ok());
+  EXPECT_EQ(registry.instantiate("a+missing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry.instantiate("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ImplementationRegistryTest, SplitAndJoinSpec) {
+  EXPECT_EQ(ImplementationRegistry::SplitSpec("a+b+c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(ImplementationRegistry::SplitSpec("a"),
+            (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(ImplementationRegistry::SplitSpec("").empty());
+  EXPECT_EQ(ImplementationRegistry::SplitSpec("+a++b+"),
+            (std::vector<std::string>{"a", "b"}));
+
+  EXPECT_EQ(ImplementationRegistry::JoinSpec({"a", "b"}), "a+b");
+  // Deduplicates preserving first occurrence — repeated InheritFrom of the
+  // same base must not double the implementation.
+  EXPECT_EQ(ImplementationRegistry::JoinSpec({"a", "b", "a"}), "a+b");
+  EXPECT_EQ(ImplementationRegistry::JoinSpec({}), "");
+}
+
+TEST(ImplementationRegistryTest, NamesAreSorted) {
+  ImplementationRegistry registry;
+  ASSERT_TRUE(registry.add("zeta", Factory("zeta")).ok());
+  ASSERT_TRUE(registry.add("alpha", Factory("alpha")).ok());
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace legion::core

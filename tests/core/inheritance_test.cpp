@@ -1,0 +1,187 @@
+// The three relations — is-a (Create), kind-of (Derive), inherits-from
+// (InheritFrom) — and the Abstract/Private/Fixed class types (paper
+// Sections 2.1.1 and 2.1.2).
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterImpl;
+using testing::CounterInit;
+using testing::GreeterImpl;
+using testing::ReadI64;
+using testing::SimSystemFixture;
+
+class InheritanceTest : public SimSystemFixture {};
+
+TEST_F(InheritanceTest, DeriveCreatesSubclassWithFreshClassId) {
+  const Loid counter_class = DeriveCounterClass();
+  ASSERT_TRUE(counter_class.valid());
+  EXPECT_TRUE(counter_class.names_class_object());
+  EXPECT_GE(counter_class.class_id(), kFirstUserClassId);
+
+  // LegionClass recorded the responsibility pair <LegionObject, Counter>.
+  const auto& pairs = system_->legion_class_impl()->responsibility_pairs();
+  ASSERT_TRUE(pairs.contains(counter_class.class_id()));
+  EXPECT_EQ(pairs.at(counter_class.class_id()), LegionObjectLoid());
+}
+
+TEST_F(InheritanceTest, SubclassOfSubclass) {
+  const Loid counter_class = DeriveCounterClass();
+  wire::DeriveRequest req;
+  req.name = "FancyCounter";
+  auto reply = client_->derive(counter_class, req);
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+
+  // The sub-subclass inherits Counter's implementation; instances behave
+  // like counters.
+  auto instance = client_->create(reply->loid, CounterInit(5));
+  ASSERT_TRUE(instance.ok()) << instance.status().to_string();
+  auto raw = client_->ref(instance->loid).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(ReadI64(*raw), 5);
+}
+
+TEST_F(InheritanceTest, LocateSubclassOfSubclassThroughChain) {
+  // Section 4.1.3: resolving a class walks creator pairs until LegionClass.
+  const Loid counter_class = DeriveCounterClass();
+  wire::DeriveRequest req;
+  req.name = "FancyCounter";
+  auto fancy = client_->derive(counter_class, req);
+  ASSERT_TRUE(fancy.ok());
+
+  auto cold = system_->make_client(doe1_, "cold");
+  auto binding = cold->get_binding(fancy->loid);
+  ASSERT_TRUE(binding.ok()) << binding.status().to_string();
+  EXPECT_EQ(binding->loid, fancy->loid);
+}
+
+TEST_F(InheritanceTest, InheritFromMergesInterfaceAndImplementation) {
+  const Loid counter_class = DeriveCounterClass();
+  wire::DeriveRequest greq;
+  greq.name = "Greeter";
+  greq.instance_impl = std::string(GreeterImpl::kName);
+  auto greeter_class = client_->derive(LegionObjectLoid(), greq);
+  ASSERT_TRUE(greeter_class.ok());
+
+  // Run-time multiple inheritance: Counter inherits-from Greeter.
+  ASSERT_TRUE(client_->inherit_from(counter_class, greeter_class->loid).ok());
+
+  // "It serves to alter the composition of FUTURE instances" (Section
+  // 2.1.1): a new instance now greets *and* counts.
+  auto instance = client_->create(counter_class, CounterInit(1));
+  ASSERT_TRUE(instance.ok());
+  auto greet = client_->ref(instance->loid).call("Greet", Buffer{});
+  ASSERT_TRUE(greet.ok()) << greet.status().to_string();
+  EXPECT_NE(greet->as_string().find("hello from"), std::string::npos);
+
+  // Override order: the derived implementation's Get wins over Greeter's.
+  auto get = client_->ref(instance->loid).call("Get", Buffer{});
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(ReadI64(*get), 1);
+}
+
+TEST_F(InheritanceTest, InheritFromDoesNotAffectExistingInstances) {
+  const Loid counter_class = DeriveCounterClass();
+  auto before = client_->create(counter_class, CounterInit(0));
+  ASSERT_TRUE(before.ok());
+
+  wire::DeriveRequest greq;
+  greq.name = "Greeter";
+  greq.instance_impl = std::string(GreeterImpl::kName);
+  auto greeter_class = client_->derive(LegionObjectLoid(), greq);
+  ASSERT_TRUE(greeter_class.ok());
+  ASSERT_TRUE(client_->inherit_from(counter_class, greeter_class->loid).ok());
+
+  EXPECT_EQ(client_->ref(before->loid).call("Greet", Buffer{}).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(InheritanceTest, GetInterfaceReflectsInheritance) {
+  const Loid counter_class = DeriveCounterClass();
+  wire::DeriveRequest greq;
+  greq.name = "Greeter";
+  greq.instance_impl = std::string(GreeterImpl::kName);
+  InterfaceDescription greet_iface("Greeter");
+  greet_iface.add_method(MethodSignature{"string", "Greet", {}});
+  greq.extra_interface = greet_iface;
+  auto greeter_class = client_->derive(LegionObjectLoid(), greq);
+  ASSERT_TRUE(greeter_class.ok());
+  ASSERT_TRUE(client_->inherit_from(counter_class, greeter_class->loid).ok());
+
+  auto raw = client_->ref(counter_class).call("DescribeClass", Buffer{});
+  ASSERT_TRUE(raw.ok());
+  auto desc = wire::DescribeClassReply::from_buffer(*raw);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_TRUE(desc->interface.has_method("Greet"));
+  EXPECT_NE(desc->impl_spec.find(std::string(GreeterImpl::kName)),
+            std::string::npos);
+}
+
+TEST_F(InheritanceTest, PrivateClassRefusesDerive) {
+  // Section 2.1.2: "Private class objects can have no derived classes, just
+  // instances."
+  const Loid private_class =
+      DeriveCounterClass("PrivateCounter", wire::kClassFlagPrivate);
+  ASSERT_TRUE(private_class.valid());
+
+  wire::DeriveRequest req;
+  req.name = "Sub";
+  EXPECT_EQ(client_->derive(private_class, req).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Instances still fine.
+  EXPECT_TRUE(client_->create(private_class, CounterInit(0)).ok());
+}
+
+TEST_F(InheritanceTest, FixedClassRefusesInheritFrom) {
+  // Section 2.1.2: "a Fixed class inherits member functions and variables
+  // only from its superclass."
+  const Loid fixed_class =
+      DeriveCounterClass("FixedCounter", wire::kClassFlagFixed);
+  ASSERT_TRUE(fixed_class.valid());
+  EXPECT_EQ(client_->inherit_from(fixed_class, LegionObjectLoid()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(InheritanceTest, AbstractClassRefusesCreateButDerives) {
+  const Loid abstract_class =
+      DeriveCounterClass("AbstractCounter", wire::kClassFlagAbstract);
+  ASSERT_TRUE(abstract_class.valid());
+  EXPECT_EQ(client_->create(abstract_class).status().code(),
+            StatusCode::kFailedPrecondition);
+  wire::DeriveRequest req;
+  req.name = "Concrete";
+  auto concrete = client_->derive(abstract_class, req);
+  ASSERT_TRUE(concrete.ok());
+  EXPECT_TRUE(client_->create(concrete->loid, CounterInit(0)).ok());
+}
+
+TEST_F(InheritanceTest, InheritFromNonClassRejected) {
+  const Loid counter_class = DeriveCounterClass();
+  auto instance = client_->create(counter_class, CounterInit(0));
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(client_->inherit_from(counter_class, instance->loid).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(InheritanceTest, DeriveWithoutNameRejected) {
+  wire::DeriveRequest req;
+  EXPECT_EQ(client_->derive(LegionObjectLoid(), req).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(InheritanceTest, ClassObjectsAreObjects) {
+  // "LegionClass is derived from LegionObject; thus, classes are objects in
+  // Legion" — a class object answers object-mandatory methods.
+  const Loid counter_class = DeriveCounterClass();
+  EXPECT_TRUE(client_->ref(counter_class).call(methods::kPing, Buffer{}).ok());
+  auto raw = client_->ref(counter_class).call(methods::kIam, Buffer{});
+  ASSERT_TRUE(raw.ok());
+  Reader r(*raw);
+  EXPECT_EQ(Loid::Deserialize(r), counter_class);
+}
+
+}  // namespace
+}  // namespace legion::core

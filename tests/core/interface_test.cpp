@@ -1,0 +1,96 @@
+#include "core/interface.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/well_known.hpp"
+
+namespace legion::core {
+namespace {
+
+MethodSignature Sig(std::string ret, std::string name) {
+  return MethodSignature{std::move(ret), std::move(name), {}};
+}
+
+TEST(MethodSignatureTest, ToStringFormatsLikeIdl) {
+  MethodSignature m{"int", "read", {{"int", "offset"}, {"int", "count"}}};
+  EXPECT_EQ(m.to_string(), "int read(int offset, int count)");
+  EXPECT_EQ(Sig("void", "Ping").to_string(), "void Ping()");
+}
+
+TEST(InterfaceTest, AddAndFind) {
+  InterfaceDescription d("File");
+  d.add_method(Sig("int", "read"));
+  EXPECT_TRUE(d.has_method("read"));
+  EXPECT_FALSE(d.has_method("write"));
+  ASSERT_NE(d.find("read"), nullptr);
+  EXPECT_EQ(d.find("read")->return_type, "int");
+}
+
+TEST(InterfaceTest, AddReplacesSameName) {
+  InterfaceDescription d("File");
+  d.add_method(Sig("int", "read"));
+  d.add_method(Sig("bytes", "read"));
+  EXPECT_EQ(d.methods().size(), 1u);
+  EXPECT_EQ(d.find("read")->return_type, "bytes");
+}
+
+TEST(InterfaceTest, MergeKeepsLocalOverrides) {
+  // InheritFrom semantics (Section 2.1.1): B's member functions are added
+  // to C's interface; C's own definitions win on collision.
+  InterfaceDescription derived("Derived");
+  derived.add_method(Sig("int", "work"));
+  InterfaceDescription base("Base");
+  base.add_method(Sig("void", "work"));
+  base.add_method(Sig("void", "helper"));
+  derived.merge(base);
+  EXPECT_EQ(derived.methods().size(), 2u);
+  EXPECT_EQ(derived.find("work")->return_type, "int");
+  EXPECT_TRUE(derived.has_method("helper"));
+}
+
+TEST(InterfaceTest, SerializeRoundTrips) {
+  InterfaceDescription in("Thing");
+  in.add_method(MethodSignature{"int", "m", {{"string", "s"}}});
+  Buffer buf;
+  Writer w(buf);
+  in.Serialize(w);
+  Reader r(buf);
+  EXPECT_EQ(InterfaceDescription::Deserialize(r), in);
+}
+
+TEST(InterfaceTest, ObjectMandatorySetIsComplete) {
+  // Section 2.1: "All Legion objects export a common set of OBJECT-MANDATORY
+  // member functions, including MayI(), SaveState(), and RestoreState()."
+  // (RestoreState is invoked on activation, not over the wire.)
+  const InterfaceDescription d = ObjectMandatoryInterface();
+  EXPECT_TRUE(d.has_method(methods::kMayI));
+  EXPECT_TRUE(d.has_method(methods::kSaveState));
+  EXPECT_TRUE(d.has_method(methods::kPing));
+  EXPECT_TRUE(d.has_method(methods::kIam));
+  EXPECT_TRUE(d.has_method(methods::kGetInterface));
+}
+
+TEST(InterfaceTest, ClassMandatorySetIsComplete) {
+  // Section 3.7: "it will include at least Create(), Derive(),
+  // InheritFrom(), Delete(), GetBinding(), and GetInterface()."
+  const InterfaceDescription d = ClassMandatoryInterface();
+  EXPECT_TRUE(d.has_method(methods::kCreate));
+  EXPECT_TRUE(d.has_method(methods::kDerive));
+  EXPECT_TRUE(d.has_method(methods::kInheritFrom));
+  EXPECT_TRUE(d.has_method(methods::kDelete));
+  EXPECT_TRUE(d.has_method(methods::kGetBinding));
+  EXPECT_TRUE(d.has_method(methods::kGetInterface));
+  // Class objects are objects: object-mandatory methods included.
+  EXPECT_TRUE(d.has_method(methods::kMayI));
+}
+
+TEST(InterfaceTest, ToStringRendersInterfaceBlock) {
+  InterfaceDescription d("File");
+  d.add_method(Sig("int", "read"));
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("interface File {"), std::string::npos);
+  EXPECT_NE(s.find("int read();"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace legion::core

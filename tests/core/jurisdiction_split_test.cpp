@@ -1,0 +1,119 @@
+// Jurisdiction splitting, paper Section 2.2: a loaded Magistrate hands half
+// its objects to another Magistrate, and the system keeps working.
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::ReadI64;
+using testing::SimSystemFixture;
+
+class JurisdictionSplitTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    counter_class_ = DeriveCounterClass();
+    ASSERT_TRUE(counter_class_.valid());
+    // Load uva's magistrate with a dozen objects, each holding its index.
+    for (int i = 0; i < 12; ++i) {
+      auto reply = client_->create(counter_class_, CounterInit(i),
+                                   {system_->magistrate_of(uva_)});
+      ASSERT_TRUE(reply.ok());
+      objects_.push_back(reply->loid);
+    }
+  }
+
+  Result<std::uint32_t> Split(const Loid& src, const Loid& dest) {
+    wire::LoidRequest req{dest};
+    auto raw = client_->ref(src).call(methods::kSplit, req.to_buffer());
+    if (!raw.ok()) return raw.status();
+    Reader r(*raw);
+    return r.u32();
+  }
+
+  Loid counter_class_;
+  std::vector<Loid> objects_;
+};
+
+TEST_F(JurisdictionSplitTest, SplitMovesHalfTheObjects) {
+  MagistrateImpl* uva_mag = system_->magistrate_impl(uva_);
+  MagistrateImpl* doe_mag = system_->magistrate_impl(doe_);
+  const std::size_t before =
+      uva_mag->active_count() + uva_mag->inert_count();
+  const std::size_t doe_before =
+      doe_mag->active_count() + doe_mag->inert_count();
+
+  auto moved = Split(system_->magistrate_of(uva_), system_->magistrate_of(doe_));
+  ASSERT_TRUE(moved.ok()) << moved.status().to_string();
+  EXPECT_EQ(*moved, (before + 1) / 2);
+  EXPECT_EQ(uva_mag->active_count() + uva_mag->inert_count(),
+            before - *moved);
+  EXPECT_EQ(doe_mag->active_count() + doe_mag->inert_count(),
+            doe_before + *moved);
+}
+
+TEST_F(JurisdictionSplitTest, EveryObjectStillReachableWithStateIntact) {
+  ASSERT_TRUE(
+      Split(system_->magistrate_of(uva_), system_->magistrate_of(doe_)).ok());
+  // Both a warm client and a cold one can reach every object.
+  auto cold = system_->make_client(doe2_, "cold");
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    auto warm = client_->ref(objects_[i]).call("Get", Buffer{});
+    ASSERT_TRUE(warm.ok()) << i << ": " << warm.status().to_string();
+    EXPECT_EQ(ReadI64(*warm), static_cast<std::int64_t>(i));
+    auto cold_read = cold->ref(objects_[i]).call("Get", Buffer{});
+    ASSERT_TRUE(cold_read.ok()) << i << ": " << cold_read.status().to_string();
+  }
+}
+
+TEST_F(JurisdictionSplitTest, SplitOntoSelfRejected) {
+  EXPECT_EQ(
+      Split(system_->magistrate_of(uva_), system_->magistrate_of(uva_))
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(JurisdictionSplitTest, SplitOfEmptyMagistrateIsNoop) {
+  // doe manages nothing we created (maybe the class object, moved count
+  // is whatever half of its managed set is — splitting twice empties).
+  auto first = Split(system_->magistrate_of(doe_), system_->magistrate_of(uva_));
+  ASSERT_TRUE(first.ok());
+  MagistrateImpl* doe_mag = system_->magistrate_impl(doe_);
+  while (doe_mag->active_count() + doe_mag->inert_count() > 0) {
+    auto more =
+        Split(system_->magistrate_of(doe_), system_->magistrate_of(uva_));
+    ASSERT_TRUE(more.ok());
+    if (*more == 0) break;
+  }
+  auto empty = Split(system_->magistrate_of(doe_), system_->magistrate_of(uva_));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, 0u);
+}
+
+TEST_F(JurisdictionSplitTest, RepeatedSplitsConverge) {
+  // Ping-pong splits terminate and preserve the total population.
+  MagistrateImpl* mags[2] = {system_->magistrate_impl(uva_),
+                             system_->magistrate_impl(doe_)};
+  const Loid loids[2] = {system_->magistrate_of(uva_),
+                         system_->magistrate_of(doe_)};
+  auto population = [&] {
+    return mags[0]->active_count() + mags[0]->inert_count() +
+           mags[1]->active_count() + mags[1]->inert_count();
+  };
+  const std::size_t total = population();
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(Split(loids[round % 2], loids[1 - round % 2]).ok());
+    EXPECT_EQ(population(), total) << "round " << round;
+  }
+  // Load ends up roughly balanced.
+  const auto a = mags[0]->active_count() + mags[0]->inert_count();
+  const auto b = mags[1]->active_count() + mags[1]->inert_count();
+  EXPECT_LE(a > b ? a - b : b - a, total / 2);
+}
+
+}  // namespace
+}  // namespace legion::core

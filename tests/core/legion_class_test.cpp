@@ -1,0 +1,119 @@
+// LegionClass as the class-identifier authority (paper Section 4.1.3).
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::SimSystemFixture;
+
+class LegionClassTest : public SimSystemFixture {};
+
+TEST_F(LegionClassTest, AssignClassIdIsMonotonicAndRecordsPair) {
+  wire::AssignClassIdRequest req{LegionObjectLoid()};
+  auto raw1 = client_->ref(LegionClassLoid())
+                  .call(methods::kAssignClassId, req.to_buffer());
+  auto raw2 = client_->ref(LegionClassLoid())
+                  .call(methods::kAssignClassId, req.to_buffer());
+  ASSERT_TRUE(raw1.ok());
+  ASSERT_TRUE(raw2.ok());
+  auto id1 = wire::AssignClassIdReply::from_buffer(*raw1);
+  auto id2 = wire::AssignClassIdReply::from_buffer(*raw2);
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_GE(id1->class_id, kFirstUserClassId);
+  EXPECT_EQ(id2->class_id, id1->class_id + 1);
+  EXPECT_EQ(system_->legion_class_impl()->responsibility_pairs().at(
+                id1->class_id),
+            LegionObjectLoid());
+}
+
+TEST_F(LegionClassTest, AssignClassIdRejectsNonClassCreators) {
+  // "A class object is responsible for assigning LOID's to its instances
+  // and subclasses" — only class objects create classes.
+  wire::AssignClassIdRequest req{Loid{64, 9}};  // an instance LOID
+  EXPECT_EQ(client_->ref(LegionClassLoid())
+                .call(methods::kAssignClassId, req.to_buffer())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(LegionClassTest, LocateCoreClassAnswersDirectly) {
+  wire::LoidRequest req{LegionHostLoid()};
+  auto raw = client_->ref(LegionClassLoid())
+                 .call(methods::kLocateClass, req.to_buffer());
+  ASSERT_TRUE(raw.ok());
+  auto reply = wire::LocateClassReply::from_buffer(*raw);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->kind, wire::LocateClassReply::Kind::kBinding);
+  EXPECT_EQ(reply->binding.loid, LegionHostLoid());
+}
+
+TEST_F(LegionClassTest, LocateUserClassDelegatesToCreator) {
+  const Loid counter_class = DeriveCounterClass();
+  wire::LoidRequest req{counter_class};
+  auto raw = client_->ref(LegionClassLoid())
+                 .call(methods::kLocateClass, req.to_buffer());
+  ASSERT_TRUE(raw.ok());
+  auto reply = wire::LocateClassReply::from_buffer(*raw);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->kind, wire::LocateClassReply::Kind::kDelegate);
+  EXPECT_EQ(reply->creator, LegionObjectLoid());
+}
+
+TEST_F(LegionClassTest, LocateUnknownClassFails) {
+  wire::LoidRequest req{Loid::ForClass(987654)};
+  EXPECT_EQ(client_->ref(LegionClassLoid())
+                .call(methods::kLocateClass, req.to_buffer())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(LegionClassTest, RegisterClassBindingOverWire) {
+  Binding binding;
+  binding.loid = Loid::ForClass(500);
+  binding.address = ObjectAddress{ObjectAddressElement::Sim(EndpointId{1})};
+  wire::NotifyStartedRequest req{binding.loid, binding};
+  ASSERT_TRUE(client_->ref(LegionClassLoid())
+                  .call(methods::kRegisterClassBinding, req.to_buffer())
+                  .ok());
+  wire::LoidRequest locate{Loid::ForClass(500)};
+  auto raw = client_->ref(LegionClassLoid())
+                 .call(methods::kLocateClass, locate.to_buffer());
+  ASSERT_TRUE(raw.ok());
+  auto reply = wire::LocateClassReply::from_buffer(*raw);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->kind, wire::LocateClassReply::Kind::kBinding);
+}
+
+TEST_F(LegionClassTest, DerivedMetaclassAssignsIdsViaInheritedMachinery) {
+  // Deriving from LegionClass yields a metaclass whose Derive() works like
+  // any class's — classes all the way down.
+  wire::DeriveRequest req;
+  req.name = "MyMetaclass";
+  req.instance_impl = std::string(kClassObjectImpl);
+  auto meta = client_->derive(LegionClassLoid(), req);
+  ASSERT_TRUE(meta.ok()) << meta.status().to_string();
+
+  wire::DeriveRequest sub;
+  sub.name = "ViaMeta";
+  sub.instance_impl = std::string(testing::CounterImpl::kName);
+  auto via = client_->derive(meta->loid, sub);
+  ASSERT_TRUE(via.ok()) << via.status().to_string();
+  EXPECT_TRUE(via->loid.names_class_object());
+
+  // Instances of the grand-child class resolve through the full chain:
+  // LegionClass -> MyMetaclass -> ViaMeta.
+  auto instance = client_->create(via->loid, testing::CounterInit(6));
+  ASSERT_TRUE(instance.ok());
+  auto cold = system_->make_client(doe2_, "cold");
+  auto raw = cold->ref(instance->loid).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(testing::ReadI64(*raw), 6);
+}
+
+}  // namespace
+}  // namespace legion::core

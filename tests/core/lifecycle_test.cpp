@@ -1,0 +1,207 @@
+// End-to-end object lifecycle: Create -> invoke -> Deactivate ->
+// reactivation-on-reference -> Copy/Move -> Delete (paper Sections 3.1,
+// 3.8, 4.1.2, 4.1.4).
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::CounterImpl;
+using testing::LoidArgs;
+using testing::ReadI64;
+using testing::SimSystemFixture;
+
+class LifecycleTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    counter_class_ = DeriveCounterClass();
+    ASSERT_TRUE(counter_class_.valid());
+  }
+
+  Loid CreateCounter(std::int64_t start, std::vector<Loid> magistrates = {}) {
+    auto reply = client_->create(counter_class_, CounterInit(start),
+                                 std::move(magistrates));
+    EXPECT_TRUE(reply.ok()) << reply.status().to_string();
+    return reply.ok() ? reply->loid : Loid{};
+  }
+
+  std::int64_t Get(const Loid& counter) {
+    auto raw = client_->ref(counter).call("Get", Buffer{});
+    EXPECT_TRUE(raw.ok()) << raw.status().to_string();
+    return raw.ok() ? ReadI64(*raw) : -1;
+  }
+
+  Loid counter_class_;
+};
+
+TEST_F(LifecycleTest, CreateAssignsSequencedLoids) {
+  const Loid a = CreateCounter(0);
+  const Loid b = CreateCounter(0);
+  // Section 3.7: the class sets the Class Identifier to its own and uses
+  // the class-specific field "most likely as a sequence number".
+  EXPECT_EQ(a.class_id(), counter_class_.class_id());
+  EXPECT_EQ(b.class_id(), counter_class_.class_id());
+  EXPECT_NE(a.class_specific(), b.class_specific());
+  EXPECT_FALSE(a.names_class_object());
+  EXPECT_EQ(a.public_key().size(), 8u);  // configured P/8
+}
+
+TEST_F(LifecycleTest, InvokeWithStateAndArgs) {
+  const Loid counter = CreateCounter(10);
+  Buffer args;
+  Writer w(args);
+  w.i64(5);
+  auto raw = client_->ref(counter).call("Increment", std::move(args));
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(ReadI64(*raw), 15);
+  EXPECT_EQ(Get(counter), 15);
+}
+
+TEST_F(LifecycleTest, ApplicationErrorsPropagateUnchanged) {
+  const Loid counter = CreateCounter(0);
+  auto raw = client_->ref(counter).call("Boom", Buffer{});
+  EXPECT_EQ(raw.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(raw.status().message(), "counter exploded on request");
+}
+
+TEST_F(LifecycleTest, UnknownMethodIsUnimplemented) {
+  const Loid counter = CreateCounter(0);
+  EXPECT_EQ(client_->ref(counter).call("NoSuch", Buffer{}).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(LifecycleTest, NestedObjectToObjectInvocation) {
+  const Loid a = CreateCounter(40);
+  const Loid b = CreateCounter(2);
+  auto raw = client_->ref(a).call("Absorb", LoidArgs(b));
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(ReadI64(*raw), 42);
+}
+
+TEST_F(LifecycleTest, DeactivateThenReferenceReactivates) {
+  const Loid counter = CreateCounter(7);
+  ASSERT_EQ(Get(counter), 7);
+
+  // Deactivate through the magistrate (Section 3.8).
+  const Loid magistrate = system_->magistrate_of(uva_);
+  MagistrateImpl* mag = system_->magistrate_impl(uva_);
+  const Loid other = system_->magistrate_of(doe_);
+  MagistrateImpl* owner = mag->manages(counter)
+                              ? mag
+                              : system_->magistrate_impl(doe_);
+  const Loid owner_loid = mag->manages(counter) ? magistrate : other;
+
+  // Note: class objects also live under magistrates, so counts are deltas.
+  const std::size_t active_before = owner->active_count();
+  wire::LoidRequest req{counter};
+  ASSERT_TRUE(client_->ref(owner_loid)
+                  .call(methods::kDeactivate, req.to_buffer())
+                  .ok());
+  EXPECT_EQ(owner->active_count(), active_before - 1);
+  EXPECT_EQ(owner->inert_count(), 1u);
+
+  // Section 4.1.2: "referring to the LOID of an Inert object can cause the
+  // object to be activated" — and state survives (Section 3.1.1).
+  EXPECT_EQ(Get(counter), 7);
+  EXPECT_EQ(owner->active_count(), active_before);
+  EXPECT_EQ(owner->inert_count(), 0u);
+  EXPECT_GE(client_->resolver().stats().stale_retries, 1u);
+}
+
+TEST_F(LifecycleTest, ColdClientFindsInertObjectThroughFullPath) {
+  const Loid counter = CreateCounter(3);
+  MagistrateImpl* owner = system_->magistrate_impl(uva_)->manages(counter)
+                              ? system_->magistrate_impl(uva_)
+                              : system_->magistrate_impl(doe_);
+  const Loid owner_loid = owner == system_->magistrate_impl(uva_)
+                              ? system_->magistrate_of(uva_)
+                              : system_->magistrate_of(doe_);
+  wire::LoidRequest req{counter};
+  ASSERT_TRUE(client_->ref(owner_loid)
+                  .call(methods::kDeactivate, req.to_buffer())
+                  .ok());
+
+  // A brand-new client with a cold cache: full Figure 17 path.
+  auto cold = system_->make_client(doe2_, "cold-client");
+  auto raw = cold->ref(counter).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(ReadI64(*raw), 3);
+}
+
+TEST_F(LifecycleTest, DeleteRemovesActiveAndInert) {
+  const Loid counter = CreateCounter(1);
+  ASSERT_TRUE(client_->delete_object(counter_class_, counter).ok());
+  // Section 3.8: "future attempts to bind the LOID to an Object Address
+  // will be unsuccessful."
+  client_->resolver().cache().clear();
+  auto result = client_->ref(counter).call("Get", Buffer{});
+  EXPECT_FALSE(result.ok());
+  // Deleting again: the class no longer knows the LOID.
+  EXPECT_EQ(client_->delete_object(counter_class_, counter).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(LifecycleTest, DeleteOfInertObjectScrubsVault) {
+  const Loid counter = CreateCounter(5);
+  MagistrateImpl* owner = system_->magistrate_impl(uva_)->manages(counter)
+                              ? system_->magistrate_impl(uva_)
+                              : system_->magistrate_impl(doe_);
+  const Loid owner_loid = owner->jurisdiction() == uva_
+                              ? system_->magistrate_of(uva_)
+                              : system_->magistrate_of(doe_);
+  wire::LoidRequest req{counter};
+  ASSERT_TRUE(client_->ref(owner_loid)
+                  .call(methods::kDeactivate, req.to_buffer())
+                  .ok());
+  ASSERT_EQ(owner->inert_count(), 1u);
+  ASSERT_TRUE(client_->delete_object(counter_class_, counter).ok());
+  EXPECT_EQ(owner->inert_count(), 0u);
+  EXPECT_EQ(owner->vaults().vault(DiskId{1})->count(), 0u);
+}
+
+TEST_F(LifecycleTest, StatePersistsAcrossManyCycles) {
+  const Loid counter = CreateCounter(0);
+  MagistrateImpl* owner = system_->magistrate_impl(uva_)->manages(counter)
+                              ? system_->magistrate_impl(uva_)
+                              : system_->magistrate_impl(doe_);
+  const Loid owner_loid = owner->jurisdiction() == uva_
+                              ? system_->magistrate_of(uva_)
+                              : system_->magistrate_of(doe_);
+  for (int cycle = 1; cycle <= 5; ++cycle) {
+    ASSERT_TRUE(client_->ref(counter).call("Increment", Buffer{}).ok());
+    wire::LoidRequest req{counter};
+    ASSERT_TRUE(client_->ref(owner_loid)
+                    .call(methods::kDeactivate, req.to_buffer())
+                    .ok());
+    ASSERT_EQ(Get(counter), cycle);
+  }
+}
+
+TEST_F(LifecycleTest, CandidateMagistratesAreHonoured) {
+  const Loid doe_magistrate = system_->magistrate_of(doe_);
+  const Loid counter = CreateCounter(1, {doe_magistrate});
+  EXPECT_TRUE(system_->magistrate_impl(doe_)->manages(counter));
+  EXPECT_FALSE(system_->magistrate_impl(uva_)->manages(counter));
+}
+
+TEST_F(LifecycleTest, SuggestedHostIsUsed) {
+  auto reply = client_->create(counter_class_, CounterInit(0),
+                               {system_->magistrate_of(uva_)},
+                               system_->host_object_of(uva2_));
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  EXPECT_EQ(system_->host_impl(uva2_)->active_objects(), 1u);
+}
+
+TEST_F(LifecycleTest, SuggestedHostOutsideJurisdictionRejected) {
+  auto reply = client_->create(counter_class_, CounterInit(0),
+                               {system_->magistrate_of(uva_)},
+                               system_->host_object_of(doe1_));
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace legion::core

@@ -1,0 +1,175 @@
+// Cross-jurisdiction migration: Copy(), Move(), and the stale bindings they
+// leave behind (paper Sections 3.8 and 4.1.4).
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::ReadI64;
+using testing::SimSystemFixture;
+
+class MigrationTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    counter_class_ = DeriveCounterClass();
+    ASSERT_TRUE(counter_class_.valid());
+    // Pin creation to uva so the source jurisdiction is deterministic.
+    auto reply = client_->create(counter_class_, CounterInit(11),
+                                 {system_->magistrate_of(uva_)});
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+    counter_ = reply->loid;
+  }
+
+  std::int64_t Get(Client& client) {
+    auto raw = client.ref(counter_).call("Get", Buffer{});
+    EXPECT_TRUE(raw.ok()) << raw.status().to_string();
+    return raw.ok() ? ReadI64(*raw) : -1;
+  }
+
+  Loid counter_class_;
+  Loid counter_;
+};
+
+TEST_F(MigrationTest, CopyPlacesInertReplicaAtDestination) {
+  // Section 3.8 Copy(): deactivate, create an OPR, send it across.
+  wire::TransferRequest req{counter_, system_->magistrate_of(doe_)};
+  ASSERT_TRUE(client_->ref(system_->magistrate_of(uva_))
+                  .call(methods::kCopy, req.to_buffer())
+                  .ok());
+  EXPECT_TRUE(system_->magistrate_impl(uva_)->manages(counter_));  // kept
+  EXPECT_TRUE(system_->magistrate_impl(doe_)->manages(counter_));  // copied
+  EXPECT_EQ(system_->magistrate_impl(doe_)->inert_count(), 1u);
+}
+
+TEST_F(MigrationTest, CopyExtendsCurrentMagistrateList) {
+  // Section 3.7: the class's Current Magistrate List tracks every holder,
+  // and GetBinding falls through to *any* magistrate on the list — so the
+  // object survives its primary magistrate forgetting it entirely.
+  wire::TransferRequest req{counter_, system_->magistrate_of(doe_)};
+  ASSERT_TRUE(client_->ref(system_->magistrate_of(uva_))
+                  .call(methods::kCopy, req.to_buffer())
+                  .ok());
+
+  // Erase the original copy directly at the source magistrate.
+  wire::LoidRequest del{counter_};
+  ASSERT_TRUE(client_->ref(system_->magistrate_of(uva_))
+                  .call(methods::kDelete, del.to_buffer())
+                  .ok());
+  EXPECT_FALSE(system_->magistrate_impl(uva_)->manages(counter_));
+
+  // A cold reference resolves through the class, which skips the dead
+  // source entry and activates the copy at doe.
+  auto cold = system_->make_client(doe2_, "cold");
+  auto raw = cold->ref(counter_).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(Get(*cold), 11);
+  EXPECT_TRUE(system_->magistrate_impl(doe_)->manages(counter_));
+}
+
+TEST_F(MigrationTest, MoveTransfersManagementCompletely) {
+  // "Move() is equivalent to Copy() then Delete(). It serves to change the
+  //  Magistrate that manages a given object."
+  wire::TransferRequest req{counter_, system_->magistrate_of(doe_)};
+  ASSERT_TRUE(client_->ref(system_->magistrate_of(uva_))
+                  .call(methods::kMove, req.to_buffer())
+                  .ok());
+  EXPECT_FALSE(system_->magistrate_impl(uva_)->manages(counter_));
+  EXPECT_TRUE(system_->magistrate_impl(doe_)->manages(counter_));
+
+  // The object is reachable and intact after migration, through the full
+  // refresh path (the old binding is stale).
+  EXPECT_EQ(Get(*client_), 11);
+  EXPECT_TRUE(system_->magistrate_impl(doe_)->manages(counter_));
+  EXPECT_EQ(system_->magistrate_impl(doe_)->inert_count(), 0u);  // reactivated
+}
+
+TEST_F(MigrationTest, MoveViaClassChecksCandidateList) {
+  // MoveInstance on the class enforces the Candidate Magistrate List
+  // (Section 3.7): both magistrates are candidates here, so the move to
+  // whichever one does not currently hold the object is permitted.
+  auto reply = client_->create(
+      counter_class_, testing::CounterInit(21),
+      {system_->magistrate_of(uva_), system_->magistrate_of(doe_)});
+  ASSERT_TRUE(reply.ok());
+  const bool at_uva = system_->magistrate_impl(uva_)->manages(reply->loid);
+  const Loid dest =
+      at_uva ? system_->magistrate_of(doe_) : system_->magistrate_of(uva_);
+  const JurisdictionId dest_j = at_uva ? doe_ : uva_;
+
+  wire::MoveInstanceRequest req{reply->loid, dest};
+  ASSERT_TRUE(client_->ref(counter_class_)
+                  .call(methods::kMoveInstance, req.to_buffer())
+                  .ok());
+  EXPECT_TRUE(system_->magistrate_impl(dest_j)->manages(reply->loid));
+  auto raw = client_->ref(reply->loid).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(testing::ReadI64(*raw), 21);
+}
+
+TEST_F(MigrationTest, RestrictedCandidateListBlocksMove) {
+  auto reply = client_->create(counter_class_, CounterInit(0),
+                               {system_->magistrate_of(uva_)});
+  ASSERT_TRUE(reply.ok());
+  // The explicit candidate list contains only uva's magistrate.
+  wire::MoveInstanceRequest req{reply->loid, system_->magistrate_of(doe_)};
+  EXPECT_EQ(client_->ref(counter_class_)
+                .call(methods::kMoveInstance, req.to_buffer())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MigrationTest, StaleBindingsRepairTransparently) {
+  // Warm the client's cache, migrate behind its back, then invoke: the comm
+  // layer must detect the stale binding, refresh, and retry (Section 4.1.4).
+  ASSERT_EQ(Get(*client_), 11);
+  const auto before = client_->resolver().stats().stale_retries;
+
+  wire::TransferRequest req{counter_, system_->magistrate_of(doe_)};
+  ASSERT_TRUE(client_->ref(system_->magistrate_of(uva_))
+                  .call(methods::kMove, req.to_buffer())
+                  .ok());
+
+  EXPECT_EQ(Get(*client_), 11);
+  EXPECT_GT(client_->resolver().stats().stale_retries, before);
+}
+
+TEST_F(MigrationTest, SecondClientUnaffectedByOthersStaleCache) {
+  auto other = system_->make_client(doe2_, "other");
+  wire::TransferRequest req{counter_, system_->magistrate_of(doe_)};
+  ASSERT_TRUE(client_->ref(system_->magistrate_of(uva_))
+                  .call(methods::kMove, req.to_buffer())
+                  .ok());
+  EXPECT_EQ(Get(*other), 11);
+}
+
+TEST_F(MigrationTest, MoveUnknownObjectFails) {
+  wire::TransferRequest req{Loid{counter_.class_id(), 424242},
+                            system_->magistrate_of(doe_)};
+  EXPECT_EQ(client_->ref(system_->magistrate_of(uva_))
+                .call(methods::kMove, req.to_buffer())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MigrationTest, RepeatedPingPongMigrationPreservesState) {
+  const Loid uva_mag = system_->magistrate_of(uva_);
+  const Loid doe_mag = system_->magistrate_of(doe_);
+  for (int round = 0; round < 4; ++round) {
+    const Loid src = (round % 2 == 0) ? uva_mag : doe_mag;
+    const Loid dst = (round % 2 == 0) ? doe_mag : uva_mag;
+    ASSERT_TRUE(client_->ref(counter_).call("Increment", Buffer{}).ok());
+    wire::TransferRequest req{counter_, dst};
+    ASSERT_TRUE(client_->ref(src).call(methods::kMove, req.to_buffer()).ok())
+        << "round " << round;
+  }
+  EXPECT_EQ(Get(*client_), 15);  // 11 + 4 increments
+}
+
+}  // namespace
+}  // namespace legion::core

@@ -1,0 +1,124 @@
+#include "core/object_address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace legion::core {
+namespace {
+
+ObjectAddress MakeAddress(std::size_t n, AddressSemantic semantic,
+                          std::uint32_t k = 1) {
+  std::vector<ObjectAddressElement> elements;
+  for (std::size_t i = 0; i < n; ++i) {
+    elements.push_back(ObjectAddressElement::Sim(EndpointId{i + 1}));
+  }
+  return ObjectAddress{std::move(elements), semantic, k};
+}
+
+TEST(ObjectAddressTest, DefaultIsInvalid) {
+  ObjectAddress a;
+  EXPECT_FALSE(a.valid());
+  Rng rng(1);
+  EXPECT_TRUE(a.select_targets(rng).empty());
+}
+
+TEST(ObjectAddressTest, SingleElementConstructor) {
+  ObjectAddress a{ObjectAddressElement::Sim(EndpointId{9})};
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.elements().size(), 1u);
+  EXPECT_EQ(a.semantic(), AddressSemantic::kFirst);
+}
+
+TEST(ObjectAddressTest, FirstSemanticAlwaysPicksPrimary) {
+  ObjectAddress a = MakeAddress(4, AddressSemantic::kFirst);
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const auto targets = a.select_targets(rng);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0], 0u);
+  }
+}
+
+TEST(ObjectAddressTest, AllSemanticSelectsEveryElement) {
+  // Section 4.3: "the semantic could specify that all addresses should be
+  // sent to".
+  ObjectAddress a = MakeAddress(5, AddressSemantic::kAll);
+  Rng rng(7);
+  const auto targets = a.select_targets(rng);
+  EXPECT_EQ(targets, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ObjectAddressTest, RandomOneCoversAllElements) {
+  ObjectAddress a = MakeAddress(4, AddressSemantic::kRandomOne);
+  Rng rng(7);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto targets = a.select_targets(rng);
+    ASSERT_EQ(targets.size(), 1u);
+    seen.insert(targets[0]);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ObjectAddressTest, KOfNSelectsExactlyKDistinct) {
+  ObjectAddress a = MakeAddress(6, AddressSemantic::kKOfN, 3);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto targets = a.select_targets(rng);
+    EXPECT_EQ(targets.size(), 3u);
+    EXPECT_EQ(std::set<std::size_t>(targets.begin(), targets.end()).size(), 3u);
+  }
+}
+
+TEST(ObjectAddressTest, KOfNClampsToN) {
+  ObjectAddress a = MakeAddress(2, AddressSemantic::kKOfN, 9);
+  Rng rng(7);
+  EXPECT_EQ(a.select_targets(rng).size(), 2u);
+}
+
+TEST(ObjectAddressTest, KOfNWithZeroKStillSendsSomewhere) {
+  ObjectAddress a = MakeAddress(3, AddressSemantic::kKOfN, 0);
+  Rng rng(7);
+  EXPECT_EQ(a.select_targets(rng).size(), 1u);
+}
+
+TEST(ObjectAddressTest, SerializeRoundTrips) {
+  ObjectAddress in = MakeAddress(3, AddressSemantic::kKOfN, 2);
+  Buffer buf;
+  Writer w(buf);
+  in.Serialize(w);
+  Reader r(buf);
+  const ObjectAddress out = ObjectAddress::Deserialize(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(ObjectAddressTest, ToStringNamesSemantics) {
+  EXPECT_NE(MakeAddress(1, AddressSemantic::kAll).to_string().find("all"),
+            std::string::npos);
+  EXPECT_NE(
+      MakeAddress(2, AddressSemantic::kKOfN, 2).to_string().find("k-of-n:2"),
+      std::string::npos);
+}
+
+class SemanticSweep : public ::testing::TestWithParam<AddressSemantic> {};
+
+TEST_P(SemanticSweep, SelectionIndicesAreInRange) {
+  ObjectAddress a = MakeAddress(5, GetParam(), 2);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    for (std::size_t index : a.select_targets(rng)) {
+      EXPECT_LT(index, 5u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSemantics, SemanticSweep,
+                         ::testing::Values(AddressSemantic::kAll,
+                                           AddressSemantic::kRandomOne,
+                                           AddressSemantic::kKOfN,
+                                           AddressSemantic::kFirst));
+
+}  // namespace
+}  // namespace legion::core

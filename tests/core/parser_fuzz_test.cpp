@@ -1,0 +1,74 @@
+// Random-bytes fuzzing of every wire parser: hostile input must fail
+// cleanly (no crash, no hang, no accidental acceptance of garbage as a
+// well-formed control message).
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "core/wire.hpp"
+#include "idl/idl.hpp"
+#include "persist/opr.hpp"
+
+namespace legion::core {
+namespace {
+
+Buffer RandomBytes(Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(rng.below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return Buffer{std::move(out)};
+}
+
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzz, AllParsersSurviveGarbage) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const Buffer junk = RandomBytes(rng, 96);
+    // Every from_buffer either fails or yields a value — never crashes.
+    (void)wire::GetBindingRequest::from_buffer(junk);
+    (void)wire::BindingReply::from_buffer(junk);
+    (void)wire::CreateRequest::from_buffer(junk);
+    (void)wire::CreateReply::from_buffer(junk);
+    (void)wire::DeriveRequest::from_buffer(junk);
+    (void)wire::CreateReplicatedRequest::from_buffer(junk);
+    (void)wire::StoreNewRequest::from_buffer(junk);
+    (void)wire::ActivateRequest::from_buffer(junk);
+    (void)wire::TransferRequest::from_buffer(junk);
+    (void)wire::StartObjectRequest::from_buffer(junk);
+    (void)wire::StopObjectRequest::from_buffer(junk);
+    (void)wire::HostStateReply::from_buffer(junk);
+    (void)wire::LocateClassReply::from_buffer(junk);
+    (void)wire::NotifyStartedRequest::from_buffer(junk);
+    (void)persist::Opr::from_bytes(junk);
+  }
+  SUCCEED();
+}
+
+TEST_P(WireFuzz, EmptyAndTinyBuffersAlwaysRejectedByStructuredParsers) {
+  Rng rng(GetParam());
+  for (std::size_t len = 0; len < 8; ++len) {
+    Buffer tiny = RandomBytes(rng, len);
+    EXPECT_FALSE(wire::CreateReply::from_buffer(tiny).ok());
+    EXPECT_FALSE(wire::LocateClassReply::from_buffer(tiny).ok());
+    EXPECT_FALSE(persist::Opr::from_bytes(tiny).ok());
+  }
+}
+
+TEST_P(WireFuzz, IdlParserSurvivesGarbageText) {
+  Rng rng(GetParam() ^ 0x1D1);
+  for (int i = 0; i < 200; ++i) {
+    std::string junk;
+    const std::size_t len = rng.below(120);
+    for (std::size_t c = 0; c < len; ++c) {
+      // Printable-ish ASCII keeps the lexer in interesting territory.
+      junk += static_cast<char>(32 + rng.below(95));
+    }
+    (void)idl::Parse(junk);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,
+                         ::testing::Values(11ULL, 222ULL, 3333ULL));
+
+}  // namespace
+}  // namespace legion::core

@@ -1,0 +1,140 @@
+// System-level object replication, paper Section 4.3: one LOID, several
+// processes, multicast semantics encoded in the Object Address.
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::ReadI64;
+using testing::SimSystemFixture;
+
+class ReplicationTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    counter_class_ = DeriveCounterClass();
+    ASSERT_TRUE(counter_class_.valid());
+  }
+
+  Loid counter_class_;
+};
+
+TEST_F(ReplicationTest, ReplicatedAddressCarriesAllElements) {
+  auto reply = client_->create_replicated(counter_class_, CounterInit(0), 2,
+                                          AddressSemantic::kAll);
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  EXPECT_EQ(reply->binding.address.elements().size(), 2u);
+  EXPECT_EQ(reply->binding.address.semantic(), AddressSemantic::kAll);
+}
+
+TEST_F(ReplicationTest, AllSemanticUpdatesEveryReplica) {
+  auto reply = client_->create_replicated(counter_class_, CounterInit(0), 2,
+                                          AddressSemantic::kAll);
+  ASSERT_TRUE(reply.ok());
+  const Loid object = reply->loid;
+
+  // Five increments through the kAll address reach both replicas, so any
+  // single replica read (kFirst on a single element) observes five.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client_->ref(object).call("Increment", Buffer{}).ok());
+  }
+  for (const auto& element : reply->binding.address.elements()) {
+    Binding single{object, ObjectAddress{element}, kSimTimeNever};
+    auto raw = client_->resolver().call_binding(single, "Get", Buffer{},
+                                                rt::EnvTriple::System(),
+                                                10'000'000);
+    ASSERT_TRUE(raw.ok());
+    EXPECT_EQ(ReadI64(*raw), 5);
+  }
+}
+
+TEST_F(ReplicationTest, RandomOneSpreadsLoadAcrossReplicas) {
+  // Each jurisdiction has two hosts, so two replicas fit anywhere.
+  auto reply = client_->create_replicated(counter_class_, CounterInit(0), 2,
+                                          AddressSemantic::kRandomOne);
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  const Loid object = reply->loid;
+
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(client_->ref(object).call("Increment", Buffer{}).ok());
+  }
+  // Each replica saw some but not all of the increments.
+  std::int64_t total = 0;
+  for (const auto& element : reply->binding.address.elements()) {
+    Binding single{object, ObjectAddress{element}, kSimTimeNever};
+    auto raw = client_->resolver().call_binding(single, "Get", Buffer{},
+                                                rt::EnvTriple::System(),
+                                                10'000'000);
+    ASSERT_TRUE(raw.ok());
+    const std::int64_t count = ReadI64(*raw);
+    EXPECT_GT(count, 0);
+    EXPECT_LT(count, 100);
+    total += count;
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST_F(ReplicationTest, ReplicasLandOnDistinctHosts) {
+  auto reply = client_->create_replicated(counter_class_, CounterInit(0), 2,
+                                          AddressSemantic::kRandomOne, 1,
+                                          {system_->magistrate_of(uva_)});
+  ASSERT_TRUE(reply.ok());
+  // uva has two hosts; both now run one replica (plus possibly the class).
+  EXPECT_GE(system_->host_impl(uva1_)->active_objects(), 1u);
+  EXPECT_GE(system_->host_impl(uva2_)->active_objects(), 1u);
+}
+
+TEST_F(ReplicationTest, TooManyReplicasForJurisdictionRejected) {
+  auto reply = client_->create_replicated(counter_class_, CounterInit(0), 3,
+                                          AddressSemantic::kAll, 1,
+                                          {system_->magistrate_of(uva_)});
+  EXPECT_EQ(reply.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ReplicationTest, ZeroReplicasRejected) {
+  auto reply = client_->create_replicated(counter_class_, CounterInit(0), 0,
+                                          AddressSemantic::kAll);
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ReplicationTest, DeactivateReapsAllReplicasAndStateSurvives) {
+  auto reply = client_->create_replicated(counter_class_, CounterInit(3), 2,
+                                          AddressSemantic::kAll, 1,
+                                          {system_->magistrate_of(uva_)});
+  ASSERT_TRUE(reply.ok());
+  const Loid object = reply->loid;
+  ASSERT_TRUE(client_->ref(object).call("Increment", Buffer{}).ok());
+
+  MagistrateImpl* owner = system_->magistrate_impl(uva_);
+  const std::size_t active_before = owner->active_count();
+  wire::LoidRequest req{object};
+  ASSERT_TRUE(client_->ref(system_->magistrate_of(uva_))
+                  .call(methods::kDeactivate, req.to_buffer())
+                  .ok());
+  EXPECT_EQ(owner->active_count(), active_before - 1);
+
+  // Reactivation on reference restores the first replica's state (a single
+  // process now — re-replication is an application decision).
+  auto raw = client_->ref(object).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(ReadI64(*raw), 4);
+}
+
+TEST_F(ReplicationTest, DeleteReapsAllReplicas) {
+  auto reply = client_->create_replicated(counter_class_, CounterInit(0), 2,
+                                          AddressSemantic::kAll, 1,
+                                          {system_->magistrate_of(uva_)});
+  ASSERT_TRUE(reply.ok());
+  const std::size_t uva1_before = system_->host_impl(uva1_)->active_objects();
+  const std::size_t uva2_before = system_->host_impl(uva2_)->active_objects();
+  ASSERT_TRUE(client_->delete_object(counter_class_, reply->loid).ok());
+  EXPECT_EQ(system_->host_impl(uva1_)->active_objects() +
+                system_->host_impl(uva2_)->active_objects(),
+            uva1_before + uva2_before - 2);
+}
+
+}  // namespace
+}  // namespace legion::core

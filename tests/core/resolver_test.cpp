@@ -1,0 +1,185 @@
+// Resolver unit tests against a hand-built Binding Agent stub: consult
+// accounting, the well-known special cases, and semantics-aware fan-out.
+#include <gtest/gtest.h>
+
+#include "core/comm.hpp"
+#include "core/wire.hpp"
+#include "rt/sim_runtime.hpp"
+
+namespace legion::core {
+namespace {
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto j = runtime_.topology().add_jurisdiction("j");
+    host_ = runtime_.topology().add_host("h", {j});
+
+    // A stub Binding Agent that answers GetBinding from a local map.
+    ba_ = std::make_unique<rt::Messenger>(
+        runtime_, host_, "stub-ba", rt::ExecutionMode::kServiced,
+        [this](rt::ServerContext& ctx, Reader& args) -> Result<Buffer> {
+          ++ba_requests_;
+          if (ctx.call.method != std::string(methods::kGetBinding)) {
+            return UnimplementedError("stub only binds");
+          }
+          auto req = wire::GetBindingRequest::Deserialize(args);
+          if (!args.ok()) return InvalidArgumentError("bad args");
+          auto it = known_.find(req.loid);
+          if (it == known_.end()) return NotFoundError("unknown loid");
+          return wire::BindingReply{it->second}.to_buffer();
+        });
+
+    handles_.legion_class =
+        Binding{LegionClassLoid(),
+                ObjectAddress{ObjectAddressElement::Sim(EndpointId{424242})},
+                kSimTimeNever};
+    handles_.default_binding_agent =
+        Binding{Loid{kLegionBindingAgentClassId, 1},
+                ObjectAddress{ObjectAddressElement::Sim(ba_->endpoint())},
+                kSimTimeNever};
+
+    client_ = std::make_unique<rt::Messenger>(
+        runtime_, host_, "client", rt::ExecutionMode::kDriver, nullptr);
+    resolver_ = std::make_unique<Resolver>(*client_, handles_, 16, Rng(1));
+  }
+
+  // A serviced echo endpoint the stub can hand out bindings for.
+  Binding MakeTarget(const Loid& loid, std::string reply_text) {
+    targets_.push_back(std::make_unique<rt::Messenger>(
+        runtime_, host_, "target", rt::ExecutionMode::kServiced,
+        [reply_text](rt::ServerContext&, Reader&) -> Result<Buffer> {
+          return Buffer::FromString(reply_text);
+        }));
+    Binding b{loid,
+              ObjectAddress{ObjectAddressElement::Sim(
+                  targets_.back()->endpoint())},
+              kSimTimeNever};
+    known_[loid] = b;
+    return b;
+  }
+
+  rt::SimRuntime runtime_{5};
+  HostId host_;
+  std::unique_ptr<rt::Messenger> ba_;
+  std::unique_ptr<rt::Messenger> client_;
+  std::unique_ptr<Resolver> resolver_;
+  SystemHandles handles_;
+  std::map<Loid, Binding> known_;
+  std::vector<std::unique_ptr<rt::Messenger>> targets_;
+  int ba_requests_ = 0;
+};
+
+TEST_F(ResolverTest, WellKnownLoidsNeverConsultTheAgent) {
+  auto lc = resolver_->resolve(LegionClassLoid(), 1'000'000);
+  ASSERT_TRUE(lc.ok());
+  EXPECT_EQ(lc->address, handles_.legion_class.address);
+  auto ba = resolver_->resolve(Loid{kLegionBindingAgentClassId, 1}, 1'000'000);
+  ASSERT_TRUE(ba.ok());
+  EXPECT_EQ(ba_requests_, 0);
+  EXPECT_EQ(resolver_->stats().binding_agent_consults, 0u);
+}
+
+TEST_F(ResolverTest, NilLoidRejectedLocally) {
+  EXPECT_EQ(resolver_->resolve(Loid{}, 1'000'000).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ba_requests_, 0);
+}
+
+TEST_F(ResolverTest, CacheAbsorbsRepeatResolves) {
+  MakeTarget(Loid{9, 1}, "hi");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(resolver_->resolve(Loid{9, 1}, 1'000'000).ok());
+  }
+  EXPECT_EQ(ba_requests_, 1);
+  EXPECT_EQ(resolver_->cache().stats().hits, 4u);
+}
+
+TEST_F(ResolverTest, CallRoutesThroughResolvedBinding) {
+  MakeTarget(Loid{9, 2}, "payload");
+  auto raw = resolver_->call(Loid{9, 2}, "Anything", Buffer{},
+                             rt::EnvTriple::System(), 1'000'000);
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(raw->as_string(), "payload");
+}
+
+TEST_F(ResolverTest, SeededBindingSkipsAgentEntirely) {
+  Binding direct = MakeTarget(Loid{9, 3}, "direct");
+  known_.clear();  // the agent cannot answer anymore
+  resolver_->add_binding(direct);
+  auto raw = resolver_->call(Loid{9, 3}, "M", Buffer{},
+                             rt::EnvTriple::System(), 1'000'000);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(ba_requests_, 0);
+}
+
+TEST_F(ResolverTest, InvalidateForcesReconsult) {
+  MakeTarget(Loid{9, 4}, "x");
+  ASSERT_TRUE(resolver_->resolve(Loid{9, 4}, 1'000'000).ok());
+  resolver_->invalidate(Loid{9, 4});
+  ASSERT_TRUE(resolver_->resolve(Loid{9, 4}, 1'000'000).ok());
+  EXPECT_EQ(ba_requests_, 2);
+}
+
+TEST_F(ResolverTest, ApplicationErrorsDoNotTriggerRetries) {
+  targets_.push_back(std::make_unique<rt::Messenger>(
+      runtime_, host_, "angry", rt::ExecutionMode::kServiced,
+      [](rt::ServerContext&, Reader&) -> Result<Buffer> {
+        return PermissionDeniedError("no");
+      }));
+  known_[Loid{9, 5}] =
+      Binding{Loid{9, 5},
+              ObjectAddress{ObjectAddressElement::Sim(
+                  targets_.back()->endpoint())},
+              kSimTimeNever};
+  auto raw = resolver_->call(Loid{9, 5}, "M", Buffer{},
+                             rt::EnvTriple::System(), 1'000'000);
+  EXPECT_EQ(raw.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(resolver_->stats().stale_retries, 0u);
+}
+
+TEST_F(ResolverTest, CallBindingFansOutPerAllSemantic) {
+  // Two replicas behind one kAll address: both serve the call.
+  int hits_a = 0;
+  int hits_b = 0;
+  auto make = [&](int* counter) {
+    targets_.push_back(std::make_unique<rt::Messenger>(
+        runtime_, host_, "replica", rt::ExecutionMode::kServiced,
+        [counter](rt::ServerContext&, Reader&) -> Result<Buffer> {
+          ++*counter;
+          return Buffer::FromString("ok");
+        }));
+    return ObjectAddressElement::Sim(targets_.back()->endpoint());
+  };
+  Binding replicated{Loid{9, 6},
+                     ObjectAddress{{make(&hits_a), make(&hits_b)},
+                                   AddressSemantic::kAll},
+                     kSimTimeNever};
+  auto raw = resolver_->call_binding(replicated, "M", Buffer{},
+                                     rt::EnvTriple::System(), 1'000'000);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(hits_a, 1);
+  EXPECT_EQ(hits_b, 1);
+}
+
+TEST_F(ResolverTest, FirstSuccessWinsWhenSomeReplicasAreDead) {
+  // One dead element plus one live one under kAll: the call still succeeds.
+  targets_.push_back(std::make_unique<rt::Messenger>(
+      runtime_, host_, "live", rt::ExecutionMode::kServiced,
+      [](rt::ServerContext&, Reader&) -> Result<Buffer> {
+        return Buffer::FromString("alive");
+      }));
+  Binding mixed{Loid{9, 7},
+                ObjectAddress{{ObjectAddressElement::Sim(EndpointId{777777}),
+                               ObjectAddressElement::Sim(
+                                   targets_.back()->endpoint())},
+                              AddressSemantic::kAll},
+                kSimTimeNever};
+  auto raw = resolver_->call_binding(mixed, "M", Buffer{},
+                                     rt::EnvTriple::System(), 1'000'000);
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(raw->as_string(), "alive");
+}
+
+}  // namespace
+}  // namespace legion::core

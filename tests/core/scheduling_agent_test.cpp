@@ -1,0 +1,134 @@
+// Scheduling Agents: the Section 3.7 hook in motion. Classes consult their
+// default agent during Create(); the agent queries Host Objects and applies
+// a policy outside the Magistrate (Section 3.8).
+#include <gtest/gtest.h>
+
+#include "core/scheduling_agent.hpp"
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::SimSystemFixture;
+
+class SchedulingAgentTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    ASSERT_TRUE(RegisterSchedulingImpls(system_->registry()).ok());
+    counter_class_ = DeriveCounterClass();
+    ASSERT_TRUE(counter_class_.valid());
+
+    // A Scheduling Agent class, then one least-loaded agent instance.
+    wire::DeriveRequest req;
+    req.name = "Scheduler";
+    req.instance_impl = std::string(kSchedulingAgentImpl);
+    auto agent_class = client_->derive(LegionObjectLoid(), req);
+    ASSERT_TRUE(agent_class.ok());
+    auto agent = client_->create(agent_class->loid,
+                                 SchedulingAgentInit("least-loaded"));
+    ASSERT_TRUE(agent.ok());
+    agent_ = agent->loid;
+  }
+
+  void AttachAgentToCounterClass() {
+    wire::LoidRequest req{agent_};
+    ASSERT_TRUE(client_->ref(counter_class_)
+                    .call(methods::kSetSchedulingAgent, req.to_buffer())
+                    .ok());
+  }
+
+  Loid counter_class_;
+  Loid agent_;
+};
+
+TEST_F(SchedulingAgentTest, SuggestHostReturnsAHostOfTheJurisdiction) {
+  wire::LoidRequest req{system_->magistrate_of(uva_)};
+  auto raw = client_->ref(agent_).call(methods::kSuggestHost, req.to_buffer());
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  auto reply = wire::LoidReply::from_buffer(*raw);
+  ASSERT_TRUE(reply.ok());
+  const std::vector<Loid> uva_hosts = {system_->host_object_of(uva1_),
+                                       system_->host_object_of(uva2_)};
+  EXPECT_TRUE(reply->loid == uva_hosts[0] || reply->loid == uva_hosts[1]);
+}
+
+TEST_F(SchedulingAgentTest, LeastLoadedAgentBalancesCreations) {
+  AttachAgentToCounterClass();
+  // With least-loaded suggestions, consecutive creations alternate hosts.
+  const std::size_t before1 = system_->host_impl(uva1_)->active_objects();
+  const std::size_t before2 = system_->host_impl(uva2_)->active_objects();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client_
+                    ->create(counter_class_, CounterInit(0),
+                             {system_->magistrate_of(uva_)})
+                    .ok());
+  }
+  const std::size_t gained1 =
+      system_->host_impl(uva1_)->active_objects() - before1;
+  const std::size_t gained2 =
+      system_->host_impl(uva2_)->active_objects() - before2;
+  EXPECT_EQ(gained1 + gained2, 6u);
+  // Least-loaded keeps the two hosts within one object of each other.
+  EXPECT_LE(gained1 > gained2 ? gained1 - gained2 : gained2 - gained1, 2u);
+}
+
+TEST_F(SchedulingAgentTest, ExplicitSuggestionOverridesAgent) {
+  AttachAgentToCounterClass();
+  const std::size_t before = system_->host_impl(uva2_)->active_objects();
+  auto reply = client_->create(counter_class_, CounterInit(0),
+                               {system_->magistrate_of(uva_)},
+                               system_->host_object_of(uva2_));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(system_->host_impl(uva2_)->active_objects(), before + 1);
+}
+
+TEST_F(SchedulingAgentTest, DeadAgentFallsBackToMagistratePlacement) {
+  AttachAgentToCounterClass();
+  // Kill the agent; Create() must still succeed via magistrate-default
+  // placement (the hook is advisory, not load-bearing).
+  const Loid agent_class = agent_.responsible_class();
+  ASSERT_TRUE(client_->delete_object(agent_class, agent_).ok());
+  auto reply = client_->create(counter_class_, CounterInit(0));
+  EXPECT_TRUE(reply.ok()) << reply.status().to_string();
+}
+
+TEST_F(SchedulingAgentTest, ClearingAgentRestoresDefault) {
+  AttachAgentToCounterClass();
+  wire::LoidRequest clear{Loid{}};
+  ASSERT_TRUE(client_->ref(counter_class_)
+                  .call(methods::kSetSchedulingAgent, clear.to_buffer())
+                  .ok());
+  EXPECT_TRUE(client_->create(counter_class_, CounterInit(0)).ok());
+}
+
+TEST_F(SchedulingAgentTest, AgentPolicySurvivesDeactivation) {
+  // The agent is an ordinary object: cycle it and its policy persists.
+  MagistrateImpl* owner = system_->magistrate_impl(uva_)->manages(agent_)
+                              ? system_->magistrate_impl(uva_)
+                              : system_->magistrate_impl(doe_);
+  const Loid owner_loid = owner->jurisdiction() == uva_
+                              ? system_->magistrate_of(uva_)
+                              : system_->magistrate_of(doe_);
+  wire::LoidRequest req{agent_};
+  ASSERT_TRUE(client_->ref(owner_loid)
+                  .call(methods::kDeactivate, req.to_buffer())
+                  .ok());
+
+  wire::LoidRequest ask{system_->magistrate_of(doe_)};
+  auto raw = client_->ref(agent_).call(methods::kSuggestHost, ask.to_buffer());
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+}
+
+TEST_F(SchedulingAgentTest, MagistrateListHostsExported) {
+  auto raw = client_->ref(system_->magistrate_of(uva_))
+                 .call(methods::kListHosts, Buffer{});
+  ASSERT_TRUE(raw.ok());
+  auto reply = wire::LoidListReply::from_buffer(*raw);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->loids.size(), 2u);
+}
+
+}  // namespace
+}  // namespace legion::core

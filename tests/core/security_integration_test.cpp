@@ -1,0 +1,194 @@
+// The security model in motion (paper Section 2.4): MayI() gating every
+// invocation, the RA/SA/CA environment triple, and Magistrates as security
+// boundaries (Section 3.8 "requests rather than commands").
+#include <gtest/gtest.h>
+
+#include "core/policies.hpp"
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::CounterInit;
+using testing::SimSystemFixture;
+
+// A guarded object: only callers whose class id matches the one stored in
+// its state may invoke anything (the DOE scenario of Section 2.1.3).
+class GuardedImpl final : public ObjectImpl {
+ public:
+  static constexpr std::string_view kName = "test.guarded";
+
+  [[nodiscard]] std::string implementation_name() const override {
+    return std::string(kName);
+  }
+  void RegisterMethods(MethodTable& table) override {
+    table.add("Secret", [](ObjectContext&, Reader&) -> Result<Buffer> {
+      return Buffer::FromString("classified");
+    });
+  }
+  void SaveState(Writer& w) const override { w.u64(trusted_class_); }
+  Status RestoreState(Reader& r) override {
+    if (!r.exhausted()) trusted_class_ = r.u64();
+    return OkStatus();
+  }
+  [[nodiscard]] security::PolicyPtr policy() const override {
+    if (trusted_class_ == 0) return nullptr;
+    // Manageable: the Host Object/Magistrate may still capture state for
+    // deactivation; everything else requires the trusted caller class.
+    return MakeManageable(std::make_shared<security::TrustedClassPolicy>(
+        std::vector<std::uint64_t>{trusted_class_}, /*allow_system=*/false));
+  }
+
+ private:
+  std::uint64_t trusted_class_ = 0;
+};
+
+Buffer GuardInit(std::uint64_t trusted_class) {
+  Buffer b;
+  Writer w(b);
+  w.u64(trusted_class);
+  return b;
+}
+
+class SecurityIntegrationTest : public SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    ASSERT_TRUE(system_->registry()
+                    .add(std::string(GuardedImpl::kName),
+                         [] { return std::make_unique<GuardedImpl>(); })
+                    .ok());
+    wire::DeriveRequest req;
+    req.name = "Guarded";
+    req.instance_impl = std::string(GuardedImpl::kName);
+    auto reply = client_->derive(LegionObjectLoid(), req);
+    ASSERT_TRUE(reply.ok());
+    guarded_class_ = reply->loid;
+  }
+
+  Loid guarded_class_;
+};
+
+TEST_F(SecurityIntegrationTest, NoPolicyDefaultsToOpen) {
+  // "These functions may default to empty for the case of no security."
+  auto open = client_->create(guarded_class_, GuardInit(0));
+  ASSERT_TRUE(open.ok());
+  auto raw = client_->ref(open->loid).call("Secret", Buffer{});
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->as_string(), "classified");
+}
+
+TEST_F(SecurityIntegrationTest, PolicyGatesByCallingAgentClass) {
+  auto guarded = client_->create(guarded_class_, GuardInit(42));
+  ASSERT_TRUE(guarded.ok());
+
+  // Anonymous client: refused.
+  EXPECT_EQ(client_->ref(guarded->loid).call("Secret", Buffer{}).status().code(),
+            StatusCode::kPermissionDenied);
+
+  // Client presenting an identity of the trusted class: admitted.
+  auto trusted = system_->make_client(uva2_, "trusted");
+  trusted->set_identity(Loid{42, 7});
+  auto raw = trusted->ref(guarded->loid).call("Secret", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+
+  // Wrong class: refused.
+  auto impostor = system_->make_client(uva2_, "impostor");
+  impostor->set_identity(Loid{43, 7});
+  EXPECT_EQ(
+      impostor->ref(guarded->loid).call("Secret", Buffer{}).status().code(),
+      StatusCode::kPermissionDenied);
+}
+
+TEST_F(SecurityIntegrationTest, ExplicitMayIProbeMatchesEnforcement) {
+  auto guarded = client_->create(guarded_class_, GuardInit(42));
+  ASSERT_TRUE(guarded.ok());
+
+  Buffer probe;
+  Writer w(probe);
+  w.str("Secret");
+  // MayI itself is answerable even by untrusted callers, so they can probe.
+  auto denied = client_->ref(guarded->loid).call(methods::kMayI, probe);
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+
+  auto trusted = system_->make_client(uva2_, "trusted");
+  trusted->set_identity(Loid{42, 1});
+  Buffer probe2;
+  Writer w2(probe2);
+  w2.str("Secret");
+  EXPECT_TRUE(trusted->ref(guarded->loid).call(methods::kMayI, probe2).ok());
+}
+
+TEST_F(SecurityIntegrationTest, PolicySurvivesDeactivation) {
+  auto guarded = client_->create(guarded_class_, GuardInit(42),
+                                 {system_->magistrate_of(uva_)});
+  ASSERT_TRUE(guarded.ok());
+  wire::LoidRequest req{guarded->loid};
+  ASSERT_TRUE(client_->ref(system_->magistrate_of(uva_))
+                  .call(methods::kDeactivate, req.to_buffer())
+                  .ok());
+  // Reactivated on reference; the restored policy still refuses us.
+  EXPECT_EQ(client_->ref(guarded->loid).call("Secret", Buffer{}).status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(SecurityIntegrationTest, EnvTriplePropagatesThroughNestedCalls) {
+  // A counter absorbed through another object: the intermediate object's
+  // nested call carries CA = intermediate, preserving RA from the caller.
+  auto counter_class = DeriveCounterClass();
+  auto a = client_->create(counter_class, CounterInit(1));
+  auto b = client_->create(counter_class, CounterInit(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto raw = client_->ref(a->loid).call("Absorb", testing::LoidArgs(b->loid));
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(testing::ReadI64(*raw), 3);
+}
+
+// --- Magistrates as security boundaries --------------------------------------
+
+TEST_F(SecurityIntegrationTest, GuardedMagistrateRefusesOutsiders) {
+  // Build an extra jurisdiction whose magistrate only serves callers of a
+  // trusted class ("the DOE can write its own Magistrate", Section 2.1.3).
+  // Constructed directly — resource providers start their own magistrates
+  // (Section 4.2.1).
+  auto jur = runtime_->topology().add_jurisdiction("secure");
+  auto host = runtime_->topology().add_host("secure-1", {jur}, 8.0);
+
+  MagistrateConfig config;
+  config.jurisdiction = jur;
+  config.policy = std::make_shared<security::TrustedClassPolicy>(
+      std::vector<std::uint64_t>{42}, /*allow_system=*/false);
+  auto impl = std::make_unique<MagistrateImpl>(config);
+  impl->add_vault("secure-disk");
+
+  std::vector<std::unique_ptr<ObjectImpl>> impls;
+  MagistrateImpl* mag = impl.get();
+  impls.push_back(std::move(impl));
+  ActiveObjectConfig shell_config;
+  shell_config.label = "magistrate";
+  ActiveObject shell(*runtime_, host, Loid{kLegionMagistrateClassId, 999},
+                     std::move(impls), system_->handles_for(host),
+                     shell_config);
+  ASSERT_TRUE(shell.restore(Buffer{}).ok());
+  (void)mag;
+
+  // Anonymous request: refused before the method even runs.
+  wire::ActivateRequest req{Loid{77, 1}, Loid{}};
+  auto denied = client_->resolver().call_binding(
+      shell.binding(), methods::kActivate, req.to_buffer(), client_->env(),
+      10'000'000);
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+
+  // Trusted identity: passes MayI (then fails NotFound, which proves the
+  // request was actually serviced).
+  auto trusted = system_->make_client(uva1_, "trusted");
+  trusted->set_identity(Loid{42, 1});
+  auto served = trusted->resolver().call_binding(
+      shell.binding(), methods::kActivate, req.to_buffer(), trusted->env(),
+      10'000'000);
+  EXPECT_EQ(served.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace legion::core

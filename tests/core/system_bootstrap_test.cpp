@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::SimSystemFixture;
+
+class BootstrapTest : public SimSystemFixture {};
+
+TEST_F(BootstrapTest, CoreClassesAreUpAndRegistered) {
+  // Section 4.2.1: "The Abstract class objects are started exactly once".
+  ASSERT_NE(system_->legion_class_impl(), nullptr);
+  for (std::uint64_t id :
+       {kLegionObjectClassId, kLegionHostClassId, kLegionMagistrateClassId,
+        kLegionBindingAgentClassId, kLegionContextClassId}) {
+    EXPECT_NE(system_->core_class_impl(id), nullptr) << "class id " << id;
+    EXPECT_NE(system_->shell_of(Loid::ForClass(id)), nullptr);
+  }
+}
+
+TEST_F(BootstrapTest, OneMagistratePerJurisdiction) {
+  EXPECT_TRUE(system_->magistrate_of(uva_).valid());
+  EXPECT_TRUE(system_->magistrate_of(doe_).valid());
+  EXPECT_EQ(system_->magistrates().size(), 2u);
+  EXPECT_EQ(system_->magistrate_impl(uva_)->jurisdiction(), uva_);
+  EXPECT_EQ(system_->magistrate_impl(uva_)->hosts().size(), 2u);
+}
+
+TEST_F(BootstrapTest, HostObjectsOnEveryHost) {
+  for (HostId h : {uva1_, uva2_, doe1_, doe2_}) {
+    EXPECT_TRUE(system_->host_object_of(h).valid());
+    EXPECT_NE(system_->host_impl(h), nullptr);
+  }
+}
+
+TEST_F(BootstrapTest, ComponentsRegisteredWithTheirClasses) {
+  // Section 4.2.1: components "contact their class" — so each core class's
+  // logical table has a row per component, making them locatable.
+  EXPECT_EQ(system_->core_class_impl(kLegionHostClassId)->table().size(), 4u);
+  EXPECT_EQ(system_->core_class_impl(kLegionMagistrateClassId)->table().size(),
+            2u);
+  EXPECT_EQ(
+      system_->core_class_impl(kLegionBindingAgentClassId)->table().size(),
+      2u);  // one binding agent per jurisdiction by default
+}
+
+TEST_F(BootstrapTest, PingEveryCoreComponent) {
+  std::vector<Loid> everyone = {LegionClassLoid(), LegionObjectLoid(),
+                                LegionHostLoid(), LegionMagistrateLoid(),
+                                LegionBindingAgentLoid()};
+  for (HostId h : {uva1_, uva2_, doe1_, doe2_}) {
+    everyone.push_back(system_->host_object_of(h));
+  }
+  for (JurisdictionId j : {uva_, doe_}) {
+    everyone.push_back(system_->magistrate_of(j));
+  }
+  for (const Loid& loid : everyone) {
+    auto result = client_->ref(loid).call(methods::kPing, Buffer{});
+    EXPECT_TRUE(result.ok())
+        << loid.to_string() << ": " << result.status().to_string();
+  }
+}
+
+TEST_F(BootstrapTest, IamReturnsSelfLoid) {
+  const Loid magistrate = system_->magistrate_of(uva_);
+  auto raw = client_->ref(magistrate).call(methods::kIam, Buffer{});
+  ASSERT_TRUE(raw.ok());
+  Reader r(*raw);
+  EXPECT_EQ(Loid::Deserialize(r), magistrate);
+}
+
+TEST_F(BootstrapTest, GetInterfaceOnClassIncludesClassMandatory) {
+  auto raw = client_->ref(LegionObjectLoid()).call(methods::kGetInterface,
+                                                   Buffer{});
+  ASSERT_TRUE(raw.ok());
+  Reader r(*raw);
+  const InterfaceDescription iface = InterfaceDescription::Deserialize(r);
+  EXPECT_TRUE(iface.has_method(methods::kCreate));
+  EXPECT_TRUE(iface.has_method(methods::kDerive));
+  EXPECT_TRUE(iface.has_method(methods::kMayI));
+}
+
+TEST_F(BootstrapTest, DoubleBootstrapRejected) {
+  EXPECT_EQ(system_->bootstrap().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BootstrapTest, BootstrapFailsWithoutHosts) {
+  rt::SimRuntime empty_runtime(1);
+  LegionSystem empty_system(empty_runtime, SystemConfig{});
+  EXPECT_EQ(empty_system.bootstrap().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BootstrapTest, LegionObjectIsAbstract) {
+  // Section 2.1.2: "no direct instances of an Abstract class can exist."
+  auto reply = client_->create(LegionObjectLoid());
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BootstrapTest, ClientResolvesComponentsThroughBindingAgent) {
+  // Drop the client's warm cache: resolution must go BA -> class -> row.
+  client_->resolver().cache().clear();
+  const Loid host_object = system_->host_object_of(doe2_);
+  auto binding = client_->get_binding(host_object);
+  ASSERT_TRUE(binding.ok()) << binding.status().to_string();
+  EXPECT_EQ(binding->loid, host_object);
+  EXPECT_GE(client_->resolver().stats().binding_agent_consults, 1u);
+}
+
+TEST_F(BootstrapTest, UnknownLoidFailsToResolve) {
+  auto binding = client_->get_binding(Loid{999999, 1});
+  EXPECT_FALSE(binding.ok());
+  EXPECT_EQ(binding.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace legion::core

@@ -1,0 +1,177 @@
+// Wire-format round trips and hostile-input robustness for the core
+// protocol messages.
+#include <gtest/gtest.h>
+
+#include "core/logical_table.hpp"
+#include "core/wire.hpp"
+
+namespace legion::core::wire {
+namespace {
+
+Binding SomeBinding(std::uint64_t n) {
+  Binding b;
+  b.loid = Loid{50, n, {1, 2}};
+  b.address = ObjectAddress{ObjectAddressElement::Sim(EndpointId{n})};
+  b.expires = 12345;
+  return b;
+}
+
+TEST(WireTest, GetBindingRequestRoundTrip) {
+  GetBindingRequest in;
+  in.mode = GetBindingMode::kRefresh;
+  in.loid = Loid{5, 9};
+  in.stale = SomeBinding(9);
+  auto out = GetBindingRequest::from_buffer(in.to_buffer());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->mode, GetBindingMode::kRefresh);
+  EXPECT_EQ(out->loid, in.loid);
+  EXPECT_EQ(out->stale, in.stale);
+}
+
+TEST(WireTest, CreateRequestRoundTrip) {
+  CreateRequest in;
+  in.init_state = Buffer::FromString("init");
+  in.candidate_magistrates = {Loid{4, 1}, Loid{4, 2}};
+  in.suggested_host = Loid{3, 7};
+  auto out = CreateRequest::from_buffer(in.to_buffer());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->init_state.as_string(), "init");
+  EXPECT_EQ(out->candidate_magistrates.size(), 2u);
+  EXPECT_EQ(out->suggested_host, (Loid{3, 7}));
+}
+
+TEST(WireTest, DeriveRequestRoundTrip) {
+  DeriveRequest in;
+  in.name = "Sub";
+  in.instance_impl = "impl.x";
+  in.extra_interface.set_name("Sub");
+  in.extra_interface.add_method(MethodSignature{"int", "m", {}});
+  in.flags = kClassFlagAbstract | kClassFlagFixed;
+  auto out = DeriveRequest::from_buffer(in.to_buffer());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->name, "Sub");
+  EXPECT_EQ(out->flags, in.flags);
+  EXPECT_TRUE(out->extra_interface.has_method("m"));
+}
+
+TEST(WireTest, CreateReplicatedRequestRoundTrip) {
+  CreateReplicatedRequest in;
+  in.replicas = 4;
+  in.semantic = static_cast<std::uint8_t>(AddressSemantic::kKOfN);
+  in.k = 2;
+  auto out = CreateReplicatedRequest::from_buffer(in.to_buffer());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->replicas, 4u);
+  EXPECT_EQ(out->k, 2u);
+}
+
+TEST(WireTest, LocateClassReplyBothKinds) {
+  {
+    LocateClassReply in;
+    in.kind = LocateClassReply::Kind::kBinding;
+    in.binding = SomeBinding(1);
+    auto out = LocateClassReply::from_buffer(in.to_buffer());
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->kind, LocateClassReply::Kind::kBinding);
+    EXPECT_EQ(out->binding, in.binding);
+  }
+  {
+    LocateClassReply in;
+    in.kind = LocateClassReply::Kind::kDelegate;
+    in.creator = Loid{2, 0};
+    auto out = LocateClassReply::from_buffer(in.to_buffer());
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->kind, LocateClassReply::Kind::kDelegate);
+    EXPECT_EQ(out->creator, (Loid{2, 0}));
+  }
+}
+
+TEST(WireTest, HostStateReplyRoundTrip) {
+  HostStateReply in{0.75, 3, 4.0, false};
+  auto out = HostStateReply::from_buffer(in.to_buffer());
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->cpu_load, 0.75);
+  EXPECT_EQ(out->active_objects, 3u);
+  EXPECT_FALSE(out->accepting);
+}
+
+TEST(WireTest, TruncatedBuffersRejectedEverywhere) {
+  // Serialize each message, then truncate at every byte boundary: parsing
+  // must fail (or at minimum not crash) on every prefix.
+  const Buffer full = [] {
+    GetBindingRequest req;
+    req.mode = GetBindingMode::kRefresh;
+    req.loid = Loid{5, 9, {1, 2, 3, 4}};
+    req.stale = SomeBinding(9);
+    return req.to_buffer();
+  }();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Buffer truncated;
+    truncated.append(full.data(), cut);
+    EXPECT_FALSE(GetBindingRequest::from_buffer(truncated).ok())
+        << "prefix length " << cut << " parsed successfully";
+  }
+}
+
+TEST(WireTest, EmptyBufferRejected) {
+  EXPECT_FALSE(CreateReply::from_buffer(Buffer{}).ok());
+  EXPECT_FALSE(BindingReply::from_buffer(Buffer{}).ok());
+  EXPECT_FALSE(AssignClassIdReply::from_buffer(Buffer{}).ok());
+}
+
+// --- logical table rows ------------------------------------------------------
+
+TEST(LogicalTableTest, RowRoundTripsAllFields) {
+  TableRow in;
+  in.loid = Loid{64, 7, {9}};
+  in.kind = RowKind::kSubclass;
+  in.address = ObjectAddress{ObjectAddressElement::Sim(EndpointId{4})};
+  in.current_magistrates = {Loid{4, 1}, Loid{4, 2}};
+  in.scheduling_agent = Loid{70, 3};
+  in.candidates.mode = CandidateMagistrates::Mode::kExplicit;
+  in.candidates.magistrates = {Loid{4, 1}};
+
+  Buffer buf;
+  Writer w(buf);
+  in.Serialize(w);
+  Reader r(buf);
+  const TableRow out = TableRow::Deserialize(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out.loid, in.loid);
+  EXPECT_EQ(out.kind, RowKind::kSubclass);
+  EXPECT_EQ(out.address, in.address);
+  EXPECT_EQ(out.current_magistrates, in.current_magistrates);
+  EXPECT_EQ(out.scheduling_agent, in.scheduling_agent);
+  EXPECT_FALSE(out.candidates.permits(Loid{4, 2}));
+  EXPECT_TRUE(out.candidates.permits(Loid{4, 1}));
+}
+
+TEST(LogicalTableTest, NoRestrictionPermitsAnyMagistrate) {
+  CandidateMagistrates c;
+  EXPECT_TRUE(c.permits(Loid{4, 99}));
+}
+
+TEST(LogicalTableTest, TableRoundTripsAndFilters) {
+  LogicalTable table;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    TableRow row;
+    row.loid = Loid{64, i};
+    row.kind = i % 2 == 0 ? RowKind::kInstance : RowKind::kSubclass;
+    table.upsert(row);
+  }
+  Buffer buf;
+  Writer w(buf);
+  table.Serialize(w);
+  Reader r(buf);
+  LogicalTable out = LogicalTable::Deserialize(r);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.loids(RowKind::kInstance).size(), 2u);
+  EXPECT_EQ(out.loids(RowKind::kSubclass).size(), 2u);
+  EXPECT_EQ(out.loids().size(), 4u);
+  EXPECT_NE(out.find(Loid{64, 2}), nullptr);
+  EXPECT_TRUE(out.erase(Loid{64, 2}));
+  EXPECT_FALSE(out.erase(Loid{64, 2}));
+}
+
+}  // namespace
+}  // namespace legion::core::wire

@@ -1,0 +1,147 @@
+// The Legion-aware "compiler": IDL text + naming context -> live classes.
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+#include "idl/compiler.hpp"
+#include "naming/context.hpp"
+
+namespace legion::idl {
+namespace {
+
+using core::testing::CounterImpl;
+using core::testing::CounterInit;
+using core::testing::GreeterImpl;
+using core::testing::ReadI64;
+
+class CompilerTest : public core::testing::SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    ASSERT_TRUE(naming::RegisterNamingImpls(system_->registry()).ok());
+    auto ctx = naming::CreateContext(*client_);
+    ASSERT_TRUE(ctx.ok());
+    context_ = *ctx;
+  }
+
+  CompileOptions Options(std::string impl) {
+    CompileOptions options;
+    options.instance_impl = std::move(impl);
+    options.naming_context = context_;
+    return options;
+  }
+
+  Loid context_;
+};
+
+TEST_F(CompilerTest, CompilesAndBindsSimpleInterface) {
+  auto parsed = ParseSingle(R"(
+      interface Counter {
+        int Increment(int delta);
+        int Get();
+      };
+  )");
+  ASSERT_TRUE(parsed.ok());
+  auto reply =
+      CompileInterface(*client_, *parsed, Options(std::string(CounterImpl::kName)));
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  EXPECT_TRUE(reply->loid.names_class_object());
+
+  // The class's name resolves through the compilation context.
+  auto by_name = naming::Lookup(*client_, context_, "Counter");
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(*by_name, reply->loid);
+
+  // Instances work and carry the declared interface.
+  auto instance = client_->create(reply->loid, CounterInit(4));
+  ASSERT_TRUE(instance.ok());
+  auto raw = client_->ref(instance->loid).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(ReadI64(*raw), 4);
+}
+
+TEST_F(CompilerTest, BaseResolutionThroughContext) {
+  CompileOptions counter_opts = Options(std::string(CounterImpl::kName));
+  auto base = CompileText(*client_, "interface Counter { int Get(); };",
+                          counter_opts);
+  ASSERT_TRUE(base.ok());
+
+  // A later compilation unit derives from Counter *by name*.
+  auto derived = CompileText(
+      *client_, "interface FancyCounter : Counter { void Fancy(); };",
+      Options(""));
+  ASSERT_TRUE(derived.ok()) << derived.status().to_string();
+
+  // The subclass inherited Counter's implementation (kind-of relation).
+  auto instance = client_->create((*derived)[0].loid, CounterInit(9));
+  ASSERT_TRUE(instance.ok());
+  auto raw = client_->ref(instance->loid).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(ReadI64(*raw), 9);
+}
+
+TEST_F(CompilerTest, MultipleInheritanceViaSecondBase) {
+  (void)CompileText(*client_, "interface Counter { int Get(); };",
+                    Options(std::string(CounterImpl::kName)));
+  (void)CompileText(*client_, "interface Greeter { string Greet(); };",
+                    Options(std::string(GreeterImpl::kName)));
+
+  auto both = CompileText(
+      *client_,
+      "interface Hybrid : Counter, Greeter { };",
+      Options(""));
+  ASSERT_TRUE(both.ok()) << both.status().to_string();
+
+  auto instance = client_->create((*both)[0].loid, CounterInit(1));
+  ASSERT_TRUE(instance.ok());
+  // Methods from both bases are live on one object.
+  EXPECT_TRUE(client_->ref(instance->loid).call("Get", Buffer{}).ok());
+  auto greet = client_->ref(instance->loid).call("Greet", Buffer{});
+  ASSERT_TRUE(greet.ok()) << greet.status().to_string();
+  EXPECT_NE(greet->as_string().find("hello"), std::string::npos);
+}
+
+TEST_F(CompilerTest, WholeProgramCompilesInOrder) {
+  auto all = CompileText(*client_, R"(
+      interface A { int Get(); };
+      interface B : A { };
+      interface C : B { };
+  )",
+                         Options(std::string(CounterImpl::kName)));
+  ASSERT_TRUE(all.ok()) << all.status().to_string();
+  EXPECT_EQ(all->size(), 3u);
+  // The chain C -> B -> A resolves end to end.
+  auto instance = client_->create((*all)[2].loid, CounterInit(7));
+  ASSERT_TRUE(instance.ok());
+  auto raw = client_->ref(instance->loid).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(ReadI64(*raw), 7);
+}
+
+TEST_F(CompilerTest, MissingBaseIsReported) {
+  auto result = CompileText(*client_, "interface X : NoSuchBase { };",
+                            Options(std::string(CounterImpl::kName)));
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("NoSuchBase"), std::string::npos);
+}
+
+TEST_F(CompilerTest, BaseNamingANonClassIsRejected) {
+  auto counter = CompileText(*client_, "interface Counter { int Get(); };",
+                             Options(std::string(CounterImpl::kName)));
+  ASSERT_TRUE(counter.ok());
+  auto instance = client_->create((*counter)[0].loid, CounterInit(0));
+  ASSERT_TRUE(instance.ok());
+  // Bind an *instance* under a name and try to use it as a base.
+  ASSERT_TRUE(naming::Bind(*client_, context_, "obj", instance->loid).ok());
+  auto result = CompileText(*client_, "interface Y : obj { };", Options(""));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CompilerTest, BasesWithoutContextRejected) {
+  CompileOptions options;
+  options.instance_impl = std::string(CounterImpl::kName);
+  auto result = CompileText(*client_, "interface X : Y { };", options);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace legion::idl

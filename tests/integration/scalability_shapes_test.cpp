@@ -1,0 +1,200 @@
+// The paper's Section 5 claims as *enforced tests*: small versions of the
+// headline experiments whose shapes are asserted programmatically, so a
+// regression that breaks a scalability property fails CI rather than just
+// bending a bench table.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/well_known.hpp"
+#include "rt/sim_runtime.hpp"
+#include "sim/sample_objects.hpp"
+
+namespace legion::core {
+namespace {
+
+// gtest's ASSERT_* macros only work in void functions; the value-returning
+// workload helpers below use this instead.
+#define ASSERT_TRUE_OR_RETURN(x) \
+  if (!(x)) {                    \
+    ADD_FAILURE();               \
+    return 0;                    \
+  }
+
+struct Deployment {
+  std::unique_ptr<rt::SimRuntime> runtime;
+  std::unique_ptr<LegionSystem> system;
+  std::vector<JurisdictionId> jurisdictions;
+  std::vector<std::vector<HostId>> hosts;
+};
+
+Deployment Deploy(std::size_t jurisdictions, std::size_t hosts_per,
+                  SystemConfig config, std::uint64_t seed) {
+  Deployment d;
+  d.runtime = std::make_unique<rt::SimRuntime>(seed);
+  for (std::size_t j = 0; j < jurisdictions; ++j) {
+    auto jur = d.runtime->topology().add_jurisdiction("j" + std::to_string(j));
+    d.jurisdictions.push_back(jur);
+    std::vector<HostId> hosts;
+    for (std::size_t h = 0; h < hosts_per; ++h) {
+      hosts.push_back(d.runtime->topology().add_host(
+          std::to_string(j) + "-" + std::to_string(h), {jur}, 1e9));
+    }
+    d.hosts.push_back(std::move(hosts));
+  }
+  d.system = std::make_unique<LegionSystem>(*d.runtime, config);
+  EXPECT_TRUE(sim::RegisterSampleObjects(d.system->registry()).ok());
+  EXPECT_TRUE(d.system->bootstrap().ok());
+  return d;
+}
+
+Loid DeriveWorker(Client& client, const std::string& name,
+                  std::vector<Loid> magistrates) {
+  wire::DeriveRequest req;
+  req.name = name;
+  req.instance_impl = std::string(sim::WorkerImpl::kName);
+  req.candidate_magistrates = std::move(magistrates);
+  auto reply = client.derive(LegionObjectLoid(), req);
+  EXPECT_TRUE(reply.ok());
+  return reply.ok() ? reply->loid : Loid{};
+}
+
+// S1 — Section 5.2.1: with one agent per jurisdiction, the max per-agent
+// load stays ~flat when the system doubles; with one global agent it ~doubles.
+std::uint64_t MaxAgentLoad(std::size_t jurisdictions, bool scaled_agents) {
+  Deployment d = Deploy(jurisdictions, 2, SystemConfig{}, 77);
+  auto setup = d.system->make_client(d.hosts[0][0], "setup");
+  std::vector<std::vector<Loid>> objects(jurisdictions);
+  for (std::size_t j = 0; j < jurisdictions; ++j) {
+    const Loid cls = DeriveWorker(*setup, "W" + std::to_string(j),
+                                  {d.system->magistrate_of(d.jurisdictions[j])});
+    for (int i = 0; i < 6; ++i) {
+      auto reply = setup->create(cls, sim::WorkerInit(0, 0));
+      ASSERT_TRUE_OR_RETURN(reply.ok());
+      objects[j].push_back(reply->loid);
+    }
+  }
+  d.runtime->reset_stats();
+  Rng rng(5);
+  for (std::size_t j = 0; j < jurisdictions; ++j) {
+    SystemHandles handles = d.system->handles_for(d.hosts[j][0]);
+    if (!scaled_agents) {
+      handles.default_binding_agent =
+          d.system->shell_of(d.system->binding_agents()[0])->binding();
+    }
+    Client client(*d.runtime, d.hosts[j][0], "measured", handles, 8,
+                  Rng(j + 1));
+    // Scale-invariant per-client workload (the Section 5.2 premise): 90%
+    // local, 10% to the *neighbour* jurisdiction — a constant working set,
+    // so any load growth would be the system's fault, not the workload's.
+    for (int i = 0; i < 500; ++i) {
+      const std::size_t src_j =
+          rng.chance(0.9) ? j : (j + 1) % jurisdictions;
+      const auto& pool = objects[src_j];
+      ASSERT_TRUE_OR_RETURN(
+          client.ref(pool[rng.below(pool.size())]).call("Noop", Buffer{}).ok());
+    }
+  }
+  return d.runtime->max_received_with_label("binding-agent");
+}
+
+TEST(ScalabilityShapes, PerAgentLoadFlatWhenAgentsScale) {
+  const std::uint64_t small = MaxAgentLoad(2, /*scaled=*/true);
+  const std::uint64_t large = MaxAgentLoad(8, /*scaled=*/true);
+  ASSERT_GT(small, 0u);
+  // 4x the system; per-agent load must grow by well under 2x.
+  EXPECT_LT(static_cast<double>(large), 1.8 * static_cast<double>(small))
+      << "scaled-agent load grew with system size: " << small << " -> "
+      << large;
+}
+
+TEST(ScalabilityShapes, SingleGlobalAgentLoadGrowsLinearly) {
+  const std::uint64_t small = MaxAgentLoad(2, /*scaled=*/false);
+  const std::uint64_t large = MaxAgentLoad(8, /*scaled=*/false);
+  ASSERT_GT(small, 0u);
+  // 4x the system; the lone agent's load must grow at least ~3x.
+  EXPECT_GT(static_cast<double>(large), 3.0 * static_cast<double>(small));
+}
+
+// S2 — Section 5.2.2: the combining tree shields LegionClass.
+std::uint64_t LegionClassLoad(std::size_t fanout) {
+  constexpr std::size_t kJurisdictions = 8;
+  constexpr std::size_t kClasses = 10;
+  SystemConfig config;
+  config.ba_tree_fanout = fanout;
+  Deployment d = Deploy(kJurisdictions, 1, config, 91);
+  auto setup = d.system->make_client(d.hosts[0][0], "setup");
+  std::vector<Loid> objects;
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    const Loid cls =
+        DeriveWorker(*setup, "W" + std::to_string(c),
+                     {d.system->magistrate_of(
+                         d.jurisdictions[c % kJurisdictions])});
+    auto reply = setup->create(cls, sim::WorkerInit(0, 0));
+    ASSERT_TRUE_OR_RETURN(reply.ok());
+    objects.push_back(reply->loid);
+  }
+  const EndpointId legion_class =
+      d.system->shell_of(LegionClassLoid())->endpoint();
+  d.runtime->reset_stats();
+  for (std::size_t j = 0; j < kJurisdictions; ++j) {
+    Client client(*d.runtime, d.hosts[j][0], "measured",
+                  d.system->handles_for(d.hosts[j][0]), 64, Rng(j + 2));
+    for (const Loid& object : objects) {
+      ASSERT_TRUE_OR_RETURN(client.ref(object).call("Noop", Buffer{}).ok());
+    }
+  }
+  return d.runtime->endpoint_stats(legion_class).received;
+}
+
+TEST(ScalabilityShapes, CombiningTreeShieldsLegionClass) {
+  const std::uint64_t flat = LegionClassLoad(0);
+  const std::uint64_t tree = LegionClassLoad(2);
+  ASSERT_GT(flat, 0u);
+  // The tree must cut LegionClass traffic by at least 4x in this setup
+  // (measured: ~agents x classes down to ~classes).
+  EXPECT_LT(4 * tree, flat) << "flat=" << flat << " tree=" << tree;
+}
+
+// S3 — Section 5.2.2: cloning divides the hottest class object's load.
+std::uint64_t HottestClassLoad(std::size_t clones) {
+  Deployment d = Deploy(2, 2, SystemConfig{}, 13);
+  auto setup = d.system->make_client(d.hosts[0][0], "setup");
+  const Loid popular = DeriveWorker(*setup, "Popular", {});
+  for (std::size_t c = 0; c < clones; ++c) {
+    wire::CreateRequest req;
+    auto raw = setup->ref(popular).call(methods::kClone, req.to_buffer());
+    ASSERT_TRUE_OR_RETURN(raw.ok());
+  }
+  d.runtime->reset_stats();
+  for (int client_index = 0; client_index < 8; ++client_index) {
+    Client client(*d.runtime, d.hosts[client_index % 2][client_index % 2],
+                  "measured",
+                  d.system->handles_for(d.hosts[client_index % 2][0]), 64,
+                  Rng(client_index + 3));
+    Loid adopted = popular;
+    auto raw = client.ref(popular).call("GetClone", Buffer{});
+    if (raw.ok()) {
+      if (auto reply = wire::LoidReply::from_buffer(*raw); reply.ok()) {
+        adopted = reply->loid;
+      }
+    }
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE_OR_RETURN(
+          client.create(adopted, sim::WorkerInit(0, 0)).ok());
+    }
+  }
+  return d.runtime->max_received_with_label("class");
+}
+
+TEST(ScalabilityShapes, CloningDividesPopularClassLoad) {
+  const std::uint64_t solo = HottestClassLoad(0);
+  const std::uint64_t cloned = HottestClassLoad(4);
+  ASSERT_GT(solo, 0u);
+  // Four clones must cut the hottest class object's load to under half.
+  EXPECT_LT(2 * cloned, solo) << "solo=" << solo << " cloned=" << cloned;
+}
+
+#undef ASSERT_TRUE_OR_RETURN
+
+}  // namespace
+}  // namespace legion::core

@@ -1,0 +1,124 @@
+// The single persistent name space: contexts as Legion objects.
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+#include "naming/context.hpp"
+
+namespace legion::naming {
+namespace {
+
+class ContextTest : public core::testing::SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    ASSERT_TRUE(RegisterNamingImpls(system_->registry()).ok());
+    auto root = CreateContext(*client_);
+    ASSERT_TRUE(root.ok()) << root.status().to_string();
+    root_ = *root;
+  }
+
+  Loid root_;
+};
+
+TEST_F(ContextTest, BindLookupUnbind) {
+  const Loid target{77, 1};
+  ASSERT_TRUE(Bind(*client_, root_, "data", target).ok());
+  auto found = Lookup(*client_, root_, "data");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, target);
+
+  ASSERT_TRUE(Unbind(*client_, root_, "data").ok());
+  EXPECT_EQ(Lookup(*client_, root_, "data").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Unbind(*client_, root_, "data").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ContextTest, RebindReplaces) {
+  ASSERT_TRUE(Bind(*client_, root_, "x", Loid{77, 1}).ok());
+  ASSERT_TRUE(Bind(*client_, root_, "x", Loid{77, 2}).ok());
+  EXPECT_EQ(*Lookup(*client_, root_, "x"), (Loid{77, 2}));
+}
+
+TEST_F(ContextTest, InvalidNamesRejected) {
+  EXPECT_EQ(Bind(*client_, root_, "", Loid{77, 1}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Bind(*client_, root_, "a/b", Loid{77, 1}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Bind(*client_, root_, "ok", Loid{}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ContextTest, ListIsSortedAndComplete) {
+  ASSERT_TRUE(Bind(*client_, root_, "beta", Loid{77, 2}).ok());
+  ASSERT_TRUE(Bind(*client_, root_, "alpha", Loid{77, 1}).ok());
+  auto entries = List(*client_, root_);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].name, "alpha");
+  EXPECT_EQ((*entries)[1].name, "beta");
+}
+
+TEST_F(ContextTest, HierarchicalPathResolution) {
+  // "This makes remote files and data more easily accessible" (Section 1):
+  // the paths users would type.
+  ASSERT_TRUE(BindPath(*client_, root_, "home/grimshaw/results", Loid{88, 5})
+                  .ok());
+  auto found = ResolvePath(*client_, root_, "home/grimshaw/results");
+  ASSERT_TRUE(found.ok()) << found.status().to_string();
+  EXPECT_EQ(*found, (Loid{88, 5}));
+
+  // Intermediate components are contexts themselves.
+  auto home = ResolvePath(*client_, root_, "home");
+  ASSERT_TRUE(home.ok());
+  EXPECT_EQ(home->class_id(), core::kLegionContextClassId);
+}
+
+TEST_F(ContextTest, BindPathReusesExistingContexts) {
+  ASSERT_TRUE(BindPath(*client_, root_, "a/b/one", Loid{88, 1}).ok());
+  ASSERT_TRUE(BindPath(*client_, root_, "a/b/two", Loid{88, 2}).ok());
+  auto b = ResolvePath(*client_, root_, "a/b");
+  ASSERT_TRUE(b.ok());
+  auto entries = List(*client_, *b);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+}
+
+TEST_F(ContextTest, ResolveMissingPathReportsNotFound) {
+  EXPECT_EQ(ResolvePath(*client_, root_, "no/such/path").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ContextTest, EmptyPathResolvesToRoot) {
+  auto found = ResolvePath(*client_, root_, "");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, root_);
+}
+
+TEST_F(ContextTest, NamesArePersistent) {
+  // The name space is *persistent*: deactivate the context object and the
+  // bindings survive its reactivation.
+  ASSERT_TRUE(Bind(*client_, root_, "durable", Loid{77, 9}).ok());
+
+  core::MagistrateImpl* uva_mag = system_->magistrate_impl(uva_);
+  const Loid owner = uva_mag->manages(root_) ? system_->magistrate_of(uva_)
+                                             : system_->magistrate_of(doe_);
+  core::wire::LoidRequest req{root_};
+  ASSERT_TRUE(client_->ref(owner)
+                  .call(core::methods::kDeactivate, req.to_buffer())
+                  .ok());
+
+  auto found = Lookup(*client_, root_, "durable");
+  ASSERT_TRUE(found.ok()) << found.status().to_string();
+  EXPECT_EQ(*found, (Loid{77, 9}));
+}
+
+TEST_F(ContextTest, SharedAcrossClients) {
+  ASSERT_TRUE(Bind(*client_, root_, "shared", Loid{77, 3}).ok());
+  auto other = system_->make_client(doe1_, "other");
+  auto found = Lookup(*other, root_, "shared");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, (Loid{77, 3}));
+}
+
+}  // namespace
+}  // namespace legion::naming

@@ -1,0 +1,119 @@
+// The persistent name space under lifecycle churn: contexts are ordinary
+// Legion objects, so path resolution must survive intermediate contexts
+// going inert or migrating mid-walk.
+#include <gtest/gtest.h>
+
+#include "core/test_support.hpp"
+#include "naming/context.hpp"
+
+namespace legion::naming {
+namespace {
+
+class NamespaceRobustnessTest : public core::testing::SimSystemFixture {
+ protected:
+  void SetUp() override {
+    SimSystemFixture::SetUp();
+    ASSERT_TRUE(RegisterNamingImpls(system_->registry()).ok());
+    auto root = CreateContext(*client_);
+    ASSERT_TRUE(root.ok());
+    root_ = *root;
+  }
+
+  // Deactivates whichever magistrate manages `loid`.
+  void Deactivate(const Loid& loid) {
+    const Loid owner = system_->magistrate_impl(uva_)->manages(loid)
+                           ? system_->magistrate_of(uva_)
+                           : system_->magistrate_of(doe_);
+    core::wire::LoidRequest req{loid};
+    ASSERT_TRUE(client_->ref(owner)
+                    .call(core::methods::kDeactivate, req.to_buffer())
+                    .ok());
+  }
+
+  Loid root_;
+};
+
+TEST_F(NamespaceRobustnessTest, DeepPathsResolve) {
+  std::string path;
+  for (int depth = 0; depth < 20; ++depth) {
+    path += (depth == 0 ? "" : "/") + ("d" + std::to_string(depth));
+  }
+  ASSERT_TRUE(BindPath(*client_, root_, path + "/leaf", Loid{88, 1}).ok());
+  auto found = ResolvePath(*client_, root_, path + "/leaf");
+  ASSERT_TRUE(found.ok()) << found.status().to_string();
+  EXPECT_EQ(*found, (Loid{88, 1}));
+}
+
+TEST_F(NamespaceRobustnessTest, ResolutionSurvivesInertIntermediates) {
+  ASSERT_TRUE(BindPath(*client_, root_, "a/b/c/leaf", Loid{88, 2}).ok());
+  // Deactivate every context along the path, including the root.
+  auto a = ResolvePath(*client_, root_, "a");
+  auto b = ResolvePath(*client_, root_, "a/b");
+  auto c = ResolvePath(*client_, root_, "a/b/c");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  for (const Loid& ctx : {root_, *a, *b, *c}) Deactivate(ctx);
+
+  // A cold client walks the path: each hop reactivates a context.
+  auto cold = system_->make_client(doe2_, "cold");
+  auto found = ResolvePath(*cold, root_, "a/b/c/leaf");
+  ASSERT_TRUE(found.ok()) << found.status().to_string();
+  EXPECT_EQ(*found, (Loid{88, 2}));
+}
+
+TEST_F(NamespaceRobustnessTest, ContextsMigrateWithoutLosingNames) {
+  ASSERT_TRUE(Bind(*client_, root_, "x", Loid{88, 3}).ok());
+  const bool at_uva = system_->magistrate_impl(uva_)->manages(root_);
+  core::wire::TransferRequest move{
+      root_, at_uva ? system_->magistrate_of(doe_)
+                    : system_->magistrate_of(uva_)};
+  ASSERT_TRUE(client_->ref(at_uva ? system_->magistrate_of(uva_)
+                                  : system_->magistrate_of(doe_))
+                  .call(core::methods::kMove, move.to_buffer())
+                  .ok());
+  auto found = Lookup(*client_, root_, "x");
+  ASSERT_TRUE(found.ok()) << found.status().to_string();
+  EXPECT_EQ(*found, (Loid{88, 3}));
+}
+
+TEST_F(NamespaceRobustnessTest, LargeContextListsCompletely) {
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        Bind(*client_, root_, "entry" + std::to_string(i), Loid{88, 100 + i})
+            .ok());
+  }
+  auto entries = List(*client_, root_);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 300u);
+  // Survives a deactivation cycle intact.
+  Deactivate(root_);
+  entries = List(*client_, root_);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 300u);
+}
+
+TEST_F(NamespaceRobustnessTest, PathResolutionThroughNonContextFails) {
+  // Bind a plain counter under a name, then try to walk *through* it.
+  auto counter_class = DeriveCounterClass();
+  auto counter =
+      client_->create(counter_class, core::testing::CounterInit(0));
+  ASSERT_TRUE(counter.ok());
+  ASSERT_TRUE(Bind(*client_, root_, "obj", counter->loid).ok());
+  auto result = ResolvePath(*client_, root_, "obj/deeper");
+  EXPECT_FALSE(result.ok());
+  // The counter has no Lookup method: kUnimplemented surfaces.
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(NamespaceRobustnessTest, TwoRootsAreIndependent) {
+  auto other_root = CreateContext(*client_);
+  ASSERT_TRUE(other_root.ok());
+  ASSERT_TRUE(Bind(*client_, root_, "shared-name", Loid{88, 5}).ok());
+  ASSERT_TRUE(Bind(*client_, *other_root, "shared-name", Loid{88, 6}).ok());
+  EXPECT_EQ(*Lookup(*client_, root_, "shared-name"), (Loid{88, 5}));
+  EXPECT_EQ(*Lookup(*client_, *other_root, "shared-name"), (Loid{88, 6}));
+}
+
+}  // namespace
+}  // namespace legion::naming

@@ -1,0 +1,76 @@
+#include "net/address.hpp"
+
+#include <gtest/gtest.h>
+
+namespace legion::net {
+namespace {
+
+TEST(NetworkAddressTest, DefaultIsInvalid) {
+  NetworkAddress a;
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(a.to_string(), "invalid");
+}
+
+TEST(NetworkAddressTest, SimEncodesEndpoint) {
+  NetworkAddress a = NetworkAddress::Sim(EndpointId{0xABCDEF0123456789ULL});
+  EXPECT_EQ(a.type(), AddressType::kSim);
+  EXPECT_EQ(a.sim_endpoint().value, 0xABCDEF0123456789ULL);
+}
+
+TEST(NetworkAddressTest, IpV4UsesPaperLayout) {
+  // Paper Section 3.4: 32 bits IP, 16 bits port, optional 32-bit node.
+  NetworkAddress a = NetworkAddress::IpV4(0xC0A80001 /*192.168.0.1*/, 8080, 3);
+  EXPECT_EQ(a.type(), AddressType::kIpV4);
+  EXPECT_EQ(a.ipv4_address(), 0xC0A80001u);
+  EXPECT_EQ(a.ipv4_port(), 8080);
+  EXPECT_EQ(a.ipv4_node(), 3u);
+  EXPECT_EQ(a.to_string(), "ip:192.168.0.1:8080/3");
+}
+
+TEST(NetworkAddressTest, PayloadIs256Bits) {
+  EXPECT_EQ(NetworkAddress::kPayloadBytes, 32u);  // the paper's 256 bits
+}
+
+TEST(NetworkAddressTest, SerializeRoundTrips) {
+  NetworkAddress in = NetworkAddress::IpV4(0x0A000001, 443, 0);
+  Buffer buf;
+  Writer w(buf);
+  in.Serialize(w);
+  Reader r(buf);
+  NetworkAddress out = NetworkAddress::Deserialize(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(NetworkAddressTest, TruncatedPayloadDeserializesInvalid) {
+  Buffer buf;
+  Writer w(buf);
+  w.u32(static_cast<std::uint32_t>(AddressType::kSim));
+  w.bytes(std::vector<std::uint8_t>{1, 2, 3});  // not 32 bytes
+  Reader r(buf);
+  EXPECT_FALSE(NetworkAddress::Deserialize(r).valid());
+}
+
+TEST(NetworkAddressTest, EqualityComparesTypeAndPayload) {
+  EXPECT_EQ(NetworkAddress::Sim(EndpointId{5}), NetworkAddress::Sim(EndpointId{5}));
+  EXPECT_FALSE(NetworkAddress::Sim(EndpointId{5}) ==
+               NetworkAddress::Sim(EndpointId{6}));
+}
+
+class SimEndpointSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimEndpointSweep, EndpointRoundTrips) {
+  NetworkAddress a = NetworkAddress::Sim(EndpointId{GetParam()});
+  Buffer buf;
+  Writer w(buf);
+  a.Serialize(w);
+  Reader r(buf);
+  EXPECT_EQ(NetworkAddress::Deserialize(r).sim_endpoint().value, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ids, SimEndpointSweep,
+                         ::testing::Values(1ULL, 0xFFULL, 0x100000000ULL,
+                                           UINT64_MAX));
+
+}  // namespace
+}  // namespace legion::net

@@ -1,0 +1,93 @@
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace legion::net {
+namespace {
+
+TEST(FaultPlanTest, DefaultHasNoFaults) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.any_faults());
+  Rng rng(1);
+  EXPECT_FALSE(plan.should_drop(HostId{1}, HostId{2},
+                                LatencyClass::kCrossJurisdiction, rng));
+}
+
+TEST(FaultPlanTest, PartitionIsSymmetric) {
+  FaultPlan plan;
+  plan.partition(HostId{1}, HostId{2});
+  EXPECT_TRUE(plan.partitioned(HostId{1}, HostId{2}));
+  EXPECT_TRUE(plan.partitioned(HostId{2}, HostId{1}));
+  EXPECT_FALSE(plan.partitioned(HostId{1}, HostId{3}));
+  plan.heal(HostId{2}, HostId{1});
+  EXPECT_FALSE(plan.partitioned(HostId{1}, HostId{2}));
+}
+
+TEST(FaultPlanTest, PartitionDropsAllTraffic) {
+  FaultPlan plan;
+  plan.partition(HostId{1}, HostId{2});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(plan.should_drop(HostId{1}, HostId{2},
+                                 LatencyClass::kIntraJurisdiction, rng));
+  }
+}
+
+TEST(FaultPlanTest, DownHostDropsBothDirections) {
+  FaultPlan plan;
+  plan.take_host_down(HostId{3});
+  Rng rng(1);
+  EXPECT_TRUE(plan.should_drop(HostId{3}, HostId{1},
+                               LatencyClass::kIntraJurisdiction, rng));
+  EXPECT_TRUE(plan.should_drop(HostId{1}, HostId{3},
+                               LatencyClass::kIntraJurisdiction, rng));
+  plan.bring_host_up(HostId{3});
+  EXPECT_FALSE(plan.should_drop(HostId{1}, HostId{3},
+                                LatencyClass::kIntraJurisdiction, rng));
+}
+
+TEST(FaultPlanTest, DropProbabilityIsPerClass) {
+  FaultPlan plan;
+  plan.set_drop_probability(LatencyClass::kCrossJurisdiction, 1.0);
+  Rng rng(1);
+  EXPECT_TRUE(plan.should_drop(HostId{1}, HostId{2},
+                               LatencyClass::kCrossJurisdiction, rng));
+  EXPECT_FALSE(plan.should_drop(HostId{1}, HostId{2},
+                                LatencyClass::kIntraJurisdiction, rng));
+}
+
+TEST(FaultPlanTest, FractionalDropRateApproximatesProbability) {
+  FaultPlan plan;
+  plan.set_drop_probability(LatencyClass::kCrossJurisdiction, 0.3);
+  Rng rng(77);
+  int drops = 0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) {
+    if (plan.should_drop(HostId{1}, HostId{2},
+                         LatencyClass::kCrossJurisdiction, rng)) {
+      ++drops;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / trials, 0.3, 0.01);
+}
+
+TEST(FaultPlanTest, AnyFaultsDetectsEachKind) {
+  {
+    FaultPlan plan;
+    plan.partition(HostId{1}, HostId{2});
+    EXPECT_TRUE(plan.any_faults());
+  }
+  {
+    FaultPlan plan;
+    plan.take_host_down(HostId{1});
+    EXPECT_TRUE(plan.any_faults());
+  }
+  {
+    FaultPlan plan;
+    plan.set_drop_probability(LatencyClass::kSameHost, 0.01);
+    EXPECT_TRUE(plan.any_faults());
+  }
+}
+
+}  // namespace
+}  // namespace legion::net

@@ -1,0 +1,104 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace legion::net {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    uva_ = topo_.add_jurisdiction("uva");
+    doe_ = topo_.add_jurisdiction("doe");
+    h1_ = topo_.add_host("uva-1", {uva_});
+    h2_ = topo_.add_host("uva-2", {uva_});
+    h3_ = topo_.add_host("doe-1", {doe_});
+    shared_ = topo_.add_host("bridge", {uva_, doe_});  // non-disjoint
+  }
+
+  Topology topo_;
+  JurisdictionId uva_, doe_;
+  HostId h1_, h2_, h3_, shared_;
+};
+
+TEST_F(TopologyTest, LooksUpHostsAndJurisdictions) {
+  ASSERT_NE(topo_.host(h1_), nullptr);
+  EXPECT_EQ(topo_.host(h1_)->name, "uva-1");
+  ASSERT_NE(topo_.jurisdiction(uva_), nullptr);
+  EXPECT_EQ(topo_.jurisdiction(uva_)->name, "uva");
+  EXPECT_EQ(topo_.host(HostId{999}), nullptr);
+  EXPECT_EQ(topo_.jurisdiction(JurisdictionId{999}), nullptr);
+}
+
+TEST_F(TopologyTest, HostsInJurisdiction) {
+  const auto uva_hosts = topo_.hosts_in(uva_);
+  EXPECT_EQ(uva_hosts.size(), 3u);  // h1, h2, bridge
+  const auto doe_hosts = topo_.hosts_in(doe_);
+  EXPECT_EQ(doe_hosts.size(), 2u);  // h3, bridge
+}
+
+TEST_F(TopologyTest, ClassifiesSameHost) {
+  EXPECT_EQ(topo_.classify(h1_, h1_), LatencyClass::kSameHost);
+}
+
+TEST_F(TopologyTest, ClassifiesIntraJurisdiction) {
+  EXPECT_EQ(topo_.classify(h1_, h2_), LatencyClass::kIntraJurisdiction);
+}
+
+TEST_F(TopologyTest, ClassifiesCrossJurisdiction) {
+  EXPECT_EQ(topo_.classify(h1_, h3_), LatencyClass::kCrossJurisdiction);
+}
+
+TEST_F(TopologyTest, NonDisjointHostBridgesJurisdictions) {
+  // Paper Section 2.2: jurisdictions are potentially non-disjoint.
+  EXPECT_EQ(topo_.classify(h1_, shared_), LatencyClass::kIntraJurisdiction);
+  EXPECT_EQ(topo_.classify(h3_, shared_), LatencyClass::kIntraJurisdiction);
+}
+
+TEST_F(TopologyTest, LatencyOrderingMatchesLocality) {
+  // Same-host < intra-jurisdiction < cross-jurisdiction: the premise of the
+  // paper's "most accesses will be local" argument.
+  LatencyProfile p;
+  p.jitter = 0.0;
+  topo_.set_latency_profile(p);
+  Rng rng(1);
+  const SimTime local = topo_.sample_latency(h1_, h1_, rng);
+  const SimTime intra = topo_.sample_latency(h1_, h2_, rng);
+  const SimTime cross = topo_.sample_latency(h1_, h3_, rng);
+  EXPECT_LT(local, intra);
+  EXPECT_LT(intra, cross);
+  EXPECT_EQ(local, p.same_host_us);
+  EXPECT_EQ(intra, p.intra_jurisdiction_us);
+  EXPECT_EQ(cross, p.cross_jurisdiction_us);
+}
+
+TEST_F(TopologyTest, JitterBoundsSamples) {
+  LatencyProfile p;
+  p.intra_jurisdiction_us = 1000;
+  p.jitter = 0.2;
+  topo_.set_latency_profile(p);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = topo_.sample_latency(h1_, h2_, rng);
+    EXPECT_GE(t, 800);
+    EXPECT_LE(t, 1200);
+  }
+}
+
+TEST_F(TopologyTest, LatencyNeverBelowOne) {
+  LatencyProfile p;
+  p.same_host_us = 0;
+  p.jitter = 0.0;
+  topo_.set_latency_profile(p);
+  Rng rng(5);
+  EXPECT_GE(topo_.sample_latency(h1_, h1_, rng), 1);
+}
+
+TEST(LatencyClassTest, Names) {
+  EXPECT_EQ(to_string(LatencyClass::kSameHost), "same-host");
+  EXPECT_EQ(to_string(LatencyClass::kIntraJurisdiction), "intra-jurisdiction");
+  EXPECT_EQ(to_string(LatencyClass::kCrossJurisdiction), "cross-jurisdiction");
+}
+
+}  // namespace
+}  // namespace legion::net

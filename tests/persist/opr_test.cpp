@@ -1,0 +1,61 @@
+#include "persist/opr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace legion::persist {
+namespace {
+
+TEST(OprTest, RoundTripsThroughBytes) {
+  // Section 3.1.1: an OPR is "a sequential set of bytes".
+  Opr in;
+  in.loid = Loid{5, 77, {0xCA, 0xFE}};
+  in.implementation = "file-object-v2";
+  in.state = Buffer::FromString("saved state");
+
+  const Buffer bytes = in.to_bytes();
+  auto out = Opr::from_bytes(bytes);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_EQ(out->loid, in.loid);
+  EXPECT_EQ(out->implementation, "file-object-v2");
+  EXPECT_EQ(out->state.as_string(), "saved state");
+}
+
+TEST(OprTest, EmptyStateIsLegal) {
+  // "An executable file could be an Object Persistent Representation for an
+  //  object that has yet to become Active" — no acquired state yet.
+  Opr in;
+  in.loid = Loid{5, 1};
+  in.implementation = "fresh";
+  auto out = Opr::from_bytes(in.to_bytes());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->state.empty());
+}
+
+TEST(OprTest, MalformedBytesRejected) {
+  EXPECT_FALSE(Opr::from_bytes(Buffer::FromString("junk")).ok());
+  EXPECT_FALSE(Opr::from_bytes(Buffer{}).ok());
+}
+
+TEST(OprTest, TrailingGarbageRejected) {
+  Opr in;
+  in.loid = Loid{1, 1};
+  in.implementation = "x";
+  Buffer bytes = in.to_bytes();
+  bytes.append("extra", 5);
+  EXPECT_FALSE(Opr::from_bytes(bytes).ok());
+}
+
+TEST(PersistentAddressTest, RoundTripsAndCompares) {
+  PersistentAddress a{DiskId{3}, "opr/L1.2.9"};
+  Buffer buf;
+  Writer w(buf);
+  a.Serialize(w);
+  Reader r(buf);
+  EXPECT_EQ(PersistentAddress::Deserialize(r), a);
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE((PersistentAddress{DiskId{}, "x"}.valid()));
+  EXPECT_FALSE((PersistentAddress{DiskId{1}, ""}.valid()));
+}
+
+}  // namespace
+}  // namespace legion::persist

@@ -1,0 +1,118 @@
+#include "persist/vault.hpp"
+
+#include <gtest/gtest.h>
+
+namespace legion::persist {
+namespace {
+
+TEST(VaultTest, WriteReadEraseCycle) {
+  Vault v(DiskId{1}, "disk-i");
+  ASSERT_TRUE(v.write("a/b", Buffer::FromString("payload")).ok());
+  EXPECT_TRUE(v.exists("a/b"));
+  auto read = v.read("a/b");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->as_string(), "payload");
+  ASSERT_TRUE(v.erase("a/b").ok());
+  EXPECT_FALSE(v.exists("a/b"));
+  EXPECT_EQ(v.read("a/b").status().code(), StatusCode::kNotFound);
+}
+
+TEST(VaultTest, OverwriteReplacesAndTracksBytes) {
+  Vault v(DiskId{1}, "disk");
+  ASSERT_TRUE(v.write("f", Buffer::FromString("12345678")).ok());
+  EXPECT_EQ(v.bytes_stored(), 8u);
+  ASSERT_TRUE(v.write("f", Buffer::FromString("xy")).ok());
+  EXPECT_EQ(v.bytes_stored(), 2u);
+  EXPECT_EQ(v.read("f")->as_string(), "xy");
+}
+
+TEST(VaultTest, EmptyPathRejected) {
+  Vault v(DiskId{1}, "disk");
+  EXPECT_EQ(v.write("", Buffer{}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VaultTest, ListIsSorted) {
+  Vault v(DiskId{1}, "disk");
+  ASSERT_TRUE(v.write("b", Buffer{}).ok());
+  ASSERT_TRUE(v.write("a", Buffer{}).ok());
+  ASSERT_TRUE(v.write("c", Buffer{}).ok());
+  const auto files = v.list();
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0], "a");
+  EXPECT_EQ(files[2], "c");
+}
+
+class VaultSetTest : public ::testing::Test {
+ protected:
+  static Opr MakeOpr(std::uint64_t n, std::string state = "s") {
+    Opr opr;
+    opr.loid = Loid{9, n};
+    opr.implementation = "impl";
+    opr.state = Buffer::FromString(state);
+    return opr;
+  }
+};
+
+TEST_F(VaultSetTest, StoreFailsWithoutDisks) {
+  VaultSet set;
+  EXPECT_EQ(set.store(MakeOpr(1)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VaultSetTest, StoreLoadRemoveRoundTrip) {
+  VaultSet set;
+  set.add_vault("disk-i");
+  auto addr = set.store(MakeOpr(1, "alpha"));
+  ASSERT_TRUE(addr.ok());
+  EXPECT_TRUE(set.holds(*addr));
+
+  auto loaded = set.load(*addr);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->loid, (Loid{9, 1}));
+  EXPECT_EQ(loaded->state.as_string(), "alpha");
+
+  ASSERT_TRUE(set.remove(*addr).ok());
+  EXPECT_FALSE(set.holds(*addr));
+  EXPECT_EQ(set.load(*addr).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(VaultSetTest, StoreBalancesAcrossDisks) {
+  // Figure 11 shows a jurisdiction with several disks; placement picks the
+  // least-full one, so equal-size OPRs spread evenly.
+  VaultSet set;
+  const DiskId d1 = set.add_vault("i");
+  const DiskId d2 = set.add_vault("j");
+  const DiskId d3 = set.add_vault("k");
+  for (std::uint64_t n = 0; n < 9; ++n) {
+    ASSERT_TRUE(set.store(MakeOpr(n)).ok());
+  }
+  EXPECT_EQ(set.vault(d1)->count(), 3u);
+  EXPECT_EQ(set.vault(d2)->count(), 3u);
+  EXPECT_EQ(set.vault(d3)->count(), 3u);
+}
+
+TEST_F(VaultSetTest, UniquePathsForSameLoid) {
+  // Copy() can put two representations of the same object in flight;
+  // stored paths must never collide.
+  VaultSet set;
+  set.add_vault("only");
+  auto a = set.store(MakeOpr(1));
+  auto b = set.store(MakeOpr(1));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(*a == *b);
+  EXPECT_TRUE(set.holds(*a));
+  EXPECT_TRUE(set.holds(*b));
+}
+
+TEST_F(VaultSetTest, UnknownDiskRejected) {
+  VaultSet set;
+  set.add_vault("only");
+  PersistentAddress bogus{DiskId{42}, "nope"};
+  EXPECT_EQ(set.load(bogus).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(set.remove(bogus).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(set.holds(bogus));
+}
+
+}  // namespace
+}  // namespace legion::persist

@@ -1,0 +1,54 @@
+#include "rt/future.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace legion::rt {
+namespace {
+
+TEST(FutureTest, DefaultFutureIsInvalid) {
+  Future<int> f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_FALSE(f.ready());
+}
+
+TEST(FutureTest, PendingUntilSet) {
+  Promise<int> p;
+  Future<int> f = p.future();
+  EXPECT_TRUE(f.valid());
+  EXPECT_FALSE(f.ready());
+  p.set(7);
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.take(), 7);
+}
+
+TEST(FutureTest, TakeConsumes) {
+  Promise<std::string> p;
+  Future<std::string> f = p.future();
+  p.set("value");
+  EXPECT_EQ(f.take(), "value");
+  EXPECT_FALSE(f.valid());
+}
+
+TEST(FutureTest, MultipleFuturesObserveSamePromise) {
+  Promise<int> p;
+  Future<int> a = p.future();
+  Future<int> b = p.future();
+  p.set(3);
+  EXPECT_TRUE(a.ready());
+  EXPECT_TRUE(b.ready());
+}
+
+TEST(FutureTest, CrossThreadVisibility) {
+  Promise<int> p;
+  Future<int> f = p.future();
+  std::thread t([&p] { p.set(99); });
+  t.join();
+  EXPECT_TRUE(f.ready());
+  EXPECT_EQ(f.take(), 99);
+}
+
+}  // namespace
+}  // namespace legion::rt

@@ -1,0 +1,159 @@
+// Messenger robustness against malformed, hostile, and misdelivered frames:
+// wire input is untrusted (anyone can post bytes at an endpoint).
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "rt/messenger.hpp"
+#include "rt/sim_runtime.hpp"
+
+namespace legion::rt {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto j = rt_.topology().add_jurisdiction("j");
+    auto far = rt_.topology().add_jurisdiction("far");
+    h1_ = rt_.topology().add_host("h1", {j});
+    h2_ = rt_.topology().add_host("h2", {j});
+    h3_ = rt_.topology().add_host("h3", {far});
+  }
+
+  SimRuntime rt_{13};
+  HostId h1_, h2_, h3_;
+};
+
+RequestDispatcher Echo() {
+  return [](ServerContext& ctx, Reader&) -> Result<Buffer> {
+    return Buffer::FromString(ctx.call.method);
+  };
+}
+
+TEST_F(RobustnessTest, GarbageFramesAreDroppedServerKeepsServing) {
+  Messenger server(rt_, h2_, "server", ExecutionMode::kServiced, Echo());
+  Messenger client(rt_, h1_, "client", ExecutionMode::kDriver, nullptr);
+
+  // Blast random bytes straight at the server's endpoint.
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint8_t> junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    ASSERT_TRUE(rt_
+                    .post(Envelope{client.endpoint(), server.endpoint(),
+                                   DeliveryKind::kData, Buffer{std::move(junk)}})
+                    .ok());
+  }
+  rt_.run_until_idle();
+
+  // The server survives and still answers real requests.
+  auto result = client.call(server.endpoint(), "Ping", Buffer{},
+                            EnvTriple::System(), 1'000'000);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->as_string(), "Ping");
+}
+
+TEST_F(RobustnessTest, UnsolicitedRepliesIgnored) {
+  Messenger client(rt_, h1_, "client", ExecutionMode::kDriver, nullptr);
+  Messenger attacker(rt_, h2_, "attacker", ExecutionMode::kDriver, nullptr);
+
+  // Forge a reply for a call id the client never issued.
+  Buffer forged;
+  Writer w(forged);
+  w.u8(2);  // kReply
+  w.u64(424242);
+  w.u8(static_cast<std::uint8_t>(StatusCode::kOk));
+  w.str("");
+  w.buffer(Buffer::FromString("poison"));
+  ASSERT_TRUE(rt_
+                  .post(Envelope{attacker.endpoint(), client.endpoint(),
+                                 DeliveryKind::kData, std::move(forged)})
+                  .ok());
+  rt_.run_until_idle();
+  SUCCEED();  // nothing crashed, nothing pending was corrupted
+}
+
+TEST_F(RobustnessTest, LateReplyAfterTimeoutIsDiscarded) {
+  // Server answers only after the client's deadline (its handler performs a
+  // nested cross-jurisdiction round trip, ~80 virtual ms); the late reply
+  // must not satisfy a *different* later call.
+  Messenger helper(rt_, h3_, "helper", ExecutionMode::kServiced, Echo());
+  Messenger slow(rt_, h2_, "slow", ExecutionMode::kServiced,
+                 [&](ServerContext& ctx, Reader&) -> Result<Buffer> {
+                   (void)ctx.messenger.call(helper.endpoint(), "Ping",
+                                            Buffer{}, EnvTriple::System(),
+                                            1'000'000);
+                   return Buffer::FromString("late");
+                 });
+  Messenger client(rt_, h1_, "client", ExecutionMode::kDriver, nullptr);
+
+  auto first = client.call(slow.endpoint(), "Slow", Buffer{},
+                           EnvTriple::System(), 10'000);
+  EXPECT_EQ(first.status().code(), StatusCode::kTimeout);
+
+  // The next call gets its own reply, not the stale one.
+  auto second = client.call(slow.endpoint(), "Slow", Buffer{},
+                            EnvTriple::System(), 1'000'000);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->as_string(), "late");
+}
+
+TEST_F(RobustnessTest, BouncedReplyIsIgnored) {
+  // A reply that bounces (caller died) must not confuse the server.
+  Messenger server(rt_, h2_, "server", ExecutionMode::kServiced, Echo());
+  auto client = std::make_unique<Messenger>(rt_, h1_, "client",
+                                            ExecutionMode::kDriver, nullptr);
+  (void)client->invoke(server.endpoint(), "Ping", Buffer{},
+                       EnvTriple::System());
+  client.reset();  // dies before the reply arrives
+  rt_.run_until_idle();
+  EXPECT_GE(rt_.stats().bounced, 0u);  // no crash; bounce handled or dropped
+}
+
+TEST_F(RobustnessTest, OversizedLengthPrefixRejected) {
+  Messenger server(rt_, h2_, "server", ExecutionMode::kServiced, Echo());
+  Messenger client(rt_, h1_, "client", ExecutionMode::kDriver, nullptr);
+
+  Buffer evil;
+  Writer w(evil);
+  w.u8(1);        // kRequest
+  w.u64(1);       // call id
+  // env triple: three LOIDs, the first with a hostile key length.
+  w.u64(1);
+  w.u64(1);
+  w.u32(0xFFFFFFFF);  // claims 4 GiB of key bytes
+  ASSERT_TRUE(rt_
+                  .post(Envelope{client.endpoint(), server.endpoint(),
+                                 DeliveryKind::kData, std::move(evil)})
+                  .ok());
+  rt_.run_until_idle();
+
+  auto result = client.call(server.endpoint(), "StillAlive", Buffer{},
+                            EnvTriple::System(), 1'000'000);
+  ASSERT_TRUE(result.ok());
+}
+
+TEST_F(RobustnessTest, ManyPendingCallsResolveIndependently) {
+  int served = 0;
+  Messenger server(rt_, h2_, "server", ExecutionMode::kServiced,
+                   [&](ServerContext& ctx, Reader&) -> Result<Buffer> {
+                     ++served;
+                     return Buffer::FromString(ctx.call.method);
+                   });
+  Messenger client(rt_, h1_, "client", ExecutionMode::kDriver, nullptr);
+
+  std::vector<Future<ReplyMsg>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(client.invoke(server.endpoint(),
+                                    "M" + std::to_string(i), Buffer{},
+                                    EnvTriple::System()));
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto result = client.await(std::move(futures[i]), 10'000'000);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->as_string(), "M" + std::to_string(i));
+  }
+  EXPECT_EQ(served, 100);
+}
+
+}  // namespace
+}  // namespace legion::rt

@@ -1,0 +1,241 @@
+#include "rt/sim_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace legion::rt {
+namespace {
+
+class SimRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    j1_ = rt_.topology().add_jurisdiction("j1");
+    j2_ = rt_.topology().add_jurisdiction("j2");
+    h1_ = rt_.topology().add_host("h1", {j1_});
+    h2_ = rt_.topology().add_host("h2", {j1_});
+    h3_ = rt_.topology().add_host("h3", {j2_});
+  }
+
+  static Envelope Msg(EndpointId src, EndpointId dst, std::string_view body) {
+    return Envelope{src, dst, DeliveryKind::kData, Buffer::FromString(body)};
+  }
+
+  SimRuntime rt_{42};
+  JurisdictionId j1_, j2_;
+  HostId h1_, h2_, h3_;
+};
+
+TEST_F(SimRuntimeTest, DeliversInLatencyOrder) {
+  std::vector<std::string> received;
+  const EndpointId sink = rt_.create_endpoint(
+      h1_, "sink",
+      [&](Envelope&& env) { received.push_back(env.payload.as_string()); },
+      ExecutionMode::kServiced);
+  const EndpointId near = rt_.create_endpoint(h1_, "near", nullptr,
+                                              ExecutionMode::kDriver);
+  const EndpointId far = rt_.create_endpoint(h3_, "far", nullptr,
+                                             ExecutionMode::kDriver);
+
+  // Posted first from far away, second locally: local arrives first.
+  ASSERT_TRUE(rt_.post(Msg(far, sink, "cross")).ok());
+  ASSERT_TRUE(rt_.post(Msg(near, sink, "local")).ok());
+  rt_.run_until_idle();
+
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], "local");
+  EXPECT_EQ(received[1], "cross");
+}
+
+TEST_F(SimRuntimeTest, VirtualTimeAdvancesWithDelivery) {
+  const EndpointId sink = rt_.create_endpoint(h3_, "sink", [](Envelope&&) {},
+                                              ExecutionMode::kServiced);
+  const EndpointId src = rt_.create_endpoint(h1_, "src", nullptr,
+                                             ExecutionMode::kDriver);
+  EXPECT_EQ(rt_.now(), 0);
+  ASSERT_TRUE(rt_.post(Msg(src, sink, "x")).ok());
+  rt_.run_until_idle();
+  // Cross-jurisdiction latency: ~40ms +-10%.
+  EXPECT_GE(rt_.now(), 36'000);
+  EXPECT_LE(rt_.now(), 44'000);
+}
+
+TEST_F(SimRuntimeTest, DeterministicAcrossRuns) {
+  auto run = [this](std::uint64_t seed) {
+    SimRuntime rt(seed);
+    auto j = rt.topology().add_jurisdiction("j");
+    auto a = rt.topology().add_host("a", {j});
+    auto b = rt.topology().add_host("b", {j});
+    const EndpointId sink = rt.create_endpoint(b, "sink", [](Envelope&&) {},
+                                               ExecutionMode::kServiced);
+    const EndpointId src = rt.create_endpoint(a, "src", nullptr,
+                                              ExecutionMode::kDriver);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(
+          rt.post(Envelope{src, sink, DeliveryKind::kData, Buffer{}}).ok());
+    }
+    rt.run_until_idle();
+    return rt.now();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST_F(SimRuntimeTest, PostToClosedEndpointFailsFast) {
+  const EndpointId sink = rt_.create_endpoint(h2_, "sink", [](Envelope&&) {},
+                                              ExecutionMode::kServiced);
+  const EndpointId src = rt_.create_endpoint(h1_, "src", nullptr,
+                                             ExecutionMode::kDriver);
+  rt_.close_endpoint(sink);
+  EXPECT_FALSE(rt_.endpoint_alive(sink));
+  const Status st = rt_.post(Msg(src, sink, "x"));
+  EXPECT_EQ(st.code(), StatusCode::kStaleBinding);
+}
+
+TEST_F(SimRuntimeTest, InFlightMessageBouncesWhenDestinationDies) {
+  bool got_bounce = false;
+  const EndpointId sink = rt_.create_endpoint(h2_, "sink", [](Envelope&&) {},
+                                              ExecutionMode::kServiced);
+  const EndpointId src = rt_.create_endpoint(
+      h1_, "src",
+      [&](Envelope&& env) {
+        got_bounce = (env.kind == DeliveryKind::kBounce);
+        EXPECT_EQ(env.payload.as_string(), "hello");
+      },
+      ExecutionMode::kServiced);
+
+  ASSERT_TRUE(rt_.post(Msg(src, sink, "hello")).ok());
+  rt_.close_endpoint(sink);  // dies while the message is in flight
+  rt_.run_until_idle();
+
+  EXPECT_TRUE(got_bounce);
+  EXPECT_EQ(rt_.stats().bounced, 1u);
+}
+
+TEST_F(SimRuntimeTest, HandlerCanSendCausingChainedDelivery) {
+  int leaf_hits = 0;
+  const EndpointId leaf = rt_.create_endpoint(
+      h2_, "leaf", [&](Envelope&&) { ++leaf_hits; }, ExecutionMode::kServiced);
+  const EndpointId relay = rt_.create_endpoint(
+      h1_, "relay",
+      [&](Envelope&& env) {
+        EXPECT_TRUE(rt_
+                        .post(Envelope{env.dst, leaf, DeliveryKind::kData,
+                                       std::move(env.payload)})
+                        .ok());
+      },
+      ExecutionMode::kServiced);
+  const EndpointId src = rt_.create_endpoint(h1_, "src", nullptr,
+                                             ExecutionMode::kDriver);
+  ASSERT_TRUE(rt_.post(Msg(src, relay, "fwd")).ok());
+  rt_.run_until_idle();
+  EXPECT_EQ(leaf_hits, 1);
+}
+
+TEST_F(SimRuntimeTest, WaitPumpsUntilPredicate) {
+  int hits = 0;
+  const EndpointId sink = rt_.create_endpoint(
+      h2_, "sink", [&](Envelope&&) { ++hits; }, ExecutionMode::kServiced);
+  const EndpointId src = rt_.create_endpoint(h1_, "src", nullptr,
+                                             ExecutionMode::kDriver);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(rt_.post(Msg(src, sink, "x")).ok());
+
+  EXPECT_TRUE(rt_.wait(src, [&] { return hits == 2; }, kSimTimeNever));
+  EXPECT_EQ(hits, 2);  // stopped as soon as the predicate held
+}
+
+TEST_F(SimRuntimeTest, WaitTimesOutAtVirtualDeadline) {
+  const EndpointId sink = rt_.create_endpoint(h3_, "sink", [](Envelope&&) {},
+                                              ExecutionMode::kServiced);
+  const EndpointId src = rt_.create_endpoint(h1_, "src", nullptr,
+                                             ExecutionMode::kDriver);
+  ASSERT_TRUE(rt_.post(Msg(src, sink, "x")).ok());
+  // Cross-jurisdiction latency ~40ms dwarfs the 1ms budget.
+  EXPECT_FALSE(rt_.wait(src, [] { return false; }, 1'000));
+  EXPECT_EQ(rt_.now(), 1'000);
+}
+
+TEST_F(SimRuntimeTest, WaitReturnsFalseWhenQuiescent) {
+  const EndpointId src = rt_.create_endpoint(h1_, "src", nullptr,
+                                             ExecutionMode::kDriver);
+  EXPECT_FALSE(rt_.wait(src, [] { return false; }, kSimTimeNever));
+}
+
+TEST_F(SimRuntimeTest, StatsCountPerEndpointAndClass) {
+  const EndpointId sink = rt_.create_endpoint(h2_, "server", [](Envelope&&) {},
+                                              ExecutionMode::kServiced);
+  const EndpointId far = rt_.create_endpoint(h3_, "client", nullptr,
+                                             ExecutionMode::kDriver);
+  const EndpointId near = rt_.create_endpoint(h1_, "client", nullptr,
+                                              ExecutionMode::kDriver);
+  ASSERT_TRUE(rt_.post(Msg(near, sink, "a")).ok());
+  ASSERT_TRUE(rt_.post(Msg(far, sink, "b")).ok());
+  rt_.run_until_idle();
+
+  EXPECT_EQ(rt_.endpoint_stats(sink).received, 2u);
+  EXPECT_EQ(rt_.endpoint_stats(near).sent, 1u);
+  EXPECT_EQ(rt_.stats().delivered, 2u);
+  EXPECT_EQ(rt_.stats().by_latency_class[static_cast<int>(
+                net::LatencyClass::kIntraJurisdiction)],
+            1u);
+  EXPECT_EQ(rt_.stats().by_latency_class[static_cast<int>(
+                net::LatencyClass::kCrossJurisdiction)],
+            1u);
+
+  const auto by_label = rt_.received_by_label();
+  EXPECT_EQ(by_label.at("server"), 2u);
+  EXPECT_EQ(rt_.max_received_with_label("server"), 2u);
+
+  rt_.reset_stats();
+  EXPECT_EQ(rt_.stats().delivered, 0u);
+  EXPECT_EQ(rt_.endpoint_stats(sink).received, 0u);
+}
+
+TEST_F(SimRuntimeTest, DropsViaFaultPlanAreCounted) {
+  rt_.faults().set_drop_probability(net::LatencyClass::kIntraJurisdiction, 1.0);
+  int hits = 0;
+  const EndpointId sink = rt_.create_endpoint(
+      h2_, "sink", [&](Envelope&&) { ++hits; }, ExecutionMode::kServiced);
+  const EndpointId src = rt_.create_endpoint(h1_, "src", nullptr,
+                                             ExecutionMode::kDriver);
+  ASSERT_TRUE(rt_.post(Msg(src, sink, "x")).ok());
+  rt_.run_until_idle();
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(rt_.stats().dropped, 1u);
+}
+
+TEST_F(SimRuntimeTest, HandlerMayCreateEndpointsDuringDispatch) {
+  // Regression guard: dispatch runs on a handler copy, so rehashing the
+  // endpoint map mid-dispatch must be safe.
+  std::vector<EndpointId> created;
+  const EndpointId spawner = rt_.create_endpoint(
+      h1_, "spawner",
+      [&](Envelope&&) {
+        for (int i = 0; i < 64; ++i) {
+          created.push_back(rt_.create_endpoint(h1_, "child", [](Envelope&&) {},
+                                                ExecutionMode::kServiced));
+        }
+      },
+      ExecutionMode::kServiced);
+  const EndpointId src = rt_.create_endpoint(h1_, "src", nullptr,
+                                             ExecutionMode::kDriver);
+  ASSERT_TRUE(rt_.post(Msg(src, spawner, "go")).ok());
+  rt_.run_until_idle();
+  EXPECT_EQ(created.size(), 64u);
+  for (EndpointId id : created) EXPECT_TRUE(rt_.endpoint_alive(id));
+}
+
+TEST_F(SimRuntimeTest, HandlerMayCloseOwnEndpointDuringDispatch) {
+  EndpointId self;
+  self = rt_.create_endpoint(
+      h1_, "ephemeral", [&](Envelope&&) { rt_.close_endpoint(self); },
+      ExecutionMode::kServiced);
+  const EndpointId src = rt_.create_endpoint(h1_, "src", nullptr,
+                                             ExecutionMode::kDriver);
+  ASSERT_TRUE(rt_.post(Msg(src, self, "die")).ok());
+  rt_.run_until_idle();
+  EXPECT_FALSE(rt_.endpoint_alive(self));
+}
+
+}  // namespace
+}  // namespace legion::rt

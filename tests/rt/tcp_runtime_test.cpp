@@ -1,0 +1,141 @@
+// The object model over real TCP loopback sockets (paper Section 3.3:
+// "standard protocols and the communication facilities of host operating
+// systems").
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "core/well_known.hpp"
+#include "rt/messenger.hpp"
+#include "rt/tcp_runtime.hpp"
+#include "sim/sample_objects.hpp"
+
+namespace legion::rt {
+namespace {
+
+class TcpRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto j = rt_.topology().add_jurisdiction("j");
+    h1_ = rt_.topology().add_host("h1", {j}, 1e9);
+    h2_ = rt_.topology().add_host("h2", {j}, 1e9);
+  }
+
+  TcpRuntime rt_;
+  HostId h1_, h2_;
+};
+
+TEST_F(TcpRuntimeTest, EndpointsListenOnRealPorts) {
+  const EndpointId a = rt_.create_endpoint(h1_, "a", [](Envelope&&) {},
+                                           ExecutionMode::kServiced);
+  const EndpointId b = rt_.create_endpoint(h1_, "b", [](Envelope&&) {},
+                                           ExecutionMode::kServiced);
+  EXPECT_NE(rt_.port_of(a), 0);
+  EXPECT_NE(rt_.port_of(b), 0);
+  EXPECT_NE(rt_.port_of(a), rt_.port_of(b));
+}
+
+TEST_F(TcpRuntimeTest, MessengerRoundTripOverTcp) {
+  Messenger server(rt_, h2_, "server", ExecutionMode::kServiced,
+                   [](ServerContext& ctx, Reader& args) -> Result<Buffer> {
+                     return Buffer::FromString(ctx.call.method + ":" +
+                                               args.str());
+                   });
+  Messenger client(rt_, h1_, "client", ExecutionMode::kDriver, nullptr);
+  Buffer args;
+  Writer w(args);
+  w.str("over-tcp");
+  auto result = client.call(server.endpoint(), "Echo", std::move(args),
+                            EnvTriple::System(), 5'000'000);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->as_string(), "Echo:over-tcp");
+}
+
+TEST_F(TcpRuntimeTest, ConnectionRefusedIsStaleBinding) {
+  const EndpointId dead = rt_.create_endpoint(h2_, "dead", [](Envelope&&) {},
+                                              ExecutionMode::kServiced);
+  const EndpointId src =
+      rt_.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+  rt_.close_endpoint(dead);
+  EXPECT_EQ(rt_.post(Envelope{src, dead, DeliveryKind::kData, Buffer{}}).code(),
+            StatusCode::kStaleBinding);
+}
+
+TEST_F(TcpRuntimeTest, LargePayloadSurvivesFraming) {
+  Buffer blob;
+  for (int i = 0; i < 100'000; ++i) {
+    const auto byte = static_cast<std::uint8_t>(i * 31);
+    blob.append(&byte, 1);
+  }
+  Messenger server(rt_, h2_, "server", ExecutionMode::kServiced,
+                   [](ServerContext&, Reader& args) -> Result<Buffer> {
+                     return args.buffer();
+                   });
+  Messenger client(rt_, h1_, "client", ExecutionMode::kDriver, nullptr);
+  Buffer args;
+  Writer w(args);
+  w.buffer(blob);
+  auto result = client.call(server.endpoint(), "Blob", std::move(args),
+                            EnvTriple::System(), 10'000'000);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(*result, blob);
+}
+
+TEST_F(TcpRuntimeTest, NestedCallsOverTcp) {
+  Messenger inner(rt_, h2_, "inner", ExecutionMode::kServiced,
+                  [](ServerContext&, Reader&) -> Result<Buffer> {
+                    return Buffer::FromString("pong");
+                  });
+  Messenger outer(rt_, h2_, "outer", ExecutionMode::kServiced,
+                  [&](ServerContext& ctx, Reader&) -> Result<Buffer> {
+                    LEGION_ASSIGN_OR_RETURN(
+                        Buffer reply,
+                        ctx.messenger.call(inner.endpoint(), "Ping", Buffer{},
+                                           ctx.call.env, 5'000'000));
+                    return Buffer::FromString("outer+" + reply.as_string());
+                  });
+  Messenger client(rt_, h1_, "client", ExecutionMode::kDriver, nullptr);
+  auto result = client.call(outer.endpoint(), "Go", Buffer{},
+                            EnvTriple::System(), 10'000'000);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->as_string(), "outer+pong");
+}
+
+// The headline: the full Legion core bootstrapped over real sockets.
+TEST_F(TcpRuntimeTest, WholeLegionSystemBootsOverTcp) {
+  core::LegionSystem system(rt_, core::SystemConfig{});
+  ASSERT_TRUE(sim::RegisterSampleObjects(system.registry()).ok());
+  const Status st = system.bootstrap();
+  ASSERT_TRUE(st.ok()) << st.to_string();
+
+  auto client = system.make_client(h1_);
+  core::wire::DeriveRequest derive;
+  derive.name = "Worker";
+  derive.instance_impl = std::string(sim::WorkerImpl::kName);
+  auto cls = client->derive(core::LegionObjectLoid(), derive);
+  ASSERT_TRUE(cls.ok()) << cls.status().to_string();
+
+  auto object = client->create(cls->loid, sim::WorkerInit(0, 0));
+  ASSERT_TRUE(object.ok()) << object.status().to_string();
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client->ref(object->loid).call("Increment", Buffer{}).ok());
+  }
+  auto raw = client->ref(object->loid).call("Get", Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  Reader r(*raw);
+  EXPECT_EQ(r.i64(), 3);
+
+  // Deactivate and reactivate-on-reference, with every hop a TCP exchange.
+  core::wire::LoidRequest req{object->loid};
+  auto j1 = rt_.topology().jurisdictions().front().id;
+  ASSERT_TRUE(client->ref(system.magistrate_of(j1))
+                  .call(core::methods::kDeactivate, req.to_buffer())
+                  .ok());
+  auto back = client->ref(object->loid).call("Get", Buffer{});
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  Reader r2(*back);
+  EXPECT_EQ(r2.i64(), 3);
+}
+
+}  // namespace
+}  // namespace legion::rt

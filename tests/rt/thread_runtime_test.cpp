@@ -1,0 +1,160 @@
+#include "rt/thread_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace legion::rt {
+namespace {
+
+class ThreadRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    j_ = rt_.topology().add_jurisdiction("j");
+    h1_ = rt_.topology().add_host("h1", {j_});
+    h2_ = rt_.topology().add_host("h2", {j_});
+  }
+
+  static Envelope Msg(EndpointId src, EndpointId dst, std::string_view body) {
+    return Envelope{src, dst, DeliveryKind::kData, Buffer::FromString(body)};
+  }
+
+  ThreadRuntime rt_{42};
+  JurisdictionId j_;
+  HostId h1_, h2_;
+};
+
+TEST_F(ThreadRuntimeTest, ServicedEndpointHandlesOnOwnThread) {
+  std::atomic<int> hits{0};
+  std::atomic<bool> different_thread{false};
+  const auto main_id = std::this_thread::get_id();
+  const EndpointId sink = rt_.create_endpoint(
+      h2_, "sink",
+      [&](Envelope&&) {
+        different_thread = (std::this_thread::get_id() != main_id);
+        ++hits;
+      },
+      ExecutionMode::kServiced);
+  const EndpointId src =
+      rt_.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+
+  ASSERT_TRUE(rt_.post(Msg(src, sink, "x")).ok());
+  rt_.wait(src, [&] { return hits.load() == 1; }, 2'000'000);
+  EXPECT_EQ(hits.load(), 1);
+  EXPECT_TRUE(different_thread.load());
+}
+
+TEST_F(ThreadRuntimeTest, DriverEndpointPumpsFromOwningThread) {
+  std::atomic<int> hits{0};
+  const EndpointId driver = rt_.create_endpoint(
+      h1_, "driver", [&](Envelope&&) { ++hits; }, ExecutionMode::kDriver);
+  const EndpointId src =
+      rt_.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+
+  ASSERT_TRUE(rt_.post(Msg(src, driver, "x")).ok());
+  // Not handled until the owning thread pumps.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(hits.load(), 0);
+  EXPECT_TRUE(rt_.wait(driver, [&] { return hits.load() == 1; }, 2'000'000));
+}
+
+TEST_F(ThreadRuntimeTest, PostToClosedEndpointFailsFast) {
+  const EndpointId sink = rt_.create_endpoint(h2_, "sink", [](Envelope&&) {},
+                                              ExecutionMode::kServiced);
+  const EndpointId src =
+      rt_.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+  rt_.close_endpoint(sink);
+  EXPECT_FALSE(rt_.endpoint_alive(sink));
+  EXPECT_EQ(rt_.post(Msg(src, sink, "x")).code(), StatusCode::kStaleBinding);
+}
+
+TEST_F(ThreadRuntimeTest, ManyConcurrentSendersAllDelivered) {
+  std::atomic<int> hits{0};
+  const EndpointId sink = rt_.create_endpoint(
+      h2_, "sink", [&](Envelope&&) { ++hits; }, ExecutionMode::kServiced);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> senders;
+  std::vector<EndpointId> srcs;
+  srcs.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    srcs.push_back(
+        rt_.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver));
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    senders.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(rt_.post(Msg(srcs[t], sink, "x")).ok());
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+  const EndpointId waiter =
+      rt_.create_endpoint(h1_, "waiter", nullptr, ExecutionMode::kDriver);
+  EXPECT_TRUE(rt_.wait(
+      waiter, [&] { return hits.load() == kThreads * kPerThread; },
+      5'000'000));
+  EXPECT_EQ(rt_.endpoint_stats(sink).received,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST_F(ThreadRuntimeTest, StatsAggregateByLabel) {
+  std::atomic<int> hits{0};
+  const EndpointId a = rt_.create_endpoint(
+      h1_, "worker", [&](Envelope&&) { ++hits; }, ExecutionMode::kServiced);
+  const EndpointId b = rt_.create_endpoint(
+      h2_, "worker", [&](Envelope&&) { ++hits; }, ExecutionMode::kServiced);
+  const EndpointId src =
+      rt_.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+  ASSERT_TRUE(rt_.post(Msg(src, a, "1")).ok());
+  ASSERT_TRUE(rt_.post(Msg(src, b, "2")).ok());
+  ASSERT_TRUE(rt_.post(Msg(src, b, "3")).ok());
+  rt_.wait(src, [&] { return hits.load() == 3; }, 2'000'000);
+
+  EXPECT_EQ(rt_.received_by_label().at("worker"), 3u);
+  EXPECT_EQ(rt_.max_received_with_label("worker"), 2u);
+}
+
+TEST_F(ThreadRuntimeTest, CleanShutdownWithBusyEndpoints) {
+  // Destroying the runtime with serviced endpoints still alive must join
+  // their threads without deadlock.
+  auto rt = std::make_unique<ThreadRuntime>();
+  auto j = rt->topology().add_jurisdiction("j");
+  auto h = rt->topology().add_host("h", {j});
+  for (int i = 0; i < 16; ++i) {
+    rt->create_endpoint(h, "worker", [](Envelope&&) {},
+                        ExecutionMode::kServiced);
+  }
+  rt.reset();  // must not hang
+  SUCCEED();
+}
+
+TEST_F(ThreadRuntimeTest, EndpointClosingItselfFromHandlerDoesNotDeadlock) {
+  std::atomic<bool> closed{false};
+  EndpointId self{};
+  self = rt_.create_endpoint(
+      h1_, "ephemeral",
+      [&](Envelope&&) {
+        rt_.close_endpoint(self);
+        closed = true;
+      },
+      ExecutionMode::kServiced);
+  const EndpointId src =
+      rt_.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+  ASSERT_TRUE(rt_.post(Msg(src, self, "die")).ok());
+  rt_.wait(src, [&] { return closed.load(); }, 2'000'000);
+  EXPECT_TRUE(closed.load());
+  EXPECT_FALSE(rt_.endpoint_alive(self));
+}
+
+TEST_F(ThreadRuntimeTest, NowAdvancesMonotonically) {
+  const SimTime a = rt_.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const SimTime b = rt_.now();
+  EXPECT_GT(b, a);
+}
+
+}  // namespace
+}  // namespace legion::rt

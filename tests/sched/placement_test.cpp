@@ -1,0 +1,106 @@
+#include "sched/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace legion::sched {
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+std::vector<HostCandidate> ThreeHosts() {
+  return {
+      HostCandidate{Loid{3, 1}, HostId{1}, 0.5, 5, 10.0, true},
+      HostCandidate{Loid{3, 2}, HostId{2}, 0.1, 1, 10.0, true},
+      HostCandidate{Loid{3, 3}, HostId{3}, 0.9, 9, 10.0, true},
+  };
+}
+
+TEST(RandomPlacementTest, PicksOnlyAcceptingHosts) {
+  auto candidates = ThreeHosts();
+  candidates[0].accepting = false;
+  RandomPlacement p;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t pick = p.pick(candidates, rng);
+    ASSERT_NE(pick, kNone);
+    EXPECT_NE(pick, 0u);
+  }
+}
+
+TEST(RandomPlacementTest, CoversAllAcceptingHosts) {
+  auto candidates = ThreeHosts();
+  RandomPlacement p;
+  Rng rng(2);
+  std::vector<int> hits(3, 0);
+  for (int i = 0; i < 300; ++i) ++hits[p.pick(candidates, rng)];
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(RoundRobinPlacementTest, CyclesDeterministically) {
+  auto candidates = ThreeHosts();
+  RoundRobinPlacement p;
+  Rng rng(1);
+  EXPECT_EQ(p.pick(candidates, rng), 0u);
+  EXPECT_EQ(p.pick(candidates, rng), 1u);
+  EXPECT_EQ(p.pick(candidates, rng), 2u);
+  EXPECT_EQ(p.pick(candidates, rng), 0u);
+}
+
+TEST(RoundRobinPlacementTest, SkipsNonAccepting) {
+  auto candidates = ThreeHosts();
+  candidates[1].accepting = false;
+  RoundRobinPlacement p;
+  Rng rng(1);
+  EXPECT_EQ(p.pick(candidates, rng), 0u);
+  EXPECT_EQ(p.pick(candidates, rng), 2u);
+  EXPECT_EQ(p.pick(candidates, rng), 0u);
+}
+
+TEST(LeastLoadedPlacementTest, PicksLowestCpuLoad) {
+  auto candidates = ThreeHosts();
+  LeastLoadedPlacement p;
+  Rng rng(1);
+  EXPECT_EQ(p.pick(candidates, rng), 1u);  // load 0.1
+  candidates[1].accepting = false;
+  EXPECT_EQ(p.pick(candidates, rng), 0u);  // next lowest: 0.5
+}
+
+TEST(PlacementTest, NoAcceptingHostsYieldsNone) {
+  auto candidates = ThreeHosts();
+  for (auto& c : candidates) c.accepting = false;
+  Rng rng(1);
+  RandomPlacement r;
+  RoundRobinPlacement rr;
+  LeastLoadedPlacement ll;
+  EXPECT_EQ(r.pick(candidates, rng), kNone);
+  EXPECT_EQ(rr.pick(candidates, rng), kNone);
+  EXPECT_EQ(ll.pick(candidates, rng), kNone);
+}
+
+TEST(PlacementTest, EmptyCandidateListYieldsNone) {
+  Rng rng(1);
+  RandomPlacement r;
+  EXPECT_EQ(r.pick({}, rng), kNone);
+}
+
+class MakePolicyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MakePolicyTest, FactoryProducesNamedPolicy) {
+  auto policy = MakePolicy(GetParam());
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->name(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, MakePolicyTest,
+                         ::testing::Values("random", "round-robin",
+                                           "least-loaded"));
+
+TEST(MakePolicyTest, UnknownNameYieldsNull) {
+  EXPECT_EQ(MakePolicy("magic"), nullptr);
+}
+
+}  // namespace
+}  // namespace legion::sched

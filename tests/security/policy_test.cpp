@@ -1,0 +1,88 @@
+#include "security/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace legion::security {
+namespace {
+
+rt::EnvTriple Caller(Loid who) {
+  return rt::EnvTriple{who, who, who};
+}
+
+TEST(PolicyTest, AllowAllAlwaysConsents) {
+  AllowAll p;
+  EXPECT_TRUE(p.MayI("Anything", rt::EnvTriple::System()).ok());
+  EXPECT_TRUE(p.MayI("Delete", Caller(Loid{9, 9})).ok());
+}
+
+TEST(PolicyTest, DenyAllAlwaysRefuses) {
+  DenyAll p;
+  EXPECT_EQ(p.MayI("Ping", rt::EnvTriple::System()).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(PolicyTest, SystemEnvDetection) {
+  EXPECT_TRUE(IsSystemEnv(rt::EnvTriple::System()));
+  EXPECT_FALSE(IsSystemEnv(Caller(Loid{1, 1})));
+}
+
+TEST(CallerAclTest, AdmitsListedCallers) {
+  CallerAcl acl({Loid{3, 1}, Loid{3, 2}}, /*allow_system=*/false);
+  EXPECT_TRUE(acl.MayI("M", Caller(Loid{3, 1})).ok());
+  EXPECT_TRUE(acl.MayI("M", Caller(Loid{3, 2})).ok());
+  EXPECT_EQ(acl.MayI("M", Caller(Loid{3, 3})).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(CallerAclTest, SystemAdmissionIsExplicit) {
+  CallerAcl closed({}, /*allow_system=*/false);
+  EXPECT_EQ(closed.MayI("M", rt::EnvTriple::System()).code(),
+            StatusCode::kPermissionDenied);
+  CallerAcl open({}, /*allow_system=*/true);
+  EXPECT_TRUE(open.MayI("M", rt::EnvTriple::System()).ok());
+}
+
+TEST(TrustedClassPolicyTest, TrustsByCallersClass) {
+  // The DOE scenario (Section 2.1.3): accept requests only from instances
+  // of classes the organization certified.
+  TrustedClassPolicy p({42, 43}, /*allow_system=*/false);
+  EXPECT_TRUE(p.MayI("Activate", Caller(Loid{42, 7})).ok());
+  EXPECT_TRUE(p.MayI("Activate", Caller(Loid{43, 1})).ok());
+  EXPECT_EQ(p.MayI("Activate", Caller(Loid{44, 7})).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(MethodGuardTest, GuardsOnlyListedMethods) {
+  auto guard = MethodGuard({"Delete", "Move"}, MakeDenyAll(), MakeAllowAll());
+  EXPECT_TRUE(guard.MayI("GetBinding", Caller(Loid{1, 1})).ok());
+  EXPECT_EQ(guard.MayI("Delete", Caller(Loid{1, 1})).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(guard.MayI("Move", rt::EnvTriple::System()).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(MethodGuardTest, NullPoliciesDefaultToAllow) {
+  MethodGuard guard({"X"}, nullptr, nullptr);
+  EXPECT_TRUE(guard.MayI("X", Caller(Loid{1, 1})).ok());
+  EXPECT_TRUE(guard.MayI("Y", Caller(Loid{1, 1})).ok());
+}
+
+TEST(AllOfTest, EveryPolicyMustConsent) {
+  auto acl = std::make_shared<CallerAcl>(std::vector<Loid>{Loid{5, 1}},
+                                         /*allow_system=*/false);
+  auto trusted = std::make_shared<TrustedClassPolicy>(
+      std::vector<std::uint64_t>{5}, /*allow_system=*/false);
+  AllOf both({acl, trusted});
+  EXPECT_TRUE(both.MayI("M", Caller(Loid{5, 1})).ok());
+  // Right class, not on ACL:
+  EXPECT_EQ(both.MayI("M", Caller(Loid{5, 2})).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(AllOfTest, EmptyCompositeConsents) {
+  AllOf none({});
+  EXPECT_TRUE(none.MayI("M", Caller(Loid{1, 1})).ok());
+}
+
+}  // namespace
+}  // namespace legion::security
