@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ba_scaling.dir/bench_ba_scaling.cpp.o"
+  "CMakeFiles/bench_ba_scaling.dir/bench_ba_scaling.cpp.o.d"
+  "bench_ba_scaling"
+  "bench_ba_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ba_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_binding_cache.dir/bench_binding_cache.cpp.o"
+  "CMakeFiles/bench_binding_cache.dir/bench_binding_cache.cpp.o.d"
+  "bench_binding_cache"
+  "bench_binding_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_binding_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_binding_path.dir/bench_binding_path.cpp.o"
+  "CMakeFiles/bench_binding_path.dir/bench_binding_path.cpp.o.d"
+  "bench_binding_path"
+  "bench_binding_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_binding_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_binding_ttl.dir/bench_binding_ttl.cpp.o"
+  "CMakeFiles/bench_binding_ttl.dir/bench_binding_ttl.cpp.o.d"
+  "bench_binding_ttl"
+  "bench_binding_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_binding_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

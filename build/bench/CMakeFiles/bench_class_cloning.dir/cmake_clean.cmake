@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_class_cloning.dir/bench_class_cloning.cpp.o"
+  "CMakeFiles/bench_class_cloning.dir/bench_class_cloning.cpp.o.d"
+  "bench_class_cloning"
+  "bench_class_cloning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_class_cloning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_combining_tree.dir/bench_combining_tree.cpp.o"
+  "CMakeFiles/bench_combining_tree.dir/bench_combining_tree.cpp.o.d"
+  "bench_combining_tree"
+  "bench_combining_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_combining_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributed_principle.dir/bench_distributed_principle.cpp.o"
+  "CMakeFiles/bench_distributed_principle.dir/bench_distributed_principle.cpp.o.d"
+  "bench_distributed_principle"
+  "bench_distributed_principle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_principle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

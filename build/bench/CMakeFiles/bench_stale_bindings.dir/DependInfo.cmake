@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_stale_bindings.cpp" "bench/CMakeFiles/bench_stale_bindings.dir/bench_stale_bindings.cpp.o" "gcc" "bench/CMakeFiles/bench_stale_bindings.dir/bench_stale_bindings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/legion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/legion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/legion_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/legion_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/legion_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/legion_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/legion_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/legion_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/legion_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

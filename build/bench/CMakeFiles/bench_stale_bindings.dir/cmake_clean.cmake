@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stale_bindings.dir/bench_stale_bindings.cpp.o"
+  "CMakeFiles/bench_stale_bindings.dir/bench_stale_bindings.cpp.o.d"
+  "bench_stale_bindings"
+  "bench_stale_bindings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stale_bindings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thread_runtime.dir/bench_thread_runtime.cpp.o"
+  "CMakeFiles/bench_thread_runtime.dir/bench_thread_runtime.cpp.o.d"
+  "bench_thread_runtime"
+  "bench_thread_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thread_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_shell.dir/legion_shell.cpp.o"
+  "CMakeFiles/legion_shell.dir/legion_shell.cpp.o.d"
+  "legion_shell"
+  "legion_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_files.dir/shared_files.cpp.o"
+  "CMakeFiles/shared_files.dir/shared_files.cpp.o.d"
+  "shared_files"
+  "shared_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_market.dir/trust_market.cpp.o"
+  "CMakeFiles/trust_market.dir/trust_market.cpp.o.d"
+  "trust_market"
+  "trust_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

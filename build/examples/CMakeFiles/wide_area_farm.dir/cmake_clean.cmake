@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_area_farm.dir/wide_area_farm.cpp.o"
+  "CMakeFiles/wide_area_farm.dir/wide_area_farm.cpp.o.d"
+  "wide_area_farm"
+  "wide_area_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_area_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_base.dir/buffer.cpp.o"
+  "CMakeFiles/legion_base.dir/buffer.cpp.o.d"
+  "CMakeFiles/legion_base.dir/log.cpp.o"
+  "CMakeFiles/legion_base.dir/log.cpp.o.d"
+  "CMakeFiles/legion_base.dir/loid.cpp.o"
+  "CMakeFiles/legion_base.dir/loid.cpp.o.d"
+  "CMakeFiles/legion_base.dir/serialize.cpp.o"
+  "CMakeFiles/legion_base.dir/serialize.cpp.o.d"
+  "CMakeFiles/legion_base.dir/status.cpp.o"
+  "CMakeFiles/legion_base.dir/status.cpp.o.d"
+  "liblegion_base.a"
+  "liblegion_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

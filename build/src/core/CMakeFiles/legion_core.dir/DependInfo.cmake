@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_object.cpp" "src/core/CMakeFiles/legion_core.dir/active_object.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/active_object.cpp.o.d"
+  "/root/repo/src/core/binding_agent.cpp" "src/core/CMakeFiles/legion_core.dir/binding_agent.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/binding_agent.cpp.o.d"
+  "/root/repo/src/core/binding_cache.cpp" "src/core/CMakeFiles/legion_core.dir/binding_cache.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/binding_cache.cpp.o.d"
+  "/root/repo/src/core/class_object.cpp" "src/core/CMakeFiles/legion_core.dir/class_object.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/class_object.cpp.o.d"
+  "/root/repo/src/core/comm.cpp" "src/core/CMakeFiles/legion_core.dir/comm.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/comm.cpp.o.d"
+  "/root/repo/src/core/host_object.cpp" "src/core/CMakeFiles/legion_core.dir/host_object.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/host_object.cpp.o.d"
+  "/root/repo/src/core/implementation_registry.cpp" "src/core/CMakeFiles/legion_core.dir/implementation_registry.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/implementation_registry.cpp.o.d"
+  "/root/repo/src/core/interface.cpp" "src/core/CMakeFiles/legion_core.dir/interface.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/interface.cpp.o.d"
+  "/root/repo/src/core/legion_class.cpp" "src/core/CMakeFiles/legion_core.dir/legion_class.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/legion_class.cpp.o.d"
+  "/root/repo/src/core/magistrate.cpp" "src/core/CMakeFiles/legion_core.dir/magistrate.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/magistrate.cpp.o.d"
+  "/root/repo/src/core/object_address.cpp" "src/core/CMakeFiles/legion_core.dir/object_address.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/object_address.cpp.o.d"
+  "/root/repo/src/core/scheduling_agent.cpp" "src/core/CMakeFiles/legion_core.dir/scheduling_agent.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/scheduling_agent.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/legion_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/legion_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/legion_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/legion_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/legion_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/legion_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/legion_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_core.dir/active_object.cpp.o"
+  "CMakeFiles/legion_core.dir/active_object.cpp.o.d"
+  "CMakeFiles/legion_core.dir/binding_agent.cpp.o"
+  "CMakeFiles/legion_core.dir/binding_agent.cpp.o.d"
+  "CMakeFiles/legion_core.dir/binding_cache.cpp.o"
+  "CMakeFiles/legion_core.dir/binding_cache.cpp.o.d"
+  "CMakeFiles/legion_core.dir/class_object.cpp.o"
+  "CMakeFiles/legion_core.dir/class_object.cpp.o.d"
+  "CMakeFiles/legion_core.dir/comm.cpp.o"
+  "CMakeFiles/legion_core.dir/comm.cpp.o.d"
+  "CMakeFiles/legion_core.dir/host_object.cpp.o"
+  "CMakeFiles/legion_core.dir/host_object.cpp.o.d"
+  "CMakeFiles/legion_core.dir/implementation_registry.cpp.o"
+  "CMakeFiles/legion_core.dir/implementation_registry.cpp.o.d"
+  "CMakeFiles/legion_core.dir/interface.cpp.o"
+  "CMakeFiles/legion_core.dir/interface.cpp.o.d"
+  "CMakeFiles/legion_core.dir/legion_class.cpp.o"
+  "CMakeFiles/legion_core.dir/legion_class.cpp.o.d"
+  "CMakeFiles/legion_core.dir/magistrate.cpp.o"
+  "CMakeFiles/legion_core.dir/magistrate.cpp.o.d"
+  "CMakeFiles/legion_core.dir/object_address.cpp.o"
+  "CMakeFiles/legion_core.dir/object_address.cpp.o.d"
+  "CMakeFiles/legion_core.dir/scheduling_agent.cpp.o"
+  "CMakeFiles/legion_core.dir/scheduling_agent.cpp.o.d"
+  "CMakeFiles/legion_core.dir/system.cpp.o"
+  "CMakeFiles/legion_core.dir/system.cpp.o.d"
+  "liblegion_core.a"
+  "liblegion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

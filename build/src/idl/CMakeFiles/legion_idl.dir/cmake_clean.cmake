@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_idl.dir/compiler.cpp.o"
+  "CMakeFiles/legion_idl.dir/compiler.cpp.o.d"
+  "CMakeFiles/legion_idl.dir/idl.cpp.o"
+  "CMakeFiles/legion_idl.dir/idl.cpp.o.d"
+  "liblegion_idl.a"
+  "liblegion_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_naming.dir/context.cpp.o"
+  "CMakeFiles/legion_naming.dir/context.cpp.o.d"
+  "liblegion_naming.a"
+  "liblegion_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_net.dir/address.cpp.o"
+  "CMakeFiles/legion_net.dir/address.cpp.o.d"
+  "CMakeFiles/legion_net.dir/fault.cpp.o"
+  "CMakeFiles/legion_net.dir/fault.cpp.o.d"
+  "CMakeFiles/legion_net.dir/topology.cpp.o"
+  "CMakeFiles/legion_net.dir/topology.cpp.o.d"
+  "liblegion_net.a"
+  "liblegion_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_persist.dir/opr.cpp.o"
+  "CMakeFiles/legion_persist.dir/opr.cpp.o.d"
+  "CMakeFiles/legion_persist.dir/vault.cpp.o"
+  "CMakeFiles/legion_persist.dir/vault.cpp.o.d"
+  "liblegion_persist.a"
+  "liblegion_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/messenger.cpp" "src/rt/CMakeFiles/legion_rt.dir/messenger.cpp.o" "gcc" "src/rt/CMakeFiles/legion_rt.dir/messenger.cpp.o.d"
+  "/root/repo/src/rt/sim_runtime.cpp" "src/rt/CMakeFiles/legion_rt.dir/sim_runtime.cpp.o" "gcc" "src/rt/CMakeFiles/legion_rt.dir/sim_runtime.cpp.o.d"
+  "/root/repo/src/rt/tcp_runtime.cpp" "src/rt/CMakeFiles/legion_rt.dir/tcp_runtime.cpp.o" "gcc" "src/rt/CMakeFiles/legion_rt.dir/tcp_runtime.cpp.o.d"
+  "/root/repo/src/rt/thread_runtime.cpp" "src/rt/CMakeFiles/legion_rt.dir/thread_runtime.cpp.o" "gcc" "src/rt/CMakeFiles/legion_rt.dir/thread_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/legion_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/legion_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_rt.dir/messenger.cpp.o"
+  "CMakeFiles/legion_rt.dir/messenger.cpp.o.d"
+  "CMakeFiles/legion_rt.dir/sim_runtime.cpp.o"
+  "CMakeFiles/legion_rt.dir/sim_runtime.cpp.o.d"
+  "CMakeFiles/legion_rt.dir/tcp_runtime.cpp.o"
+  "CMakeFiles/legion_rt.dir/tcp_runtime.cpp.o.d"
+  "CMakeFiles/legion_rt.dir/thread_runtime.cpp.o"
+  "CMakeFiles/legion_rt.dir/thread_runtime.cpp.o.d"
+  "liblegion_rt.a"
+  "liblegion_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_sched.dir/placement.cpp.o"
+  "CMakeFiles/legion_sched.dir/placement.cpp.o.d"
+  "liblegion_sched.a"
+  "liblegion_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_security.dir/policy.cpp.o"
+  "CMakeFiles/legion_security.dir/policy.cpp.o.d"
+  "liblegion_security.a"
+  "liblegion_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

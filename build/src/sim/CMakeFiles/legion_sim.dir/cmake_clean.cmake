@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_sim.dir/workload.cpp.o"
+  "CMakeFiles/legion_sim.dir/workload.cpp.o.d"
+  "liblegion_sim.a"
+  "liblegion_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

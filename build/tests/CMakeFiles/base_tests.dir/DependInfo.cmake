@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base/buffer_test.cpp" "tests/CMakeFiles/base_tests.dir/base/buffer_test.cpp.o" "gcc" "tests/CMakeFiles/base_tests.dir/base/buffer_test.cpp.o.d"
+  "/root/repo/tests/base/loid_test.cpp" "tests/CMakeFiles/base_tests.dir/base/loid_test.cpp.o" "gcc" "tests/CMakeFiles/base_tests.dir/base/loid_test.cpp.o.d"
+  "/root/repo/tests/base/rng_test.cpp" "tests/CMakeFiles/base_tests.dir/base/rng_test.cpp.o" "gcc" "tests/CMakeFiles/base_tests.dir/base/rng_test.cpp.o.d"
+  "/root/repo/tests/base/serialize_test.cpp" "tests/CMakeFiles/base_tests.dir/base/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/base_tests.dir/base/serialize_test.cpp.o.d"
+  "/root/repo/tests/base/status_test.cpp" "tests/CMakeFiles/base_tests.dir/base/status_test.cpp.o" "gcc" "tests/CMakeFiles/base_tests.dir/base/status_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/legion_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_tests.dir/base/buffer_test.cpp.o"
+  "CMakeFiles/base_tests.dir/base/buffer_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/base/loid_test.cpp.o"
+  "CMakeFiles/base_tests.dir/base/loid_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/base/rng_test.cpp.o"
+  "CMakeFiles/base_tests.dir/base/rng_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/base/serialize_test.cpp.o"
+  "CMakeFiles/base_tests.dir/base/serialize_test.cpp.o.d"
+  "CMakeFiles/base_tests.dir/base/status_test.cpp.o"
+  "CMakeFiles/base_tests.dir/base/status_test.cpp.o.d"
+  "base_tests"
+  "base_tests.pdb"
+  "base_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/active_object_test.cpp" "tests/CMakeFiles/core_tests.dir/core/active_object_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/active_object_test.cpp.o.d"
+  "/root/repo/tests/core/binding_cache_test.cpp" "tests/CMakeFiles/core_tests.dir/core/binding_cache_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/binding_cache_test.cpp.o.d"
+  "/root/repo/tests/core/binding_path_test.cpp" "tests/CMakeFiles/core_tests.dir/core/binding_path_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/binding_path_test.cpp.o.d"
+  "/root/repo/tests/core/binding_ttl_test.cpp" "tests/CMakeFiles/core_tests.dir/core/binding_ttl_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/binding_ttl_test.cpp.o.d"
+  "/root/repo/tests/core/class_definition_test.cpp" "tests/CMakeFiles/core_tests.dir/core/class_definition_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/class_definition_test.cpp.o.d"
+  "/root/repo/tests/core/class_lifecycle_test.cpp" "tests/CMakeFiles/core_tests.dir/core/class_lifecycle_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/class_lifecycle_test.cpp.o.d"
+  "/root/repo/tests/core/clone_test.cpp" "tests/CMakeFiles/core_tests.dir/core/clone_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/clone_test.cpp.o.d"
+  "/root/repo/tests/core/exceptions_and_scale_test.cpp" "tests/CMakeFiles/core_tests.dir/core/exceptions_and_scale_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/exceptions_and_scale_test.cpp.o.d"
+  "/root/repo/tests/core/fault_injection_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/core/heal_test.cpp" "tests/CMakeFiles/core_tests.dir/core/heal_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/heal_test.cpp.o.d"
+  "/root/repo/tests/core/hierarchy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/hierarchy_test.cpp.o.d"
+  "/root/repo/tests/core/host_limits_test.cpp" "tests/CMakeFiles/core_tests.dir/core/host_limits_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/host_limits_test.cpp.o.d"
+  "/root/repo/tests/core/implementation_registry_test.cpp" "tests/CMakeFiles/core_tests.dir/core/implementation_registry_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/implementation_registry_test.cpp.o.d"
+  "/root/repo/tests/core/inheritance_test.cpp" "tests/CMakeFiles/core_tests.dir/core/inheritance_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/inheritance_test.cpp.o.d"
+  "/root/repo/tests/core/interface_test.cpp" "tests/CMakeFiles/core_tests.dir/core/interface_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/interface_test.cpp.o.d"
+  "/root/repo/tests/core/jurisdiction_split_test.cpp" "tests/CMakeFiles/core_tests.dir/core/jurisdiction_split_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/jurisdiction_split_test.cpp.o.d"
+  "/root/repo/tests/core/legion_class_test.cpp" "tests/CMakeFiles/core_tests.dir/core/legion_class_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/legion_class_test.cpp.o.d"
+  "/root/repo/tests/core/lifecycle_test.cpp" "tests/CMakeFiles/core_tests.dir/core/lifecycle_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lifecycle_test.cpp.o.d"
+  "/root/repo/tests/core/migration_test.cpp" "tests/CMakeFiles/core_tests.dir/core/migration_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/migration_test.cpp.o.d"
+  "/root/repo/tests/core/object_address_test.cpp" "tests/CMakeFiles/core_tests.dir/core/object_address_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/object_address_test.cpp.o.d"
+  "/root/repo/tests/core/parser_fuzz_test.cpp" "tests/CMakeFiles/core_tests.dir/core/parser_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/parser_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core/replication_test.cpp" "tests/CMakeFiles/core_tests.dir/core/replication_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/replication_test.cpp.o.d"
+  "/root/repo/tests/core/resolver_test.cpp" "tests/CMakeFiles/core_tests.dir/core/resolver_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/resolver_test.cpp.o.d"
+  "/root/repo/tests/core/scheduling_agent_test.cpp" "tests/CMakeFiles/core_tests.dir/core/scheduling_agent_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/scheduling_agent_test.cpp.o.d"
+  "/root/repo/tests/core/security_integration_test.cpp" "tests/CMakeFiles/core_tests.dir/core/security_integration_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/security_integration_test.cpp.o.d"
+  "/root/repo/tests/core/system_bootstrap_test.cpp" "tests/CMakeFiles/core_tests.dir/core/system_bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/system_bootstrap_test.cpp.o.d"
+  "/root/repo/tests/core/thread_system_test.cpp" "tests/CMakeFiles/core_tests.dir/core/thread_system_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/thread_system_test.cpp.o.d"
+  "/root/repo/tests/core/wire_test.cpp" "tests/CMakeFiles/core_tests.dir/core/wire_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/legion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/legion_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/legion_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/legion_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/legion_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/legion_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/legion_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/legion_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/legion_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idl_tests.dir/idl/compiler_test.cpp.o"
+  "CMakeFiles/idl_tests.dir/idl/compiler_test.cpp.o.d"
+  "CMakeFiles/idl_tests.dir/idl/idl_test.cpp.o"
+  "CMakeFiles/idl_tests.dir/idl/idl_test.cpp.o.d"
+  "idl_tests"
+  "idl_tests.pdb"
+  "idl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naming_tests.dir/naming/context_test.cpp.o"
+  "CMakeFiles/naming_tests.dir/naming/context_test.cpp.o.d"
+  "CMakeFiles/naming_tests.dir/naming/namespace_robustness_test.cpp.o"
+  "CMakeFiles/naming_tests.dir/naming/namespace_robustness_test.cpp.o.d"
+  "naming_tests"
+  "naming_tests.pdb"
+  "naming_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naming_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/persist/backing_test.cpp" "tests/CMakeFiles/persist_tests.dir/persist/backing_test.cpp.o" "gcc" "tests/CMakeFiles/persist_tests.dir/persist/backing_test.cpp.o.d"
+  "/root/repo/tests/persist/opr_test.cpp" "tests/CMakeFiles/persist_tests.dir/persist/opr_test.cpp.o" "gcc" "tests/CMakeFiles/persist_tests.dir/persist/opr_test.cpp.o.d"
+  "/root/repo/tests/persist/vault_test.cpp" "tests/CMakeFiles/persist_tests.dir/persist/vault_test.cpp.o" "gcc" "tests/CMakeFiles/persist_tests.dir/persist/vault_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/persist/CMakeFiles/legion_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/legion_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persist_tests.dir/persist/backing_test.cpp.o"
+  "CMakeFiles/persist_tests.dir/persist/backing_test.cpp.o.d"
+  "CMakeFiles/persist_tests.dir/persist/opr_test.cpp.o"
+  "CMakeFiles/persist_tests.dir/persist/opr_test.cpp.o.d"
+  "CMakeFiles/persist_tests.dir/persist/vault_test.cpp.o"
+  "CMakeFiles/persist_tests.dir/persist/vault_test.cpp.o.d"
+  "persist_tests"
+  "persist_tests.pdb"
+  "persist_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persist_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/advance_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/advance_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/advance_test.cpp.o.d"
+  "/root/repo/tests/rt/future_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/future_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/future_test.cpp.o.d"
+  "/root/repo/tests/rt/messenger_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/messenger_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/messenger_test.cpp.o.d"
+  "/root/repo/tests/rt/robustness_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/robustness_test.cpp.o.d"
+  "/root/repo/tests/rt/sim_runtime_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/sim_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/sim_runtime_test.cpp.o.d"
+  "/root/repo/tests/rt/thread_runtime_test.cpp" "tests/CMakeFiles/rt_tests.dir/rt/thread_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/rt_tests.dir/rt/thread_runtime_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/legion_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/legion_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/legion_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_tests.dir/rt/advance_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/advance_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/rt/future_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/future_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/rt/messenger_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/messenger_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/rt/robustness_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/robustness_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/rt/sim_runtime_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/sim_runtime_test.cpp.o.d"
+  "CMakeFiles/rt_tests.dir/rt/thread_runtime_test.cpp.o"
+  "CMakeFiles/rt_tests.dir/rt/thread_runtime_test.cpp.o.d"
+  "rt_tests"
+  "rt_tests.pdb"
+  "rt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

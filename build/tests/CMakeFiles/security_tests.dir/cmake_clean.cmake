@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_tests.dir/security/policy_test.cpp.o"
+  "CMakeFiles/security_tests.dir/security/policy_test.cpp.o.d"
+  "security_tests"
+  "security_tests.pdb"
+  "security_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

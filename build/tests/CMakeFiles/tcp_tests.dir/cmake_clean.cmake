@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_tests.dir/rt/tcp_runtime_test.cpp.o"
+  "CMakeFiles/tcp_tests.dir/rt/tcp_runtime_test.cpp.o.d"
+  "tcp_tests"
+  "tcp_tests.pdb"
+  "tcp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
