@@ -1,0 +1,82 @@
+// Observability must be cheap enough to leave on. This bench runs the same
+// warm-cache binding-path workload (the E6 fast path: client cache hit, one
+// request/reply pair) with the trace ring enabled and disabled, and reports
+// the wall-clock delta. Metrics counters stay on in both runs — they are
+// always on in production — so the delta isolates the per-hop trace records.
+//
+// Verdict line asserts the budget from ISSUE.md: tracing must cost < 5%.
+#include <chrono>
+
+#include "support.hpp"
+
+namespace legion::bench {
+namespace {
+
+constexpr int kWarmup = 256;
+constexpr int kCalls = 20'000;
+constexpr int kReps = 3;
+
+// Wall-clock for kCalls warm invocations in a fresh deployment. A fresh
+// deployment per rep keeps allocator and cache state comparable between the
+// two modes; warmup fills the binding caches so every timed call is the
+// two-message fast path.
+double RunOnce(bool tracing, std::uint64_t seed, std::uint64_t* hops_out) {
+  Deployment d = MakeDeployment(2, 2, core::SystemConfig{}, seed);
+  d.runtime->traces().set_enabled(tracing);
+
+  auto setup = d.system->make_client(d.host(0, 0), "setup");
+  const Loid cls = DeriveWorkerClass(
+      *setup, "Worker", {d.system->magistrate_of(d.jurisdictions[0])});
+  const Loid target = CreateWorker(*setup, cls);
+  core::Client client(*d.runtime, d.host(1, 0), "m",
+                      d.system->handles_for(d.host(1, 0)), 64, Rng(seed));
+  for (int i = 0; i < kWarmup; ++i) MustCall(client, target, "Noop");
+
+  const std::uint64_t hops_before = d.runtime->traces().recorded();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kCalls; ++i) MustCall(client, target, "Noop");
+  const auto t1 = std::chrono::steady_clock::now();
+  if (hops_out != nullptr) {
+    *hops_out = d.runtime->traces().recorded() - hops_before;
+  }
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+void Run() {
+  // Interleave the reps (off, on, off, on, ...) so frequency scaling and
+  // machine noise hit both modes evenly, then score each mode by its best
+  // rep — the run least disturbed by the outside world.
+  double best_off = 0.0;
+  double best_on = 0.0;
+  std::uint64_t hops_per_rep = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double off = RunOnce(false, 100 + rep, nullptr);
+    const double on = RunOnce(true, 100 + rep, &hops_per_rep);
+    if (rep == 0 || off < best_off) best_off = off;
+    if (rep == 0 || on < best_on) best_on = on;
+  }
+
+  const double per_call_off = best_off / kCalls;
+  const double per_call_on = best_on / kCalls;
+  const double overhead_pct = (best_on - best_off) / best_off * 100.0;
+
+  sim::Table table("trace-ring overhead on the warm binding path",
+                   {"tracing", "wall_us_total", "ns_per_call", "hops_recorded"});
+  table.row({"off", sim::Table::num(static_cast<std::uint64_t>(best_off)),
+             sim::Table::num(static_cast<std::uint64_t>(per_call_off * 1000.0)),
+             "0"});
+  table.row({"on", sim::Table::num(static_cast<std::uint64_t>(best_on)),
+             sim::Table::num(static_cast<std::uint64_t>(per_call_on * 1000.0)),
+             sim::Table::num(hops_per_rep)});
+  table.print();
+
+  std::printf("\noverhead: %+.2f%% (%d warm calls, best of %d reps each)\n",
+              overhead_pct, kCalls, kReps);
+  std::printf("verdict: %s (budget: < 5%%)\n",
+              overhead_pct < 5.0 ? "PASS" : "FAIL");
+}
+
+}  // namespace
+}  // namespace legion::bench
+
+int main() { legion::bench::Run(); }

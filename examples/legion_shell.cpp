@@ -89,7 +89,8 @@ class Shell {
         "  deactivate <name>             put the object into a vault\n"
         "  move <name> <jurisdiction#>   migrate between jurisdictions\n"
         "  delete <name>                 remove the object\n"
-        "  stats                         client comm-layer statistics\n"
+        "  stats                         comm stats, metrics registry, and "
+        "recent trace hops\n"
         "  quit\n");
     return true;
   }
@@ -254,13 +255,54 @@ class Shell {
   }
 
   bool Stats() {
-    const auto& rs = client_->resolver().stats();
-    const auto& cs = client_->resolver().cache().stats();
+    const auto rs = client_->resolver().stats();
+    const auto cs = client_->resolver().cache().stats();
     std::printf("binding-agent consults %llu · stale retries %llu · "
                 "refreshes %llu · cache hit-rate %.2f\n",
                 static_cast<unsigned long long>(rs.binding_agent_consults),
                 static_cast<unsigned long long>(rs.stale_retries),
                 static_cast<unsigned long long>(rs.refreshes), cs.hit_rate());
+
+    std::printf("-- metrics --\n");
+    for (const auto& row : runtime_.metrics().rows()) {
+      switch (row.kind) {
+        case obs::MetricKind::kCounter:
+          if (row.count == 0) break;
+          std::printf("  %-28s %llu\n", row.name.c_str(),
+                      static_cast<unsigned long long>(row.count));
+          break;
+        case obs::MetricKind::kGauge:
+          std::printf("  %-28s %lld\n", row.name.c_str(),
+                      static_cast<long long>(row.gauge));
+          break;
+        case obs::MetricKind::kHistogram:
+          if (row.count == 0) break;
+          std::printf("  %-28s n=%llu mean=%.1fus p50<=%llu p99<=%llu "
+                      "max=%llu\n",
+                      row.name.c_str(),
+                      static_cast<unsigned long long>(row.count), row.mean,
+                      static_cast<unsigned long long>(row.p50),
+                      static_cast<unsigned long long>(row.p99),
+                      static_cast<unsigned long long>(row.max));
+          break;
+      }
+    }
+
+    constexpr std::size_t kTraceDump = 12;
+    const auto hops = runtime_.traces().last(kTraceDump);
+    std::printf("-- last %zu trace hops (of %llu recorded) --\n", hops.size(),
+                static_cast<unsigned long long>(runtime_.traces().recorded()));
+    for (const auto& hop : hops) {
+      const std::string_view method = hop.method_view();
+      std::printf("  trace %llu hop %u t=%lld %llu->%llu %s%s%.*s\n",
+                  static_cast<unsigned long long>(hop.trace_id), hop.hop,
+                  static_cast<long long>(hop.at),
+                  static_cast<unsigned long long>(hop.src),
+                  static_cast<unsigned long long>(hop.dst),
+                  std::string(obs::to_string(hop.kind)).c_str(),
+                  method.empty() ? "" : " ",
+                  static_cast<int>(method.size()), method.data());
+    }
     return true;
   }
 

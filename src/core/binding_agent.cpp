@@ -11,7 +11,7 @@ Status BindingAgentImpl::RestoreState(Reader& r) {
   if (r.exhausted()) return OkStatus();  // default-configured agent
   config_ = BindingAgentConfig::Deserialize(r);
   if (!r.ok()) return InvalidArgumentError("bad binding agent state");
-  cache_ = BindingCache(config_.cache_capacity);
+  cache_.reset_capacity(config_.cache_capacity);
   return OkStatus();
 }
 

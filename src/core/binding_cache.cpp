@@ -2,14 +2,30 @@
 
 namespace legion::core {
 
+namespace {
+void Bump(obs::Counter* counter) {
+  if (counter != nullptr) counter->inc();
+}
+}  // namespace
+
+void BindingCache::bind_metrics(obs::Registry& registry) {
+  std::lock_guard lock(mutex_);
+  agg_hits_ = &registry.counter("binding_cache.hits");
+  agg_misses_ = &registry.counter("binding_cache.misses");
+  agg_evictions_ = &registry.counter("binding_cache.evictions");
+  agg_invalidations_ = &registry.counter("binding_cache.invalidations");
+}
+
 void BindingCache::touch(Entry& entry) {
   lru_.splice(lru_.begin(), lru_, entry.lru_pos);
 }
 
 std::optional<Binding> BindingCache::get(const Loid& loid, SimTime now) {
+  std::lock_guard lock(mutex_);
   auto it = entries_.find(loid);
   if (it == entries_.end()) {
     ++stats_.misses;
+    Bump(agg_misses_);
     return std::nullopt;
   }
   if (it->second.binding.expired_at(now)) {
@@ -18,15 +34,18 @@ std::optional<Binding> BindingCache::get(const Loid& loid, SimTime now) {
     lru_.erase(it->second.lru_pos);
     entries_.erase(it);
     ++stats_.misses;
+    Bump(agg_misses_);
     return std::nullopt;
   }
   touch(it->second);
   ++stats_.hits;
+  Bump(agg_hits_);
   return it->second.binding;
 }
 
 void BindingCache::put(Binding binding) {
   if (capacity_ == 0 || !binding.valid()) return;
+  std::lock_guard lock(mutex_);
   auto it = entries_.find(binding.loid);
   if (it != entries_.end()) {
     it->second.binding = std::move(binding);
@@ -38,32 +57,49 @@ void BindingCache::put(Binding binding) {
     entries_.erase(victim);
     lru_.pop_back();
     ++stats_.evictions;
+    Bump(agg_evictions_);
   }
   lru_.push_front(binding.loid);
   entries_.emplace(binding.loid, Entry{std::move(binding), lru_.begin()});
 }
 
 bool BindingCache::invalidate(const Loid& loid) {
+  std::lock_guard lock(mutex_);
   auto it = entries_.find(loid);
   if (it == entries_.end()) return false;
   lru_.erase(it->second.lru_pos);
   entries_.erase(it);
   ++stats_.invalidations;
+  Bump(agg_invalidations_);
   return true;
 }
 
 bool BindingCache::invalidate_exact(const Binding& binding) {
+  std::lock_guard lock(mutex_);
   auto it = entries_.find(binding.loid);
   if (it == entries_.end() || !(it->second.binding == binding)) return false;
   lru_.erase(it->second.lru_pos);
   entries_.erase(it);
   ++stats_.invalidations;
+  Bump(agg_invalidations_);
   return true;
 }
 
 void BindingCache::clear() {
+  std::lock_guard lock(mutex_);
   entries_.clear();
   lru_.clear();
+}
+
+bool BindingCache::consistent() const {
+  std::lock_guard lock(mutex_);
+  if (lru_.size() != entries_.size()) return false;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    auto found = entries_.find(*it);
+    if (found == entries_.end()) return false;
+    if (found->second.lru_pos != it) return false;
+  }
+  return true;
 }
 
 }  // namespace legion::core

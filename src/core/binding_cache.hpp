@@ -4,14 +4,19 @@
 // clients; classes cache in their logical tables. The same LRU structure
 // with TTL awareness backs the first two. Hit/miss/eviction counters feed
 // the Section 5.2.1 experiments directly.
+//
+// Thread-safe: every operation takes the internal mutex, so one cache may
+// be shared by concurrent call() paths (ThreadRuntime / TcpRuntime).
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "core/binding.hpp"
+#include "obs/metrics.hpp"
 
 namespace legion::core {
 
@@ -32,6 +37,20 @@ class BindingCache {
   // capacity == 0 disables caching entirely (every lookup misses).
   explicit BindingCache(std::size_t capacity) : capacity_(capacity) {}
 
+  // Reconfigures capacity and drops all contents (the restore path). The
+  // cache owns a mutex, so it is rebuilt in place rather than reassigned.
+  void reset_capacity(std::size_t capacity) {
+    std::lock_guard lock(mutex_);
+    capacity_ = capacity;
+    entries_.clear();
+    lru_.clear();
+  }
+
+  // Optionally mirrors this cache's counters into runtime-wide aggregates
+  // (binding_cache.hits / .misses / .evictions / .invalidations). The
+  // registry must outlive the cache.
+  void bind_metrics(obs::Registry& registry);
+
   // Returns a fresh (unexpired) cached binding, updating LRU order.
   std::optional<Binding> get(const Loid& loid, SimTime now);
 
@@ -45,10 +64,27 @@ class BindingCache {
   bool invalidate_exact(const Binding& binding);
 
   void clear();
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] const BindingCacheStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = BindingCacheStats{}; }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const {
+    std::lock_guard lock(mutex_);
+    return capacity_;
+  }
+  [[nodiscard]] BindingCacheStats stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
+  void reset_stats() {
+    std::lock_guard lock(mutex_);
+    stats_ = BindingCacheStats{};
+  }
+
+  // True iff the LRU list and the entry map agree exactly: same size, every
+  // listed LOID present, every entry's lru_pos pointing back at its own
+  // list node. The eviction/expiry tests assert this after every step.
+  [[nodiscard]] bool consistent() const;
 
  private:
   struct Entry {
@@ -59,9 +95,15 @@ class BindingCache {
   void touch(Entry& entry);
 
   std::size_t capacity_;
-  std::unordered_map<Loid, Entry> entries_;
-  std::list<Loid> lru_;  // front = most recent
-  BindingCacheStats stats_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Loid, Entry> entries_;  // guarded by mutex_
+  std::list<Loid> lru_;                      // front = most recent
+  BindingCacheStats stats_;                  // guarded by mutex_
+  // Runtime-wide aggregate mirrors; null until bind_metrics().
+  obs::Counter* agg_hits_ = nullptr;
+  obs::Counter* agg_misses_ = nullptr;
+  obs::Counter* agg_evictions_ = nullptr;
+  obs::Counter* agg_invalidations_ = nullptr;
 };
 
 }  // namespace legion::core

@@ -16,20 +16,29 @@ Result<EndpointId> EndpointOf(const ObjectAddressElement& element) {
   }
   return element.sim_endpoint();
 }
+
+SimTime Elapsed(const rt::Runtime& runtime, SimTime start) {
+  const SimTime now = runtime.now();
+  return now > start ? now - start : 0;
+}
 }  // namespace
 
 Result<Binding> Resolver::consult_binding_agent(const Loid& target,
                                                 SimTime timeout_us) {
-  ++stats_.binding_agent_consults;
+  consults_.fetch_add(1, std::memory_order_relaxed);
+  obs_.consults.inc();
+  const SimTime start = messenger_.runtime().now();
   wire::GetBindingRequest req;
   req.mode = wire::GetBindingMode::kByLoid;
   req.loid = target;
-  LEGION_ASSIGN_OR_RETURN(
-      Buffer raw,
+  Result<Buffer> raw =
       call_binding(handles_.default_binding_agent, methods::kGetBinding,
-                   req.to_buffer(), rt::EnvTriple::System(), timeout_us));
+                   req.to_buffer(), rt::EnvTriple::System(), timeout_us);
+  obs_.consult_us.record(
+      static_cast<std::uint64_t>(Elapsed(messenger_.runtime(), start)));
+  if (!raw.ok()) return raw.status();
   LEGION_ASSIGN_OR_RETURN(wire::BindingReply reply,
-                          wire::BindingReply::from_buffer(raw));
+                          wire::BindingReply::from_buffer(*raw));
   return reply.binding;
 }
 
@@ -43,6 +52,7 @@ Result<Binding> Resolver::resolve(const Loid& target, SimTime timeout_us) {
   if (target == handles_.legion_class.loid) return handles_.legion_class;
 
   if (auto cached = cache_.get(target, messenger_.runtime().now())) {
+    obs_.cache_hits.inc();
     return *cached;
   }
   LEGION_ASSIGN_OR_RETURN(Binding binding,
@@ -52,18 +62,22 @@ Result<Binding> Resolver::resolve(const Loid& target, SimTime timeout_us) {
 }
 
 Result<Binding> Resolver::refresh(const Binding& stale, SimTime timeout_us) {
-  ++stats_.refreshes;
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+  obs_.refreshes.inc();
+  const SimTime start = messenger_.runtime().now();
   cache_.invalidate_exact(stale);
   wire::GetBindingRequest req;
   req.mode = wire::GetBindingMode::kRefresh;
   req.loid = stale.loid;
   req.stale = stale;
-  LEGION_ASSIGN_OR_RETURN(
-      Buffer raw,
+  Result<Buffer> raw =
       call_binding(handles_.default_binding_agent, methods::kGetBinding,
-                   req.to_buffer(), rt::EnvTriple::System(), timeout_us));
+                   req.to_buffer(), rt::EnvTriple::System(), timeout_us);
+  obs_.refresh_us.record(
+      static_cast<std::uint64_t>(Elapsed(messenger_.runtime(), start)));
+  if (!raw.ok()) return raw.status();
   LEGION_ASSIGN_OR_RETURN(wire::BindingReply reply,
-                          wire::BindingReply::from_buffer(raw));
+                          wire::BindingReply::from_buffer(*raw));
   cache_.put(reply.binding);
   return reply.binding;
 }
@@ -74,7 +88,11 @@ Result<Buffer> Resolver::call_binding(const Binding& binding,
                                       const rt::EnvTriple& env,
                                       SimTime timeout_us) {
   if (!binding.valid()) return InvalidArgumentError("invalid binding");
-  const std::vector<std::size_t> targets = binding.address.select_targets(rng_);
+  std::vector<std::size_t> targets;
+  {
+    std::lock_guard lock(rng_mutex_);
+    targets = binding.address.select_targets(rng_);
+  }
 
   // Fan out per the address semantic (Section 4.3), then take the first
   // successful reply; replicas are assumed interchangeable at this level.
@@ -91,53 +109,58 @@ Result<Buffer> Resolver::call_binding(const Binding& binding,
   }
   if (futures.empty()) return last;
 
-  Result<Buffer> best = last;
-  bool any_ok = false;
-  for (auto& future : futures) {
-    Result<Buffer> reply = messenger_.await(std::move(future), timeout_us);
-    if (reply.ok() && !any_ok) {
-      best = std::move(reply);
-      any_ok = true;
-    } else if (!reply.ok() && !any_ok) {
-      best = reply.status();
-    }
-  }
-  return best;
+  // One deadline is shared across the whole fan-out: a 3-replica address
+  // must cost at most one caller timeout, not one per replica. The first
+  // successful reply returns immediately, whichever replica it comes from;
+  // losers are left to resolve (or never do) on their own and the
+  // messenger drops their late replies.
+  return messenger_.await_any(futures, timeout_us);
 }
 
 Result<Buffer> Resolver::call(const Loid& target, std::string_view method,
                               Buffer args, const rt::EnvTriple& env,
                               SimTime timeout_us) {
+  const SimTime start = messenger_.runtime().now();
   Status last = InternalError("unreached");
+  // The stale binding is local to this invocation: concurrent (or nested,
+  // via dispatch beneath an await) calls through one Resolver each thread
+  // their own retry state through the loop.
+  std::optional<Binding> stale;
+  Result<Buffer> out = last;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-    Result<Binding> binding =
-        attempt == 0 ? resolve(target, timeout_us)
-                     : Result<Binding>(NotFoundError("refresh path"));
-    if (attempt > 0) {
-      // We arrive here only after a failed send: last_binding_ holds the
-      // stale one and refresh() consults the Binding Agent's refresh path.
-      binding = refresh(last_stale_, timeout_us);
+    Result<Binding> binding = stale.has_value()
+                                  ? refresh(*stale, timeout_us)
+                                  : resolve(target, timeout_us);
+    if (!binding.ok()) {
+      out = binding.status();
+      break;
     }
-    if (!binding.ok()) return binding.status();
 
     Result<Buffer> reply =
         call_binding(*binding, method, args, env, timeout_us);
-    if (reply.ok()) return reply;
+    if (reply.ok()) {
+      out = std::move(reply);
+      break;
+    }
 
     last = reply.status();
+    out = last;
     const StatusCode code = last.code();
     // Section 4.1.4: a send that bounces (or silently times out) marks the
     // binding stale; refresh and retry. Application-level errors (NotFound,
     // PermissionDenied, ...) are returned as-is.
     if (code != StatusCode::kStaleBinding && code != StatusCode::kTimeout &&
         code != StatusCode::kUnavailable) {
-      return last;
+      break;
     }
-    ++stats_.stale_retries;
-    last_stale_ = *binding;
+    stale_retries_.fetch_add(1, std::memory_order_relaxed);
+    obs_.stale_retries.inc();
+    stale = *binding;
     cache_.invalidate_exact(*binding);
   }
-  return last;
+  obs_.call_us.record(
+      static_cast<std::uint64_t>(Elapsed(messenger_.runtime(), start)));
+  return out;
 }
 
 }  // namespace legion::core

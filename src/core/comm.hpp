@@ -9,7 +9,9 @@
 // overload, and retry: the stale-binding mechanism of Section 4.1.4.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 
 #include "base/loid.hpp"
@@ -39,6 +41,10 @@ struct SystemHandles {
   }
 };
 
+// Point-in-time view of one Resolver's counters. Per-instance (the
+// binding-path tests assert exact per-client counts); runtime-wide
+// aggregates and latency spans live in the runtime's metrics registry
+// (resolver.consults, resolver.consult_us, ...).
 struct ResolverStats {
   std::uint64_t binding_agent_consults = 0;
   std::uint64_t stale_retries = 0;
@@ -52,7 +58,10 @@ class Resolver {
       : messenger_(messenger),
         handles_(std::move(handles)),
         cache_(cache_capacity),
-        rng_(rng) {}
+        rng_(rng),
+        obs_(messenger.runtime().metrics()) {
+    cache_.bind_metrics(messenger.runtime().metrics());
+  }
 
   // LOID -> binding: local cache, then the Binding Agent (Section 4.1.2).
   Result<Binding> resolve(const Loid& target, SimTime timeout_us);
@@ -80,9 +89,18 @@ class Resolver {
   void invalidate(const Loid& loid) { cache_.invalidate(loid); }
 
   [[nodiscard]] BindingCache& cache() { return cache_; }
-  [[nodiscard]] const ResolverStats& stats() const { return stats_; }
+  [[nodiscard]] ResolverStats stats() const {
+    ResolverStats out;
+    out.binding_agent_consults =
+        consults_.load(std::memory_order_relaxed);
+    out.stale_retries = stale_retries_.load(std::memory_order_relaxed);
+    out.refreshes = refreshes_.load(std::memory_order_relaxed);
+    return out;
+  }
   void reset_stats() {
-    stats_ = ResolverStats{};
+    consults_.store(0, std::memory_order_relaxed);
+    stale_retries_.store(0, std::memory_order_relaxed);
+    refreshes_.store(0, std::memory_order_relaxed);
     cache_.reset_stats();
   }
 
@@ -96,15 +114,39 @@ class Resolver {
   static constexpr int kMaxAttempts = 3;
 
  private:
+  // Runtime-wide aggregates + latency spans, shared by every resolver of
+  // one runtime; looked up once at construction.
+  struct Instruments {
+    explicit Instruments(obs::Registry& r)
+        : consults(r.counter("resolver.consults")),
+          cache_hits(r.counter("resolver.cache_hits")),
+          stale_retries(r.counter("resolver.stale_retries")),
+          refreshes(r.counter("resolver.refreshes")),
+          consult_us(r.histogram("resolver.consult_us")),
+          refresh_us(r.histogram("resolver.refresh_us")),
+          call_us(r.histogram("resolver.call_us")) {}
+    obs::Counter& consults;
+    obs::Counter& cache_hits;
+    obs::Counter& stale_retries;
+    obs::Counter& refreshes;
+    obs::Histogram& consult_us;
+    obs::Histogram& refresh_us;
+    obs::Histogram& call_us;
+  };
+
   Result<Binding> consult_binding_agent(const Loid& target,
                                         SimTime timeout_us);
 
   rt::Messenger& messenger_;
   SystemHandles handles_;
   BindingCache cache_;
-  Rng rng_;
-  ResolverStats stats_;
-  Binding last_stale_;  // the binding whose send failed, awaiting refresh
+  mutable std::mutex rng_mutex_;  // select_targets draws from shared state
+  Rng rng_;                       // guarded by rng_mutex_ on the call path
+  // Atomic so concurrent call()s on one resolver keep exact counts.
+  std::atomic<std::uint64_t> consults_{0};
+  std::atomic<std::uint64_t> stale_retries_{0};
+  std::atomic<std::uint64_t> refreshes_{0};
+  Instruments obs_;
 };
 
 // A client-side handle to one Legion object: the LOID plus the comm layer

@@ -6,6 +6,8 @@
 #include "core/class_object.hpp"
 #include "core/legion_class.hpp"
 #include "core/well_known.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/opr.hpp"
 
 namespace legion::core {
@@ -53,6 +55,7 @@ Result<Binding> HostObjectImpl::StartObject(ObjectContext& ctx,
                                             const Buffer& opr_bytes) {
   if (!accepting()) {
     ++stats_.refused;
+    services_.runtime->metrics().counter("host.starts_refused").inc();
     return ResourceExhaustedError("host at its configured limits");
   }
   LEGION_ASSIGN_OR_RETURN(persist::Opr opr, persist::Opr::from_bytes(opr_bytes));
@@ -72,10 +75,27 @@ Result<Binding> HostObjectImpl::StartObject(ObjectContext& ctx,
   LEGION_RETURN_IF_ERROR(shell->restore(opr.state));
 
   Binding binding = shell->binding();
+  const EndpointId object_endpoint = shell->messenger().endpoint();
   memory_used_ += opr.state.size();
   objects_.emplace(opr.loid, std::move(shell));
   ++stats_.started;
-  (void)ctx;
+
+  obs::Registry& metrics = services_.runtime->metrics();
+  metrics.counter("host.objects_started").inc();
+  metrics.gauge("host.active_objects").add(1);
+  // Activation is a hop of the causal chain that requested it: a trace that
+  // ends in a StartObject shows *where* the object came to life.
+  if (ctx.call.env.trace_id != 0) {
+    obs::TraceHop hop;
+    hop.trace_id = ctx.call.env.trace_id;
+    hop.hop = ctx.call.env.hop + 1;
+    hop.at = services_.runtime->now();
+    hop.src = ctx.shell.messenger().endpoint().value;
+    hop.dst = object_endpoint.value;
+    hop.kind = obs::HopKind::kActivate;
+    hop.set_method(methods::kStartObject);
+    services_.runtime->traces().record(hop);
+  }
   return binding;
 }
 
@@ -103,6 +123,8 @@ Result<Buffer> HostObjectImpl::StopObject(ObjectContext& ctx, const Loid& loid,
   // Destroying the shell closes the endpoint: the "process" is reaped.
   objects_.erase(it);
   ++stats_.stopped;
+  services_.runtime->metrics().counter("host.objects_stopped").inc();
+  services_.runtime->metrics().gauge("host.active_objects").sub(1);
   return opr_bytes;
 }
 

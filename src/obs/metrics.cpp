@@ -1,0 +1,91 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace legion::obs {
+
+std::uint64_t Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const auto target = static_cast<std::uint64_t>(p * static_cast<double>(n));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += bucket(b);
+    if (seen > target || (seen == n && seen > 0)) return bucket_ceiling(b);
+  }
+  return bucket_ceiling(kBuckets - 1);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricRow> Registry::rows() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricRow> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricRow row;
+    row.name = name;
+    row.kind = MetricKind::kCounter;
+    row.count = c->value();
+    out.push_back(std::move(row));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricRow row;
+    row.name = name;
+    row.kind = MetricKind::kGauge;
+    row.gauge = g->value();
+    out.push_back(std::move(row));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricRow row;
+    row.name = name;
+    row.kind = MetricKind::kHistogram;
+    row.count = h->count();
+    row.mean = h->mean();
+    row.p50 = h->percentile(0.50);
+    row.p99 = h->percentile(0.99);
+    row.max = h->max();
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricRow& a, const MetricRow& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+}  // namespace legion::obs

@@ -1,0 +1,151 @@
+// Process-wide metrics: counters, gauges, and log-scale histograms.
+//
+// The binding path (paper Section 4.1) is the hot path of the whole system,
+// so every instrument has a lock-free fast path: increments and histogram
+// records touch only relaxed std::atomic words. The registry mutex is taken
+// once, at name lookup, and callers hold the returned reference for the
+// lifetime of the registry (storage is pointer-stable).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace legion::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(std::int64_t d) { value_.fetch_sub(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed log2 buckets: bucket 0 holds the value 0, bucket b (b >= 1) holds
+// values in [2^(b-1), 2^b - 1]. 40 buckets cover every duration the virtual
+// clock can express (up to ~2^39 us, or ~6 days).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev && !max_.compare_exchange_weak(
+                           prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) {
+    if (v == 0) return 0;
+    const auto width = static_cast<std::size_t>(std::bit_width(v));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+  // Inclusive upper edge of a bucket (for reporting percentiles).
+  [[nodiscard]] static std::uint64_t bucket_ceiling(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 63) return ~0ull;
+    return (1ull << b) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  // Upper bound of the bucket where the cumulative count crosses p in
+  // [0, 1]. Log-bucketed, so an estimate good to a factor of two.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+// A point-in-time reading of one metric, for dumps and assertions.
+struct MetricRow {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;  // counter value / histogram sample count
+  std::int64_t gauge = 0;
+  double mean = 0.0;        // histogram only
+  std::uint64_t p50 = 0;    // histogram only (bucket upper bounds)
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+};
+
+// Name -> metric. Registration is mutex-guarded; the returned references
+// stay valid for the registry's lifetime, so hot paths look up once and
+// then increment lock-free.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // All metrics, sorted by name. Counters and histograms with zero count
+  // are included; callers filter.
+  [[nodiscard]] std::vector<MetricRow> rows() const;
+
+  // Zeroes every metric (references stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace legion::obs

@@ -1,0 +1,81 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace legion::obs {
+
+TraceId NextTraceId() {
+  static std::atomic<TraceId> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string_view to_string(HopKind k) {
+  switch (k) {
+    case HopKind::kInvoke: return "invoke";
+    case HopKind::kRequest: return "request";
+    case HopKind::kReply: return "reply";
+    case HopKind::kBounce: return "bounce";
+    case HopKind::kActivate: return "activate";
+  }
+  return "unknown";
+}
+
+void TraceHop::set_method(std::string_view m) {
+  const std::size_t n = std::min(m.size(), method.size() - 1);
+  std::memcpy(method.data(), m.data(), n);
+  method[n] = '\0';
+}
+
+std::string_view TraceHop::method_view() const {
+  return std::string_view(method.data(),
+                          std::strlen(method.data()));
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRing::record(const TraceHop& hop) {
+  if (!enabled()) return;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(hop);
+  } else {
+    ring_[next_] = hop;
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceHop> TraceRing::last(std::size_t n) const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceHop> out;
+  const std::size_t have = ring_.size();
+  const std::size_t take = std::min(n, have);
+  out.reserve(take);
+  // Oldest retained entry: when the ring is full, slot next_; otherwise 0.
+  const std::size_t start =
+      have < capacity_ ? have - take : (next_ + (have - take)) % capacity_;
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(ring_[(start + i) % have]);
+  }
+  return out;
+}
+
+std::vector<TraceHop> TraceRing::for_trace(TraceId id) const {
+  std::vector<TraceHop> out;
+  for (const TraceHop& hop : last(capacity_)) {
+    if (hop.trace_id == id) out.push_back(hop);
+  }
+  return out;
+}
+
+void TraceRing::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+}
+
+}  // namespace legion::obs

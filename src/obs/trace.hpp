@@ -1,0 +1,91 @@
+// Hop-by-hop causal tracing for the invocation path.
+//
+// Every root invocation mints a TraceId; the (trace_id, hop) pair rides in
+// both the transport Envelope and the method-invocation EnvTriple, so a
+// nested call chain — object -> class -> magistrate -> host — shares one
+// trace with monotonically increasing hop numbers. The Messenger records
+// each stamp into the owning runtime's TraceRing: a bounded ring that keeps
+// the last N hops for post-mortem inspection (the shell's `stats` command,
+// test assertions).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace legion::obs {
+
+using TraceId = std::uint64_t;
+
+// Process-wide, never returns 0 (0 means "no trace yet" on the wire).
+TraceId NextTraceId();
+
+enum class HopKind : std::uint8_t {
+  kInvoke = 0,   // request leaves the caller
+  kRequest = 1,  // request arrives at the callee
+  kReply = 2,    // reply arrives back at the caller
+  kBounce = 3,   // transport NACK arrives (stale binding)
+  kActivate = 4, // a Host Object starts an object on behalf of this trace
+};
+
+[[nodiscard]] std::string_view to_string(HopKind k);
+
+struct TraceHop {
+  TraceId trace_id = 0;
+  std::uint32_t hop = 0;
+  SimTime at = 0;          // runtime clock (virtual or wall us)
+  std::uint64_t src = 0;   // endpoint ids
+  std::uint64_t dst = 0;
+  HopKind kind = HopKind::kInvoke;
+  // Fixed-size method label: no allocation on the record path.
+  std::array<char, 24> method{};
+
+  void set_method(std::string_view m);
+  [[nodiscard]] std::string_view method_view() const;
+};
+
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  // Recording can be switched off wholesale (the overhead bench measures
+  // both states); the flag is checked before any lock is taken.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record(const TraceHop& hop);
+
+  // The most recent `n` hops, oldest first.
+  [[nodiscard]] std::vector<TraceHop> last(std::size_t n) const;
+  // Every retained hop of one trace, oldest first.
+  [[nodiscard]] std::vector<TraceHop> for_trace(TraceId id) const;
+
+  // Total hops ever recorded (including those the ring has since dropped).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceHop> ring_;  // guarded by mutex_; size <= capacity_
+  std::size_t next_ = 0;        // slot the next record overwrites
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> recorded_{0};
+};
+
+}  // namespace legion::obs

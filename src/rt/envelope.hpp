@@ -26,6 +26,10 @@ struct Envelope {
   EndpointId dst;
   DeliveryKind kind = DeliveryKind::kData;
   Buffer payload;
+  // Causal trace stamp (obs::TraceRing): 0 = untraced. Preserved across
+  // bounces so a NACK is attributable to the invocation that caused it.
+  std::uint64_t trace_id = 0;
+  std::uint32_t hop = 0;
 };
 
 }  // namespace legion::rt

@@ -56,11 +56,14 @@ class Future {
   // Requires ready(). Moves the value out.
   [[nodiscard]] T take() {
     assert(state_);
-    std::lock_guard lock(state_->mutex);
-    assert(state_->value.has_value());
-    T out = std::move(*state_->value);
-    state_->value.reset();
-    state_.reset();
+    // Keep the state alive past the lock_guard: if this future holds the
+    // last reference, resetting state_ under the lock would destroy the
+    // mutex the guard still has to unlock.
+    const std::shared_ptr<State> state = std::move(state_);
+    std::lock_guard lock(state->mutex);
+    assert(state->value.has_value());
+    T out = std::move(*state->value);
+    state->value.reset();
     return out;
   }
 

@@ -6,7 +6,13 @@ namespace legion::rt {
 
 Messenger::Messenger(Runtime& runtime, HostId host, std::string label,
                      ExecutionMode mode, RequestDispatcher dispatcher)
-    : runtime_(runtime), host_(host), dispatcher_(std::move(dispatcher)) {
+    : runtime_(runtime),
+      host_(host),
+      dispatcher_(std::move(dispatcher)),
+      invokes_(runtime.metrics().counter("msg.invokes")),
+      requests_(runtime.metrics().counter("msg.requests")),
+      timeouts_(runtime.metrics().counter("msg.timeouts")),
+      pending_gauge_(runtime.metrics().gauge("msg.pending")) {
   endpoint_ = runtime_.create_endpoint(
       host, std::move(label), [this](Envelope&& env) { on_message(std::move(env)); },
       mode);
@@ -15,38 +21,68 @@ Messenger::Messenger(Runtime& runtime, HostId host, std::string label,
 Messenger::~Messenger() { close(); }
 
 void Messenger::close() {
-  if (closed_) return;
-  closed_ = true;
+  if (closed_.exchange(true)) return;
   runtime_.close_endpoint(endpoint_);
-  // Fail anything still pending: replies can no longer arrive.
-  std::lock_guard lock(pending_mutex_);
-  for (auto& [_, promise] : pending_) {
+  // Fail anything still pending: replies can no longer arrive. Swap the map
+  // out under the lock so a racing invoke()/handle_reply() either sees the
+  // entry here (failed exactly once below) or not at all.
+  std::unordered_map<std::uint64_t, Promise<ReplyMsg>> orphans;
+  {
+    std::lock_guard lock(pending_mutex_);
+    orphans.swap(pending_);
+  }
+  pending_gauge_.sub(static_cast<std::int64_t>(orphans.size()));
+  for (auto& [_, promise] : orphans) {
     promise.set(ReplyMsg{AbortedError("messenger closed"), Buffer{}});
   }
-  pending_.clear();
+  // A thread blocked in await() on this endpoint saw no delivery; wake it so
+  // it observes the failed future immediately.
+  runtime_.notify(endpoint_);
 }
 
 Future<ReplyMsg> Messenger::invoke(EndpointId dst, std::string_view method,
                                    Buffer args, const EnvTriple& env) {
-  std::uint64_t call_id;
   Promise<ReplyMsg> promise;
   Future<ReplyMsg> future = promise.future();
+
+  // Stamp the causal trace: root invocations mint a fresh id, nested ones
+  // (env propagated from an inbound request) advance the hop count.
+  EnvTriple traced = env;
+  if (traced.trace_id == 0) {
+    traced.trace_id = obs::NextTraceId();
+    traced.hop = 0;
+  } else {
+    traced.hop += 1;
+  }
+
+  std::uint64_t call_id;
   {
     std::lock_guard lock(pending_mutex_);
+    if (closed_.load(std::memory_order_relaxed)) {
+      // Lost the race with close(): resolve locally, exactly once.
+      promise.set(ReplyMsg{AbortedError("messenger closed"), Buffer{}});
+      return future;
+    }
     call_id = next_call_id_++;
     pending_.emplace(call_id, promise);
   }
+  pending_gauge_.add(1);
+  invokes_.inc();
 
   Buffer payload;
   Writer w(payload);
   w.u8(static_cast<std::uint8_t>(FrameKind::kRequest));
   w.u64(call_id);
-  env.Serialize(w);
+  traced.Serialize(w);
   w.str(method);
   w.buffer(args);
 
-  const Status sent = runtime_.post(
-      Envelope{endpoint_, dst, DeliveryKind::kData, std::move(payload)});
+  Envelope envelope{endpoint_, dst, DeliveryKind::kData, std::move(payload)};
+  envelope.trace_id = traced.trace_id;
+  envelope.hop = traced.hop;
+  record_hop(obs::HopKind::kInvoke, envelope, method);
+
+  const Status sent = runtime_.post(std::move(envelope));
   if (!sent.ok()) {
     fail_pending(call_id, sent);
   }
@@ -57,11 +93,66 @@ Result<Buffer> Messenger::await(Future<ReplyMsg> future, SimTime timeout_us) {
   const bool ok = runtime_.wait(
       endpoint_, [&future] { return future.ready(); }, timeout_us);
   if (!ok || !future.ready()) {
+    timeouts_.inc();
     return TimeoutError("no reply before deadline");
   }
   ReplyMsg reply = future.take();
   if (!reply.status.ok()) return reply.status;
   return std::move(reply.result);
+}
+
+Result<Buffer> Messenger::await_any(std::vector<Future<ReplyMsg>>& futures,
+                                    SimTime timeout_us) {
+  const SimTime deadline = timeout_us == kSimTimeNever
+                               ? kSimTimeNever
+                               : runtime_.now() + timeout_us;
+  Status last = UnavailableError("no pending futures");
+  for (;;) {
+    bool any_pending = false;
+    for (auto& future : futures) {
+      if (!future.valid()) continue;
+      if (!future.ready()) {
+        any_pending = true;
+        continue;
+      }
+      ReplyMsg reply = future.take();
+      if (reply.status.ok()) return std::move(reply.result);
+      last = std::move(reply.status);
+    }
+    if (!any_pending) return last;
+
+    SimTime remaining = kSimTimeNever;
+    if (deadline != kSimTimeNever) {
+      const SimTime now = runtime_.now();
+      if (now >= deadline) {
+        timeouts_.inc();
+        return TimeoutError("no reply before deadline");
+      }
+      remaining = deadline - now;
+    }
+    const bool woke = runtime_.wait(
+        endpoint_,
+        [&futures] {
+          for (const auto& f : futures) {
+            if (f.valid() && f.ready()) return true;
+          }
+          return false;
+        },
+        remaining);
+    if (!woke) {
+      // Deadline passed — or, in the sim, the event queue drained with
+      // nothing left that could ever resolve us. Scan once more before
+      // reporting the timeout.
+      bool ready_now = false;
+      for (const auto& f : futures) {
+        if (f.valid() && f.ready()) ready_now = true;
+      }
+      if (!ready_now) {
+        timeouts_.inc();
+        return TimeoutError("no reply before deadline");
+      }
+    }
+  }
 }
 
 Result<Buffer> Messenger::call(EndpointId dst, std::string_view method,
@@ -83,21 +174,44 @@ void Messenger::fail_pending(std::uint64_t call_id, Status status) {
     promise = it->second;
     pending_.erase(it);
   }
+  pending_gauge_.sub(1);
   promise.set(ReplyMsg{std::move(status), Buffer{}});
+  // The promise may satisfy another thread's await() predicate without any
+  // message delivery; make sure that waiter wakes.
+  runtime_.notify(endpoint_);
+}
+
+void Messenger::record_hop(obs::HopKind kind, const Envelope& env,
+                           std::string_view method) {
+  if (env.trace_id == 0) return;
+  obs::TraceRing& ring = runtime_.traces();
+  if (!ring.enabled()) return;
+  obs::TraceHop hop;
+  hop.trace_id = env.trace_id;
+  hop.hop = env.hop;
+  hop.at = runtime_.now();
+  hop.src = env.src.value;
+  hop.dst = env.dst.value;
+  hop.kind = kind;
+  if (!method.empty()) hop.set_method(method);
+  ring.record(hop);
 }
 
 void Messenger::on_message(Envelope&& env) {
   Reader r(env.payload);
   if (env.kind == DeliveryKind::kBounce) {
+    record_hop(obs::HopKind::kBounce, env, {});
     handle_bounce(r);
     return;
   }
   const auto kind = static_cast<FrameKind>(r.u8());
   switch (kind) {
     case FrameKind::kRequest:
+      record_hop(obs::HopKind::kRequest, env, {});
       handle_request(std::move(env), r);
       break;
     case FrameKind::kReply:
+      record_hop(obs::HopKind::kReply, env, {});
       handle_reply(r);
       break;
     default:
@@ -106,6 +220,7 @@ void Messenger::on_message(Envelope&& env) {
 }
 
 void Messenger::handle_request(Envelope&& env, Reader& r) {
+  requests_.inc();
   CallInfo info;
   info.call_id = r.u64();
   info.env = EnvTriple::Deserialize(r);
@@ -131,9 +246,12 @@ void Messenger::handle_request(Envelope&& env, Reader& r) {
   w.u8(static_cast<std::uint8_t>(status.code()));
   w.str(status.message());
   w.buffer(result.ok() ? result.value() : Buffer{});
+  Envelope reply{endpoint_, info.reply_to, DeliveryKind::kData,
+                 std::move(payload)};
+  reply.trace_id = info.env.trace_id;
+  reply.hop = info.env.hop + 1;
   // A failed reply post means the caller is gone; nothing useful to do.
-  (void)runtime_.post(Envelope{endpoint_, info.reply_to, DeliveryKind::kData,
-                               std::move(payload)});
+  (void)runtime_.post(std::move(reply));
 }
 
 void Messenger::handle_reply(Reader& r) {
@@ -151,6 +269,7 @@ void Messenger::handle_reply(Reader& r) {
     promise = it->second;
     pending_.erase(it);
   }
+  pending_gauge_.sub(1);
   promise.set(ReplyMsg{Status{code, std::move(message)}, std::move(result)});
 }
 

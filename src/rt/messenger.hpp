@@ -11,12 +11,14 @@
 // during which the endpoint keeps serving incoming requests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "base/buffer.hpp"
 #include "base/loid.hpp"
@@ -27,22 +29,31 @@
 
 namespace legion::rt {
 
-// The RA/SA/CA environment of a method invocation.
+// The RA/SA/CA environment of a method invocation, plus the causal trace
+// stamp. The trace rides the triple (not just the transport envelope) so
+// nested calls made while serving a request — via ObjectContext's
+// outgoing_env() — continue the inbound trace automatically.
 struct EnvTriple {
   Loid responsible_agent;
   Loid security_agent;
   Loid calling_agent;
+  std::uint64_t trace_id = 0;  // 0 = not yet part of a trace
+  std::uint32_t hop = 0;
 
   void Serialize(Writer& w) const {
     responsible_agent.Serialize(w);
     security_agent.Serialize(w);
     calling_agent.Serialize(w);
+    w.u64(trace_id);
+    w.u32(hop);
   }
   static EnvTriple Deserialize(Reader& r) {
     EnvTriple t;
     t.responsible_agent = Loid::Deserialize(r);
     t.security_agent = Loid::Deserialize(r);
     t.calling_agent = Loid::Deserialize(r);
+    t.trace_id = r.u64();
+    t.hop = r.u32();
     return t;
   }
 
@@ -103,6 +114,14 @@ class Messenger {
   // Waits for `future`, serving incoming messages meanwhile.
   Result<Buffer> await(Future<ReplyMsg> future, SimTime timeout_us);
 
+  // Waits on a whole fan-out under ONE shared deadline, serving incoming
+  // messages meanwhile. Returns the first successful reply as soon as it
+  // arrives (resolved futures are consumed); if every future fails, the
+  // last error; if the deadline passes first, kTimeout. Never costs more
+  // than one timeout regardless of how many futures are pending.
+  Result<Buffer> await_any(std::vector<Future<ReplyMsg>>& futures,
+                           SimTime timeout_us);
+
   // invoke + await.
   Result<Buffer> call(EndpointId dst, std::string_view method, Buffer args,
                       const EnvTriple& env, SimTime timeout_us);
@@ -123,14 +142,23 @@ class Messenger {
   void handle_reply(Reader& r);
   void handle_bounce(Reader& r);
   void fail_pending(std::uint64_t call_id, Status status);
+  void record_hop(obs::HopKind kind, const Envelope& env,
+                  std::string_view method);
 
   Runtime& runtime_;
   HostId host_;
   EndpointId endpoint_;
   RequestDispatcher dispatcher_;
-  bool closed_ = false;
+  std::atomic<bool> closed_{false};
 
-  std::mutex pending_mutex_;
+  // Registry-backed messenger counters (shared across all messengers of one
+  // runtime; per-object detail comes from endpoint labels).
+  obs::Counter& invokes_;
+  obs::Counter& requests_;
+  obs::Counter& timeouts_;
+  obs::Gauge& pending_gauge_;
+
+  std::mutex pending_mutex_;  // guards pending_ and next_call_id_
   std::unordered_map<std::uint64_t, Promise<ReplyMsg>> pending_;
   std::uint64_t next_call_id_ = 1;
 };

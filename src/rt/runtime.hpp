@@ -28,6 +28,8 @@
 #include "base/types.hpp"
 #include "net/fault.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/envelope.hpp"
 
 namespace legion::rt {
@@ -54,6 +56,10 @@ struct EndpointStats {
   std::uint64_t bytes_received = 0;
 };
 
+// Point-in-time view of the transport counters. The authoritative values
+// live in the runtime's metrics registry (rt.delivered, rt.bounced,
+// rt.dropped, rt.delivered.<latency-class>); this struct is assembled from
+// them so existing callers keep one source of truth.
 struct RuntimeStats {
   std::uint64_t delivered = 0;
   std::uint64_t bounced = 0;
@@ -96,6 +102,12 @@ class Runtime {
   // best-effort settle).
   virtual void run_until_idle() = 0;
 
+  // Wakes a wait() blocked on `id`, if any. Called when out-of-band progress
+  // — e.g. a pending promise failed locally, with no message delivered —
+  // may have satisfied the waiter's predicate. No-op for runtimes whose
+  // wait() never blocks the OS thread (sim).
+  virtual void notify(EndpointId id) { (void)id; }
+
   // --- Introspection for tests and the Section-5 experiment harness. ---
   [[nodiscard]] virtual RuntimeStats stats() const = 0;
   [[nodiscard]] virtual EndpointStats endpoint_stats(EndpointId id) const = 0;
@@ -112,11 +124,60 @@ class Runtime {
   [[nodiscard]] const net::Topology& topology() const { return topology_; }
   [[nodiscard]] net::FaultPlan& faults() { return faults_; }
 
+  // The runtime-scoped observability surfaces: every component reachable
+  // from this runtime (messengers, resolvers, caches, host objects) records
+  // into the same registry and trace ring.
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+  [[nodiscard]] obs::TraceRing& traces() { return traces_; }
+  [[nodiscard]] const obs::TraceRing& traces() const { return traces_; }
+
  protected:
   Runtime() = default;
 
+  // Registry-backed transport counters shared by all runtime
+  // implementations; stats() is assembled from these.
+  struct TransportCounters {
+    explicit TransportCounters(obs::Registry& r)
+        : delivered(r.counter("rt.delivered")),
+          bounced(r.counter("rt.bounced")),
+          dropped(r.counter("rt.dropped")) {
+      for (std::size_t c = 0; c < net::kNumLatencyClasses; ++c) {
+        by_class[c] = &r.counter(
+            std::string("rt.delivered.") +
+            std::string(net::to_string(static_cast<net::LatencyClass>(c))));
+      }
+    }
+
+    [[nodiscard]] RuntimeStats view() const {
+      RuntimeStats out;
+      out.delivered = delivered.value();
+      out.bounced = bounced.value();
+      out.dropped = dropped.value();
+      for (std::size_t c = 0; c < net::kNumLatencyClasses; ++c) {
+        out.by_latency_class[c] = by_class[c]->value();
+      }
+      return out;
+    }
+
+    void reset() {
+      delivered.reset();
+      bounced.reset();
+      dropped.reset();
+      for (auto* c : by_class) c->reset();
+    }
+
+    obs::Counter& delivered;
+    obs::Counter& bounced;
+    obs::Counter& dropped;
+    obs::Counter* by_class[net::kNumLatencyClasses] = {};
+  };
+
   net::Topology topology_;
   net::FaultPlan faults_;
+  obs::Registry metrics_;
+  obs::TraceRing traces_;
+  TransportCounters transport_{metrics_};
 };
 
 }  // namespace legion::rt

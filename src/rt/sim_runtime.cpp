@@ -59,7 +59,7 @@ Status SimRuntime::post(Envelope env) {
 
   const net::LatencyClass cls = topology_.classify(src->host, dst->host);
   if (faults_.should_drop(src->host, dst->host, cls, rng_)) {
-    ++stats_.dropped;
+    transport_.dropped.inc();
     return OkStatus();  // silently lost; the caller's timeout covers it
   }
 
@@ -82,21 +82,23 @@ void SimRuntime::deliver(Event&& ev) {
     if (env.kind == DeliveryKind::kBounce) return;  // never bounce a bounce
     Endpoint* src = find(env.src);
     if (src == nullptr || !src->alive) return;
-    ++stats_.bounced;
+    transport_.bounced.inc();
     const HostId dead_host = dst != nullptr ? dst->host : src->host;
     const SimTime at =
         now_ + topology_.sample_latency(dead_host, src->host, rng_);
-    queue_.push(Event{at, next_seq_++,
-                      Envelope{env.dst, env.src, DeliveryKind::kBounce,
-                               std::move(env.payload)}});
+    Envelope bounce{env.dst, env.src, DeliveryKind::kBounce,
+                    std::move(env.payload)};
+    bounce.trace_id = env.trace_id;  // keep the NACK attributable
+    bounce.hop = env.hop;
+    queue_.push(Event{at, next_seq_++, std::move(bounce)});
     return;
   }
 
-  ++stats_.delivered;
+  transport_.delivered.inc();
   Endpoint* src = find(env.src);
   if (src != nullptr) {
     const auto cls = topology_.classify(src->host, dst->host);
-    ++stats_.by_latency_class[static_cast<std::size_t>(cls)];
+    transport_.by_class[static_cast<std::size_t>(cls)]->inc();
   }
   dst->stats.received += 1;
   dst->stats.bytes_received += env.payload.size();
@@ -172,7 +174,7 @@ std::uint64_t SimRuntime::max_received_with_label(
 }
 
 void SimRuntime::reset_stats() {
-  stats_ = RuntimeStats{};
+  transport_.reset();
   for (auto& [_, ep] : endpoints_) ep.stats = EndpointStats{};
 }
 

@@ -37,7 +37,9 @@ class SimRuntime final : public Runtime {
             SimTime timeout_us) override;
   void run_until_idle() override;
 
-  [[nodiscard]] RuntimeStats stats() const override { return stats_; }
+  [[nodiscard]] RuntimeStats stats() const override {
+    return transport_.view();
+  }
   [[nodiscard]] EndpointStats endpoint_stats(EndpointId id) const override;
   [[nodiscard]] std::map<std::string, std::uint64_t> received_by_label()
       const override;
@@ -86,7 +88,6 @@ class SimRuntime final : public Runtime {
   std::uint64_t next_endpoint_ = 1;
   std::uint64_t next_seq_ = 0;
   Rng rng_;
-  RuntimeStats stats_;
 };
 
 }  // namespace legion::rt

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
 #include <cstring>
 
 #include "base/serialize.hpp"
@@ -16,26 +17,44 @@ namespace legion::rt {
 
 namespace {
 
-// Frame: u32 payload length | u64 src | u64 dst | u8 kind | payload bytes.
-constexpr std::size_t kHeaderBytes = 4 + 8 + 8 + 1;
+// Frame: u32 payload length | u64 src | u64 dst | u8 kind | u64 trace_id |
+// u32 hop | payload bytes.
+constexpr std::size_t kHeaderBytes = 4 + 8 + 8 + 1 + 8 + 4;
 constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB sanity cap
 
-bool WriteAll(int fd, const void* data, std::size_t n) {
+// A signal landing mid-transfer interrupts the syscall with EINTR; that is
+// a retry, not a failure — treating it as fatal silently drops frames.
+// `retries` counts the interruptions for observability.
+bool WriteAll(int fd, const void* data, std::size_t n, obs::Counter& retries) {
   const char* p = static_cast<const char*>(data);
   while (n > 0) {
     const ssize_t written = ::write(fd, p, n);
-    if (written <= 0) return false;
+    if (written < 0) {
+      if (errno == EINTR) {
+        retries.inc();
+        continue;
+      }
+      return false;
+    }
+    if (written == 0) return false;
     p += written;
     n -= static_cast<std::size_t>(written);
   }
   return true;
 }
 
-bool ReadAll(int fd, void* data, std::size_t n) {
+bool ReadAll(int fd, void* data, std::size_t n, obs::Counter& retries) {
   char* p = static_cast<char*>(data);
   while (n > 0) {
     const ssize_t got = ::read(fd, p, n);
-    if (got <= 0) return false;
+    if (got < 0) {
+      if (errno == EINTR) {
+        retries.inc();
+        continue;
+      }
+      return false;
+    }
+    if (got == 0) return false;  // peer closed mid-frame
     p += got;
     n -= static_cast<std::size_t>(got);
   }
@@ -79,6 +98,7 @@ TcpRuntime::~TcpRuntime() {
     {
       std::lock_guard lock(ep->mutex);
       ep->stopping = true;
+      ++ep->wakeups;
     }
     ep->cv.notify_all();
   }
@@ -151,6 +171,7 @@ void TcpRuntime::close_endpoint(EndpointId id) {
   {
     std::lock_guard lock(ep->mutex);
     ep->stopping = true;
+    ++ep->wakeups;
   }
   ep->cv.notify_all();
   auto reap = [this](std::thread& t) {
@@ -215,9 +236,12 @@ Status TcpRuntime::post(Envelope env) {
   PutU64(header.data() + 4, env.src.value);
   PutU64(header.data() + 12, env.dst.value);
   header[20] = static_cast<std::uint8_t>(env.kind);
-  const bool ok = WriteAll(fd, header.data(), header.size()) &&
-                  (env.payload.empty() ||
-                   WriteAll(fd, env.payload.data(), env.payload.size()));
+  PutU64(header.data() + 21, env.trace_id);
+  PutU32(header.data() + 29, env.hop);
+  const bool ok =
+      WriteAll(fd, header.data(), header.size(), io_retries_) &&
+      (env.payload.empty() ||
+       WriteAll(fd, env.payload.data(), env.payload.size(), io_retries_));
   ::close(fd);
   if (!ok) return UnavailableError("short write on TCP send");
 
@@ -226,17 +250,33 @@ Status TcpRuntime::post(Envelope env) {
     src->stats.sent += 1;
     src->stats.bytes_sent += env.payload.size();
   }
-  delivered_.fetch_add(1, std::memory_order_relaxed);
+  transport_.delivered.inc();
   return OkStatus();
+}
+
+void TcpRuntime::notify(EndpointId id) {
+  EndpointPtr ep = find(id);
+  if (!ep) return;
+  {
+    std::lock_guard lock(ep->mutex);
+    ++ep->wakeups;
+  }
+  ep->cv.notify_all();
 }
 
 void TcpRuntime::acceptor_loop(const EndpointPtr& ep) {
   for (;;) {
     const int conn = ::accept(ep->listen_fd, nullptr, nullptr);
-    if (conn < 0) return;  // listener closed: endpoint is going away
+    if (conn < 0) {
+      if (errno == EINTR) {
+        io_retries_.inc();
+        continue;  // a signal must not kill the endpoint
+      }
+      return;  // listener closed: endpoint is going away
+    }
 
     std::vector<std::uint8_t> header(kHeaderBytes);
-    if (!ReadAll(conn, header.data(), header.size())) {
+    if (!ReadAll(conn, header.data(), header.size(), io_retries_)) {
       ::close(conn);
       continue;
     }
@@ -249,9 +289,11 @@ void TcpRuntime::acceptor_loop(const EndpointPtr& ep) {
     env.src = EndpointId{GetU64(header.data() + 4)};
     env.dst = EndpointId{GetU64(header.data() + 12)};
     env.kind = static_cast<DeliveryKind>(header[20]);
+    env.trace_id = GetU64(header.data() + 21);
+    env.hop = GetU32(header.data() + 29);
     if (payload_len > 0) {
       std::vector<std::uint8_t> payload(payload_len);
-      if (!ReadAll(conn, payload.data(), payload.size())) {
+      if (!ReadAll(conn, payload.data(), payload.size(), io_retries_)) {
         ::close(conn);
         continue;
       }
@@ -265,6 +307,7 @@ void TcpRuntime::acceptor_loop(const EndpointPtr& ep) {
       ep->stats.received += 1;
       ep->stats.bytes_received += env.payload.size();
       ep->inbox.push_back(std::move(env));
+      ++ep->wakeups;
     }
     ep->cv.notify_all();
   }
@@ -314,10 +357,18 @@ bool TcpRuntime::wait(EndpointId self, const std::function<bool()>& ready,
       if (ep->handler) ep->handler(std::move(env));
       continue;
     }
-    if (std::chrono::steady_clock::now() >= deadline) return ready();
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return ready();
     std::unique_lock lock(ep->mutex);
-    ep->cv.wait_for(lock, std::chrono::milliseconds(2),
-                    [&] { return !ep->inbox.empty() || ep->stopping; });
+    if (!ep->inbox.empty()) continue;
+    // Event-driven like ThreadRuntime::wait: sleep until the next wakeup
+    // generation (delivery / notify / close) or the deadline, with a long
+    // re-check slice only for predicates satisfied without a wakeup.
+    const std::uint64_t seen = ep->wakeups;
+    const auto cap = ep->stopping ? now + std::chrono::milliseconds(1)
+                                  : now + std::chrono::milliseconds(50);
+    ep->cv.wait_until(lock, std::min(deadline, cap),
+                      [&] { return ep->wakeups != seen; });
   }
 }
 
@@ -339,12 +390,7 @@ void TcpRuntime::run_until_idle() {
   }
 }
 
-RuntimeStats TcpRuntime::stats() const {
-  RuntimeStats out;
-  out.delivered = delivered_.load(std::memory_order_relaxed);
-  out.dropped = dropped_.load(std::memory_order_relaxed);
-  return out;
-}
+RuntimeStats TcpRuntime::stats() const { return transport_.view(); }
 
 EndpointStats TcpRuntime::endpoint_stats(EndpointId id) const {
   EndpointPtr ep = find(id);
@@ -376,8 +422,7 @@ std::uint64_t TcpRuntime::max_received_with_label(
 }
 
 void TcpRuntime::reset_stats() {
-  delivered_.store(0);
-  dropped_.store(0);
+  transport_.reset();
   std::shared_lock lock(map_mutex_);
   for (const auto& [_, ep] : endpoints_) {
     std::lock_guard elock(ep->mutex);

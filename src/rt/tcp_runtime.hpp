@@ -46,6 +46,7 @@ class TcpRuntime final : public Runtime {
   [[nodiscard]] SimTime now() const override;
   bool wait(EndpointId self, const std::function<bool()>& ready,
             SimTime timeout_us) override;
+  void notify(EndpointId id) override;
   void run_until_idle() override;
 
   [[nodiscard]] RuntimeStats stats() const override;
@@ -72,7 +73,8 @@ class TcpRuntime final : public Runtime {
     std::condition_variable cv;
     std::deque<Envelope> inbox;
     bool stopping = false;
-    EndpointStats stats;  // guarded by mutex
+    std::uint64_t wakeups = 0;  // see ThreadRuntime::Endpoint::wakeups
+    EndpointStats stats;        // guarded by mutex
 
     std::atomic<bool> alive{true};
     std::thread acceptor;
@@ -89,8 +91,9 @@ class TcpRuntime final : public Runtime {
   std::unordered_map<std::uint64_t, EndpointPtr> endpoints_;
   std::uint64_t next_endpoint_ = 1;  // guarded by map_mutex_
 
-  std::atomic<std::uint64_t> delivered_{0};
-  std::atomic<std::uint64_t> dropped_{0};
+  // Syscalls retried after an EINTR interruption (regression visibility for
+  // the signal-mid-transfer case).
+  obs::Counter& io_retries_{metrics_.counter("rt.eintr_retries")};
 
   std::mutex graveyard_mutex_;
   std::vector<std::thread> graveyard_;

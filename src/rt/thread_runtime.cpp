@@ -6,15 +6,12 @@
 namespace legion::rt {
 
 namespace {
-std::chrono::microseconds clamp_timeout(SimTime timeout_us) {
-  // Never-blocking waits still wake periodically to re-check predicates that
-  // another thread may have satisfied indirectly.
-  constexpr SimTime kSliceUs = 2'000;
-  if (timeout_us == kSimTimeNever || timeout_us > kSliceUs) {
-    return std::chrono::microseconds(kSliceUs);
-  }
-  return std::chrono::microseconds(std::max<SimTime>(timeout_us, 100));
-}
+// Upper bound on one cv sleep when the waiter's predicate might be
+// satisfied by another thread *without* any wakeup on this endpoint (a
+// foreign counter, say). Message deliveries and notify() wake the cv
+// immediately, so this bounds only the exotic case — it is a re-check
+// period, not a delivery latency.
+constexpr auto kForeignPredicateSlice = std::chrono::milliseconds(50);
 }  // namespace
 
 ThreadRuntime::ThreadRuntime(std::uint64_t seed)
@@ -33,6 +30,7 @@ ThreadRuntime::~ThreadRuntime() {
     {
       std::lock_guard lock(ep->mutex);
       ep->stopping = true;
+      ++ep->wakeups;
     }
     ep->cv.notify_all();
   }
@@ -78,6 +76,7 @@ void ThreadRuntime::close_endpoint(EndpointId id) {
   {
     std::lock_guard lock(ep->mutex);
     ep->stopping = true;
+    ++ep->wakeups;
   }
   ep->cv.notify_all();
   if (ep->service.joinable()) {
@@ -122,7 +121,7 @@ Status ThreadRuntime::post(Envelope env) {
     // (common) fault-free configuration.
     std::lock_guard lock(rng_mutex_);
     if (faults_.should_drop(src->host, dst->host, cls, rng_)) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      transport_.dropped.inc();
       return OkStatus();
     }
   }
@@ -141,12 +140,22 @@ Status ThreadRuntime::post(Envelope env) {
     dst->stats.received += 1;
     dst->stats.bytes_received += env.payload.size();
     dst->inbox.push_back(std::move(env));
+    ++dst->wakeups;
   }
-  delivered_.fetch_add(1, std::memory_order_relaxed);
-  by_class_[static_cast<std::size_t>(cls)].fetch_add(
-      1, std::memory_order_relaxed);
+  transport_.delivered.inc();
+  transport_.by_class[static_cast<std::size_t>(cls)]->inc();
   dst->cv.notify_all();
   return OkStatus();
+}
+
+void ThreadRuntime::notify(EndpointId id) {
+  EndpointPtr ep = find(id);
+  if (!ep) return;
+  {
+    std::lock_guard lock(ep->mutex);
+    ++ep->wakeups;
+  }
+  ep->cv.notify_all();
 }
 
 SimTime ThreadRuntime::now() const {
@@ -193,10 +202,19 @@ bool ThreadRuntime::wait(EndpointId self, const std::function<bool()>& ready,
       if (ep->handler) ep->handler(std::move(env));
       continue;
     }
-    if (std::chrono::steady_clock::now() >= deadline) return ready();
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return ready();
     std::unique_lock lock(ep->mutex);
-    ep->cv.wait_for(lock, clamp_timeout(timeout_us),
-                    [&] { return !ep->inbox.empty() || ep->stopping; });
+    if (!ep->inbox.empty()) continue;
+    // Block until the next wakeup generation: a delivery, an explicit
+    // notify(), close, or the deadline — no fixed-slice polling on the hot
+    // path. A closed endpoint gets no further generations, so re-check its
+    // predicate at a short period instead of sleeping out the deadline.
+    const std::uint64_t seen = ep->wakeups;
+    const auto cap = ep->stopping ? now + std::chrono::milliseconds(1)
+                                  : now + kForeignPredicateSlice;
+    ep->cv.wait_until(lock, std::min(deadline, cap),
+                      [&] { return ep->wakeups != seen; });
   }
 }
 
@@ -223,16 +241,7 @@ void ThreadRuntime::run_until_idle() {
   }
 }
 
-RuntimeStats ThreadRuntime::stats() const {
-  RuntimeStats out;
-  out.delivered = delivered_.load(std::memory_order_relaxed);
-  out.bounced = bounced_.load(std::memory_order_relaxed);
-  out.dropped = dropped_.load(std::memory_order_relaxed);
-  for (std::size_t c = 0; c < net::kNumLatencyClasses; ++c) {
-    out.by_latency_class[c] = by_class_[c].load(std::memory_order_relaxed);
-  }
-  return out;
-}
+RuntimeStats ThreadRuntime::stats() const { return transport_.view(); }
 
 EndpointStats ThreadRuntime::endpoint_stats(EndpointId id) const {
   EndpointPtr ep = find(id);
@@ -264,10 +273,7 @@ std::uint64_t ThreadRuntime::max_received_with_label(
 }
 
 void ThreadRuntime::reset_stats() {
-  delivered_.store(0);
-  bounced_.store(0);
-  dropped_.store(0);
-  for (auto& c : by_class_) c.store(0);
+  transport_.reset();
   std::shared_lock lock(map_mutex_);
   for (const auto& [_, ep] : endpoints_) {
     std::lock_guard elock(ep->mutex);

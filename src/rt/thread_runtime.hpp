@@ -40,6 +40,7 @@ class ThreadRuntime final : public Runtime {
   [[nodiscard]] SimTime now() const override;
   bool wait(EndpointId self, const std::function<bool()>& ready,
             SimTime timeout_us) override;
+  void notify(EndpointId id) override;
   void run_until_idle() override;
 
   [[nodiscard]] RuntimeStats stats() const override;
@@ -61,6 +62,10 @@ class ThreadRuntime final : public Runtime {
     std::condition_variable cv;
     std::deque<Envelope> inbox;
     bool stopping = false;
+    // Bumped (under mutex) by every wake source — post, notify(), close —
+    // so wait() can block on the cv until the real deadline instead of
+    // slicing: a waiter sleeps through exactly the generations it has seen.
+    std::uint64_t wakeups = 0;
     EndpointStats stats;  // guarded by mutex
 
     std::atomic<bool> alive{true};
@@ -80,12 +85,6 @@ class ThreadRuntime final : public Runtime {
 
   mutable std::mutex rng_mutex_;
   Rng rng_;
-
-  // Global counters are atomics: post() is the hot path under many threads.
-  std::atomic<std::uint64_t> delivered_{0};
-  std::atomic<std::uint64_t> bounced_{0};
-  std::atomic<std::uint64_t> dropped_{0};
-  std::atomic<std::uint64_t> by_class_[net::kNumLatencyClasses] = {};
 
   std::mutex graveyard_mutex_;
   std::vector<std::thread> graveyard_;  // threads of self-closed endpoints

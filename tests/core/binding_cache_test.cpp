@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace legion::core {
 namespace {
 
@@ -121,6 +124,84 @@ TEST_P(CacheCapacitySweep, SizeNeverExceedsCapacity) {
 
 INSTANTIATE_TEST_SUITE_P(Capacities, CacheCapacitySweep,
                          ::testing::Values(0, 1, 2, 16, 64, 1000));
+
+TEST(BindingCacheTest, ExpiredEvictionAtCapacityKeepsLruAndMapConsistent) {
+  // Interleave expiring gets, puts at capacity, and exact invalidations:
+  // the expiry-eviction path erases from both the LRU list and the map, and
+  // after EVERY step the two must agree (same size, positions pointing back
+  // at their own nodes). A bug here corrupts eviction order silently.
+  BindingCache cache(3);
+  cache.put(MakeBinding(1, /*expires=*/100));
+  cache.put(MakeBinding(2, /*expires=*/200));
+  cache.put(MakeBinding(3));
+  ASSERT_TRUE(cache.consistent());
+
+  // Entry 1 expires on lookup; the slot reopens.
+  EXPECT_FALSE(cache.get(Loid{100, 1}, 150).has_value());
+  ASSERT_TRUE(cache.consistent());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Fill back to capacity, then one more: LRU eviction fires.
+  cache.put(MakeBinding(4));
+  ASSERT_TRUE(cache.consistent());
+  cache.put(MakeBinding(5));
+  ASSERT_TRUE(cache.consistent());
+  EXPECT_EQ(cache.size(), 3u);
+
+  // Expire 2 and exact-invalidate 4 back to back.
+  EXPECT_FALSE(cache.get(Loid{100, 2}, 250).has_value());
+  ASSERT_TRUE(cache.consistent());
+  EXPECT_TRUE(cache.invalidate_exact(MakeBinding(4)));
+  ASSERT_TRUE(cache.consistent());
+
+  // Refresh-put of a surviving entry must splice, not duplicate.
+  cache.put(MakeBinding(5));
+  ASSERT_TRUE(cache.consistent());
+  EXPECT_LE(cache.size(), 3u);
+
+  // Survivors still resolve; the expired ones stay gone.
+  EXPECT_TRUE(cache.get(Loid{100, 5}, 300).has_value());
+  EXPECT_FALSE(cache.get(Loid{100, 2}, 300).has_value());
+  ASSERT_TRUE(cache.consistent());
+}
+
+TEST(BindingCacheTest, ConcurrentMixedOpsAtCapacityStayConsistent) {
+  // Four threads hammer one at-capacity cache with the full op mix (gets at
+  // expiring timestamps, puts, exact invalidations). Correctness claim:
+  // no crash, no TSan report, and the LRU/map pair is intact afterwards.
+  BindingCache cache(4);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t id = 1 + ((t * kOps + i) % 7);
+        switch (i % 4) {
+          case 0:
+            cache.put(MakeBinding(id, /*expires=*/i % 3 == 0 ? 50 : kSimTimeNever));
+            break;
+          case 1:
+            (void)cache.get(Loid{100, id}, /*now=*/i % 2 == 0 ? 0 : 100);
+            break;
+          case 2:
+            (void)cache.invalidate_exact(MakeBinding(id));
+            break;
+          default:
+            (void)cache.invalidate(Loid{100, id});
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(cache.consistent());
+  EXPECT_LE(cache.size(), 4u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * (kOps / 4));
+}
 
 }  // namespace
 }  // namespace legion::core

@@ -1,0 +1,189 @@
+// Unit tests for the observability substrate: metric primitives, the
+// registry, and the bounded trace ring.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace legion::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndCounts) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, AddsAndSubtracts) {
+  Gauge g;
+  g.add(5);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 3);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST(Histogram, BucketsAreLogScale) {
+  // Bucket 0 holds exactly {0}; bucket b holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  // Everything past the last bucket boundary collapses into the last bucket.
+  EXPECT_EQ(Histogram::bucket_of(~0ull), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, TracksCountSumMaxMean) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(60);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 90u);
+  EXPECT_EQ(h.max(), 60u);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+}
+
+TEST(Histogram, PercentileIsMonotoneAndBounded) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const std::uint64_t p50 = h.percentile(0.50);
+  const std::uint64_t p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p99);
+  // Log-scale buckets: the answer is the ceiling of the holding bucket, so
+  // it can overshoot by at most 2x, never undershoot below the true value's
+  // bucket floor.
+  EXPECT_GE(p50, 256u);
+  EXPECT_LE(p50, 1023u);
+  EXPECT_LE(p99, 1023u);
+}
+
+TEST(Registry, SameNameSameInstrument) {
+  Registry r;
+  Counter& a = r.counter("x");
+  Counter& b = r.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Registry, RowsAreSortedAndTyped) {
+  Registry r;
+  r.counter("zeta").inc(3);
+  r.gauge("alpha").set(-2);
+  r.histogram("mid").record(7);
+  const auto rows = r.rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "alpha");
+  EXPECT_EQ(rows[0].kind, MetricKind::kGauge);
+  EXPECT_EQ(rows[0].gauge, -2);
+  EXPECT_EQ(rows[1].name, "mid");
+  EXPECT_EQ(rows[1].kind, MetricKind::kHistogram);
+  EXPECT_EQ(rows[1].count, 1u);
+  EXPECT_EQ(rows[2].name, "zeta");
+  EXPECT_EQ(rows[2].kind, MetricKind::kCounter);
+  EXPECT_EQ(rows[2].count, 3u);
+}
+
+TEST(Registry, ConcurrentRegistrationAndBumpsAreExact) {
+  Registry r;
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r] {
+      Counter& c = r.counter("shared");
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(r.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncs);
+}
+
+TEST(TraceId, NeverZeroAndUnique) {
+  std::set<TraceId> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const TraceId id = NextTraceId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TraceHop MakeHop(TraceId id, std::uint32_t hop) {
+  TraceHop h;
+  h.trace_id = id;
+  h.hop = hop;
+  h.kind = HopKind::kInvoke;
+  h.set_method("M");
+  return h;
+}
+
+TEST(TraceRing, RecordsInOrder) {
+  TraceRing ring(8);
+  for (std::uint32_t i = 0; i < 5; ++i) ring.record(MakeHop(1, i));
+  const auto hops = ring.last(5);
+  ASSERT_EQ(hops.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(hops[i].hop, i);
+  EXPECT_EQ(ring.recorded(), 5u);
+}
+
+TEST(TraceRing, OverwritesOldestWhenFull) {
+  TraceRing ring(4);
+  for (std::uint32_t i = 0; i < 10; ++i) ring.record(MakeHop(1, i));
+  const auto hops = ring.last(4);
+  ASSERT_EQ(hops.size(), 4u);
+  EXPECT_EQ(hops.front().hop, 6u);  // oldest surviving
+  EXPECT_EQ(hops.back().hop, 9u);   // newest
+  EXPECT_EQ(ring.recorded(), 10u);
+
+  const auto fewer = ring.last(2);
+  ASSERT_EQ(fewer.size(), 2u);
+  EXPECT_EQ(fewer.front().hop, 8u);
+  EXPECT_EQ(fewer.back().hop, 9u);
+}
+
+TEST(TraceRing, ForTraceFiltersById) {
+  TraceRing ring(16);
+  ring.record(MakeHop(7, 0));
+  ring.record(MakeHop(9, 0));
+  ring.record(MakeHop(7, 1));
+  const auto hops = ring.for_trace(7);
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0].hop, 0u);
+  EXPECT_EQ(hops[1].hop, 1u);
+}
+
+TEST(TraceRing, DisabledRecordsNothing) {
+  TraceRing ring(4);
+  ring.set_enabled(false);
+  ring.record(MakeHop(1, 0));
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.last(4).empty());
+  ring.set_enabled(true);
+  ring.record(MakeHop(1, 1));
+  EXPECT_EQ(ring.recorded(), 1u);
+}
+
+TEST(TraceHop, MethodNameIsTruncatedSafely) {
+  TraceHop h;
+  h.set_method("a-method-name-much-longer-than-the-inline-buffer-holds");
+  EXPECT_EQ(h.method_view().size(), h.method.size() - 1);
+  EXPECT_EQ(h.method_view().substr(0, 8), "a-method");
+}
+
+}  // namespace
+}  // namespace legion::obs

@@ -1,0 +1,145 @@
+// Causal-trace propagation through the Messenger: one root invocation plus
+// a nested call share a single trace id with increasing hop numbers, and
+// every leg (invoke, request, reply, bounce) lands in the runtime's ring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rt/messenger.hpp"
+#include "rt/sim_runtime.hpp"
+
+namespace legion::rt {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto j = runtime_.topology().add_jurisdiction("j");
+    host_ = runtime_.topology().add_host("h", {j});
+  }
+
+  SimRuntime runtime_{11};
+  HostId host_;
+};
+
+bool HasHop(const std::vector<obs::TraceHop>& chain, obs::HopKind kind,
+            std::uint32_t hop) {
+  return std::any_of(chain.begin(), chain.end(), [&](const obs::TraceHop& h) {
+    return h.kind == kind && h.hop == hop;
+  });
+}
+
+TEST_F(TraceTest, NestedCallsShareOneTraceWithIncreasingHops) {
+  Messenger leaf(runtime_, host_, "leaf", ExecutionMode::kServiced,
+                 [](ServerContext&, Reader&) -> Result<Buffer> {
+                   return Buffer::FromString("leaf");
+                 });
+  Messenger mid(runtime_, host_, "mid", ExecutionMode::kServiced,
+                [&leaf](ServerContext& ctx, Reader&) -> Result<Buffer> {
+                  // Nested call continues the inbound trace: the env triple
+                  // carries (trace_id, hop) onward.
+                  return ctx.messenger.call(leaf.endpoint(), "Leaf", Buffer{},
+                                            ctx.call.env, 1'000'000);
+                });
+  Messenger client(runtime_, host_, "client", ExecutionMode::kDriver, nullptr);
+
+  auto reply = client.call(mid.endpoint(), "Outer", Buffer{},
+                           EnvTriple::System(), 1'000'000);
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  EXPECT_EQ(reply->as_string(), "leaf");
+
+  const auto all = runtime_.traces().last(64);
+  ASSERT_FALSE(all.empty());
+  const obs::TraceId id = all.front().trace_id;
+  EXPECT_NE(id, 0u);
+
+  const auto chain = runtime_.traces().for_trace(id);
+  // Outer leg: invoke/request at hop 0, reply back at hop 1.
+  EXPECT_TRUE(HasHop(chain, obs::HopKind::kInvoke, 0));
+  EXPECT_TRUE(HasHop(chain, obs::HopKind::kRequest, 0));
+  EXPECT_TRUE(HasHop(chain, obs::HopKind::kReply, 1));
+  // Nested leg: invoke/request at hop 1, reply back at hop 2.
+  EXPECT_TRUE(HasHop(chain, obs::HopKind::kInvoke, 1));
+  EXPECT_TRUE(HasHop(chain, obs::HopKind::kRequest, 1));
+  EXPECT_TRUE(HasHop(chain, obs::HopKind::kReply, 2));
+
+  // The method label survives on the invoke legs.
+  bool outer_labelled = false;
+  bool nested_labelled = false;
+  for (const auto& h : chain) {
+    if (h.kind != obs::HopKind::kInvoke) continue;
+    if (h.hop == 0 && h.method_view() == "Outer") outer_labelled = true;
+    if (h.hop == 1 && h.method_view() == "Leaf") nested_labelled = true;
+  }
+  EXPECT_TRUE(outer_labelled);
+  EXPECT_TRUE(nested_labelled);
+}
+
+TEST_F(TraceTest, SeparateRootCallsGetSeparateTraceIds) {
+  Messenger server(runtime_, host_, "server", ExecutionMode::kServiced,
+                   [](ServerContext&, Reader&) -> Result<Buffer> {
+                     return Buffer{};
+                   });
+  Messenger client(runtime_, host_, "client", ExecutionMode::kDriver, nullptr);
+  ASSERT_TRUE(client
+                  .call(server.endpoint(), "A", Buffer{}, EnvTriple::System(),
+                        1'000'000)
+                  .ok());
+  ASSERT_TRUE(client
+                  .call(server.endpoint(), "B", Buffer{}, EnvTriple::System(),
+                        1'000'000)
+                  .ok());
+  const auto all = runtime_.traces().last(64);
+  obs::TraceId first = 0;
+  obs::TraceId second = 0;
+  for (const auto& h : all) {
+    if (h.kind != obs::HopKind::kInvoke) continue;
+    if (h.method_view() == "A") first = h.trace_id;
+    if (h.method_view() == "B") second = h.trace_id;
+  }
+  EXPECT_NE(first, 0u);
+  EXPECT_NE(second, 0u);
+  EXPECT_NE(first, second);
+}
+
+TEST_F(TraceTest, BounceCarriesTheOriginatingTrace) {
+  Messenger client(runtime_, host_, "client", ExecutionMode::kDriver, nullptr);
+  // The victim dies while the request is in flight (posted, not yet
+  // delivered): the sim bounces the frame back as a transport NACK.
+  auto victim = std::make_unique<Messenger>(
+      runtime_, host_, "victim", ExecutionMode::kServiced,
+      [](ServerContext&, Reader&) -> Result<Buffer> { return Buffer{}; });
+  auto future = client.invoke(victim->endpoint(), "Ghost", Buffer{},
+                              EnvTriple::System());
+  victim->close();
+  auto reply = client.await(std::move(future), 1'000'000);
+  EXPECT_FALSE(reply.ok());
+
+  const auto all = runtime_.traces().last(64);
+  obs::TraceId id = 0;
+  for (const auto& h : all) {
+    if (h.kind == obs::HopKind::kInvoke && h.method_view() == "Ghost") {
+      id = h.trace_id;
+    }
+  }
+  ASSERT_NE(id, 0u);
+  EXPECT_TRUE(HasHop(runtime_.traces().for_trace(id), obs::HopKind::kBounce,
+                     0));
+}
+
+TEST_F(TraceTest, DisabledRingRecordsNothingButCallsStillWork) {
+  runtime_.traces().set_enabled(false);
+  Messenger server(runtime_, host_, "server", ExecutionMode::kServiced,
+                   [](ServerContext&, Reader&) -> Result<Buffer> {
+                     return Buffer{};
+                   });
+  Messenger client(runtime_, host_, "client", ExecutionMode::kDriver, nullptr);
+  ASSERT_TRUE(client
+                  .call(server.endpoint(), "M", Buffer{}, EnvTriple::System(),
+                        1'000'000)
+                  .ok());
+  EXPECT_EQ(runtime_.traces().recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace legion::rt
