@@ -36,6 +36,8 @@ void ClassDefinition::Serialize(Writer& w) const {
   default_scheduling_agent.Serialize(w);
   w.u32(instance_key_bytes);
   w.i64(binding_ttl_us);
+  w.u32(suspect_threshold);
+  w.i64(probe_timeout_us);
 }
 
 ClassDefinition ClassDefinition::Deserialize(Reader& r) {
@@ -57,6 +59,8 @@ ClassDefinition ClassDefinition::Deserialize(Reader& r) {
   d.default_scheduling_agent = Loid::Deserialize(r);
   d.instance_key_bytes = r.u32();
   d.binding_ttl_us = r.i64();
+  d.suspect_threshold = r.u32();
+  d.probe_timeout_us = r.i64();
   return d;
 }
 
@@ -184,8 +188,8 @@ Result<wire::CreateReply> ClassObjectImpl::Create(
   wire::StoreNewRequest store{opr.to_bytes(), suggested_host};
   LEGION_ASSIGN_OR_RETURN(
       Buffer raw, ctx.ref(magistrate).call(methods::kStoreNew, store.to_buffer()));
-  LEGION_ASSIGN_OR_RETURN(wire::BindingReply reply,
-                          wire::BindingReply::from_buffer(raw));
+  LEGION_ASSIGN_OR_RETURN(wire::PlacementReply reply,
+                          wire::PlacementReply::from_buffer(raw));
 
   TableRow row;
   row.loid = loid;
@@ -193,6 +197,9 @@ Result<wire::CreateReply> ClassObjectImpl::Create(
   row.address = reply.binding.address;
   row.current_magistrates = {magistrate};
   row.scheduling_agent = def_.default_scheduling_agent;
+  row.placed_host = reply.host;
+  row.checkpoint_disk = reply.checkpoint_disk;
+  row.checkpoint_path = reply.checkpoint_path;
   if (!req.candidate_magistrates.empty()) {
     row.candidates.mode = CandidateMagistrates::Mode::kExplicit;
     row.candidates.magistrates = req.candidate_magistrates;
@@ -287,6 +294,8 @@ Result<wire::CreateReply> ClassObjectImpl::Derive(
   d.default_scheduling_agent = def_.default_scheduling_agent;
   d.instance_key_bytes = def_.instance_key_bytes;
   d.binding_ttl_us = def_.binding_ttl_us;
+  d.suspect_threshold = def_.suspect_threshold;
+  d.probe_timeout_us = def_.probe_timeout_us;
 
   const Loid new_loid = d.loid();
   Buffer def_bytes;
@@ -304,8 +313,8 @@ Result<wire::CreateReply> ClassObjectImpl::Derive(
   LEGION_ASSIGN_OR_RETURN(
       Buffer raw,
       ctx.ref(magistrate).call(methods::kStoreNew, store.to_buffer()));
-  LEGION_ASSIGN_OR_RETURN(wire::BindingReply reply,
-                          wire::BindingReply::from_buffer(raw));
+  LEGION_ASSIGN_OR_RETURN(wire::PlacementReply reply,
+                          wire::PlacementReply::from_buffer(raw));
 
   TableRow row;
   row.loid = new_loid;
@@ -313,6 +322,9 @@ Result<wire::CreateReply> ClassObjectImpl::Derive(
   row.address = reply.binding.address;
   row.current_magistrates = {magistrate};
   row.scheduling_agent = def_.default_scheduling_agent;
+  row.placed_host = reply.host;
+  row.checkpoint_disk = reply.checkpoint_disk;
+  row.checkpoint_path = reply.checkpoint_path;
   table_.upsert(std::move(row));
   return wire::CreateReply{new_loid, reply.binding};
 }
@@ -400,12 +412,15 @@ Result<Binding> ClassObjectImpl::GetBinding(ObjectContext& ctx,
       last = raw.status();
       continue;
     }
-    auto reply = wire::BindingReply::from_buffer(*raw);
+    auto reply = wire::PlacementReply::from_buffer(*raw);
     if (!reply.ok()) {
       last = reply.status();
       continue;
     }
     row->address = reply->binding.address;
+    row->placed_host = reply->host;
+    row->checkpoint_disk = reply->checkpoint_disk;
+    row->checkpoint_path = reply->checkpoint_path;
     return reply->binding;
   }
   return last;
@@ -452,14 +467,17 @@ Result<wire::CreateReply> ClassObjectImpl::Clone(
   LEGION_ASSIGN_OR_RETURN(
       Buffer raw,
       ctx.ref(magistrate).call(methods::kStoreNew, store.to_buffer()));
-  LEGION_ASSIGN_OR_RETURN(wire::BindingReply reply,
-                          wire::BindingReply::from_buffer(raw));
+  LEGION_ASSIGN_OR_RETURN(wire::PlacementReply reply,
+                          wire::PlacementReply::from_buffer(raw));
 
   TableRow row;
   row.loid = clone_loid;
   row.kind = RowKind::kSubclass;
   row.address = reply.binding.address;
   row.current_magistrates = {magistrate};
+  row.placed_host = reply.host;
+  row.checkpoint_disk = reply.checkpoint_disk;
+  row.checkpoint_path = reply.checkpoint_path;
   table_.upsert(std::move(row));
   clones_.push_back(clone_loid);
   return wire::CreateReply{clone_loid, reply.binding};
@@ -485,7 +503,147 @@ Status ClassObjectImpl::MoveInstance(ObjectContext& ctx, const Loid& target,
   (void)raw;
   row->current_magistrates = {dest_magistrate};
   row->address = ObjectAddress{};  // inert at the destination
+  row->clear_placement();          // next activation records a new host
   return OkStatus();
+}
+
+// ---- Failure detection & automatic reactivation ----------------------------
+
+bool ClassObjectImpl::probe_host(ObjectContext& ctx, const Loid& host) {
+  // One resolve plus one Ping with a short deadline — deliberately not the
+  // resolver's retrying call(): the sweep wants cheap probes whose failures
+  // are evidence, not something to paper over.
+  auto binding = ctx.shell.resolver().resolve(host, def_.probe_timeout_us);
+  if (!binding.ok()) return false;
+  return ctx.shell.resolver()
+      .call_binding(*binding, methods::kPing, Buffer{}, ctx.outgoing_env(),
+                    def_.probe_timeout_us)
+      .ok();
+}
+
+void ClassObjectImpl::release_fences(ObjectContext& ctx, const Loid& host,
+                                     std::uint32_t& released) {
+  for (std::size_t i = 0; i < fences_.size();) {
+    if (fences_[i].host != host) {
+      ++i;
+      continue;
+    }
+    // The revived host may still run the pre-failure process; its state is
+    // obsolete (the object was restarted from the checkpoint), so discard.
+    wire::StopObjectRequest stop{fences_[i].object, /*discard_state=*/true};
+    (void)ctx.ref(host).call(methods::kStopObject, stop.to_buffer());
+    ++released;
+    fences_[i] = fences_.back();
+    fences_.pop_back();
+  }
+}
+
+Status ClassObjectImpl::ReactivateInstance(ObjectContext& ctx, TableRow& row,
+                                           const Loid& dead_host) {
+  if (row.current_magistrates.empty()) {
+    return FailedPreconditionError("object has no current magistrate");
+  }
+  const Binding stale{row.loid, row.address, kSimTimeNever};
+
+  // Ask the Scheduling Agent as on creation, but drop a suggestion that
+  // names the dead host — the agent's view may predate the failure.
+  Loid suggested;
+  if (row.scheduling_agent.valid()) {
+    wire::LoidRequest ask{row.current_magistrates.front()};
+    auto raw = ctx.ref(row.scheduling_agent)
+                   .call(methods::kSuggestHost, ask.to_buffer());
+    if (raw.ok()) {
+      if (auto reply = wire::LoidReply::from_buffer(*raw);
+          reply.ok() && reply->loid != dead_host) {
+        suggested = reply->loid;
+      }
+    }
+  }
+
+  wire::ReactivateRequest req{row.loid, suggested, dead_host};
+  Status last = UnavailableError("object has no magistrate");
+  for (const Loid& magistrate : row.current_magistrates) {
+    auto raw = ctx.ref(magistrate).call(methods::kReactivate, req.to_buffer());
+    if (!raw.ok()) {
+      last = raw.status();
+      continue;
+    }
+    auto reply = wire::PlacementReply::from_buffer(*raw);
+    if (!reply.ok()) {
+      last = reply.status();
+      continue;
+    }
+    row.address = reply->binding.address;
+    row.placed_host = reply->host;
+    row.checkpoint_disk = reply->checkpoint_disk;
+    row.checkpoint_path = reply->checkpoint_path;
+
+    // Section 4.1.4's fan-out: invalidate the dead binding at the Binding
+    // Agent *before* publishing the replacement, so no interleaved lookup
+    // can re-cache the old address on top of the new one.
+    Resolver& resolver = ctx.shell.resolver();
+    const Binding& agent = ctx.shell.handles().default_binding_agent;
+    wire::InvalidateBindingRequest invalidate{wire::GetBindingMode::kRefresh,
+                                              row.loid, stale};
+    (void)resolver.call_binding(agent, methods::kInvalidateBinding,
+                                invalidate.to_buffer(), ctx.outgoing_env(),
+                                rt::Messenger::kDefaultTimeoutUs);
+    wire::AddBindingRequest add{reply->binding};
+    (void)resolver.call_binding(agent, methods::kAddBinding, add.to_buffer(),
+                                ctx.outgoing_env(),
+                                rt::Messenger::kDefaultTimeoutUs);
+    resolver.cache().invalidate_exact(stale);
+    resolver.cache().put(reply->binding);
+
+    // If the host was merely partitioned, its copy of the object may still
+    // run; reap it when the host answers probes again.
+    if (dead_host.valid()) fences_.push_back(Fence{dead_host, row.loid});
+    return OkStatus();
+  }
+  return last;
+}
+
+Result<wire::SweepReply> ClassObjectImpl::SweepInstances(ObjectContext& ctx) {
+  wire::SweepReply out;
+  // Group placed instances by Host Object: one probe per host however many
+  // instances it carries, so sweep (and recovery) cost scales with this
+  // class's population, not with system size.
+  std::unordered_map<Loid, std::vector<Loid>> by_host;
+  for (const Loid& loid : table_.loids(RowKind::kInstance)) {
+    const TableRow* row = table_.find(loid);
+    if (row == nullptr || !row->placed_host.valid() || !row->address.valid()) {
+      continue;
+    }
+    by_host[row->placed_host].push_back(loid);
+  }
+  // Hosts that only owe us fences still get probed, so orphaned processes
+  // are reaped once the host returns.
+  for (const Fence& fence : fences_) by_host.try_emplace(fence.host);
+
+  for (auto& [host, instances] : by_host) {
+    ++out.hosts_probed;
+    if (probe_host(ctx, host)) {
+      missed_probes_.erase(host);
+      release_fences(ctx, host, out.fences_released);
+      continue;
+    }
+    const std::uint32_t misses = ++missed_probes_[host];
+    if (misses < def_.suspect_threshold || instances.empty()) continue;
+    ++out.hosts_suspect;
+    for (const Loid& loid : instances) {
+      TableRow* row = table_.find(loid);
+      if (row == nullptr) continue;
+      if (ReactivateInstance(ctx, *row, host).ok()) {
+        ++out.reactivated;
+      } else {
+        ++out.failed;
+      }
+    }
+    // Verdict delivered; a still-dead host re-accumulates evidence before
+    // any instance placed on it later is moved again.
+    missed_probes_.erase(host);
+  }
+  return out;
 }
 
 void ClassObjectImpl::RegisterMethods(MethodTable& table) {
@@ -563,6 +721,7 @@ void ClassObjectImpl::RegisterMethods(MethodTable& table) {
               if (TableRow* row = table_.find(req.object)) {
                 row->current_magistrates = {req.new_magistrate};
                 row->address = ObjectAddress{};
+                row->clear_placement();
               }
               return Buffer{};
             });
@@ -593,6 +752,26 @@ void ClassObjectImpl::RegisterMethods(MethodTable& table) {
             [this](ObjectContext&, Reader&) -> Result<Buffer> {
               return wire::LoidListReply{table_.loids(RowKind::kInstance)}
                   .to_buffer();
+            });
+  table.add(methods::kSweepInstances,
+            [this](ObjectContext& ctx, Reader&) -> Result<Buffer> {
+              LEGION_ASSIGN_OR_RETURN(wire::SweepReply reply,
+                                      SweepInstances(ctx));
+              return reply.to_buffer();
+            });
+  table.add(methods::kSetRecoveryPolicy,
+            [this](ObjectContext&, Reader& args) -> Result<Buffer> {
+              auto req = wire::RecoveryPolicyRequest::Deserialize(args);
+              if (!args.ok()) {
+                return InvalidArgumentError("bad SetRecoveryPolicy args");
+              }
+              if (req.suspect_threshold == 0 || req.probe_timeout_us <= 0) {
+                return InvalidArgumentError(
+                    "threshold and probe timeout must be positive");
+              }
+              def_.suspect_threshold = req.suspect_threshold;
+              def_.probe_timeout_us = req.probe_timeout_us;
+              return Buffer{};
             });
   table.add(methods::kSetSchedulingAgent,
             [this](ObjectContext&, Reader& args) -> Result<Buffer> {

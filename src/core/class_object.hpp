@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/active_object.hpp"
@@ -45,6 +46,10 @@ struct ClassDefinition {
   // Expiry stamped on bindings answered from the logical table (Section
   // 3.5); kSimTimeNever = bindings only die by proving stale.
   SimTime binding_ttl_us = kSimTimeNever;
+  // Recovery policy for SweepInstances: a host is suspect after this many
+  // consecutive failed probes, each given this long to answer.
+  std::uint32_t suspect_threshold = 2;
+  SimTime probe_timeout_us = 200'000;
 
   [[nodiscard]] Loid loid() const {
     return Loid::ForClass(class_id, public_key);
@@ -98,6 +103,11 @@ class ClassObjectImpl : public ObjectImpl {
     def_.default_magistrates = std::move(magistrates);
   }
   void set_binding_ttl(SimTime ttl_us) { def_.binding_ttl_us = ttl_us; }
+  void set_recovery_policy(std::uint32_t suspect_threshold,
+                           SimTime probe_timeout_us) {
+    def_.suspect_threshold = suspect_threshold;
+    def_.probe_timeout_us = probe_timeout_us;
+  }
   [[nodiscard]] std::uint64_t creations() const { return creations_; }
   [[nodiscard]] const std::vector<Loid>& clones() const { return clones_; }
 
@@ -117,6 +127,13 @@ class ClassObjectImpl : public ObjectImpl {
                                   const wire::CreateRequest& req);
   Status MoveInstance(ObjectContext& ctx, const Loid& target,
                       const Loid& dest_magistrate);
+  // Failure detection & automatic reactivation (Section 4.1.4's fan-out
+  // closed into a loop): probe the Host Object of every placed instance
+  // once; hosts that miss `suspect_threshold` consecutive sweeps get their
+  // instances reactivated elsewhere from the magistrate's checkpoint.
+  Result<wire::SweepReply> SweepInstances(ObjectContext& ctx);
+  Status ReactivateInstance(ObjectContext& ctx, TableRow& row,
+                            const Loid& dead_host);
 
   // Fresh LOID for a new instance: our class id + sequence number + key
   // (Section 3.2: the class uses the class-specific field as it sees fit).
@@ -127,12 +144,29 @@ class ClassObjectImpl : public ObjectImpl {
   Result<Loid> choose_magistrate(ObjectContext& ctx,
                                  const std::vector<Loid>& candidates);
 
+  // True when `host` answered a short Ping within the class's probe timeout.
+  [[nodiscard]] bool probe_host(ObjectContext& ctx, const Loid& host);
+  // A host that answers probes again after instances were moved off it may
+  // still run their orphaned old processes; tell it to discard them.
+  void release_fences(ObjectContext& ctx, const Loid& host,
+                      std::uint32_t& released);
+
   ClassDefinition def_;
   LogicalTable table_;
   std::uint64_t next_seq_ = 1;
   std::vector<Loid> clones_;     // Section 5.2.2 load shedding
   std::uint64_t clone_rr_ = 0;   // round-robin cursor over clones
   std::uint64_t creations_ = 0;  // served Create() calls (metrics)
+
+  // Transient failure-detection state (deliberately NOT serialized: a
+  // migrated class restarts its evidence from zero rather than condemning a
+  // host on stale counts).
+  std::unordered_map<Loid, std::uint32_t> missed_probes_;
+  struct Fence {
+    Loid host;    // the host that was declared dead
+    Loid object;  // the instance reactivated away from it
+  };
+  std::vector<Fence> fences_;
 };
 
 }  // namespace legion::core

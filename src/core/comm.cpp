@@ -117,6 +117,17 @@ Result<Buffer> Resolver::call_binding(const Binding& binding,
   return messenger_.await_any(futures, timeout_us);
 }
 
+SimTime Resolver::backoff_delay_us(int attempt) {
+  SimTime upper = kBackoffBaseUs << attempt;
+  if (upper > kBackoffCapUs) upper = kBackoffCapUs;
+  // Decorrelated jitter in [upper/2, upper]: never immediate, never past
+  // the cap.
+  std::lock_guard lock(rng_mutex_);
+  return upper / 2 +
+         static_cast<SimTime>(rng_.below(
+             static_cast<std::uint64_t>(upper / 2) + 1));
+}
+
 Result<Buffer> Resolver::call(const Loid& target, std::string_view method,
                               Buffer args, const rt::EnvTriple& env,
                               SimTime timeout_us) {
@@ -157,6 +168,14 @@ Result<Buffer> Resolver::call(const Loid& target, std::string_view method,
     obs_.stale_retries.inc();
     stale = *binding;
     cache_.invalidate_exact(*binding);
+
+    if (attempt + 1 < kMaxAttempts) {
+      // Capped exponential backoff with jitter before the next attempt:
+      // gives a failed object time to be reactivated elsewhere, and
+      // decorrelates the retry bursts of many callers hitting one dead
+      // host. In the sim this only advances virtual time.
+      messenger_.wait([] { return false; }, backoff_delay_us(attempt));
+    }
   }
   obs_.call_us.record(
       static_cast<std::uint64_t>(Elapsed(messenger_.runtime(), start)));

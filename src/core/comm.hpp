@@ -112,6 +112,12 @@ class Resolver {
   [[nodiscard]] Rng& rng() { return rng_; }
 
   static constexpr int kMaxAttempts = 3;
+  // Stale-retry pacing: capped exponential backoff with jitter between the
+  // attempts of one call(). A dead host's replacement needs detection plus
+  // reactivation to land; immediate retries would burn all attempts inside
+  // that window.
+  static constexpr SimTime kBackoffBaseUs = 10'000;
+  static constexpr SimTime kBackoffCapUs = 160'000;
 
  private:
   // Runtime-wide aggregates + latency spans, shared by every resolver of
@@ -136,6 +142,8 @@ class Resolver {
 
   Result<Binding> consult_binding_agent(const Loid& target,
                                         SimTime timeout_us);
+  // Jittered delay before retry `attempt + 1` (attempt is 0-based).
+  [[nodiscard]] SimTime backoff_delay_us(int attempt);
 
   rt::Messenger& messenger_;
   SystemHandles handles_;

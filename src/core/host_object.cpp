@@ -1,5 +1,6 @@
 #include "core/host_object.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/binding_agent.hpp"
@@ -29,10 +30,15 @@ std::string LabelFor(const std::string& impl_spec) {
 
 ActiveObject* HostObjectImpl::find_object(const Loid& loid) {
   auto it = objects_.find(loid);
-  return it == objects_.end() ? nullptr : it->second.get();
+  return it == objects_.end() ? nullptr : it->second.shell.get();
 }
 
 bool HostObjectImpl::accepting() const {
+  // A zero-capacity host advertises an infinite cpu_load; refusing here
+  // keeps the placement path from ever selecting it.
+  const net::HostInfo* info =
+      services_.runtime->topology().host(services_.host);
+  if (info != nullptr && info->capacity <= 0.0) return false;
   if (max_objects_ != 0 && objects_.size() >= max_objects_) return false;
   if (max_memory_ != 0 && memory_used_ >= max_memory_) return false;
   return true;
@@ -76,8 +82,9 @@ Result<Binding> HostObjectImpl::StartObject(ObjectContext& ctx,
 
   Binding binding = shell->binding();
   const EndpointId object_endpoint = shell->messenger().endpoint();
-  memory_used_ += opr.state.size();
-  objects_.emplace(opr.loid, std::move(shell));
+  const std::uint64_t state_size = opr.state.size();
+  memory_used_ += state_size;
+  objects_.emplace(opr.loid, Running{std::move(shell), state_size});
   ++stats_.started;
 
   obs::Registry& metrics = services_.runtime->metrics();
@@ -112,14 +119,17 @@ Result<Buffer> HostObjectImpl::StopObject(ObjectContext& ctx, const Loid& loid,
     LEGION_ASSIGN_OR_RETURN(
         Buffer state,
         ctx.shell.resolver().call_binding(
-            it->second->binding(), methods::kSaveState, Buffer{},
+            it->second.shell->binding(), methods::kSaveState, Buffer{},
             ctx.outgoing_env(), rt::Messenger::kDefaultTimeoutUs));
     persist::Opr opr;
     opr.loid = loid;
-    opr.implementation = it->second->impl_spec();
+    opr.implementation = it->second.shell->impl_spec();
     opr.state = std::move(state);
     opr_bytes = opr.to_bytes();
   }
+  // Release the admission charge taken at StartObject, so a host that
+  // cycles objects under a memory limit does not fill up while empty.
+  memory_used_ -= std::min(memory_used_, it->second.state_size);
   // Destroying the shell closes the endpoint: the "process" is reaped.
   objects_.erase(it);
   ++stats_.stopped;
@@ -157,9 +167,9 @@ void HostObjectImpl::RegisterMethods(MethodTable& table) {
               Buffer out;
               Writer w(out);
               w.u32(static_cast<std::uint32_t>(objects_.size()));
-              for (const auto& [loid, shell] : objects_) {
+              for (const auto& [loid, running] : objects_) {
                 loid.Serialize(w);
-                w.u64(shell->exceptions());
+                w.u64(running.shell->exceptions());
               }
               return out;
             });

@@ -71,9 +71,16 @@ class HostObjectImpl final : public ObjectImpl {
   [[nodiscard]] wire::HostStateReply state_reply() const;
   [[nodiscard]] bool accepting() const;
 
+  // One running process plus the admission cost it was charged, so
+  // StopObject can release exactly what StartObject reserved.
+  struct Running {
+    std::unique_ptr<ActiveObject> shell;
+    std::uint64_t state_size = 0;
+  };
+
   HostServices services_;
   security::PolicyPtr policy_;
-  std::unordered_map<Loid, std::unique_ptr<ActiveObject>> objects_;
+  std::unordered_map<Loid, Running> objects_;
   std::uint64_t max_objects_ = 0;   // 0 = unlimited (SetCPULoad)
   std::uint64_t max_memory_ = 0;    // 0 = unlimited (SetMemoryUsage, bytes)
   std::uint64_t memory_used_ = 0;   // sum of restored state sizes

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -59,6 +60,19 @@ struct TableRow {
   std::vector<Loid> current_magistrates; // who holds / can produce the OPR
   Loid scheduling_agent;
   CandidateMagistrates candidates;
+  // Failure-detection bookkeeping: the Host Object the activation was placed
+  // on (the probe target of SweepInstances) and the vault location of the
+  // object's last OPR checkpoint at its current magistrate. Invalid / zero
+  // while the object is Inert or unplaced.
+  Loid placed_host;
+  std::uint32_t checkpoint_disk = 0;
+  std::string checkpoint_path;
+
+  void clear_placement() {
+    placed_host = Loid{};
+    checkpoint_disk = 0;
+    checkpoint_path.clear();
+  }
 
   void Serialize(Writer& w) const {
     loid.Serialize(w);
@@ -67,6 +81,9 @@ struct TableRow {
     WriteVector(w, current_magistrates);
     scheduling_agent.Serialize(w);
     candidates.Serialize(w);
+    placed_host.Serialize(w);
+    w.u32(checkpoint_disk);
+    w.str(checkpoint_path);
   }
   static TableRow Deserialize(Reader& r) {
     TableRow row;
@@ -76,6 +93,9 @@ struct TableRow {
     row.current_magistrates = ReadVector<Loid>(r);
     row.scheduling_agent = Loid::Deserialize(r);
     row.candidates = CandidateMagistrates::Deserialize(r);
+    row.placed_host = Loid::Deserialize(r);
+    row.checkpoint_disk = r.u32();
+    row.checkpoint_path = r.str();
     return row;
   }
 };

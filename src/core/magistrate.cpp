@@ -92,15 +92,32 @@ Result<Loid> MagistrateImpl::pick_host(ObjectContext& ctx,
   return candidates[pick].host_object;
 }
 
-Result<Binding> MagistrateImpl::Activate(ObjectContext& ctx, const Loid& loid,
-                                         const Loid& suggested_host) {
+Binding MagistrateImpl::make_binding(ObjectContext& ctx, const Loid& loid,
+                                     const ObjectAddress& address) const {
+  return Binding{loid, address,
+                 config_.binding_ttl_us == kSimTimeNever
+                     ? kSimTimeNever
+                     : ctx.shell.now() + config_.binding_ttl_us};
+}
+
+wire::PlacementReply MagistrateImpl::placement_reply(
+    ObjectContext& ctx, const Loid& loid, const ActiveRecord& record) const {
+  wire::PlacementReply out;
+  out.binding = make_binding(ctx, loid, record.address);
+  if (!record.host_objects.empty()) out.host = record.host_objects.front();
+  if (auto it = checkpoints_.find(loid); it != checkpoints_.end()) {
+    out.checkpoint_disk = it->second.disk.value;
+    out.checkpoint_path = it->second.path;
+  }
+  return out;
+}
+
+Result<wire::PlacementReply> MagistrateImpl::Activate(
+    ObjectContext& ctx, const Loid& loid, const Loid& suggested_host) {
   if (auto it = active_.find(loid); it != active_.end()) {
     // "causes it to become a running process ... if the object isn't
     //  already Active."
-    return Binding{loid, it->second.address,
-                   config_.binding_ttl_us == kSimTimeNever
-                       ? kSimTimeNever
-                       : ctx.shell.now() + config_.binding_ttl_us};
+    return placement_reply(ctx, loid, it->second);
   }
   auto inert_it = inert_.find(loid);
   if (inert_it == inert_.end()) {
@@ -118,10 +135,92 @@ Result<Binding> MagistrateImpl::Activate(ObjectContext& ctx, const Loid& loid,
   ++stats_.activations;
   host_states_.erase(host);  // its load just changed
   active_[loid] = ActiveRecord{reply.binding.address, {host}, opr.implementation};
-  // The live process now owns the state; the on-disk OPR is obsolete.
-  (void)vaults_.remove(inert_it->second);
+  // The on-disk OPR is retained as the object's recovery checkpoint: if the
+  // host dies, Reactivate restarts the object from here (the live process
+  // holds the only newer state, and it dies with the host).
+  checkpoints_[loid] = inert_it->second;
   inert_.erase(inert_it);
-  return reply.binding;
+  return placement_reply(ctx, loid, active_.at(loid));
+}
+
+Result<wire::PlacementReply> MagistrateImpl::Reactivate(
+    ObjectContext& ctx, const wire::ReactivateRequest& req) {
+  // An Inert object has nothing running to lose: a plain activation, with
+  // the dead host excluded via the suggestion check below.
+  if (!active_.contains(req.loid) && inert_.contains(req.loid)) {
+    const Loid suggestion =
+        req.suggested_host == req.dead_host ? Loid{} : req.suggested_host;
+    return Activate(ctx, req.loid, suggestion);
+  }
+  auto ck = checkpoints_.find(req.loid);
+  if (ck == checkpoints_.end()) {
+    return NotFoundError("no checkpoint for " + req.loid.to_string());
+  }
+  LEGION_ASSIGN_OR_RETURN(persist::Opr opr, vaults_.load(ck->second));
+
+  std::vector<Loid> exclude;
+  if (req.dead_host.valid()) exclude.push_back(req.dead_host);
+  const Loid suggestion =
+      req.suggested_host == req.dead_host ? Loid{} : req.suggested_host;
+  LEGION_ASSIGN_OR_RETURN(Loid host, pick_host(ctx, suggestion, exclude));
+
+  wire::StartObjectRequest start{opr.to_bytes()};
+  LEGION_ASSIGN_OR_RETURN(
+      Buffer raw, ctx.ref(host).call(methods::kStartObject, start.to_buffer()));
+  LEGION_ASSIGN_OR_RETURN(wire::StartObjectReply reply,
+                          wire::StartObjectReply::from_buffer(raw));
+
+  ++stats_.reactivations;
+  host_states_.erase(host);
+  // Overwrite the stale record: the old process, if it still exists on the
+  // unreachable host, is fenced by the class object once the host answers
+  // probes again. The checkpoint address is unchanged — the restarted
+  // process begins from exactly that state.
+  active_[req.loid] =
+      ActiveRecord{reply.binding.address, {host}, opr.implementation};
+  return placement_reply(ctx, req.loid, active_.at(req.loid));
+}
+
+Result<wire::PlacementReply> MagistrateImpl::Checkpoint(ObjectContext& ctx,
+                                                        const Loid& loid) {
+  auto it = active_.find(loid);
+  if (it == active_.end()) {
+    if (auto inert_it = inert_.find(loid); inert_it != inert_.end()) {
+      // Inert: the stored OPR already is the current state.
+      wire::PlacementReply out;
+      out.binding = Binding{loid, ObjectAddress{}, kSimTimeNever};
+      out.checkpoint_disk = inert_it->second.disk.value;
+      out.checkpoint_path = inert_it->second.path;
+      return out;
+    }
+    return NotFoundError("magistrate does not manage " + loid.to_string());
+  }
+  // Capture the live state through the object's own endpoint (like
+  // StopObject does), but leave the process running.
+  Binding live{loid, it->second.address, kSimTimeNever};
+  LEGION_ASSIGN_OR_RETURN(
+      Buffer state,
+      ctx.shell.resolver().call_binding(live, methods::kSaveState, Buffer{},
+                                        ctx.outgoing_env(),
+                                        rt::Messenger::kDefaultTimeoutUs));
+  persist::Opr opr;
+  opr.loid = loid;
+  opr.implementation = it->second.impl_spec;
+  opr.state = std::move(state);
+
+  auto ck = checkpoints_.find(loid);
+  if (ck != checkpoints_.end()) {
+    // Refresh in place so the published checkpoint address stays stable.
+    persist::Vault* v = vaults_.vault(ck->second.disk);
+    if (v == nullptr) return InternalError("checkpoint vault disappeared");
+    LEGION_RETURN_IF_ERROR(v->write(ck->second.path, opr.to_bytes()));
+  } else {
+    LEGION_ASSIGN_OR_RETURN(persist::PersistentAddress addr,
+                            vaults_.store(opr));
+    ck = checkpoints_.emplace(loid, addr).first;
+  }
+  ++stats_.checkpoints;
+  return placement_reply(ctx, loid, it->second);
 }
 
 Status MagistrateImpl::Deactivate(ObjectContext& ctx, const Loid& loid) {
@@ -149,6 +248,11 @@ Status MagistrateImpl::Deactivate(ObjectContext& ctx, const Loid& loid) {
   }
   LEGION_ASSIGN_OR_RETURN(persist::Opr opr, persist::Opr::from_bytes(kept_opr));
   LEGION_ASSIGN_OR_RETURN(persist::PersistentAddress addr, vaults_.store(opr));
+  // The fresh OPR supersedes the recovery checkpoint taken at activation.
+  if (auto ck = checkpoints_.find(loid); ck != checkpoints_.end()) {
+    (void)vaults_.remove(ck->second);
+    checkpoints_.erase(ck);
+  }
   ++stats_.deactivations;
   inert_[loid] = addr;
   active_.erase(it);
@@ -172,6 +276,10 @@ Status MagistrateImpl::Delete(ObjectContext& ctx, const Loid& loid) {
     (void)vaults_.remove(it->second);
     inert_.erase(it);
     found = true;
+  }
+  if (auto ck = checkpoints_.find(loid); ck != checkpoints_.end()) {
+    (void)vaults_.remove(ck->second);
+    checkpoints_.erase(ck);
   }
   if (!found) {
     return NotFoundError("magistrate does not manage " + loid.to_string());
@@ -265,8 +373,8 @@ Result<std::uint32_t> MagistrateImpl::Split(ObjectContext& ctx,
   return moved;
 }
 
-Result<Binding> MagistrateImpl::StoreNew(ObjectContext& ctx,
-                                         const wire::StoreNewRequest& req) {
+Result<wire::PlacementReply> MagistrateImpl::StoreNew(
+    ObjectContext& ctx, const wire::StoreNewRequest& req) {
   LEGION_ASSIGN_OR_RETURN(persist::Opr opr,
                           persist::Opr::from_bytes(req.opr_bytes));
   if (active_.contains(opr.loid) || inert_.contains(opr.loid)) {
@@ -442,9 +550,30 @@ void MagistrateImpl::RegisterMethods(MethodTable& table) {
                              [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
               auto req = wire::ActivateRequest::Deserialize(args);
               if (!args.ok()) return InvalidArgumentError("bad Activate");
+              // PlacementReply serializes its Binding first, so callers that
+              // only want a BindingReply still parse this.
               LEGION_ASSIGN_OR_RETURN(
-                  Binding binding, Activate(ctx, req.loid, req.suggested_host));
-              return wire::BindingReply{std::move(binding)}.to_buffer();
+                  wire::PlacementReply reply,
+                  Activate(ctx, req.loid, req.suggested_host));
+              return reply.to_buffer();
+            }));
+  table.add(methods::kReactivate,
+            with_fallthrough(methods::kReactivate,
+                             [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::ReactivateRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad Reactivate");
+              LEGION_ASSIGN_OR_RETURN(wire::PlacementReply reply,
+                                      Reactivate(ctx, req));
+              return reply.to_buffer();
+            }));
+  table.add(methods::kCheckpoint,
+            with_fallthrough(methods::kCheckpoint,
+                             [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              auto req = wire::LoidRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad Checkpoint");
+              LEGION_ASSIGN_OR_RETURN(wire::PlacementReply reply,
+                                      Checkpoint(ctx, req.loid));
+              return reply.to_buffer();
             }));
   table.add(methods::kDeactivate,
             with_fallthrough(methods::kDeactivate,
@@ -488,8 +617,9 @@ void MagistrateImpl::RegisterMethods(MethodTable& table) {
                     sub_magistrates_[sub_rr_++ % sub_magistrates_.size()];
                 return ctx.ref(sub).call(methods::kStoreNew, req.to_buffer());
               }
-              LEGION_ASSIGN_OR_RETURN(Binding binding, StoreNew(ctx, req));
-              return wire::BindingReply{std::move(binding)}.to_buffer();
+              LEGION_ASSIGN_OR_RETURN(wire::PlacementReply reply,
+                                      StoreNew(ctx, req));
+              return reply.to_buffer();
             });
   table.add(methods::kHeal,
             [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {

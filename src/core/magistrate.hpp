@@ -40,6 +40,8 @@ struct MagistrateStats {
   std::uint64_t copies = 0;
   std::uint64_t moves = 0;
   std::uint64_t received = 0;
+  std::uint64_t reactivations = 0;  // restarts from checkpoint after failure
+  std::uint64_t checkpoints = 0;    // explicit checkpoint refreshes
 };
 
 class MagistrateImpl final : public ObjectImpl {
@@ -80,8 +82,17 @@ class MagistrateImpl final : public ObjectImpl {
   }
   [[nodiscard]] std::size_t active_count() const { return active_.size(); }
   [[nodiscard]] std::size_t inert_count() const { return inert_.size(); }
+  [[nodiscard]] std::size_t checkpoint_count() const {
+    return checkpoints_.size();
+  }
   [[nodiscard]] bool manages(const Loid& loid) const {
     return active_.contains(loid) || inert_.contains(loid);
+  }
+  // The vault address of an Active object's recovery checkpoint (tests).
+  [[nodiscard]] const persist::PersistentAddress* checkpoint_of(
+      const Loid& loid) const {
+    auto it = checkpoints_.find(loid);
+    return it == checkpoints_.end() ? nullptr : &it->second;
   }
 
  private:
@@ -95,8 +106,17 @@ class MagistrateImpl final : public ObjectImpl {
     SimTime fetched_at = 0;
   };
 
-  Result<Binding> Activate(ObjectContext& ctx, const Loid& loid,
-                           const Loid& suggested_host);
+  Result<wire::PlacementReply> Activate(ObjectContext& ctx, const Loid& loid,
+                                        const Loid& suggested_host);
+  // Restart `loid` from its retained checkpoint on a live host, excluding
+  // the host reported dead. The heart of the recovery protocol: the paper's
+  // claim that an object is not its activation (Sections 2.2, 4.1.4).
+  Result<wire::PlacementReply> Reactivate(ObjectContext& ctx,
+                                          const wire::ReactivateRequest& req);
+  // Refresh an Active object's checkpoint from its live state (checkpoint
+  // cadence is the caller's policy; creation and migration checkpoint
+  // implicitly).
+  Result<wire::PlacementReply> Checkpoint(ObjectContext& ctx, const Loid& loid);
   Status Deactivate(ObjectContext& ctx, const Loid& loid);
   Status Delete(ObjectContext& ctx, const Loid& loid);
   Status Copy(ObjectContext& ctx, const Loid& loid, const Loid& dest);
@@ -107,7 +127,8 @@ class MagistrateImpl final : public ObjectImpl {
   // and objects." Moves every other managed object to `dest`; returns how
   // many moved.
   Result<std::uint32_t> Split(ObjectContext& ctx, const Loid& dest);
-  Result<Binding> StoreNew(ObjectContext& ctx, const wire::StoreNewRequest& req);
+  Result<wire::PlacementReply> StoreNew(ObjectContext& ctx,
+                                        const wire::StoreNewRequest& req);
   // Section 4.3: start `replicas` processes of one object on distinct hosts
   // and publish a multi-element Object Address with the given semantic.
   Result<Binding> StoreNewReplicated(ObjectContext& ctx,
@@ -139,7 +160,18 @@ class MagistrateImpl final : public ObjectImpl {
   std::vector<Loid> hosts_;
   std::vector<Loid> sub_magistrates_;
   std::uint64_t sub_rr_ = 0;  // delegation cursor for StoreNew
+  // Helpers shared by Activate/Reactivate/Checkpoint.
+  [[nodiscard]] Binding make_binding(ObjectContext& ctx, const Loid& loid,
+                                     const ObjectAddress& address) const;
+  [[nodiscard]] wire::PlacementReply placement_reply(
+      ObjectContext& ctx, const Loid& loid, const ActiveRecord& record) const;
+
   std::unordered_map<Loid, persist::PersistentAddress> inert_;
+  // An Active singleton object's last OPR, retained in the vault as its
+  // recovery checkpoint (the host death would otherwise take the only copy
+  // of the state with it). Keys are always Active here: the entry is created
+  // on activation and reconciled on deactivate/delete/move.
+  std::unordered_map<Loid, persist::PersistentAddress> checkpoints_;
   std::unordered_map<Loid, ActiveRecord> active_;
   std::unordered_map<Loid, CachedHostState> host_states_;
   MagistrateStats stats_;

@@ -22,11 +22,15 @@ void SchedulingAgentImpl::RegisterMethods(MethodTable& table) {
                 return FailedPreconditionError("jurisdiction has no hosts");
               }
 
-              // ...query each Host Object's state (Section 3.9 GetState)...
+              // ...query each Host Object's state (Section 3.9 GetState)
+              // with a short deadline: a dead host must cost a beat, not a
+              // full default timeout, or suggestions during an outage would
+              // stall the very reactivations that route around it...
+              constexpr SimTime kStateProbeTimeoutUs = 500'000;
               std::vector<sched::HostCandidate> candidates;
               for (const Loid& host : hosts.loids) {
-                auto state_raw =
-                    ctx.ref(host).call(methods::kGetState, Buffer{});
+                auto state_raw = ctx.ref(host).call(
+                    methods::kGetState, Buffer{}, kStateProbeTimeoutUs);
                 if (!state_raw.ok()) continue;  // unreachable host: skip
                 auto state = wire::HostStateReply::from_buffer(*state_raw);
                 if (!state.ok()) continue;

@@ -61,6 +61,10 @@ inline constexpr std::string_view kClone = "Clone";        // Section 5.2.2
 inline constexpr std::string_view kReportMove = "ReportMove";
 inline constexpr std::string_view kMoveInstance = "MoveInstance";
 inline constexpr std::string_view kListInstances = "ListInstances";
+// Failure detection (Section 4.1.4's fan-out closed into a loop): probe the
+// Host Objects of every placed instance, reactivate off suspect hosts.
+inline constexpr std::string_view kSweepInstances = "SweepInstances";
+inline constexpr std::string_view kSetRecoveryPolicy = "SetRecoveryPolicy";
 
 // LegionClass metaclass (Section 4.1.3).
 inline constexpr std::string_view kAssignClassId = "AssignClassId";
@@ -84,6 +88,8 @@ inline constexpr std::string_view kListHosts = "ListHosts";
 inline constexpr std::string_view kSplit = "Split";
 inline constexpr std::string_view kAdoptMagistrate = "AdoptMagistrate";
 inline constexpr std::string_view kHeal = "Heal";
+inline constexpr std::string_view kReactivate = "Reactivate";
+inline constexpr std::string_view kCheckpoint = "Checkpoint";
 
 // Scheduling Agents (the Section 3.7 hook).
 inline constexpr std::string_view kSuggestHost = "SuggestHost";

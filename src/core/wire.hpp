@@ -414,6 +414,102 @@ struct ActivateRequest {
   LEGION_WIRE_HELPERS(ActivateRequest)
 };
 
+// Reply to StoreNew / Activate / Reactivate. Serializes the binding FIRST so
+// that callers expecting a plain BindingReply still parse it (FromBuffer
+// tolerates trailing bytes); the extra fields tell the class object where
+// the instance runs and where its recovery checkpoint lives, the per-row
+// bookkeeping of the failure-detection sweep.
+struct PlacementReply {
+  Binding binding;
+  Loid host;                           // Host Object running the process
+  std::uint32_t checkpoint_disk = 0;   // persist::DiskId (0 = no checkpoint)
+  std::string checkpoint_path;
+
+  void Serialize(Writer& w) const {
+    binding.Serialize(w);
+    host.Serialize(w);
+    w.u32(checkpoint_disk);
+    w.str(checkpoint_path);
+  }
+  static PlacementReply Deserialize(Reader& r) {
+    PlacementReply m;
+    m.binding = Binding::Deserialize(r);
+    m.host = Loid::Deserialize(r);
+    m.checkpoint_disk = r.u32();
+    m.checkpoint_path = r.str();
+    return m;
+  }
+  LEGION_WIRE_HELPERS(PlacementReply)
+};
+
+// Restart an object whose host died, from its checkpointed OPR, on a live
+// host. `dead_host` is excluded from placement even if the (possibly stale)
+// Scheduling Agent still suggests it.
+struct ReactivateRequest {
+  Loid loid;
+  Loid suggested_host;
+  Loid dead_host;
+
+  void Serialize(Writer& w) const {
+    loid.Serialize(w);
+    suggested_host.Serialize(w);
+    dead_host.Serialize(w);
+  }
+  static ReactivateRequest Deserialize(Reader& r) {
+    ReactivateRequest m;
+    m.loid = Loid::Deserialize(r);
+    m.suggested_host = Loid::Deserialize(r);
+    m.dead_host = Loid::Deserialize(r);
+    return m;
+  }
+  LEGION_WIRE_HELPERS(ReactivateRequest)
+};
+
+// Outcome of one class-object failure-detection sweep.
+struct SweepReply {
+  std::uint32_t hosts_probed = 0;
+  std::uint32_t hosts_suspect = 0;    // probed hosts past the miss threshold
+  std::uint32_t reactivated = 0;      // instances restarted elsewhere
+  std::uint32_t failed = 0;           // instances whose reactivation failed
+  std::uint32_t fences_released = 0;  // stale copies reaped on revived hosts
+
+  void Serialize(Writer& w) const {
+    w.u32(hosts_probed);
+    w.u32(hosts_suspect);
+    w.u32(reactivated);
+    w.u32(failed);
+    w.u32(fences_released);
+  }
+  static SweepReply Deserialize(Reader& r) {
+    SweepReply m;
+    m.hosts_probed = r.u32();
+    m.hosts_suspect = r.u32();
+    m.reactivated = r.u32();
+    m.failed = r.u32();
+    m.fences_released = r.u32();
+    return m;
+  }
+  LEGION_WIRE_HELPERS(SweepReply)
+};
+
+// Tunes a class object's failure detector.
+struct RecoveryPolicyRequest {
+  std::uint32_t suspect_threshold = 2;  // consecutive missed probes
+  SimTime probe_timeout_us = 200'000;
+
+  void Serialize(Writer& w) const {
+    w.u32(suspect_threshold);
+    w.i64(probe_timeout_us);
+  }
+  static RecoveryPolicyRequest Deserialize(Reader& r) {
+    RecoveryPolicyRequest m;
+    m.suspect_threshold = r.u32();
+    m.probe_timeout_us = r.i64();
+    return m;
+  }
+  LEGION_WIRE_HELPERS(RecoveryPolicyRequest)
+};
+
 struct TransferRequest {  // Copy(LOID, LOID) and Move(LOID, LOID)
   Loid object;
   Loid dest_magistrate;

@@ -4,10 +4,23 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
 
 namespace legion::persist {
 
 namespace fs = std::filesystem;
+
+namespace {
+// Suffix of in-flight mirror writes. Contains '#', which EncodeVaultPath
+// always escapes, so no committed entry's filename can ever end with it.
+constexpr char kTempSuffix[] = "#tmp";
+
+bool IsTempFile(const std::string& name) {
+  const std::string_view suffix = kTempSuffix;
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+}  // namespace
 
 std::string EncodeVaultPath(const std::string& path) {
   static constexpr char kHex[] = "0123456789abcdef";
@@ -56,12 +69,32 @@ std::string Vault::file_for(const std::string& path) const {
 
 Status Vault::mirror_write(const std::string& path, const Buffer& bytes) const {
   if (!backed()) return OkStatus();
-  std::ofstream out(file_for(path), std::ios::binary | std::ios::trunc);
-  if (!out) return InternalError("cannot open backing file for " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  return out.good() ? OkStatus()
-                    : InternalError("short write to backing file");
+  // Write-then-rename so a crash mid-write leaves the previous version
+  // intact: a torn OPR on disk is exactly what reactivation would restore
+  // from. '#' is always %-escaped by EncodeVaultPath, so the temp suffix can
+  // never collide with a real entry and load_backing() skips strays.
+  const std::string final_name = file_for(path);
+  const std::string tmp_name = final_name + kTempSuffix;
+  {
+    std::ofstream out(tmp_name, std::ios::binary | std::ios::trunc);
+    if (!out) return InternalError("cannot open backing file for " + path);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      std::error_code ignored;
+      fs::remove(tmp_name, ignored);
+      return InternalError("short write to backing file");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp_name, final_name, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp_name, ignored);
+    return InternalError("cannot publish backing file: " + ec.message());
+  }
+  return OkStatus();
 }
 
 Status Vault::mirror_erase(const std::string& path) const {
@@ -90,8 +123,11 @@ Status Vault::load_backing() {
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(backing_dir_, ec)) {
     if (!entry.is_regular_file()) continue;
-    LEGION_ASSIGN_OR_RETURN(std::string path,
-                            DecodeVaultPath(entry.path().filename().string()));
+    const std::string filename = entry.path().filename().string();
+    // An in-flight mirror write that never got renamed is at best a torn
+    // copy of something we already hold a good version of.
+    if (IsTempFile(filename)) continue;
+    LEGION_ASSIGN_OR_RETURN(std::string path, DecodeVaultPath(filename));
     std::ifstream in(entry.path(), std::ios::binary);
     std::vector<std::uint8_t> bytes(
         (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());

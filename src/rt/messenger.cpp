@@ -12,6 +12,7 @@ Messenger::Messenger(Runtime& runtime, HostId host, std::string label,
       invokes_(runtime.metrics().counter("msg.invokes")),
       requests_(runtime.metrics().counter("msg.requests")),
       timeouts_(runtime.metrics().counter("msg.timeouts")),
+      unreachables_(runtime.metrics().counter("msg.unreachable")),
       pending_gauge_(runtime.metrics().gauge("msg.pending")) {
   endpoint_ = runtime_.create_endpoint(
       host, std::move(label), [this](Envelope&& env) { on_message(std::move(env)); },
@@ -93,6 +94,14 @@ Result<Buffer> Messenger::await(Future<ReplyMsg> future, SimTime timeout_us) {
   const bool ok = runtime_.wait(
       endpoint_, [&future] { return future.ready(); }, timeout_us);
   if (!ok || !future.ready()) {
+    if (runtime_.quiescent()) {
+      // The runtime proved no event can ever resolve this future (the
+      // request or its reply was dropped): the peer is unreachable, not
+      // merely slow. Retry loops treat both the same, but failure-detection
+      // sweeps distinguish a dead host from a congested one.
+      unreachables_.inc();
+      return UnavailableError("no reply and no further progress possible");
+    }
     timeouts_.inc();
     return TimeoutError("no reply before deadline");
   }
@@ -148,6 +157,10 @@ Result<Buffer> Messenger::await_any(std::vector<Future<ReplyMsg>>& futures,
         if (f.valid() && f.ready()) ready_now = true;
       }
       if (!ready_now) {
+        if (runtime_.quiescent()) {
+          unreachables_.inc();
+          return UnavailableError("no reply and no further progress possible");
+        }
         timeouts_.inc();
         return TimeoutError("no reply before deadline");
       }

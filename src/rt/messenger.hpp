@@ -117,8 +117,10 @@ class Messenger {
   // Waits on a whole fan-out under ONE shared deadline, serving incoming
   // messages meanwhile. Returns the first successful reply as soon as it
   // arrives (resolved futures are consumed); if every future fails, the
-  // last error; if the deadline passes first, kTimeout. Never costs more
-  // than one timeout regardless of how many futures are pending.
+  // last error; if the deadline passes first, kTimeout (kUnavailable when
+  // the runtime is quiescent and the replies can provably never arrive).
+  // Never costs more than one timeout regardless of how many futures are
+  // pending.
   Result<Buffer> await_any(std::vector<Future<ReplyMsg>>& futures,
                            SimTime timeout_us);
 
@@ -156,6 +158,7 @@ class Messenger {
   obs::Counter& invokes_;
   obs::Counter& requests_;
   obs::Counter& timeouts_;
+  obs::Counter& unreachables_;  // quiescent-runtime "can never arrive" fails
   obs::Gauge& pending_gauge_;
 
   std::mutex pending_mutex_;  // guards pending_ and next_call_id_

@@ -102,6 +102,13 @@ class Runtime {
   // best-effort settle).
   virtual void run_until_idle() = 0;
 
+  // True when the runtime can *prove* no further progress is possible (sim:
+  // event queue empty). A wait() that returned false while quiescent did not
+  // time out — the awaited reply can never arrive, which callers may classify
+  // as kUnavailable instead of kTimeout. Real-clock runtimes cannot make this
+  // promise and always return false.
+  [[nodiscard]] virtual bool quiescent() const { return false; }
+
   // Wakes a wait() blocked on `id`, if any. Called when out-of-band progress
   // — e.g. a pending promise failed locally, with no message delivered —
   // may have satisfied the waiter's predicate. No-op for runtimes whose

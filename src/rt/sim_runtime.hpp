@@ -36,6 +36,7 @@ class SimRuntime final : public Runtime {
   bool wait(EndpointId self, const std::function<bool()>& ready,
             SimTime timeout_us) override;
   void run_until_idle() override;
+  [[nodiscard]] bool quiescent() const override { return queue_.empty(); }
 
   [[nodiscard]] RuntimeStats stats() const override {
     return transport_.view();

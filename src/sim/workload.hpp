@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "base/rng.hpp"
+#include "base/types.hpp"
 
 namespace legion::sim {
 
@@ -87,6 +88,31 @@ class LocalityMix {
   std::size_t targets_;
   std::size_t partitions_;
   double local_fraction_;
+};
+
+// Edge-triggered timer for interleaving periodic maintenance (failure
+// sweeps, checkpoints) into a virtual-time workload loop: fires at most
+// once per interval however often the loop polls it.
+class PeriodicTick {
+ public:
+  PeriodicTick(SimTime interval_us, SimTime start_us = 0)
+      : interval_(interval_us), next_(start_us + interval_us) {
+    assert(interval_us > 0);
+  }
+
+  // True when `now` reached the next firing; arms the following one.
+  [[nodiscard]] bool due(SimTime now) {
+    if (now < next_) return false;
+    next_ = now + interval_;
+    return true;
+  }
+
+  [[nodiscard]] SimTime next_at() const { return next_; }
+  [[nodiscard]] SimTime interval() const { return interval_; }
+
+ private:
+  SimTime interval_;
+  SimTime next_;
 };
 
 }  // namespace legion::sim

@@ -54,8 +54,15 @@ TEST_F(FaultInjectionTest, TotalPartitionFailsCleanlyWithTimeout) {
   const SimTime t0 = runtime_->now();
   auto raw = doe_client->ref(counter_).call("Get", Buffer{}, 100'000);
   EXPECT_FALSE(raw.ok());
-  EXPECT_EQ(raw.status().code(), StatusCode::kTimeout);
-  // Bounded failure: three attempts' timeouts, not an unbounded hang.
+  // Unavailable when the runtime can prove no progress is possible (the
+  // dropped request left an empty event queue); Timeout when the repair
+  // machinery's own nested traffic is still in flight at the deadline.
+  // Either way the failure is clean and bounded.
+  EXPECT_TRUE(raw.status().code() == StatusCode::kUnavailable ||
+              raw.status().code() == StatusCode::kTimeout)
+      << raw.status().to_string();
+  // Bounded failure: three attempts' timeouts (plus the resolver's capped
+  // retry backoff), not an unbounded hang.
   EXPECT_LE(runtime_->now() - t0, 3 * 100'000 + 200'000);
 
   // Healing the partition restores service with no residue.
@@ -116,9 +123,14 @@ TEST_F(FaultInjectionTest, CreationFailsCleanlyWhenJurisdictionCutOff) {
   auto reply = doe_client->create(counter_class_, CounterInit(0),
                                   {system_->magistrate_of(uva_)});
   // The class object lives in uva or doe; either the class call or the
-  // magistrate call times out. Both are clean failures.
+  // magistrate call fails. Both are clean failures: Unavailable when the
+  // failing leg is the client's own (provably no progress possible), or
+  // Timeout when the client's deadline fires while the class is still
+  // waiting on its cut-off inner call.
   if (!reply.ok()) {
-    EXPECT_EQ(reply.status().code(), StatusCode::kTimeout);
+    EXPECT_TRUE(reply.status().code() == StatusCode::kUnavailable ||
+                reply.status().code() == StatusCode::kTimeout)
+        << reply.status().to_string();
   }
 }
 

@@ -127,6 +127,30 @@ TEST_F(HostLimitsTest, MemoryLimitCountsRestoredState) {
   EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST_F(HostLimitsTest, StopObjectReleasesMemoryAccounting) {
+  // Regression: StopObject used to leak the stopped object's bytes from the
+  // memory budget, so one start/stop cycle closed the host forever.
+  ASSERT_TRUE(SetLimit(uva1_, methods::kSetMemoryUsage, 10'000).ok());
+  auto fat = client_->create(counter_class_, BallastInit(20'000),
+                             {system_->magistrate_of(uva_)},
+                             system_->host_object_of(uva1_));
+  ASSERT_TRUE(fat.ok()) << fat.status().to_string();
+  EXPECT_FALSE(GetState(uva1_).accepting);
+
+  // Deactivating must return the state's bytes to the budget...
+  wire::LoidRequest deactivate{fat->loid};
+  ASSERT_TRUE(client_->ref(system_->magistrate_of(uva_))
+                  .call(methods::kDeactivate, deactivate.to_buffer())
+                  .ok());
+  EXPECT_TRUE(GetState(uva1_).accepting);
+
+  // ...so a second cycle on the same host still fits.
+  auto again = client_->create(counter_class_, BallastInit(20'000),
+                               {system_->magistrate_of(uva_)},
+                               system_->host_object_of(uva1_));
+  EXPECT_TRUE(again.ok()) << again.status().to_string();
+}
+
 TEST_F(HostLimitsTest, RaisingLimitReopensHost) {
   // Occupy one slot so a limit equal to the occupancy closes the host.
   ASSERT_TRUE(client_
@@ -140,6 +164,74 @@ TEST_F(HostLimitsTest, RaisingLimitReopensHost) {
   EXPECT_FALSE(GetState(uva1_).accepting);
   ASSERT_TRUE(SetLimit(uva1_, methods::kSetCPULoad, 0).ok());  // unlimited
   EXPECT_TRUE(GetState(uva1_).accepting);
+}
+
+// A jurisdiction with one normal host and one zero-capacity host: the
+// latter must report itself non-accepting (not just an absurd cpu_load) so
+// every placement path skips it.
+class ZeroCapacityHostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_ = std::make_unique<rt::SimRuntime>(99);
+    solo_ = runtime_->topology().add_jurisdiction("solo");
+    good_ = runtime_->topology().add_host("good", {solo_}, 4.0);
+    zero_ = runtime_->topology().add_host("zero", {solo_}, 0.0);
+    system_ = std::make_unique<LegionSystem>(*runtime_, SystemConfig{});
+    ASSERT_TRUE(system_->registry()
+                    .add(std::string(testing::CounterImpl::kName),
+                         [] { return std::make_unique<testing::CounterImpl>(); })
+                    .ok());
+    const Status st = system_->bootstrap();
+    ASSERT_TRUE(st.ok()) << st.to_string();
+    client_ = system_->make_client(good_);
+
+    wire::DeriveRequest req;
+    req.name = "Counter";
+    req.instance_impl = std::string(testing::CounterImpl::kName);
+    req.extra_interface = testing::CounterImpl{}.interface();
+    auto reply = client_->derive(LegionObjectLoid(), req);
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+    counter_class_ = reply->loid;
+  }
+
+  wire::HostStateReply GetState(HostId host) {
+    auto raw = client_->ref(system_->host_object_of(host))
+                   .call(methods::kGetState, Buffer{});
+    EXPECT_TRUE(raw.ok());
+    auto reply = wire::HostStateReply::from_buffer(*raw);
+    EXPECT_TRUE(reply.ok());
+    return reply.ok() ? *reply : wire::HostStateReply{};
+  }
+
+  std::unique_ptr<rt::SimRuntime> runtime_;
+  std::unique_ptr<LegionSystem> system_;
+  std::unique_ptr<Client> client_;
+  JurisdictionId solo_;
+  HostId good_, zero_;
+  Loid counter_class_;
+};
+
+TEST_F(ZeroCapacityHostTest, ReportsNotAccepting) {
+  const auto state = GetState(zero_);
+  EXPECT_FALSE(state.accepting);
+  EXPECT_TRUE(GetState(good_).accepting);
+}
+
+TEST_F(ZeroCapacityHostTest, PlacementNeverLandsThere) {
+  for (int i = 0; i < 6; ++i) {
+    auto created = client_->create(counter_class_, CounterInit(0),
+                                   {system_->magistrate_of(solo_)});
+    ASSERT_TRUE(created.ok()) << created.status().to_string();
+  }
+  EXPECT_EQ(GetState(zero_).active_objects, 0u);
+  EXPECT_GE(GetState(good_).active_objects, 6u);
+}
+
+TEST_F(ZeroCapacityHostTest, ExplicitSuggestionIsRefused) {
+  auto refused = client_->create(counter_class_, CounterInit(0),
+                                 {system_->magistrate_of(solo_)},
+                                 system_->host_object_of(zero_));
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
 }
 
 }  // namespace

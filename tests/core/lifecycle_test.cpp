@@ -146,6 +146,23 @@ TEST_F(LifecycleTest, DeleteRemovesActiveAndInert) {
 }
 
 TEST_F(LifecycleTest, DeleteOfInertObjectScrubsVault) {
+  // Active objects keep a recovery checkpoint in the vault (the class
+  // object itself has one), so the vault is not empty in general; the
+  // invariant is that one full create/deactivate/delete cycle leaves no
+  // net residue — neither the OPR nor the checkpoint survives the delete.
+  const auto vault_files = [](MagistrateImpl* m) {
+    std::size_t n = 0;
+    for (std::uint32_t d = 1;; ++d) {
+      const persist::Vault* v = m->vaults().vault(DiskId{d});
+      if (v == nullptr) break;
+      n += v->count();
+    }
+    return n;
+  };
+  MagistrateImpl* mags[] = {system_->magistrate_impl(uva_),
+                            system_->magistrate_impl(doe_)};
+  const std::size_t before = vault_files(mags[0]) + vault_files(mags[1]);
+
   const Loid counter = CreateCounter(5);
   MagistrateImpl* owner = system_->magistrate_impl(uva_)->manages(counter)
                               ? system_->magistrate_impl(uva_)
@@ -153,6 +170,7 @@ TEST_F(LifecycleTest, DeleteOfInertObjectScrubsVault) {
   const Loid owner_loid = owner->jurisdiction() == uva_
                               ? system_->magistrate_of(uva_)
                               : system_->magistrate_of(doe_);
+  EXPECT_EQ(vault_files(mags[0]) + vault_files(mags[1]), before + 1);
   wire::LoidRequest req{counter};
   ASSERT_TRUE(client_->ref(owner_loid)
                   .call(methods::kDeactivate, req.to_buffer())
@@ -160,7 +178,8 @@ TEST_F(LifecycleTest, DeleteOfInertObjectScrubsVault) {
   ASSERT_EQ(owner->inert_count(), 1u);
   ASSERT_TRUE(client_->delete_object(counter_class_, counter).ok());
   EXPECT_EQ(owner->inert_count(), 0u);
-  EXPECT_EQ(owner->vaults().vault(DiskId{1})->count(), 0u);
+  EXPECT_EQ(owner->checkpoint_of(counter), nullptr);
+  EXPECT_EQ(vault_files(mags[0]) + vault_files(mags[1]), before);
 }
 
 TEST_F(LifecycleTest, StatePersistsAcrossManyCycles) {

@@ -130,6 +130,9 @@ TEST(LogicalTableTest, RowRoundTripsAllFields) {
   in.scheduling_agent = Loid{70, 3};
   in.candidates.mode = CandidateMagistrates::Mode::kExplicit;
   in.candidates.magistrates = {Loid{4, 1}};
+  in.placed_host = Loid{3, 9};
+  in.checkpoint_disk = 2;
+  in.checkpoint_path = "opr/1.64.7.5";
 
   Buffer buf;
   Writer w(buf);
@@ -144,6 +147,9 @@ TEST(LogicalTableTest, RowRoundTripsAllFields) {
   EXPECT_EQ(out.scheduling_agent, in.scheduling_agent);
   EXPECT_FALSE(out.candidates.permits(Loid{4, 2}));
   EXPECT_TRUE(out.candidates.permits(Loid{4, 1}));
+  EXPECT_EQ(out.placed_host, in.placed_host);
+  EXPECT_EQ(out.checkpoint_disk, 2u);
+  EXPECT_EQ(out.checkpoint_path, "opr/1.64.7.5");
 }
 
 TEST(LogicalTableTest, NoRestrictionPermitsAnyMagistrate) {

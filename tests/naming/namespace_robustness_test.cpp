@@ -78,7 +78,7 @@ TEST_F(NamespaceRobustnessTest, ContextsMigrateWithoutLosingNames) {
 }
 
 TEST_F(NamespaceRobustnessTest, LargeContextListsCompletely) {
-  for (int i = 0; i < 300; ++i) {
+  for (std::uint64_t i = 0; i < 300; ++i) {
     ASSERT_TRUE(
         Bind(*client_, root_, "entry" + std::to_string(i), Loid{88, 100 + i})
             .ok());

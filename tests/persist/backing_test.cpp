@@ -5,6 +5,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "persist/vault.hpp"
 
@@ -95,6 +96,57 @@ TEST_F(BackingTest, OverwriteUpdatesTheFile) {
   ASSERT_TRUE(revived.attach_backing(dir_.string()).ok());
   ASSERT_TRUE(revived.load_backing().ok());
   EXPECT_EQ(revived.read("f")->as_string(), "twotwo");
+}
+
+TEST_F(BackingTest, MirrorWriteIsAtomicViaTempAndRename) {
+  // The mirror must never truncate the committed file in place: a write
+  // goes to a "#tmp"-suffixed sibling and renames over the original, so a
+  // crash mid-write leaves either the old version or the new one.
+  Vault v(DiskId{1}, "disk");
+  ASSERT_TRUE(v.attach_backing(dir_.string()).ok());
+  ASSERT_TRUE(v.write("ck", Buffer::FromString("version-one")).ok());
+
+  // Simulate a crash that left a half-written temp file behind.
+  const fs::path tmp = dir_ / (EncodeVaultPath("ck") + "#tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << "half-writ";
+  }
+  ASSERT_TRUE(fs::exists(tmp));
+
+  // Recovery sees the committed version, not the partial temp...
+  Vault revived(DiskId{1}, "disk");
+  ASSERT_TRUE(revived.attach_backing(dir_.string()).ok());
+  ASSERT_TRUE(revived.load_backing().ok());
+  EXPECT_EQ(revived.count(), 1u);
+  ASSERT_TRUE(revived.read("ck").ok());
+  EXPECT_EQ(revived.read("ck")->as_string(), "version-one");
+
+  // ...and a successful overwrite leaves no temp residue behind.
+  ASSERT_TRUE(revived.write("ck", Buffer::FromString("version-two")).ok());
+  EXPECT_FALSE(fs::exists(tmp));
+  Vault again(DiskId{1}, "disk");
+  ASSERT_TRUE(again.attach_backing(dir_.string()).ok());
+  ASSERT_TRUE(again.load_backing().ok());
+  EXPECT_EQ(again.read("ck")->as_string(), "version-two");
+}
+
+TEST_F(BackingTest, FailedMirrorWriteKeepsPreviousVersion) {
+  // Make the *temp* write fail (the temp name collides with a directory):
+  // the committed file must be untouched and the error surfaced.
+  Vault v(DiskId{1}, "disk");
+  ASSERT_TRUE(v.attach_backing(dir_.string()).ok());
+  ASSERT_TRUE(v.write("f", Buffer::FromString("good")).ok());
+
+  const fs::path tmp = dir_ / (EncodeVaultPath("f") + "#tmp");
+  fs::create_directory(tmp);
+  EXPECT_FALSE(v.write("f", Buffer::FromString("doomed")).ok());
+  fs::remove_all(tmp);
+
+  Vault revived(DiskId{1}, "disk");
+  ASSERT_TRUE(revived.attach_backing(dir_.string()).ok());
+  ASSERT_TRUE(revived.load_backing().ok());
+  EXPECT_EQ(revived.read("f")->as_string(), "good");
 }
 
 TEST_F(BackingTest, VaultSetBacksEachDiskInItsOwnSubdir) {
