@@ -1,0 +1,102 @@
+// Transport ablation: persistent pooled connections vs. the historical
+// connect-per-message path, on the raw Messenger request/reply loop over
+// TCP loopback. This isolates what E11 measures through the whole Legion
+// stack: before pooling, per-message connection setup — not the object
+// model — dominated the TCP series. Target: the pooled transport delivers
+// >= 5x the per-message calls/s at one client pair.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "rt/messenger.hpp"
+#include "rt/tcp_runtime.hpp"
+#include "sim/table.hpp"
+
+namespace legion::bench {
+namespace {
+
+constexpr int kCallsPerPair = 4000;
+
+double RunOnce(const rt::TcpOptions& options, int pairs, int calls_per_pair) {
+  rt::TcpRuntime runtime(options);
+  auto& topo = runtime.topology();
+  const auto jur = topo.add_jurisdiction("j");
+  const HostId h1 = topo.add_host("h1", {jur}, 1e9);
+  const HostId h2 = topo.add_host("h2", {jur}, 1e9);
+
+  std::vector<std::unique_ptr<rt::Messenger>> servers;
+  std::vector<std::unique_ptr<rt::Messenger>> clients;
+  for (int p = 0; p < pairs; ++p) {
+    servers.push_back(std::make_unique<rt::Messenger>(
+        runtime, h2, "server", rt::ExecutionMode::kServiced,
+        [](rt::ServerContext&, Reader& args) -> Result<Buffer> {
+          return Buffer::FromString(args.str());
+        }));
+    clients.push_back(std::make_unique<rt::Messenger>(
+        runtime, h1, "client", rt::ExecutionMode::kDriver, nullptr));
+  }
+
+  auto one_call = [](rt::Messenger& client, rt::Messenger& server) {
+    Buffer args;
+    Writer w(args);
+    w.str("0123456789abcdef0123456789abcdef0123456789abcdef");  // 48 B
+    auto reply = client.call(server.endpoint(), "Echo", std::move(args),
+                             rt::EnvTriple::System(), 5'000'000);
+    if (!reply.ok()) std::abort();
+  };
+  // Warm the pool (and page everything in) outside the timed window.
+  for (int p = 0; p < pairs; ++p) one_call(*clients[p], *servers[p]);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int p = 0; p < pairs; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < calls_per_pair; ++i) {
+        one_call(*clients[p], *servers[p]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  return 1e6 * static_cast<double>(pairs) * calls_per_pair /
+         static_cast<double>(elapsed);
+}
+
+void Run() {
+  sim::Table table(
+      "TCP transport ablation: pooled persistent connections vs "
+      "connect-per-message (Sec 3.3)",
+      {"transport", "pairs", "calls_total", "throughput_calls_per_sec",
+       "speedup_vs_per_message"});
+  for (const int pairs : {1, 4}) {
+    rt::TcpOptions per_message;
+    per_message.pooled = false;
+    const double baseline = RunOnce(per_message, pairs, kCallsPerPair);
+    const double pooled = RunOnce(rt::TcpOptions{}, pairs, kCallsPerPair);
+    table.row({"per-message connect",
+               sim::Table::num(static_cast<std::int64_t>(pairs)),
+               sim::Table::num(static_cast<std::int64_t>(pairs) *
+                               kCallsPerPair),
+               sim::Table::num(baseline, 0), "1.00"});
+    table.row({"pooled persistent",
+               sim::Table::num(static_cast<std::int64_t>(pairs)),
+               sim::Table::num(static_cast<std::int64_t>(pairs) *
+                               kCallsPerPair),
+               sim::Table::num(pooled, 0),
+               sim::Table::num(pooled / baseline, 2)});
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: the pooled transport removes two connect/accept\n"
+      "exchanges per call (request + reply each dialed a fresh socket), so\n"
+      "per-pair throughput rises >= 5x; the residual cost is two framed\n"
+      "writes and two wakeups — the model itself, at socket prices.\n");
+}
+
+}  // namespace
+}  // namespace legion::bench
+
+int main() { legion::bench::Run(); }

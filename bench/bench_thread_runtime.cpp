@@ -17,9 +17,8 @@ namespace {
 
 constexpr int kCallsPerThread = 2000;
 
-template <typename RuntimeT>
-double RunOnce(int client_threads, int calls_per_thread) {
-  RuntimeT runtime;
+double RunOnce(rt::Runtime& runtime, int client_threads,
+               int calls_per_thread) {
   auto& topo = runtime.topology();
   const auto jur = topo.add_jurisdiction("j");
   std::vector<HostId> hosts;
@@ -76,21 +75,36 @@ void Run() {
       {"runtime", "client_threads", "calls_total",
        "throughput_calls_per_sec"});
   for (const int threads : {1, 2, 4, 8}) {
-    const double throughput =
-        RunOnce<rt::ThreadRuntime>(threads, kCallsPerThread);
+    rt::ThreadRuntime runtime;
+    const double throughput = RunOnce(runtime, threads, kCallsPerThread);
     table.row({"threads (mailboxes)",
                sim::Table::num(static_cast<std::int64_t>(threads)),
                sim::Table::num(static_cast<std::int64_t>(threads) *
                                kCallsPerThread),
                sim::Table::num(throughput, 0)});
   }
-  // TCP pays two real connect+write exchanges per call: fewer iterations.
-  constexpr int kTcpCalls = 300;
+  // The TCP series rides the pooled persistent-connection transport; the
+  // per-message ablation keeps the historical connect-per-frame cost
+  // visible (fewer iterations: every hop dials two real sockets).
+  constexpr int kTcpCalls = 1000;
+  constexpr int kTcpAblationCalls = 300;
   for (const int threads : {1, 4}) {
-    const double throughput = RunOnce<rt::TcpRuntime>(threads, kTcpCalls);
-    table.row({"tcp loopback sockets",
+    rt::TcpRuntime runtime;
+    const double throughput = RunOnce(runtime, threads, kTcpCalls);
+    table.row({"tcp pooled sockets",
                sim::Table::num(static_cast<std::int64_t>(threads)),
                sim::Table::num(static_cast<std::int64_t>(threads) * kTcpCalls),
+               sim::Table::num(throughput, 0)});
+  }
+  for (const int threads : {1, 4}) {
+    rt::TcpOptions per_message;
+    per_message.pooled = false;
+    rt::TcpRuntime runtime(per_message);
+    const double throughput = RunOnce(runtime, threads, kTcpAblationCalls);
+    table.row({"tcp per-message (ablation)",
+               sim::Table::num(static_cast<std::int64_t>(threads)),
+               sim::Table::num(static_cast<std::int64_t>(threads) *
+                               kTcpAblationCalls),
                sim::Table::num(throughput, 0)});
   }
   table.print();
@@ -98,8 +112,9 @@ void Run() {
               "scale on a\nsingle-core host (no runtime-level contention "
               "collapse — each call is two\nfutex handoffs) and rises toward "
               "the core count on multi-core hosts.\nThe TCP series grounds "
-              "the model on real sockets at real-socket cost.\n(this "
-              "machine: %u hardware threads)\n",
+              "the model on real sockets; the per-message\nablation shows the "
+              "connection-setup cost the pool removes.\n(this machine: %u "
+              "hardware threads)\n",
               std::thread::hardware_concurrency());
 }
 

@@ -43,9 +43,37 @@ std::optional<Binding> BindingCache::get(const Loid& loid, SimTime now) {
   return it->second.binding;
 }
 
+void BindingCache::put_negative(const Loid& loid, SimTime expires_at) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mutex_);
+  if (negatives_.size() >= capacity_ &&
+      negatives_.find(loid) == negatives_.end()) {
+    // Full: drop entries expiring no later than the incoming one; if any
+    // survive, sacrifice one arbitrarily — a negative entry only saves a
+    // consult, so losing one is merely a missed optimization.
+    for (auto it = negatives_.begin(); it != negatives_.end();) {
+      it = it->second <= expires_at ? negatives_.erase(it) : std::next(it);
+    }
+    if (negatives_.size() >= capacity_) negatives_.erase(negatives_.begin());
+  }
+  negatives_[loid] = expires_at;
+}
+
+bool BindingCache::negative(const Loid& loid, SimTime now) {
+  std::lock_guard lock(mutex_);
+  auto it = negatives_.find(loid);
+  if (it == negatives_.end()) return false;
+  if (it->second <= now) {
+    negatives_.erase(it);
+    return false;
+  }
+  return true;
+}
+
 void BindingCache::put(Binding binding) {
   if (capacity_ == 0 || !binding.valid()) return;
   std::lock_guard lock(mutex_);
+  negatives_.erase(binding.loid);
   auto it = entries_.find(binding.loid);
   if (it != entries_.end()) {
     it->second.binding = std::move(binding);
@@ -65,6 +93,7 @@ void BindingCache::put(Binding binding) {
 
 bool BindingCache::invalidate(const Loid& loid) {
   std::lock_guard lock(mutex_);
+  negatives_.erase(loid);  // "drop whatever is cached" covers both polarities
   auto it = entries_.find(loid);
   if (it == entries_.end()) return false;
   lru_.erase(it->second.lru_pos);
@@ -89,6 +118,7 @@ void BindingCache::clear() {
   std::lock_guard lock(mutex_);
   entries_.clear();
   lru_.clear();
+  negatives_.clear();
 }
 
 bool BindingCache::consistent() const {

@@ -44,6 +44,7 @@ class BindingCache {
     capacity_ = capacity;
     entries_.clear();
     lru_.clear();
+    negatives_.clear();
   }
 
   // Optionally mirrors this cache's counters into runtime-wide aggregates
@@ -56,6 +57,19 @@ class BindingCache {
 
   // Inserts or refreshes; evicts the least recently used entry when full.
   void put(Binding binding);
+
+  // Short-TTL negative entries: a LOID the Binding Agent just answered
+  // NotFound for is remembered until `expires_at`, so a storm of lookups
+  // for a dead LOID re-consults once per TTL, not once per caller. A put()
+  // of a real binding supersedes the negative entry immediately.
+  void put_negative(const Loid& loid, SimTime expires_at);
+  // True while an unexpired negative entry covers the LOID (expired entries
+  // are dropped on probe).
+  bool negative(const Loid& loid, SimTime now);
+  [[nodiscard]] std::size_t negative_size() const {
+    std::lock_guard lock(mutex_);
+    return negatives_.size();
+  }
 
   // Section 3.6 InvalidateBinding(LOID): drop whatever is cached.
   bool invalidate(const Loid& loid);
@@ -98,6 +112,8 @@ class BindingCache {
   mutable std::mutex mutex_;
   std::unordered_map<Loid, Entry> entries_;  // guarded by mutex_
   std::list<Loid> lru_;                      // front = most recent
+  // LOID -> expiry of the negative result; bounded by capacity_.
+  std::unordered_map<Loid, SimTime> negatives_;  // guarded by mutex_
   BindingCacheStats stats_;                  // guarded by mutex_
   // Runtime-wide aggregate mirrors; null until bind_metrics().
   obs::Counter* agg_hits_ = nullptr;

@@ -1,5 +1,6 @@
 #include "core/comm.hpp"
 
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -51,13 +52,75 @@ Result<Binding> Resolver::resolve(const Loid& target, SimTime timeout_us) {
   }
   if (target == handles_.legion_class.loid) return handles_.legion_class;
 
-  if (auto cached = cache_.get(target, messenger_.runtime().now())) {
+  const SimTime now = messenger_.runtime().now();
+  if (auto cached = cache_.get(target, now)) {
     obs_.cache_hits.inc();
     return *cached;
   }
-  LEGION_ASSIGN_OR_RETURN(Binding binding,
-                          consult_binding_agent(target, timeout_us));
-  cache_.put(binding);
+  if (cache_.negative(target, now)) {
+    negative_hits_.fetch_add(1, std::memory_order_relaxed);
+    obs_.negative_hits.inc();
+    return NotFoundError("LOID negative-cached (recent NotFound)");
+  }
+  return resolve_miss(target, timeout_us);
+}
+
+Result<Binding> Resolver::resolve_miss(const Loid& target,
+                                       SimTime timeout_us) {
+  // Singleflight: concurrent cold misses for one LOID share a single
+  // Binding-Agent consult instead of stampeding it.
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  bool reentrant = false;
+  {
+    std::lock_guard lock(flights_mutex_);
+    auto it = flights_.find(target);
+    if (it == flights_.end()) {
+      flight = std::make_shared<Flight>();
+      flights_.emplace(target, flight);
+      leader = true;
+    } else {
+      flight = it->second;
+      reentrant = flight->leader == std::this_thread::get_id();
+    }
+  }
+
+  if (!leader && !reentrant) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    obs_.coalesced.inc();
+    std::unique_lock fl(flight->m);
+    if (timeout_us == kSimTimeNever) {
+      flight->cv.wait(fl, [&] { return flight->done; });
+    } else if (!flight->cv.wait_for(fl, std::chrono::microseconds(timeout_us),
+                                    [&] { return flight->done; })) {
+      return TimeoutError("coalesced binding consult timed out");
+    }
+    return flight->result;
+  }
+
+  // Leader — or a re-entrant miss beneath our own consult (nested dispatch
+  // under the leader's wait), which must consult directly: waiting on a
+  // flight this thread owns would never wake.
+  Result<Binding> binding = consult_binding_agent(target, timeout_us);
+  if (binding.ok()) {
+    cache_.put(*binding);
+  } else if (binding.status().code() == StatusCode::kNotFound) {
+    // A dead LOID: remember the verdict briefly so a storm of lookups does
+    // not re-consult per caller.
+    cache_.put_negative(target, messenger_.runtime().now() + kNegativeTtlUs);
+  }
+  if (leader) {
+    {
+      std::lock_guard lock(flights_mutex_);
+      flights_.erase(target);
+    }
+    {
+      std::lock_guard fl(flight->m);
+      flight->result = binding;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+  }
   return binding;
 }
 

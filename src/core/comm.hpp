@@ -10,9 +10,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
+#include <unordered_map>
 
 #include "base/loid.hpp"
 #include "base/rng.hpp"
@@ -49,6 +53,11 @@ struct ResolverStats {
   std::uint64_t binding_agent_consults = 0;
   std::uint64_t stale_retries = 0;
   std::uint64_t refreshes = 0;
+  // Cold misses that piggy-backed on another caller's in-flight consult
+  // (singleflight) instead of stampeding the Binding Agent.
+  std::uint64_t coalesced = 0;
+  // Lookups answered NotFound straight from the short-TTL negative cache.
+  std::uint64_t negative_hits = 0;
 };
 
 class Resolver {
@@ -95,12 +104,16 @@ class Resolver {
         consults_.load(std::memory_order_relaxed);
     out.stale_retries = stale_retries_.load(std::memory_order_relaxed);
     out.refreshes = refreshes_.load(std::memory_order_relaxed);
+    out.coalesced = coalesced_.load(std::memory_order_relaxed);
+    out.negative_hits = negative_hits_.load(std::memory_order_relaxed);
     return out;
   }
   void reset_stats() {
     consults_.store(0, std::memory_order_relaxed);
     stale_retries_.store(0, std::memory_order_relaxed);
     refreshes_.store(0, std::memory_order_relaxed);
+    coalesced_.store(0, std::memory_order_relaxed);
+    negative_hits_.store(0, std::memory_order_relaxed);
     cache_.reset_stats();
   }
 
@@ -118,6 +131,11 @@ class Resolver {
   // that window.
   static constexpr SimTime kBackoffBaseUs = 10'000;
   static constexpr SimTime kBackoffCapUs = 160'000;
+  // How long a NotFound answer from the Binding Agent suppresses repeat
+  // consults for the same LOID. Short on purpose: a dead LOID's storm is
+  // absorbed, while a freshly (re)created object is reachable again within
+  // a quarter second even if nothing invalidates the negative entry.
+  static constexpr SimTime kNegativeTtlUs = 250'000;
 
  private:
   // Runtime-wide aggregates + latency spans, shared by every resolver of
@@ -128,6 +146,8 @@ class Resolver {
           cache_hits(r.counter("resolver.cache_hits")),
           stale_retries(r.counter("resolver.stale_retries")),
           refreshes(r.counter("resolver.refreshes")),
+          coalesced(r.counter("resolver.coalesced")),
+          negative_hits(r.counter("resolver.negative_hits")),
           consult_us(r.histogram("resolver.consult_us")),
           refresh_us(r.histogram("resolver.refresh_us")),
           call_us(r.histogram("resolver.call_us")) {}
@@ -135,13 +155,31 @@ class Resolver {
     obs::Counter& cache_hits;
     obs::Counter& stale_retries;
     obs::Counter& refreshes;
+    obs::Counter& coalesced;
+    obs::Counter& negative_hits;
     obs::Histogram& consult_us;
     obs::Histogram& refresh_us;
     obs::Histogram& call_us;
   };
 
+  // One in-flight Binding-Agent consult that concurrent cold misses for
+  // the same LOID attach to instead of issuing their own (singleflight).
+  // The leader records its thread id so a *re-entrant* miss — the same
+  // thread resolving again beneath its own consult via nested dispatch —
+  // consults directly rather than deadlocking on itself.
+  struct Flight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;              // guarded by m
+    Result<Binding> result = InternalError("consult in flight");
+    std::thread::id leader = std::this_thread::get_id();
+  };
+
   Result<Binding> consult_binding_agent(const Loid& target,
                                         SimTime timeout_us);
+  // The cache-miss path of resolve(): singleflight-coalesced consult plus
+  // positive/negative cache fill.
+  Result<Binding> resolve_miss(const Loid& target, SimTime timeout_us);
   // Jittered delay before retry `attempt + 1` (attempt is 0-based).
   [[nodiscard]] SimTime backoff_delay_us(int attempt);
 
@@ -154,6 +192,10 @@ class Resolver {
   std::atomic<std::uint64_t> consults_{0};
   std::atomic<std::uint64_t> stale_retries_{0};
   std::atomic<std::uint64_t> refreshes_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> negative_hits_{0};
+  std::mutex flights_mutex_;
+  std::unordered_map<Loid, std::shared_ptr<Flight>> flights_;
   Instruments obs_;
 };
 

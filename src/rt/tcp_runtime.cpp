@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -18,31 +19,14 @@ namespace legion::rt {
 namespace {
 
 // Frame: u32 payload length | u64 src | u64 dst | u8 kind | u64 trace_id |
-// u32 hop | payload bytes.
+// u32 hop | payload bytes. Frames are self-delimiting, so any number of them
+// multiplex over one persistent stream.
 constexpr std::size_t kHeaderBytes = 4 + 8 + 8 + 1 + 8 + 4;
 constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB sanity cap
 
 // A signal landing mid-transfer interrupts the syscall with EINTR; that is
 // a retry, not a failure — treating it as fatal silently drops frames.
 // `retries` counts the interruptions for observability.
-bool WriteAll(int fd, const void* data, std::size_t n, obs::Counter& retries) {
-  const char* p = static_cast<const char*>(data);
-  while (n > 0) {
-    const ssize_t written = ::write(fd, p, n);
-    if (written < 0) {
-      if (errno == EINTR) {
-        retries.inc();
-        continue;
-      }
-      return false;
-    }
-    if (written == 0) return false;
-    p += written;
-    n -= static_cast<std::size_t>(written);
-  }
-  return true;
-}
-
 bool ReadAll(int fd, void* data, std::size_t n, obs::Counter& retries) {
   char* p = static_cast<char*>(data);
   while (n > 0) {
@@ -57,6 +41,38 @@ bool ReadAll(int fd, void* data, std::size_t n, obs::Counter& retries) {
     if (got == 0) return false;  // peer closed mid-frame
     p += got;
     n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+// Gathered write of the whole frame in one syscall on the fast path,
+// advancing the iovec on partial writes. MSG_NOSIGNAL: a pooled socket whose
+// peer endpoint closed must fail with EPIPE (and reconnect), not kill the
+// process with SIGPIPE.
+bool WritevAll(int fd, iovec* iov, int iovcnt, obs::Counter& retries) {
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  while (msg.msg_iovlen > 0) {
+    const ssize_t written = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) {
+        retries.inc();
+        continue;
+      }
+      return false;
+    }
+    std::size_t left = static_cast<std::size_t>(written);
+    while (msg.msg_iovlen > 0 && left >= msg.msg_iov[0].iov_len) {
+      left -= msg.msg_iov[0].iov_len;
+      ++msg.msg_iov;
+      --msg.msg_iovlen;
+    }
+    if (msg.msg_iovlen > 0 && left > 0) {
+      msg.msg_iov[0].iov_base =
+          static_cast<char*>(msg.msg_iov[0].iov_base) + left;
+      msg.msg_iov[0].iov_len -= left;
+    }
   }
   return true;
 }
@@ -80,7 +96,10 @@ std::uint64_t GetU64(const std::uint8_t* in) {
 
 }  // namespace
 
-TcpRuntime::TcpRuntime() : epoch_(std::chrono::steady_clock::now()) {}
+TcpRuntime::TcpRuntime() : TcpRuntime(TcpOptions{}) {}
+
+TcpRuntime::TcpRuntime(TcpOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {}
 
 TcpRuntime::~TcpRuntime() {
   std::vector<EndpointPtr> eps;
@@ -89,27 +108,54 @@ TcpRuntime::~TcpRuntime() {
     for (auto& [_, ep] : endpoints_) eps.push_back(ep);
     endpoints_.clear();
   }
-  for (auto& ep : eps) {
-    ep->alive.store(false);
-    if (ep->listen_fd >= 0) {
-      ::shutdown(ep->listen_fd, SHUT_RDWR);
-      ::close(ep->listen_fd);
-    }
-    {
-      std::lock_guard lock(ep->mutex);
-      ep->stopping = true;
-      ++ep->wakeups;
-    }
-    ep->cv.notify_all();
-  }
+  for (auto& ep : eps) stop_endpoint(ep);
   for (auto& ep : eps) {
     if (ep->acceptor.joinable()) ep->acceptor.join();
     if (ep->service.joinable()) ep->service.join();
+    std::vector<std::thread> readers;
+    {
+      std::lock_guard lock(ep->conns_mutex);
+      readers.swap(ep->readers);
+    }
+    for (auto& t : readers) t.join();
+    std::lock_guard lock(ep->conns_mutex);
+    for (int& fd : ep->conn_fds) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+  }
+  {
+    std::lock_guard lock(pool_mutex_);
+    for (auto& [_, idle] : pool_) {
+      for (auto& conn : idle) ::close(conn.fd);
+    }
+    pool_.clear();
   }
   std::lock_guard lock(graveyard_mutex_);
   for (auto& t : graveyard_) {
     if (t.joinable()) t.join();
   }
+}
+
+void TcpRuntime::stop_endpoint(const EndpointPtr& ep) {
+  ep->alive.store(false);
+  if (ep->listen_fd >= 0) {
+    ::shutdown(ep->listen_fd, SHUT_RDWR);
+    ::close(ep->listen_fd);
+  }
+  {
+    // Readers blocked mid-read wake with EOF; they close their own fds.
+    std::lock_guard lock(ep->conns_mutex);
+    for (int fd : ep->conn_fds) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  {
+    std::lock_guard lock(ep->mutex);
+    ep->stopping = true;
+    ++ep->wakeups;
+  }
+  ep->cv.notify_all();
 }
 
 EndpointId TcpRuntime::create_endpoint(HostId host, std::string label,
@@ -163,17 +209,7 @@ void TcpRuntime::close_endpoint(EndpointId id) {
     std::unique_lock lock(map_mutex_);
     endpoints_.erase(id.value);
   }
-  ep->alive.store(false);
-  if (ep->listen_fd >= 0) {
-    ::shutdown(ep->listen_fd, SHUT_RDWR);
-    ::close(ep->listen_fd);
-  }
-  {
-    std::lock_guard lock(ep->mutex);
-    ep->stopping = true;
-    ++ep->wakeups;
-  }
-  ep->cv.notify_all();
+  stop_endpoint(ep);
   auto reap = [this](std::thread& t) {
     if (!t.joinable()) return;
     if (t.get_id() == std::this_thread::get_id()) {
@@ -185,6 +221,19 @@ void TcpRuntime::close_endpoint(EndpointId id) {
   };
   reap(ep->acceptor);
   reap(ep->service);
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard lock(ep->conns_mutex);
+    readers.swap(ep->readers);
+  }
+  // Readers never run handlers (they only feed the inbox), so the closing
+  // thread is never one of them and a plain join is safe.
+  for (auto& t : readers) t.join();
+  std::lock_guard lock(ep->conns_mutex);
+  for (int& fd : ep->conn_fds) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
 }
 
 bool TcpRuntime::endpoint_alive(EndpointId id) const {
@@ -208,6 +257,113 @@ TcpRuntime::EndpointPtr TcpRuntime::find(EndpointId id) const {
   return it == endpoints_.end() ? nullptr : it->second;
 }
 
+Status TcpRuntime::dial(std::uint16_t port, Connection& out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    // Per-message sockets made fd exhaustion easy to hit; it is a local
+    // resource failure, not evidence the binding went stale.
+    if (errno == EMFILE || errno == ENFILE) {
+      return UnavailableError("socket(): fd exhausted");
+    }
+    return UnavailableError(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    if (err == ECONNREFUSED) {
+      // The physical stale binding: nothing listens there anymore.
+      return StaleBindingError("connection refused");
+    }
+    if (err == EMFILE || err == ENFILE) {
+      return UnavailableError("connect(): fd exhausted");
+    }
+    return UnavailableError(std::string("connect(): ") + std::strerror(err));
+  }
+  dials_.inc();
+  open_conns_.add(1);
+  out.fd = fd;
+  out.reused = false;
+  out.last_used = std::chrono::steady_clock::now();
+  return OkStatus();
+}
+
+Status TcpRuntime::acquire(std::uint16_t port, Connection& out) {
+  {
+    std::lock_guard lock(pool_mutex_);
+    auto it = pool_.find(port);
+    if (it != pool_.end()) {
+      auto& idle = it->second;
+      // Reap idle-timeout expirees, stalest first (release appends, so the
+      // vector is ordered by last use).
+      const auto cutoff = std::chrono::steady_clock::now() - options_.idle_reap;
+      std::size_t dead = 0;
+      while (dead < idle.size() && idle[dead].last_used < cutoff) ++dead;
+      for (std::size_t i = 0; i < dead; ++i) {
+        ::close(idle[i].fd);
+        reaped_.inc();
+        open_conns_.sub(1);
+      }
+      idle.erase(idle.begin(),
+                 idle.begin() + static_cast<std::ptrdiff_t>(dead));
+      if (!idle.empty()) {
+        out = idle.back();  // most recently used: warmest socket
+        idle.pop_back();
+        out.reused = true;
+        pool_hits_.inc();
+        return OkStatus();
+      }
+    }
+  }
+  return dial(port, out);
+}
+
+void TcpRuntime::release(std::uint16_t port, Connection conn) {
+  conn.last_used = std::chrono::steady_clock::now();
+  {
+    std::lock_guard lock(pool_mutex_);
+    auto& idle = pool_[port];
+    if (idle.size() < options_.max_idle_per_peer) {
+      idle.push_back(conn);
+      return;
+    }
+  }
+  // Pool full: the bound on cached fds wins over reuse.
+  close_conn(conn);
+}
+
+void TcpRuntime::close_conn(Connection& conn) {
+  if (conn.fd < 0) return;
+  ::close(conn.fd);
+  conn.fd = -1;
+  open_conns_.sub(1);
+}
+
+bool TcpRuntime::write_frame(int fd, const Envelope& env) {
+  std::uint8_t header[kHeaderBytes];
+  PutU32(header, static_cast<std::uint32_t>(env.payload.size()));
+  PutU64(header + 4, env.src.value);
+  PutU64(header + 12, env.dst.value);
+  header[20] = static_cast<std::uint8_t>(env.kind);
+  PutU64(header + 21, env.trace_id);
+  PutU32(header + 29, env.hop);
+  iovec iov[2];
+  iov[0].iov_base = header;
+  iov[0].iov_len = kHeaderBytes;
+  int iovcnt = 1;
+  if (!env.payload.empty()) {
+    iov[1].iov_base = const_cast<std::uint8_t*>(env.payload.data());
+    iov[1].iov_len = env.payload.size();
+    iovcnt = 2;
+  }
+  return WritevAll(fd, iov, iovcnt, io_retries_);
+}
+
 Status TcpRuntime::post(Envelope env) {
   EndpointPtr src = find(env.src);
   if (!src) return InternalError("post from unknown endpoint");
@@ -217,33 +373,34 @@ Status TcpRuntime::post(Envelope env) {
   }
   const std::uint16_t port = dst->port;
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return InternalError("socket() failed");
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(fd);
-    // The physical stale binding: nothing listens there anymore.
-    return StaleBindingError("connection refused");
+  Connection conn;
+  if (!options_.pooled) {
+    // Ablation baseline: connect, one frame, close.
+    Status st = dial(port, conn);
+    if (!st.ok()) return st;
+    const bool ok = write_frame(conn.fd, env);
+    close_conn(conn);
+    if (!ok) return UnavailableError("short write on TCP send");
+  } else {
+    Status st = acquire(port, conn);
+    if (!st.ok()) return st;
+    bool ok = write_frame(conn.fd, env);
+    if (!ok && conn.reused) {
+      // The cached socket's peer vanished (endpoint closed, listener
+      // restarted) — exactly one reconnect. A refusal here is the stale
+      // binding the Section 4.1.4 repair loop exists for.
+      close_conn(conn);
+      reconnects_.inc();
+      st = dial(port, conn);
+      if (!st.ok()) return st;
+      ok = write_frame(conn.fd, env);
+    }
+    if (!ok) {
+      close_conn(conn);
+      return UnavailableError("short write on TCP send");
+    }
+    release(port, conn);
   }
-
-  std::vector<std::uint8_t> header(kHeaderBytes);
-  PutU32(header.data(), static_cast<std::uint32_t>(env.payload.size()));
-  PutU64(header.data() + 4, env.src.value);
-  PutU64(header.data() + 12, env.dst.value);
-  header[20] = static_cast<std::uint8_t>(env.kind);
-  PutU64(header.data() + 21, env.trace_id);
-  PutU32(header.data() + 29, env.hop);
-  const bool ok =
-      WriteAll(fd, header.data(), header.size(), io_retries_) &&
-      (env.payload.empty() ||
-       WriteAll(fd, env.payload.data(), env.payload.size(), io_retries_));
-  ::close(fd);
-  if (!ok) return UnavailableError("short write on TCP send");
 
   {
     std::lock_guard lock(src->mutex);
@@ -274,17 +431,26 @@ void TcpRuntime::acceptor_loop(const EndpointPtr& ep) {
       }
       return;  // listener closed: endpoint is going away
     }
+    std::lock_guard lock(ep->conns_mutex);
+    if (!ep->alive.load()) {
+      ::close(conn);
+      return;
+    }
+    const std::size_t slot = ep->conn_fds.size();
+    ep->conn_fds.push_back(conn);
+    ep->readers.emplace_back(
+        [this, ep, slot, conn] { reader_loop(ep, slot, conn); });
+  }
+}
 
-    std::vector<std::uint8_t> header(kHeaderBytes);
-    if (!ReadAll(conn, header.data(), header.size(), io_retries_)) {
-      ::close(conn);
-      continue;
-    }
+// Drains frames off one persistent stream until the peer closes it (pool
+// reap, runtime shutdown) or a frame is malformed.
+void TcpRuntime::reader_loop(const EndpointPtr& ep, std::size_t slot, int fd) {
+  std::vector<std::uint8_t> header(kHeaderBytes);
+  for (;;) {
+    if (!ReadAll(fd, header.data(), header.size(), io_retries_)) break;
     const std::uint32_t payload_len = GetU32(header.data());
-    if (payload_len > kMaxFrameBytes) {
-      ::close(conn);
-      continue;  // hostile or corrupt frame
-    }
+    if (payload_len > kMaxFrameBytes) break;  // hostile or corrupt frame
     Envelope env;
     env.src = EndpointId{GetU64(header.data() + 4)};
     env.dst = EndpointId{GetU64(header.data() + 12)};
@@ -293,24 +459,30 @@ void TcpRuntime::acceptor_loop(const EndpointPtr& ep) {
     env.hop = GetU32(header.data() + 29);
     if (payload_len > 0) {
       std::vector<std::uint8_t> payload(payload_len);
-      if (!ReadAll(conn, payload.data(), payload.size(), io_retries_)) {
-        ::close(conn);
-        continue;
-      }
+      if (!ReadAll(fd, payload.data(), payload.size(), io_retries_)) break;
       env.payload = Buffer{std::move(payload)};
     }
-    ::close(conn);
 
+    bool deliver = true;
     {
       std::lock_guard lock(ep->mutex);
-      if (ep->stopping) return;
-      ep->stats.received += 1;
-      ep->stats.bytes_received += env.payload.size();
-      ep->inbox.push_back(std::move(env));
-      ++ep->wakeups;
+      if (ep->stopping) {
+        deliver = false;
+      } else {
+        ep->stats.received += 1;
+        ep->stats.bytes_received += env.payload.size();
+        ep->inbox.push_back(std::move(env));
+        ++ep->wakeups;
+      }
     }
+    if (!deliver) break;
     ep->cv.notify_all();
   }
+  // The reader owns the close; teardown only shutdowns live fds and closes
+  // whatever is still >= 0 after joining, so there is no double close.
+  std::lock_guard lock(ep->conns_mutex);
+  ::close(fd);
+  ep->conn_fds[slot] = -1;
 }
 
 bool TcpRuntime::pop_one(const EndpointPtr& ep, Envelope& out) {

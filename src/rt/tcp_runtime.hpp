@@ -3,14 +3,19 @@
 // Paper Section 3.3: "Legion uses standard protocols and the communication
 // facilities of host operating systems to support communication between
 // Legion objects." This runtime is that claim made literal: every endpoint
-// listens on a real 127.0.0.1 TCP port, posts open a connection and write a
-// framed envelope, and delivery failure manifests as ECONNREFUSED — the
-// physical form of a stale binding.
+// listens on a real 127.0.0.1 TCP port and delivery failure manifests as
+// ECONNREFUSED — the physical form of a stale binding.
 //
-// Simple by design (one connection per message, one acceptor thread per
-// endpoint): it exists to validate the model over a real transport, not to
-// win throughput contests — SimRuntime measures, ThreadRuntime stresses,
-// TcpRuntime grounds.
+// The hot path runs over *persistent* connections. A post borrows a
+// keep-alive socket to the destination port from a per-peer pool, writes one
+// length-prefixed frame (33-byte header and payload coalesced into a single
+// writev), and returns the socket for reuse; the receiving endpoint reads
+// frames off each accepted stream until EOF. Sockets whose peer vanished
+// reconnect once, and a refused reconnect surfaces as kStaleBinding so the
+// Section 4.1.4 repair loop fires — while fd-exhaustion (EMFILE/ENFILE) is
+// kUnavailable, never binding invalidation. The historical
+// one-connection-per-message path survives behind TcpOptions::pooled = false
+// as the measured ablation baseline (bench_tcp_throughput, EXPERIMENTS E11).
 #pragma once
 
 #include <atomic>
@@ -30,9 +35,22 @@
 
 namespace legion::rt {
 
+struct TcpOptions {
+  // false = one fresh connect per message (the pre-pool transport), kept
+  // measurable as the ablation baseline.
+  bool pooled = true;
+  // Idle sockets cached per destination port; a release beyond this closes
+  // the socket instead, bounding fd usage per peer.
+  std::size_t max_idle_per_peer = 4;
+  // Idle sockets unused for longer than this are reaped, stalest first,
+  // whenever the pool is touched.
+  std::chrono::microseconds idle_reap{30'000'000};
+};
+
 class TcpRuntime final : public Runtime {
  public:
   TcpRuntime();
+  explicit TcpRuntime(TcpOptions options);
   ~TcpRuntime() override;
 
   EndpointId create_endpoint(HostId host, std::string label,
@@ -60,6 +78,8 @@ class TcpRuntime final : public Runtime {
   // The real TCP port an endpoint listens on (tests, curiosity).
   [[nodiscard]] std::uint16_t port_of(EndpointId id) const;
 
+  [[nodiscard]] const TcpOptions& options() const { return options_; }
+
  private:
   struct Endpoint {
     HostId host;
@@ -79,21 +99,63 @@ class TcpRuntime final : public Runtime {
     std::atomic<bool> alive{true};
     std::thread acceptor;
     std::thread service;  // kServiced only
+
+    // Accepted persistent connections: one reader thread per stream. A
+    // reader closes its own fd on exit (marking the slot -1); teardown
+    // shutdowns every live fd, joins the readers, then closes stragglers.
+    std::mutex conns_mutex;
+    std::vector<int> conn_fds;         // guarded by conns_mutex; -1 = closed
+    std::vector<std::thread> readers;  // guarded by conns_mutex
   };
   using EndpointPtr = std::shared_ptr<Endpoint>;
 
+  // A checked-out client socket. Ownership is exclusive between acquire()
+  // and release(), so no per-connection lock is needed.
+  struct Connection {
+    int fd = -1;
+    // Borrowed from the pool: the peer may have vanished since the socket
+    // was cached, so a failed write earns one reconnect.
+    bool reused = false;
+    std::chrono::steady_clock::time_point last_used;
+  };
+
   EndpointPtr find(EndpointId id) const;
   void acceptor_loop(const EndpointPtr& ep);
+  void reader_loop(const EndpointPtr& ep, std::size_t slot, int fd);
   void service_loop(const EndpointPtr& ep);
   static bool pop_one(const EndpointPtr& ep, Envelope& out);
+  void stop_endpoint(const EndpointPtr& ep);
+
+  // Client-side pool. dial() maps connect errors: ECONNREFUSED is the
+  // physical stale binding; fd exhaustion and the rest are kUnavailable.
+  Status dial(std::uint16_t port, Connection& out);
+  Status acquire(std::uint16_t port, Connection& out);
+  void release(std::uint16_t port, Connection conn);
+  void close_conn(Connection& conn);
+  bool write_frame(int fd, const Envelope& env);
+
+  const TcpOptions options_;
 
   mutable std::shared_mutex map_mutex_;
   std::unordered_map<std::uint64_t, EndpointPtr> endpoints_;
   std::uint64_t next_endpoint_ = 1;  // guarded by map_mutex_
 
+  std::mutex pool_mutex_;
+  // Idle connections per destination port, oldest first (release appends,
+  // reaping pops from the front).
+  std::unordered_map<std::uint16_t, std::vector<Connection>> pool_;
+
   // Syscalls retried after an EINTR interruption (regression visibility for
   // the signal-mid-transfer case).
   obs::Counter& io_retries_{metrics_.counter("rt.eintr_retries")};
+  // Pool observability: dials (fresh connects), hits (reused sockets),
+  // reconnects (dead keep-alive replaced), reaped (idle-timeout closes),
+  // and the live count of client-side sockets (the soak test's fd bound).
+  obs::Counter& dials_{metrics_.counter("rt.tcp.dials")};
+  obs::Counter& pool_hits_{metrics_.counter("rt.tcp.pool_hits")};
+  obs::Counter& reconnects_{metrics_.counter("rt.tcp.reconnects")};
+  obs::Counter& reaped_{metrics_.counter("rt.tcp.reaped")};
+  obs::Gauge& open_conns_{metrics_.gauge("rt.tcp.open_connections")};
 
   std::mutex graveyard_mutex_;
   std::vector<std::thread> graveyard_;

@@ -10,8 +10,10 @@
 
 #include <sys/time.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "rt/messenger.hpp"
@@ -83,9 +85,15 @@ TEST(TcpEintrTest, SignalsMidTransferDoNotDropMessages) {
     ASSERT_EQ(*result, blob) << "transfer " << i << " corrupted";
   }
 
-  // Visibility, not a hard gate (signal timing is scheduler-dependent, but
-  // at 2 ms intervals over 8 x 8 MiB round trips, interruptions happen in
-  // practice): the retry counter is how an operator would confirm it.
+  // The sender bumps `delivered` after the frame is already readable, so the
+  // final reply's tick can land just after call() returns — give the server's
+  // service thread a beat to finish its post() before asserting.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (rt.stats().delivered < 2u * kTransfers &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
   EXPECT_EQ(rt.stats().delivered, 2u * kTransfers);
 }
 

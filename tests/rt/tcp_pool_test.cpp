@@ -1,0 +1,226 @@
+// The persistent-connection pool behind TcpRuntime::post: keep-alive reuse,
+// bounded fd usage under sustained load, connect-failure classification
+// (EMFILE is resource pressure, not a stale binding), and pool consistency
+// under endpoint close/reopen races (run under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "rt/messenger.hpp"
+#include "rt/tcp_runtime.hpp"
+
+namespace legion::rt {
+namespace {
+
+class TcpPoolTest : public ::testing::Test {
+ protected:
+  void MakeTopology(TcpRuntime& rt) {
+    auto j = rt.topology().add_jurisdiction("j");
+    h1_ = rt.topology().add_host("h1", {j}, 1e9);
+    h2_ = rt.topology().add_host("h2", {j}, 1e9);
+  }
+
+  HostId h1_, h2_;
+};
+
+TEST_F(TcpPoolTest, RoundTripsReuseConnections) {
+  TcpRuntime rt;
+  MakeTopology(rt);
+  Messenger server(rt, h2_, "server", ExecutionMode::kServiced,
+                   [](ServerContext&, Reader& args) -> Result<Buffer> {
+                     return Buffer::FromString(args.str());
+                   });
+  Messenger client(rt, h1_, "client", ExecutionMode::kDriver, nullptr);
+
+  constexpr int kCalls = 200;
+  for (int i = 0; i < kCalls; ++i) {
+    Buffer args;
+    Writer w(args);
+    w.str("ping");
+    auto reply = client.call(server.endpoint(), "Echo", std::move(args),
+                             EnvTriple::System(), 5'000'000);
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  }
+
+  // One request and one reply frame per call, but only two sockets total:
+  // client->server and server->client, dialed once each.
+  EXPECT_LE(rt.metrics().counter("rt.tcp.dials").value(), 2u);
+  EXPECT_GE(rt.metrics().counter("rt.tcp.pool_hits").value(),
+            2u * kCalls - 2u);
+  EXPECT_EQ(rt.metrics().counter("rt.tcp.reconnects").value(), 0u);
+}
+
+TEST_F(TcpPoolTest, SoakHoldsBoundedFdsOverTenThousandPosts) {
+  TcpRuntime rt;
+  MakeTopology(rt);
+  const EndpointId sink = rt.create_endpoint(h2_, "sink", [](Envelope&&) {},
+                                             ExecutionMode::kServiced);
+  const EndpointId src =
+      rt.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+
+  constexpr std::uint64_t kPosts = 10'000;
+  for (std::uint64_t i = 0; i < kPosts; ++i) {
+    const Status st =
+        rt.post(Envelope{src, sink, DeliveryKind::kData, Buffer{}});
+    ASSERT_TRUE(st.ok()) << "post " << i << ": " << st.to_string();
+  }
+  // Everything arrives eventually (frames multiplex over one stream)...
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (rt.endpoint_stats(sink).received < kPosts &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(rt.endpoint_stats(sink).received, kPosts);
+  // ...yet the client side never held more sockets than the pool bound, and
+  // dialed a handful of times, not ten thousand.
+  const auto open = rt.metrics().gauge("rt.tcp.open_connections").value();
+  EXPECT_GT(open, 0);
+  EXPECT_LE(open, static_cast<std::int64_t>(rt.options().max_idle_per_peer));
+  EXPECT_LE(rt.metrics().counter("rt.tcp.dials").value(),
+            rt.options().max_idle_per_peer);
+}
+
+TEST_F(TcpPoolTest, IdleConnectionsAreReaped) {
+  TcpOptions options;
+  options.idle_reap = std::chrono::microseconds(1);  // everything is stale
+  TcpRuntime rt(options);
+  MakeTopology(rt);
+  const EndpointId sink = rt.create_endpoint(h2_, "sink", [](Envelope&&) {},
+                                             ExecutionMode::kServiced);
+  const EndpointId src =
+      rt.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        rt.post(Envelope{src, sink, DeliveryKind::kData, Buffer{}}).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Every acquire found only an expired socket, reaped it, and redialed.
+  EXPECT_GE(rt.metrics().counter("rt.tcp.reaped").value(), 4u);
+  EXPECT_GE(rt.metrics().counter("rt.tcp.dials").value(), 5u);
+}
+
+// Regression: fd exhaustion during dial used to be reported as
+// kStaleBinding ("connection refused"), which triggered binding
+// invalidation and a pointless Section 4.1.4 repair storm — precisely when
+// the process was starved of descriptors and per-message sockets were the
+// cause. It must surface as kUnavailable.
+TEST_F(TcpPoolTest, FdExhaustionIsUnavailableNotStaleBinding) {
+  TcpOptions options;
+  options.pooled = false;  // force a dial per post
+  TcpRuntime rt(options);
+  MakeTopology(rt);
+  const EndpointId sink = rt.create_endpoint(h2_, "sink", [](Envelope&&) {},
+                                             ExecutionMode::kServiced);
+  const EndpointId src =
+      rt.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+  ASSERT_TRUE(
+      rt.post(Envelope{src, sink, DeliveryKind::kData, Buffer{}}).ok());
+
+  rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  rlimit low = saved;
+  low.rlim_cur = 64;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &low), 0);
+  // Fill every descriptor slot below the lowered limit so the next
+  // socket() genuinely fails with EMFILE.
+  std::vector<int> fillers;
+  for (;;) {
+    const int fd = ::open("/dev/null", O_RDONLY);
+    if (fd < 0) break;
+    fillers.push_back(fd);
+  }
+
+  const Status st = rt.post(Envelope{src, sink, DeliveryKind::kData, Buffer{}});
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable) << st.to_string();
+
+  for (int fd : fillers) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+
+  // With descriptors back, the same destination is immediately reachable:
+  // nothing was invalidated.
+  EXPECT_TRUE(
+      rt.post(Envelope{src, sink, DeliveryKind::kData, Buffer{}}).ok());
+}
+
+// Pool consistency while destination endpoints churn: posters race against
+// close/reopen of their target. Every post must resolve to ok, a stale
+// binding (endpoint gone / listener refused), or unavailable — never crash,
+// deadlock, leak a connection past the bound, or deliver to a dead inbox.
+TEST_F(TcpPoolTest, PoolSurvivesEndpointCloseReopenRaces) {
+  TcpRuntime rt;
+  MakeTopology(rt);
+  const EndpointId src =
+      rt.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+
+  std::atomic<std::uint64_t> current{0};
+  auto reopen = [&] {
+    const EndpointId id = rt.create_endpoint(
+        h2_, "victim", [](Envelope&&) {}, ExecutionMode::kServiced);
+    current.store(id.value);
+    return id;
+  };
+  EndpointId victim = reopen();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ok_posts{0};
+  std::vector<std::thread> posters;
+  for (int t = 0; t < 4; ++t) {
+    posters.emplace_back([&] {
+      while (!stop.load()) {
+        const EndpointId dst{current.load()};
+        const Status st =
+            rt.post(Envelope{src, dst, DeliveryKind::kData, Buffer{}});
+        if (st.ok()) {
+          ok_posts.fetch_add(1);
+        } else {
+          EXPECT_TRUE(st.code() == StatusCode::kStaleBinding ||
+                      st.code() == StatusCode::kUnavailable)
+              << st.to_string();
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 40; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    rt.close_endpoint(victim);
+    victim = reopen();
+  }
+  stop.store(true);
+  for (auto& t : posters) t.join();
+
+  EXPECT_GT(ok_posts.load(), 0u);
+  // The final incarnation still works.
+  EXPECT_TRUE(
+      rt.post(Envelope{src, victim, DeliveryKind::kData, Buffer{}}).ok());
+}
+
+TEST_F(TcpPoolTest, PerMessageAblationStillDelivers) {
+  TcpOptions options;
+  options.pooled = false;
+  TcpRuntime rt(options);
+  MakeTopology(rt);
+  Messenger server(rt, h2_, "server", ExecutionMode::kServiced,
+                   [](ServerContext&, Reader&) -> Result<Buffer> {
+                     return Buffer::FromString("pong");
+                   });
+  Messenger client(rt, h1_, "client", ExecutionMode::kDriver, nullptr);
+  constexpr std::uint64_t kCalls = 50;
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    auto reply = client.call(server.endpoint(), "Ping", Buffer{},
+                             EnvTriple::System(), 5'000'000);
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+  }
+  // The ablation really does pay one connect per frame.
+  EXPECT_GE(rt.metrics().counter("rt.tcp.dials").value(), 2u * kCalls);
+  EXPECT_EQ(rt.metrics().counter("rt.tcp.pool_hits").value(), 0u);
+}
+
+}  // namespace
+}  // namespace legion::rt
