@@ -1,0 +1,94 @@
+// Dense-id interning for the packed core tables.
+//
+// Interner<Key> assigns each distinct key a dense uint32_t id in insertion
+// order (the fast-downward StateRegistry idea): long-lived references hold
+// the 4-byte id, fat keys live exactly once in segmented storage, and every
+// per-id payload becomes an array slot instead of a hash-map node. The index
+// is open-addressing over a flat uint32_t slot array — probing touches ids,
+// keys are only compared on a hash hit — so steady-state lookups and inserts
+// perform no per-entry heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/segmented_vector.hpp"
+
+namespace legion {
+
+template <typename Key, typename Hash = std::hash<Key>>
+class Interner {
+ public:
+  // The reserved "no such key" id; real ids are 0 .. size()-1.
+  static constexpr std::uint32_t kNoId = 0xFFFFFFFFu;
+
+  // Returns the id of `key`, assigning the next dense id on first sight.
+  std::uint32_t intern(const Key& key) {
+    grow_if_needed();
+    const std::size_t slot = probe(key);
+    if (slots_[slot] != kNoId) return slots_[slot];
+    const auto id = static_cast<std::uint32_t>(keys_.size());
+    keys_.push_back(key);
+    slots_[slot] = id;
+    return id;
+  }
+
+  // Returns the id of `key`, or kNoId without interning (the read path).
+  [[nodiscard]] std::uint32_t find(const Key& key) const {
+    if (keys_.empty()) return kNoId;
+    return slots_[probe(key)];
+  }
+
+  [[nodiscard]] const Key& key_of(std::uint32_t id) const { return keys_[id]; }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] bool empty() const { return keys_.empty(); }
+
+  void clear() {
+    keys_.clear();
+    slots_.clear();
+  }
+
+  [[nodiscard]] std::size_t allocated_bytes() const {
+    return keys_.allocated_bytes() + slots_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  // Linear probing; returns the slot holding `key`'s id or the empty slot
+  // where it would be inserted. slots_ is always a non-full power of two
+  // when called (grow_if_needed guarantees a free slot).
+  [[nodiscard]] std::size_t probe(const Key& key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = Hash{}(key)&mask;
+    while (slots_[i] != kNoId && !(keys_[slots_[i]] == key)) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void grow_if_needed() {
+    if (slots_.empty()) {
+      slots_.assign(kInitialSlots, kNoId);
+      return;
+    }
+    // Rehash at 70% load: doubling keeps probe chains short and costs
+    // O(log n) reallocations over a table's lifetime.
+    if ((keys_.size() + 1) * 10 <= slots_.size() * 7) return;
+    std::vector<std::uint32_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kNoId);
+    const std::size_t mask = slots_.size() - 1;
+    for (std::uint32_t id = 0; id < keys_.size(); ++id) {
+      std::size_t i = Hash{}(keys_[id]) & mask;
+      while (slots_[i] != kNoId) i = (i + 1) & mask;
+      slots_[i] = id;
+    }
+  }
+
+  static constexpr std::size_t kInitialSlots = 64;
+
+  SegmentedVector<Key> keys_;
+  std::vector<std::uint32_t> slots_;  // open addressing; kNoId == empty
+};
+
+}  // namespace legion

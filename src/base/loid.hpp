@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "base/interner.hpp"
 #include "base/serialize.hpp"
 
 namespace legion {
@@ -98,6 +99,12 @@ class Loid {
 struct LoidHash {
   std::size_t operator()(const Loid& l) const noexcept;
 };
+
+// Dense-id interning keyed by LOID identity. The packed core tables
+// (LogicalTable, BindingCache, ...) intern each LOID once, store payloads in
+// segmented per-id slots, and keep 4-byte ids in their long-lived links;
+// fat Loids appear only at the table edges (arguments and results).
+using LoidInterner = Interner<Loid, LoidHash>;
 
 }  // namespace legion
 

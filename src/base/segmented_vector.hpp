@@ -1,0 +1,100 @@
+// Segmented, packed storage for the dense-id core tables.
+//
+// SegmentedVector<T> is an append-only vector that stores elements in
+// fixed-size heap segments (the fast-downward SegmentedArrayVector idea):
+// growth allocates one segment at a time, never reallocates or moves
+// existing elements, so references returned by operator[] stay valid for
+// the life of the container. A table holding N rows performs O(N / K)
+// allocations (K = elements per segment) instead of one per row, and the
+// rows of one segment are contiguous in memory — the property the packed
+// LogicalTable / BindingCache / ImplementationRegistry layouts rely on.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace legion {
+
+template <typename T>
+class SegmentedVector {
+ public:
+  // Segments target ~16 KiB, rounded to a power of two element count so
+  // index splitting is a shift/mask, not a division.
+  static constexpr std::size_t kTargetSegmentBytes = std::size_t{1} << 14;
+  static constexpr std::size_t kElementsPerSegment =
+      std::bit_floor(std::max<std::size_t>(kTargetSegmentBytes / sizeof(T), 1));
+  static constexpr std::size_t kSegmentShift =
+      std::countr_zero(kElementsPerSegment);
+  static constexpr std::size_t kSegmentMask = kElementsPerSegment - 1;
+
+  SegmentedVector() = default;
+  SegmentedVector(SegmentedVector&&) noexcept = default;
+  SegmentedVector& operator=(SegmentedVector&&) noexcept = default;
+  SegmentedVector(const SegmentedVector& other) { *this = other; }
+  SegmentedVector& operator=(const SegmentedVector& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve_segments(other.size_);
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      segments_[i >> kSegmentShift][i & kSegmentMask] = other[i];
+    }
+    size_ = other.size_;
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    return segments_[i >> kSegmentShift][i & kSegmentMask];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return segments_[i >> kSegmentShift][i & kSegmentMask];
+  }
+
+  void push_back(T value) {
+    reserve_segments(size_ + 1);
+    segments_[size_ >> kSegmentShift][size_ & kSegmentMask] = std::move(value);
+    ++size_;
+  }
+
+  // Grows to `n` default-constructed elements (never shrinks): the tables
+  // use this to keep one slot per interned id.
+  void resize(std::size_t n) {
+    if (n <= size_) return;
+    reserve_segments(n);
+    size_ = n;
+  }
+
+  void clear() {
+    segments_.clear();
+    size_ = 0;
+  }
+
+  // Allocation accounting for bench_memory_per_object: segments allocated
+  // so far and the bytes they pin.
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+  [[nodiscard]] std::size_t allocated_bytes() const {
+    return segments_.size() * kElementsPerSegment * sizeof(T);
+  }
+
+ private:
+  // Ensures capacity for `n` elements. Segments are value-initialized on
+  // allocation, so slots are usable the moment an id names them.
+  void reserve_segments(std::size_t n) {
+    const std::size_t needed = (n + kElementsPerSegment - 1) >> kSegmentShift;
+    while (segments_.size() < needed) {
+      segments_.push_back(std::make_unique<T[]>(kElementsPerSegment));
+    }
+  }
+
+  std::vector<std::unique_ptr<T[]>> segments_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace legion

@@ -82,6 +82,10 @@ class Reader {
   }
   bool boolean() { return u8() != 0; }
 
+  // Marks the stream failed (used by callers that detect a structurally
+  // impossible length or count); sticky like any malformed read.
+  void mark_failed() { fail(); }
+
   // Consumes and returns all remaining bytes (no length prefix) — used to
   // capture raw arguments for verbatim forwarding.
   Buffer remainder() {
@@ -147,8 +151,14 @@ template <WireSerializable T>
 std::vector<T> ReadVector(Reader& r) {
   const std::uint32_t n = r.u32();
   std::vector<T> out;
-  // Guard against hostile lengths: each element consumes >= 1 byte.
-  if (!r.ok() || n > r.remaining()) return out;
+  if (!r.ok()) return out;
+  // Guard against hostile lengths: each element consumes >= 1 byte, so a
+  // count beyond the remaining bytes is structurally impossible. Fail the
+  // stream rather than silently returning a shorter vector.
+  if (n > r.remaining()) {
+    r.mark_failed();
+    return out;
+  }
   out.reserve(n);
   for (std::uint32_t i = 0; i < n && r.ok(); ++i) out.push_back(T::Deserialize(r));
   return out;

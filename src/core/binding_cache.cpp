@@ -16,88 +16,176 @@ void BindingCache::bind_metrics(obs::Registry& registry) {
   agg_invalidations_ = &registry.counter("binding_cache.invalidations");
 }
 
-void BindingCache::touch(Entry& entry) {
-  lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+std::uint32_t BindingCache::intern_slot(const Loid& loid) {
+  const std::uint32_t id = ids_.intern(loid);
+  if (slots_.size() < ids_.size()) slots_.resize(ids_.size());
+  return id;
+}
+
+void BindingCache::lru_link_front(std::uint32_t id) {
+  Slot& slot = slots_[id];
+  slot.lru_prev = kNil;
+  slot.lru_next = lru_head_;
+  if (lru_head_ != kNil) slots_[lru_head_].lru_prev = id;
+  lru_head_ = id;
+  if (lru_tail_ == kNil) lru_tail_ = id;
+}
+
+void BindingCache::lru_unlink(std::uint32_t id) {
+  Slot& slot = slots_[id];
+  if (slot.lru_prev != kNil) {
+    slots_[slot.lru_prev].lru_next = slot.lru_next;
+  } else {
+    lru_head_ = slot.lru_next;
+  }
+  if (slot.lru_next != kNil) {
+    slots_[slot.lru_next].lru_prev = slot.lru_prev;
+  } else {
+    lru_tail_ = slot.lru_prev;
+  }
+  slot.lru_prev = slot.lru_next = kNil;
+}
+
+void BindingCache::neg_link_back(std::uint32_t id) {
+  Slot& slot = slots_[id];
+  slot.neg_next = kNil;
+  slot.neg_prev = neg_tail_;
+  if (neg_tail_ != kNil) slots_[neg_tail_].neg_next = id;
+  neg_tail_ = id;
+  if (neg_head_ == kNil) neg_head_ = id;
+}
+
+void BindingCache::neg_unlink(std::uint32_t id) {
+  Slot& slot = slots_[id];
+  if (slot.neg_prev != kNil) {
+    slots_[slot.neg_prev].neg_next = slot.neg_next;
+  } else {
+    neg_head_ = slot.neg_next;
+  }
+  if (slot.neg_next != kNil) {
+    slots_[slot.neg_next].neg_prev = slot.neg_prev;
+  } else {
+    neg_tail_ = slot.neg_prev;
+  }
+  slot.neg_prev = slot.neg_next = kNil;
+}
+
+void BindingCache::drop_positive(std::uint32_t id) {
+  lru_unlink(id);
+  Slot& slot = slots_[id];
+  slot.flags &= static_cast<std::uint8_t>(~kPositive);
+  slot.binding = Binding{};  // release the payload's heap state
+  --size_;
+}
+
+void BindingCache::drop_negative(std::uint32_t id) {
+  neg_unlink(id);
+  slots_[id].flags &= static_cast<std::uint8_t>(~kNegative);
+  --negative_size_;
+}
+
+void BindingCache::drop_contents() {
+  ids_.clear();
+  slots_.clear();
+  lru_head_ = lru_tail_ = neg_head_ = neg_tail_ = kNil;
+  size_ = negative_size_ = 0;
 }
 
 std::optional<Binding> BindingCache::get(const Loid& loid, SimTime now) {
   std::lock_guard lock(mutex_);
-  auto it = entries_.find(loid);
-  if (it == entries_.end()) {
+  const std::uint32_t id = ids_.find(loid);
+  if (id == LoidInterner::kNoId || (slots_[id].flags & kPositive) == 0) {
     ++stats_.misses;
     Bump(agg_misses_);
     return std::nullopt;
   }
-  if (it->second.binding.expired_at(now)) {
+  if (slots_[id].binding.expired_at(now)) {
     // Expired entries are misses *and* are removed so they cannot be
     // resurrected by a later lookup at an earlier virtual time.
-    lru_.erase(it->second.lru_pos);
-    entries_.erase(it);
+    drop_positive(id);
     ++stats_.misses;
     Bump(agg_misses_);
     return std::nullopt;
   }
-  touch(it->second);
+  if (id != lru_head_) {
+    lru_unlink(id);
+    lru_link_front(id);
+  }
   ++stats_.hits;
   Bump(agg_hits_);
-  return it->second.binding;
+  return slots_[id].binding;
 }
 
 void BindingCache::put_negative(const Loid& loid, SimTime expires_at) {
-  if (capacity_ == 0) return;
   std::lock_guard lock(mutex_);
-  if (negatives_.size() >= capacity_ &&
-      negatives_.find(loid) == negatives_.end()) {
-    // Full: drop entries expiring no later than the incoming one; if any
-    // survive, sacrifice one arbitrarily — a negative entry only saves a
-    // consult, so losing one is merely a missed optimization.
-    for (auto it = negatives_.begin(); it != negatives_.end();) {
-      it = it->second <= expires_at ? negatives_.erase(it) : std::next(it);
-    }
-    if (negatives_.size() >= capacity_) negatives_.erase(negatives_.begin());
+  if (capacity_ == 0) return;
+  const std::uint32_t id = intern_slot(loid);
+  if ((slots_[id].flags & kNegative) != 0) {
+    slots_[id].neg_expires = expires_at;
+    return;
   }
-  negatives_[loid] = expires_at;
+  if (negative_size_ >= capacity_) {
+    // Full: drop entries expiring no later than the incoming one; if all
+    // survive, sacrifice the oldest — a negative entry only saves a
+    // consult, so losing one is merely a missed optimization.
+    for (std::uint32_t n = neg_head_; n != kNil;) {
+      const std::uint32_t next = slots_[n].neg_next;
+      if (slots_[n].neg_expires <= expires_at) drop_negative(n);
+      n = next;
+    }
+    if (negative_size_ >= capacity_) drop_negative(neg_head_);
+  }
+  slots_[id].neg_expires = expires_at;
+  slots_[id].flags |= kNegative;
+  neg_link_back(id);
+  ++negative_size_;
 }
 
 bool BindingCache::negative(const Loid& loid, SimTime now) {
   std::lock_guard lock(mutex_);
-  auto it = negatives_.find(loid);
-  if (it == negatives_.end()) return false;
-  if (it->second <= now) {
-    negatives_.erase(it);
+  const std::uint32_t id = ids_.find(loid);
+  if (id == LoidInterner::kNoId || (slots_[id].flags & kNegative) == 0) {
+    return false;
+  }
+  if (slots_[id].neg_expires <= now) {
+    drop_negative(id);
     return false;
   }
   return true;
 }
 
 void BindingCache::put(Binding binding) {
-  if (capacity_ == 0 || !binding.valid()) return;
   std::lock_guard lock(mutex_);
-  negatives_.erase(binding.loid);
-  auto it = entries_.find(binding.loid);
-  if (it != entries_.end()) {
-    it->second.binding = std::move(binding);
-    touch(it->second);
+  if (capacity_ == 0 || !binding.valid()) return;
+  const std::uint32_t id = intern_slot(binding.loid);
+  if ((slots_[id].flags & kNegative) != 0) drop_negative(id);
+  if ((slots_[id].flags & kPositive) != 0) {
+    slots_[id].binding = std::move(binding);
+    if (id != lru_head_) {
+      lru_unlink(id);
+      lru_link_front(id);
+    }
     return;
   }
-  if (entries_.size() >= capacity_) {
-    const Loid& victim = lru_.back();
-    entries_.erase(victim);
-    lru_.pop_back();
+  if (size_ >= capacity_) {
+    drop_positive(lru_tail_);
     ++stats_.evictions;
     Bump(agg_evictions_);
   }
-  lru_.push_front(binding.loid);
-  entries_.emplace(binding.loid, Entry{std::move(binding), lru_.begin()});
+  slots_[id].binding = std::move(binding);
+  slots_[id].flags |= kPositive;
+  lru_link_front(id);
+  ++size_;
 }
 
 bool BindingCache::invalidate(const Loid& loid) {
   std::lock_guard lock(mutex_);
-  negatives_.erase(loid);  // "drop whatever is cached" covers both polarities
-  auto it = entries_.find(loid);
-  if (it == entries_.end()) return false;
-  lru_.erase(it->second.lru_pos);
-  entries_.erase(it);
+  const std::uint32_t id = ids_.find(loid);
+  if (id == LoidInterner::kNoId) return false;
+  // "Drop whatever is cached" covers both polarities.
+  if ((slots_[id].flags & kNegative) != 0) drop_negative(id);
+  if ((slots_[id].flags & kPositive) == 0) return false;
+  drop_positive(id);
   ++stats_.invalidations;
   Bump(agg_invalidations_);
   return true;
@@ -105,10 +193,12 @@ bool BindingCache::invalidate(const Loid& loid) {
 
 bool BindingCache::invalidate_exact(const Binding& binding) {
   std::lock_guard lock(mutex_);
-  auto it = entries_.find(binding.loid);
-  if (it == entries_.end() || !(it->second.binding == binding)) return false;
-  lru_.erase(it->second.lru_pos);
-  entries_.erase(it);
+  const std::uint32_t id = ids_.find(binding.loid);
+  if (id == LoidInterner::kNoId || (slots_[id].flags & kPositive) == 0 ||
+      !(slots_[id].binding == binding)) {
+    return false;
+  }
+  drop_positive(id);
   ++stats_.invalidations;
   Bump(agg_invalidations_);
   return true;
@@ -116,20 +206,43 @@ bool BindingCache::invalidate_exact(const Binding& binding) {
 
 void BindingCache::clear() {
   std::lock_guard lock(mutex_);
-  entries_.clear();
-  lru_.clear();
-  negatives_.clear();
+  drop_contents();
 }
 
 bool BindingCache::consistent() const {
   std::lock_guard lock(mutex_);
-  if (lru_.size() != entries_.size()) return false;
-  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-    auto found = entries_.find(*it);
-    if (found == entries_.end()) return false;
-    if (found->second.lru_pos != it) return false;
+  // Walk the LRU list: every node positive, back-pointers intact, count
+  // matching size_ (the count guard also catches accidental cycles).
+  std::size_t seen = 0;
+  std::uint32_t prev = kNil;
+  for (std::uint32_t id = lru_head_; id != kNil; id = slots_[id].lru_next) {
+    if (seen++ > size_) return false;
+    if ((slots_[id].flags & kPositive) == 0) return false;
+    if (slots_[id].lru_prev != prev) return false;
+    prev = id;
   }
-  return true;
+  if (seen != size_ || lru_tail_ != prev) return false;
+
+  seen = 0;
+  prev = kNil;
+  for (std::uint32_t id = neg_head_; id != kNil; id = slots_[id].neg_next) {
+    if (seen++ > negative_size_) return false;
+    if ((slots_[id].flags & kNegative) == 0) return false;
+    if (slots_[id].neg_prev != prev) return false;
+    prev = id;
+  }
+  if (seen != negative_size_ || neg_tail_ != prev) return false;
+
+  // No flagged slot may be missing from its list, and populations must
+  // respect capacity.
+  std::size_t positives = 0, negatives = 0;
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if ((slots_[id].flags & kPositive) != 0) ++positives;
+    if ((slots_[id].flags & kNegative) != 0) ++negatives;
+  }
+  if (positives != size_ || negatives != negative_size_) return false;
+  return size_ <= capacity_ && negative_size_ <= capacity_ &&
+         slots_.size() == ids_.size();
 }
 
 }  // namespace legion::core

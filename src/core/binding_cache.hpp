@@ -5,16 +5,24 @@
 // with TTL awareness backs the first two. Hit/miss/eviction counters feed
 // the Section 5.2.1 experiments directly.
 //
-// Thread-safe: every operation takes the internal mutex, so one cache may
-// be shared by concurrent call() paths (ThreadRuntime / TcpRuntime).
+// Storage layout: every LOID the cache has ever seen is interned once into
+// a dense uint32_t id; all per-entry state (binding, negative-entry expiry,
+// LRU links) lives in one segmented slot array indexed by id. The LRU order
+// is an intrusive doubly-linked list of ids — two uint32_t per entry instead
+// of a std::list<Loid> node — and negative entries form a second intrusive
+// list in insertion order. Steady-state put/get perform no heap allocation.
+//
+// Thread-safe: every operation takes the internal mutex (including the
+// capacity probe — reset_capacity() may rewrite capacity_ concurrently), so
+// one cache may be shared by concurrent call() paths (ThreadRuntime /
+// TcpRuntime).
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
 
+#include "base/segmented_vector.hpp"
 #include "core/binding.hpp"
 #include "obs/metrics.hpp"
 
@@ -42,9 +50,7 @@ class BindingCache {
   void reset_capacity(std::size_t capacity) {
     std::lock_guard lock(mutex_);
     capacity_ = capacity;
-    entries_.clear();
-    lru_.clear();
-    negatives_.clear();
+    drop_contents();
   }
 
   // Optionally mirrors this cache's counters into runtime-wide aggregates
@@ -68,7 +74,7 @@ class BindingCache {
   bool negative(const Loid& loid, SimTime now);
   [[nodiscard]] std::size_t negative_size() const {
     std::lock_guard lock(mutex_);
-    return negatives_.size();
+    return negative_size_;
   }
 
   // Section 3.6 InvalidateBinding(LOID): drop whatever is cached.
@@ -80,7 +86,7 @@ class BindingCache {
   void clear();
   [[nodiscard]] std::size_t size() const {
     std::lock_guard lock(mutex_);
-    return entries_.size();
+    return size_;
   }
   [[nodiscard]] std::size_t capacity() const {
     std::lock_guard lock(mutex_);
@@ -90,31 +96,60 @@ class BindingCache {
     std::lock_guard lock(mutex_);
     return stats_;
   }
+  // Structure residency (interner + slot segments), excluding payload heap
+  // owned by the cached Bindings themselves; bench_memory_per_object.
+  [[nodiscard]] std::size_t allocated_bytes() const {
+    std::lock_guard lock(mutex_);
+    return ids_.allocated_bytes() + slots_.allocated_bytes();
+  }
   void reset_stats() {
     std::lock_guard lock(mutex_);
     stats_ = BindingCacheStats{};
   }
 
-  // True iff the LRU list and the entry map agree exactly: same size, every
-  // listed LOID present, every entry's lru_pos pointing back at its own
-  // list node. The eviction/expiry tests assert this after every step.
+  // True iff the intrusive lists and the slot flags agree exactly: the LRU
+  // list links size_ positive slots with intact back-pointers, the negative
+  // list links negative_size_ negative slots likewise, no flagged slot is
+  // missing from its list, and both populations respect capacity_. The
+  // eviction/expiry tests assert this after every step.
   [[nodiscard]] bool consistent() const;
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::uint8_t kPositive = 1;  // binding + LRU links live
+  static constexpr std::uint8_t kNegative = 2;  // neg_expires + neg links live
+
+  // One slot per interned LOID; ids index slots_ directly. Evicted entries
+  // keep their slot (flags cleared) and reuse it on re-insertion.
+  struct Slot {
     Binding binding;
-    std::list<Loid>::iterator lru_pos;
+    SimTime neg_expires = 0;
+    std::uint32_t lru_prev = kNil, lru_next = kNil;
+    std::uint32_t neg_prev = kNil, neg_next = kNil;
+    std::uint8_t flags = 0;
   };
 
-  void touch(Entry& entry);
+  // All of these require mutex_ held.
+  std::uint32_t intern_slot(const Loid& loid);
+  void lru_link_front(std::uint32_t id);
+  void lru_unlink(std::uint32_t id);
+  void neg_link_back(std::uint32_t id);
+  void neg_unlink(std::uint32_t id);
+  void drop_positive(std::uint32_t id);
+  void drop_negative(std::uint32_t id);
+  void drop_contents();
 
-  std::size_t capacity_;
+  std::size_t capacity_;             // guarded by mutex_
   mutable std::mutex mutex_;
-  std::unordered_map<Loid, Entry> entries_;  // guarded by mutex_
-  std::list<Loid> lru_;                      // front = most recent
-  // LOID -> expiry of the negative result; bounded by capacity_.
-  std::unordered_map<Loid, SimTime> negatives_;  // guarded by mutex_
-  BindingCacheStats stats_;                  // guarded by mutex_
+  LoidInterner ids_;                 // guarded by mutex_
+  SegmentedVector<Slot> slots_;      // one per id; guarded by mutex_
+  std::uint32_t lru_head_ = kNil;    // most recently used positive entry
+  std::uint32_t lru_tail_ = kNil;    // least recently used positive entry
+  std::uint32_t neg_head_ = kNil;    // oldest negative entry
+  std::uint32_t neg_tail_ = kNil;    // newest negative entry
+  std::size_t size_ = 0;             // positive entries
+  std::size_t negative_size_ = 0;    // negative entries; <= capacity_
+  BindingCacheStats stats_;          // guarded by mutex_
   // Runtime-wide aggregate mirrors; null until bind_metrics().
   obs::Counter* agg_hits_ = nullptr;
   obs::Counter* agg_misses_ = nullptr;

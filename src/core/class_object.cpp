@@ -78,22 +78,31 @@ void ClassObjectImpl::SaveState(Writer& w) const {
 Status ClassObjectImpl::RestoreState(Reader& r) {
   if (r.exhausted()) return OkStatus();  // fresh shell; definition set later
   def_ = ClassDefinition::Deserialize(r);
-  table_ = LogicalTable::Deserialize(r);
-  next_seq_ = r.u64();
-  clones_ = ReadVector<Loid>(r);
-  clone_rr_ = r.u64();
-  creations_ = r.u64();
-  // Derive() serializes only the definition; the trailing fields then read
-  // as zero with the reader failed — treat that as a fresh class.
-  if (!r.ok()) {
+  if (!r.ok()) return InvalidArgumentError("corrupt class definition");
+  if (def_.class_id == 0) return InvalidArgumentError("class state without id");
+  // Derive() serializes only the definition: a stream that ends exactly
+  // here is a legitimate fresh class. Anything shorter than the full
+  // SaveState layout beyond this point is a truncated OPR/checkpoint and
+  // must fail loudly — restoring a partial logical table would silently
+  // forget objects the class created.
+  if (r.exhausted()) {
     table_ = LogicalTable{};
     next_seq_ = 1;
     clones_.clear();
     clone_rr_ = 0;
     creations_ = 0;
+    return OkStatus();
   }
-  return def_.class_id == 0 ? InvalidArgumentError("class state without id")
-                            : OkStatus();
+  table_ = LogicalTable::Deserialize(r);
+  next_seq_ = r.u64();
+  clones_ = ReadVector<Loid>(r);
+  clone_rr_ = r.u64();
+  creations_ = r.u64();
+  if (!r.ok()) {
+    return InvalidArgumentError("truncated class state: logical table or "
+                                "trailing fields cut mid-stream");
+  }
+  return OkStatus();
 }
 
 InterfaceDescription ClassObjectImpl::interface() const {

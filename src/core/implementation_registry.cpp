@@ -11,20 +11,26 @@ Status ImplementationRegistry::add(const std::string& name,
                                 "'+'-free: " + name);
   }
   if (!factory) return InvalidArgumentError("null factory for " + name);
-  if (!factories_.emplace(name, std::move(factory)).second) {
+  if (ids_.find(name) != Interner<std::string>::kNoId) {
     return AlreadyExistsError("implementation already registered: " + name);
   }
+  const std::uint32_t id = ids_.intern(name);
+  if (factories_.size() < ids_.size()) factories_.resize(ids_.size());
+  factories_[id] = std::move(factory);
   return OkStatus();
 }
 
 bool ImplementationRegistry::contains(const std::string& name) const {
-  return factories_.contains(name);
+  return ids_.find(name) != Interner<std::string>::kNoId;
 }
 
 std::vector<std::string> ImplementationRegistry::names() const {
   std::vector<std::string> out;
-  out.reserve(factories_.size());
-  for (const auto& [name, _] : factories_) out.push_back(name);
+  out.reserve(ids_.size());
+  for (std::uint32_t id = 0; id < ids_.size(); ++id) {
+    out.push_back(ids_.key_of(id));
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -35,11 +41,11 @@ ImplementationRegistry::instantiate(const std::string& spec) const {
   std::vector<std::unique_ptr<ObjectImpl>> out;
   out.reserve(parts.size());
   for (const std::string& name : parts) {
-    auto it = factories_.find(name);
-    if (it == factories_.end()) {
+    const std::uint32_t id = ids_.find(name);
+    if (id == Interner<std::string>::kNoId) {
       return NotFoundError("unknown implementation: " + name);
     }
-    out.push_back(it->second());
+    out.push_back(factories_[id]());
   }
   return out;
 }

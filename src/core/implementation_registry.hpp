@@ -8,14 +8,19 @@
 // run-time multiple inheritance (Section 2.1.1): the first name is the
 // derived implementation, later names are bases, and method lookup takes the
 // first registration of each name.
+//
+// Storage layout: names are interned to dense uint32_t ids and factories
+// live in a segmented per-id slot array — the same packed-table shape as
+// LogicalTable / BindingCache, so a registry holding many implementations
+// resolves a spec with flat-array lookups, not tree walks.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "base/interner.hpp"
 #include "base/status.hpp"
 #include "core/object_impl.hpp"
 
@@ -27,6 +32,8 @@ class ImplementationRegistry {
  public:
   Status add(const std::string& name, ImplFactory factory);
   [[nodiscard]] bool contains(const std::string& name) const;
+  // Registered names in sorted order (deterministic regardless of
+  // registration sequence).
   [[nodiscard]] std::vector<std::string> names() const;
 
   // Instantiates every implementation named in a '+'-separated spec, in
@@ -42,7 +49,8 @@ class ImplementationRegistry {
       const std::string& spec);
 
  private:
-  std::map<std::string, ImplFactory> factories_;
+  Interner<std::string> ids_;
+  SegmentedVector<ImplFactory> factories_;  // one slot per id
 };
 
 }  // namespace legion::core

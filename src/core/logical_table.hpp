@@ -6,15 +6,23 @@
 // Registered rows additionally cover bootstrap components (host objects,
 // magistrates, binding agents) that "contact their class" on startup
 // (Section 4.2.1).
+//
+// Storage layout: LOIDs are interned to dense uint32_t ids in insertion
+// order; rows live in one segmented slot array indexed by id (no per-row
+// heap node), with a parallel liveness column so erase() keeps the id
+// stable for later re-insertion. find() returns pointers directly into the
+// segments — stable for the table's lifetime, since segments never move.
+// Iteration (loids(), Serialize()) walks ids in order, so probe sequences
+// and serialized bytes are deterministic, not unordered_map artifacts.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "base/loid.hpp"
+#include "base/segmented_vector.hpp"
 #include "core/object_address.hpp"
 
 namespace legion::core {
@@ -102,44 +110,85 @@ struct TableRow {
 
 class LogicalTable {
  public:
-  void upsert(TableRow row) { rows_[row.loid] = std::move(row); }
-  bool erase(const Loid& loid) { return rows_.erase(loid) > 0; }
+  void upsert(TableRow row) {
+    const std::uint32_t id = ids_.intern(row.loid);
+    if (rows_.size() < ids_.size()) {
+      rows_.resize(ids_.size());
+      live_.resize(ids_.size());
+    }
+    rows_[id] = std::move(row);
+    if (live_[id] == 0) {
+      live_[id] = 1;
+      ++size_;
+    }
+  }
+
+  bool erase(const Loid& loid) {
+    const std::uint32_t id = ids_.find(loid);
+    if (id == LoidInterner::kNoId || live_[id] == 0) return false;
+    live_[id] = 0;
+    rows_[id] = TableRow{};  // release the row's heap state; id stays valid
+    --size_;
+    return true;
+  }
 
   [[nodiscard]] TableRow* find(const Loid& loid) {
-    auto it = rows_.find(loid);
-    return it == rows_.end() ? nullptr : &it->second;
+    const std::uint32_t id = ids_.find(loid);
+    return id == LoidInterner::kNoId || live_[id] == 0 ? nullptr : &rows_[id];
   }
   [[nodiscard]] const TableRow* find(const Loid& loid) const {
-    auto it = rows_.find(loid);
-    return it == rows_.end() ? nullptr : &it->second;
+    const std::uint32_t id = ids_.find(loid);
+    return id == LoidInterner::kNoId || live_[id] == 0 ? nullptr : &rows_[id];
   }
 
-  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
+  // Live LOIDs in first-insertion order — deterministic, so SweepInstances
+  // probe order and sim traces replay identically run to run.
   [[nodiscard]] std::vector<Loid> loids(
       std::optional<RowKind> kind = std::nullopt) const {
     std::vector<Loid> out;
-    for (const auto& [loid, row] : rows_) {
-      if (!kind || row.kind == *kind) out.push_back(loid);
+    out.reserve(size_);
+    for (std::size_t id = 0; id < rows_.size(); ++id) {
+      if (live_[id] == 0) continue;
+      if (!kind || rows_[id].kind == *kind) out.push_back(rows_[id].loid);
     }
     return out;
   }
 
-  void Serialize(Writer& w) const {
-    w.u32(static_cast<std::uint32_t>(rows_.size()));
-    for (const auto& [_, row] : rows_) row.Serialize(w);
+  // Allocation accounting for bench_memory_per_object.
+  [[nodiscard]] std::size_t allocated_bytes() const {
+    return ids_.allocated_bytes() + rows_.allocated_bytes() +
+           live_.allocated_bytes();
   }
+
+  void Serialize(Writer& w) const {
+    w.u32(static_cast<std::uint32_t>(size_));
+    for (std::size_t id = 0; id < rows_.size(); ++id) {
+      if (live_[id] != 0) rows_[id].Serialize(w);
+    }
+  }
+  // A short or corrupt stream leaves `r` failed (its sticky flag) and the
+  // returned table partial: callers MUST check r.ok() before trusting the
+  // result, or a truncated OPR/checkpoint silently restores fewer rows.
   static LogicalTable Deserialize(Reader& r) {
     LogicalTable t;
     const std::uint32_t n = r.u32();
+    // Each row consumes >= 1 byte: a count beyond the remaining bytes is
+    // structurally impossible, so fail the stream up front.
+    if (r.ok() && n > r.remaining()) r.mark_failed();
     for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
-      t.upsert(TableRow::Deserialize(r));
+      TableRow row = TableRow::Deserialize(r);
+      if (r.ok()) t.upsert(std::move(row));
     }
     return t;
   }
 
  private:
-  std::unordered_map<Loid, TableRow> rows_;
+  LoidInterner ids_;
+  SegmentedVector<TableRow> rows_;       // one slot per id
+  SegmentedVector<std::uint8_t> live_;   // 1 == row present
+  std::size_t size_ = 0;                 // live rows
 };
 
 }  // namespace legion::core

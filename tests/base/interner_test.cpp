@@ -1,0 +1,68 @@
+#include "base/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "base/loid.hpp"
+
+namespace legion {
+namespace {
+
+TEST(InternerTest, AssignsDenseIdsInInsertionOrder) {
+  Interner<std::string> interner;
+  EXPECT_EQ(interner.intern("alpha"), 0u);
+  EXPECT_EQ(interner.intern("beta"), 1u);
+  EXPECT_EQ(interner.intern("gamma"), 2u);
+  EXPECT_EQ(interner.intern("beta"), 1u);  // duplicate: same id
+  EXPECT_EQ(interner.size(), 3u);
+  EXPECT_EQ(interner.key_of(0), "alpha");
+  EXPECT_EQ(interner.key_of(2), "gamma");
+}
+
+TEST(InternerTest, FindDoesNotIntern) {
+  Interner<std::string> interner;
+  EXPECT_EQ(interner.find("missing"), Interner<std::string>::kNoId);
+  (void)interner.intern("present");
+  EXPECT_EQ(interner.find("present"), 0u);
+  EXPECT_EQ(interner.find("missing"), Interner<std::string>::kNoId);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(InternerTest, SurvivesRehashing) {
+  Interner<std::uint64_t> interner;
+  constexpr std::uint64_t kCount = 50'000;  // forces many doublings
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(interner.intern(i * 31), i);
+  }
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(interner.find(i * 31), i);
+    ASSERT_EQ(interner.key_of(static_cast<std::uint32_t>(i)), i * 31);
+  }
+  EXPECT_EQ(interner.find(kCount * 31), (Interner<std::uint64_t>::kNoId));
+}
+
+TEST(InternerTest, ClearResets) {
+  Interner<std::string> interner;
+  (void)interner.intern("a");
+  (void)interner.intern("b");
+  interner.clear();
+  EXPECT_EQ(interner.size(), 0u);
+  EXPECT_EQ(interner.find("a"), Interner<std::string>::kNoId);
+  EXPECT_EQ(interner.intern("b"), 0u);  // ids restart dense
+}
+
+TEST(InternerTest, LoidInternerUsesIdentityBits) {
+  // LOID equality ignores the public key (Section 4.1.3's locating trick),
+  // so interning must collapse key'd and keyless spellings to one id.
+  LoidInterner interner;
+  const Loid with_key{5, 9, {0xAA, 0xBB}};
+  const Loid without_key{5, 9};
+  EXPECT_EQ(interner.intern(with_key), interner.intern(without_key));
+  EXPECT_EQ(interner.size(), 1u);
+  EXPECT_EQ(interner.find(without_key), 0u);
+}
+
+}  // namespace
+}  // namespace legion

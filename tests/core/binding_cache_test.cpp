@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <optional>
 #include <thread>
 #include <vector>
+
+#include "base/rng.hpp"
 
 namespace legion::core {
 namespace {
@@ -201,6 +206,244 @@ TEST(BindingCacheTest, ConcurrentMixedOpsAtCapacityStayConsistent) {
   const auto stats = cache.stats();
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<std::uint64_t>(kThreads) * (kOps / 4));
+}
+
+TEST(BindingCacheTest, ConcurrentPutsRacingResetCapacityStayConsistent) {
+  // Regression for the TSan-visible race: put() and put_negative() used to
+  // read capacity_ before taking the mutex, racing with reset_capacity()'s
+  // write under lock. Both checks now happen under the mutex; this test is
+  // the sanitizer matrix's probe for that path.
+  BindingCache cache(8);
+  constexpr int kWriters = 3;
+  constexpr int kOps = 3000;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t id = 1 + ((t * kOps + i) % 11);
+        if (i % 3 == 0) {
+          cache.put_negative(Loid{100, id}, /*expires_at=*/1000 + i);
+        } else {
+          cache.put(MakeBinding(id));
+        }
+        if (i % 7 == 0) (void)cache.get(Loid{100, id}, /*now=*/0);
+      }
+    });
+  }
+  threads.emplace_back([&cache] {
+    for (int i = 0; i < kOps; ++i) {
+      cache.reset_capacity(i % 2 == 0 ? 4 : 16);
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(cache.consistent());
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_LE(cache.negative_size(), 16u);
+}
+
+// A naive reference model of the cache's contract, mirrored operation by
+// operation: entries as a map plus an explicit most-recent-first LRU
+// sequence, negatives as a map plus insertion order. The property test
+// drives both with the same randomized op stream and requires identical
+// observable behavior, consistent() and the negative bound after every step.
+struct ReferenceCache {
+  std::size_t capacity;
+  std::map<Loid, Binding> entries;
+  std::vector<Loid> lru;  // front = most recent
+  std::map<Loid, SimTime> negatives;
+  std::vector<Loid> neg_order;  // front = oldest
+
+  explicit ReferenceCache(std::size_t cap) : capacity(cap) {}
+
+  void to_front(const Loid& loid) {
+    auto it = std::find(lru.begin(), lru.end(), loid);
+    if (it != lru.end()) lru.erase(it);
+    lru.insert(lru.begin(), loid);
+  }
+  void drop_entry(const Loid& loid) {
+    entries.erase(loid);
+    auto it = std::find(lru.begin(), lru.end(), loid);
+    if (it != lru.end()) lru.erase(it);
+  }
+  void drop_negative(const Loid& loid) {
+    negatives.erase(loid);
+    auto it = std::find(neg_order.begin(), neg_order.end(), loid);
+    if (it != neg_order.end()) neg_order.erase(it);
+  }
+
+  std::optional<Binding> get(const Loid& loid, SimTime now) {
+    auto it = entries.find(loid);
+    if (it == entries.end()) return std::nullopt;
+    if (it->second.expired_at(now)) {
+      drop_entry(loid);
+      return std::nullopt;
+    }
+    to_front(loid);
+    return it->second;
+  }
+
+  void put(Binding binding) {
+    if (capacity == 0 || !binding.valid()) return;
+    const Loid key = binding.loid;
+    drop_negative(key);
+    if (entries.contains(key)) {
+      entries[key] = std::move(binding);
+      to_front(key);
+      return;
+    }
+    if (entries.size() >= capacity) drop_entry(lru.back());
+    to_front(key);
+    entries.emplace(key, std::move(binding));
+  }
+
+  void put_negative(const Loid& loid, SimTime expires_at) {
+    if (capacity == 0) return;
+    if (negatives.contains(loid)) {
+      negatives[loid] = expires_at;
+      return;
+    }
+    if (negatives.size() >= capacity) {
+      for (std::size_t i = 0; i < neg_order.size();) {
+        if (negatives[neg_order[i]] <= expires_at) {
+          negatives.erase(neg_order[i]);
+          neg_order.erase(neg_order.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+      if (negatives.size() >= capacity) drop_negative(neg_order.front());
+    }
+    negatives[loid] = expires_at;
+    neg_order.push_back(loid);
+  }
+
+  bool negative(const Loid& loid, SimTime now) {
+    auto it = negatives.find(loid);
+    if (it == negatives.end()) return false;
+    if (it->second <= now) {
+      drop_negative(loid);
+      return false;
+    }
+    return true;
+  }
+
+  bool invalidate(const Loid& loid) {
+    drop_negative(loid);
+    if (!entries.contains(loid)) return false;
+    drop_entry(loid);
+    return true;
+  }
+
+  bool invalidate_exact(const Binding& binding) {
+    auto it = entries.find(binding.loid);
+    if (it == entries.end() || !(it->second == binding)) return false;
+    drop_entry(binding.loid);
+    return true;
+  }
+
+  void reset_capacity(std::size_t cap) {
+    capacity = cap;
+    entries.clear();
+    lru.clear();
+    negatives.clear();
+    neg_order.clear();
+  }
+};
+
+TEST(BindingCachePropertyTest, RandomizedOpsMatchReferenceModel) {
+  // ~6000 randomized steps over a small LOID universe and adversarial
+  // capacities, comparing every observable result against the reference
+  // and asserting the packed structure's invariants after each step.
+  Rng rng(20260808);
+  constexpr std::uint64_t kUniverse = 24;
+  constexpr int kSteps = 6000;
+
+  for (const std::size_t capacity : {std::size_t{0}, std::size_t{1},
+                                     std::size_t{3}, std::size_t{8}}) {
+    BindingCache cache(capacity);
+    ReferenceCache ref(capacity);
+    SimTime now = 0;
+    for (int step = 0; step < kSteps; ++step) {
+      const Loid loid{100, 1 + rng.below(kUniverse)};
+      now += static_cast<SimTime>(rng.below(20));
+      switch (rng.below(12)) {
+        case 0:
+        case 1:
+        case 2: {  // put, sometimes with a near expiry
+          Binding b;
+          b.loid = loid;
+          b.address =
+              ObjectAddress{ObjectAddressElement::Sim(EndpointId{rng.below(5)})};
+          b.expires = rng.chance(0.3)
+                          ? now + static_cast<SimTime>(rng.below(40))
+                          : kSimTimeNever;
+          cache.put(b);
+          ref.put(b);
+          break;
+        }
+        case 3:
+        case 4:
+        case 5:
+        case 6: {  // get at current virtual time
+          const auto got = cache.get(loid, now);
+          const auto want = ref.get(loid, now);
+          ASSERT_EQ(got.has_value(), want.has_value()) << "step " << step;
+          if (got.has_value()) {
+            ASSERT_TRUE(*got == *want) << "step " << step;
+          }
+          break;
+        }
+        case 7: {  // negative entry with short TTL
+          const SimTime expires = now + static_cast<SimTime>(rng.below(30));
+          cache.put_negative(loid, expires);
+          ref.put_negative(loid, expires);
+          break;
+        }
+        case 8: {
+          ASSERT_EQ(cache.negative(loid, now), ref.negative(loid, now))
+              << "step " << step;
+          break;
+        }
+        case 9: {
+          ASSERT_EQ(cache.invalidate(loid), ref.invalidate(loid))
+              << "step " << step;
+          break;
+        }
+        case 10: {  // invalidate_exact with a sometimes-matching binding
+          Binding b;
+          b.loid = loid;
+          b.address =
+              ObjectAddress{ObjectAddressElement::Sim(EndpointId{rng.below(5)})};
+          const auto it = ref.entries.find(loid);
+          if (it != ref.entries.end() && rng.chance(0.5)) b = it->second;
+          ASSERT_EQ(cache.invalidate_exact(b), ref.invalidate_exact(b))
+              << "step " << step;
+          break;
+        }
+        default: {  // rare capacity reshuffle (the restore path)
+          if (rng.chance(0.05)) {
+            const auto cap = static_cast<std::size_t>(rng.below(9));
+            cache.reset_capacity(cap);
+            ref.reset_capacity(cap);
+          }
+          break;
+        }
+      }
+      ASSERT_TRUE(cache.consistent()) << "step " << step;
+      ASSERT_EQ(cache.size(), ref.entries.size()) << "step " << step;
+      ASSERT_EQ(cache.negative_size(), ref.negatives.size()) << "step " << step;
+      ASSERT_LE(cache.negative_size(), std::max<std::size_t>(ref.capacity, 0))
+          << "step " << step;
+    }
+    // Final sweep: every LOID in the universe agrees on both polarities.
+    for (std::uint64_t n = 1; n <= kUniverse; ++n) {
+      const Loid probe{100, n};
+      ASSERT_EQ(cache.get(probe, now).has_value(),
+                ref.get(probe, now).has_value());
+      ASSERT_EQ(cache.negative(probe, now), ref.negative(probe, now));
+    }
+  }
 }
 
 }  // namespace

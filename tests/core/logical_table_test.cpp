@@ -1,0 +1,196 @@
+#include "core/logical_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/class_object.hpp"
+
+namespace legion::core {
+namespace {
+
+TableRow MakeRow(std::uint64_t n, RowKind kind = RowKind::kInstance) {
+  TableRow row;
+  row.loid = Loid{9, n};
+  row.kind = kind;
+  row.current_magistrates = {Loid{3, 1}};
+  row.checkpoint_path = "vault/" + std::to_string(n);
+  return row;
+}
+
+TEST(LogicalTableTest, UpsertFindEraseRoundTrip) {
+  LogicalTable t;
+  t.upsert(MakeRow(1));
+  t.upsert(MakeRow(2));
+  EXPECT_EQ(t.size(), 2u);
+  ASSERT_NE(t.find(Loid{9, 1}), nullptr);
+  EXPECT_EQ(t.find(Loid{9, 1})->checkpoint_path, "vault/1");
+  EXPECT_EQ(t.find(Loid{9, 3}), nullptr);
+
+  EXPECT_TRUE(t.erase(Loid{9, 1}));
+  EXPECT_FALSE(t.erase(Loid{9, 1}));
+  EXPECT_EQ(t.find(Loid{9, 1}), nullptr);
+  EXPECT_EQ(t.size(), 1u);
+
+  // Re-insertion after erase revives the row.
+  t.upsert(MakeRow(1));
+  ASSERT_NE(t.find(Loid{9, 1}), nullptr);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(LogicalTableTest, UpsertReplacesInPlace) {
+  LogicalTable t;
+  t.upsert(MakeRow(5));
+  TableRow* before = t.find(Loid{9, 5});
+  TableRow replacement = MakeRow(5);
+  replacement.checkpoint_path = "vault/replaced";
+  t.upsert(std::move(replacement));
+  EXPECT_EQ(t.size(), 1u);
+  // Dense ids: the row keeps its slot, so the pointer stays stable.
+  EXPECT_EQ(t.find(Loid{9, 5}), before);
+  EXPECT_EQ(before->checkpoint_path, "vault/replaced");
+}
+
+TEST(LogicalTableTest, RowPointersStableAcrossGrowth) {
+  LogicalTable t;
+  t.upsert(MakeRow(1));
+  const TableRow* first = t.find(Loid{9, 1});
+  for (std::uint64_t n = 2; n <= 5000; ++n) t.upsert(MakeRow(n));
+  EXPECT_EQ(t.find(Loid{9, 1}), first);  // segments never move
+  EXPECT_EQ(first->checkpoint_path, "vault/1");
+}
+
+TEST(LogicalTableTest, LoidsAreInsertionOrderedAndDeterministic) {
+  // SweepInstances probe order and sim traces follow loids(): the sequence
+  // must be a function of the insertion history, not of hash-bucket layout.
+  const std::vector<std::uint64_t> scrambled = {41, 7, 1000003, 2, 99, 13};
+  LogicalTable t;
+  for (const std::uint64_t n : scrambled) {
+    t.upsert(MakeRow(n, n % 2 == 0 ? RowKind::kInstance : RowKind::kSubclass));
+  }
+  std::vector<Loid> expected;
+  for (const std::uint64_t n : scrambled) expected.emplace_back(9, n);
+  EXPECT_EQ(t.loids(), expected);
+
+  // Erase + re-insert moves the LOID nowhere: its id (insertion slot) is
+  // stable, so replay order survives row churn.
+  t.erase(Loid{9, 7});
+  t.upsert(MakeRow(7, RowKind::kSubclass));
+  EXPECT_EQ(t.loids(), expected);
+
+  std::vector<Loid> instances;
+  for (const std::uint64_t n : scrambled) {
+    if (n % 2 == 0) instances.emplace_back(9, n);
+  }
+  EXPECT_EQ(t.loids(RowKind::kInstance), instances);
+}
+
+TEST(LogicalTableTest, SerializeRoundTripsAllFields) {
+  LogicalTable t;
+  for (std::uint64_t n = 1; n <= 40; ++n) {
+    t.upsert(MakeRow(n, static_cast<RowKind>(n % 3)));
+  }
+  t.erase(Loid{9, 20});
+
+  Buffer bytes;
+  Writer w(bytes);
+  t.Serialize(w);
+  Reader r(bytes);
+  LogicalTable back = LogicalTable::Deserialize(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(back.size(), t.size());
+  EXPECT_EQ(back.loids(), t.loids());
+  EXPECT_EQ(back.find(Loid{9, 20}), nullptr);
+  ASSERT_NE(back.find(Loid{9, 3}), nullptr);
+  EXPECT_EQ(back.find(Loid{9, 3})->checkpoint_path, "vault/3");
+}
+
+TEST(LogicalTableTest, EveryTruncationFailsTheReader) {
+  // The satellite bug: a stream cut mid-row used to deserialize into a
+  // silently shorter table. Any proper prefix must now leave the reader
+  // failed — there is no byte at which a truncated table reads clean.
+  LogicalTable t;
+  for (std::uint64_t n = 1; n <= 8; ++n) t.upsert(MakeRow(n));
+  Buffer bytes;
+  Writer w(bytes);
+  t.Serialize(w);
+
+  const auto full = bytes.span();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Reader r(full.subspan(0, cut));
+    (void)LogicalTable::Deserialize(r);
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes read clean";
+  }
+  Reader whole(full);
+  (void)LogicalTable::Deserialize(whole);
+  EXPECT_TRUE(whole.ok());
+}
+
+TEST(LogicalTableTest, HostileRowCountFailsInsteadOfTruncating) {
+  Buffer bytes;
+  Writer w(bytes);
+  w.u32(1'000'000);  // claims a million rows, provides none
+  Reader r(bytes);
+  LogicalTable t = LogicalTable::Deserialize(r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+class ClassStateRestoreTest : public ::testing::Test {
+ protected:
+  static ClassDefinition MakeDef() {
+    ClassDefinition def;
+    def.class_id = 9;
+    def.name = "Worker";
+    def.instance_impl = "worker";
+    return def;
+  }
+};
+
+TEST_F(ClassStateRestoreTest, TruncatedCheckpointIsAnErrorNotAShorterTable) {
+  ClassObjectImpl source(MakeDef());
+  for (std::uint64_t n = 1; n <= 6; ++n) source.table().upsert(MakeRow(n));
+  Buffer bytes;
+  Writer w(bytes);
+  source.SaveState(w);
+
+  // Compute where the definition ends: a def-only stream is the legitimate
+  // Derive() layout, so truncation testing starts one byte past it.
+  Buffer def_only;
+  Writer dw(def_only);
+  source.definition().Serialize(dw);
+  const std::size_t def_size = def_only.span().size();
+
+  const auto full = bytes.span();
+  std::size_t failures = 0;
+  for (std::size_t cut = def_size + 1; cut < full.size(); ++cut) {
+    ClassObjectImpl restored;
+    Reader r(full.subspan(0, cut));
+    if (!restored.RestoreState(r).ok()) ++failures;
+  }
+  // Every strictly-partial checkpoint beyond the definition must fail.
+  EXPECT_EQ(failures, full.size() - def_size - 1);
+
+  ClassObjectImpl restored;
+  Reader whole(full);
+  ASSERT_TRUE(restored.RestoreState(whole).ok());
+  EXPECT_EQ(restored.table().size(), 6u);
+  EXPECT_EQ(restored.table().loids(), source.table().loids());
+}
+
+TEST_F(ClassStateRestoreTest, DefinitionOnlyStreamIsAFreshClass) {
+  // Derive() ships a definition with no table/counters; that layout must
+  // keep restoring as an empty class, not as a truncation error.
+  Buffer bytes;
+  Writer w(bytes);
+  MakeDef().Serialize(w);
+  ClassObjectImpl restored;
+  Reader r(bytes);
+  ASSERT_TRUE(restored.RestoreState(r).ok());
+  EXPECT_EQ(restored.table().size(), 0u);
+  EXPECT_EQ(restored.definition().name, "Worker");
+}
+
+}  // namespace
+}  // namespace legion::core
