@@ -1,11 +1,16 @@
 // Observability must be cheap enough to leave on. This bench runs the same
 // warm-cache binding-path workload (the E6 fast path: client cache hit, one
-// request/reply pair) with the trace ring enabled and disabled, and reports
-// the wall-clock delta. Metrics counters stay on in both runs — they are
-// always on in production — so the delta isolates the per-hop trace records.
+// request/reply pair) across the tracing ablation — ring disabled, ring on
+// sampling every root (1-in-1), ring on head-sampling 1-in-64 — and reports
+// wall-clock deltas. Metrics counters stay on in every run — they are always
+// on in production — so the deltas isolate the span records.
 //
-// Verdict line asserts the budget from ISSUE.md: tracing must cost < 5%.
+// hops_recorded is deterministic (virtual-time sim, counter-based sampler)
+// and is the E17 shape cell CI gates; the wall-clock columns are masked as
+// unstable at baseline time. Verdict line asserts the budget from ISSUE.md:
+// the always-on configuration (1-in-64) must cost < 5% vs. tracing off.
 #include <chrono>
+#include <iterator>
 
 #include "support.hpp"
 
@@ -16,13 +21,27 @@ constexpr int kWarmup = 256;
 constexpr int kCalls = 20'000;
 constexpr int kReps = 3;
 
+struct Mode {
+  const char* label;
+  bool ring_enabled;
+  std::uint64_t sample_every;  // TraceSampler 1-in-N
+};
+
+constexpr Mode kModes[] = {
+    {"off", false, 1},
+    {"on-1in1", true, 1},
+    {"on-1in64", true, 64},
+};
+
 // Wall-clock for kCalls warm invocations in a fresh deployment. A fresh
 // deployment per rep keeps allocator and cache state comparable between the
-// two modes; warmup fills the binding caches so every timed call is the
+// modes; warmup fills the binding caches so every timed call is the
 // two-message fast path.
-double RunOnce(bool tracing, std::uint64_t seed, std::uint64_t* hops_out) {
+double RunOnce(const Mode& mode, std::uint64_t seed,
+               std::uint64_t* hops_out) {
   Deployment d = MakeDeployment(2, 2, core::SystemConfig{}, seed);
-  d.runtime->traces().set_enabled(tracing);
+  d.runtime->traces().set_enabled(mode.ring_enabled);
+  d.runtime->sampler().set_every(mode.sample_every);
 
   auto setup = d.system->make_client(d.host(0, 0), "setup");
   const Loid cls = DeriveWorkerClass(
@@ -43,37 +62,39 @@ double RunOnce(bool tracing, std::uint64_t seed, std::uint64_t* hops_out) {
 }
 
 void Run() {
-  // Interleave the reps (off, on, off, on, ...) so frequency scaling and
-  // machine noise hit both modes evenly, then score each mode by its best
-  // rep — the run least disturbed by the outside world.
-  double best_off = 0.0;
-  double best_on = 0.0;
-  std::uint64_t hops_per_rep = 0;
+  constexpr std::size_t kNumModes = std::size(kModes);
+  // Interleave the reps (off, 1in1, 1in64, off, ...) so frequency scaling
+  // and machine noise hit every mode evenly, then score each mode by its
+  // best rep — the run least disturbed by the outside world.
+  double best[kNumModes] = {};
+  std::uint64_t hops[kNumModes] = {};
   for (int rep = 0; rep < kReps; ++rep) {
-    const double off = RunOnce(false, 100 + rep, nullptr);
-    const double on = RunOnce(true, 100 + rep, &hops_per_rep);
-    if (rep == 0 || off < best_off) best_off = off;
-    if (rep == 0 || on < best_on) best_on = on;
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      const double us = RunOnce(kModes[m], 100 + rep, &hops[m]);
+      if (rep == 0 || us < best[m]) best[m] = us;
+    }
   }
 
-  const double per_call_off = best_off / kCalls;
-  const double per_call_on = best_on / kCalls;
-  const double overhead_pct = (best_on - best_off) / best_off * 100.0;
-
-  sim::Table table("trace-ring overhead on the warm binding path",
-                   {"tracing", "wall_us_total", "ns_per_call", "hops_recorded"});
-  table.row({"off", sim::Table::num(static_cast<std::uint64_t>(best_off)),
-             sim::Table::num(static_cast<std::uint64_t>(per_call_off * 1000.0)),
-             "0"});
-  table.row({"on", sim::Table::num(static_cast<std::uint64_t>(best_on)),
-             sim::Table::num(static_cast<std::uint64_t>(per_call_on * 1000.0)),
-             sim::Table::num(hops_per_rep)});
+  sim::Table table("trace span overhead on the warm binding path (sampling "
+                   "ablation)",
+                   {"tracing", "wall_us_total", "ns_per_call",
+                    "hops_recorded"});
+  for (std::size_t m = 0; m < kNumModes; ++m) {
+    const double per_call = best[m] / kCalls;
+    table.row({kModes[m].label,
+               sim::Table::num(static_cast<std::uint64_t>(best[m])),
+               sim::Table::num(static_cast<std::uint64_t>(per_call * 1000.0)),
+               sim::Table::num(hops[m])});
+  }
   table.print();
 
-  std::printf("\noverhead: %+.2f%% (%d warm calls, best of %d reps each)\n",
-              overhead_pct, kCalls, kReps);
-  std::printf("verdict: %s (budget: < 5%%)\n",
-              overhead_pct < 5.0 ? "PASS" : "FAIL");
+  const double full_pct = (best[1] - best[0]) / best[0] * 100.0;
+  const double sampled_pct = (best[2] - best[0]) / best[0] * 100.0;
+  std::printf("\noverhead vs off: 1-in-1 %+.2f%%, 1-in-64 %+.2f%% "
+              "(%d warm calls, best of %d reps each)\n",
+              full_pct, sampled_pct, kCalls, kReps);
+  std::printf("verdict: %s (budget: 1-in-64 sampling < 5%%)\n",
+              sampled_pct < 5.0 ? "PASS" : "FAIL");
 }
 
 }  // namespace

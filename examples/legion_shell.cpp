@@ -7,16 +7,19 @@
 // when stdin is not a terminal) it executes a canned script of the same
 // commands.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/monitor_object.hpp"
 #include "core/scheduling_agent.hpp"
 #include "core/system.hpp"
 #include "core/well_known.hpp"
 #include "idl/compiler.hpp"
 #include "naming/context.hpp"
+#include "obs/trace_export.hpp"
 #include "rt/sim_runtime.hpp"
 #include "sim/sample_objects.hpp"
 
@@ -40,8 +43,11 @@ class Shell {
             {jurisdictions_[j]}, 16.0));
       }
     }
-    system_ = std::make_unique<core::LegionSystem>(runtime_,
-                                                   core::SystemConfig{});
+    core::SystemConfig config;
+    // Let every Host Object feed the fleet plane as it serves (the `fleet`
+    // command also forces a fresh snapshot from each host).
+    config.metrics_publish_interval_us = 1'000'000;
+    system_ = std::make_unique<core::LegionSystem>(runtime_, config);
     (void)sim::RegisterSampleObjects(system_->registry());
     (void)naming::RegisterNamingImpls(system_->registry());
     (void)core::RegisterSchedulingImpls(system_->registry());
@@ -72,6 +78,9 @@ class Shell {
     if (cmd == "move") return Move(in);
     if (cmd == "delete") return Delete(in);
     if (cmd == "stats") return Stats();
+    if (cmd == "trace") return Trace(in);
+    if (cmd == "metrics") return Metrics(in);
+    if (cmd == "fleet") return Fleet();
     std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
     return true;
   }
@@ -91,6 +100,9 @@ class Shell {
         "  delete <name>                 remove the object\n"
         "  stats                         comm stats, metrics registry, and "
         "recent trace hops\n"
+        "  trace dump <file>             export spans as Chrome trace JSON\n"
+        "  metrics dump [file]           Prometheus text dump of the registry\n"
+        "  fleet                         per-host rollups from the monitor\n"
         "  quit\n");
     return true;
   }
@@ -306,6 +318,96 @@ class Shell {
     return true;
   }
 
+  bool Trace(std::istringstream& in) {
+    std::string sub, path;
+    in >> sub >> path;
+    if (sub != "dump" || path.empty()) {
+      std::printf("usage: trace dump <file>\n");
+      return true;
+    }
+    const auto hops = runtime_.traces().last(runtime_.traces().capacity());
+    if (!obs::WriteChromeTraceFile(hops, path)) {
+      std::printf("cannot write %s\n", path.c_str());
+      return true;
+    }
+    std::printf("wrote %zu hops to %s (open in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                hops.size(), path.c_str());
+    return true;
+  }
+
+  bool Metrics(std::istringstream& in) {
+    std::string sub, path;
+    in >> sub >> path;
+    if (sub != "dump") {
+      std::printf("usage: metrics dump [file]\n");
+      return true;
+    }
+    if (path.empty()) {
+      obs::WritePrometheus(runtime_.metrics(), std::cout);
+      return true;
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::printf("cannot write %s\n", path.c_str());
+      return true;
+    }
+    obs::WritePrometheus(runtime_.metrics(), out);
+    std::printf("wrote metrics to %s\n", path.c_str());
+    return true;
+  }
+
+  bool Fleet() {
+    // Force a fresh snapshot from every host, then read the monitor's
+    // rollups directly (same process; the wire path is what fed them).
+    for (HostId h : hosts_) {
+      auto st = client_->ref(system_->host_object_of(h))
+                    .call(core::methods::kPublishMetrics, Buffer{})
+                    .status();
+      if (!st.ok()) {
+        std::printf("publish on host %u failed: %s\n", h.value,
+                    st.to_string().c_str());
+      }
+    }
+    runtime_.run_until_idle();  // let the fire-and-forget reports land
+    auto raw = client_->ref(system_->monitor_loid())
+                   .call(core::methods::kGetFleet, Buffer{});
+    if (!raw.ok()) {
+      std::printf("GetFleet failed: %s\n", raw.status().to_string().c_str());
+      return true;
+    }
+    auto reply = core::FleetReply::from_buffer(*raw);
+    if (!reply.ok()) {
+      std::printf("bad FleetReply: %s\n", reply.status().to_string().c_str());
+      return true;
+    }
+    std::printf("-- fleet (%zu hosts) --\n", reply->hosts.size());
+    std::printf("  %-6s %8s %10s %8s %8s %10s %6s %s\n", "host", "calls",
+                "calls/s", "p50us", "p99us", "queue-p99", "depth", "flags");
+    for (const auto& row : reply->hosts) {
+      std::string flags;
+      if (row.slow) flags += "slow ";
+      if (row.suspect) flags += "suspect";
+      std::printf("  %-6u %8llu %10.1f %8llu %8llu %10llu %6lld %s\n",
+                  row.host, static_cast<unsigned long long>(row.calls),
+                  row.calls_per_sec,
+                  static_cast<unsigned long long>(row.p50_us),
+                  static_cast<unsigned long long>(row.p99_us),
+                  static_cast<unsigned long long>(row.queue_p99_us),
+                  static_cast<long long>(row.queue_depth), flags.c_str());
+    }
+    std::printf("-- methods (fleet-wide) --\n");
+    for (const auto& row : reply->methods) {
+      std::printf("  %-20s n=%llu p50<=%lluus p99<=%lluus max=%lluus\n",
+                  row.method.c_str(),
+                  static_cast<unsigned long long>(row.count),
+                  static_cast<unsigned long long>(row.p50_us),
+                  static_cast<unsigned long long>(row.p99_us),
+                  static_cast<unsigned long long>(row.max_us));
+    }
+    return true;
+  }
+
   rt::SimRuntime runtime_{2026};
   std::unique_ptr<core::LegionSystem> system_;
   std::unique_ptr<core::Client> client_;
@@ -331,6 +433,8 @@ int RunDemo(Shell& shell) {
       "delete beta",
       "ls",
       "stats",
+      "fleet",
+      "trace dump legion_trace.json",
   };
   for (const char* line : script) {
     std::printf("legion> %s\n", line);

@@ -9,16 +9,24 @@ fails the check: shape inversions — the curve bending the wrong way — cannot
 land silently.
 
 Wall-clock benches (E10 bench_micro, E11 bench_thread_runtime,
-bench_trace_overhead, bench_tcp_throughput) are excluded: their numbers are
-machine-dependent and belong to EXPERIMENTS.md, not a CI gate.
+bench_tcp_throughput) are excluded: their numbers are machine-dependent and
+belong to EXPERIMENTS.md, not a CI gate. E17 bench_trace_overhead is gated on
+its deterministic hops_recorded cells (the wall-clock columns mask as
+unstable) and on its printed "verdict: PASS" budget line.
 
 Usage:
   scripts/check_bench_shapes.py [--build-dir build]          # check
   scripts/check_bench_shapes.py [--build-dir build] --update # re-baseline
+  scripts/check_bench_shapes.py --validate-trace trace.json  # exporter check
 
 --update runs every bench twice and records only cells identical across both
 runs; a cell that differs (a bench grew a wall-clock column) is stored as
 null and skipped by future checks, so the gate never flakes on timing.
+
+--validate-trace checks an exported Chrome trace-event file: well-formed
+JSON, a traceEvents list whose events carry the required fields, and
+timestamps that are monotone non-decreasing in file order (the exporter
+sorts them; a regression there breaks chrome://tracing imports).
 """
 
 import argparse
@@ -46,7 +54,14 @@ SIM_BENCHES = [
     # counts) with wall-clock lookup columns; the two-run masking in --update
     # stores the timing cells as null so only the density shape is gated.
     ("E16", "bench_memory_per_object"),
+    # E17's wall-clock columns mask as unstable; the deterministic
+    # hops_recorded ablation cells (off / 1-in-1 / 1-in-64) are the gate.
+    ("E17", "bench_trace_overhead"),
 ]
+
+# Benches whose stdout carries a self-judged budget line; a "verdict: FAIL"
+# fails the check even when every gated table cell matches.
+VERDICT_BENCHES = {"bench_trace_overhead"}
 
 
 def parse_tables(text):
@@ -83,6 +98,14 @@ def run_bench(build_dir, name):
     proc = subprocess.run([path], capture_output=True, text=True, timeout=300)
     if proc.returncode != 0:
         sys.exit(f"FATAL: {name} exited {proc.returncode}:\n{proc.stderr}")
+    if name in VERDICT_BENCHES:
+        verdicts = [ln for ln in proc.stdout.splitlines()
+                    if ln.startswith("verdict:")]
+        if not verdicts:
+            sys.exit(f"FATAL: {name} printed no verdict line")
+        for ln in verdicts:
+            if "PASS" not in ln:
+                sys.exit(f"FATAL: {name} budget exceeded — {ln}")
     return parse_tables(proc.stdout)
 
 
@@ -180,13 +203,68 @@ def check(build_dir, baseline_path):
     return 0
 
 
+def validate_trace(path):
+    """Checks an exported Chrome trace-event JSON file: parses, has a
+    traceEvents list, required per-event fields, and monotone timestamps."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"trace-validate: {path} is not well-formed JSON ({err})",
+              file=sys.stderr)
+        return 1
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"trace-validate: {path} has no traceEvents list",
+              file=sys.stderr)
+        return 1
+    errors = []
+    last_ts = None
+    spans = 0
+    for i, ev in enumerate(events):
+        for field in ("ph", "pid", "tid", "ts"):
+            if field not in ev:
+                errors.append(f"event {i} missing '{field}': {ev}")
+                break
+        else:
+            ph = ev["ph"]
+            if ph == "M":
+                continue  # metadata rows carry no duration and pin ts 0
+            if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+                errors.append(f"event {i} has bad ts {ev['ts']!r}")
+                continue
+            if last_ts is not None and ev["ts"] < last_ts:
+                errors.append(f"event {i} ts {ev['ts']} < predecessor "
+                              f"{last_ts} (events must be sorted)")
+            last_ts = ev["ts"]
+            if ph == "X":
+                spans += 1
+                if ev.get("dur", -1) < 0:
+                    errors.append(f"event {i} 'X' span has bad dur "
+                                  f"{ev.get('dur')!r}")
+    if errors:
+        print(f"trace-validate: {len(errors)} problem(s) in {path}:",
+              file=sys.stderr)
+        for e in errors[:20]:
+            print(f"  FAIL {e}", file=sys.stderr)
+        return 1
+    print(f"trace-validate: OK — {path}: {len(events)} events "
+          f"({spans} complete spans), timestamps monotone")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--baselines", default="bench/baselines.json")
     ap.add_argument("--update", action="store_true",
                     help="regenerate the baseline from the current build")
+    ap.add_argument("--validate-trace", metavar="FILE",
+                    help="validate an exported Chrome trace instead of "
+                         "running the bench gate")
     args = ap.parse_args()
+    if args.validate_trace:
+        return validate_trace(args.validate_trace)
     if args.update:
         update(args.build_dir, args.baselines)
         return 0

@@ -138,6 +138,32 @@ Result<Buffer> HostObjectImpl::StopObject(ObjectContext& ctx, const Loid& loid,
   return opr_bytes;
 }
 
+void HostObjectImpl::publish_metrics(ObjectContext& ctx, bool force) {
+  if (!services_.monitor.valid() || services_.runtime == nullptr) return;
+  const SimTime now = ctx.shell.now();
+  if (!force) {
+    const SimTime interval = services_.metrics_publish_interval_us;
+    if (interval <= 0) return;
+    if (last_publish_ != 0 && now - last_publish_ < interval) return;
+  }
+  if (!collector_) {
+    collector_ = std::make_unique<obs::SnapshotCollector>(
+        services_.runtime->metrics(), services_.host.value);
+  }
+  const obs::MetricsSnapshot snapshot = collector_->collect(now);
+  last_publish_ = now;
+  ++published_;
+  Buffer bytes;
+  Writer w(bytes);
+  snapshot.Serialize(w);
+  // Fire and forget: a monitoring gap must never stall the host's serving
+  // loop, so the future (and any eventual reply) is deliberately dropped.
+  const EndpointId monitor =
+      services_.monitor.address.elements().front().sim_endpoint();
+  (void)ctx.shell.messenger().invoke(monitor, methods::kReportMetrics,
+                                     std::move(bytes), ctx.outgoing_env());
+}
+
 void HostObjectImpl::RegisterMethods(MethodTable& table) {
   table.add(methods::kStartObject,
             [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
@@ -145,6 +171,7 @@ void HostObjectImpl::RegisterMethods(MethodTable& table) {
               if (!args.ok()) return InvalidArgumentError("bad StartObject");
               LEGION_ASSIGN_OR_RETURN(Binding binding,
                                       StartObject(ctx, req.opr_bytes));
+              publish_metrics(ctx, /*force=*/false);
               return wire::StartObjectReply{std::move(binding)}.to_buffer();
             });
   table.add(methods::kStopObject,
@@ -154,11 +181,21 @@ void HostObjectImpl::RegisterMethods(MethodTable& table) {
               LEGION_ASSIGN_OR_RETURN(Buffer opr_bytes,
                                       StopObject(ctx, req.loid,
                                                  req.discard_state));
+              publish_metrics(ctx, /*force=*/false);
               return wire::StopObjectReply{std::move(opr_bytes)}.to_buffer();
             });
   table.add(methods::kGetState,
-            [this](ObjectContext&, Reader&) -> Result<Buffer> {
+            [this](ObjectContext& ctx, Reader&) -> Result<Buffer> {
+              publish_metrics(ctx, /*force=*/false);
               return state_reply().to_buffer();
+            });
+  table.add(methods::kPublishMetrics,
+            [this](ObjectContext& ctx, Reader&) -> Result<Buffer> {
+              if (!services_.monitor.valid()) {
+                return FailedPreconditionError("no monitor configured");
+              }
+              publish_metrics(ctx, /*force=*/true);
+              return Buffer{};
             });
   table.add(methods::kGetExceptions,
             [this](ObjectContext&, Reader&) -> Result<Buffer> {

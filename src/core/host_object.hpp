@@ -18,6 +18,7 @@
 #include "core/implementation_registry.hpp"
 #include "core/object_impl.hpp"
 #include "core/wire.hpp"
+#include "obs/monitor.hpp"
 
 namespace legion::core {
 
@@ -33,6 +34,10 @@ struct HostServices {
   HostId host;
   std::size_t object_cache_capacity = 64;
   SimTime binding_ttl_us = kSimTimeNever;
+  // Fleet metrics plane: where to ship periodic delta snapshots, and how
+  // often (0 = never publish spontaneously; kPublishMetrics still works).
+  Binding monitor;
+  SimTime metrics_publish_interval_us = 0;
 };
 
 struct HostObjectStats {
@@ -64,12 +69,23 @@ class HostObjectImpl final : public ObjectImpl {
     services_.handles = std::move(handles);
   }
 
+  // Fleet metrics plane (bootstrap / tests): where snapshots go and how
+  // often. An interval of 0 disables spontaneous publication.
+  void set_monitor(Binding monitor, SimTime interval_us) {
+    services_.monitor = std::move(monitor);
+    services_.metrics_publish_interval_us = interval_us;
+  }
+  [[nodiscard]] std::uint64_t metrics_published() const { return published_; }
+
  private:
   Result<Binding> StartObject(ObjectContext& ctx, const Buffer& opr_bytes);
   Result<Buffer> StopObject(ObjectContext& ctx, const Loid& loid,
                             bool discard_state);
   [[nodiscard]] wire::HostStateReply state_reply() const;
   [[nodiscard]] bool accepting() const;
+  // Ships one delta snapshot to the monitor, fire-and-forget. `force` skips
+  // the interval check (the kPublishMetrics path).
+  void publish_metrics(ObjectContext& ctx, bool force);
 
   // One running process plus the admission cost it was charged, so
   // StopObject can release exactly what StartObject reserved.
@@ -80,6 +96,10 @@ class HostObjectImpl final : public ObjectImpl {
 
   HostServices services_;
   security::PolicyPtr policy_;
+  // Created on first publish (needs the runtime's registry).
+  std::unique_ptr<obs::SnapshotCollector> collector_;
+  SimTime last_publish_ = 0;
+  std::uint64_t published_ = 0;
   std::unordered_map<Loid, Running> objects_;
   std::uint64_t max_objects_ = 0;   // 0 = unlimited (SetCPULoad)
   std::uint64_t max_memory_ = 0;    // 0 = unlimited (SetMemoryUsage, bytes)

@@ -1,0 +1,67 @@
+#include "core/monitor_object.hpp"
+
+#include "core/active_object.hpp"
+#include "core/well_known.hpp"
+
+namespace legion::core {
+
+namespace {
+// Guards against hostile element counts: a fleet reply never legitimately
+// carries more rows than this.
+constexpr std::uint32_t kMaxFleetRows = 1u << 16;
+
+template <typename Row>
+void WriteRows(Writer& w, const std::vector<Row>& rows) {
+  w.u32(static_cast<std::uint32_t>(rows.size()));
+  for (const Row& row : rows) row.Serialize(w);
+}
+
+template <typename Row>
+std::vector<Row> ReadRows(Reader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<Row> out;
+  if (n > kMaxFleetRows) {
+    r.mark_failed();
+    return out;
+  }
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    out.push_back(Row::Deserialize(r));
+  }
+  return out;
+}
+}  // namespace
+
+void FleetReply::Serialize(Writer& w) const {
+  WriteRows(w, hosts);
+  WriteRows(w, methods);
+}
+
+FleetReply FleetReply::Deserialize(Reader& r) {
+  FleetReply reply;
+  reply.hosts = ReadRows<obs::FleetRow>(r);
+  reply.methods = ReadRows<obs::MethodRow>(r);
+  return reply;
+}
+
+void MonitorObjectImpl::RegisterMethods(MethodTable& table) {
+  table.add(methods::kReportMetrics,
+            [this](ObjectContext& ctx, Reader& args) -> Result<Buffer> {
+              obs::MetricsSnapshot snapshot =
+                  obs::MetricsSnapshot::Deserialize(args);
+              if (!args.ok()) {
+                return InvalidArgumentError("bad ReportMetrics");
+              }
+              monitor_.ingest(snapshot, ctx.shell.now());
+              return Buffer{};
+            });
+  table.add(methods::kGetFleet,
+            [this](ObjectContext& ctx, Reader&) -> Result<Buffer> {
+              FleetReply reply;
+              reply.hosts = monitor_.rows(ctx.shell.now());
+              reply.methods = monitor_.method_rows();
+              return reply.to_buffer();
+            });
+}
+
+}  // namespace legion::core

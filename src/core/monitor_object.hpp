@@ -1,0 +1,57 @@
+// The MonitorObject: the fleet metrics plane's well-known sink.
+//
+// Not in the paper — this is the observability companion of the Section
+// 4.1.4 failure machinery. Every Host Object periodically ships a delta
+// MetricsSnapshot here (methods::kReportMetrics); the monitor merges them
+// per host (obs::FleetMonitor) and answers methods::kGetFleet with per-host
+// rollups plus fleet-wide per-method tail latency. Slow/suspect verdicts are
+// also published as registry gauges so the recovery sweep can consult them
+// without calling in.
+#pragma once
+
+#include "core/object_impl.hpp"
+#include "core/wire.hpp"
+#include "obs/monitor.hpp"
+
+namespace legion::core {
+
+inline constexpr std::string_view kMonitorObjectImpl = "legion.monitor";
+
+// Wire shape of a kGetFleet reply.
+struct FleetReply {
+  std::vector<obs::FleetRow> hosts;
+  std::vector<obs::MethodRow> methods;
+
+  void Serialize(Writer& w) const;
+  static FleetReply Deserialize(Reader& r);
+  [[nodiscard]] Buffer to_buffer() const {
+    Buffer out;
+    Writer w(out);
+    Serialize(w);
+    return out;
+  }
+  [[nodiscard]] static Result<FleetReply> from_buffer(const Buffer& buf) {
+    Reader r(buf);
+    FleetReply reply = Deserialize(r);
+    if (!r.ok()) return InvalidArgumentError("malformed FleetReply");
+    return reply;
+  }
+};
+
+class MonitorObjectImpl final : public ObjectImpl {
+ public:
+  explicit MonitorObjectImpl(obs::Registry& registry) : monitor_(registry) {}
+
+  [[nodiscard]] std::string implementation_name() const override {
+    return std::string(kMonitorObjectImpl);
+  }
+  void RegisterMethods(MethodTable& table) override;
+
+  // Direct access for same-process collaborators (shell commands, tests).
+  [[nodiscard]] obs::FleetMonitor& fleet() { return monitor_; }
+
+ private:
+  obs::FleetMonitor monitor_;
+};
+
+}  // namespace legion::core

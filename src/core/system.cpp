@@ -275,6 +275,26 @@ Status LegionSystem::start_host_objects() {
   return OkStatus();
 }
 
+Status LegionSystem::start_monitor(HostId primary) {
+  // The fleet monitor is a well-known singleton like the core classes: it
+  // is registered with LegionClass directly (no wire messages), so boots
+  // stay byte-for-byte identical whether or not anything ever publishes.
+  monitor_loid_ = LegionMonitorLoid();
+  auto booted = boot_shell(
+      primary, monitor_loid_,
+      std::make_unique<MonitorObjectImpl>(runtime_.metrics()), "monitor",
+      handles_for(primary));
+  LEGION_RETURN_IF_ERROR(booted.shell->restore(Buffer{}));
+  monitor_impl_ = booted.impl;
+  monitor_binding_ = booted.shell->binding();
+  legion_class_->register_class_binding(kLegionMonitorClassId,
+                                        monitor_binding_);
+  for (auto& [_, impl] : host_impls_) {
+    impl->set_monitor(monitor_binding_, config_.metrics_publish_interval_us);
+  }
+  return OkStatus();
+}
+
 Status LegionSystem::start_magistrates() {
   for (const auto& jurisdiction : runtime_.topology().jurisdictions()) {
     const auto hosts = runtime_.topology().hosts_in(jurisdiction.id);
@@ -378,6 +398,7 @@ Status LegionSystem::bootstrap() {
   LEGION_RETURN_IF_ERROR(start_core_classes(primary));
   LEGION_RETURN_IF_ERROR(start_binding_agents());
   LEGION_RETURN_IF_ERROR(start_host_objects());
+  LEGION_RETURN_IF_ERROR(start_monitor(primary));
   LEGION_RETURN_IF_ERROR(start_magistrates());
   LEGION_RETURN_IF_ERROR(finalize_registrations());
   bootstrapped_ = true;

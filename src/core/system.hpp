@@ -25,6 +25,7 @@
 #include "core/host_object.hpp"
 #include "core/legion_class.hpp"
 #include "core/magistrate.hpp"
+#include "core/monitor_object.hpp"
 
 namespace legion::core {
 
@@ -46,6 +47,11 @@ struct SystemConfig {
   std::string placement_policy = "round-robin";
   std::size_t vaults_per_jurisdiction = 1;
   std::uint32_t instance_key_bytes = 8;
+
+  // Fleet metrics plane: how often each Host Object ships a delta snapshot
+  // to the MonitorObject. 0 (the default) disables spontaneous publication;
+  // kPublishMetrics still forces one on demand.
+  SimTime metrics_publish_interval_us = 0;
 };
 
 // An external program's handle on Legion: a driver endpoint plus the
@@ -119,6 +125,10 @@ class LegionSystem {
   [[nodiscard]] Loid magistrate_of(JurisdictionId jurisdiction) const;
   [[nodiscard]] std::vector<Loid> magistrates() const;
   [[nodiscard]] Loid host_object_of(HostId host) const;
+  [[nodiscard]] const Loid& monitor_loid() const { return monitor_loid_; }
+  [[nodiscard]] const Binding& monitor_binding() const {
+    return monitor_binding_;
+  }
   [[nodiscard]] const std::vector<Loid>& binding_agents() const {
     return ba_loids_;
   }
@@ -129,6 +139,7 @@ class LegionSystem {
   [[nodiscard]] MagistrateImpl* magistrate_impl(JurisdictionId jurisdiction);
   [[nodiscard]] HostObjectImpl* host_impl(HostId host);
   [[nodiscard]] BindingAgentImpl* binding_agent_impl(std::size_t index);
+  [[nodiscard]] MonitorObjectImpl* monitor_impl() { return monitor_impl_; }
   [[nodiscard]] ActiveObject* shell_of(const Loid& loid);
 
  private:
@@ -145,6 +156,7 @@ class LegionSystem {
   Status start_core_classes(HostId primary);
   Status start_binding_agents();
   Status start_host_objects();
+  Status start_monitor(HostId primary);
   Status start_magistrates();
   Status finalize_registrations();
 
@@ -170,6 +182,10 @@ class LegionSystem {
   std::map<std::uint32_t, HostObjectImpl*> host_impls_;   // by HostId
   std::map<std::uint32_t, Loid> host_loids_;
   std::map<std::uint32_t, Binding> host_bindings_;
+
+  MonitorObjectImpl* monitor_impl_ = nullptr;
+  Loid monitor_loid_;
+  Binding monitor_binding_;
 
   std::map<std::uint32_t, MagistrateImpl*> magistrate_impls_;  // by JId
   std::map<std::uint32_t, Loid> magistrate_loids_;

@@ -19,6 +19,9 @@ inline constexpr std::uint64_t kLegionHostClassId = 3;
 inline constexpr std::uint64_t kLegionMagistrateClassId = 4;
 inline constexpr std::uint64_t kLegionBindingAgentClassId = 5;
 inline constexpr std::uint64_t kLegionContextClassId = 6;
+// The fleet metrics monitor (observability plane, not in the paper): one
+// well-known instance every Host Object ships its metric snapshots to.
+inline constexpr std::uint64_t kLegionMonitorClassId = 7;
 // Class identifiers below this are reserved for the core.
 inline constexpr std::uint64_t kFirstUserClassId = 64;
 
@@ -39,6 +42,9 @@ inline constexpr std::uint64_t kFirstUserClassId = 64;
 }
 [[nodiscard]] inline Loid LegionContextLoid() {
   return Loid::ForClass(kLegionContextClassId);
+}
+[[nodiscard]] inline Loid LegionMonitorLoid() {
+  return Loid::ForClass(kLegionMonitorClassId);
 }
 
 // --- Method names -----------------------------------------------------------
@@ -106,6 +112,13 @@ inline constexpr std::string_view kGetExceptions = "GetExceptions";
 // Registration calls made by bootstrap components (Section 4.2.1: Host
 // Objects and Magistrates start outside Legion and "contact their class").
 inline constexpr std::string_view kNotifyStarted = "NotifyStarted";
+
+// Fleet monitor (observability plane).
+inline constexpr std::string_view kReportMetrics = "ReportMetrics";
+inline constexpr std::string_view kGetFleet = "GetFleet";
+// Host Objects: force an immediate metrics snapshot publish (testing and
+// deterministic sim workloads; production hosts publish on an interval).
+inline constexpr std::string_view kPublishMetrics = "PublishMetrics";
 
 }  // namespace methods
 

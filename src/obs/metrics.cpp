@@ -4,18 +4,148 @@
 
 namespace legion::obs {
 
-std::uint64_t Histogram::percentile(double p) const {
-  const std::uint64_t n = count();
+std::uint64_t PercentileFromBuckets(
+    const std::array<std::uint64_t, 40>& buckets, std::uint64_t n, double p) {
   if (n == 0) return 0;
   if (p < 0.0) p = 0.0;
   if (p > 1.0) p = 1.0;
   const auto target = static_cast<std::uint64_t>(p * static_cast<double>(n));
   std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += bucket(b);
-    if (seen > target || (seen == n && seen > 0)) return bucket_ceiling(b);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t k = buckets[b];
+    if (k == 0) continue;
+    if (seen + k > target || seen + k == n) {
+      // The requested rank lands inside bucket b. Assume the bucket's k
+      // samples are spread uniformly across [floor, ceiling] and read off
+      // the value at the rank's position (midpoint convention), instead of
+      // reporting the ceiling — which overshot by up to 2x.
+      const std::uint64_t lo = Histogram::bucket_floor(b);
+      const std::uint64_t hi = Histogram::bucket_ceiling(b);
+      const double pos =
+          (static_cast<double>(target - std::min(seen, target)) + 0.5) /
+          static_cast<double>(k);
+      const auto offset = static_cast<std::uint64_t>(
+          static_cast<double>(hi - lo) * std::min(pos, 1.0));
+      return lo + offset;
+    }
+    seen += k;
   }
-  return bucket_ceiling(kBuckets - 1);
+  return Histogram::bucket_ceiling(buckets.size() - 1);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+HistogramSnapshot HistogramSnapshot::delta_since(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    out.buckets[b] =
+        buckets[b] >= earlier.buckets[b] ? buckets[b] - earlier.buckets[b] : 0;
+    out.count += out.buckets[b];
+  }
+  out.sum = sum >= earlier.sum ? sum - earlier.sum : 0;
+  // A max cannot be differenced; report the period-spanning max, which is
+  // an upper bound for the delta's true max.
+  out.max = max;
+  if (out.count == 0) out.max = 0;
+  return out;
+}
+
+std::uint64_t HistogramSnapshot::percentile(double p) const {
+  return PercentileFromBuckets(buckets, count, p);
+}
+
+void HistogramSnapshot::Serialize(Writer& w) const {
+  // Sparse encoding: histograms are mostly empty outside a few buckets.
+  std::uint32_t nonzero = 0;
+  for (const std::uint64_t b : buckets) {
+    if (b != 0) ++nonzero;
+  }
+  w.u32(nonzero);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    w.u8(static_cast<std::uint8_t>(b));
+    w.u64(buckets[b]);
+  }
+  w.u64(sum);
+  w.u64(max);
+}
+
+HistogramSnapshot HistogramSnapshot::Deserialize(Reader& r) {
+  HistogramSnapshot out;
+  const std::uint32_t nonzero = r.u32();
+  if (nonzero > out.buckets.size()) {
+    r.mark_failed();
+    return out;
+  }
+  for (std::uint32_t i = 0; i < nonzero && r.ok(); ++i) {
+    const std::uint8_t b = r.u8();
+    const std::uint64_t v = r.u64();
+    if (b >= out.buckets.size()) {
+      r.mark_failed();
+      return out;
+    }
+    out.buckets[b] = v;
+    out.count += v;
+  }
+  out.sum = r.u64();
+  out.max = r.u64();
+  if (!r.ok()) return HistogramSnapshot{};
+  return out;
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  std::array<std::uint64_t, kBuckets> snap{};
+  std::uint64_t n = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    snap[b] = bucket(b);
+    n += snap[b];
+  }
+  return PercentileFromBuckets(snap, n, p);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out.buckets[b] = bucket(b);
+    out.count += out.buckets[b];
+  }
+  if (out.count == 0) return out;  // racing reset: report empty, not torn
+  out.sum = sum();
+  out.max = max();
+  return out;
+}
+
+void MetricRow::Serialize(Writer& w) const {
+  w.str(name);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(count);
+  w.i64(gauge);
+  w.f64(mean);
+  w.u64(p50);
+  w.u64(p99);
+  w.u64(max);
+}
+
+MetricRow MetricRow::Deserialize(Reader& r) {
+  MetricRow row;
+  row.name = r.str();
+  row.kind = static_cast<MetricKind>(r.u8());
+  row.count = r.u64();
+  row.gauge = r.i64();
+  row.mean = r.f64();
+  row.p50 = r.u64();
+  row.p99 = r.u64();
+  row.max = r.u64();
+  if (!r.ok()) return MetricRow{};
+  return row;
 }
 
 Counter& Registry::counter(std::string_view name) {
@@ -66,19 +196,39 @@ std::vector<MetricRow> Registry::rows() const {
     out.push_back(std::move(row));
   }
   for (const auto& [name, h] : histograms_) {
+    // One self-consistent snapshot per histogram: count, percentiles, and
+    // max all describe the same bucket contents even mid-reset.
+    const HistogramSnapshot snap = h->snapshot();
     MetricRow row;
     row.name = name;
     row.kind = MetricKind::kHistogram;
-    row.count = h->count();
-    row.mean = h->mean();
-    row.p50 = h->percentile(0.50);
-    row.p99 = h->percentile(0.99);
-    row.max = h->max();
+    row.count = snap.count;
+    row.mean = snap.mean();
+    row.p50 = snap.percentile(0.50);
+    row.p99 = snap.percentile(0.99);
+    row.max = snap.max;
     out.push_back(std::move(row));
   }
   std::sort(out.begin(), out.end(),
             [](const MetricRow& a, const MetricRow& b) { return a.name < b.name; });
   return out;
+}
+
+void Registry::visit(
+    const std::function<void(std::string_view, const Counter&)>& counter_fn,
+    const std::function<void(std::string_view, const Gauge&)>& gauge_fn,
+    const std::function<void(std::string_view, const Histogram&)>& hist_fn)
+    const {
+  std::lock_guard lock(mutex_);
+  if (counter_fn) {
+    for (const auto& [name, c] : counters_) counter_fn(name, *c);
+  }
+  if (gauge_fn) {
+    for (const auto& [name, g] : gauges_) gauge_fn(name, *g);
+  }
+  if (hist_fn) {
+    for (const auto& [name, h] : histograms_) hist_fn(name, *h);
+  }
 }
 
 void Registry::reset() {

@@ -11,12 +11,15 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "base/serialize.hpp"
 
 namespace legion::obs {
 
@@ -48,6 +51,45 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+class Histogram;
+
+// A self-consistent point-in-time copy of one histogram: the unit the fleet
+// snapshot envelope serializes and the monitor merges. `count` is always the
+// sum of `buckets`, so percentiles computed from a snapshot agree with its
+// own bucket contents even when the source histogram was being reset or
+// recorded into while the snapshot was taken.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, 40> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  // Element-wise accumulate (bucket adds, sum add, max of maxes).
+  void merge(const HistogramSnapshot& other);
+  // Element-wise subtract a previously-taken snapshot of the same histogram
+  // (saturating): the delta since `earlier`.
+  [[nodiscard]] HistogramSnapshot delta_since(
+      const HistogramSnapshot& earlier) const;
+
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  void Serialize(Writer& w) const;
+  static HistogramSnapshot Deserialize(Reader& r);
+
+  friend bool operator==(const HistogramSnapshot& a,
+                         const HistogramSnapshot& b) = default;
+};
+
+// Shared percentile kernel: rank p within log2-bucket counts, interpolated
+// linearly inside the chosen bucket (a value estimate, not the bucket
+// ceiling — the old factor-of-two bias). `n` must equal the bucket sum.
+[[nodiscard]] std::uint64_t PercentileFromBuckets(
+    const std::array<std::uint64_t, 40>& buckets, std::uint64_t n, double p);
+
 // Fixed log2 buckets: bucket 0 holds the value 0, bucket b (b >= 1) holds
 // values in [2^(b-1), 2^b - 1]. 40 buckets cover every duration the virtual
 // clock can express (up to ~2^39 us, or ~6 days).
@@ -76,6 +118,11 @@ class Histogram {
     if (b >= 63) return ~0ull;
     return (1ull << b) - 1;
   }
+  // Inclusive lower edge of a bucket.
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t b) {
+    if (b == 0) return 0;
+    return 1ull << (b - 1);
+  }
 
   [[nodiscard]] std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
@@ -93,15 +140,29 @@ class Histogram {
   [[nodiscard]] std::uint64_t bucket(std::size_t b) const {
     return buckets_[b].load(std::memory_order_relaxed);
   }
-  // Upper bound of the bucket where the cumulative count crosses p in
-  // [0, 1]. Log-bucketed, so an estimate good to a factor of two.
+  // Value estimate at percentile p in [0, 1]: linear interpolation within
+  // the log2 bucket where the cumulative count crosses p. Derives the total
+  // from the bucket counts it read — never from count_ — so a percentile
+  // taken concurrently with reset() is internally consistent instead of
+  // chasing a count the buckets no longer hold.
   [[nodiscard]] std::uint64_t percentile(double p) const;
 
+  // Self-consistent copy for serialization/merging: count is recomputed from
+  // the copied buckets, and max/sum are clamped to agree with an empty
+  // bucket set, so a snapshot racing reset() never pairs stale extremes
+  // with zeroed buckets.
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  // Tolerates concurrent record(): extremes (max, sum, count) are cleared
+  // *before* the buckets, so a racing record lands either wholly after the
+  // reset (fully visible) or contributes at worst a bucket entry that
+  // readers reconcile via snapshot()/percentile()'s bucket-derived totals —
+  // never a stale max paired with an empty distribution.
   void reset() {
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
-    max_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -114,15 +175,21 @@ class Histogram {
 enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 
 // A point-in-time reading of one metric, for dumps and assertions.
+// Serializable so fleet snapshots and monitor replies can carry rows.
 struct MetricRow {
   std::string name;
   MetricKind kind = MetricKind::kCounter;
   std::uint64_t count = 0;  // counter value / histogram sample count
   std::int64_t gauge = 0;
   double mean = 0.0;        // histogram only
-  std::uint64_t p50 = 0;    // histogram only (bucket upper bounds)
+  std::uint64_t p50 = 0;    // histogram only (interpolated within bucket)
   std::uint64_t p99 = 0;
   std::uint64_t max = 0;
+
+  void Serialize(Writer& w) const;
+  static MetricRow Deserialize(Reader& r);
+
+  friend bool operator==(const MetricRow& a, const MetricRow& b) = default;
 };
 
 // Name -> metric. Registration is mutex-guarded; the returned references
@@ -137,6 +204,15 @@ class Registry {
   // All metrics, sorted by name. Counters and histograms with zero count
   // are included; callers filter.
   [[nodiscard]] std::vector<MetricRow> rows() const;
+
+  // Visits every registered metric by name (each callback may be null).
+  // Holds the registry mutex across the walk: callbacks must not call back
+  // into the registry.
+  void visit(
+      const std::function<void(std::string_view, const Counter&)>& counter_fn,
+      const std::function<void(std::string_view, const Gauge&)>& gauge_fn,
+      const std::function<void(std::string_view, const Histogram&)>& hist_fn)
+      const;
 
   // Zeroes every metric (references stay valid).
   void reset();

@@ -1,0 +1,261 @@
+#include "obs/monitor.hpp"
+
+#include <algorithm>
+
+namespace legion::obs {
+
+namespace {
+
+constexpr std::uint32_t kMaxWireEntries = 1u << 16;  // hostile-count guard
+
+template <typename T, typename WriteFn>
+void WritePairs(Writer& w, const std::vector<std::pair<std::string, T>>& v,
+                WriteFn&& write_value) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const auto& [name, value] : v) {
+    w.str(name);
+    write_value(value);
+  }
+}
+
+template <typename T, typename ReadFn>
+std::vector<std::pair<std::string, T>> ReadPairs(Reader& r,
+                                                 ReadFn&& read_value) {
+  std::vector<std::pair<std::string, T>> out;
+  const std::uint32_t n = r.u32();
+  if (n > kMaxWireEntries) {
+    r.mark_failed();
+    return out;
+  }
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    std::string name = r.str();
+    out.emplace_back(std::move(name), read_value());
+  }
+  if (!r.ok()) out.clear();
+  return out;
+}
+
+}  // namespace
+
+void MetricsSnapshot::Serialize(Writer& w) const {
+  w.u32(host);
+  w.i64(at);
+  w.u64(seq);
+  WritePairs(w, counters, [&](std::uint64_t v) { w.u64(v); });
+  WritePairs(w, gauges, [&](std::int64_t v) { w.i64(v); });
+  WritePairs(w, histograms,
+             [&](const HistogramSnapshot& v) { v.Serialize(w); });
+}
+
+MetricsSnapshot MetricsSnapshot::Deserialize(Reader& r) {
+  MetricsSnapshot out;
+  out.host = r.u32();
+  out.at = r.i64();
+  out.seq = r.u64();
+  out.counters =
+      ReadPairs<std::uint64_t>(r, [&] { return r.u64(); });
+  out.gauges = ReadPairs<std::int64_t>(r, [&] { return r.i64(); });
+  out.histograms = ReadPairs<HistogramSnapshot>(
+      r, [&] { return HistogramSnapshot::Deserialize(r); });
+  if (!r.ok()) return MetricsSnapshot{};
+  return out;
+}
+
+std::string MetricHostSuffix(std::uint32_t host) {
+  return ".host." + std::to_string(host);
+}
+
+MetricsSnapshot SnapshotCollector::collect(SimTime now) {
+  MetricsSnapshot snap;
+  snap.host = host_;
+  snap.at = now;
+  snap.seq = ++seq_;
+
+  auto canonical = [this](std::string_view name) -> std::string {
+    // "msg.service_us.host.3" -> "msg.service_us" (only for our host).
+    if (name.size() <= suffix_.size()) return {};
+    if (name.substr(name.size() - suffix_.size()) != suffix_) return {};
+    return std::string(name.substr(0, name.size() - suffix_.size()));
+  };
+
+  registry_.visit(
+      [&](std::string_view name, const Counter& c) {
+        const std::string key = canonical(name);
+        if (key.empty()) return;
+        const std::uint64_t value = c.value();
+        std::uint64_t& last = last_counters_[key];
+        const std::uint64_t delta = value >= last ? value - last : value;
+        last = value;
+        if (delta != 0 || snap.seq == 1) snap.counters.emplace_back(key, delta);
+      },
+      [&](std::string_view name, const Gauge& g) {
+        const std::string key = canonical(name);
+        if (key.empty()) return;
+        snap.gauges.emplace_back(key, g.value());
+      },
+      [&](std::string_view name, const Histogram& h) {
+        const std::string key = canonical(name);
+        if (key.empty()) return;
+        const HistogramSnapshot current = h.snapshot();
+        HistogramSnapshot& last = last_hists_[key];
+        HistogramSnapshot delta = current.delta_since(last);
+        last = current;
+        if (delta.count != 0) snap.histograms.emplace_back(key, std::move(delta));
+      });
+  return snap;
+}
+
+void FleetRow::Serialize(Writer& w) const {
+  w.u32(host);
+  w.u64(reports);
+  w.i64(first_at);
+  w.i64(last_at);
+  w.u64(calls);
+  w.f64(calls_per_sec);
+  w.u64(p50_us);
+  w.u64(p99_us);
+  w.u64(queue_p99_us);
+  w.i64(queue_depth);
+  w.u8(static_cast<std::uint8_t>((slow ? 1 : 0) | (suspect ? 2 : 0)));
+}
+
+FleetRow FleetRow::Deserialize(Reader& r) {
+  FleetRow row;
+  row.host = r.u32();
+  row.reports = r.u64();
+  row.first_at = r.i64();
+  row.last_at = r.i64();
+  row.calls = r.u64();
+  row.calls_per_sec = r.f64();
+  row.p50_us = r.u64();
+  row.p99_us = r.u64();
+  row.queue_p99_us = r.u64();
+  row.queue_depth = r.i64();
+  const std::uint8_t flags = r.u8();
+  row.slow = (flags & 1) != 0;
+  row.suspect = (flags & 2) != 0;
+  if (!r.ok()) return FleetRow{};
+  return row;
+}
+
+void MethodRow::Serialize(Writer& w) const {
+  w.str(method);
+  w.u64(count);
+  w.u64(p50_us);
+  w.u64(p99_us);
+  w.u64(max_us);
+}
+
+MethodRow MethodRow::Deserialize(Reader& r) {
+  MethodRow row;
+  row.method = r.str();
+  row.count = r.u64();
+  row.p50_us = r.u64();
+  row.p99_us = r.u64();
+  row.max_us = r.u64();
+  if (!r.ok()) return MethodRow{};
+  return row;
+}
+
+FleetMonitor::FleetMonitor(Registry& registry)
+    : registry_(registry),
+      reports_(registry.counter("monitor.reports")),
+      hosts_gauge_(registry.gauge("monitor.hosts")),
+      slow_gauge_(registry.gauge("monitor.slow_hosts")),
+      suspect_gauge_(registry.gauge("monitor.suspect_hosts")) {}
+
+void FleetMonitor::ingest(const MetricsSnapshot& snapshot, SimTime now) {
+  HostState& state = hosts_[snapshot.host];
+  if (state.reports == 0) state.first_at = snapshot.at;
+  ++state.reports;
+  state.last_at = std::max(state.last_at, snapshot.at);
+  state.last_ingest_at = now;
+  for (const auto& [name, delta] : snapshot.counters) {
+    state.counters[name] += delta;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    state.gauges[name] = value;
+  }
+  for (const auto& [name, delta] : snapshot.histograms) {
+    state.histograms[name].merge(delta);
+  }
+  reports_.inc();
+  hosts_gauge_.set(static_cast<std::int64_t>(hosts_.size()));
+}
+
+std::vector<FleetRow> FleetMonitor::rows(SimTime now) {
+  std::vector<FleetRow> out;
+  out.reserve(hosts_.size());
+  std::int64_t slow_count = 0;
+  std::int64_t suspect_count = 0;
+  for (const auto& [host, state] : hosts_) {
+    FleetRow row;
+    row.host = host;
+    row.reports = state.reports;
+    row.first_at = state.first_at;
+    row.last_at = state.last_at;
+    if (auto it = state.counters.find("msg.requests");
+        it != state.counters.end()) {
+      row.calls = it->second;
+    }
+    const SimTime span = state.last_at - state.first_at;
+    if (span > 0) {
+      row.calls_per_sec =
+          static_cast<double>(row.calls) * 1e6 / static_cast<double>(span);
+    }
+    if (auto it = state.histograms.find("msg.service_us");
+        it != state.histograms.end()) {
+      row.p50_us = it->second.percentile(0.50);
+      row.p99_us = it->second.percentile(0.99);
+    }
+    if (auto it = state.histograms.find("msg.queue_us");
+        it != state.histograms.end()) {
+      row.queue_p99_us = it->second.percentile(0.99);
+    }
+    if (auto it = state.gauges.find("msg.pending"); it != state.gauges.end()) {
+      row.queue_depth = it->second;
+    }
+    row.slow = row.p99_us > slow_threshold_us_;
+    row.suspect = stale_after_us_ > 0 && state.last_ingest_at > 0 &&
+                  now - state.last_ingest_at > stale_after_us_;
+    if (row.slow) ++slow_count;
+    if (row.suspect) ++suspect_count;
+    out.push_back(std::move(row));
+  }
+  // Refresh the consultable flags: the recovery sweep reads these gauges
+  // without calling into the monitor's own types.
+  slow_gauge_.set(slow_count);
+  suspect_gauge_.set(suspect_count);
+  return out;
+}
+
+std::vector<MethodRow> FleetMonitor::method_rows() const {
+  // Merge per-method service histograms ("msg.method_us.<name>") across
+  // hosts, then read the percentiles off the merged buckets.
+  std::map<std::string, HistogramSnapshot> merged;
+  constexpr std::string_view kPrefix = "msg.method_us.";
+  for (const auto& [_, state] : hosts_) {
+    for (const auto& [name, hist] : state.histograms) {
+      if (name.size() <= kPrefix.size() ||
+          std::string_view(name).substr(0, kPrefix.size()) != kPrefix) {
+        continue;
+      }
+      merged[name.substr(kPrefix.size())].merge(hist);
+    }
+  }
+  std::vector<MethodRow> out;
+  out.reserve(merged.size());
+  for (const auto& [method, hist] : merged) {
+    MethodRow row;
+    row.method = method;
+    row.count = hist.count;
+    row.p50_us = hist.percentile(0.50);
+    row.p99_us = hist.percentile(0.99);
+    row.max_us = hist.max;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace legion::obs

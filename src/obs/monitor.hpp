@@ -1,0 +1,147 @@
+// The fleet metrics plane: delta snapshots and their aggregation.
+//
+// Each Host Object periodically ships a MetricsSnapshot — the *delta* of its
+// host-scoped metrics since the previous publication — to the well-known
+// MonitorObject. Host scoping rides on a naming convention: instruments
+// recorded per host carry a ".host.<id>" suffix (e.g.
+// "msg.service_us.host.3"); the collector strips the suffix so the monitor
+// aggregates canonical names across hosts. Deltas (not absolutes) make the
+// plane restart-tolerant: a missed snapshot loses one interval of data
+// instead of double-counting everything since boot.
+//
+// The FleetMonitor merges the histograms bucket-wise, which is why tail
+// latency survives aggregation: the p99 of a merged histogram equals the
+// p99 of the union of the underlying samples (within bucket resolution) —
+// something per-host precomputed percentiles can never provide.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/serialize.hpp"
+#include "base/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace legion::obs {
+
+// One publication from one host: counter deltas, gauge absolutes, histogram
+// bucket deltas, all keyed by canonical (suffix-stripped) metric name.
+struct MetricsSnapshot {
+  std::uint32_t host = 0;
+  SimTime at = 0;        // sender clock at collection time
+  std::uint64_t seq = 0; // per-host publication sequence, 1-based
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  void Serialize(Writer& w) const;
+  static MetricsSnapshot Deserialize(Reader& r);
+};
+
+// The per-host suffix convention. MetricHostSuffix(3) == ".host.3".
+[[nodiscard]] std::string MetricHostSuffix(std::uint32_t host);
+
+// Computes successive delta snapshots of one host's slice of a registry.
+// Stateful: remembers the last published absolutes. Not thread-safe; owned
+// by the publishing Host Object and driven from its dispatch context.
+class SnapshotCollector {
+ public:
+  SnapshotCollector(const Registry& registry, std::uint32_t host)
+      : registry_(registry), host_(host), suffix_(MetricHostSuffix(host)) {}
+
+  [[nodiscard]] MetricsSnapshot collect(SimTime now);
+
+ private:
+  const Registry& registry_;
+  std::uint32_t host_;
+  std::string suffix_;
+  std::uint64_t seq_ = 0;
+  std::map<std::string, std::uint64_t> last_counters_;
+  std::map<std::string, HistogramSnapshot> last_hists_;
+};
+
+// One host's rollup as the monitor sees it.
+struct FleetRow {
+  std::uint32_t host = 0;
+  std::uint64_t reports = 0;
+  SimTime first_at = 0;  // sender clock of the first report
+  SimTime last_at = 0;   // sender clock of the latest report
+  std::uint64_t calls = 0;         // cumulative msg.requests
+  double calls_per_sec = 0.0;      // over the covered (first..last) span
+  std::uint64_t p50_us = 0;        // merged msg.service_us percentiles
+  std::uint64_t p99_us = 0;
+  std::uint64_t queue_p99_us = 0;  // merged msg.queue_us p99
+  std::int64_t queue_depth = 0;    // latest msg.pending gauge
+  bool slow = false;     // service p99 above the configured threshold
+  bool suspect = false;  // no report for longer than the staleness window
+
+  void Serialize(Writer& w) const;
+  static FleetRow Deserialize(Reader& r);
+};
+
+// Fleet-wide per-method tail latency, from histograms merged across hosts.
+struct MethodRow {
+  std::string method;
+  std::uint64_t count = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t max_us = 0;
+
+  void Serialize(Writer& w) const;
+  static MethodRow Deserialize(Reader& r);
+};
+
+// The aggregation engine behind the MonitorObject. Core-free on purpose
+// (obs depends only on base): the Legion-object wrapper lives in
+// core/monitor_object and forwards envelopes here.
+class FleetMonitor {
+ public:
+  // Flags and totals are published into `registry` (monitor.reports,
+  // monitor.hosts, monitor.slow_hosts, monitor.suspect_hosts) so the
+  // recovery sweep can consult them without knowing the monitor's types.
+  explicit FleetMonitor(Registry& registry);
+
+  // `now` is the monitor's own clock (staleness is judged against it, not
+  // the sender's possibly-skewed stamp).
+  void ingest(const MetricsSnapshot& snapshot, SimTime now);
+
+  // Rollups per host, ordered by host id. `now` (the monitor's clock) feeds
+  // the staleness check; flag gauges are refreshed as a side effect.
+  [[nodiscard]] std::vector<FleetRow> rows(SimTime now);
+  // Per-method tail latency across all hosts, ordered by method name.
+  [[nodiscard]] std::vector<MethodRow> method_rows() const;
+
+  void set_slow_threshold_us(std::uint64_t t) { slow_threshold_us_ = t; }
+  void set_stale_after_us(SimTime t) { stale_after_us_ = t; }
+  [[nodiscard]] std::uint64_t reports() const { return reports_.value(); }
+
+  // Default flagging knobs: a host is slow above 1s service p99, suspect
+  // after 10s of silence (relative to the cadence of its own reports).
+  static constexpr std::uint64_t kDefaultSlowThresholdUs = 1'000'000;
+  static constexpr SimTime kDefaultStaleAfterUs = 10'000'000;
+
+ private:
+  struct HostState {
+    std::uint64_t reports = 0;
+    SimTime first_at = 0;
+    SimTime last_at = 0;
+    SimTime last_ingest_at = 0;  // monitor clock, for staleness
+    std::map<std::string, std::uint64_t> counters;        // cumulative
+    std::map<std::string, std::int64_t> gauges;           // latest
+    std::map<std::string, HistogramSnapshot> histograms;  // merged
+  };
+
+  Registry& registry_;
+  std::map<std::uint32_t, HostState> hosts_;
+  std::uint64_t slow_threshold_us_ = kDefaultSlowThresholdUs;
+  SimTime stale_after_us_ = kDefaultStaleAfterUs;
+  Counter& reports_;
+  Gauge& hosts_gauge_;
+  Gauge& slow_gauge_;
+  Gauge& suspect_gauge_;
+};
+
+}  // namespace legion::obs

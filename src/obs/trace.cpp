@@ -1,12 +1,18 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 namespace legion::obs {
 
 TraceId NextTraceId() {
   static std::atomic<TraceId> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpanId NextSpanId() {
+  static std::atomic<SpanId> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -17,14 +23,37 @@ std::string_view to_string(HopKind k) {
     case HopKind::kReply: return "reply";
     case HopKind::kBounce: return "bounce";
     case HopKind::kActivate: return "activate";
+    case HopKind::kServe: return "serve";
   }
   return "unknown";
 }
 
+namespace {
+// Token separators of structured method labels ("Sweep-Instances.phase2").
+[[nodiscard]] bool IsTokenBreak(char c) {
+  return c == '-' || c == '.' || c == '_' || c == '/';
+}
+}  // namespace
+
 void TraceHop::set_method(std::string_view m) {
-  const std::size_t n = std::min(m.size(), method.size() - 1);
+  std::size_t n = m.size();
+  if (n > method.size() - 1) {
+    // Over-long label: drop whole trailing tokens rather than cutting
+    // mid-token, so "Sweep-Instances-phase-two" truncates to
+    // "Sweep-Instances-phase", never to a misleading "Sweep-Instances-ph".
+    n = method.size() - 1;
+    std::size_t cut = n;
+    while (cut > 0 && !IsTokenBreak(m[cut])) --cut;
+    // Keep the hard cut only when the first token alone overflows the slot
+    // (no separator to fall back to).
+    if (cut > 0) n = cut;
+  }
   std::memcpy(method.data(), m.data(), n);
   method[n] = '\0';
+  // The slot is always NUL-terminated and method_view() reads back exactly
+  // what survived truncation.
+  assert(method[n] == '\0');
+  assert(std::strlen(method.data()) == n);
 }
 
 std::string_view TraceHop::method_view() const {

@@ -1,12 +1,19 @@
-// Hop-by-hop causal tracing for the invocation path.
+// Span-based distributed tracing for the invocation path.
 //
-// Every root invocation mints a TraceId; the (trace_id, hop) pair rides in
-// both the transport Envelope and the method-invocation EnvTriple, so a
-// nested call chain — object -> class -> magistrate -> host — shares one
-// trace with monotonically increasing hop numbers. The Messenger records
-// each stamp into the owning runtime's TraceRing: a bounded ring that keeps
-// the last N hops for post-mortem inspection (the shell's `stats` command,
-// test assertions).
+// Every *sampled* root invocation mints a TraceId; each Messenger send then
+// opens a child span — (span_id, parent_span_id) ride next to the trace id
+// in both the transport Envelope and the method-invocation EnvTriple — so a
+// nested call chain (object -> class -> magistrate -> host) forms one tree
+// of spans across hosts. A span is one call edge observed from both sides:
+//
+//   kInvoke  (caller,  span open)   ... kReply (caller,  span close)
+//   kRequest (callee,  span open)   ... kServe (callee,  span close,
+//                                        carrying queue_us / service_us)
+//
+// The Messenger records each stamp into the owning runtime's TraceRing: a
+// bounded ring that keeps the last N hops for post-mortem inspection (the
+// shell's `stats`/`trace dump` commands, the Chrome exporter, tests).
+// Unsampled roots keep trace_id == 0 end to end and record nothing.
 #pragma once
 
 #include <array>
@@ -21,16 +28,20 @@
 namespace legion::obs {
 
 using TraceId = std::uint64_t;
+using SpanId = std::uint64_t;
 
 // Process-wide, never returns 0 (0 means "no trace yet" on the wire).
 TraceId NextTraceId();
+// Process-wide, never returns 0 (0 means "no span" / "root has no parent").
+SpanId NextSpanId();
 
 enum class HopKind : std::uint8_t {
-  kInvoke = 0,   // request leaves the caller
-  kRequest = 1,  // request arrives at the callee
-  kReply = 2,    // reply arrives back at the caller
+  kInvoke = 0,   // request leaves the caller (client span opens)
+  kRequest = 1,  // request dequeued at the callee (server span opens)
+  kReply = 2,    // reply arrives back at the caller (client span closes)
   kBounce = 3,   // transport NACK arrives (stale binding)
   kActivate = 4, // a Host Object starts an object on behalf of this trace
+  kServe = 5,    // reply posted by the callee (server span closes)
 };
 
 [[nodiscard]] std::string_view to_string(HopKind k);
@@ -42,11 +53,48 @@ struct TraceHop {
   std::uint64_t src = 0;   // endpoint ids
   std::uint64_t dst = 0;
   HopKind kind = HopKind::kInvoke;
+  // Span edge this hop belongs to (0 on pre-span records like bounces of
+  // untraced messages; never 0 when trace_id != 0).
+  SpanId span_id = 0;
+  SpanId parent_span_id = 0;
+  // Host of the endpoint that recorded the hop (exporter "pid").
+  std::uint32_t host = 0;
+  // Server-side latency split, kServe only: enqueue->dequeue vs
+  // dequeue->reply.
+  std::uint32_t queue_us = 0;
+  std::uint32_t service_us = 0;
   // Fixed-size method label: no allocation on the record path.
   std::array<char, 24> method{};
 
   void set_method(std::string_view m);
   [[nodiscard]] std::string_view method_view() const;
+};
+
+// Head-based 1-in-N sampling, decided once where a trace is minted (the root
+// invocation): either the whole call tree is traced at full fidelity or none
+// of it is, so partial trees never appear and the per-call cost of an
+// unsampled root is one relaxed fetch_add. N == 1 (the default) samples
+// everything — the mode every deterministic test runs in.
+class TraceSampler {
+ public:
+  void set_every(std::uint64_t n) {
+    every_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t every() const {
+    return every_.load(std::memory_order_relaxed);
+  }
+
+  // True when the next root should be traced. Counter-based (deterministic
+  // under a deterministic invocation order): ticket 0, N, 2N, ... sample.
+  [[nodiscard]] bool sample() {
+    const std::uint64_t n = every_.load(std::memory_order_relaxed);
+    if (n <= 1) return true;
+    return ticket_.fetch_add(1, std::memory_order_relaxed) % n == 0;
+  }
+
+ private:
+  std::atomic<std::uint64_t> every_{1};
+  std::atomic<std::uint64_t> ticket_{0};
 };
 
 class TraceRing {

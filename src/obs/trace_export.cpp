@@ -1,0 +1,248 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <unordered_map>
+
+namespace legion::obs {
+
+namespace {
+
+// Method labels are identifiers, but keep the writer safe for any bytes.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct Event {
+  SimTime ts = 0;
+  SimTime dur = 0;       // "X" only
+  char ph = 'X';         // 'X' complete, 'i' instant
+  std::uint32_t pid = 0;
+  std::uint64_t tid = 0;
+  std::string name;
+  std::string cat;
+  TraceId trace = 0;
+  SpanId span = 0;
+  SpanId parent = 0;
+  std::uint32_t queue_us = 0;
+  std::uint32_t service_us = 0;
+  bool has_times = false;  // kServe carried the queue/service split
+};
+
+void WriteEvent(std::ostream& out, const Event& e, bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "  {\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\"" << e.cat
+      << "\",\"ph\":\"" << e.ph << "\",\"ts\":" << e.ts;
+  if (e.ph == 'X') out << ",\"dur\":" << e.dur;
+  if (e.ph == 'i') out << ",\"s\":\"t\"";
+  out << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+  out << ",\"args\":{\"trace\":" << e.trace << ",\"span\":" << e.span
+      << ",\"parent\":" << e.parent;
+  if (e.has_times) {
+    out << ",\"queue_us\":" << e.queue_us << ",\"service_us\":" << e.service_us;
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+void WriteChromeTrace(const std::vector<TraceHop>& hops, std::ostream& out) {
+  // Pair span opens with their closes. The ring is oldest-first, so an
+  // open's matching close (same span, same side) is the next one seen.
+  struct OpenSide {
+    const TraceHop* open = nullptr;
+    bool closed = false;
+  };
+  std::unordered_map<SpanId, OpenSide> client_open;  // kInvoke -> kReply
+  std::unordered_map<SpanId, OpenSide> server_open;  // kRequest -> kServe
+
+  std::vector<Event> events;
+  events.reserve(hops.size());
+  std::set<std::uint32_t> pids;
+
+  auto base_event = [](const TraceHop& h) {
+    Event e;
+    e.ts = h.at;
+    e.pid = h.host;
+    e.trace = h.trace_id;
+    e.span = h.span_id;
+    e.parent = h.parent_span_id;
+    e.name = std::string(h.method_view());
+    if (e.name.empty()) e.name = std::string(to_string(h.kind));
+    return e;
+  };
+
+  auto close_span = [&](std::unordered_map<SpanId, OpenSide>& opens,
+                        const TraceHop& h, std::string cat,
+                        std::uint64_t tid) {
+    auto it = opens.find(h.span_id);
+    if (it == opens.end() || it->second.closed) return false;
+    const TraceHop& open = *it->second.open;
+    it->second.closed = true;
+    Event e = base_event(open);
+    e.dur = h.at >= open.at ? h.at - open.at : 0;
+    e.cat = std::move(cat);
+    e.tid = tid;
+    if (e.name.empty() || e.name == to_string(open.kind)) {
+      // The close side may carry the method label the open side lacked.
+      const std::string_view m = h.method_view();
+      if (!m.empty()) e.name = std::string(m);
+    }
+    if (h.kind == HopKind::kServe) {
+      e.queue_us = h.queue_us;
+      e.service_us = h.service_us;
+      e.has_times = true;
+    }
+    events.push_back(std::move(e));
+    return true;
+  };
+
+  for (const TraceHop& h : hops) {
+    pids.insert(h.host);
+    switch (h.kind) {
+      case HopKind::kInvoke:
+        if (h.span_id != 0) client_open[h.span_id] = OpenSide{&h, false};
+        break;
+      case HopKind::kRequest:
+        if (h.span_id != 0) server_open[h.span_id] = OpenSide{&h, false};
+        break;
+      case HopKind::kReply: {
+        // tid = the caller endpoint (the reply's destination).
+        if (!close_span(client_open, h, "client", h.dst)) {
+          Event e = base_event(h);
+          e.ph = 'i';
+          e.cat = "reply";
+          e.tid = h.dst;
+          events.push_back(std::move(e));
+        }
+        break;
+      }
+      case HopKind::kServe: {
+        // tid = the serving endpoint (the reply's source).
+        if (!close_span(server_open, h, "server", h.src)) {
+          Event e = base_event(h);
+          e.ph = 'i';
+          e.cat = "serve";
+          e.tid = h.src;
+          events.push_back(std::move(e));
+        }
+        break;
+      }
+      case HopKind::kBounce:
+      case HopKind::kActivate: {
+        Event e = base_event(h);
+        e.ph = 'i';
+        e.cat = std::string(to_string(h.kind));
+        e.tid = h.dst;
+        events.push_back(std::move(e));
+        break;
+      }
+    }
+  }
+
+  // Opens whose close fell outside the ring (or is still in flight).
+  auto flush_unclosed = [&](std::unordered_map<SpanId, OpenSide>& opens,
+                            std::string_view cat, bool tid_is_src) {
+    for (const auto& [span, side] : opens) {
+      if (side.closed) continue;
+      const TraceHop& h = *side.open;
+      Event e = base_event(h);
+      e.ph = 'i';
+      e.cat = std::string(cat) + "-unclosed";
+      e.tid = tid_is_src ? h.src : h.dst;
+      events.push_back(std::move(e));
+    }
+  };
+  flush_unclosed(client_open, "client", /*tid_is_src=*/true);
+  flush_unclosed(server_open, "server", /*tid_is_src=*/false);
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const std::uint32_t pid : pids) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"ts\":0,\"args\":{\"name\":\"host-" << pid << "\"}}";
+  }
+  for (const Event& e : events) WriteEvent(out, e, first);
+  out << "\n]}\n";
+}
+
+bool WriteChromeTraceFile(const std::vector<TraceHop>& hops,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  WriteChromeTrace(hops, out);
+  return static_cast<bool>(out);
+}
+
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 7);
+  out = "legion_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void WritePrometheus(const Registry& registry, std::ostream& out) {
+  registry.visit(
+      [&](std::string_view name, const Counter& c) {
+        const std::string n = PrometheusName(name);
+        out << "# TYPE " << n << " counter\n";
+        out << n << " " << c.value() << "\n";
+      },
+      [&](std::string_view name, const Gauge& g) {
+        const std::string n = PrometheusName(name);
+        out << "# TYPE " << n << " gauge\n";
+        out << n << " " << g.value() << "\n";
+      },
+      [&](std::string_view name, const Histogram& h) {
+        const HistogramSnapshot snap = h.snapshot();
+        const std::string n = PrometheusName(name);
+        out << "# TYPE " << n << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+          if (snap.buckets[b] == 0) continue;
+          cumulative += snap.buckets[b];
+          out << n << "_bucket{le=\"" << Histogram::bucket_ceiling(b)
+              << "\"} " << cumulative << "\n";
+        }
+        out << n << "_bucket{le=\"+Inf\"} " << snap.count << "\n";
+        out << n << "_sum " << snap.sum << "\n";
+        out << n << "_count " << snap.count << "\n";
+      });
+}
+
+}  // namespace legion::obs

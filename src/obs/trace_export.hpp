@@ -1,0 +1,40 @@
+// Exporters for the observability surfaces.
+//
+// Chrome/Perfetto trace-event JSON from TraceRing contents: spans are
+// rebuilt by pairing their open/close hops — kInvoke/kReply on the caller,
+// kRequest/kServe on the callee — into complete ("X") events keyed by
+// span_id. One process ("pid") per host, one thread ("tid") per endpoint,
+// so chrome://tracing / ui.perfetto.dev render the fleet as a lane per
+// object grouped by machine. Unpaired hops (a call still in flight when the
+// ring was dumped, bounces, activations) become instant ("i") events.
+//
+// Prometheus text exposition format from a Registry: counters and gauges as
+// single samples, histograms as the native cumulative-bucket form
+// (`_bucket{le="..."}` / `_sum` / `_count`) so merged-percentile queries
+// work server-side too.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace legion::obs {
+
+// Writes the full trace-event JSON document ({"traceEvents": [...]}).
+// Events are sorted by timestamp (the CI validator checks monotonicity).
+void WriteChromeTrace(const std::vector<TraceHop>& hops, std::ostream& out);
+
+// Convenience wrapper: returns false when the file cannot be opened.
+bool WriteChromeTraceFile(const std::vector<TraceHop>& hops,
+                          const std::string& path);
+
+// Prometheus text format. Metric names are sanitized ('.' / '-' -> '_').
+void WritePrometheus(const Registry& registry, std::ostream& out);
+
+// Name sanitizer used by WritePrometheus, exposed for tests.
+[[nodiscard]] std::string PrometheusName(std::string_view name);
+
+}  // namespace legion::obs

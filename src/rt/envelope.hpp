@@ -30,6 +30,14 @@ struct Envelope {
   // bounces so a NACK is attributable to the invocation that caused it.
   std::uint64_t trace_id = 0;
   std::uint32_t hop = 0;
+  // Span edge this envelope belongs to (obs span model): the request and
+  // its reply carry the same span_id, so both sides of a call pair up.
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  // Receiver-local stamp (not part of the wire format): when the envelope
+  // entered the destination's inbox. The Messenger reads it at dequeue time
+  // to attribute queue time separately from service time. 0 = unstamped.
+  SimTime queued_at = 0;
 };
 
 }  // namespace legion::rt

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/monitor.hpp"
+
 namespace legion::rt {
 
 Messenger::Messenger(Runtime& runtime, HostId host, std::string label,
@@ -13,7 +15,17 @@ Messenger::Messenger(Runtime& runtime, HostId host, std::string label,
       requests_(runtime.metrics().counter("msg.requests")),
       timeouts_(runtime.metrics().counter("msg.timeouts")),
       unreachables_(runtime.metrics().counter("msg.unreachable")),
-      pending_gauge_(runtime.metrics().gauge("msg.pending")) {
+      pending_gauge_(runtime.metrics().gauge("msg.pending")),
+      queue_us_(runtime.metrics().histogram("msg.queue_us")),
+      service_us_(runtime.metrics().histogram("msg.service_us")),
+      host_requests_(runtime.metrics().counter(
+          "msg.requests" + obs::MetricHostSuffix(host.value))),
+      host_queue_us_(runtime.metrics().histogram(
+          "msg.queue_us" + obs::MetricHostSuffix(host.value))),
+      host_service_us_(runtime.metrics().histogram(
+          "msg.service_us" + obs::MetricHostSuffix(host.value))),
+      host_pending_(runtime.metrics().gauge(
+          "msg.pending" + obs::MetricHostSuffix(host.value))) {
   endpoint_ = runtime_.create_endpoint(
       host, std::move(label), [this](Envelope&& env) { on_message(std::move(env)); },
       mode);
@@ -33,6 +45,7 @@ void Messenger::close() {
     orphans.swap(pending_);
   }
   pending_gauge_.sub(static_cast<std::int64_t>(orphans.size()));
+  host_pending_.sub(static_cast<std::int64_t>(orphans.size()));
   for (auto& [_, promise] : orphans) {
     promise.set(ReplyMsg{AbortedError("messenger closed"), Buffer{}});
   }
@@ -46,14 +59,27 @@ Future<ReplyMsg> Messenger::invoke(EndpointId dst, std::string_view method,
   Promise<ReplyMsg> promise;
   Future<ReplyMsg> future = promise.future();
 
-  // Stamp the causal trace: root invocations mint a fresh id, nested ones
-  // (env propagated from an inbound request) advance the hop count.
+  // Stamp the causal trace. Sampled roots mint a fresh trace and a root
+  // span; nested invocations (env propagated from an inbound request)
+  // advance the hop count and open a child span beneath the span they are
+  // serving. Unsampled roots stay at trace_id == 0 end to end: the whole
+  // call tree is either traced at full fidelity or not at all.
   EnvTriple traced = env;
   if (traced.trace_id == 0) {
-    traced.trace_id = obs::NextTraceId();
-    traced.hop = 0;
+    if (traced.hop != EnvTriple::kHopNotSampled && runtime_.sampler().sample()) {
+      traced.trace_id = obs::NextTraceId();
+      traced.hop = 0;
+      traced.parent_span_id = 0;
+      traced.span_id = obs::NextSpanId();
+    } else {
+      // The head decision (here or at the true root upstream) was "no";
+      // stamp the verdict so calls nested under this one stay untraced too.
+      traced.hop = EnvTriple::kHopNotSampled;
+    }
   } else {
     traced.hop += 1;
+    traced.parent_span_id = traced.span_id;
+    traced.span_id = obs::NextSpanId();
   }
 
   std::uint64_t call_id;
@@ -68,6 +94,7 @@ Future<ReplyMsg> Messenger::invoke(EndpointId dst, std::string_view method,
     pending_.emplace(call_id, promise);
   }
   pending_gauge_.add(1);
+  host_pending_.add(1);
   invokes_.inc();
 
   Buffer payload;
@@ -81,6 +108,8 @@ Future<ReplyMsg> Messenger::invoke(EndpointId dst, std::string_view method,
   Envelope envelope{endpoint_, dst, DeliveryKind::kData, std::move(payload)};
   envelope.trace_id = traced.trace_id;
   envelope.hop = traced.hop;
+  envelope.span_id = traced.span_id;
+  envelope.parent_span_id = traced.parent_span_id;
   record_hop(obs::HopKind::kInvoke, envelope, method);
 
   const Status sent = runtime_.post(std::move(envelope));
@@ -188,6 +217,7 @@ void Messenger::fail_pending(std::uint64_t call_id, Status status) {
     pending_.erase(it);
   }
   pending_gauge_.sub(1);
+  host_pending_.sub(1);
   promise.set(ReplyMsg{std::move(status), Buffer{}});
   // The promise may satisfy another thread's await() predicate without any
   // message delivery; make sure that waiter wakes.
@@ -195,7 +225,8 @@ void Messenger::fail_pending(std::uint64_t call_id, Status status) {
 }
 
 void Messenger::record_hop(obs::HopKind kind, const Envelope& env,
-                           std::string_view method) {
+                           std::string_view method, std::uint32_t queue_us,
+                           std::uint32_t service_us) {
   if (env.trace_id == 0) return;
   obs::TraceRing& ring = runtime_.traces();
   if (!ring.enabled()) return;
@@ -206,8 +237,23 @@ void Messenger::record_hop(obs::HopKind kind, const Envelope& env,
   hop.src = env.src.value;
   hop.dst = env.dst.value;
   hop.kind = kind;
+  hop.span_id = env.span_id;
+  hop.parent_span_id = env.parent_span_id;
+  hop.host = host_.value;
+  hop.queue_us = queue_us;
+  hop.service_us = service_us;
   if (!method.empty()) hop.set_method(method);
   ring.record(hop);
+}
+
+obs::Histogram& Messenger::method_service_hist(std::string_view method) {
+  std::string key(method);
+  auto it = method_hists_.find(key);
+  if (it != method_hists_.end()) return *it->second;
+  obs::Histogram& hist = runtime_.metrics().histogram(
+      "msg.method_us." + key + obs::MetricHostSuffix(host_.value));
+  method_hists_.emplace(std::move(key), &hist);
+  return hist;
 }
 
 void Messenger::on_message(Envelope&& env) {
@@ -220,7 +266,8 @@ void Messenger::on_message(Envelope&& env) {
   const auto kind = static_cast<FrameKind>(r.u8());
   switch (kind) {
     case FrameKind::kRequest:
-      record_hop(obs::HopKind::kRequest, env, {});
+      // The kRequest hop is recorded inside handle_request, once the frame
+      // is parsed: that hop carries the method label and the queue split.
       handle_request(std::move(env), r);
       break;
     case FrameKind::kReply:
@@ -233,7 +280,9 @@ void Messenger::on_message(Envelope&& env) {
 }
 
 void Messenger::handle_request(Envelope&& env, Reader& r) {
+  const SimTime dequeued_at = runtime_.now();
   requests_.inc();
+  host_requests_.inc();
   CallInfo info;
   info.call_id = r.u64();
   info.env = EnvTriple::Deserialize(r);
@@ -241,6 +290,18 @@ void Messenger::handle_request(Envelope&& env, Reader& r) {
   Buffer args = r.buffer();
   info.reply_to = env.src;
   if (!r.ok()) return;  // malformed: drop
+
+  // Queue time: inbox-entry stamp (set by the runtime at enqueue) to this
+  // dequeue. The sim dispatches inline at delivery, so its queue time is a
+  // true zero; the thread and tcp runtimes measure real mailbox residency.
+  std::uint64_t queue_us = 0;
+  if (env.queued_at > 0 && dequeued_at > env.queued_at) {
+    queue_us = static_cast<std::uint64_t>(dequeued_at - env.queued_at);
+  }
+  queue_us_.record(queue_us);
+  host_queue_us_.record(queue_us);
+  record_hop(obs::HopKind::kRequest, env, info.method,
+             static_cast<std::uint32_t>(queue_us), 0);
 
   Result<Buffer> result = [&]() -> Result<Buffer> {
     if (!dispatcher_) {
@@ -250,6 +311,16 @@ void Messenger::handle_request(Envelope&& env, Reader& r) {
     Reader args_reader(args);
     return dispatcher_(ctx, args_reader);
   }();
+
+  // Service time: dequeue to reply post, nested awaits included (they are
+  // part of serving this call).
+  const SimTime done_at = runtime_.now();
+  const std::uint64_t service_us =
+      done_at > dequeued_at ? static_cast<std::uint64_t>(done_at - dequeued_at)
+                            : 0;
+  service_us_.record(service_us);
+  host_service_us_.record(service_us);
+  method_service_hist(info.method).record(service_us);
 
   Buffer payload;
   Writer w(payload);
@@ -263,6 +334,13 @@ void Messenger::handle_request(Envelope&& env, Reader& r) {
                  std::move(payload)};
   reply.trace_id = info.env.trace_id;
   reply.hop = info.env.hop + 1;
+  // The reply closes the same span the request opened: both sides of the
+  // call edge carry one span_id.
+  reply.span_id = info.env.span_id;
+  reply.parent_span_id = info.env.parent_span_id;
+  record_hop(obs::HopKind::kServe, reply, info.method,
+             static_cast<std::uint32_t>(queue_us),
+             static_cast<std::uint32_t>(service_us));
   // A failed reply post means the caller is gone; nothing useful to do.
   (void)runtime_.post(std::move(reply));
 }
@@ -283,6 +361,7 @@ void Messenger::handle_reply(Reader& r) {
     pending_.erase(it);
   }
   pending_gauge_.sub(1);
+  host_pending_.sub(1);
   promise.set(ReplyMsg{Status{code, std::move(message)}, std::move(result)});
 }
 

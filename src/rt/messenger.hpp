@@ -32,13 +32,23 @@ namespace legion::rt {
 // The RA/SA/CA environment of a method invocation, plus the causal trace
 // stamp. The trace rides the triple (not just the transport envelope) so
 // nested calls made while serving a request — via ObjectContext's
-// outgoing_env() — continue the inbound trace automatically.
+// outgoing_env() — continue the inbound trace automatically: invoke() reads
+// the inbound span_id as the new span's parent, which is what turns the hop
+// chain into a tree.
 struct EnvTriple {
+  // With trace_id == 0, a hop of kHopNotSampled records that the root's
+  // sampling decision was "no": nested calls must NOT re-consult the
+  // sampler, or a 1-in-N head decision would mint partial mid-tree traces.
+  // Head sampling is all-or-nothing per call tree.
+  static constexpr std::uint32_t kHopNotSampled = 0xFFFF'FFFF;
+
   Loid responsible_agent;
   Loid security_agent;
   Loid calling_agent;
-  std::uint64_t trace_id = 0;  // 0 = not yet part of a trace
+  std::uint64_t trace_id = 0;  // 0 = not part of a trace (unsampled root)
   std::uint32_t hop = 0;
+  std::uint64_t span_id = 0;         // span of the call this triple rides
+  std::uint64_t parent_span_id = 0;  // span this call was made beneath
 
   void Serialize(Writer& w) const {
     responsible_agent.Serialize(w);
@@ -46,6 +56,8 @@ struct EnvTriple {
     calling_agent.Serialize(w);
     w.u64(trace_id);
     w.u32(hop);
+    w.u64(span_id);
+    w.u64(parent_span_id);
   }
   static EnvTriple Deserialize(Reader& r) {
     EnvTriple t;
@@ -54,6 +66,8 @@ struct EnvTriple {
     t.calling_agent = Loid::Deserialize(r);
     t.trace_id = r.u64();
     t.hop = r.u32();
+    t.span_id = r.u64();
+    t.parent_span_id = r.u64();
     return t;
   }
 
@@ -145,7 +159,12 @@ class Messenger {
   void handle_bounce(Reader& r);
   void fail_pending(std::uint64_t call_id, Status status);
   void record_hop(obs::HopKind kind, const Envelope& env,
-                  std::string_view method);
+                  std::string_view method, std::uint32_t queue_us = 0,
+                  std::uint32_t service_us = 0);
+  // Per-method service-time histogram ("msg.method_us.<method>.host.<id>"),
+  // cached so the registry mutex is paid once per (endpoint, method). Only
+  // touched from handle_request, which the runtime serializes per endpoint.
+  obs::Histogram& method_service_hist(std::string_view method);
 
   Runtime& runtime_;
   HostId host_;
@@ -160,6 +179,16 @@ class Messenger {
   obs::Counter& timeouts_;
   obs::Counter& unreachables_;  // quiescent-runtime "can never arrive" fails
   obs::Gauge& pending_gauge_;
+  // Queue/service-time split of every inbound request (enqueue->dequeue vs
+  // dequeue->reply), runtime-wide and per-host. The ".host.<id>" copies are
+  // what the Host Object's fleet snapshot ships to the MonitorObject.
+  obs::Histogram& queue_us_;
+  obs::Histogram& service_us_;
+  obs::Counter& host_requests_;
+  obs::Histogram& host_queue_us_;
+  obs::Histogram& host_service_us_;
+  obs::Gauge& host_pending_;
+  std::unordered_map<std::string, obs::Histogram*> method_hists_;
 
   std::mutex pending_mutex_;  // guards pending_ and next_call_id_
   std::unordered_map<std::uint64_t, Promise<ReplyMsg>> pending_;

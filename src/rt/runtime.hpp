@@ -138,6 +138,10 @@ class Runtime {
   [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
   [[nodiscard]] obs::TraceRing& traces() { return traces_; }
   [[nodiscard]] const obs::TraceRing& traces() const { return traces_; }
+  // Head-based trace sampling, consulted where roots are minted
+  // (Messenger::invoke). Default: sample every root.
+  [[nodiscard]] obs::TraceSampler& sampler() { return sampler_; }
+  [[nodiscard]] const obs::TraceSampler& sampler() const { return sampler_; }
 
  protected:
   Runtime() = default;
@@ -184,6 +188,7 @@ class Runtime {
   net::FaultPlan faults_;
   obs::Registry metrics_;
   obs::TraceRing traces_;
+  obs::TraceSampler sampler_;
   TransportCounters transport_{metrics_};
 };
 

@@ -90,6 +90,8 @@ void SimRuntime::deliver(Event&& ev) {
                     std::move(env.payload)};
     bounce.trace_id = env.trace_id;  // keep the NACK attributable
     bounce.hop = env.hop;
+    bounce.span_id = env.span_id;
+    bounce.parent_span_id = env.parent_span_id;
     queue_.push(Event{at, next_seq_++, std::move(bounce)});
     return;
   }
@@ -103,6 +105,10 @@ void SimRuntime::deliver(Event&& ev) {
   dst->stats.received += 1;
   dst->stats.bytes_received += env.payload.size();
   if (dst->handler) {
+    // Inline dispatch: delivery IS the dequeue, so the envelope's inbox
+    // residency is zero by construction. Stamp it anyway so the Messenger's
+    // queue-time attribution reads a true 0 rather than "unstamped".
+    env.queued_at = now_;
     // Dispatch inline on a *copy* of the handler: the handler may create or
     // close endpoints (rehashing the map, or nulling dst->handler itself),
     // so neither `dst` nor the stored std::function may be touched while the

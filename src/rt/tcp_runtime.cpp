@@ -19,9 +19,10 @@ namespace legion::rt {
 namespace {
 
 // Frame: u32 payload length | u64 src | u64 dst | u8 kind | u64 trace_id |
-// u32 hop | payload bytes. Frames are self-delimiting, so any number of them
-// multiplex over one persistent stream.
-constexpr std::size_t kHeaderBytes = 4 + 8 + 8 + 1 + 8 + 4;
+// u32 hop | u64 span_id | u64 parent_span_id | payload bytes. Frames are
+// self-delimiting, so any number of them multiplex over one persistent
+// stream. (queued_at is receiver-local and deliberately NOT on the wire.)
+constexpr std::size_t kHeaderBytes = 4 + 8 + 8 + 1 + 8 + 4 + 8 + 8;
 constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB sanity cap
 
 // A signal landing mid-transfer interrupts the syscall with EINTR; that is
@@ -352,6 +353,8 @@ bool TcpRuntime::write_frame(int fd, const Envelope& env) {
   header[20] = static_cast<std::uint8_t>(env.kind);
   PutU64(header + 21, env.trace_id);
   PutU32(header + 29, env.hop);
+  PutU64(header + 33, env.span_id);
+  PutU64(header + 41, env.parent_span_id);
   iovec iov[2];
   iov[0].iov_base = header;
   iov[0].iov_len = kHeaderBytes;
@@ -457,6 +460,8 @@ void TcpRuntime::reader_loop(const EndpointPtr& ep, std::size_t slot, int fd) {
     env.kind = static_cast<DeliveryKind>(header[20]);
     env.trace_id = GetU64(header.data() + 21);
     env.hop = GetU32(header.data() + 29);
+    env.span_id = GetU64(header.data() + 33);
+    env.parent_span_id = GetU64(header.data() + 41);
     if (payload_len > 0) {
       std::vector<std::uint8_t> payload(payload_len);
       if (!ReadAll(fd, payload.data(), payload.size(), io_retries_)) break;
@@ -471,6 +476,7 @@ void TcpRuntime::reader_loop(const EndpointPtr& ep, std::size_t slot, int fd) {
       } else {
         ep->stats.received += 1;
         ep->stats.bytes_received += env.payload.size();
+        env.queued_at = now();  // enqueue stamp: queue time = dequeue - this
         ep->inbox.push_back(std::move(env));
         ++ep->wakeups;
       }

@@ -139,6 +139,7 @@ Status ThreadRuntime::post(Envelope env) {
     }
     dst->stats.received += 1;
     dst->stats.bytes_received += env.payload.size();
+    env.queued_at = now();  // enqueue stamp: queue time = dequeue - this
     dst->inbox.push_back(std::move(env));
     ++dst->wakeups;
   }

@@ -1,0 +1,186 @@
+// End-to-end observability over a 3-host sim deployment: a real workload's
+// spans reconstruct into connected per-call trees, the exported Chrome
+// trace is structurally sound, and the fleet plane's merged rollups reach
+// the MonitorObject and come back over the wire.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/monitor_object.hpp"
+#include "core/system.hpp"
+#include "core/well_known.hpp"
+#include "obs/trace_export.hpp"
+#include "rt/sim_runtime.hpp"
+#include "sim/sample_objects.hpp"
+
+namespace legion::core {
+namespace {
+
+struct Deployment {
+  std::unique_ptr<rt::SimRuntime> runtime;
+  std::unique_ptr<LegionSystem> system;
+  JurisdictionId jurisdiction;
+  std::vector<HostId> hosts;
+};
+
+Deployment Deploy(std::uint64_t seed) {
+  Deployment d;
+  d.runtime = std::make_unique<rt::SimRuntime>(seed);
+  d.jurisdiction = d.runtime->topology().add_jurisdiction("j");
+  for (int h = 0; h < 3; ++h) {
+    d.hosts.push_back(
+        d.runtime->topology().add_host("h" + std::to_string(h),
+                                       {d.jurisdiction}, 1e9));
+  }
+  d.system = std::make_unique<LegionSystem>(*d.runtime, SystemConfig{});
+  EXPECT_TRUE(sim::RegisterSampleObjects(d.system->registry()).ok());
+  EXPECT_TRUE(d.system->bootstrap().ok());
+  return d;
+}
+
+Loid MakeWorker(Client& client, LegionSystem& system, JurisdictionId jur) {
+  wire::DeriveRequest req;
+  req.name = "ObsWorker";
+  req.instance_impl = std::string(sim::WorkerImpl::kName);
+  req.candidate_magistrates = {system.magistrate_of(jur)};
+  auto derived = client.derive(LegionObjectLoid(), req);
+  EXPECT_TRUE(derived.ok());
+  if (!derived.ok()) return Loid{};
+  auto created = client.create(derived->loid, sim::WorkerInit(0, 0));
+  EXPECT_TRUE(created.ok());
+  return created.ok() ? created->loid : Loid{};
+}
+
+TEST(Observability, WorkloadSpansFormConnectedTreesAndExportCleanly) {
+  Deployment d = Deploy(404);
+  auto setup = d.system->make_client(d.hosts[0], "setup");
+  const Loid worker = MakeWorker(*setup, *d.system, d.jurisdiction);
+  ASSERT_TRUE(worker.valid());
+
+  // Clients on every host drive the worker so hops span all three hosts.
+  for (int h = 0; h < 3; ++h) {
+    auto client = d.system->make_client(d.hosts[h], "c" + std::to_string(h));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(client->ref(worker).call("Noop", Buffer{}).ok());
+    }
+  }
+
+  const auto hops =
+      d.runtime->traces().last(d.runtime->traces().capacity());
+  ASSERT_FALSE(hops.empty());
+
+  // Group invoke-opened spans per trace and verify each trace is one
+  // connected tree: exactly one root, every parent link lands on a span of
+  // the same trace, and every reply/serve leg closes a span its trace
+  // opened (reply spans nest under their request span by construction).
+  std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>> trees;
+  for (const auto& h : hops) {
+    if (h.kind != obs::HopKind::kInvoke) continue;
+    ASSERT_NE(h.trace_id, 0u);
+    ASSERT_NE(h.span_id, 0u);
+    trees[h.trace_id][h.span_id] = h.parent_span_id;
+  }
+  ASSERT_FALSE(trees.empty());
+  for (const auto& [trace, parent_of] : trees) {
+    int roots = 0;
+    for (const auto& [span, parent] : parent_of) {
+      if (parent == 0) {
+        ++roots;
+      } else {
+        EXPECT_TRUE(parent_of.count(parent))
+            << "trace " << trace << ": span " << span
+            << " parents unknown span " << parent;
+      }
+    }
+    EXPECT_EQ(roots, 1) << "trace " << trace << " is not a single tree";
+  }
+  for (const auto& h : hops) {
+    if (h.kind == obs::HopKind::kInvoke ||
+        h.kind == obs::HopKind::kBounce ||
+        h.kind == obs::HopKind::kActivate) {
+      continue;
+    }
+    ASSERT_TRUE(trees.count(h.trace_id));
+    EXPECT_TRUE(trees[h.trace_id].count(h.span_id))
+        << to_string(h.kind) << " leg closes unopened span " << h.span_id;
+  }
+
+  // Export and spot-check the file; full JSON validation runs in CI.
+  const std::string path = ::testing::TempDir() + "/legion_obs_trace.json";
+  ASSERT_TRUE(obs::WriteChromeTraceFile(hops, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string json = content.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Observability, FleetRollupsReachTheMonitorOverTheWire) {
+  Deployment d = Deploy(405);
+  auto setup = d.system->make_client(d.hosts[0], "setup");
+  const Loid worker = MakeWorker(*setup, *d.system, d.jurisdiction);
+  ASSERT_TRUE(worker.valid());
+  for (int h = 0; h < 3; ++h) {
+    auto client = d.system->make_client(d.hosts[h], "c" + std::to_string(h));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(client->ref(worker).call("Noop", Buffer{}).ok());
+    }
+  }
+
+  // Force a publication from every host (the shell's `fleet` path), let the
+  // fire-and-forget reports land, then read the rollup back as a client.
+  auto client = d.system->make_client(d.hosts[0], "fleet-reader");
+  for (int h = 0; h < 3; ++h) {
+    ASSERT_TRUE(client->ref(d.system->host_object_of(d.hosts[h]))
+                    .call(methods::kPublishMetrics, Buffer{})
+                    .ok());
+  }
+  d.runtime->run_until_idle();
+  auto raw = client->ref(d.system->monitor_loid())
+                 .call(methods::kGetFleet, Buffer{});
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  auto reply = FleetReply::from_buffer(*raw);
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+
+  // Every host reported; the serving host's merged service histogram gives
+  // a real p99; request counts only grow where requests were served.
+  ASSERT_EQ(reply->hosts.size(), 3u);
+  std::uint64_t total_calls = 0;
+  bool some_p99 = false;
+  for (const auto& row : reply->hosts) {
+    EXPECT_GE(row.reports, 1u);
+    EXPECT_FALSE(row.suspect);
+    total_calls += row.calls;
+    if (row.p99_us > 0) some_p99 = true;
+  }
+  EXPECT_GE(total_calls, 30u);  // the 30 Noops plus control-plane traffic
+  EXPECT_TRUE(some_p99);
+
+  // The merged per-method rows surface the workload's method by name.
+  bool saw_noop = false;
+  for (const auto& m : reply->methods) {
+    if (m.method == "Noop") {
+      saw_noop = true;
+      EXPECT_GE(m.count, 30u);
+      EXPECT_GE(m.p99_us, m.p50_us);
+      EXPECT_GE(m.max_us, m.p99_us);
+    }
+  }
+  EXPECT_TRUE(saw_noop);
+
+  // The monitor's consultable flag gauges exist for the recovery sweep.
+  EXPECT_EQ(d.runtime->metrics().gauge("monitor.hosts").value(), 3);
+  EXPECT_GE(d.runtime->metrics().counter("monitor.reports").value(), 3u);
+}
+
+}  // namespace
+}  // namespace legion::core

@@ -1,0 +1,285 @@
+// The fleet metrics plane in isolation: delta snapshot collection, wire
+// round-trips, and the FleetMonitor's merged-histogram rollups. The key
+// property under test: percentiles of bucket-wise merged histograms equal
+// percentiles recomputed from the union of the underlying samples.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/buffer.hpp"
+#include "base/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
+
+namespace legion::obs {
+namespace {
+
+MetricsSnapshot RoundTrip(const MetricsSnapshot& in) {
+  Buffer bytes;
+  Writer w(bytes);
+  in.Serialize(w);
+  Reader r(bytes);
+  MetricsSnapshot out = MetricsSnapshot::Deserialize(r);
+  EXPECT_TRUE(r.ok());
+  return out;
+}
+
+TEST(MetricsSnapshot, SerializeRoundTripPreservesEverything) {
+  Histogram h;
+  h.record(7);
+  h.record(900);
+
+  MetricsSnapshot snap;
+  snap.host = 3;
+  snap.at = 123456;
+  snap.seq = 9;
+  snap.counters.emplace_back("msg.requests", 42u);
+  snap.counters.emplace_back("msg.invokes", 0u);
+  snap.gauges.emplace_back("msg.pending", -2);
+  snap.histograms.emplace_back("msg.service_us", h.snapshot());
+
+  const MetricsSnapshot out = RoundTrip(snap);
+  EXPECT_EQ(out.host, 3u);
+  EXPECT_EQ(out.at, 123456);
+  EXPECT_EQ(out.seq, 9u);
+  ASSERT_EQ(out.counters.size(), 2u);
+  EXPECT_EQ(out.counters[0].first, "msg.requests");
+  EXPECT_EQ(out.counters[0].second, 42u);
+  ASSERT_EQ(out.gauges.size(), 1u);
+  EXPECT_EQ(out.gauges[0].second, -2);
+  ASSERT_EQ(out.histograms.size(), 1u);
+  EXPECT_TRUE(out.histograms[0].second == h.snapshot());
+  EXPECT_EQ(out.histograms[0].second.percentile(0.99),
+            h.snapshot().percentile(0.99));
+}
+
+TEST(MetricsSnapshot, HostileEntryCountIsRejectedNotAllocated) {
+  // A forged frame claiming 2^31 counters must fail the read cleanly
+  // instead of reserving gigabytes.
+  Buffer bytes;
+  Writer w(bytes);
+  w.u32(5);                  // host
+  w.i64(0);                  // at
+  w.u64(1);                  // seq
+  w.u32(0x8000'0000u);       // counters: hostile count
+  Reader r(bytes);
+  const MetricsSnapshot out = MetricsSnapshot::Deserialize(r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(out.host, 0u);  // failed parse yields the empty snapshot
+  EXPECT_TRUE(out.counters.empty());
+}
+
+TEST(MetricRow, SerializeRoundTripIsLossless) {
+  Registry reg;
+  reg.counter("msg.requests").inc(11);
+  reg.gauge("msg.pending").set(-4);
+  Histogram& h = reg.histogram("msg.service_us");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v * 3);
+  for (const MetricRow& row : reg.rows()) {
+    Buffer bytes;
+    Writer w(bytes);
+    row.Serialize(w);
+    Reader r(bytes);
+    const MetricRow out = MetricRow::Deserialize(r);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(out == row) << row.name;
+  }
+}
+
+TEST(FleetRowAndMethodRow, SerializeRoundTrip) {
+  FleetRow row;
+  row.host = 4;
+  row.reports = 12;
+  row.first_at = 100;
+  row.last_at = 9'000'000;
+  row.calls = 5000;
+  row.calls_per_sec = 555.5;
+  row.p50_us = 40;
+  row.p99_us = 900;
+  row.queue_p99_us = 15;
+  row.queue_depth = 3;
+  row.slow = true;
+  row.suspect = true;
+  Buffer bytes;
+  Writer w(bytes);
+  row.Serialize(w);
+  Reader r(bytes);
+  const FleetRow out = FleetRow::Deserialize(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out.host, 4u);
+  EXPECT_EQ(out.reports, 12u);
+  EXPECT_EQ(out.calls, 5000u);
+  EXPECT_DOUBLE_EQ(out.calls_per_sec, 555.5);
+  EXPECT_EQ(out.p99_us, 900u);
+  EXPECT_EQ(out.queue_depth, 3);
+  EXPECT_TRUE(out.slow);
+  EXPECT_TRUE(out.suspect);
+
+  MethodRow m;
+  m.method = "Sweep-Instances";
+  m.count = 7;
+  m.p50_us = 10;
+  m.p99_us = 90;
+  m.max_us = 120;
+  Buffer mb;
+  Writer mw(mb);
+  m.Serialize(mw);
+  Reader mr(mb);
+  const MethodRow mout = MethodRow::Deserialize(mr);
+  ASSERT_TRUE(mr.ok());
+  EXPECT_EQ(mout.method, "Sweep-Instances");
+  EXPECT_EQ(mout.p99_us, 90u);
+}
+
+TEST(SnapshotCollector, StripsSuffixAndEmitsDeltas) {
+  Registry reg;
+  reg.counter("msg.requests.host.3").inc(10);
+  reg.counter("msg.requests.host.4").inc(99);  // another host: not ours
+  reg.counter("msg.requests").inc(7);          // runtime-wide: no suffix
+  reg.gauge("msg.pending.host.3").set(2);
+  reg.histogram("msg.service_us.host.3").record(50);
+
+  SnapshotCollector collector(reg, 3);
+  MetricsSnapshot first = collector.collect(1'000);
+  EXPECT_EQ(first.seq, 1u);
+  EXPECT_EQ(first.host, 3u);
+  ASSERT_EQ(first.counters.size(), 1u);
+  EXPECT_EQ(first.counters[0].first, "msg.requests");  // suffix stripped
+  EXPECT_EQ(first.counters[0].second, 10u);
+  ASSERT_EQ(first.gauges.size(), 1u);
+  EXPECT_EQ(first.gauges[0].first, "msg.pending");
+  EXPECT_EQ(first.gauges[0].second, 2);
+  ASSERT_EQ(first.histograms.size(), 1u);
+  EXPECT_EQ(first.histograms[0].second.count, 1u);
+
+  // Nothing moved: the second snapshot ships no counter/histogram rows
+  // (gauges are absolutes and always present).
+  MetricsSnapshot second = collector.collect(2'000);
+  EXPECT_EQ(second.seq, 2u);
+  EXPECT_TRUE(second.counters.empty());
+  EXPECT_TRUE(second.histograms.empty());
+
+  // Increments since the last publication arrive as deltas, not absolutes.
+  reg.counter("msg.requests.host.3").inc(5);
+  reg.histogram("msg.service_us.host.3").record(70);
+  MetricsSnapshot third = collector.collect(3'000);
+  ASSERT_EQ(third.counters.size(), 1u);
+  EXPECT_EQ(third.counters[0].second, 5u);
+  ASSERT_EQ(third.histograms.size(), 1u);
+  EXPECT_EQ(third.histograms[0].second.count, 1u);
+  EXPECT_EQ(third.histograms[0].second.sum, 70u);
+}
+
+TEST(FleetMonitor, RollsUpHostsAndFlagsSlowAndSuspect) {
+  Registry monitor_reg;
+  FleetMonitor monitor(monitor_reg);
+  monitor.set_slow_threshold_us(500);
+  monitor.set_stale_after_us(5'000'000);
+
+  auto snapshot_for = [](std::uint32_t host, SimTime at, std::uint64_t seq,
+                         std::uint64_t calls,
+                         std::vector<std::uint64_t> service_samples) {
+    MetricsSnapshot s;
+    s.host = host;
+    s.at = at;
+    s.seq = seq;
+    s.counters.emplace_back("msg.requests", calls);
+    s.gauges.emplace_back("msg.pending", 1);
+    Histogram h;
+    for (const std::uint64_t v : service_samples) h.record(v);
+    s.histograms.emplace_back("msg.service_us", h.snapshot());
+    return s;
+  };
+
+  // Host 1: two reports over one virtual second, fast. Host 2: slow tail.
+  monitor.ingest(snapshot_for(1, 0, 1, 100, {10, 20, 30}), 0);
+  monitor.ingest(snapshot_for(1, 1'000'000, 2, 100, {10, 20}), 1'000'000);
+  monitor.ingest(snapshot_for(2, 1'000'000, 1, 50, {2'000, 2'000}), 1'000'000);
+
+  auto rows = monitor.rows(1'000'000);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].host, 1u);
+  EXPECT_EQ(rows[0].reports, 2u);
+  EXPECT_EQ(rows[0].calls, 200u);  // deltas accumulate
+  EXPECT_NEAR(rows[0].calls_per_sec, 200.0, 1e-9);
+  EXPECT_FALSE(rows[0].slow);
+  EXPECT_FALSE(rows[0].suspect);
+  EXPECT_EQ(rows[0].queue_depth, 1);
+  EXPECT_EQ(rows[1].host, 2u);
+  EXPECT_GT(rows[1].p99_us, 500u);
+  EXPECT_TRUE(rows[1].slow);
+
+  // Consultable flags land in the registry for the recovery sweep.
+  EXPECT_EQ(monitor_reg.gauge("monitor.hosts").value(), 2);
+  EXPECT_EQ(monitor_reg.gauge("monitor.slow_hosts").value(), 1);
+  EXPECT_EQ(monitor_reg.counter("monitor.reports").value(), 3u);
+
+  // Ten virtual seconds later host 2 has said nothing: suspect.
+  monitor.ingest(snapshot_for(1, 11'000'000, 3, 1, {10}), 11'000'000);
+  rows = monitor.rows(11'000'000);
+  EXPECT_FALSE(rows[0].suspect);
+  EXPECT_TRUE(rows[1].suspect);
+  EXPECT_EQ(monitor_reg.gauge("monitor.suspect_hosts").value(), 1);
+}
+
+TEST(FleetMonitor, MethodRowsMergeAcrossHosts) {
+  Registry reg;
+  FleetMonitor monitor(reg);
+  auto with_method = [](std::uint32_t host, const std::string& method,
+                        std::vector<std::uint64_t> samples) {
+    MetricsSnapshot s;
+    s.host = host;
+    s.at = 1;
+    s.seq = 1;
+    Histogram h;
+    for (const std::uint64_t v : samples) h.record(v);
+    s.histograms.emplace_back("msg.method_us." + method, h.snapshot());
+    return s;
+  };
+  monitor.ingest(with_method(1, "Noop", {10, 10, 10}), 1);
+  monitor.ingest(with_method(2, "Noop", {10, 10, 5'000}), 1);
+  monitor.ingest(with_method(2, "Slow", {100}), 1);
+
+  const auto methods = monitor.method_rows();
+  ASSERT_EQ(methods.size(), 2u);  // ordered by name
+  EXPECT_EQ(methods[0].method, "Noop");
+  EXPECT_EQ(methods[0].count, 6u);
+  EXPECT_EQ(methods[0].max_us, 5'000u);
+  // The slow outlier on host 2 survives the merge into the fleet tail.
+  EXPECT_GT(methods[0].p99_us, 1'000u);
+  EXPECT_EQ(methods[1].method, "Slow");
+  EXPECT_EQ(methods[1].count, 1u);
+}
+
+TEST(FleetMonitor, MergedPercentilesEqualRecomputedFromUnion) {
+  // Property: shard deterministic pseudo-random samples across three hosts,
+  // merge the per-host snapshots, and the merged percentiles must equal the
+  // percentiles of one histogram that saw every sample. This is the whole
+  // reason the plane ships buckets instead of precomputed percentiles.
+  Histogram shards[3];
+  Histogram all;
+  std::uint64_t state = 0x2545F491'4F6CDD1Dull;
+  for (int i = 0; i < 10'000; ++i) {
+    // xorshift64*: deterministic, dependency-free sample stream.
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    const std::uint64_t v = (state * 0x2545F4914F6CDD1Dull) % 100'000;
+    shards[i % 3].record(v);
+    all.record(v);
+  }
+  HistogramSnapshot merged = shards[0].snapshot();
+  merged.merge(shards[1].snapshot());
+  merged.merge(shards[2].snapshot());
+  EXPECT_EQ(merged.count, all.count());
+  EXPECT_EQ(merged.sum, all.sum());
+  EXPECT_EQ(merged.max, all.max());
+  for (const double p : {0.0, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.percentile(p), all.percentile(p)) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace legion::obs

@@ -2,8 +2,10 @@
 // registry, and the bounded trace ring.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <set>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -62,12 +64,99 @@ TEST(Histogram, PercentileIsMonotoneAndBounded) {
   const std::uint64_t p50 = h.percentile(0.50);
   const std::uint64_t p99 = h.percentile(0.99);
   EXPECT_LE(p50, p99);
-  // Log-scale buckets: the answer is the ceiling of the holding bucket, so
-  // it can overshoot by at most 2x, never undershoot below the true value's
-  // bucket floor.
+  // The estimate stays inside the holding bucket's [floor, ceiling].
   EXPECT_GE(p50, 256u);
-  EXPECT_LE(p50, 1023u);
+  EXPECT_LE(p50, 511u);
+  EXPECT_GE(p99, 512u);
   EXPECT_LE(p99, 1023u);
+}
+
+TEST(Histogram, PercentileInterpolatesInsteadOfReportingCeilings) {
+  // Regression for the factor-of-two bias: the old implementation returned
+  // the holding bucket's ceiling, so a uniform 1..1000 distribution reported
+  // p50 = 511 (true value: 500). Linear interpolation within the bucket must
+  // land near the true rank value, not at the bucket edge.
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const std::uint64_t p50 = h.percentile(0.50);
+  EXPECT_NEAR(static_cast<double>(p50), 500.0, 16.0);
+  // Degenerate distribution: every sample in one bucket still interpolates
+  // to roughly the bucket midpoint rather than pinning to the ceiling.
+  Histogram one;
+  for (int i = 0; i < 100; ++i) one.record(100);  // bucket [64, 127]
+  EXPECT_LT(one.percentile(0.5), 127u);
+  EXPECT_GE(one.percentile(0.5), 64u);
+  // p=1.0 still reaches the top of the last occupied bucket.
+  EXPECT_EQ(h.percentile(1.0), 1023u);
+}
+
+TEST(Histogram, SnapshotIsSelfConsistent) {
+  Histogram h;
+  h.record(3);
+  h.record(300);
+  const HistogramSnapshot snap = h.snapshot();
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(snap.count, bucket_total);
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.sum, 303u);
+  EXPECT_EQ(snap.max, 300u);
+  EXPECT_EQ(snap.percentile(0.0), h.percentile(0.0));
+  EXPECT_EQ(snap.percentile(0.99), h.percentile(0.99));
+}
+
+TEST(Histogram, ResetToleratesConcurrentRecords) {
+  // Writers hammer one histogram while the main thread resets it in a loop.
+  // The claim under test (and under TSan): no torn reads ever surface — a
+  // percentile or snapshot taken mid-reset is internally consistent (count
+  // equals the bucket sum it was computed from), and the final reset leaves
+  // a cleanly empty instrument.
+  Histogram h;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop, t] {
+      std::uint64_t v = 1 + static_cast<std::uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.record(v);
+        v = (v * 2654435761u) % 4096;
+      }
+    });
+  }
+  for (int i = 0; i < 1000; ++i) {
+    h.reset();
+    const HistogramSnapshot snap = h.snapshot();
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : snap.buckets) bucket_total += b;
+    EXPECT_EQ(snap.count, bucket_total);
+    (void)h.percentile(0.99);  // must not crash or divide by a stale count
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, h.snapshot().count);  // no torn final state
+}
+
+TEST(HistogramSnapshot, MergeAndDelta) {
+  Histogram a;
+  a.record(10);
+  a.record(1000);
+  Histogram b;
+  b.record(20);
+  HistogramSnapshot sa = a.snapshot();
+  const HistogramSnapshot sb = b.snapshot();
+  HistogramSnapshot merged = sa;
+  merged.merge(sb);
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_EQ(merged.sum, 1030u);
+  EXPECT_EQ(merged.max, 1000u);
+
+  a.record(5000);
+  const HistogramSnapshot later = a.snapshot();
+  const HistogramSnapshot delta = later.delta_since(sa);
+  EXPECT_EQ(delta.count, 1u);
+  EXPECT_EQ(delta.sum, 5000u);
 }
 
 TEST(Registry, SameNameSameInstrument) {
@@ -178,11 +267,97 @@ TEST(TraceRing, DisabledRecordsNothing) {
   EXPECT_EQ(ring.recorded(), 1u);
 }
 
-TEST(TraceHop, MethodNameIsTruncatedSafely) {
+TEST(TraceHop, MethodNameIsTruncatedAtTokenBoundary) {
+  // Over-long labels drop whole trailing tokens instead of cutting
+  // mid-token: "…-much-longer-…" keeps "a-method-name-much", never a
+  // misleading "a-method-name-much-long".
   TraceHop h;
   h.set_method("a-method-name-much-longer-than-the-inline-buffer-holds");
-  EXPECT_EQ(h.method_view().size(), h.method.size() - 1);
-  EXPECT_EQ(h.method_view().substr(0, 8), "a-method");
+  EXPECT_EQ(h.method_view(), "a-method-name-much");
+  // The slot stays NUL-terminated.
+  EXPECT_EQ(h.method[h.method_view().size()], '\0');
+}
+
+TEST(TraceHop, MethodNameOfExactly24CharsDropsLastToken) {
+  // 24 chars is one over the 23-char capacity: the final token goes.
+  const std::string_view name = "abcdefgh-ijklmnop-qrstuv";  // 24 chars
+  ASSERT_EQ(name.size(), 24u);
+  TraceHop h;
+  h.set_method(name);
+  EXPECT_EQ(h.method_view(), "abcdefgh-ijklmnop");
+  EXPECT_EQ(h.method[h.method_view().size()], '\0');
+}
+
+TEST(TraceHop, MethodNameOf23CharsFitsExactly) {
+  const std::string_view name = "abcdefgh-ijklmnop-qrstu";  // 23 chars
+  ASSERT_EQ(name.size(), 23u);
+  TraceHop h;
+  h.set_method(name);
+  EXPECT_EQ(h.method_view(), name);
+  EXPECT_EQ(h.method[23], '\0');
+}
+
+TEST(TraceHop, SeparatorlessOverlongNameTakesHardCut) {
+  // No token break to fall back to: the first 23 bytes survive.
+  TraceHop h;
+  h.set_method("abcdefghijklmnopqrstuvwxyz");
+  EXPECT_EQ(h.method_view(), "abcdefghijklmnopqrstuvw");
+  EXPECT_EQ(h.method_view().size(), 23u);
+}
+
+TEST(TraceSampler, DefaultSamplesEveryRoot) {
+  TraceSampler s;
+  EXPECT_EQ(s.every(), 1u);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(s.sample());
+}
+
+TEST(TraceSampler, OneInNIsExactOverAWindow) {
+  TraceSampler s;
+  s.set_every(64);
+  int sampled = 0;
+  for (int i = 0; i < 640; ++i) sampled += s.sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 10);
+  s.set_every(0);  // 0 normalizes to 1 (never divide by zero)
+  EXPECT_EQ(s.every(), 1u);
+  EXPECT_TRUE(s.sample());
+}
+
+TEST(TraceRing, WraparoundUnderConcurrentWritersAndReader) {
+  // Four writers push hops through a tiny ring (forcing constant
+  // wraparound) while a reader walks last() and for_trace(). The assertions
+  // are sanity bounds; the real check is TSan finding no data race.
+  TraceRing ring(32);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&ring, &stop, t] {
+      std::uint32_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ring.record(MakeHop(static_cast<TraceId>(t + 1), i++));
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const auto recent = ring.last(32);
+    EXPECT_LE(recent.size(), 32u);
+    for (const auto& hop : recent) {
+      EXPECT_GE(hop.trace_id, 1u);
+      EXPECT_LE(hop.trace_id, 4u);
+    }
+    const auto one = ring.for_trace(2);
+    for (const auto& hop : one) EXPECT_EQ(hop.trace_id, 2u);
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  // Top the ring up from this thread so the post-race shape is deterministic
+  // regardless of how far the writers got before stop.
+  for (std::uint32_t i = 0; i < 32; ++i) ring.record(MakeHop(5, i));
+  EXPECT_GE(ring.recorded(), 32u);
+  const auto all = ring.last(32);
+  ASSERT_EQ(all.size(), 32u);
+  EXPECT_EQ(all.back().trace_id, 5u);
+  EXPECT_EQ(all.back().hop, 31u);
 }
 
 }  // namespace

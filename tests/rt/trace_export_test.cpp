@@ -1,0 +1,141 @@
+// The exporters: Chrome trace-event JSON from span hops, and the Prometheus
+// text dump of a registry. Structural checks only — full JSON validation
+// (parse, monotone timestamps) runs in CI via check_bench_shapes.py
+// --validate-trace against the demo's exported file.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+
+namespace legion::obs {
+namespace {
+
+TraceHop Hop(HopKind kind, SpanId span, SpanId parent, SimTime at,
+             std::uint32_t host, std::string_view method = {}) {
+  TraceHop h;
+  h.trace_id = 1;
+  h.kind = kind;
+  h.span_id = span;
+  h.parent_span_id = parent;
+  h.at = at;
+  h.host = host;
+  h.src = 10;
+  h.dst = 20;
+  if (!method.empty()) h.set_method(method);
+  return h;
+}
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ChromeTrace, PairsOpensWithClosesIntoCompleteSpans) {
+  // One call edge: invoke@t=100 .. reply@t=400 on the client side,
+  // request@t=150 .. serve@t=350 on the server side. Two 'X' events with
+  // durations 300 and 200, both under span 5.
+  std::vector<TraceHop> hops;
+  hops.push_back(Hop(HopKind::kInvoke, 5, 0, 100, 1, "Noop"));
+  hops.push_back(Hop(HopKind::kRequest, 5, 0, 150, 2, "Noop"));
+  TraceHop serve = Hop(HopKind::kServe, 5, 0, 350, 2, "Noop");
+  serve.queue_us = 0;
+  serve.service_us = 200;
+  hops.push_back(serve);
+  hops.push_back(Hop(HopKind::kReply, 5, 0, 400, 1));
+
+  std::ostringstream out;
+  WriteChromeTrace(hops, out);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_NE(json.find("\"dur\":300"), std::string::npos);  // client span
+  EXPECT_NE(json.find("\"dur\":200"), std::string::npos);  // server span
+  // The serve leg's queue/service split rides into args.
+  EXPECT_NE(json.find("\"service_us\":200"), std::string::npos);
+  // One process per host, named.
+  EXPECT_NE(json.find("\"name\":\"host-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"host-2\""), std::string::npos);
+  // No unmatched-hop instants: every open found its close.
+  EXPECT_EQ(json.find("unclosed"), std::string::npos);
+}
+
+TEST(ChromeTrace, EventsAreSortedByTimestamp) {
+  // Feed opens/closes out of order across two spans; the exporter must emit
+  // events in non-decreasing ts order (chrome://tracing requirement).
+  std::vector<TraceHop> hops;
+  hops.push_back(Hop(HopKind::kInvoke, 7, 0, 500, 1, "B"));
+  hops.push_back(Hop(HopKind::kInvoke, 6, 0, 100, 1, "A"));
+  hops.push_back(Hop(HopKind::kReply, 7, 0, 900, 1));
+  hops.push_back(Hop(HopKind::kReply, 6, 0, 300, 1));
+  std::ostringstream out;
+  WriteChromeTrace(hops, out);
+  const std::string json = out.str();
+  std::vector<long> stamps;
+  for (std::size_t pos = json.find("\"ts\":"); pos != std::string::npos;
+       pos = json.find("\"ts\":", pos + 5)) {
+    stamps.push_back(std::strtol(json.c_str() + pos + 5, nullptr, 10));
+  }
+  ASSERT_GE(stamps.size(), 2u);
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    EXPECT_LE(stamps[i - 1], stamps[i]) << "event " << i << " out of order";
+  }
+}
+
+TEST(ChromeTrace, UnclosedOpenBecomesInstantEvent) {
+  std::vector<TraceHop> hops;
+  hops.push_back(Hop(HopKind::kInvoke, 9, 0, 100, 1, "Lost"));
+  std::ostringstream out;
+  WriteChromeTrace(hops, out);
+  const std::string json = out.str();
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"X\""), 0u);
+  EXPECT_NE(json.find("client-unclosed"), std::string::npos);
+}
+
+TEST(Prometheus, NamesAreSanitizedWithThePrefix) {
+  EXPECT_EQ(PrometheusName("msg.service_us.host.3"),
+            "legion_msg_service_us_host_3");
+  EXPECT_EQ(PrometheusName("monitor.slow_hosts"), "legion_monitor_slow_hosts");
+}
+
+TEST(Prometheus, DumpCarriesTypedSeriesAndCumulativeBuckets) {
+  Registry reg;
+  reg.counter("msg.requests").inc(5);
+  reg.gauge("msg.pending").set(-1);
+  Histogram& h = reg.histogram("msg.service_us");
+  h.record(3);   // bucket [2,3]
+  h.record(3);
+  h.record(100);  // bucket [64,127]
+
+  std::ostringstream out;
+  WritePrometheus(reg, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE legion_msg_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("legion_msg_requests 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE legion_msg_pending gauge"), std::string::npos);
+  EXPECT_NE(text.find("legion_msg_pending -1"), std::string::npos);
+  // Histogram buckets are cumulative counts keyed by ceiling.
+  EXPECT_NE(text.find("legion_msg_service_us_bucket{le=\"3\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("legion_msg_service_us_bucket{le=\"127\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("legion_msg_service_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("legion_msg_service_us_sum 106"), std::string::npos);
+  EXPECT_NE(text.find("legion_msg_service_us_count 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace legion::obs

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
 
 #include "rt/messenger.hpp"
 #include "rt/sim_runtime.hpp"
@@ -125,6 +128,134 @@ TEST_F(TraceTest, BounceCarriesTheOriginatingTrace) {
   ASSERT_NE(id, 0u);
   EXPECT_TRUE(HasHop(runtime_.traces().for_trace(id), obs::HopKind::kBounce,
                      0));
+}
+
+TEST_F(TraceTest, ThreeHopCallReconstructsOneConnectedSpanTree) {
+  // client -> A -> B -> C: three nested call edges, each one span. The
+  // invoke hops alone must reconstruct a single connected tree — root span
+  // with parent 0, every other span's parent present in the set — and the
+  // serve/reply legs must close the same span their request opened.
+  Messenger c(runtime_, host_, "C", ExecutionMode::kServiced,
+              [](ServerContext&, Reader&) -> Result<Buffer> {
+                return Buffer::FromString("c");
+              });
+  Messenger b(runtime_, host_, "B", ExecutionMode::kServiced,
+              [&c](ServerContext& ctx, Reader&) -> Result<Buffer> {
+                return ctx.messenger.call(c.endpoint(), "Leaf", Buffer{},
+                                          ctx.call.env, 1'000'000);
+              });
+  Messenger a(runtime_, host_, "A", ExecutionMode::kServiced,
+              [&b](ServerContext& ctx, Reader&) -> Result<Buffer> {
+                return ctx.messenger.call(b.endpoint(), "Mid", Buffer{},
+                                          ctx.call.env, 1'000'000);
+              });
+  Messenger client(runtime_, host_, "client", ExecutionMode::kDriver, nullptr);
+
+  auto reply = client.call(a.endpoint(), "Root", Buffer{}, EnvTriple::System(),
+                           1'000'000);
+  ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+
+  const auto all = runtime_.traces().last(64);
+  ASSERT_FALSE(all.empty());
+  const auto chain = runtime_.traces().for_trace(all.front().trace_id);
+
+  // Collect the spans opened by invoke legs: span_id -> parent_span_id.
+  std::map<std::uint64_t, std::uint64_t> parent_of;
+  std::uint64_t root = 0;
+  for (const auto& h : chain) {
+    if (h.kind != obs::HopKind::kInvoke) continue;
+    ASSERT_NE(h.span_id, 0u);
+    EXPECT_TRUE(parent_of.emplace(h.span_id, h.parent_span_id).second)
+        << "span " << h.span_id << " opened twice";
+    if (h.parent_span_id == 0) root = h.span_id;
+  }
+  ASSERT_EQ(parent_of.size(), 3u);  // three call edges, three spans
+  ASSERT_NE(root, 0u) << "no root span";
+  // Connectivity: walking parent links from every span reaches the root.
+  for (const auto& [span, parent] : parent_of) {
+    std::uint64_t cur = span;
+    int steps = 0;
+    while (cur != root) {
+      auto it = parent_of.find(cur);
+      ASSERT_NE(it, parent_of.end()) << "span " << cur << " is an orphan";
+      cur = it->second != 0 ? it->second : root;
+      ASSERT_LT(++steps, 4) << "parent chain does not converge";
+    }
+  }
+  // Every request/serve/reply leg references a span opened by an invoke:
+  // the reply closes the exact span the request opened (same id, nested
+  // under the same parent).
+  for (const auto& h : chain) {
+    if (h.kind == obs::HopKind::kInvoke) continue;
+    EXPECT_TRUE(parent_of.count(h.span_id))
+        << to_string(h.kind) << " hop carries unknown span " << h.span_id;
+    if (parent_of.count(h.span_id)) {
+      EXPECT_EQ(h.parent_span_id, parent_of[h.span_id])
+          << to_string(h.kind) << " hop reparented span " << h.span_id;
+    }
+  }
+}
+
+TEST_F(TraceTest, ServeHopCarriesQueueAndServiceSplit) {
+  Messenger server(runtime_, host_, "server", ExecutionMode::kServiced,
+                   [this](ServerContext&, Reader&) -> Result<Buffer> {
+                     // Burn virtual service time so the split is visible.
+                     runtime_.advance(250);
+                     return Buffer{};
+                   });
+  Messenger client(runtime_, host_, "client", ExecutionMode::kDriver, nullptr);
+  ASSERT_TRUE(client
+                  .call(server.endpoint(), "Slow", Buffer{},
+                        EnvTriple::System(), 1'000'000)
+                  .ok());
+  bool saw_serve = false;
+  for (const auto& h : runtime_.traces().last(64)) {
+    if (h.kind != obs::HopKind::kServe) continue;
+    saw_serve = true;
+    EXPECT_EQ(h.method_view(), "Slow");
+    // The sim dispatches inline at delivery: queue time is a true zero.
+    EXPECT_EQ(h.queue_us, 0u);
+    EXPECT_GE(h.service_us, 250u);
+  }
+  EXPECT_TRUE(saw_serve);
+  // The runtime-wide queue/service histograms saw the same split.
+  EXPECT_GE(runtime_.metrics().histogram("msg.service_us").max(), 250u);
+  EXPECT_EQ(runtime_.metrics().histogram("msg.queue_us").max(), 0u);
+}
+
+TEST_F(TraceTest, HeadSamplingIsAllOrNothingPerCallTree) {
+  // 1-in-2 head sampling: alternating roots trace fully or not at all —
+  // no partially-traced call trees.
+  runtime_.sampler().set_every(2);
+  Messenger leaf(runtime_, host_, "leaf", ExecutionMode::kServiced,
+                 [](ServerContext&, Reader&) -> Result<Buffer> {
+                   return Buffer{};
+                 });
+  Messenger mid(runtime_, host_, "mid", ExecutionMode::kServiced,
+                [&leaf](ServerContext& ctx, Reader&) -> Result<Buffer> {
+                  return ctx.messenger.call(leaf.endpoint(), "Leaf", Buffer{},
+                                            ctx.call.env, 1'000'000);
+                });
+  Messenger client(runtime_, host_, "client", ExecutionMode::kDriver, nullptr);
+  std::set<obs::TraceId> roots;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client
+                    .call(mid.endpoint(), "Outer", Buffer{},
+                          EnvTriple::System(), 1'000'000)
+                    .ok());
+  }
+  for (const auto& h : runtime_.traces().last(256)) {
+    EXPECT_NE(h.trace_id, 0u);  // unsampled trees record nothing
+    roots.insert(h.trace_id);
+  }
+  // 8 roots at 1-in-2: exactly 4 sampled traces, each complete (both call
+  // edges present: invoke at hop 0 and at hop 1).
+  EXPECT_EQ(roots.size(), 4u);
+  for (const obs::TraceId id : roots) {
+    const auto chain = runtime_.traces().for_trace(id);
+    EXPECT_TRUE(HasHop(chain, obs::HopKind::kInvoke, 0));
+    EXPECT_TRUE(HasHop(chain, obs::HopKind::kInvoke, 1));
+  }
 }
 
 TEST_F(TraceTest, DisabledRingRecordsNothingButCallsStillWork) {
