@@ -1,0 +1,26 @@
+// Seeded violation for rule reader-deserialize-checks: a length-prefixed
+// loop that never consults r.ok()/mark_failed — a corrupt count makes it
+// allocate garbage from a truncated buffer (the PR 7 bug class).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/serialize.hpp"
+
+namespace fixture {
+
+struct BadDeserialize {
+  std::vector<std::uint32_t> values;
+
+  static BadDeserialize Deserialize(Reader& r) {
+    BadDeserialize out;
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      out.values.push_back(r.u32());
+    }
+    return out;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Seeded violation for rule guarded-by-names-member: GUARDED_BY names a
+// mutex that does not exist in this file (typo'd 'mu_' for 'mutex_'), so
+// the annotation guards nothing. Also trips guarded-by-coverage, since the
+// real mutex ends up with no users.
+#pragma once
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace fixture {
+
+class BadGuardTypo {
+ private:
+  base::Mutex mutex_;
+  int count_ GUARDED_BY(mu_) = 0;  // typo: should be GUARDED_BY(mutex_)
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Seeded violation for rule no-raw-std-sync: raw std primitives outside
+// src/base/. The linter self-test requires this file to be flagged.
+#include <mutex>
+
+namespace fixture {
+
+class BadRawSync {
+ public:
+  void touch() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mutex_;
+  int count_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Seeded violation for rule guarded-by-coverage: a base::Mutex member with
+// no GUARDED_BY/REQUIRES user anywhere in the file — the data it is meant
+// to protect is silently unannotated.
+#pragma once
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace fixture {
+
+class BadUnguarded {
+ public:
+  void bump() {
+    base::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  base::Mutex mutex_;
+  int count_ = 0;  // should be: int count_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture

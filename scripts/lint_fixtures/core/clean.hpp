@@ -1,0 +1,39 @@
+// Clean fixture: every rule passes. The self-test requires zero violations
+// from this file.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/mutex.hpp"
+#include "base/serialize.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace fixture {
+
+class CleanGuarded {
+ public:
+  void bump() {
+    base::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  base::Mutex mutex_;
+  int count_ GUARDED_BY(mutex_) = 0;
+};
+
+struct CleanDeserialize {
+  std::vector<std::uint32_t> values;
+
+  static CleanDeserialize Deserialize(Reader& r) {
+    CleanDeserialize out;
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      out.values.push_back(r.u32());
+    }
+    return out;
+  }
+};
+
+}  // namespace fixture

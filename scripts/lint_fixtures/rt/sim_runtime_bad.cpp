@@ -1,0 +1,12 @@
+// Seeded violation for rule no-blocking-in-sim: a sim-runtime TU blocking
+// on wall-clock time. Virtual time must never wait on real time.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+void advance_badly() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+}
+
+}  // namespace fixture

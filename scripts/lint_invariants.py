@@ -1,0 +1,352 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: mechanical concurrency/serialization rules.
+
+Rules (each can be waived on a specific line with `// NOLINT(<rule>)`):
+
+  no-raw-std-sync          Outside src/base/, code must use base::Mutex /
+                           base::MutexLock / base::CondVar — never raw
+                           std::mutex, std::lock_guard, std::unique_lock,
+                           std::shared_mutex, std::condition_variable, ...
+                           (the Clang thread-safety annotations only see the
+                           annotated wrappers).
+  guarded-by-coverage      Every base::Mutex / base::SharedMutex declared
+                           outside src/base/ must have at least one
+                           GUARDED_BY / PT_GUARDED_BY / REQUIRES /
+                           REQUIRES_SHARED / ACQUIRE user naming it in the
+                           same file. A mutex guarding nothing is either
+                           dead or its data is silently unguarded.
+  reader-deserialize-checks  A `Deserialize(Reader&)` body containing a loop
+                           must consult the reader's failure state
+                           (`.ok()` or `mark_failed`): length-prefixed loops
+                           over a truncated/corrupt buffer otherwise spin or
+                           allocate unbounded garbage (the PR 7 bug class).
+  no-blocking-in-sim       Simulated-runtime TUs (path contains
+                           `sim_runtime` or a `/sim/` component) must not
+                           call wall-clock blocking primitives (sleep_for,
+                           usleep, select, poll, epoll_wait, socket I/O):
+                           virtual time must never block on real time.
+  guarded-by-names-member  The argument of every GUARDED_BY /
+                           PT_GUARDED_BY must name a base::Mutex /
+                           base::SharedMutex declared in the same file —
+                           catches annotations that typo the mutex name and
+                           therefore guard nothing.
+
+Usage:
+  lint_invariants.py [--root DIR] [--src SUBDIR] [--compile-commands PATH]
+  lint_invariants.py --self-test
+
+Exit status: 0 = no violations, 1 = violations found, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+RULES = (
+    "no-raw-std-sync",
+    "guarded-by-coverage",
+    "reader-deserialize-checks",
+    "no-blocking-in-sim",
+    "guarded-by-names-member",
+)
+
+CPP_SUFFIXES = {".hpp", ".cpp", ".h", ".cc", ".cxx"}
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock|"
+    r"condition_variable(?:_any)?)\b"
+)
+
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:legion::)?base::(?:Shared)?Mutex\s+"
+    r"([A-Za-z_]\w*)\s*[;{=]"
+)
+
+GUARD_USE_TEMPLATES = (
+    "GUARDED_BY({m})",
+    "PT_GUARDED_BY({m})",
+    "REQUIRES({m})",
+    "REQUIRES_SHARED({m})",
+    "ACQUIRE({m})",
+    "RELEASE({m})",
+    "EXCLUDES({m})",
+)
+
+GUARDED_BY_ARG_RE = re.compile(r"\b(?:PT_)?GUARDED_BY\(\s*([A-Za-z_]\w*)\s*\)")
+
+BLOCKING_RE = re.compile(
+    r"(?:\bstd::this_thread::sleep_(?:for|until)\b"
+    r"|(?<![\w.>])::?(?:usleep|nanosleep|select|poll|epoll_wait|"
+    r"accept|connect|recv|recvmsg|send|sendmsg)\s*\()"
+)
+
+LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+DESERIALIZE_SIG_RE = re.compile(r"\bDeserialize\s*\(\s*(?:\w+::)*Reader\s*&")
+
+
+class Violation:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments and string literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def nolint_lines(text: str, rule: str) -> set[int]:
+    waived = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        m = re.search(r"//\s*NOLINT\(([^)]*)\)", line)
+        if m and rule in {r.strip() for r in m.group(1).split(",")}:
+            waived.add(lineno)
+    return waived
+
+
+def line_of(offset: int, text: str) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def in_base(path: Path) -> bool:
+    return "base" in path.parts
+
+
+def is_sim_tu(path: Path) -> bool:
+    return "sim_runtime" in path.name or "sim" in path.parts
+
+
+def extract_braced_body(code: str, open_brace: int) -> str | None:
+    depth = 0
+    for i in range(open_brace, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return code[open_brace : i + 1]
+    return None
+
+
+def check_file(path: Path, rel: Path, text: str) -> list[Violation]:
+    out: list[Violation] = []
+    code = strip_comments(text)
+    code_lines = code.splitlines()
+
+    def add(rule: str, lineno: int, message: str) -> None:
+        if lineno not in nolint_lines(text, rule):
+            out.append(Violation(rel, lineno, rule, message))
+
+    # no-raw-std-sync
+    if not in_base(rel):
+        for m in RAW_SYNC_RE.finditer(code):
+            add(
+                "no-raw-std-sync",
+                line_of(m.start(), code),
+                f"raw std::{m.group(1)}; use the annotated base:: wrappers "
+                "(base/mutex.hpp)",
+            )
+
+    # guarded-by-coverage + guarded-by-names-member
+    declared: dict[str, int] = {}
+    for lineno, line in enumerate(code_lines, 1):
+        m = MUTEX_DECL_RE.match(line)
+        if m:
+            declared[m.group(1)] = lineno
+    if not in_base(rel):
+        for name, lineno in declared.items():
+            uses = any(t.format(m=name) in code for t in GUARD_USE_TEMPLATES)
+            if not uses:
+                add(
+                    "guarded-by-coverage",
+                    lineno,
+                    f"mutex '{name}' has no GUARDED_BY/REQUIRES user in this "
+                    "file; annotate what it guards",
+                )
+    for m in GUARDED_BY_ARG_RE.finditer(code):
+        lineno = line_of(m.start(), code)
+        arg = m.group(1)
+        stripped = code_lines[lineno - 1].lstrip()
+        if stripped.startswith("#"):
+            continue  # macro definitions (thread_annotations.hpp)
+        if arg not in declared:
+            add(
+                "guarded-by-names-member",
+                lineno,
+                f"GUARDED_BY({arg}) names no base::Mutex/SharedMutex "
+                "declared in this file (typo?)",
+            )
+
+    # reader-deserialize-checks
+    for m in DESERIALIZE_SIG_RE.finditer(code):
+        close = code.find(")", m.end())
+        if close < 0:
+            continue
+        brace = None
+        for i in range(close + 1, min(close + 120, len(code))):
+            if code[i] == "{":
+                brace = i
+                break
+            if code[i] == ";":
+                break  # declaration only
+        if brace is None:
+            continue
+        body = extract_braced_body(code, brace)
+        if body is None:
+            continue
+        if LOOP_RE.search(body) and ".ok()" not in body and "mark_failed" not in body:
+            add(
+                "reader-deserialize-checks",
+                line_of(m.start(), code),
+                "Deserialize(Reader&) loops without checking r.ok() / "
+                "mark_failed: corrupt length prefixes run unchecked",
+            )
+
+    # no-blocking-in-sim
+    if is_sim_tu(rel):
+        for m in BLOCKING_RE.finditer(code):
+            add(
+                "no-blocking-in-sim",
+                line_of(m.start(), code),
+                f"blocking call '{m.group(0).strip()}' in a sim-runtime TU; "
+                "virtual time must not block on real time",
+            )
+
+    return out
+
+
+def collect_files(src_root: Path, compile_commands: Path | None) -> list[Path]:
+    files: set[Path] = set()
+    if compile_commands is not None:
+        for entry in json.loads(compile_commands.read_text()):
+            p = Path(entry["file"])
+            if not p.is_absolute():
+                p = Path(entry["directory"]) / p
+            p = p.resolve()
+            if src_root.resolve() in p.parents and p.suffix in CPP_SUFFIXES:
+                files.add(p)
+        # Headers never appear in compile_commands; always sweep them.
+        for p in src_root.rglob("*"):
+            if p.suffix in {".hpp", ".h"}:
+                files.add(p.resolve())
+    else:
+        for p in src_root.rglob("*"):
+            if p.suffix in CPP_SUFFIXES:
+                files.add(p.resolve())
+    return sorted(files)
+
+
+def run_lint(root: Path, src: str, compile_commands: Path | None) -> list[Violation]:
+    src_root = root / src
+    if not src_root.is_dir():
+        print(f"error: source root {src_root} not found", file=sys.stderr)
+        sys.exit(2)
+    violations: list[Violation] = []
+    for path in collect_files(src_root, compile_commands):
+        rel = path.relative_to(root.resolve())
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as e:
+            print(f"warning: cannot read {path}: {e}", file=sys.stderr)
+            continue
+        violations.extend(check_file(path, rel, text))
+    return violations
+
+
+def self_test(root: Path) -> int:
+    """Each rule must flag its seeded fixture and pass the clean fixture."""
+    fixtures = Path(__file__).resolve().parent / "lint_fixtures"
+    expected = {
+        "no-raw-std-sync": "core/bad_raw_sync.cpp",
+        "guarded-by-coverage": "core/bad_unguarded_mutex.hpp",
+        "reader-deserialize-checks": "core/bad_deserialize.hpp",
+        "no-blocking-in-sim": "rt/sim_runtime_bad.cpp",
+        "guarded-by-names-member": "core/bad_guard_typo.hpp",
+    }
+    violations = run_lint(fixtures.parent, "lint_fixtures", None)
+    by_key = {(str(v.path), v.rule) for v in violations}
+    failures = 0
+    for rule, rel in expected.items():
+        key = (str(Path("lint_fixtures") / rel), rule)
+        if key in by_key:
+            print(f"self-test PASS: {rule} flags {rel}")
+        else:
+            print(f"self-test FAIL: {rule} did NOT flag {rel}")
+            failures += 1
+    clean = [v for v in violations if "clean" in str(v.path)]
+    if clean:
+        print("self-test FAIL: clean fixture flagged:")
+        for v in clean:
+            print(f"  {v}")
+        failures += 1
+    else:
+        print("self-test PASS: clean fixture produces no violations")
+    # The seeded fixtures must drive a non-zero exit, end to end.
+    if violations:
+        print("self-test PASS: seeded fixtures exit non-zero")
+    else:
+        print("self-test FAIL: seeded fixtures produced no violations at all")
+        failures += 1
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent)
+    parser.add_argument("--src", default="src", help="source subdir under --root")
+    parser.add_argument("--compile-commands", type=Path, default=None,
+                        help="restrict .cpp sweep to TUs in this compile_commands.json")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the seeded-violation fixture suite")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.root)
+
+    violations = run_lint(args.root, args.src, args.compile_commands)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"{len(violations)} invariant violation(s)", file=sys.stderr)
+        return 1
+    print("lint_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

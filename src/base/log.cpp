@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "base/mutex.hpp"
 
 namespace legion {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kNone)};
-std::mutex g_mutex;
+// Highest rank in the global order: any thread may log while holding any
+// other lock, and the log sink acquires nothing beneath it.
+base::Mutex g_mutex{base::lock_rank::kLog};
 
 const char* Prefix(LogLevel level) {
   switch (level) {
@@ -26,7 +29,7 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
 void LogLine(LogLevel level, const std::string& line) {
   if (static_cast<int>(GetLogLevel()) < static_cast<int>(level)) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
+  base::MutexLock lock(g_mutex);
   std::fprintf(stderr, "[legion %s] %s\n", Prefix(level), line.c_str());
 }
 

@@ -1,0 +1,73 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These wrap Clang's `-Wthread-safety` capability attributes so guarded
+// invariants are machine-checked at compile time instead of sampled by TSan
+// at runtime. Under GCC (which has no capability analysis) every macro
+// expands to nothing, so the annotated tree builds identically everywhere;
+// the `thread-safety` CI job builds with clang and
+// `-Wthread-safety -Werror=thread-safety` to enforce them.
+//
+// Usage conventions (see DESIGN.md "Concurrency discipline"):
+//   - Every lock-bearing structure uses base::Mutex / base::SharedMutex
+//     (see base/mutex.hpp), never raw std primitives — enforced by
+//     scripts/lint_invariants.py.
+//   - Every member a mutex protects carries GUARDED_BY(mutex) (or
+//     PT_GUARDED_BY for the pointee of a pointer member).
+//   - Private helpers that assume the lock is already held carry
+//     REQUIRES(mutex) instead of re-locking.
+//   - NO_THREAD_SAFETY_ANALYSIS is a last resort; each use needs a comment
+//     explaining why the analysis cannot see the invariant.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LEGION_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef LEGION_THREAD_ANNOTATION
+#define LEGION_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Type attribute: this class is a synchronization capability (a lock).
+#define CAPABILITY(x) LEGION_THREAD_ANNOTATION(capability(x))
+
+// Type attribute: RAII object that acquires a capability in its constructor
+// and releases it in its destructor.
+#define SCOPED_CAPABILITY LEGION_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: reading/writing requires holding the named capability
+// (shared suffices for reads, exclusive for writes).
+#define GUARDED_BY(x) LEGION_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) LEGION_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: caller must already hold the capability.
+#define REQUIRES(...) \
+  LEGION_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  LEGION_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Functions: acquire/release the capability (lock()/unlock() style).
+#define ACQUIRE(...) LEGION_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  LEGION_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) LEGION_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  LEGION_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  LEGION_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Functions: caller must NOT hold the capability (deadlock prevention for
+// APIs that lock internally).
+#define EXCLUDES(...) LEGION_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Declares lock-acquisition ordering to the analysis.
+#define ACQUIRED_BEFORE(...) LEGION_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) LEGION_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Functions: return a reference to a capability-protected value; the
+// analysis maps lock expressions through the call.
+#define RETURN_CAPABILITY(x) LEGION_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch. Every use must carry a justification comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LEGION_THREAD_ANNOTATION(no_thread_safety_analysis)

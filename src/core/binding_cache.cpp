@@ -9,7 +9,7 @@ void Bump(obs::Counter* counter) {
 }  // namespace
 
 void BindingCache::bind_metrics(obs::Registry& registry) {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   agg_hits_ = &registry.counter("binding_cache.hits");
   agg_misses_ = &registry.counter("binding_cache.misses");
   agg_evictions_ = &registry.counter("binding_cache.evictions");
@@ -92,7 +92,7 @@ void BindingCache::drop_contents() {
 }
 
 std::optional<Binding> BindingCache::get(const Loid& loid, SimTime now) {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   const std::uint32_t id = ids_.find(loid);
   if (id == LoidInterner::kNoId || (slots_[id].flags & kPositive) == 0) {
     ++stats_.misses;
@@ -117,7 +117,7 @@ std::optional<Binding> BindingCache::get(const Loid& loid, SimTime now) {
 }
 
 void BindingCache::put_negative(const Loid& loid, SimTime expires_at) {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   if (capacity_ == 0) return;
   const std::uint32_t id = intern_slot(loid);
   if ((slots_[id].flags & kNegative) != 0) {
@@ -142,7 +142,7 @@ void BindingCache::put_negative(const Loid& loid, SimTime expires_at) {
 }
 
 bool BindingCache::negative(const Loid& loid, SimTime now) {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   const std::uint32_t id = ids_.find(loid);
   if (id == LoidInterner::kNoId || (slots_[id].flags & kNegative) == 0) {
     return false;
@@ -155,7 +155,7 @@ bool BindingCache::negative(const Loid& loid, SimTime now) {
 }
 
 void BindingCache::put(Binding binding) {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   if (capacity_ == 0 || !binding.valid()) return;
   const std::uint32_t id = intern_slot(binding.loid);
   if ((slots_[id].flags & kNegative) != 0) drop_negative(id);
@@ -179,7 +179,7 @@ void BindingCache::put(Binding binding) {
 }
 
 bool BindingCache::invalidate(const Loid& loid) {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   const std::uint32_t id = ids_.find(loid);
   if (id == LoidInterner::kNoId) return false;
   // "Drop whatever is cached" covers both polarities.
@@ -192,7 +192,7 @@ bool BindingCache::invalidate(const Loid& loid) {
 }
 
 bool BindingCache::invalidate_exact(const Binding& binding) {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   const std::uint32_t id = ids_.find(binding.loid);
   if (id == LoidInterner::kNoId || (slots_[id].flags & kPositive) == 0 ||
       !(slots_[id].binding == binding)) {
@@ -205,12 +205,12 @@ bool BindingCache::invalidate_exact(const Binding& binding) {
 }
 
 void BindingCache::clear() {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   drop_contents();
 }
 
 bool BindingCache::consistent() const {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   // Walk the LRU list: every node positive, back-pointers intact, count
   // matching size_ (the count guard also catches accidental cycles).
   std::size_t seen = 0;

@@ -19,10 +19,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 
+#include "base/mutex.hpp"
 #include "base/segmented_vector.hpp"
+#include "base/thread_annotations.hpp"
 #include "core/binding.hpp"
 #include "obs/metrics.hpp"
 
@@ -48,7 +49,7 @@ class BindingCache {
   // Reconfigures capacity and drops all contents (the restore path). The
   // cache owns a mutex, so it is rebuilt in place rather than reassigned.
   void reset_capacity(std::size_t capacity) {
-    std::lock_guard lock(mutex_);
+    base::MutexLock lock(mutex_);
     capacity_ = capacity;
     drop_contents();
   }
@@ -73,7 +74,7 @@ class BindingCache {
   // are dropped on probe).
   bool negative(const Loid& loid, SimTime now);
   [[nodiscard]] std::size_t negative_size() const {
-    std::lock_guard lock(mutex_);
+    base::MutexLock lock(mutex_);
     return negative_size_;
   }
 
@@ -85,25 +86,25 @@ class BindingCache {
 
   void clear();
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    base::MutexLock lock(mutex_);
     return size_;
   }
   [[nodiscard]] std::size_t capacity() const {
-    std::lock_guard lock(mutex_);
+    base::MutexLock lock(mutex_);
     return capacity_;
   }
   [[nodiscard]] BindingCacheStats stats() const {
-    std::lock_guard lock(mutex_);
+    base::MutexLock lock(mutex_);
     return stats_;
   }
   // Structure residency (interner + slot segments), excluding payload heap
   // owned by the cached Bindings themselves; bench_memory_per_object.
   [[nodiscard]] std::size_t allocated_bytes() const {
-    std::lock_guard lock(mutex_);
+    base::MutexLock lock(mutex_);
     return ids_.allocated_bytes() + slots_.allocated_bytes();
   }
   void reset_stats() {
-    std::lock_guard lock(mutex_);
+    base::MutexLock lock(mutex_);
     stats_ = BindingCacheStats{};
   }
 
@@ -129,27 +130,31 @@ class BindingCache {
     std::uint8_t flags = 0;
   };
 
-  // All of these require mutex_ held.
-  std::uint32_t intern_slot(const Loid& loid);
-  void lru_link_front(std::uint32_t id);
-  void lru_unlink(std::uint32_t id);
-  void neg_link_back(std::uint32_t id);
-  void neg_unlink(std::uint32_t id);
-  void drop_positive(std::uint32_t id);
-  void drop_negative(std::uint32_t id);
-  void drop_contents();
+  // All of these require mutex_ held (compiler-enforced).
+  std::uint32_t intern_slot(const Loid& loid) REQUIRES(mutex_);
+  void lru_link_front(std::uint32_t id) REQUIRES(mutex_);
+  void lru_unlink(std::uint32_t id) REQUIRES(mutex_);
+  void neg_link_back(std::uint32_t id) REQUIRES(mutex_);
+  void neg_unlink(std::uint32_t id) REQUIRES(mutex_);
+  void drop_positive(std::uint32_t id) REQUIRES(mutex_);
+  void drop_negative(std::uint32_t id) REQUIRES(mutex_);
+  void drop_contents() REQUIRES(mutex_);
 
-  std::size_t capacity_;             // guarded by mutex_
-  mutable std::mutex mutex_;
-  LoidInterner ids_;                 // guarded by mutex_
-  SegmentedVector<Slot> slots_;      // one per id; guarded by mutex_
-  std::uint32_t lru_head_ = kNil;    // most recently used positive entry
-  std::uint32_t lru_tail_ = kNil;    // least recently used positive entry
-  std::uint32_t neg_head_ = kNil;    // oldest negative entry
-  std::uint32_t neg_tail_ = kNil;    // newest negative entry
-  std::size_t size_ = 0;             // positive entries
-  std::size_t negative_size_ = 0;    // negative entries; <= capacity_
-  BindingCacheStats stats_;          // guarded by mutex_
+  // Ranked below the metrics registry: counter mirrors are flushed while
+  // mutex_ is held (see the .cpp).
+  mutable base::Mutex mutex_{base::lock_rank::kBindingCache};
+  std::size_t capacity_ GUARDED_BY(mutex_);
+  LoidInterner ids_ GUARDED_BY(mutex_);
+  SegmentedVector<Slot> slots_ GUARDED_BY(mutex_);  // one per id
+  // Most/least recently used positive entry.
+  std::uint32_t lru_head_ GUARDED_BY(mutex_) = kNil;
+  std::uint32_t lru_tail_ GUARDED_BY(mutex_) = kNil;
+  // Oldest/newest negative entry.
+  std::uint32_t neg_head_ GUARDED_BY(mutex_) = kNil;
+  std::uint32_t neg_tail_ GUARDED_BY(mutex_) = kNil;
+  std::size_t size_ GUARDED_BY(mutex_) = 0;           // positive entries
+  std::size_t negative_size_ GUARDED_BY(mutex_) = 0;  // <= capacity_
+  BindingCacheStats stats_ GUARDED_BY(mutex_);
   // Runtime-wide aggregate mirrors; null until bind_metrics().
   obs::Counter* agg_hits_ = nullptr;
   obs::Counter* agg_misses_ = nullptr;

@@ -73,7 +73,7 @@ Result<Binding> Resolver::resolve_miss(const Loid& target,
   bool leader = false;
   bool reentrant = false;
   {
-    std::lock_guard lock(flights_mutex_);
+    base::MutexLock lock(flights_mutex_);
     auto it = flights_.find(target);
     if (it == flights_.end()) {
       flight = std::make_shared<Flight>();
@@ -88,12 +88,19 @@ Result<Binding> Resolver::resolve_miss(const Loid& target,
   if (!leader && !reentrant) {
     coalesced_.fetch_add(1, std::memory_order_relaxed);
     obs_.coalesced.inc();
-    std::unique_lock fl(flight->m);
+    base::MutexLock fl(flight->m);
     if (timeout_us == kSimTimeNever) {
-      flight->cv.wait(fl, [&] { return flight->done; });
-    } else if (!flight->cv.wait_for(fl, std::chrono::microseconds(timeout_us),
-                                    [&] { return flight->done; })) {
-      return TimeoutError("coalesced binding consult timed out");
+      while (!flight->done) flight->cv.wait(flight->m);
+    } else {
+      // One absolute deadline across spurious wakeups.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(timeout_us);
+      while (!flight->done) {
+        if (flight->cv.wait_until(flight->m, deadline)) break;  // timed out
+      }
+      if (!flight->done) {
+        return TimeoutError("coalesced binding consult timed out");
+      }
     }
     return flight->result;
   }
@@ -111,11 +118,11 @@ Result<Binding> Resolver::resolve_miss(const Loid& target,
   }
   if (leader) {
     {
-      std::lock_guard lock(flights_mutex_);
+      base::MutexLock lock(flights_mutex_);
       flights_.erase(target);
     }
     {
-      std::lock_guard fl(flight->m);
+      base::MutexLock fl(flight->m);
       flight->result = binding;
       flight->done = true;
     }
@@ -153,7 +160,7 @@ Result<Buffer> Resolver::call_binding(const Binding& binding,
   if (!binding.valid()) return InvalidArgumentError("invalid binding");
   std::vector<std::size_t> targets;
   {
-    std::lock_guard lock(rng_mutex_);
+    base::MutexLock lock(rng_mutex_);
     targets = binding.address.select_targets(rng_);
   }
 
@@ -185,7 +192,7 @@ SimTime Resolver::backoff_delay_us(int attempt) {
   if (upper > kBackoffCapUs) upper = kBackoffCapUs;
   // Decorrelated jitter in [upper/2, upper]: never immediate, never past
   // the cap.
-  std::lock_guard lock(rng_mutex_);
+  base::MutexLock lock(rng_mutex_);
   return upper / 2 +
          static_cast<SimTime>(rng_.below(
              static_cast<std::uint64_t>(upper / 2) + 1));

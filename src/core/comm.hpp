@@ -10,15 +10,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
 
 #include "base/loid.hpp"
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 #include "base/rng.hpp"
 #include "core/binding.hpp"
 #include "core/binding_cache.hpp"
@@ -120,9 +120,9 @@ class Resolver {
   [[nodiscard]] rt::Messenger& messenger() { return messenger_; }
   [[nodiscard]] const SystemHandles& handles() const { return handles_; }
   // Bootstrap only: core objects are constructed before their Binding Agent
-  // exists, so the handles are completed afterwards (Section 4.2.1).
+  // exists, so the handles are completed afterwards (Section 4.2.1), before
+  // any concurrent call() can observe them. Unguarded by that protocol.
   void set_handles(SystemHandles handles) { handles_ = std::move(handles); }
-  [[nodiscard]] Rng& rng() { return rng_; }
 
   static constexpr int kMaxAttempts = 3;
   // Stale-retry pacing: capped exponential backoff with jitter between the
@@ -168,11 +168,15 @@ class Resolver {
   // thread resolving again beneath its own consult via nested dispatch —
   // consults directly rather than deadlocking on itself.
   struct Flight {
-    std::mutex m;
-    std::condition_variable cv;
-    bool done = false;              // guarded by m
-    Result<Binding> result = InternalError("consult in flight");
-    std::thread::id leader = std::this_thread::get_id();
+    // Ranked above the singleflight table: a flight's mutex is only ever
+    // taken after flights_mutex_ has been released (or beneath it, never
+    // the other way around).
+    base::Mutex m{base::lock_rank::kFlight};
+    base::CondVar cv;
+    bool done GUARDED_BY(m) = false;
+    Result<Binding> result GUARDED_BY(m) = InternalError("consult in flight");
+    // Immutable after construction: the creating thread is the leader.
+    const std::thread::id leader = std::this_thread::get_id();
   };
 
   Result<Binding> consult_binding_agent(const Loid& target,
@@ -186,16 +190,18 @@ class Resolver {
   rt::Messenger& messenger_;
   SystemHandles handles_;
   BindingCache cache_;
-  mutable std::mutex rng_mutex_;  // select_targets draws from shared state
-  Rng rng_;                       // guarded by rng_mutex_ on the call path
+  // select_targets/backoff draw from shared rng state on the call path.
+  mutable base::Mutex rng_mutex_{base::lock_rank::kRng};
+  Rng rng_ GUARDED_BY(rng_mutex_);
   // Atomic so concurrent call()s on one resolver keep exact counts.
   std::atomic<std::uint64_t> consults_{0};
   std::atomic<std::uint64_t> stale_retries_{0};
   std::atomic<std::uint64_t> refreshes_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> negative_hits_{0};
-  std::mutex flights_mutex_;
-  std::unordered_map<Loid, std::shared_ptr<Flight>> flights_;
+  base::Mutex flights_mutex_{base::lock_rank::kFlights};
+  std::unordered_map<Loid, std::shared_ptr<Flight>> flights_
+      GUARDED_BY(flights_mutex_);
   Instruments obs_;
 };
 

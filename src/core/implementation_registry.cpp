@@ -11,6 +11,7 @@ Status ImplementationRegistry::add(const std::string& name,
                                 "'+'-free: " + name);
   }
   if (!factory) return InvalidArgumentError("null factory for " + name);
+  base::WriterMutexLock lock(mutex_);
   if (ids_.find(name) != Interner<std::string>::kNoId) {
     return AlreadyExistsError("implementation already registered: " + name);
   }
@@ -21,11 +22,13 @@ Status ImplementationRegistry::add(const std::string& name,
 }
 
 bool ImplementationRegistry::contains(const std::string& name) const {
+  base::ReaderMutexLock lock(mutex_);
   return ids_.find(name) != Interner<std::string>::kNoId;
 }
 
 std::vector<std::string> ImplementationRegistry::names() const {
   std::vector<std::string> out;
+  base::ReaderMutexLock lock(mutex_);
   out.reserve(ids_.size());
   for (std::uint32_t id = 0; id < ids_.size(); ++id) {
     out.push_back(ids_.key_of(id));
@@ -38,14 +41,26 @@ Result<std::vector<std::unique_ptr<ObjectImpl>>>
 ImplementationRegistry::instantiate(const std::string& spec) const {
   const std::vector<std::string> parts = SplitSpec(spec);
   if (parts.empty()) return InvalidArgumentError("empty implementation spec");
-  std::vector<std::unique_ptr<ObjectImpl>> out;
-  out.reserve(parts.size());
-  for (const std::string& name : parts) {
-    const std::uint32_t id = ids_.find(name);
-    if (id == Interner<std::string>::kNoId) {
-      return NotFoundError("unknown implementation: " + name);
+  // Resolve the whole spec to factory pointers under the shared lock, then
+  // run the factories outside it: slots are pointer-stable and never
+  // reassigned once registered, and factories may be arbitrarily expensive
+  // (or re-enter the registry).
+  std::vector<const ImplFactory*> resolved;
+  resolved.reserve(parts.size());
+  {
+    base::ReaderMutexLock lock(mutex_);
+    for (const std::string& name : parts) {
+      const std::uint32_t id = ids_.find(name);
+      if (id == Interner<std::string>::kNoId) {
+        return NotFoundError("unknown implementation: " + name);
+      }
+      resolved.push_back(&factories_[id]);
     }
-    out.push_back(factories_[id]());
+  }
+  std::vector<std::unique_ptr<ObjectImpl>> out;
+  out.reserve(resolved.size());
+  for (const ImplFactory* factory : resolved) {
+    out.push_back((*factory)());
   }
   return out;
 }

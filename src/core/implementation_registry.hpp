@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "base/interner.hpp"
+#include "base/mutex.hpp"
 #include "base/status.hpp"
+#include "base/thread_annotations.hpp"
 #include "core/object_impl.hpp"
 
 namespace legion::core {
@@ -49,8 +51,15 @@ class ImplementationRegistry {
       const std::string& spec);
 
  private:
-  Interner<std::string> ids_;
-  SegmentedVector<ImplFactory> factories_;  // one slot per id
+  // Registration happens at bootstrap, but nothing stops a host from adding
+  // implementations while concurrent activations instantiate: reads take
+  // the shared side, add() the exclusive side. Factories are *invoked*
+  // outside the lock — slots are append-only and pointer-stable (segmented
+  // storage), and a registered factory is never reassigned, so a pointer
+  // collected under the shared lock stays valid forever.
+  mutable base::SharedMutex mutex_;
+  Interner<std::string> ids_ GUARDED_BY(mutex_);
+  SegmentedVector<ImplFactory> factories_ GUARDED_BY(mutex_);  // one per id
 };
 
 }  // namespace legion::core

@@ -14,6 +14,12 @@
 // segments — stable for the table's lifetime, since segments never move.
 // Iteration (loids(), Serialize()) walks ids in order, so probe sequences
 // and serialized bytes are deterministic, not unordered_map artifacts.
+//
+// Externally synchronized — deliberately lock-free. A logical table is
+// owned by exactly one class object, and every mutation or read happens in
+// that object's dispatch context (active objects process one invocation at
+// a time). There is no mutex here; do not share a LogicalTable across
+// contexts. See DESIGN.md "Concurrency discipline".
 #pragma once
 
 #include <cstdint>

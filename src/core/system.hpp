@@ -161,7 +161,9 @@ class LegionSystem {
   Status finalize_registrations();
 
   rt::Runtime& runtime_;
-  SystemConfig config_;
+  // Immutable after construction (the audited pre-lock-config rule: shared
+  // config is either const or atomic, never bare-mutable).
+  const SystemConfig config_;
   ImplementationRegistry registry_;
   Rng rng_;
   bool bootstrapped_ = false;

@@ -4,13 +4,22 @@
 // partitions, and whole-host outages. The runtime consults the plan at
 // delivery time, so faults interact naturally with in-flight messages —
 // which is how stale bindings (paper Section 4.1.4) arise in practice.
+//
+// Thread-safe: under ThreadRuntime/TcpRuntime the plan is read from every
+// posting thread while a driver thread injects and heals faults mid-run.
+// The sets are guarded by an internal shared mutex; drop probabilities are
+// atomics; any_faults() — the per-message fast path — is a single relaxed
+// load of a maintained count, so the fault-free configuration pays no lock.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <unordered_set>
 
+#include "base/mutex.hpp"
 #include "base/rng.hpp"
+#include "base/thread_annotations.hpp"
 #include "base/types.hpp"
 #include "net/topology.hpp"
 
@@ -19,36 +28,71 @@ namespace legion::net {
 class FaultPlan {
  public:
   void set_drop_probability(LatencyClass c, double p) {
-    drop_p_[static_cast<std::size_t>(c)] = p;
+    base::WriterMutexLock lock(mutex_);
+    auto& slot = drop_p_[static_cast<std::size_t>(c)];
+    const double old = slot.load(std::memory_order_relaxed);
+    slot.store(p, std::memory_order_relaxed);
+    active_.fetch_add((p > 0.0 ? 1 : 0) - (old > 0.0 ? 1 : 0),
+                      std::memory_order_relaxed);
   }
   [[nodiscard]] double drop_probability(LatencyClass c) const {
-    return drop_p_[static_cast<std::size_t>(c)];
+    return drop_p_[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
   }
 
-  void partition(HostId a, HostId b) { partitions_.insert(key(a, b)); }
-  void heal(HostId a, HostId b) { partitions_.erase(key(a, b)); }
+  void partition(HostId a, HostId b) {
+    base::WriterMutexLock lock(mutex_);
+    if (partitions_.insert(key(a, b)).second) {
+      active_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void heal(HostId a, HostId b) {
+    base::WriterMutexLock lock(mutex_);
+    if (partitions_.erase(key(a, b)) != 0) {
+      active_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
   [[nodiscard]] bool partitioned(HostId a, HostId b) const {
+    base::ReaderMutexLock lock(mutex_);
     return partitions_.contains(key(a, b));
   }
 
-  void take_host_down(HostId h) { down_.insert(h.value); }
-  void bring_host_up(HostId h) { down_.erase(h.value); }
-  [[nodiscard]] bool host_down(HostId h) const { return down_.contains(h.value); }
+  void take_host_down(HostId h) {
+    base::WriterMutexLock lock(mutex_);
+    if (down_.insert(h.value).second) {
+      active_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void bring_host_up(HostId h) {
+    base::WriterMutexLock lock(mutex_);
+    if (down_.erase(h.value) != 0) {
+      active_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] bool host_down(HostId h) const {
+    base::ReaderMutexLock lock(mutex_);
+    return down_.contains(h.value);
+  }
 
   // True if a message from a to b (class c) should be silently dropped.
   [[nodiscard]] bool should_drop(HostId a, HostId b, LatencyClass c,
                                  Rng& rng) const {
-    if (host_down(a) || host_down(b) || partitioned(a, b)) return true;
+    {
+      base::ReaderMutexLock lock(mutex_);
+      if (down_.contains(a.value) || down_.contains(b.value) ||
+          partitions_.contains(key(a, b))) {
+        return true;
+      }
+    }
     const double p = drop_probability(c);
     return p > 0.0 && rng.chance(p);
   }
 
+  // Lock-free probe: the count of active fault sources (partitions, downed
+  // hosts, nonzero drop classes) is maintained under mutex_ but read
+  // relaxed. The delivery path gates all fault work on this.
   [[nodiscard]] bool any_faults() const {
-    if (!partitions_.empty() || !down_.empty()) return true;
-    for (double p : drop_p_) {
-      if (p > 0.0) return true;
-    }
-    return false;
+    return active_.load(std::memory_order_relaxed) != 0;
   }
 
  private:
@@ -58,9 +102,12 @@ class FaultPlan {
     return (hi << 32) | lo;
   }
 
-  std::array<double, kNumLatencyClasses> drop_p_{};
-  std::unordered_set<std::uint64_t> partitions_;
-  std::unordered_set<std::uint32_t> down_;
+  // Ranked above kRng: should_drop() runs beneath the runtime's rng lock.
+  mutable base::SharedMutex mutex_{base::lock_rank::kFaultPlan};
+  std::array<std::atomic<double>, kNumLatencyClasses> drop_p_{};
+  std::unordered_set<std::uint64_t> partitions_ GUARDED_BY(mutex_);
+  std::unordered_set<std::uint32_t> down_ GUARDED_BY(mutex_);
+  std::atomic<int> active_{0};
 };
 
 }  // namespace legion::net

@@ -149,7 +149,7 @@ MetricRow MetricRow::Deserialize(Reader& r) {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -159,7 +159,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -168,7 +168,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -178,7 +178,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 std::vector<MetricRow> Registry::rows() const {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   std::vector<MetricRow> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, c] : counters_) {
@@ -219,7 +219,7 @@ void Registry::visit(
     const std::function<void(std::string_view, const Gauge&)>& gauge_fn,
     const std::function<void(std::string_view, const Histogram&)>& hist_fn)
     const {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   if (counter_fn) {
     for (const auto& [name, c] : counters_) counter_fn(name, *c);
   }
@@ -232,7 +232,7 @@ void Registry::visit(
 }
 
 void Registry::reset() {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   for (auto& [_, c] : counters_) c->reset();
   for (auto& [_, g] : gauges_) g->reset();
   for (auto& [_, h] : histograms_) h->reset();

@@ -14,12 +14,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "base/serialize.hpp"
+#include "base/thread_annotations.hpp"
 
 namespace legion::obs {
 
@@ -218,10 +219,15 @@ class Registry {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Near-leaf rank: lookups happen beneath the binding cache's mutex
+  // (BindingCache::bind_metrics) and acquire nothing except the log.
+  mutable base::Mutex mutex_{base::lock_rank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace legion::obs

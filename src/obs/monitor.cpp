@@ -216,9 +216,14 @@ std::vector<FleetRow> FleetMonitor::rows(SimTime now) {
     if (auto it = state.gauges.find("msg.pending"); it != state.gauges.end()) {
       row.queue_depth = it->second;
     }
-    row.slow = row.p99_us > slow_threshold_us_;
-    row.suspect = stale_after_us_ > 0 && state.last_ingest_at > 0 &&
-                  now - state.last_ingest_at > stale_after_us_;
+    // One load per knob per row: a concurrent setter change applies between
+    // rows, never mid-comparison.
+    const std::uint64_t slow_threshold =
+        slow_threshold_us_.load(std::memory_order_relaxed);
+    const SimTime stale_after = stale_after_us_.load(std::memory_order_relaxed);
+    row.slow = row.p99_us > slow_threshold;
+    row.suspect = stale_after > 0 && state.last_ingest_at > 0 &&
+                  now - state.last_ingest_at > stale_after;
     if (row.slow) ++slow_count;
     if (row.suspect) ++suspect_count;
     out.push_back(std::move(row));

@@ -15,6 +15,7 @@
 // something per-host precomputed percentiles can never provide.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -114,8 +115,15 @@ class FleetMonitor {
   // Per-method tail latency across all hosts, ordered by method name.
   [[nodiscard]] std::vector<MethodRow> method_rows() const;
 
-  void set_slow_threshold_us(std::uint64_t t) { slow_threshold_us_ = t; }
-  void set_stale_after_us(SimTime t) { stale_after_us_ = t; }
+  // Knobs are atomics: they may be tuned from a shell/admin thread while
+  // the dispatch context is mid-rows() (the PR 6 `capacity_` lesson — no
+  // unsynchronized reads of mutable config fields).
+  void set_slow_threshold_us(std::uint64_t t) {
+    slow_threshold_us_.store(t, std::memory_order_relaxed);
+  }
+  void set_stale_after_us(SimTime t) {
+    stale_after_us_.store(t, std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t reports() const { return reports_.value(); }
 
   // Default flagging knobs: a host is slow above 1s service p99, suspect
@@ -135,9 +143,13 @@ class FleetMonitor {
   };
 
   Registry& registry_;
+  // Externally synchronized: ingest()/rows() run only in the owning
+  // MonitorObject's dispatch context (one request at a time per endpoint),
+  // so the merge state needs no lock of its own. See DESIGN.md
+  // "Concurrency discipline".
   std::map<std::uint32_t, HostState> hosts_;
-  std::uint64_t slow_threshold_us_ = kDefaultSlowThresholdUs;
-  SimTime stale_after_us_ = kDefaultStaleAfterUs;
+  std::atomic<std::uint64_t> slow_threshold_us_{kDefaultSlowThresholdUs};
+  std::atomic<SimTime> stale_after_us_{kDefaultStaleAfterUs};
   Counter& reports_;
   Gauge& hosts_gauge_;
   Gauge& slow_gauge_;

@@ -69,7 +69,7 @@ TraceRing::TraceRing(std::size_t capacity)
 void TraceRing::record(const TraceHop& hop) {
   if (!enabled()) return;
   recorded_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(hop);
   } else {
@@ -79,7 +79,7 @@ void TraceRing::record(const TraceHop& hop) {
 }
 
 std::vector<TraceHop> TraceRing::last(std::size_t n) const {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   std::vector<TraceHop> out;
   const std::size_t have = ring_.size();
   const std::size_t take = std::min(n, have);
@@ -102,7 +102,7 @@ std::vector<TraceHop> TraceRing::for_trace(TraceId id) const {
 }
 
 void TraceRing::clear() {
-  std::lock_guard lock(mutex_);
+  base::MutexLock lock(mutex_);
   ring_.clear();
   next_ = 0;
 }

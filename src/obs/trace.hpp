@@ -19,10 +19,11 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 #include "base/types.hpp"
 
 namespace legion::obs {
@@ -129,9 +130,11 @@ class TraceRing {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<TraceHop> ring_;  // guarded by mutex_; size <= capacity_
-  std::size_t next_ = 0;        // slot the next record overwrites
+  // Leaf rank: record() is called from messengers holding nothing, and the
+  // ring acquires nothing beneath it.
+  mutable base::Mutex mutex_{base::lock_rank::kTraceRing};
+  std::vector<TraceHop> ring_ GUARDED_BY(mutex_);  // size <= capacity_
+  std::size_t next_ GUARDED_BY(mutex_) = 0;  // slot the next record overwrites
   std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> recorded_{0};
 };

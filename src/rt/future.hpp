@@ -9,9 +9,11 @@
 
 #include <cassert>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 
 namespace legion::rt {
 
@@ -24,7 +26,7 @@ class Promise {
   Promise() : state_(std::make_shared<State>()) {}
 
   void set(T value) {
-    std::lock_guard lock(state_->mutex);
+    base::MutexLock lock(state_->mutex);
     assert(!state_->value.has_value() && "promise fulfilled twice");
     state_->value = std::move(value);
   }
@@ -34,8 +36,10 @@ class Promise {
  private:
   friend class Future<T>;
   struct State {
-    std::mutex mutex;
-    std::optional<T> value;
+    // Ranked above the messenger's pending table: invoke() fulfils the
+    // promise while holding pending_mutex_ when the destination is gone.
+    base::Mutex mutex{base::lock_rank::kFutureState};
+    std::optional<T> value GUARDED_BY(mutex);
   };
   std::shared_ptr<State> state_;
 };
@@ -49,18 +53,18 @@ class Future {
 
   [[nodiscard]] bool ready() const {
     if (!state_) return false;
-    std::lock_guard lock(state_->mutex);
+    base::MutexLock lock(state_->mutex);
     return state_->value.has_value();
   }
 
   // Requires ready(). Moves the value out.
   [[nodiscard]] T take() {
     assert(state_);
-    // Keep the state alive past the lock_guard: if this future holds the
+    // Keep the state alive past the lock scope: if this future holds the
     // last reference, resetting state_ under the lock would destroy the
     // mutex the guard still has to unlock.
     const std::shared_ptr<State> state = std::move(state_);
-    std::lock_guard lock(state->mutex);
+    base::MutexLock lock(state->mutex);
     assert(state->value.has_value());
     T out = std::move(*state->value);
     state->value.reset();

@@ -41,7 +41,7 @@ void Messenger::close() {
   // entry here (failed exactly once below) or not at all.
   std::unordered_map<std::uint64_t, Promise<ReplyMsg>> orphans;
   {
-    std::lock_guard lock(pending_mutex_);
+    base::MutexLock lock(pending_mutex_);
     orphans.swap(pending_);
   }
   pending_gauge_.sub(static_cast<std::int64_t>(orphans.size()));
@@ -84,7 +84,7 @@ Future<ReplyMsg> Messenger::invoke(EndpointId dst, std::string_view method,
 
   std::uint64_t call_id;
   {
-    std::lock_guard lock(pending_mutex_);
+    base::MutexLock lock(pending_mutex_);
     if (closed_.load(std::memory_order_relaxed)) {
       // Lost the race with close(): resolve locally, exactly once.
       promise.set(ReplyMsg{AbortedError("messenger closed"), Buffer{}});
@@ -210,7 +210,7 @@ bool Messenger::wait(const std::function<bool()>& ready, SimTime timeout_us) {
 void Messenger::fail_pending(std::uint64_t call_id, Status status) {
   Promise<ReplyMsg> promise;
   {
-    std::lock_guard lock(pending_mutex_);
+    base::MutexLock lock(pending_mutex_);
     auto it = pending_.find(call_id);
     if (it == pending_.end()) return;
     promise = it->second;
@@ -354,7 +354,7 @@ void Messenger::handle_reply(Reader& r) {
 
   Promise<ReplyMsg> promise;
   {
-    std::lock_guard lock(pending_mutex_);
+    base::MutexLock lock(pending_mutex_);
     auto it = pending_.find(call_id);
     if (it == pending_.end()) return;  // late reply for a timed-out call
     promise = it->second;

@@ -14,13 +14,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "base/buffer.hpp"
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 #include "base/loid.hpp"
 #include "base/serialize.hpp"
 #include "base/status.hpp"
@@ -190,9 +191,12 @@ class Messenger {
   obs::Gauge& host_pending_;
   std::unordered_map<std::string, obs::Histogram*> method_hists_;
 
-  std::mutex pending_mutex_;  // guards pending_ and next_call_id_
-  std::unordered_map<std::uint64_t, Promise<ReplyMsg>> pending_;
-  std::uint64_t next_call_id_ = 1;
+  // Ranked below Promise::State::mutex: invoke() fulfils the promise while
+  // holding the pending table when it loses the race with close().
+  base::Mutex pending_mutex_{base::lock_rank::kPending};
+  std::unordered_map<std::uint64_t, Promise<ReplyMsg>> pending_
+      GUARDED_BY(pending_mutex_);
+  std::uint64_t next_call_id_ GUARDED_BY(pending_mutex_) = 1;
 };
 
 }  // namespace legion::rt

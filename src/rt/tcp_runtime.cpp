@@ -105,7 +105,7 @@ TcpRuntime::TcpRuntime(TcpOptions options)
 TcpRuntime::~TcpRuntime() {
   std::vector<EndpointPtr> eps;
   {
-    std::unique_lock lock(map_mutex_);
+    base::WriterMutexLock lock(map_mutex_);
     for (auto& [_, ep] : endpoints_) eps.push_back(ep);
     endpoints_.clear();
   }
@@ -115,24 +115,24 @@ TcpRuntime::~TcpRuntime() {
     if (ep->service.joinable()) ep->service.join();
     std::vector<std::thread> readers;
     {
-      std::lock_guard lock(ep->conns_mutex);
+      base::MutexLock lock(ep->conns_mutex);
       readers.swap(ep->readers);
     }
     for (auto& t : readers) t.join();
-    std::lock_guard lock(ep->conns_mutex);
+    base::MutexLock lock(ep->conns_mutex);
     for (int& fd : ep->conn_fds) {
       if (fd >= 0) ::close(fd);
       fd = -1;
     }
   }
   {
-    std::lock_guard lock(pool_mutex_);
+    base::MutexLock lock(pool_mutex_);
     for (auto& [_, idle] : pool_) {
       for (auto& conn : idle) ::close(conn.fd);
     }
     pool_.clear();
   }
-  std::lock_guard lock(graveyard_mutex_);
+  base::MutexLock lock(graveyard_mutex_);
   for (auto& t : graveyard_) {
     if (t.joinable()) t.join();
   }
@@ -146,13 +146,13 @@ void TcpRuntime::stop_endpoint(const EndpointPtr& ep) {
   }
   {
     // Readers blocked mid-read wake with EOF; they close their own fds.
-    std::lock_guard lock(ep->conns_mutex);
+    base::MutexLock lock(ep->conns_mutex);
     for (int fd : ep->conn_fds) {
       if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
     }
   }
   {
-    std::lock_guard lock(ep->mutex);
+    base::MutexLock lock(ep->mutex);
     ep->stopping = true;
     ++ep->wakeups;
   }
@@ -192,7 +192,7 @@ EndpointId TcpRuntime::create_endpoint(HostId host, std::string label,
 
   EndpointId id;
   {
-    std::unique_lock lock(map_mutex_);
+    base::WriterMutexLock lock(map_mutex_);
     id = EndpointId{next_endpoint_++};
     endpoints_.emplace(id.value, ep);
   }
@@ -207,14 +207,14 @@ void TcpRuntime::close_endpoint(EndpointId id) {
   EndpointPtr ep = find(id);
   if (!ep) return;
   {
-    std::unique_lock lock(map_mutex_);
+    base::WriterMutexLock lock(map_mutex_);
     endpoints_.erase(id.value);
   }
   stop_endpoint(ep);
   auto reap = [this](std::thread& t) {
     if (!t.joinable()) return;
     if (t.get_id() == std::this_thread::get_id()) {
-      std::lock_guard lock(graveyard_mutex_);
+      base::MutexLock lock(graveyard_mutex_);
       graveyard_.push_back(std::move(t));
     } else {
       t.join();
@@ -224,13 +224,13 @@ void TcpRuntime::close_endpoint(EndpointId id) {
   reap(ep->service);
   std::vector<std::thread> readers;
   {
-    std::lock_guard lock(ep->conns_mutex);
+    base::MutexLock lock(ep->conns_mutex);
     readers.swap(ep->readers);
   }
   // Readers never run handlers (they only feed the inbox), so the closing
   // thread is never one of them and a plain join is safe.
   for (auto& t : readers) t.join();
-  std::lock_guard lock(ep->conns_mutex);
+  base::MutexLock lock(ep->conns_mutex);
   for (int& fd : ep->conn_fds) {
     if (fd >= 0) ::close(fd);
     fd = -1;
@@ -253,7 +253,7 @@ std::uint16_t TcpRuntime::port_of(EndpointId id) const {
 }
 
 TcpRuntime::EndpointPtr TcpRuntime::find(EndpointId id) const {
-  std::shared_lock lock(map_mutex_);
+  base::ReaderMutexLock lock(map_mutex_);
   auto it = endpoints_.find(id.value);
   return it == endpoints_.end() ? nullptr : it->second;
 }
@@ -296,7 +296,7 @@ Status TcpRuntime::dial(std::uint16_t port, Connection& out) {
 
 Status TcpRuntime::acquire(std::uint16_t port, Connection& out) {
   {
-    std::lock_guard lock(pool_mutex_);
+    base::MutexLock lock(pool_mutex_);
     auto it = pool_.find(port);
     if (it != pool_.end()) {
       auto& idle = it->second;
@@ -327,7 +327,7 @@ Status TcpRuntime::acquire(std::uint16_t port, Connection& out) {
 void TcpRuntime::release(std::uint16_t port, Connection conn) {
   conn.last_used = std::chrono::steady_clock::now();
   {
-    std::lock_guard lock(pool_mutex_);
+    base::MutexLock lock(pool_mutex_);
     auto& idle = pool_[port];
     if (idle.size() < options_.max_idle_per_peer) {
       idle.push_back(conn);
@@ -406,7 +406,7 @@ Status TcpRuntime::post(Envelope env) {
   }
 
   {
-    std::lock_guard lock(src->mutex);
+    base::MutexLock lock(src->mutex);
     src->stats.sent += 1;
     src->stats.bytes_sent += env.payload.size();
   }
@@ -418,7 +418,7 @@ void TcpRuntime::notify(EndpointId id) {
   EndpointPtr ep = find(id);
   if (!ep) return;
   {
-    std::lock_guard lock(ep->mutex);
+    base::MutexLock lock(ep->mutex);
     ++ep->wakeups;
   }
   ep->cv.notify_all();
@@ -434,7 +434,7 @@ void TcpRuntime::acceptor_loop(const EndpointPtr& ep) {
       }
       return;  // listener closed: endpoint is going away
     }
-    std::lock_guard lock(ep->conns_mutex);
+    base::MutexLock lock(ep->conns_mutex);
     if (!ep->alive.load()) {
       ::close(conn);
       return;
@@ -470,7 +470,7 @@ void TcpRuntime::reader_loop(const EndpointPtr& ep, std::size_t slot, int fd) {
 
     bool deliver = true;
     {
-      std::lock_guard lock(ep->mutex);
+      base::MutexLock lock(ep->mutex);
       if (ep->stopping) {
         deliver = false;
       } else {
@@ -486,13 +486,13 @@ void TcpRuntime::reader_loop(const EndpointPtr& ep, std::size_t slot, int fd) {
   }
   // The reader owns the close; teardown only shutdowns live fds and closes
   // whatever is still >= 0 after joining, so there is no double close.
-  std::lock_guard lock(ep->conns_mutex);
+  base::MutexLock lock(ep->conns_mutex);
   ::close(fd);
   ep->conn_fds[slot] = -1;
 }
 
 bool TcpRuntime::pop_one(const EndpointPtr& ep, Envelope& out) {
-  std::lock_guard lock(ep->mutex);
+  base::MutexLock lock(ep->mutex);
   if (ep->inbox.empty()) return false;
   out = std::move(ep->inbox.front());
   ep->inbox.pop_front();
@@ -503,8 +503,8 @@ void TcpRuntime::service_loop(const EndpointPtr& ep) {
   for (;;) {
     Envelope env;
     {
-      std::unique_lock lock(ep->mutex);
-      ep->cv.wait(lock, [&] { return ep->stopping || !ep->inbox.empty(); });
+      base::MutexLock lock(ep->mutex);
+      while (!ep->stopping && ep->inbox.empty()) ep->cv.wait(ep->mutex);
       if (ep->inbox.empty()) return;
       env = std::move(ep->inbox.front());
       ep->inbox.pop_front();
@@ -537,16 +537,20 @@ bool TcpRuntime::wait(EndpointId self, const std::function<bool()>& ready,
     }
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return ready();
-    std::unique_lock lock(ep->mutex);
-    if (!ep->inbox.empty()) continue;
-    // Event-driven like ThreadRuntime::wait: sleep until the next wakeup
-    // generation (delivery / notify / close) or the deadline, with a long
-    // re-check slice only for predicates satisfied without a wakeup.
-    const std::uint64_t seen = ep->wakeups;
-    const auto cap = ep->stopping ? now + std::chrono::milliseconds(1)
-                                  : now + std::chrono::milliseconds(50);
-    ep->cv.wait_until(lock, std::min(deadline, cap),
-                      [&] { return ep->wakeups != seen; });
+    {
+      base::MutexLock lock(ep->mutex);
+      if (!ep->inbox.empty()) continue;
+      // Event-driven like ThreadRuntime::wait: sleep until the next wakeup
+      // generation (delivery / notify / close) or the deadline, with a long
+      // re-check slice only for predicates satisfied without a wakeup.
+      const std::uint64_t seen = ep->wakeups;
+      const auto cap = ep->stopping ? now + std::chrono::milliseconds(1)
+                                    : now + std::chrono::milliseconds(50);
+      const auto until = std::min(deadline, cap);
+      while (ep->wakeups == seen) {
+        if (ep->cv.wait_until(ep->mutex, until)) break;  // timed out
+      }
+    }
   }
 }
 
@@ -554,9 +558,9 @@ void TcpRuntime::run_until_idle() {
   for (int calm = 0; calm < 2;) {
     bool busy = false;
     {
-      std::shared_lock lock(map_mutex_);
+      base::ReaderMutexLock lock(map_mutex_);
       for (const auto& [_, ep] : endpoints_) {
-        std::lock_guard elock(ep->mutex);
+        base::MutexLock elock(ep->mutex);
         if (!ep->inbox.empty()) {
           busy = true;
           break;
@@ -573,15 +577,15 @@ RuntimeStats TcpRuntime::stats() const { return transport_.view(); }
 EndpointStats TcpRuntime::endpoint_stats(EndpointId id) const {
   EndpointPtr ep = find(id);
   if (!ep) return EndpointStats{};
-  std::lock_guard lock(ep->mutex);
+  base::MutexLock lock(ep->mutex);
   return ep->stats;
 }
 
 std::map<std::string, std::uint64_t> TcpRuntime::received_by_label() const {
   std::map<std::string, std::uint64_t> out;
-  std::shared_lock lock(map_mutex_);
+  base::ReaderMutexLock lock(map_mutex_);
   for (const auto& [_, ep] : endpoints_) {
-    std::lock_guard elock(ep->mutex);
+    base::MutexLock elock(ep->mutex);
     out[ep->label] += ep->stats.received;
   }
   return out;
@@ -590,10 +594,10 @@ std::map<std::string, std::uint64_t> TcpRuntime::received_by_label() const {
 std::uint64_t TcpRuntime::max_received_with_label(
     const std::string& label) const {
   std::uint64_t best = 0;
-  std::shared_lock lock(map_mutex_);
+  base::ReaderMutexLock lock(map_mutex_);
   for (const auto& [_, ep] : endpoints_) {
     if (ep->label != label) continue;
-    std::lock_guard elock(ep->mutex);
+    base::MutexLock elock(ep->mutex);
     best = std::max(best, ep->stats.received);
   }
   return best;
@@ -601,9 +605,9 @@ std::uint64_t TcpRuntime::max_received_with_label(
 
 void TcpRuntime::reset_stats() {
   transport_.reset();
-  std::shared_lock lock(map_mutex_);
+  base::ReaderMutexLock lock(map_mutex_);
   for (const auto& [_, ep] : endpoints_) {
-    std::lock_guard elock(ep->mutex);
+    base::MutexLock elock(ep->mutex);
     ep->stats = EndpointStats{};
   }
 }

@@ -20,17 +20,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 #include "rt/runtime.hpp"
 
 namespace legion::rt {
@@ -82,6 +81,9 @@ class TcpRuntime final : public Runtime {
 
  private:
   struct Endpoint {
+    // host/label/handler/mode/listen_fd/port are set before the endpoint is
+    // published (and before its acceptor/service threads start), then never
+    // written: immutable-after-init, no guard needed.
     HostId host;
     std::string label;
     MessageHandler handler;
@@ -89,12 +91,13 @@ class TcpRuntime final : public Runtime {
     int listen_fd = -1;
     std::uint16_t port = 0;
 
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Envelope> inbox;
-    bool stopping = false;
-    std::uint64_t wakeups = 0;  // see ThreadRuntime::Endpoint::wakeups
-    EndpointStats stats;        // guarded by mutex
+    base::Mutex mutex{base::lock_rank::kEndpoint};
+    base::CondVar cv;
+    std::deque<Envelope> inbox GUARDED_BY(mutex);
+    bool stopping GUARDED_BY(mutex) = false;
+    // See ThreadRuntime::Endpoint::wakeups.
+    std::uint64_t wakeups GUARDED_BY(mutex) = 0;
+    EndpointStats stats GUARDED_BY(mutex);
 
     std::atomic<bool> alive{true};
     std::thread acceptor;
@@ -103,9 +106,9 @@ class TcpRuntime final : public Runtime {
     // Accepted persistent connections: one reader thread per stream. A
     // reader closes its own fd on exit (marking the slot -1); teardown
     // shutdowns every live fd, joins the readers, then closes stragglers.
-    std::mutex conns_mutex;
-    std::vector<int> conn_fds;         // guarded by conns_mutex; -1 = closed
-    std::vector<std::thread> readers;  // guarded by conns_mutex
+    base::Mutex conns_mutex{base::lock_rank::kEndpointConns};
+    std::vector<int> conn_fds GUARDED_BY(conns_mutex);  // -1 = closed
+    std::vector<std::thread> readers GUARDED_BY(conns_mutex);
   };
   using EndpointPtr = std::shared_ptr<Endpoint>;
 
@@ -134,16 +137,20 @@ class TcpRuntime final : public Runtime {
   void close_conn(Connection& conn);
   bool write_frame(int fd, const Envelope& env);
 
+  // Immutable after construction (copied in the constructor, only read
+  // thereafter) — the audited answer to the PR 6 pre-lock-config question.
   const TcpOptions options_;
 
-  mutable std::shared_mutex map_mutex_;
-  std::unordered_map<std::uint64_t, EndpointPtr> endpoints_;
-  std::uint64_t next_endpoint_ = 1;  // guarded by map_mutex_
+  mutable base::SharedMutex map_mutex_{base::lock_rank::kEndpointMap};
+  std::unordered_map<std::uint64_t, EndpointPtr> endpoints_
+      GUARDED_BY(map_mutex_);
+  std::uint64_t next_endpoint_ GUARDED_BY(map_mutex_) = 1;
 
-  std::mutex pool_mutex_;
+  base::Mutex pool_mutex_{base::lock_rank::kTcpPool};
   // Idle connections per destination port, oldest first (release appends,
   // reaping pops from the front).
-  std::unordered_map<std::uint16_t, std::vector<Connection>> pool_;
+  std::unordered_map<std::uint16_t, std::vector<Connection>> pool_
+      GUARDED_BY(pool_mutex_);
 
   // Syscalls retried after an EINTR interruption (regression visibility for
   // the signal-mid-transfer case).
@@ -157,8 +164,8 @@ class TcpRuntime final : public Runtime {
   obs::Counter& reaped_{metrics_.counter("rt.tcp.reaped")};
   obs::Gauge& open_conns_{metrics_.gauge("rt.tcp.open_connections")};
 
-  std::mutex graveyard_mutex_;
-  std::vector<std::thread> graveyard_;
+  base::Mutex graveyard_mutex_{base::lock_rank::kGraveyard};
+  std::vector<std::thread> graveyard_ GUARDED_BY(graveyard_mutex_);
 
   std::chrono::steady_clock::time_point epoch_;
 };

@@ -21,14 +21,14 @@ ThreadRuntime::~ThreadRuntime() {
   // Stop all serviced endpoints, then reap self-closed threads.
   std::vector<EndpointPtr> eps;
   {
-    std::unique_lock lock(map_mutex_);
+    base::WriterMutexLock lock(map_mutex_);
     for (auto& [_, ep] : endpoints_) eps.push_back(ep);
     endpoints_.clear();
   }
   for (auto& ep : eps) {
     ep->alive.store(false);
     {
-      std::lock_guard lock(ep->mutex);
+      base::MutexLock lock(ep->mutex);
       ep->stopping = true;
       ++ep->wakeups;
     }
@@ -37,7 +37,7 @@ ThreadRuntime::~ThreadRuntime() {
   for (auto& ep : eps) {
     if (ep->service.joinable()) ep->service.join();
   }
-  std::lock_guard lock(graveyard_mutex_);
+  base::MutexLock lock(graveyard_mutex_);
   for (auto& t : graveyard_) {
     if (t.joinable()) t.join();
   }
@@ -55,7 +55,7 @@ EndpointId ThreadRuntime::create_endpoint(HostId host, std::string label,
 
   EndpointId id;
   {
-    std::unique_lock lock(map_mutex_);
+    base::WriterMutexLock lock(map_mutex_);
     id = EndpointId{next_endpoint_++};
     endpoints_.emplace(id.value, ep);
   }
@@ -69,12 +69,12 @@ void ThreadRuntime::close_endpoint(EndpointId id) {
   EndpointPtr ep = find(id);
   if (!ep) return;
   {
-    std::unique_lock lock(map_mutex_);
+    base::WriterMutexLock lock(map_mutex_);
     endpoints_.erase(id.value);
   }
   ep->alive.store(false);
   {
-    std::lock_guard lock(ep->mutex);
+    base::MutexLock lock(ep->mutex);
     ep->stopping = true;
     ++ep->wakeups;
   }
@@ -83,7 +83,7 @@ void ThreadRuntime::close_endpoint(EndpointId id) {
     if (ep->service.get_id() == std::this_thread::get_id()) {
       // An endpoint closing itself from its own handler: defer the join to
       // the runtime destructor so we do not deadlock on self-join.
-      std::lock_guard lock(graveyard_mutex_);
+      base::MutexLock lock(graveyard_mutex_);
       graveyard_.push_back(std::move(ep->service));
     } else {
       ep->service.join();
@@ -102,7 +102,7 @@ HostId ThreadRuntime::host_of(EndpointId id) const {
 }
 
 ThreadRuntime::EndpointPtr ThreadRuntime::find(EndpointId id) const {
-  std::shared_lock lock(map_mutex_);
+  base::ReaderMutexLock lock(map_mutex_);
   auto it = endpoints_.find(id.value);
   return it == endpoints_.end() ? nullptr : it->second;
 }
@@ -119,7 +119,7 @@ Status ThreadRuntime::post(Envelope env) {
   if (faults_.any_faults()) {
     // Fault checks need the shared RNG; skip the lock entirely on the
     // (common) fault-free configuration.
-    std::lock_guard lock(rng_mutex_);
+    base::MutexLock lock(rng_mutex_);
     if (faults_.should_drop(src->host, dst->host, cls, rng_)) {
       transport_.dropped.inc();
       return OkStatus();
@@ -127,12 +127,12 @@ Status ThreadRuntime::post(Envelope env) {
   }
 
   {
-    std::lock_guard lock(src->mutex);
+    base::MutexLock lock(src->mutex);
     src->stats.sent += 1;
     src->stats.bytes_sent += env.payload.size();
   }
   {
-    std::lock_guard lock(dst->mutex);
+    base::MutexLock lock(dst->mutex);
     if (dst->stopping) {
       // Lost the race with close: fail fast like a bounce.
       return StaleBindingError("destination endpoint closing");
@@ -153,7 +153,7 @@ void ThreadRuntime::notify(EndpointId id) {
   EndpointPtr ep = find(id);
   if (!ep) return;
   {
-    std::lock_guard lock(ep->mutex);
+    base::MutexLock lock(ep->mutex);
     ++ep->wakeups;
   }
   ep->cv.notify_all();
@@ -166,7 +166,7 @@ SimTime ThreadRuntime::now() const {
 }
 
 bool ThreadRuntime::pop_one(const EndpointPtr& ep, Envelope& out) {
-  std::lock_guard lock(ep->mutex);
+  base::MutexLock lock(ep->mutex);
   if (ep->inbox.empty()) return false;
   out = std::move(ep->inbox.front());
   ep->inbox.pop_front();
@@ -177,8 +177,8 @@ void ThreadRuntime::service_loop(const EndpointPtr& ep) {
   for (;;) {
     Envelope env;
     {
-      std::unique_lock lock(ep->mutex);
-      ep->cv.wait(lock, [&] { return ep->stopping || !ep->inbox.empty(); });
+      base::MutexLock lock(ep->mutex);
+      while (!ep->stopping && ep->inbox.empty()) ep->cv.wait(ep->mutex);
       if (ep->inbox.empty()) return;  // stopping and drained
       env = std::move(ep->inbox.front());
       ep->inbox.pop_front();
@@ -205,17 +205,21 @@ bool ThreadRuntime::wait(EndpointId self, const std::function<bool()>& ready,
     }
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return ready();
-    std::unique_lock lock(ep->mutex);
-    if (!ep->inbox.empty()) continue;
-    // Block until the next wakeup generation: a delivery, an explicit
-    // notify(), close, or the deadline — no fixed-slice polling on the hot
-    // path. A closed endpoint gets no further generations, so re-check its
-    // predicate at a short period instead of sleeping out the deadline.
-    const std::uint64_t seen = ep->wakeups;
-    const auto cap = ep->stopping ? now + std::chrono::milliseconds(1)
-                                  : now + kForeignPredicateSlice;
-    ep->cv.wait_until(lock, std::min(deadline, cap),
-                      [&] { return ep->wakeups != seen; });
+    {
+      base::MutexLock lock(ep->mutex);
+      if (!ep->inbox.empty()) continue;
+      // Block until the next wakeup generation: a delivery, an explicit
+      // notify(), close, or the deadline — no fixed-slice polling on the hot
+      // path. A closed endpoint gets no further generations, so re-check its
+      // predicate at a short period instead of sleeping out the deadline.
+      const std::uint64_t seen = ep->wakeups;
+      const auto cap = ep->stopping ? now + std::chrono::milliseconds(1)
+                                    : now + kForeignPredicateSlice;
+      const auto until = std::min(deadline, cap);
+      while (ep->wakeups == seen) {
+        if (ep->cv.wait_until(ep->mutex, until)) break;  // timed out
+      }
+    }
   }
 }
 
@@ -224,9 +228,9 @@ void ThreadRuntime::run_until_idle() {
   for (int calm = 0; calm < 2;) {
     bool busy = false;
     {
-      std::shared_lock lock(map_mutex_);
+      base::ReaderMutexLock lock(map_mutex_);
       for (const auto& [_, ep] : endpoints_) {
-        std::lock_guard elock(ep->mutex);
+        base::MutexLock elock(ep->mutex);
         if (!ep->inbox.empty()) {
           busy = true;
           break;
@@ -247,15 +251,15 @@ RuntimeStats ThreadRuntime::stats() const { return transport_.view(); }
 EndpointStats ThreadRuntime::endpoint_stats(EndpointId id) const {
   EndpointPtr ep = find(id);
   if (!ep) return EndpointStats{};
-  std::lock_guard lock(ep->mutex);
+  base::MutexLock lock(ep->mutex);
   return ep->stats;
 }
 
 std::map<std::string, std::uint64_t> ThreadRuntime::received_by_label() const {
   std::map<std::string, std::uint64_t> out;
-  std::shared_lock lock(map_mutex_);
+  base::ReaderMutexLock lock(map_mutex_);
   for (const auto& [_, ep] : endpoints_) {
-    std::lock_guard elock(ep->mutex);
+    base::MutexLock elock(ep->mutex);
     out[ep->label] += ep->stats.received;
   }
   return out;
@@ -264,10 +268,10 @@ std::map<std::string, std::uint64_t> ThreadRuntime::received_by_label() const {
 std::uint64_t ThreadRuntime::max_received_with_label(
     const std::string& label) const {
   std::uint64_t best = 0;
-  std::shared_lock lock(map_mutex_);
+  base::ReaderMutexLock lock(map_mutex_);
   for (const auto& [_, ep] : endpoints_) {
     if (ep->label != label) continue;
-    std::lock_guard elock(ep->mutex);
+    base::MutexLock elock(ep->mutex);
     best = std::max(best, ep->stats.received);
   }
   return best;
@@ -275,9 +279,9 @@ std::uint64_t ThreadRuntime::max_received_with_label(
 
 void ThreadRuntime::reset_stats() {
   transport_.reset();
-  std::shared_lock lock(map_mutex_);
+  base::ReaderMutexLock lock(map_mutex_);
   for (const auto& [_, ep] : endpoints_) {
-    std::lock_guard elock(ep->mutex);
+    base::MutexLock elock(ep->mutex);
     ep->stats = EndpointStats{};
   }
 }

@@ -8,18 +8,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "base/rng.hpp"
+#include "base/thread_annotations.hpp"
 #include "rt/runtime.hpp"
 
 namespace legion::rt {
@@ -53,20 +52,23 @@ class ThreadRuntime final : public Runtime {
 
  private:
   struct Endpoint {
+    // host/label/handler/mode are set before the endpoint is published in
+    // the map (and before its service thread starts), then never written:
+    // immutable-after-init, no guard needed.
     HostId host;
     std::string label;
     MessageHandler handler;
     ExecutionMode mode = ExecutionMode::kServiced;
 
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Envelope> inbox;
-    bool stopping = false;
+    base::Mutex mutex{base::lock_rank::kEndpoint};
+    base::CondVar cv;
+    std::deque<Envelope> inbox GUARDED_BY(mutex);
+    bool stopping GUARDED_BY(mutex) = false;
     // Bumped (under mutex) by every wake source — post, notify(), close —
     // so wait() can block on the cv until the real deadline instead of
     // slicing: a waiter sleeps through exactly the generations it has seen.
-    std::uint64_t wakeups = 0;
-    EndpointStats stats;  // guarded by mutex
+    std::uint64_t wakeups GUARDED_BY(mutex) = 0;
+    EndpointStats stats GUARDED_BY(mutex);
 
     std::atomic<bool> alive{true};
     std::thread service;  // joinable iff mode == kServiced
@@ -79,15 +81,19 @@ class ThreadRuntime final : public Runtime {
   // Pops one envelope into `out` if available; returns false when empty.
   static bool pop_one(const EndpointPtr& ep, Envelope& out);
 
-  mutable std::shared_mutex map_mutex_;
-  std::unordered_map<std::uint64_t, EndpointPtr> endpoints_;
-  std::uint64_t next_endpoint_ = 1;  // guarded by map_mutex_
+  // Held (shared) while per-endpoint mutexes are taken beneath it, hence
+  // the below-kEndpoint rank.
+  mutable base::SharedMutex map_mutex_{base::lock_rank::kEndpointMap};
+  std::unordered_map<std::uint64_t, EndpointPtr> endpoints_
+      GUARDED_BY(map_mutex_);
+  std::uint64_t next_endpoint_ GUARDED_BY(map_mutex_) = 1;
 
-  mutable std::mutex rng_mutex_;
-  Rng rng_;
+  mutable base::Mutex rng_mutex_{base::lock_rank::kRng};
+  Rng rng_ GUARDED_BY(rng_mutex_);
 
-  std::mutex graveyard_mutex_;
-  std::vector<std::thread> graveyard_;  // threads of self-closed endpoints
+  base::Mutex graveyard_mutex_{base::lock_rank::kGraveyard};
+  // Threads of self-closed endpoints, reaped in the destructor.
+  std::vector<std::thread> graveyard_ GUARDED_BY(graveyard_mutex_);
 
   std::chrono::steady_clock::time_point epoch_;
 };

@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calling a REQUIRES(mu)
+// helper without holding mu.
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace {
+
+class Table {
+ public:
+  void clear() { drop_all(); }  // must lock mutex_ first
+
+ private:
+  void drop_all() REQUIRES(mutex_) { count_ = 0; }
+
+  legion::base::Mutex mutex_;
+  int count_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  t.clear();
+  return 0;
+}

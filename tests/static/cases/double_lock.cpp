@@ -1,0 +1,27 @@
+// MUST NOT COMPILE under -Werror=thread-safety: acquiring a capability the
+// scope already holds (self-deadlock).
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_twice() {
+    legion::base::MutexLock outer(mutex_);
+    legion::base::MutexLock inner(mutex_);  // deadlock: already held
+    ++value_;
+  }
+
+ private:
+  legion::base::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_twice();
+  return 0;
+}

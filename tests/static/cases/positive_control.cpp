@@ -1,0 +1,66 @@
+// MUST COMPILE cleanly under -Werror=thread-safety: the correctly annotated
+// counterpart of the negative cases. If this fails, the harness (flags,
+// include paths, wrapper headers) is broken — not the analysis.
+#include <chrono>
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    legion::base::MutexLock lock(mutex_);
+    ++value_;
+    cv_.notify_all();
+  }
+  int peek() const {
+    legion::base::MutexLock lock(mutex_);
+    return value_;
+  }
+  void wait_nonzero() {
+    legion::base::MutexLock lock(mutex_);
+    while (value_ == 0) cv_.wait(mutex_);
+  }
+  bool wait_nonzero_briefly() {
+    legion::base::MutexLock lock(mutex_);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+    while (value_ == 0) {
+      if (cv_.wait_until(mutex_, deadline)) break;
+    }
+    return value_ != 0;
+  }
+
+ private:
+  mutable legion::base::Mutex mutex_;
+  legion::base::CondVar cv_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+class Registry {
+ public:
+  void add() {
+    legion::base::WriterMutexLock lock(mutex_);
+    ++entries_;
+  }
+  int count() const {
+    legion::base::ReaderMutexLock lock(mutex_);
+    return entries_;
+  }
+
+ private:
+  mutable legion::base::SharedMutex mutex_;
+  int entries_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  Registry r;
+  r.add();
+  return c.peek() + r.count();
+}

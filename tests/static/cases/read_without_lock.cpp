@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under -Werror=thread-safety: reading a guarded member
+// without holding its mutex.
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int peek() const { return value_; }  // missing MutexLock / REQUIRES
+
+ private:
+  mutable legion::base::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.peek();
+}

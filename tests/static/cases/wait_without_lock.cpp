@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Werror=thread-safety: CondVar::wait REQUIRES the
+// mutex, so waiting without holding it is rejected.
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace {
+
+class Gate {
+ public:
+  void wait_open() {
+    while (!open_) {     // unguarded read, and...
+      cv_.wait(mutex_);  // ...wait without holding mutex_
+    }
+  }
+
+ private:
+  legion::base::Mutex mutex_;
+  legion::base::CondVar cv_;
+  bool open_ GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace
+
+int main() {
+  Gate g;
+  (void)g;
+  return 0;
+}

@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Werror=thread-safety: writing a guarded member
+// while holding only the shared (reader) side of its SharedMutex.
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace {
+
+class Registry {
+ public:
+  void sneaky_write() {
+    legion::base::ReaderMutexLock lock(mutex_);
+    ++entries_;  // needs the exclusive side
+  }
+
+ private:
+  legion::base::SharedMutex mutex_;
+  int entries_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry r;
+  r.sneaky_write();
+  return 0;
+}

@@ -1,0 +1,23 @@
+// MUST NOT COMPILE under -Werror=thread-safety: writing a guarded member
+// without holding its mutex.
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() { ++value_; }  // missing MutexLock
+
+ private:
+  legion::base::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return 0;
+}

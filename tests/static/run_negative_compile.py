@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Negative-compile harness for the thread-safety annotations.
+
+Every `cases/*.cpp` except positive_control.cpp is a seeded lock-discipline
+bug that MUST fail to compile under `-Werror=thread-safety` — and MUST
+compile cleanly without it (proving the rejection comes from the analysis,
+not from broken C++). positive_control.cpp must compile cleanly with the
+flag, proving the harness itself (flags, includes, wrappers) works.
+
+Clang is the only compiler implementing the analysis. Without a usable
+clang++ (override with $CLANG_CXX) the suite exits 77, which ctest maps to
+SKIPPED via SKIP_RETURN_CODE.
+
+Usage: run_negative_compile.py [--src-root DIR] [--std c++20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+SKIP = 77
+POSITIVE = "positive_control.cpp"
+
+
+def find_clang() -> str | None:
+    override = os.environ.get("CLANG_CXX")
+    if override:
+        return override if shutil.which(override) else None
+    for name in ("clang++", "clang++-19", "clang++-18", "clang++-17",
+                 "clang++-16", "clang++-15", "clang++-14"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def compile_case(cxx: str, case: Path, src_root: Path, std: str,
+                 thread_safety: bool) -> subprocess.CompletedProcess:
+    cmd = [cxx, "-fsyntax-only", f"-std={std}", "-I", str(src_root),
+           str(case)]
+    if thread_safety:
+        cmd[1:1] = ["-Wthread-safety", "-Werror=thread-safety"]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    here = Path(__file__).resolve().parent
+    parser.add_argument("--src-root", type=Path,
+                        default=here.parent.parent / "src")
+    parser.add_argument("--std", default="c++20")
+    args = parser.parse_args()
+
+    cxx = find_clang()
+    if cxx is None:
+        print("SKIP: no clang++ available "
+              "(thread-safety analysis is clang-only)")
+        return SKIP
+    probe = subprocess.run([cxx, "--version"], capture_output=True, text=True)
+    if probe.returncode != 0:
+        print(f"SKIP: {cxx} not runnable")
+        return SKIP
+    print(f"using {cxx}: {probe.stdout.splitlines()[0]}")
+
+    cases = sorted((here / "cases").glob("*.cpp"))
+    if not cases:
+        print("FAIL: no cases found")
+        return 1
+
+    failures = 0
+    for case in cases:
+        if case.name == POSITIVE:
+            r = compile_case(cxx, case, args.src_root, args.std, True)
+            if r.returncode == 0:
+                print(f"PASS: {case.name} compiles clean with the analysis")
+            else:
+                print(f"FAIL: {case.name} must compile, but:\n{r.stderr}")
+                failures += 1
+            continue
+
+        # 1) valid C++ without the analysis...
+        plain = compile_case(cxx, case, args.src_root, args.std, False)
+        if plain.returncode != 0:
+            print(f"FAIL: {case.name} is broken C++ even without the "
+                  f"analysis:\n{plain.stderr}")
+            failures += 1
+            continue
+        # 2) ...rejected with it, for a thread-safety reason.
+        strict = compile_case(cxx, case, args.src_root, args.std, True)
+        if strict.returncode == 0:
+            print(f"FAIL: {case.name} compiled — the seeded lock-discipline "
+                  "bug was NOT caught")
+            failures += 1
+        elif "thread-safety" not in strict.stderr:
+            print(f"FAIL: {case.name} failed for a non-thread-safety "
+                  f"reason:\n{strict.stderr}")
+            failures += 1
+        else:
+            print(f"PASS: {case.name} rejected by the analysis")
+
+    if failures:
+        print(f"{failures} case(s) failed")
+        return 1
+    print(f"all {len(cases)} cases behaved")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
