@@ -1,0 +1,172 @@
+#include "rt/conn_pool.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "rt/frame.hpp"
+#include "rt/socket_util.hpp"
+
+namespace legion::rt {
+
+ConnPool::ConnPool(const TcpOptions& options, obs::Registry& registry)
+    : options_(options),
+      io_retries_(registry.counter("rt.eintr_retries")),
+      dials_(registry.counter("rt.tcp.dials")),
+      pool_hits_(registry.counter("rt.tcp.pool_hits")),
+      reconnects_(registry.counter("rt.tcp.reconnects")),
+      reaped_(registry.counter("rt.tcp.reaped")),
+      open_conns_(registry.gauge("rt.tcp.open_connections")) {}
+
+ConnPool::~ConnPool() { close_all(); }
+
+void ConnPool::close_all() {
+  base::MutexLock lock(mutex_);
+  for (auto& [_, idle] : pool_) {
+    for (auto& conn : idle) {
+      ::close(conn.fd);
+      open_conns_.sub(1);
+    }
+  }
+  pool_.clear();
+}
+
+Status ConnPool::dial(std::uint16_t port, Connection& out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    // Per-message sockets made fd exhaustion easy to hit; it is a local
+    // resource failure, not evidence the binding went stale.
+    if (errno == EMFILE || errno == ENFILE) {
+      return UnavailableError("socket(): fd exhausted");
+    }
+    return UnavailableError(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    if (err == ECONNREFUSED) {
+      // The physical stale binding: nothing listens there anymore.
+      return StaleBindingError("connection refused");
+    }
+    if (err == EMFILE || err == ENFILE) {
+      return UnavailableError("connect(): fd exhausted");
+    }
+    return UnavailableError(std::string("connect(): ") + std::strerror(err));
+  }
+  dials_.inc();
+  open_conns_.add(1);
+  out.fd = fd;
+  out.reused = false;
+  out.last_used = std::chrono::steady_clock::now();
+  return OkStatus();
+}
+
+Status ConnPool::acquire(std::uint16_t port, Connection& out) {
+  {
+    base::MutexLock lock(mutex_);
+    auto it = pool_.find(port);
+    if (it != pool_.end()) {
+      auto& idle = it->second;
+      // Reap idle-timeout expirees, stalest first (release appends, so the
+      // vector is ordered by last use).
+      const auto cutoff = std::chrono::steady_clock::now() - options_.idle_reap;
+      std::size_t dead = 0;
+      while (dead < idle.size() && idle[dead].last_used < cutoff) ++dead;
+      for (std::size_t i = 0; i < dead; ++i) {
+        ::close(idle[i].fd);
+        reaped_.inc();
+        open_conns_.sub(1);
+      }
+      idle.erase(idle.begin(),
+                 idle.begin() + static_cast<std::ptrdiff_t>(dead));
+      if (!idle.empty()) {
+        out = idle.back();  // most recently used: warmest socket
+        idle.pop_back();
+        out.reused = true;
+        pool_hits_.inc();
+        return OkStatus();
+      }
+    }
+  }
+  return dial(port, out);
+}
+
+void ConnPool::release(std::uint16_t port, Connection conn) {
+  conn.last_used = std::chrono::steady_clock::now();
+  {
+    base::MutexLock lock(mutex_);
+    auto& idle = pool_[port];
+    if (idle.size() < options_.max_idle_per_peer) {
+      idle.push_back(conn);
+      return;
+    }
+  }
+  // Pool full: the bound on cached fds wins over reuse.
+  close_conn(conn);
+}
+
+void ConnPool::close_conn(Connection& conn) {
+  if (conn.fd < 0) return;
+  ::close(conn.fd);
+  conn.fd = -1;
+  open_conns_.sub(1);
+}
+
+bool ConnPool::write_frame(int fd, const Envelope& env) {
+  std::uint8_t header[kFrameHeaderBytes];
+  EncodeFrameHeader(env, header);
+  iovec iov[2];
+  iov[0].iov_base = header;
+  iov[0].iov_len = kFrameHeaderBytes;
+  int iovcnt = 1;
+  if (!env.payload.empty()) {
+    iov[1].iov_base = const_cast<std::uint8_t*>(env.payload.data());
+    iov[1].iov_len = env.payload.size();
+    iovcnt = 2;
+  }
+  return WritevAll(fd, iov, iovcnt, io_retries_);
+}
+
+Status ConnPool::send(std::uint16_t port, const Envelope& env) {
+  Connection conn;
+  if (!options_.pooled) {
+    // Ablation baseline: connect, one frame, close.
+    Status st = dial(port, conn);
+    if (!st.ok()) return st;
+    const bool ok = write_frame(conn.fd, env);
+    close_conn(conn);
+    if (!ok) return UnavailableError("short write on TCP send");
+    return OkStatus();
+  }
+  Status st = acquire(port, conn);
+  if (!st.ok()) return st;
+  bool ok = write_frame(conn.fd, env);
+  if (!ok && conn.reused) {
+    // The cached socket's peer vanished (endpoint closed, listener
+    // restarted) — exactly one reconnect. A refusal here is the stale
+    // binding the Section 4.1.4 repair loop exists for.
+    close_conn(conn);
+    reconnects_.inc();
+    st = dial(port, conn);
+    if (!st.ok()) return st;
+    ok = write_frame(conn.fd, env);
+  }
+  if (!ok) {
+    close_conn(conn);
+    return UnavailableError("short write on TCP send");
+  }
+  release(port, conn);
+  return OkStatus();
+}
+
+}  // namespace legion::rt

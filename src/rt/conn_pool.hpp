@@ -1,0 +1,102 @@
+// Per-destination pool of persistent client sockets (the sending half of
+// the TCP transports).
+//
+// A post borrows a keep-alive socket to the destination port, writes one
+// length-prefixed frame (header and payload coalesced into a single
+// sendmsg), and returns the socket for reuse — MRU first, so the warmest
+// socket is always next out. Idle sockets are reaped stalest-first on every
+// pool touch. Sockets whose peer vanished reconnect exactly once, and a
+// refused reconnect surfaces as kStaleBinding so the Section 4.1.4 repair
+// loop fires — while fd exhaustion (EMFILE/ENFILE) is kUnavailable, never
+// binding invalidation. Shared verbatim by TcpRuntime and EpollRuntime so
+// the two transports cannot drift apart in failure classification.
+#pragma once
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/mutex.hpp"
+#include "base/status.hpp"
+#include "base/thread_annotations.hpp"
+#include "obs/metrics.hpp"
+#include "rt/envelope.hpp"
+
+namespace legion::rt {
+
+struct TcpOptions {
+  // false = one fresh connect per message (the pre-pool transport), kept
+  // measurable as the ablation baseline.
+  bool pooled = true;
+  // Idle sockets cached per destination port; a release beyond this closes
+  // the socket instead, bounding fd usage per peer.
+  std::size_t max_idle_per_peer = 4;
+  // Idle sockets unused for longer than this are reaped, stalest first,
+  // whenever the pool is touched.
+  std::chrono::microseconds idle_reap{30'000'000};
+  // listen(2) backlog for endpoint listeners. A connect storm from a
+  // fleet-sized peer set overflows a small SYN queue and surfaces as
+  // spurious Unavailable, so the default is the system maximum. <= 0 also
+  // means SOMAXCONN.
+  int listen_backlog = SOMAXCONN;
+};
+
+class ConnPool {
+ public:
+  ConnPool(const TcpOptions& options, obs::Registry& registry);
+  ~ConnPool();
+
+  ConnPool(const ConnPool&) = delete;
+  ConnPool& operator=(const ConnPool&) = delete;
+
+  // Writes `env` as one frame to 127.0.0.1:`port`, honoring the pooled /
+  // per-message mode and the reconnect-once contract described above.
+  Status send(std::uint16_t port, const Envelope& env);
+
+  // Closes every cached idle socket (runtime teardown).
+  void close_all();
+
+ private:
+  // A checked-out client socket. Ownership is exclusive between acquire()
+  // and release(), so no per-connection lock is needed.
+  struct Connection {
+    int fd = -1;
+    // Borrowed from the pool: the peer may have vanished since the socket
+    // was cached, so a failed write earns one reconnect.
+    bool reused = false;
+    std::chrono::steady_clock::time_point last_used;
+  };
+
+  // dial() maps connect errors: ECONNREFUSED is the physical stale binding;
+  // fd exhaustion and the rest are kUnavailable.
+  Status dial(std::uint16_t port, Connection& out);
+  Status acquire(std::uint16_t port, Connection& out);
+  void release(std::uint16_t port, Connection conn);
+  void close_conn(Connection& conn);
+  bool write_frame(int fd, const Envelope& env);
+
+  const TcpOptions options_;
+
+  base::Mutex mutex_{base::lock_rank::kTcpPool};
+  // Idle connections per destination port, oldest first (release appends,
+  // reaping pops from the front).
+  std::unordered_map<std::uint16_t, std::vector<Connection>> pool_
+      GUARDED_BY(mutex_);
+
+  // Syscalls retried after an EINTR interruption (regression visibility for
+  // the signal-mid-transfer case).
+  obs::Counter& io_retries_;
+  // Pool observability: dials (fresh connects), hits (reused sockets),
+  // reconnects (dead keep-alive replaced), reaped (idle-timeout closes),
+  // and the live count of client-side sockets (the soak test's fd bound).
+  obs::Counter& dials_;
+  obs::Counter& pool_hits_;
+  obs::Counter& reconnects_;
+  obs::Counter& reaped_;
+  obs::Gauge& open_conns_;
+};
+
+}  // namespace legion::rt

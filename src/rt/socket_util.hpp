@@ -1,0 +1,47 @@
+// Loopback-socket helpers shared by the TCP-backed runtimes.
+//
+// Both TcpRuntime (thread-per-connection) and EpollRuntime (reactor) create
+// listeners, dial peers, and move whole frames; centralizing the syscall
+// loops keeps the EINTR/EAGAIN/partial-transfer handling — and the listener
+// socket options (SO_REUSEADDR, configurable backlog) — identical in both.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace legion::rt {
+
+// A freshly bound loopback listener. fd < 0 means creation failed (errno
+// preserved from the failing syscall).
+struct ListenerSocket {
+  int fd = -1;
+  std::uint16_t port = 0;
+};
+
+// Binds a TCP listener on 127.0.0.1:`port` (0 = kernel-assigned ephemeral)
+// with SO_REUSEADDR set and the given backlog (<= 0 = SOMAXCONN).
+//
+// SO_REUSEADDR matters for recovery: a host that crashes and is revived on
+// the same port must not fail bind() with EADDRINUSE while the old
+// incarnation's connections drain through TIME_WAIT — exactly the E15
+// stop/rebind path.
+[[nodiscard]] ListenerSocket CreateLoopbackListener(std::uint16_t port,
+                                                    int backlog);
+
+// Sets O_NONBLOCK; returns false (errno preserved) on failure.
+bool SetNonBlocking(int fd);
+
+// Reads exactly `n` bytes, retrying EINTR (counted in `retries`). False on
+// EOF or error. For blocking sockets only.
+bool ReadAll(int fd, void* data, std::size_t n, obs::Counter& retries);
+
+// Writes the whole iovec with gathered sendmsg(MSG_NOSIGNAL), advancing on
+// partial writes, retrying EINTR (counted), and parking in poll(POLLOUT) on
+// EAGAIN/EWOULDBLOCK so nonblocking sockets are handled too. False on error.
+bool WritevAll(int fd, iovec* iov, int iovcnt, obs::Counter& retries);
+
+}  // namespace legion::rt

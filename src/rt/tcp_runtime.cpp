@@ -1,101 +1,16 @@
 #include "rt/tcp_runtime.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
-#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cassert>
 #include <cerrno>
-#include <cstring>
 
-#include "base/serialize.hpp"
+#include "rt/frame.hpp"
+#include "rt/socket_util.hpp"
 
 namespace legion::rt {
-
-namespace {
-
-// Frame: u32 payload length | u64 src | u64 dst | u8 kind | u64 trace_id |
-// u32 hop | u64 span_id | u64 parent_span_id | payload bytes. Frames are
-// self-delimiting, so any number of them multiplex over one persistent
-// stream. (queued_at is receiver-local and deliberately NOT on the wire.)
-constexpr std::size_t kHeaderBytes = 4 + 8 + 8 + 1 + 8 + 4 + 8 + 8;
-constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB sanity cap
-
-// A signal landing mid-transfer interrupts the syscall with EINTR; that is
-// a retry, not a failure — treating it as fatal silently drops frames.
-// `retries` counts the interruptions for observability.
-bool ReadAll(int fd, void* data, std::size_t n, obs::Counter& retries) {
-  char* p = static_cast<char*>(data);
-  while (n > 0) {
-    const ssize_t got = ::read(fd, p, n);
-    if (got < 0) {
-      if (errno == EINTR) {
-        retries.inc();
-        continue;
-      }
-      return false;
-    }
-    if (got == 0) return false;  // peer closed mid-frame
-    p += got;
-    n -= static_cast<std::size_t>(got);
-  }
-  return true;
-}
-
-// Gathered write of the whole frame in one syscall on the fast path,
-// advancing the iovec on partial writes. MSG_NOSIGNAL: a pooled socket whose
-// peer endpoint closed must fail with EPIPE (and reconnect), not kill the
-// process with SIGPIPE.
-bool WritevAll(int fd, iovec* iov, int iovcnt, obs::Counter& retries) {
-  msghdr msg{};
-  msg.msg_iov = iov;
-  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
-  while (msg.msg_iovlen > 0) {
-    const ssize_t written = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
-    if (written < 0) {
-      if (errno == EINTR) {
-        retries.inc();
-        continue;
-      }
-      return false;
-    }
-    std::size_t left = static_cast<std::size_t>(written);
-    while (msg.msg_iovlen > 0 && left >= msg.msg_iov[0].iov_len) {
-      left -= msg.msg_iov[0].iov_len;
-      ++msg.msg_iov;
-      --msg.msg_iovlen;
-    }
-    if (msg.msg_iovlen > 0 && left > 0) {
-      msg.msg_iov[0].iov_base =
-          static_cast<char*>(msg.msg_iov[0].iov_base) + left;
-      msg.msg_iov[0].iov_len -= left;
-    }
-  }
-  return true;
-}
-
-void PutU32(std::uint8_t* out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-void PutU64(std::uint8_t* out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-std::uint32_t GetU32(const std::uint8_t* in) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
-  return v;
-}
-std::uint64_t GetU64(const std::uint8_t* in) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
-  return v;
-}
-
-}  // namespace
 
 TcpRuntime::TcpRuntime() : TcpRuntime(TcpOptions{}) {}
 
@@ -118,20 +33,16 @@ TcpRuntime::~TcpRuntime() {
       base::MutexLock lock(ep->conns_mutex);
       readers.swap(ep->readers);
     }
-    for (auto& t : readers) t.join();
+    for (auto& t : readers) {
+      if (t.joinable()) t.join();
+    }
     base::MutexLock lock(ep->conns_mutex);
     for (int& fd : ep->conn_fds) {
       if (fd >= 0) ::close(fd);
       fd = -1;
     }
   }
-  {
-    base::MutexLock lock(pool_mutex_);
-    for (auto& [_, idle] : pool_) {
-      for (auto& conn : idle) ::close(conn.fd);
-    }
-    pool_.clear();
-  }
+  pool_.close_all();
   base::MutexLock lock(graveyard_mutex_);
   for (auto& t : graveyard_) {
     if (t.joinable()) t.join();
@@ -169,26 +80,14 @@ EndpointId TcpRuntime::create_endpoint(HostId host, std::string label,
   ep->handler = std::move(handler);
   ep->mode = mode;
 
-  // Bind a loopback listener on an ephemeral port.
-  ep->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (ep->listen_fd < 0) return EndpointId{};
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;
-  if (::bind(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr),
-             sizeof addr) != 0 ||
-      ::listen(ep->listen_fd, 64) != 0) {
-    ::close(ep->listen_fd);
-    return EndpointId{};
-  }
-  socklen_t len = sizeof addr;
-  if (::getsockname(ep->listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
-      0) {
-    ::close(ep->listen_fd);
-    return EndpointId{};
-  }
-  ep->port = ntohs(addr.sin_port);
+  // Bind a loopback listener on an ephemeral port (SO_REUSEADDR so a revived
+  // endpoint can rebind a port still draining TIME_WAIT, backlog from
+  // options so connect storms don't overflow the SYN queue).
+  const ListenerSocket listener =
+      CreateLoopbackListener(0, options_.listen_backlog);
+  if (listener.fd < 0) return EndpointId{};
+  ep->listen_fd = listener.fd;
+  ep->port = listener.port;
 
   EndpointId id;
   {
@@ -229,7 +128,9 @@ void TcpRuntime::close_endpoint(EndpointId id) {
   }
   // Readers never run handlers (they only feed the inbox), so the closing
   // thread is never one of them and a plain join is safe.
-  for (auto& t : readers) t.join();
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
   base::MutexLock lock(ep->conns_mutex);
   for (int& fd : ep->conn_fds) {
     if (fd >= 0) ::close(fd);
@@ -258,115 +159,6 @@ TcpRuntime::EndpointPtr TcpRuntime::find(EndpointId id) const {
   return it == endpoints_.end() ? nullptr : it->second;
 }
 
-Status TcpRuntime::dial(std::uint16_t port, Connection& out) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    // Per-message sockets made fd exhaustion easy to hit; it is a local
-    // resource failure, not evidence the binding went stale.
-    if (errno == EMFILE || errno == ENFILE) {
-      return UnavailableError("socket(): fd exhausted");
-    }
-    return UnavailableError(std::string("socket(): ") + std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const int err = errno;
-    ::close(fd);
-    if (err == ECONNREFUSED) {
-      // The physical stale binding: nothing listens there anymore.
-      return StaleBindingError("connection refused");
-    }
-    if (err == EMFILE || err == ENFILE) {
-      return UnavailableError("connect(): fd exhausted");
-    }
-    return UnavailableError(std::string("connect(): ") + std::strerror(err));
-  }
-  dials_.inc();
-  open_conns_.add(1);
-  out.fd = fd;
-  out.reused = false;
-  out.last_used = std::chrono::steady_clock::now();
-  return OkStatus();
-}
-
-Status TcpRuntime::acquire(std::uint16_t port, Connection& out) {
-  {
-    base::MutexLock lock(pool_mutex_);
-    auto it = pool_.find(port);
-    if (it != pool_.end()) {
-      auto& idle = it->second;
-      // Reap idle-timeout expirees, stalest first (release appends, so the
-      // vector is ordered by last use).
-      const auto cutoff = std::chrono::steady_clock::now() - options_.idle_reap;
-      std::size_t dead = 0;
-      while (dead < idle.size() && idle[dead].last_used < cutoff) ++dead;
-      for (std::size_t i = 0; i < dead; ++i) {
-        ::close(idle[i].fd);
-        reaped_.inc();
-        open_conns_.sub(1);
-      }
-      idle.erase(idle.begin(),
-                 idle.begin() + static_cast<std::ptrdiff_t>(dead));
-      if (!idle.empty()) {
-        out = idle.back();  // most recently used: warmest socket
-        idle.pop_back();
-        out.reused = true;
-        pool_hits_.inc();
-        return OkStatus();
-      }
-    }
-  }
-  return dial(port, out);
-}
-
-void TcpRuntime::release(std::uint16_t port, Connection conn) {
-  conn.last_used = std::chrono::steady_clock::now();
-  {
-    base::MutexLock lock(pool_mutex_);
-    auto& idle = pool_[port];
-    if (idle.size() < options_.max_idle_per_peer) {
-      idle.push_back(conn);
-      return;
-    }
-  }
-  // Pool full: the bound on cached fds wins over reuse.
-  close_conn(conn);
-}
-
-void TcpRuntime::close_conn(Connection& conn) {
-  if (conn.fd < 0) return;
-  ::close(conn.fd);
-  conn.fd = -1;
-  open_conns_.sub(1);
-}
-
-bool TcpRuntime::write_frame(int fd, const Envelope& env) {
-  std::uint8_t header[kHeaderBytes];
-  PutU32(header, static_cast<std::uint32_t>(env.payload.size()));
-  PutU64(header + 4, env.src.value);
-  PutU64(header + 12, env.dst.value);
-  header[20] = static_cast<std::uint8_t>(env.kind);
-  PutU64(header + 21, env.trace_id);
-  PutU32(header + 29, env.hop);
-  PutU64(header + 33, env.span_id);
-  PutU64(header + 41, env.parent_span_id);
-  iovec iov[2];
-  iov[0].iov_base = header;
-  iov[0].iov_len = kHeaderBytes;
-  int iovcnt = 1;
-  if (!env.payload.empty()) {
-    iov[1].iov_base = const_cast<std::uint8_t*>(env.payload.data());
-    iov[1].iov_len = env.payload.size();
-    iovcnt = 2;
-  }
-  return WritevAll(fd, iov, iovcnt, io_retries_);
-}
-
 Status TcpRuntime::post(Envelope env) {
   EndpointPtr src = find(env.src);
   if (!src) return InternalError("post from unknown endpoint");
@@ -374,36 +166,9 @@ Status TcpRuntime::post(Envelope env) {
   if (!dst || !dst->alive.load()) {
     return StaleBindingError("destination endpoint closed");
   }
-  const std::uint16_t port = dst->port;
 
-  Connection conn;
-  if (!options_.pooled) {
-    // Ablation baseline: connect, one frame, close.
-    Status st = dial(port, conn);
-    if (!st.ok()) return st;
-    const bool ok = write_frame(conn.fd, env);
-    close_conn(conn);
-    if (!ok) return UnavailableError("short write on TCP send");
-  } else {
-    Status st = acquire(port, conn);
-    if (!st.ok()) return st;
-    bool ok = write_frame(conn.fd, env);
-    if (!ok && conn.reused) {
-      // The cached socket's peer vanished (endpoint closed, listener
-      // restarted) — exactly one reconnect. A refusal here is the stale
-      // binding the Section 4.1.4 repair loop exists for.
-      close_conn(conn);
-      reconnects_.inc();
-      st = dial(port, conn);
-      if (!st.ok()) return st;
-      ok = write_frame(conn.fd, env);
-    }
-    if (!ok) {
-      close_conn(conn);
-      return UnavailableError("short write on TCP send");
-    }
-    release(port, conn);
-  }
+  Status st = pool_.send(dst->port, env);
+  if (!st.ok()) return st;
 
   {
     base::MutexLock lock(src->mutex);
@@ -428,40 +193,69 @@ void TcpRuntime::acceptor_loop(const EndpointPtr& ep) {
   for (;;) {
     const int conn = ::accept(ep->listen_fd, nullptr, nullptr);
     if (conn < 0) {
-      if (errno == EINTR) {
-        io_retries_.inc();
-        continue;  // a signal must not kill the endpoint
+      // Only a closed listener may end this loop: any transient failure that
+      // returns here permanently deafens the endpoint while its port stays
+      // bound — peers then see accepted-but-never-read connections, not
+      // ECONNREFUSED, so the stale-binding repair loop never fires either.
+      if (!ep->alive.load()) return;  // listener closed: endpoint going away
+      switch (errno) {
+        case EINTR:
+          io_retries_.inc();
+          continue;  // a signal must not kill the endpoint
+        case ECONNABORTED:  // peer hung up while queued: their loss only
+          accept_retries_.inc();
+          continue;
+        case EMFILE:  // fd pressure is local and transient; back off until
+        case ENFILE:  // the process (or host) sheds descriptors
+        case ENOBUFS:
+        case ENOMEM:
+          accept_retries_.inc();
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          continue;
+        default:
+          return;  // EBADF/EINVAL etc.: the listener truly is gone
       }
-      return;  // listener closed: endpoint is going away
     }
-    base::MutexLock lock(ep->conns_mutex);
-    if (!ep->alive.load()) {
-      ::close(conn);
-      return;
+    std::thread vacated;
+    {
+      base::MutexLock lock(ep->conns_mutex);
+      if (!ep->alive.load()) {
+        ::close(conn);
+        return;
+      }
+      if (!ep->free_slots.empty()) {
+        // Reuse a slot whose reader exited (peer closed / pool reap) so
+        // connection churn cannot grow conn_fds/readers without bound.
+        const std::size_t slot = ep->free_slots.back();
+        ep->free_slots.pop_back();
+        vacated = std::move(ep->readers[slot]);
+        ep->conn_fds[slot] = conn;
+        ep->readers[slot] =
+            std::thread([this, ep, slot, conn] { reader_loop(ep, slot, conn); });
+      } else {
+        const std::size_t slot = ep->conn_fds.size();
+        ep->conn_fds.push_back(conn);
+        ep->readers.emplace_back(
+            [this, ep, slot, conn] { reader_loop(ep, slot, conn); });
+        reader_slots_.inc();
+      }
     }
-    const std::size_t slot = ep->conn_fds.size();
-    ep->conn_fds.push_back(conn);
-    ep->readers.emplace_back(
-        [this, ep, slot, conn] { reader_loop(ep, slot, conn); });
+    // The vacating reader listed its slot as its last locked action; only
+    // its epilogue remains, so this join is momentary — but it must happen
+    // (outside the lock) before the std::thread object can be destroyed.
+    if (vacated.joinable()) vacated.join();
   }
 }
 
 // Drains frames off one persistent stream until the peer closes it (pool
 // reap, runtime shutdown) or a frame is malformed.
 void TcpRuntime::reader_loop(const EndpointPtr& ep, std::size_t slot, int fd) {
-  std::vector<std::uint8_t> header(kHeaderBytes);
+  std::vector<std::uint8_t> header(kFrameHeaderBytes);
   for (;;) {
     if (!ReadAll(fd, header.data(), header.size(), io_retries_)) break;
-    const std::uint32_t payload_len = GetU32(header.data());
-    if (payload_len > kMaxFrameBytes) break;  // hostile or corrupt frame
     Envelope env;
-    env.src = EndpointId{GetU64(header.data() + 4)};
-    env.dst = EndpointId{GetU64(header.data() + 12)};
-    env.kind = static_cast<DeliveryKind>(header[20]);
-    env.trace_id = GetU64(header.data() + 21);
-    env.hop = GetU32(header.data() + 29);
-    env.span_id = GetU64(header.data() + 33);
-    env.parent_span_id = GetU64(header.data() + 41);
+    const std::uint32_t payload_len = DecodeFrameHeader(header.data(), env);
+    if (payload_len > kMaxFrameBytes) break;  // hostile or corrupt frame
     if (payload_len > 0) {
       std::vector<std::uint8_t> payload(payload_len);
       if (!ReadAll(fd, payload.data(), payload.size(), io_retries_)) break;
@@ -485,10 +279,12 @@ void TcpRuntime::reader_loop(const EndpointPtr& ep, std::size_t slot, int fd) {
     ep->cv.notify_all();
   }
   // The reader owns the close; teardown only shutdowns live fds and closes
-  // whatever is still >= 0 after joining, so there is no double close.
+  // whatever is still >= 0 after joining, so there is no double close. The
+  // freed slot is advertised for acceptor reuse.
   base::MutexLock lock(ep->conns_mutex);
   ::close(fd);
   ep->conn_fds[slot] = -1;
+  ep->free_slots.push_back(slot);
 }
 
 bool TcpRuntime::pop_one(const EndpointPtr& ep, Envelope& out) {

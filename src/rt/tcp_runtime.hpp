@@ -7,15 +7,15 @@
 // ECONNREFUSED — the physical form of a stale binding.
 //
 // The hot path runs over *persistent* connections. A post borrows a
-// keep-alive socket to the destination port from a per-peer pool, writes one
-// length-prefixed frame (33-byte header and payload coalesced into a single
-// writev), and returns the socket for reuse; the receiving endpoint reads
-// frames off each accepted stream until EOF. Sockets whose peer vanished
-// reconnect once, and a refused reconnect surfaces as kStaleBinding so the
-// Section 4.1.4 repair loop fires — while fd-exhaustion (EMFILE/ENFILE) is
-// kUnavailable, never binding invalidation. The historical
-// one-connection-per-message path survives behind TcpOptions::pooled = false
-// as the measured ablation baseline (bench_tcp_throughput, EXPERIMENTS E11).
+// keep-alive socket to the destination port from the shared ConnPool (see
+// rt/conn_pool.hpp for the reuse / reconnect-once / failure-classification
+// contract), writes one length-prefixed frame (rt/frame.hpp), and the
+// receiving endpoint reads frames off each accepted stream until EOF with
+// one reader thread per connection. The historical one-connection-per-message
+// path survives behind TcpOptions::pooled = false as the measured ablation
+// baseline (bench_tcp_throughput, EXPERIMENTS E11). EpollRuntime
+// (rt/epoll_runtime.hpp) is the M:N reactor answer to this design's
+// thread-per-connection and thread-per-endpoint scaling walls.
 #pragma once
 
 #include <atomic>
@@ -30,21 +30,10 @@
 
 #include "base/mutex.hpp"
 #include "base/thread_annotations.hpp"
+#include "rt/conn_pool.hpp"
 #include "rt/runtime.hpp"
 
 namespace legion::rt {
-
-struct TcpOptions {
-  // false = one fresh connect per message (the pre-pool transport), kept
-  // measurable as the ablation baseline.
-  bool pooled = true;
-  // Idle sockets cached per destination port; a release beyond this closes
-  // the socket instead, bounding fd usage per peer.
-  std::size_t max_idle_per_peer = 4;
-  // Idle sockets unused for longer than this are reaped, stalest first,
-  // whenever the pool is touched.
-  std::chrono::microseconds idle_reap{30'000'000};
-};
 
 class TcpRuntime final : public Runtime {
  public:
@@ -104,23 +93,17 @@ class TcpRuntime final : public Runtime {
     std::thread service;  // kServiced only
 
     // Accepted persistent connections: one reader thread per stream. A
-    // reader closes its own fd on exit (marking the slot -1); teardown
-    // shutdowns every live fd, joins the readers, then closes stragglers.
+    // reader closes its own fd on exit, marks the slot -1, and lists it in
+    // free_slots; the acceptor reuses freed slots before growing the
+    // vectors, so connection churn cannot grow them without bound (the
+    // PR 9 slot-leak fix). Teardown shutdowns every live fd, joins the
+    // readers, then closes stragglers.
     base::Mutex conns_mutex{base::lock_rank::kEndpointConns};
     std::vector<int> conn_fds GUARDED_BY(conns_mutex);  // -1 = closed
     std::vector<std::thread> readers GUARDED_BY(conns_mutex);
+    std::vector<std::size_t> free_slots GUARDED_BY(conns_mutex);
   };
   using EndpointPtr = std::shared_ptr<Endpoint>;
-
-  // A checked-out client socket. Ownership is exclusive between acquire()
-  // and release(), so no per-connection lock is needed.
-  struct Connection {
-    int fd = -1;
-    // Borrowed from the pool: the peer may have vanished since the socket
-    // was cached, so a failed write earns one reconnect.
-    bool reused = false;
-    std::chrono::steady_clock::time_point last_used;
-  };
 
   EndpointPtr find(EndpointId id) const;
   void acceptor_loop(const EndpointPtr& ep);
@@ -128,14 +111,6 @@ class TcpRuntime final : public Runtime {
   void service_loop(const EndpointPtr& ep);
   static bool pop_one(const EndpointPtr& ep, Envelope& out);
   void stop_endpoint(const EndpointPtr& ep);
-
-  // Client-side pool. dial() maps connect errors: ECONNREFUSED is the
-  // physical stale binding; fd exhaustion and the rest are kUnavailable.
-  Status dial(std::uint16_t port, Connection& out);
-  Status acquire(std::uint16_t port, Connection& out);
-  void release(std::uint16_t port, Connection conn);
-  void close_conn(Connection& conn);
-  bool write_frame(int fd, const Envelope& env);
 
   // Immutable after construction (copied in the constructor, only read
   // thereafter) — the audited answer to the PR 6 pre-lock-config question.
@@ -146,23 +121,20 @@ class TcpRuntime final : public Runtime {
       GUARDED_BY(map_mutex_);
   std::uint64_t next_endpoint_ GUARDED_BY(map_mutex_) = 1;
 
-  base::Mutex pool_mutex_{base::lock_rank::kTcpPool};
-  // Idle connections per destination port, oldest first (release appends,
-  // reaping pops from the front).
-  std::unordered_map<std::uint16_t, std::vector<Connection>> pool_
-      GUARDED_BY(pool_mutex_);
+  // Client-side connection pool, shared implementation with EpollRuntime.
+  ConnPool pool_{options_, metrics_};
 
   // Syscalls retried after an EINTR interruption (regression visibility for
   // the signal-mid-transfer case).
   obs::Counter& io_retries_{metrics_.counter("rt.eintr_retries")};
-  // Pool observability: dials (fresh connects), hits (reused sockets),
-  // reconnects (dead keep-alive replaced), reaped (idle-timeout closes),
-  // and the live count of client-side sockets (the soak test's fd bound).
-  obs::Counter& dials_{metrics_.counter("rt.tcp.dials")};
-  obs::Counter& pool_hits_{metrics_.counter("rt.tcp.pool_hits")};
-  obs::Counter& reconnects_{metrics_.counter("rt.tcp.reconnects")};
-  obs::Counter& reaped_{metrics_.counter("rt.tcp.reaped")};
-  obs::Gauge& open_conns_{metrics_.gauge("rt.tcp.open_connections")};
+  // accept() failures survived without killing the acceptor (ECONNABORTED
+  // retries and fd-exhaustion backoffs) — the accept-robustness regression
+  // tests assert this moves while delivery continues.
+  obs::Counter& accept_retries_{metrics_.counter("rt.tcp.accept_retries")};
+  // Reader slots ever created (NOT currently occupied): stays flat while
+  // connections churn through freed slots, so the soak test can pin the
+  // slot-reuse behavior directly.
+  obs::Counter& reader_slots_{metrics_.counter("rt.tcp.reader_slots")};
 
   base::Mutex graveyard_mutex_{base::lock_rank::kGraveyard};
   std::vector<std::thread> graveyard_ GUARDED_BY(graveyard_mutex_);

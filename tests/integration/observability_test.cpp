@@ -15,11 +15,51 @@
 #include "core/system.hpp"
 #include "core/well_known.hpp"
 #include "obs/trace_export.hpp"
+#include "rt/epoll_runtime.hpp"
 #include "rt/sim_runtime.hpp"
 #include "sim/sample_objects.hpp"
 
 namespace legion::core {
 namespace {
+
+// Shared structural check: group invoke-opened spans per trace and verify
+// each trace is one connected tree — exactly one root, every parent link
+// lands on a span of the same trace, and every reply/serve leg closes a
+// span its trace opened.
+template <typename Hops>
+void VerifySpanTrees(const Hops& hops) {
+  std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>> trees;
+  for (const auto& h : hops) {
+    if (h.kind != obs::HopKind::kInvoke) continue;
+    ASSERT_NE(h.trace_id, 0u);
+    ASSERT_NE(h.span_id, 0u);
+    trees[h.trace_id][h.span_id] = h.parent_span_id;
+  }
+  ASSERT_FALSE(trees.empty());
+  for (const auto& [trace, parent_of] : trees) {
+    int roots = 0;
+    for (const auto& [span, parent] : parent_of) {
+      if (parent == 0) {
+        ++roots;
+      } else {
+        EXPECT_TRUE(parent_of.count(parent))
+            << "trace " << trace << ": span " << span
+            << " parents unknown span " << parent;
+      }
+    }
+    EXPECT_EQ(roots, 1) << "trace " << trace << " is not a single tree";
+  }
+  for (const auto& h : hops) {
+    if (h.kind == obs::HopKind::kInvoke ||
+        h.kind == obs::HopKind::kBounce ||
+        h.kind == obs::HopKind::kActivate) {
+      continue;
+    }
+    ASSERT_TRUE(trees.count(h.trace_id));
+    EXPECT_TRUE(trees[h.trace_id].count(h.span_id))
+        << to_string(h.kind) << " leg closes unopened span " << h.span_id;
+  }
+}
 
 struct Deployment {
   std::unique_ptr<rt::SimRuntime> runtime;
@@ -74,41 +114,7 @@ TEST(Observability, WorkloadSpansFormConnectedTreesAndExportCleanly) {
       d.runtime->traces().last(d.runtime->traces().capacity());
   ASSERT_FALSE(hops.empty());
 
-  // Group invoke-opened spans per trace and verify each trace is one
-  // connected tree: exactly one root, every parent link lands on a span of
-  // the same trace, and every reply/serve leg closes a span its trace
-  // opened (reply spans nest under their request span by construction).
-  std::map<std::uint64_t, std::map<std::uint64_t, std::uint64_t>> trees;
-  for (const auto& h : hops) {
-    if (h.kind != obs::HopKind::kInvoke) continue;
-    ASSERT_NE(h.trace_id, 0u);
-    ASSERT_NE(h.span_id, 0u);
-    trees[h.trace_id][h.span_id] = h.parent_span_id;
-  }
-  ASSERT_FALSE(trees.empty());
-  for (const auto& [trace, parent_of] : trees) {
-    int roots = 0;
-    for (const auto& [span, parent] : parent_of) {
-      if (parent == 0) {
-        ++roots;
-      } else {
-        EXPECT_TRUE(parent_of.count(parent))
-            << "trace " << trace << ": span " << span
-            << " parents unknown span " << parent;
-      }
-    }
-    EXPECT_EQ(roots, 1) << "trace " << trace << " is not a single tree";
-  }
-  for (const auto& h : hops) {
-    if (h.kind == obs::HopKind::kInvoke ||
-        h.kind == obs::HopKind::kBounce ||
-        h.kind == obs::HopKind::kActivate) {
-      continue;
-    }
-    ASSERT_TRUE(trees.count(h.trace_id));
-    EXPECT_TRUE(trees[h.trace_id].count(h.span_id))
-        << to_string(h.kind) << " leg closes unopened span " << h.span_id;
-  }
+  VerifySpanTrees(hops);
 
   // Export and spot-check the file; full JSON validation runs in CI.
   const std::string path = ::testing::TempDir() + "/legion_obs_trace.json";
@@ -122,6 +128,41 @@ TEST(Observability, WorkloadSpansFormConnectedTreesAndExportCleanly) {
   EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   std::remove(path.c_str());
+}
+
+// The same workload over the M:N socket runtime: span identity rides the
+// 49-byte frame header (trace_id/span_id/parent_span_id), so the trees must
+// reconstruct just as connectedly when every hop crosses a real socket and
+// handlers run on the shared worker pool.
+TEST(Observability, WorkloadSpansFormConnectedTreesOverEpoll) {
+  rt::EpollRuntime runtime;
+  auto jurisdiction = runtime.topology().add_jurisdiction("j");
+  std::vector<HostId> hosts;
+  for (int h = 0; h < 3; ++h) {
+    hosts.push_back(runtime.topology().add_host("h" + std::to_string(h),
+                                                {jurisdiction}, 1e9));
+  }
+  LegionSystem system(runtime, SystemConfig{});
+  ASSERT_TRUE(sim::RegisterSampleObjects(system.registry()).ok());
+  ASSERT_TRUE(system.bootstrap().ok());
+
+  auto setup = system.make_client(hosts[0], "setup");
+  const Loid worker = MakeWorker(*setup, system, jurisdiction);
+  ASSERT_TRUE(worker.valid());
+
+  for (int h = 0; h < 3; ++h) {
+    auto client = system.make_client(hosts[h], "c" + std::to_string(h));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(client->ref(worker).call("Noop", Buffer{}).ok());
+    }
+  }
+  // Calls are synchronous, but the serve-side span close races the reply by
+  // one mailbox hop: settle before snapshotting the ring.
+  runtime.run_until_idle();
+
+  const auto hops = runtime.traces().last(runtime.traces().capacity());
+  ASSERT_FALSE(hops.empty());
+  VerifySpanTrees(hops);
 }
 
 TEST(Observability, FleetRollupsReachTheMonitorOverTheWire) {

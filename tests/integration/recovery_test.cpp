@@ -9,9 +9,11 @@
 // intervention.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "core/test_support.hpp"
+#include "rt/epoll_runtime.hpp"
 
 namespace legion::core {
 namespace {
@@ -202,6 +204,147 @@ TEST_F(RecoveryTest, RecoveryPolicyIsTunable) {
   // The fourth miss delivers the verdict.
   auto after4 = SweepUntilVerdict(1);
   EXPECT_EQ(after4.reactivated, static_cast<std::uint32_t>(counters.size()));
+}
+
+// The same recovery machinery over the M:N socket runtime: probes, verdicts
+// and reactivation ride real TCP frames and real-clock timeouts instead of
+// virtual time. EpollRuntime consults the fault plan on post (TcpRuntime
+// does not), which is what makes host-down/partition experiments expressible
+// over sockets at all.
+class EpollRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_ = std::make_unique<rt::EpollRuntime>();
+    uva_ = runtime_->topology().add_jurisdiction("uva");
+    doe_ = runtime_->topology().add_jurisdiction("doe");
+    uva1_ = runtime_->topology().add_host("uva-1", {uva_}, 8.0);
+    uva2_ = runtime_->topology().add_host("uva-2", {uva_}, 8.0);
+    doe1_ = runtime_->topology().add_host("doe-1", {doe_}, 8.0);
+    doe2_ = runtime_->topology().add_host("doe-2", {doe_}, 8.0);
+
+    system_ = std::make_unique<LegionSystem>(*runtime_, SystemConfig{});
+    ASSERT_TRUE(system_->registry()
+                    .add(std::string(testing::CounterImpl::kName),
+                         [] { return std::make_unique<testing::CounterImpl>(); })
+                    .ok());
+    const Status st = system_->bootstrap();
+    ASSERT_TRUE(st.ok()) << st.to_string();
+    client_ = system_->make_client(uva1_);
+
+    wire::DeriveRequest req;
+    req.name = "Counter";
+    req.instance_impl = std::string(testing::CounterImpl::kName);
+    req.extra_interface = testing::CounterImpl{}.interface();
+    auto reply = client_->derive(LegionObjectLoid(), req);
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+    counter_class_ = reply->loid;
+
+    // Real-clock probes: keep each missed probe to 100 ms so a two-miss
+    // verdict costs ~200 ms of wall time, not two simulated seconds.
+    wire::RecoveryPolicyRequest policy;
+    policy.suspect_threshold = 2;
+    policy.probe_timeout_us = 100'000;
+    ASSERT_TRUE(client_->ref(counter_class_)
+                    .call(methods::kSetRecoveryPolicy, policy.to_buffer())
+                    .ok());
+  }
+
+  void TearDown() override {
+    client_.reset();
+    system_.reset();
+    runtime_.reset();
+  }
+
+  std::vector<Loid> PlaceCountersOnDoe2(int n) {
+    std::vector<Loid> out;
+    for (int i = 0; i < n; ++i) {
+      auto reply = client_->create(counter_class_, CounterInit(i),
+                                   {system_->magistrate_of(doe_)},
+                                   system_->host_object_of(doe2_));
+      EXPECT_TRUE(reply.ok()) << reply.status().to_string();
+      if (reply.ok()) out.push_back(reply->loid);
+    }
+    return out;
+  }
+
+  wire::SweepReply Sweep() {
+    auto raw = client_->ref(counter_class_).call(methods::kSweepInstances,
+                                                 Buffer{});
+    EXPECT_TRUE(raw.ok()) << raw.status().to_string();
+    auto reply = wire::SweepReply::from_buffer(raw.ok() ? *raw : Buffer{});
+    return reply.ok() ? *reply : wire::SweepReply{};
+  }
+
+  std::unique_ptr<rt::EpollRuntime> runtime_;
+  std::unique_ptr<LegionSystem> system_;
+  std::unique_ptr<Client> client_;
+  JurisdictionId uva_, doe_;
+  HostId uva1_, uva2_, doe1_, doe2_;
+  Loid counter_class_;
+};
+
+TEST_F(EpollRecoveryTest, HostOutageReactivatesOverRealSockets) {
+  constexpr int kInstances = 4;
+  const std::vector<Loid> counters = PlaceCountersOnDoe2(kInstances);
+  ASSERT_EQ(counters.size(), static_cast<std::size_t>(kInstances));
+
+  // Mutate and checkpoint everything so recovery must restore live state
+  // through the magistrate's vault, every hop a real TCP exchange.
+  for (int i = 0; i < kInstances; ++i) {
+    ASSERT_TRUE(client_->ref(counters[i]).call("Increment", Buffer{}).ok());
+    wire::LoidRequest req{counters[i]};
+    ASSERT_TRUE(client_->ref(system_->magistrate_of(doe_))
+                    .call(methods::kCheckpoint, req.to_buffer())
+                    .ok());
+  }
+
+  runtime_->faults().take_host_down(doe2_);
+
+  // First missed (real-clock) probe: suspicion only.
+  const auto first = Sweep();
+  EXPECT_GE(first.hosts_probed, 1u);
+  EXPECT_EQ(first.reactivated, 0u);
+  // Second consecutive miss: verdict, and every instance restarts on the
+  // surviving doe host.
+  const auto verdict = Sweep();
+  EXPECT_EQ(verdict.hosts_suspect, 1u);
+  EXPECT_EQ(verdict.reactivated, static_cast<std::uint32_t>(kInstances));
+  EXPECT_EQ(verdict.failed, 0u);
+
+  // The client's cached bindings still name the dead doe-2 endpoints, which
+  // exist but sit behind the fault plan: the first attempt is silently
+  // dropped and must *time out* (not bounce) before the §4.1.4 refresh
+  // finds the reactivated instance. A short per-attempt timeout keeps that
+  // wall-clock wait at 500 ms instead of the 10 s default.
+  for (int i = 0; i < kInstances; ++i) {
+    auto raw = client_->ref(counters[i]).call("Get", Buffer{}, 500'000);
+    ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+    EXPECT_EQ(ReadI64(*raw), i + 1) << "checkpointed state lost in transit";
+  }
+}
+
+TEST_F(EpollRecoveryTest, PartitionHealConvergesOverRealSockets) {
+  const std::vector<Loid> counters = PlaceCountersOnDoe2(3);
+  ASSERT_EQ(counters.size(), 3u);
+
+  for (HostId other : {uva1_, uva2_, doe1_}) {
+    runtime_->faults().partition(doe2_, other);
+  }
+  Sweep();
+  const auto verdict = Sweep();
+  EXPECT_EQ(verdict.reactivated, 3u);
+
+  // Heal: the next probe answers, fences release, and the orphaned doe-2
+  // activations are reaped over the wire.
+  for (HostId other : {uva1_, uva2_, doe1_}) {
+    runtime_->faults().heal(doe2_, other);
+  }
+  const auto healed = Sweep();
+  EXPECT_EQ(healed.fences_released, 3u);
+  for (const Loid& c : counters) {
+    auto raw = client_->ref(c).call("Get", Buffer{});
+    EXPECT_TRUE(raw.ok()) << raw.status().to_string();
+  }
 }
 
 }  // namespace

@@ -1,7 +1,10 @@
-// The persistent-connection pool behind TcpRuntime::post: keep-alive reuse,
-// bounded fd usage under sustained load, connect-failure classification
-// (EMFILE is resource pressure, not a stale binding), and pool consistency
-// under endpoint close/reopen races (run under TSan in CI).
+// The persistent-connection pool behind the socket runtimes' post:
+// keep-alive reuse, bounded fd usage under sustained load, connect-failure
+// classification (EMFILE is resource pressure, not a stale binding), and
+// pool consistency under endpoint close/reopen races (run under TSan in
+// CI). Typed over both socket transports — TcpRuntime (thread-per-
+// connection) and EpollRuntime (M:N reactor) share the ConnPool sender, so
+// every pool invariant must hold identically for both.
 #include <gtest/gtest.h>
 
 #include <sys/resource.h>
@@ -12,15 +15,17 @@
 #include <thread>
 #include <vector>
 
+#include "rt/epoll_runtime.hpp"
 #include "rt/messenger.hpp"
 #include "rt/tcp_runtime.hpp"
 
 namespace legion::rt {
 namespace {
 
+template <typename RuntimeT>
 class TcpPoolTest : public ::testing::Test {
  protected:
-  void MakeTopology(TcpRuntime& rt) {
+  void MakeTopology(Runtime& rt) {
     auto j = rt.topology().add_jurisdiction("j");
     h1_ = rt.topology().add_host("h1", {j}, 1e9);
     h2_ = rt.topology().add_host("h2", {j}, 1e9);
@@ -29,14 +34,17 @@ class TcpPoolTest : public ::testing::Test {
   HostId h1_, h2_;
 };
 
-TEST_F(TcpPoolTest, RoundTripsReuseConnections) {
-  TcpRuntime rt;
-  MakeTopology(rt);
-  Messenger server(rt, h2_, "server", ExecutionMode::kServiced,
+using SocketRuntimes = ::testing::Types<TcpRuntime, EpollRuntime>;
+TYPED_TEST_SUITE(TcpPoolTest, SocketRuntimes);
+
+TYPED_TEST(TcpPoolTest, RoundTripsReuseConnections) {
+  TypeParam rt;
+  this->MakeTopology(rt);
+  Messenger server(rt, this->h2_, "server", ExecutionMode::kServiced,
                    [](ServerContext&, Reader& args) -> Result<Buffer> {
                      return Buffer::FromString(args.str());
                    });
-  Messenger client(rt, h1_, "client", ExecutionMode::kDriver, nullptr);
+  Messenger client(rt, this->h1_, "client", ExecutionMode::kDriver, nullptr);
 
   constexpr int kCalls = 200;
   for (int i = 0; i < kCalls; ++i) {
@@ -56,13 +64,13 @@ TEST_F(TcpPoolTest, RoundTripsReuseConnections) {
   EXPECT_EQ(rt.metrics().counter("rt.tcp.reconnects").value(), 0u);
 }
 
-TEST_F(TcpPoolTest, SoakHoldsBoundedFdsOverTenThousandPosts) {
-  TcpRuntime rt;
-  MakeTopology(rt);
-  const EndpointId sink = rt.create_endpoint(h2_, "sink", [](Envelope&&) {},
-                                             ExecutionMode::kServiced);
+TYPED_TEST(TcpPoolTest, SoakHoldsBoundedFdsOverTenThousandPosts) {
+  TypeParam rt;
+  this->MakeTopology(rt);
+  const EndpointId sink = rt.create_endpoint(
+      this->h2_, "sink", [](Envelope&&) {}, ExecutionMode::kServiced);
   const EndpointId src =
-      rt.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+      rt.create_endpoint(this->h1_, "src", nullptr, ExecutionMode::kDriver);
 
   constexpr std::uint64_t kPosts = 10'000;
   for (std::uint64_t i = 0; i < kPosts; ++i) {
@@ -87,15 +95,15 @@ TEST_F(TcpPoolTest, SoakHoldsBoundedFdsOverTenThousandPosts) {
             rt.options().max_idle_per_peer);
 }
 
-TEST_F(TcpPoolTest, IdleConnectionsAreReaped) {
+TYPED_TEST(TcpPoolTest, IdleConnectionsAreReaped) {
   TcpOptions options;
   options.idle_reap = std::chrono::microseconds(1);  // everything is stale
-  TcpRuntime rt(options);
-  MakeTopology(rt);
-  const EndpointId sink = rt.create_endpoint(h2_, "sink", [](Envelope&&) {},
-                                             ExecutionMode::kServiced);
+  TypeParam rt(options);
+  this->MakeTopology(rt);
+  const EndpointId sink = rt.create_endpoint(
+      this->h2_, "sink", [](Envelope&&) {}, ExecutionMode::kServiced);
   const EndpointId src =
-      rt.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+      rt.create_endpoint(this->h1_, "src", nullptr, ExecutionMode::kDriver);
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(
         rt.post(Envelope{src, sink, DeliveryKind::kData, Buffer{}}).ok());
@@ -111,15 +119,15 @@ TEST_F(TcpPoolTest, IdleConnectionsAreReaped) {
 // invalidation and a pointless Section 4.1.4 repair storm — precisely when
 // the process was starved of descriptors and per-message sockets were the
 // cause. It must surface as kUnavailable.
-TEST_F(TcpPoolTest, FdExhaustionIsUnavailableNotStaleBinding) {
+TYPED_TEST(TcpPoolTest, FdExhaustionIsUnavailableNotStaleBinding) {
   TcpOptions options;
   options.pooled = false;  // force a dial per post
-  TcpRuntime rt(options);
-  MakeTopology(rt);
-  const EndpointId sink = rt.create_endpoint(h2_, "sink", [](Envelope&&) {},
-                                             ExecutionMode::kServiced);
+  TypeParam rt(options);
+  this->MakeTopology(rt);
+  const EndpointId sink = rt.create_endpoint(
+      this->h2_, "sink", [](Envelope&&) {}, ExecutionMode::kServiced);
   const EndpointId src =
-      rt.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+      rt.create_endpoint(this->h1_, "src", nullptr, ExecutionMode::kDriver);
   ASSERT_TRUE(
       rt.post(Envelope{src, sink, DeliveryKind::kData, Buffer{}}).ok());
 
@@ -153,16 +161,16 @@ TEST_F(TcpPoolTest, FdExhaustionIsUnavailableNotStaleBinding) {
 // close/reopen of their target. Every post must resolve to ok, a stale
 // binding (endpoint gone / listener refused), or unavailable — never crash,
 // deadlock, leak a connection past the bound, or deliver to a dead inbox.
-TEST_F(TcpPoolTest, PoolSurvivesEndpointCloseReopenRaces) {
-  TcpRuntime rt;
-  MakeTopology(rt);
+TYPED_TEST(TcpPoolTest, PoolSurvivesEndpointCloseReopenRaces) {
+  TypeParam rt;
+  this->MakeTopology(rt);
   const EndpointId src =
-      rt.create_endpoint(h1_, "src", nullptr, ExecutionMode::kDriver);
+      rt.create_endpoint(this->h1_, "src", nullptr, ExecutionMode::kDriver);
 
   std::atomic<std::uint64_t> current{0};
   auto reopen = [&] {
     const EndpointId id = rt.create_endpoint(
-        h2_, "victim", [](Envelope&&) {}, ExecutionMode::kServiced);
+        this->h2_, "victim", [](Envelope&&) {}, ExecutionMode::kServiced);
     current.store(id.value);
     return id;
   };
@@ -201,16 +209,16 @@ TEST_F(TcpPoolTest, PoolSurvivesEndpointCloseReopenRaces) {
       rt.post(Envelope{src, victim, DeliveryKind::kData, Buffer{}}).ok());
 }
 
-TEST_F(TcpPoolTest, PerMessageAblationStillDelivers) {
+TYPED_TEST(TcpPoolTest, PerMessageAblationStillDelivers) {
   TcpOptions options;
   options.pooled = false;
-  TcpRuntime rt(options);
-  MakeTopology(rt);
-  Messenger server(rt, h2_, "server", ExecutionMode::kServiced,
+  TypeParam rt(options);
+  this->MakeTopology(rt);
+  Messenger server(rt, this->h2_, "server", ExecutionMode::kServiced,
                    [](ServerContext&, Reader&) -> Result<Buffer> {
                      return Buffer::FromString("pong");
                    });
-  Messenger client(rt, h1_, "client", ExecutionMode::kDriver, nullptr);
+  Messenger client(rt, this->h1_, "client", ExecutionMode::kDriver, nullptr);
   constexpr std::uint64_t kCalls = 50;
   for (std::uint64_t i = 0; i < kCalls; ++i) {
     auto reply = client.call(server.endpoint(), "Ping", Buffer{},
