@@ -61,11 +61,17 @@ SIM_BENCHES = [
     # either adds threads per endpoint or it doesn't); create_us masks as
     # unstable. The 100x resident-object ratio is the printed verdict line.
     ("E18", "bench_epoll_scaling"),
+    # E19 spawns real worker processes: spawn latency and calls/s are
+    # wall-clock (masked), but the sibling-availability table is exact
+    # counts and the verdict line asserts 100% availability across kill -9
+    # rounds — the isolation gate the process-isolation CI lane rides on.
+    ("E19", "bench_process_isolation"),
 ]
 
 # Benches whose stdout carries a self-judged budget line; a "verdict: FAIL"
 # fails the check even when every gated table cell matches.
-VERDICT_BENCHES = {"bench_trace_overhead", "bench_epoll_scaling"}
+VERDICT_BENCHES = {"bench_trace_overhead", "bench_epoll_scaling",
+                   "bench_process_isolation"}
 
 
 def parse_tables(text):

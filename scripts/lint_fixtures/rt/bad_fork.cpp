@@ -1,0 +1,22 @@
+// Seeded violation for rule fork-safety: a fork() outside the audited
+// spawn helper (rt/spawn_child.cpp). This child inherits whatever
+// descriptors happen to be open and runs non-fork-safe code before exec —
+// exactly the bug class the rule exists to keep out.
+#include <unistd.h>
+
+namespace fixture {
+
+int spawn_badly() {
+  const int pid = fork();
+  if (pid == 0) {
+    ::execl("/bin/true", "true", nullptr);
+    _exit(127);
+  }
+  return pid;
+}
+
+// Identifiers that merely *end in* fork must not trip the rule.
+inline void my_fork() {}
+inline void fine() { my_fork(); }
+
+}  // namespace fixture

@@ -30,6 +30,13 @@ Rules (each can be waived on a specific line with `// NOLINT(<rule>)`):
                            base::SharedMutex declared in the same file —
                            catches annotations that typo the mutex name and
                            therefore guard nothing.
+  fork-safety              fork()/vfork() may appear only in
+                           rt/spawn_child.cpp, the one audited fork+exec
+                           helper (CLOEXEC discipline, ready-pipe dup2,
+                           async-signal-safe child path, _exit on failure).
+                           A fork anywhere else skips that audit and can
+                           leak descriptors or run non-fork-safe code
+                           (malloc, locks) in the child.
 
 Usage:
   lint_invariants.py [--root DIR] [--src SUBDIR] [--compile-commands PATH]
@@ -52,6 +59,7 @@ RULES = (
     "reader-deserialize-checks",
     "no-blocking-in-sim",
     "guarded-by-names-member",
+    "fork-safety",
 )
 
 CPP_SUFFIXES = {".hpp", ".cpp", ".h", ".cc", ".cxx"}
@@ -84,6 +92,24 @@ BLOCKING_RE = re.compile(
     r"|(?<![\w.>])::?(?:usleep|nanosleep|select|poll|epoll_wait|"
     r"accept|connect|recv|recvmsg|send|sendmsg)\s*\()"
 )
+
+# Bare or ::-qualified fork/vfork calls. The lookbehind rejects members and
+# identifiers that merely end in "fork" (obj.fork(), my_fork()); requiring
+# the nullary call form `fork()` skips unrelated functions *named* fork that
+# take arguments (base::Rng::fork(salt)).
+FORK_RE = re.compile(r"(?<![\w.>:])(?:::)?v?fork\s*\(\s*\)")
+
+# The one file allowed to fork: the audited spawn helper.
+FORK_ALLOWED_NAME = "spawn_child.cpp"
+
+
+def fork_is_declaration(code: str, start: int) -> bool:
+    """True when the fork() at `start` is a declaration (`pid_t fork()`),
+    recognized by a type-ish identifier directly before it; expression
+    keywords (`return fork()`) still count as calls."""
+    m = re.search(r"([A-Za-z_]\w*)\s*$", code[:start])
+    return m is not None and m.group(1) not in {"return", "co_return", "case",
+                                                "do", "else"}
 
 LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
 DESERIALIZE_SIG_RE = re.compile(r"\bDeserialize\s*\(\s*(?:\w+::)*Reader\s*&")
@@ -237,6 +263,19 @@ def check_file(path: Path, rel: Path, text: str) -> list[Violation]:
                 "mark_failed: corrupt length prefixes run unchecked",
             )
 
+    # fork-safety
+    if rel.name != FORK_ALLOWED_NAME:
+        for m in FORK_RE.finditer(code):
+            if fork_is_declaration(code, m.start()):
+                continue
+            add(
+                "fork-safety",
+                line_of(m.start(), code),
+                f"'{m.group(0).strip()}' outside rt/{FORK_ALLOWED_NAME}; "
+                "all process creation must go through the audited spawn "
+                "helper (CLOEXEC + ready-pipe + async-signal-safe child)",
+            )
+
     # no-blocking-in-sim
     if is_sim_tu(rel):
         for m in BLOCKING_RE.finditer(code):
@@ -297,6 +336,7 @@ def self_test(root: Path) -> int:
         "reader-deserialize-checks": "core/bad_deserialize.hpp",
         "no-blocking-in-sim": "rt/sim_runtime_bad.cpp",
         "guarded-by-names-member": "core/bad_guard_typo.hpp",
+        "fork-safety": "rt/bad_fork.cpp",
     }
     violations = run_lint(fixtures.parent, "lint_fixtures", None)
     by_key = {(str(v.path), v.rule) for v in violations}

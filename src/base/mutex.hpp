@@ -42,6 +42,10 @@ inline constexpr int kWorkerPool = 14;
 // rt: the runtime's endpoint map is held (shared) while per-endpoint
 // mutexes are taken beneath it (run_until_idle, stats sweeps).
 inline constexpr int kEndpointMap = 16;
+// rt: ProcessRuntime's child-process table — consulted on post() beneath
+// the endpoint map (unknown dst may be a child), and taken by the reaper
+// with nothing held (bounce delivery reacquires the map afterwards).
+inline constexpr int kProcChildren = 18;
 // rt: per-endpoint inbox/cv state, then tcp per-endpoint connection set.
 inline constexpr int kEndpoint = 20;
 // rt: EpollRuntime scheduler run queues (injector + per-worker deques).

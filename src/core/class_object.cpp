@@ -24,7 +24,12 @@ void ClassDefinition::Serialize(Writer& w) const {
   w.u64(class_id);
   w.str(name);
   w.bytes(public_key);
-  w.u8(flags);
+  // The has-executable marker travels only in the byte stream (the string is
+  // appended after the fixed fields); executable-less definitions keep their
+  // historical encoding byte for byte.
+  w.u8(instance_executable.empty()
+           ? flags
+           : static_cast<std::uint8_t>(flags | wire::kClassFlagHasExecutable));
   w.str(instance_impl);
   w.u32(static_cast<std::uint32_t>(inherited_impls.size()));
   for (const auto& impl : inherited_impls) w.str(impl);
@@ -38,6 +43,7 @@ void ClassDefinition::Serialize(Writer& w) const {
   w.i64(binding_ttl_us);
   w.u32(suspect_threshold);
   w.i64(probe_timeout_us);
+  if (!instance_executable.empty()) w.str(instance_executable);
 }
 
 ClassDefinition ClassDefinition::Deserialize(Reader& r) {
@@ -46,6 +52,8 @@ ClassDefinition ClassDefinition::Deserialize(Reader& r) {
   d.name = r.str();
   d.public_key = r.bytes();
   d.flags = r.u8();
+  const bool has_executable = (d.flags & wire::kClassFlagHasExecutable) != 0;
+  d.flags = static_cast<std::uint8_t>(d.flags & ~wire::kClassFlagHasExecutable);
   d.instance_impl = r.str();
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
@@ -61,6 +69,7 @@ ClassDefinition ClassDefinition::Deserialize(Reader& r) {
   d.binding_ttl_us = r.i64();
   d.suspect_threshold = r.u32();
   d.probe_timeout_us = r.i64();
+  if (has_executable) d.instance_executable = r.str();
   return d;
 }
 
@@ -192,6 +201,7 @@ Result<wire::CreateReply> ClassObjectImpl::Create(
   persist::Opr opr;
   opr.loid = loid;
   opr.implementation = def_.instance_impl_spec();
+  opr.executable = def_.instance_executable;
   opr.state = WrapPrimaryState(req.init_state);
 
   wire::StoreNewRequest store{opr.to_bytes(), suggested_host};
@@ -231,6 +241,7 @@ Result<wire::CreateReply> ClassObjectImpl::CreateReplicated(
   persist::Opr opr;
   opr.loid = loid;
   opr.implementation = def_.instance_impl_spec();
+  opr.executable = def_.instance_executable;
   opr.state = WrapPrimaryState(req.init_state);
 
   wire::StoreNewReplicatedRequest store;
@@ -293,6 +304,11 @@ Result<wire::CreateReply> ClassObjectImpl::Derive(
                              def_.inherited_impls.begin(),
                              def_.inherited_impls.end());
   }
+  // As with instance_impl: an explicit worker binary overrides, an empty one
+  // inherits the superclass's (usually none).
+  d.instance_executable = req.instance_executable.empty()
+                              ? def_.instance_executable
+                              : req.instance_executable;
   d.interface = req.extra_interface;   // subclass additions override,
   d.interface.merge(def_.interface);   // inherited methods follow
   d.interface.set_name(req.name);
@@ -612,6 +628,32 @@ Status ClassObjectImpl::ReactivateInstance(ObjectContext& ctx, TableRow& row,
   return last;
 }
 
+void ClassObjectImpl::CheckHostObjects(ObjectContext& ctx, const Loid& host,
+                                       const std::vector<Loid>& instances,
+                                       wire::SweepReply& out) {
+  // The host answers probes, but with per-process activation a worker can
+  // have died (kill -9) without taking the host down. Ask which of our
+  // placed instances still run; reactivate the dead ones. The host is NOT
+  // condemned — dead_host stays invalid, so no fence is planted and the
+  // host keeps its other objects.
+  if (instances.empty()) return;
+  wire::CheckObjectsRequest check{instances};
+  auto raw = ctx.ref(host).call(methods::kCheckObjects, check.to_buffer());
+  if (!raw.ok()) return;  // pre-process hosts may not export the method
+  auto reply = wire::CheckObjectsReply::from_buffer(*raw);
+  if (!reply.ok()) return;
+  for (const Loid& loid : reply->dead) {
+    TableRow* row = table_.find(loid);
+    if (row == nullptr) continue;
+    ++out.instances_dead;
+    if (ReactivateInstance(ctx, *row, Loid{}).ok()) {
+      ++out.reactivated;
+    } else {
+      ++out.failed;
+    }
+  }
+}
+
 Result<wire::SweepReply> ClassObjectImpl::SweepInstances(ObjectContext& ctx) {
   wire::SweepReply out;
   // Group placed instances by Host Object: one probe per host however many
@@ -634,6 +676,7 @@ Result<wire::SweepReply> ClassObjectImpl::SweepInstances(ObjectContext& ctx) {
     if (probe_host(ctx, host)) {
       missed_probes_.erase(host);
       release_fences(ctx, host, out.fences_released);
+      CheckHostObjects(ctx, host, instances, out);
       continue;
     }
     const std::uint32_t misses = ++missed_probes_[host];

@@ -33,6 +33,9 @@ struct ClassDefinition {
   // Composition of future instances: the class's own implementation plus
   // implementations accumulated through InheritFrom (Section 2.1.1).
   std::string instance_impl;
+  // Worker binary able to host instances as their own OS processes; lands in
+  // every instance OPR's executable field. "" = in-process activation.
+  std::string instance_executable;
   std::vector<std::string> inherited_impls;
   InterfaceDescription interface;
 
@@ -134,6 +137,12 @@ class ClassObjectImpl : public ObjectImpl {
   Result<wire::SweepReply> SweepInstances(ObjectContext& ctx);
   Status ReactivateInstance(ObjectContext& ctx, TableRow& row,
                             const Loid& dead_host);
+  // Process-isolation leg of the sweep: a live host is asked which of the
+  // listed placed instances still run (a worker process can die alone);
+  // dead ones are reactivated without condemning the host.
+  void CheckHostObjects(ObjectContext& ctx, const Loid& host,
+                        const std::vector<Loid>& instances,
+                        wire::SweepReply& out);
 
   // Fresh LOID for a new instance: our class id + sequence number + key
   // (Section 3.2: the class uses the class-specific field as it sees fit).

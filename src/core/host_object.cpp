@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "persist/opr.hpp"
+#include "rt/runtime.hpp"
 
 namespace legion::core {
 
@@ -68,23 +69,56 @@ Result<Binding> HostObjectImpl::StartObject(ObjectContext& ctx,
   if (objects_.contains(opr.loid)) {
     return AlreadyExistsError(opr.loid.to_string() + " already running here");
   }
-  LEGION_ASSIGN_OR_RETURN(auto impls,
-                          services_.registry->instantiate(opr.implementation));
 
-  ActiveObjectConfig config;
-  config.label = LabelFor(opr.implementation);
-  config.cache_capacity = services_.object_cache_capacity;
-  config.binding_ttl_us = services_.binding_ttl_us;
-  auto shell = std::make_unique<ActiveObject>(
-      *services_.runtime, services_.host, opr.loid, std::move(impls),
-      services_.handles, std::move(config));
-  LEGION_RETURN_IF_ERROR(shell->restore(opr.state));
+  Binding binding;
+  EndpointId object_endpoint;
+  Running record;
+  rt::ProcessControl* pc = services_.runtime->process_control();
+  if (!opr.executable.empty() && pc != nullptr) {
+    // The OPR names a worker binary and this runtime can fork/exec: run the
+    // object as its own OS process (the paper's literal address-space-
+    // disjoint model). The host never links the object's code — everything
+    // the worker needs travels in the OPR and the system handles.
+    rt::SpawnSpec spec;
+    spec.executable = opr.executable;
+    spec.host = services_.host;
+    spec.label = opr.loid.to_string();
+    spec.opr_bytes = opr_bytes;
+    Writer hw(spec.handles_bytes);
+    services_.handles.Serialize(hw);
+    LEGION_ASSIGN_OR_RETURN(rt::SpawnInfo info, pc->spawn_object(spec));
 
-  Binding binding = shell->binding();
-  const EndpointId object_endpoint = shell->messenger().endpoint();
-  const std::uint64_t state_size = opr.state.size();
-  memory_used_ += state_size;
-  objects_.emplace(opr.loid, Running{std::move(shell), state_size});
+    binding.loid = opr.loid;
+    binding.address = ObjectAddress{ObjectAddressElement::Sim(info.endpoint)};
+    binding.expires = services_.binding_ttl_us == kSimTimeNever
+                          ? kSimTimeNever
+                          : services_.runtime->now() + services_.binding_ttl_us;
+    object_endpoint = info.endpoint;
+    record.binding = binding;
+    record.endpoint = info.endpoint;
+    record.impl_spec = opr.implementation;
+    record.child = true;
+  } else {
+    LEGION_ASSIGN_OR_RETURN(
+        auto impls, services_.registry->instantiate(opr.implementation));
+
+    ActiveObjectConfig config;
+    config.label = LabelFor(opr.implementation);
+    config.cache_capacity = services_.object_cache_capacity;
+    config.binding_ttl_us = services_.binding_ttl_us;
+    auto shell = std::make_unique<ActiveObject>(
+        *services_.runtime, services_.host, opr.loid, std::move(impls),
+        services_.handles, std::move(config));
+    LEGION_RETURN_IF_ERROR(shell->restore(opr.state));
+
+    binding = shell->binding();
+    object_endpoint = shell->messenger().endpoint();
+    record.shell = std::move(shell);
+  }
+  record.state_size = opr.state.size();
+  record.executable = opr.executable;
+  memory_used_ += record.state_size;
+  objects_.emplace(opr.loid, std::move(record));
   ++stats_.started;
 
   obs::Registry& metrics = services_.runtime->metrics();
@@ -106,6 +140,18 @@ Result<Binding> HostObjectImpl::StartObject(ObjectContext& ctx,
   return binding;
 }
 
+void HostObjectImpl::reap_record(
+    std::unordered_map<Loid, Running>::iterator it) {
+  // Release the admission charge taken at StartObject, so a host that
+  // cycles objects under a memory limit does not fill up while empty.
+  memory_used_ -= std::min(memory_used_, it->second.state_size);
+  // Destroying the shell closes the endpoint: the "process" is reaped.
+  objects_.erase(it);
+  ++stats_.stopped;
+  services_.runtime->metrics().counter("host.objects_stopped").inc();
+  services_.runtime->metrics().gauge("host.active_objects").sub(1);
+}
+
 Result<Buffer> HostObjectImpl::StopObject(ObjectContext& ctx, const Loid& loid,
                                           bool discard_state) {
   auto it = objects_.find(loid);
@@ -115,26 +161,31 @@ Result<Buffer> HostObjectImpl::StopObject(ObjectContext& ctx, const Loid& loid,
   Buffer opr_bytes;
   if (!discard_state) {
     // Fetch the state over the object's own endpoint so the capture
-    // serializes with whatever it is currently doing.
+    // serializes with whatever it is currently doing. For child-backed
+    // objects this crosses the process boundary like any other call.
+    const Binding target = it->second.child ? it->second.binding
+                                            : it->second.shell->binding();
     LEGION_ASSIGN_OR_RETURN(
         Buffer state,
         ctx.shell.resolver().call_binding(
-            it->second.shell->binding(), methods::kSaveState, Buffer{},
+            target, methods::kSaveState, Buffer{},
             ctx.outgoing_env(), rt::Messenger::kDefaultTimeoutUs));
     persist::Opr opr;
     opr.loid = loid;
-    opr.implementation = it->second.shell->impl_spec();
+    opr.implementation = it->second.child ? it->second.impl_spec
+                                          : it->second.shell->impl_spec();
+    opr.executable = it->second.executable;
     opr.state = std::move(state);
     opr_bytes = opr.to_bytes();
   }
-  // Release the admission charge taken at StartObject, so a host that
-  // cycles objects under a memory limit does not fill up while empty.
-  memory_used_ -= std::min(memory_used_, it->second.state_size);
-  // Destroying the shell closes the endpoint: the "process" is reaped.
-  objects_.erase(it);
-  ++stats_.stopped;
-  services_.runtime->metrics().counter("host.objects_stopped").inc();
-  services_.runtime->metrics().gauge("host.active_objects").sub(1);
+  if (it->second.child) {
+    // Graceful SIGTERM -> bounded wait -> SIGKILL; always reaps the pid. A
+    // worker that is already gone is fine — the record is discarded anyway.
+    if (rt::ProcessControl* pc = services_.runtime->process_control()) {
+      (void)pc->stop_child(it->second.endpoint);
+    }
+  }
+  reap_record(it);
   return opr_bytes;
 }
 
@@ -206,9 +257,35 @@ void HostObjectImpl::RegisterMethods(MethodTable& table) {
               w.u32(static_cast<std::uint32_t>(objects_.size()));
               for (const auto& [loid, running] : objects_) {
                 loid.Serialize(w);
-                w.u64(running.shell->exceptions());
+                // Child-backed workers count their own exceptions in their
+                // own address space; the host reports what it can see.
+                w.u64(running.shell ? running.shell->exceptions() : 0);
               }
               return out;
+            });
+  table.add(methods::kCheckObjects,
+            [this](ObjectContext&, Reader& args) -> Result<Buffer> {
+              auto req = wire::CheckObjectsRequest::Deserialize(args);
+              if (!args.ok()) return InvalidArgumentError("bad CheckObjects");
+              // Which of the listed instances still run here? A child-backed
+              // worker may have died (kill -9) while this host stayed
+              // healthy; report it dead ONCE and reap the record so the
+              // class's reactivation can land — possibly back on this very
+              // host. Unknown LOIDs are not reported: the class's view may
+              // simply lag a deactivation or move.
+              rt::ProcessControl* pc = services_.runtime->process_control();
+              wire::CheckObjectsReply reply;
+              for (const Loid& loid : req.loids) {
+                auto it = objects_.find(loid);
+                if (it == objects_.end()) continue;
+                if (!it->second.child) continue;  // in-process: record = alive
+                if (pc != nullptr && pc->child_alive(it->second.endpoint)) {
+                  continue;
+                }
+                reap_record(it);
+                reply.dead.push_back(loid);
+              }
+              return reply.to_buffer();
             });
   table.add(methods::kSetCPULoad,
             [this](ObjectContext&, Reader& args) -> Result<Buffer> {

@@ -88,11 +88,23 @@ class HostObjectImpl final : public ObjectImpl {
   void publish_metrics(ObjectContext& ctx, bool force);
 
   // One running process plus the admission cost it was charged, so
-  // StopObject can release exactly what StartObject reserved.
+  // StopObject can release exactly what StartObject reserved. Child-backed
+  // objects (spawned as their own OS process from a v2 OPR) have no shell:
+  // the worker lives behind `endpoint` in another address space, and the
+  // host keeps only its published binding plus what it needs to rebuild the
+  // OPR on StopObject.
   struct Running {
-    std::unique_ptr<ActiveObject> shell;
+    std::unique_ptr<ActiveObject> shell;  // null when child == true
     std::uint64_t state_size = 0;
+    Binding binding;                      // child path: published address
+    EndpointId endpoint{};                // child path: serving endpoint
+    std::string impl_spec;                // child path: OPR implementation
+    std::string executable;               // preserved into rebuilt OPRs
+    bool child = false;
   };
+  // Reaps one entry's admission charge and accounting (shared by StopObject
+  // and the CheckObjects dead-worker path).
+  void reap_record(std::unordered_map<Loid, Running>::iterator it);
 
   HostServices services_;
   security::PolicyPtr policy_;

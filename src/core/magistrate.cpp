@@ -124,6 +124,10 @@ Result<wire::PlacementReply> MagistrateImpl::Activate(
     return NotFoundError("magistrate does not manage " + loid.to_string());
   }
   LEGION_ASSIGN_OR_RETURN(persist::Opr opr, vaults_.load(inert_it->second));
+  // Process-backed objects ship a v2 OPR naming their recovery checkpoint
+  // (the address the retained copy below lives at); in-process OPRs keep
+  // their v1 bytes untouched.
+  if (!opr.executable.empty()) opr.checkpoint = inert_it->second;
 
   LEGION_ASSIGN_OR_RETURN(Loid host, pick_host(ctx, suggested_host));
   wire::StartObjectRequest start{opr.to_bytes()};
@@ -134,7 +138,8 @@ Result<wire::PlacementReply> MagistrateImpl::Activate(
 
   ++stats_.activations;
   host_states_.erase(host);  // its load just changed
-  active_[loid] = ActiveRecord{reply.binding.address, {host}, opr.implementation};
+  active_[loid] = ActiveRecord{reply.binding.address, {host},
+                               opr.implementation, opr.executable};
   // The on-disk OPR is retained as the object's recovery checkpoint: if the
   // host dies, Reactivate restarts the object from here (the live process
   // holds the only newer state, and it dies with the host).
@@ -157,6 +162,7 @@ Result<wire::PlacementReply> MagistrateImpl::Reactivate(
     return NotFoundError("no checkpoint for " + req.loid.to_string());
   }
   LEGION_ASSIGN_OR_RETURN(persist::Opr opr, vaults_.load(ck->second));
+  if (!opr.executable.empty()) opr.checkpoint = ck->second;
 
   std::vector<Loid> exclude;
   if (req.dead_host.valid()) exclude.push_back(req.dead_host);
@@ -176,8 +182,8 @@ Result<wire::PlacementReply> MagistrateImpl::Reactivate(
   // unreachable host, is fenced by the class object once the host answers
   // probes again. The checkpoint address is unchanged — the restarted
   // process begins from exactly that state.
-  active_[req.loid] =
-      ActiveRecord{reply.binding.address, {host}, opr.implementation};
+  active_[req.loid] = ActiveRecord{reply.binding.address, {host},
+                                   opr.implementation, opr.executable};
   return placement_reply(ctx, req.loid, active_.at(req.loid));
 }
 
@@ -206,17 +212,27 @@ Result<wire::PlacementReply> MagistrateImpl::Checkpoint(ObjectContext& ctx,
   persist::Opr opr;
   opr.loid = loid;
   opr.implementation = it->second.impl_spec;
+  opr.executable = it->second.executable;
   opr.state = std::move(state);
 
   auto ck = checkpoints_.find(loid);
   if (ck != checkpoints_.end()) {
     // Refresh in place so the published checkpoint address stays stable.
+    if (!opr.executable.empty()) opr.checkpoint = ck->second;
     persist::Vault* v = vaults_.vault(ck->second.disk);
     if (v == nullptr) return InternalError("checkpoint vault disappeared");
     LEGION_RETURN_IF_ERROR(v->write(ck->second.path, opr.to_bytes()));
   } else {
     LEGION_ASSIGN_OR_RETURN(persist::PersistentAddress addr,
                             vaults_.store(opr));
+    if (!opr.executable.empty()) {
+      // A process-backed OPR is self-describing: rewrite it to carry its own
+      // vault address, so shipping the bytes alone suffices to revive.
+      opr.checkpoint = addr;
+      persist::Vault* v = vaults_.vault(addr.disk);
+      if (v == nullptr) return InternalError("checkpoint vault disappeared");
+      LEGION_RETURN_IF_ERROR(v->write(addr.path, opr.to_bytes()));
+    }
     ck = checkpoints_.emplace(loid, addr).first;
   }
   ++stats_.checkpoints;
@@ -420,8 +436,8 @@ Result<Binding> MagistrateImpl::StoreNewReplicated(
   }
   ObjectAddress combined{std::move(elements),
                          static_cast<AddressSemantic>(req.semantic), req.k};
-  active_[opr.loid] =
-      ActiveRecord{combined, std::move(used_hosts), opr.implementation};
+  active_[opr.loid] = ActiveRecord{combined, std::move(used_hosts),
+                                   opr.implementation, opr.executable};
   ++stats_.activations;
   ++stats_.received;
   return Binding{opr.loid, std::move(combined),
@@ -481,6 +497,7 @@ Result<Binding> MagistrateImpl::Heal(ObjectContext& ctx, const Loid& loid) {
     persist::Opr opr;
     opr.loid = loid;
     opr.implementation = record.impl_spec;
+    opr.executable = record.executable;
     opr.state = state;
     LEGION_ASSIGN_OR_RETURN(Loid host, pick_host(ctx, Loid{}, occupied));
     wire::StartObjectRequest start{opr.to_bytes()};

@@ -100,6 +100,7 @@ class MagistrateImpl final : public ObjectImpl {
     ObjectAddress address;               // all replica elements
     std::vector<Loid> host_objects;      // one per replica process
     std::string impl_spec;               // implementation behind the OPR
+    std::string executable;              // worker binary ("" = in-process)
   };
   struct CachedHostState {
     sched::HostCandidate candidate;

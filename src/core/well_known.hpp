@@ -108,6 +108,10 @@ inline constexpr std::string_view kGetState = "GetState";
 inline constexpr std::string_view kSetCPULoad = "SetCPULoad";
 inline constexpr std::string_view kSetMemoryUsage = "SetMemoryUsage";
 inline constexpr std::string_view kGetExceptions = "GetExceptions";
+// Per-instance liveness (process isolation): a host can be healthy while a
+// worker process serving one of its objects is not. The sweeping class
+// object asks the host which of its placed instances still run.
+inline constexpr std::string_view kCheckObjects = "CheckObjects";
 
 // Registration calls made by bootstrap components (Section 4.2.1: Host
 // Objects and Magistrates start outside Legion and "contact their class").

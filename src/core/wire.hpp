@@ -206,6 +206,12 @@ inline constexpr std::uint8_t kClassFlagPrivate = 1u << 1;
 inline constexpr std::uint8_t kClassFlagFixed = 1u << 2;
 // Marks a clone (Section 5.2.2); clones refuse further cloning.
 inline constexpr std::uint8_t kClassFlagClone = 1u << 3;
+// Serialization-only marker: the ClassDefinition byte stream carries an
+// instance_executable string after its fixed fields. Never stored in a
+// live definition's flags (stripped on deserialize) — it exists so old
+// executable-less streams stay byte-identical even though ClassDefinition
+// is embedded mid-stream (a trailing-bytes probe can't work there).
+inline constexpr std::uint8_t kClassFlagHasExecutable = 1u << 7;
 
 struct DeriveRequest {
   std::string name;
@@ -213,6 +219,11 @@ struct DeriveRequest {
   InterfaceDescription extra_interface;
   std::uint8_t flags = 0;
   std::vector<Loid> candidate_magistrates;  // empty = superclass default
+  // Path of a worker binary able to host instances of this class as their
+  // own OS processes (lands in every instance OPR's executable field; see
+  // persist::Opr). "" = in-process activation. Appended to the wire format
+  // only when set, so the encoding of executable-less requests is unchanged.
+  std::string instance_executable;
 
   void Serialize(Writer& w) const {
     w.str(name);
@@ -220,6 +231,7 @@ struct DeriveRequest {
     extra_interface.Serialize(w);
     w.u8(flags);
     WriteVector(w, candidate_magistrates);
+    if (!instance_executable.empty()) w.str(instance_executable);
   }
   static DeriveRequest Deserialize(Reader& r) {
     DeriveRequest m;
@@ -228,6 +240,7 @@ struct DeriveRequest {
     m.extra_interface = InterfaceDescription::Deserialize(r);
     m.flags = r.u8();
     m.candidate_magistrates = ReadVector<Loid>(r);
+    if (r.ok() && !r.exhausted()) m.instance_executable = r.str();
     return m;
   }
   LEGION_WIRE_HELPERS(DeriveRequest)
@@ -472,6 +485,9 @@ struct SweepReply {
   std::uint32_t reactivated = 0;      // instances restarted elsewhere
   std::uint32_t failed = 0;           // instances whose reactivation failed
   std::uint32_t fences_released = 0;  // stale copies reaped on revived hosts
+  // Instances whose *process* died on a live host (kill -9 of a worker
+  // child; found via CheckObjects, reactivated without condemning the host).
+  std::uint32_t instances_dead = 0;
 
   void Serialize(Writer& w) const {
     w.u32(hosts_probed);
@@ -479,6 +495,7 @@ struct SweepReply {
     w.u32(reactivated);
     w.u32(failed);
     w.u32(fences_released);
+    w.u32(instances_dead);
   }
   static SweepReply Deserialize(Reader& r) {
     SweepReply m;
@@ -487,6 +504,7 @@ struct SweepReply {
     m.reactivated = r.u32();
     m.failed = r.u32();
     m.fences_released = r.u32();
+    if (r.ok() && !r.exhausted()) m.instances_dead = r.u32();
     return m;
   }
   LEGION_WIRE_HELPERS(SweepReply)
@@ -584,6 +602,31 @@ struct StopObjectReply {
     return StopObjectReply{r.buffer()};
   }
   LEGION_WIRE_HELPERS(StopObjectReply)
+};
+
+// CheckObjects (process-isolation liveness): the class object asks a Host
+// Object — whose own probe just succeeded — which of the listed instances
+// are still running. With per-process activation a worker can die (kill -9)
+// while its host stays healthy, so host-level probing alone cannot see the
+// death; this is the per-instance half of the failure-detection sweep.
+struct CheckObjectsRequest {
+  std::vector<Loid> loids;
+
+  void Serialize(Writer& w) const { WriteVector(w, loids); }
+  static CheckObjectsRequest Deserialize(Reader& r) {
+    return CheckObjectsRequest{ReadVector<Loid>(r)};
+  }
+  LEGION_WIRE_HELPERS(CheckObjectsRequest)
+};
+
+struct CheckObjectsReply {
+  std::vector<Loid> dead;  // listed instances no longer running here
+
+  void Serialize(Writer& w) const { WriteVector(w, dead); }
+  static CheckObjectsReply Deserialize(Reader& r) {
+    return CheckObjectsReply{ReadVector<Loid>(r)};
+  }
+  LEGION_WIRE_HELPERS(CheckObjectsReply)
 };
 
 struct HostStateReply {

@@ -15,15 +15,24 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <unordered_set>
+#include <utility>
 
 #include "base/mutex.hpp"
 #include "base/rng.hpp"
+#include "base/status.hpp"
 #include "base/thread_annotations.hpp"
 #include "base/types.hpp"
 #include "net/topology.hpp"
 
 namespace legion::net {
+
+// Process-level faults a runtime with real child processes can inject.
+// kKill is `kill -9` (the child vanishes mid-request; in-flight calls must
+// fail kUnavailable); kStop/kResume are SIGSTOP/SIGCONT (the child exists
+// but makes no progress, so calls time out — the wedged-host scenario).
+enum class ChildFault : std::uint8_t { kKill = 0, kStop = 1, kResume = 2 };
 
 class FaultPlan {
  public:
@@ -95,7 +104,51 @@ class FaultPlan {
     return active_.load(std::memory_order_relaxed) != 0;
   }
 
+  // --- Child-process faults -------------------------------------------
+  //
+  // Unlike drops/partitions (consulted passively at delivery time), child
+  // faults act on real OS processes, so the plan dispatches to an injector
+  // the owning runtime registers (ProcessRuntime: signal the child's pid).
+  // Runtimes without child processes leave the injector unset and these
+  // calls fail kUnimplemented — a test asking an in-process runtime to
+  // kill -9 an object is a bug, not a no-op.
+
+  using ChildFaultInjector =
+      std::function<Status(std::uint64_t child_endpoint, ChildFault fault)>;
+
+  void set_child_fault_injector(ChildFaultInjector injector) {
+    base::WriterMutexLock lock(mutex_);
+    child_injector_ = std::move(injector);
+  }
+
+  // kill -9 the worker process serving `child_endpoint`.
+  Status kill_child(std::uint64_t child_endpoint) {
+    return inject_child_fault(child_endpoint, ChildFault::kKill);
+  }
+  // SIGSTOP / SIGCONT the worker process serving `child_endpoint`.
+  Status stop_child(std::uint64_t child_endpoint) {
+    return inject_child_fault(child_endpoint, ChildFault::kStop);
+  }
+  Status resume_child(std::uint64_t child_endpoint) {
+    return inject_child_fault(child_endpoint, ChildFault::kResume);
+  }
+
  private:
+  Status inject_child_fault(std::uint64_t child_endpoint, ChildFault fault) {
+    ChildFaultInjector injector;
+    {
+      base::ReaderMutexLock lock(mutex_);
+      injector = child_injector_;
+    }
+    // Invoked outside the lock: the injector signals processes and touches
+    // the runtime's child table, which must not nest under the fault plan.
+    if (!injector) {
+      return UnimplementedError(
+          "no child-fault injector: runtime has no child processes");
+    }
+    return injector(child_endpoint, fault);
+  }
+
   static std::uint64_t key(HostId a, HostId b) {
     const std::uint64_t lo = a.value < b.value ? a.value : b.value;
     const std::uint64_t hi = a.value < b.value ? b.value : a.value;
@@ -107,6 +160,7 @@ class FaultPlan {
   std::array<std::atomic<double>, kNumLatencyClasses> drop_p_{};
   std::unordered_set<std::uint64_t> partitions_ GUARDED_BY(mutex_);
   std::unordered_set<std::uint32_t> down_ GUARDED_BY(mutex_);
+  ChildFaultInjector child_injector_ GUARDED_BY(mutex_);
   std::atomic<int> active_{0};
 };
 

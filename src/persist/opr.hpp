@@ -4,10 +4,14 @@
 //  represents an Inert object, and that can be used by a Magistrate to
 //  activate the object."
 //
-// An OPR here carries the object's LOID, the name of its implementation
-// (standing in for "an executable file / the name of an executable" — see
-// DESIGN.md substitutions), and the state produced by SaveState(). The whole
-// thing round-trips through a flat byte buffer, as the paper requires.
+// An OPR here carries the object's LOID, the name of its implementation,
+// the state produced by SaveState(), and — per the paper's "an executable
+// file / the name of an executable" reading of §3.1.1 — optionally the path
+// of a worker executable plus the Vault checkpoint the state was loaded
+// from. With the executable field set, a magistrate can activate the object
+// as its own OS process (ProcessRuntime) without ever having linked against
+// the object's code. The whole thing round-trips through a flat byte
+// buffer, as the paper requires.
 #pragma once
 
 #include <string>
@@ -19,42 +23,6 @@
 #include "base/types.hpp"
 
 namespace legion::persist {
-
-struct ObjectPersistentRepresentation {
-  Loid loid;
-  std::string implementation;  // key into the ImplementationRegistry
-  Buffer state;                // output of SaveState()
-
-  void Serialize(Writer& w) const {
-    loid.Serialize(w);
-    w.str(implementation);
-    w.buffer(state);
-  }
-  static ObjectPersistentRepresentation Deserialize(Reader& r) {
-    ObjectPersistentRepresentation opr;
-    opr.loid = Loid::Deserialize(r);
-    opr.implementation = r.str();
-    opr.state = r.buffer();
-    return opr;
-  }
-
-  [[nodiscard]] Buffer to_bytes() const {
-    Buffer out;
-    Writer w(out);
-    Serialize(w);
-    return out;
-  }
-  static Result<ObjectPersistentRepresentation> from_bytes(const Buffer& b) {
-    Reader r(b);
-    auto opr = Deserialize(r);
-    if (!r.ok() || !r.exhausted()) {
-      return InvalidArgumentError("malformed OPR bytes");
-    }
-    return opr;
-  }
-};
-
-using Opr = ObjectPersistentRepresentation;
 
 // "The Object Persistent Address of an Inert object ... will typically be a
 //  file name, and will only be meaningful within the Jurisdiction in which
@@ -81,5 +49,87 @@ struct PersistentAddress {
     return a.disk == b.disk && a.path == b.path;
   }
 };
+
+struct ObjectPersistentRepresentation {
+  // Version sentinel for the serialized form. A v1 OPR begins with the
+  // LOID's u64 class id — a small integer — so this reserved value can
+  // never alias a real v1 byte stream. v2 streams are
+  //   sentinel | u32 version | v1 fields | executable | checkpoint
+  // and to_bytes() emits v1 whenever the v2 fields are empty, keeping every
+  // pre-existing OPR byte stream (vault contents, bench fixtures) and its
+  // hash identical.
+  static constexpr std::uint64_t kVersionSentinel = 0xFFFF'FFFF'FFFF'FF50ull;
+  static constexpr std::uint32_t kVersion2 = 2;
+
+  Loid loid;
+  std::string implementation;  // key into the ImplementationRegistry
+  Buffer state;                // output of SaveState()
+  // v2: path of a worker binary able to host this object as its own OS
+  // process. Empty = in-process activation only (the v1 behavior).
+  std::string executable;
+  // v2: the Vault checkpoint this OPR's state was loaded from (invalid when
+  // the state is creation-time, not checkpointed).
+  PersistentAddress checkpoint;
+
+  [[nodiscard]] bool has_v2_fields() const {
+    return !executable.empty() || checkpoint.valid();
+  }
+
+  void Serialize(Writer& w) const {
+    if (has_v2_fields()) {
+      w.u64(kVersionSentinel);
+      w.u32(kVersion2);
+    }
+    loid.Serialize(w);
+    w.str(implementation);
+    w.buffer(state);
+    if (has_v2_fields()) {
+      w.str(executable);
+      checkpoint.Serialize(w);
+    }
+  }
+  static ObjectPersistentRepresentation Deserialize(Reader& r) {
+    ObjectPersistentRepresentation opr;
+    std::uint32_t version = 1;
+    const std::uint64_t first = r.u64();
+    if (first == kVersionSentinel) {
+      version = r.u32();
+      if (version < 2) {
+        // A sentinel-prefixed stream claiming v1 is corrupt, not legacy.
+        r.mark_failed();
+        return opr;
+      }
+      opr.loid = Loid::Deserialize(r);
+    } else {
+      // v1: `first` was the LOID's class id; the rest of the LOID follows.
+      const std::uint64_t class_specific = r.u64();
+      opr.loid = Loid(first, class_specific, r.bytes());
+    }
+    opr.implementation = r.str();
+    opr.state = r.buffer();
+    if (version >= 2) {
+      opr.executable = r.str();
+      opr.checkpoint = PersistentAddress::Deserialize(r);
+    }
+    return opr;
+  }
+
+  [[nodiscard]] Buffer to_bytes() const {
+    Buffer out;
+    Writer w(out);
+    Serialize(w);
+    return out;
+  }
+  static Result<ObjectPersistentRepresentation> from_bytes(const Buffer& b) {
+    Reader r(b);
+    auto opr = Deserialize(r);
+    if (!r.ok() || !r.exhausted()) {
+      return InvalidArgumentError("malformed OPR bytes");
+    }
+    return opr;
+  }
+};
+
+using Opr = ObjectPersistentRepresentation;
 
 }  // namespace legion::persist

@@ -13,14 +13,73 @@
 
 namespace legion::rt {
 
-ConnPool::ConnPool(const TcpOptions& options, obs::Registry& registry)
+ConnPool::Dialer ConnPool::LoopbackDialer() {
+  return [](std::uint64_t key) -> Result<int> {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      // Per-message sockets made fd exhaustion easy to hit; it is a local
+      // resource failure, not evidence the binding went stale.
+      if (errno == EMFILE || errno == ENFILE) {
+        return UnavailableError("socket(): fd exhausted");
+      }
+      return UnavailableError(std::string("socket(): ") +
+                              std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(key));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      const int err = errno;
+      ::close(fd);
+      if (err == ECONNREFUSED) {
+        // The physical stale binding: nothing listens there anymore.
+        return StaleBindingError("connection refused");
+      }
+      if (err == EMFILE || err == ENFILE) {
+        return UnavailableError("connect(): fd exhausted");
+      }
+      return UnavailableError(std::string("connect(): ") + std::strerror(err));
+    }
+    return fd;
+  };
+}
+
+std::string ConnPool::UnixSocketPath(const std::string& socket_dir,
+                                     std::uint64_t key) {
+  return socket_dir + "/ep-" + std::to_string(key) + ".sock";
+}
+
+ConnPool::Dialer ConnPool::UnixDialer(std::string socket_dir) {
+  return [dir = std::move(socket_dir)](std::uint64_t key) -> Result<int> {
+    const int fd = DialUnix(UnixSocketPath(dir, key));
+    if (fd >= 0) return fd;
+    const int err = errno;
+    if (err == ENOENT || err == ECONNREFUSED) {
+      // The socket file was never bound, was unlinked on endpoint close, or
+      // belongs to a process that died: nothing serves this endpoint.
+      return StaleBindingError("unix socket gone");
+    }
+    if (err == EMFILE || err == ENFILE) {
+      return UnavailableError("connect(): fd exhausted");
+    }
+    return UnavailableError(std::string("connect(unix): ") +
+                            std::strerror(err));
+  };
+}
+
+ConnPool::ConnPool(const TcpOptions& options, obs::Registry& registry,
+                   Dialer dialer, const std::string& metric_prefix)
     : options_(options),
+      dialer_(std::move(dialer)),
       io_retries_(registry.counter("rt.eintr_retries")),
-      dials_(registry.counter("rt.tcp.dials")),
-      pool_hits_(registry.counter("rt.tcp.pool_hits")),
-      reconnects_(registry.counter("rt.tcp.reconnects")),
-      reaped_(registry.counter("rt.tcp.reaped")),
-      open_conns_(registry.gauge("rt.tcp.open_connections")) {}
+      dials_(registry.counter(metric_prefix + ".dials")),
+      pool_hits_(registry.counter(metric_prefix + ".pool_hits")),
+      reconnects_(registry.counter(metric_prefix + ".reconnects")),
+      reaped_(registry.counter(metric_prefix + ".reaped")),
+      open_conns_(registry.gauge(metric_prefix + ".open_connections")) {}
 
 ConnPool::~ConnPool() { close_all(); }
 
@@ -35,46 +94,21 @@ void ConnPool::close_all() {
   pool_.clear();
 }
 
-Status ConnPool::dial(std::uint16_t port, Connection& out) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    // Per-message sockets made fd exhaustion easy to hit; it is a local
-    // resource failure, not evidence the binding went stale.
-    if (errno == EMFILE || errno == ENFILE) {
-      return UnavailableError("socket(): fd exhausted");
-    }
-    return UnavailableError(std::string("socket(): ") + std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const int err = errno;
-    ::close(fd);
-    if (err == ECONNREFUSED) {
-      // The physical stale binding: nothing listens there anymore.
-      return StaleBindingError("connection refused");
-    }
-    if (err == EMFILE || err == ENFILE) {
-      return UnavailableError("connect(): fd exhausted");
-    }
-    return UnavailableError(std::string("connect(): ") + std::strerror(err));
-  }
+Status ConnPool::dial(std::uint64_t key, Connection& out) {
+  Result<int> fd = dialer_(key);
+  if (!fd.ok()) return fd.status();
   dials_.inc();
   open_conns_.add(1);
-  out.fd = fd;
+  out.fd = *fd;
   out.reused = false;
   out.last_used = std::chrono::steady_clock::now();
   return OkStatus();
 }
 
-Status ConnPool::acquire(std::uint16_t port, Connection& out) {
+Status ConnPool::acquire(std::uint64_t key, Connection& out) {
   {
     base::MutexLock lock(mutex_);
-    auto it = pool_.find(port);
+    auto it = pool_.find(key);
     if (it != pool_.end()) {
       auto& idle = it->second;
       // Reap idle-timeout expirees, stalest first (release appends, so the
@@ -98,14 +132,14 @@ Status ConnPool::acquire(std::uint16_t port, Connection& out) {
       }
     }
   }
-  return dial(port, out);
+  return dial(key, out);
 }
 
-void ConnPool::release(std::uint16_t port, Connection conn) {
+void ConnPool::release(std::uint64_t key, Connection conn) {
   conn.last_used = std::chrono::steady_clock::now();
   {
     base::MutexLock lock(mutex_);
-    auto& idle = pool_[port];
+    auto& idle = pool_[key];
     if (idle.size() < options_.max_idle_per_peer) {
       idle.push_back(conn);
       return;
@@ -137,18 +171,18 @@ bool ConnPool::write_frame(int fd, const Envelope& env) {
   return WritevAll(fd, iov, iovcnt, io_retries_);
 }
 
-Status ConnPool::send(std::uint16_t port, const Envelope& env) {
+Status ConnPool::send(std::uint64_t key, const Envelope& env) {
   Connection conn;
   if (!options_.pooled) {
     // Ablation baseline: connect, one frame, close.
-    Status st = dial(port, conn);
+    Status st = dial(key, conn);
     if (!st.ok()) return st;
     const bool ok = write_frame(conn.fd, env);
     close_conn(conn);
-    if (!ok) return UnavailableError("short write on TCP send");
+    if (!ok) return UnavailableError("short write on socket send");
     return OkStatus();
   }
-  Status st = acquire(port, conn);
+  Status st = acquire(key, conn);
   if (!st.ok()) return st;
   bool ok = write_frame(conn.fd, env);
   if (!ok && conn.reused) {
@@ -157,15 +191,15 @@ Status ConnPool::send(std::uint16_t port, const Envelope& env) {
     // binding the Section 4.1.4 repair loop exists for.
     close_conn(conn);
     reconnects_.inc();
-    st = dial(port, conn);
+    st = dial(key, conn);
     if (!st.ok()) return st;
     ok = write_frame(conn.fd, env);
   }
   if (!ok) {
     close_conn(conn);
-    return UnavailableError("short write on TCP send");
+    return UnavailableError("short write on socket send");
   }
-  release(port, conn);
+  release(key, conn);
   return OkStatus();
 }
 

@@ -1,21 +1,30 @@
 // Per-destination pool of persistent client sockets (the sending half of
-// the TCP transports).
+// the socket transports).
 //
-// A post borrows a keep-alive socket to the destination port, writes one
+// A post borrows a keep-alive socket to the destination, writes one
 // length-prefixed frame (header and payload coalesced into a single
 // sendmsg), and returns the socket for reuse — MRU first, so the warmest
 // socket is always next out. Idle sockets are reaped stalest-first on every
 // pool touch. Sockets whose peer vanished reconnect exactly once, and a
 // refused reconnect surfaces as kStaleBinding so the Section 4.1.4 repair
 // loop fires — while fd exhaustion (EMFILE/ENFILE) is kUnavailable, never
-// binding invalidation. Shared verbatim by TcpRuntime and EpollRuntime so
-// the two transports cannot drift apart in failure classification.
+// binding invalidation. Shared verbatim by TcpRuntime, EpollRuntime and
+// ProcessRuntime so the transports cannot drift apart in failure
+// classification.
+//
+// How a destination becomes a socket is the transport's business: the pool
+// keys connections by an opaque 64-bit id and dials through an injected
+// `Dialer`. The TCP runtimes key by listener port and dial loopback; the
+// process runtime keys by endpoint id and dials the endpoint's Unix-domain
+// socket path.
 #pragma once
 
 #include <sys/socket.h>
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -31,7 +40,7 @@ struct TcpOptions {
   // false = one fresh connect per message (the pre-pool transport), kept
   // measurable as the ablation baseline.
   bool pooled = true;
-  // Idle sockets cached per destination port; a release beyond this closes
+  // Idle sockets cached per destination; a release beyond this closes
   // the socket instead, bounding fd usage per peer.
   std::size_t max_idle_per_peer = 4;
   // Idle sockets unused for longer than this are reaped, stalest first,
@@ -46,15 +55,34 @@ struct TcpOptions {
 
 class ConnPool {
  public:
-  ConnPool(const TcpOptions& options, obs::Registry& registry);
+  // Maps a destination key to a freshly connected fd, classifying connect
+  // errors (nothing-listens-there must be kStaleBinding, resource
+  // exhaustion kUnavailable).
+  using Dialer = std::function<Result<int>(std::uint64_t key)>;
+
+  // The classic TCP transport dialer: key = loopback port.
+  static Dialer LoopbackDialer();
+  // UDS dialer for the process transport: key = endpoint id, path =
+  // `<dir>/ep-<key>.sock`. ENOENT/ECONNREFUSED — the socket file is gone or
+  // orphaned — is the physical stale binding.
+  static Dialer UnixDialer(std::string socket_dir);
+  // The Unix-domain socket path UnixDialer(dir) connects to for `key`.
+  static std::string UnixSocketPath(const std::string& socket_dir,
+                                    std::uint64_t key);
+
+  // `metric_prefix` namespaces the pool gauges ("rt.tcp" for the TCP
+  // transports, "rt.proc.pool" for the process transport).
+  ConnPool(const TcpOptions& options, obs::Registry& registry, Dialer dialer,
+           const std::string& metric_prefix = "rt.tcp");
   ~ConnPool();
 
   ConnPool(const ConnPool&) = delete;
   ConnPool& operator=(const ConnPool&) = delete;
 
-  // Writes `env` as one frame to 127.0.0.1:`port`, honoring the pooled /
-  // per-message mode and the reconnect-once contract described above.
-  Status send(std::uint16_t port, const Envelope& env);
+  // Writes `env` as one frame to the destination named by `key`, honoring
+  // the pooled / per-message mode and the reconnect-once contract described
+  // above.
+  Status send(std::uint64_t key, const Envelope& env);
 
   // Closes every cached idle socket (runtime teardown).
   void close_all();
@@ -70,20 +98,19 @@ class ConnPool {
     std::chrono::steady_clock::time_point last_used;
   };
 
-  // dial() maps connect errors: ECONNREFUSED is the physical stale binding;
-  // fd exhaustion and the rest are kUnavailable.
-  Status dial(std::uint16_t port, Connection& out);
-  Status acquire(std::uint16_t port, Connection& out);
-  void release(std::uint16_t port, Connection conn);
+  Status dial(std::uint64_t key, Connection& out);
+  Status acquire(std::uint64_t key, Connection& out);
+  void release(std::uint64_t key, Connection conn);
   void close_conn(Connection& conn);
   bool write_frame(int fd, const Envelope& env);
 
   const TcpOptions options_;
+  const Dialer dialer_;
 
   base::Mutex mutex_{base::lock_rank::kTcpPool};
-  // Idle connections per destination port, oldest first (release appends,
+  // Idle connections per destination, oldest first (release appends,
   // reaping pops from the front).
-  std::unordered_map<std::uint16_t, std::vector<Connection>> pool_
+  std::unordered_map<std::uint64_t, std::vector<Connection>> pool_
       GUARDED_BY(mutex_);
 
   // Syscalls retried after an EINTR interruption (regression visibility for

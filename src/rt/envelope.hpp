@@ -19,6 +19,12 @@ namespace legion::rt {
 enum class DeliveryKind : std::uint8_t {
   kData = 0,
   kBounce = 1,
+  // A bounce whose cause is a dead worker process, not a stale binding: the
+  // destination was valid when the request was sent, but the address-space
+  // it named exited before replying. The communication layer maps this to
+  // kUnavailable (retry elsewhere after reactivation), never kTimeout — the
+  // caller must not wait out a full deadline to learn the peer is gone.
+  kBounceUnavailable = 2,
 };
 
 struct Envelope {

@@ -647,7 +647,8 @@ void EpollRuntime::reactor_loop() {
         // Accept everything queued. The error discipline mirrors the fixed
         // TcpRuntime acceptor: transient failures must never deafen a host.
         for (;;) {
-          const int conn = ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK);
+          const int conn =
+              ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
           if (conn < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK) break;
             if (errno == EINTR) {

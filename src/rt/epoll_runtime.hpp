@@ -215,7 +215,7 @@ class EpollRuntime final : public Runtime {
   Rng rng_ GUARDED_BY(rng_mutex_);
 
   // Client-side connection pool, shared implementation with TcpRuntime.
-  ConnPool pool_{options_.tcp, metrics_};
+  ConnPool pool_{options_.tcp, metrics_, ConnPool::LoopbackDialer()};
 
   obs::Counter& io_retries_{metrics_.counter("rt.eintr_retries")};
   // accept() failures survived without deafening a host listener

@@ -258,9 +258,10 @@ obs::Histogram& Messenger::method_service_hist(std::string_view method) {
 
 void Messenger::on_message(Envelope&& env) {
   Reader r(env.payload);
-  if (env.kind == DeliveryKind::kBounce) {
+  if (env.kind == DeliveryKind::kBounce ||
+      env.kind == DeliveryKind::kBounceUnavailable) {
     record_hop(obs::HopKind::kBounce, env, {});
-    handle_bounce(r);
+    handle_bounce(r, env.kind);
     return;
   }
   const auto kind = static_cast<FrameKind>(r.u8());
@@ -365,14 +366,23 @@ void Messenger::handle_reply(Reader& r) {
   promise.set(ReplyMsg{Status{code, std::move(message)}, std::move(result)});
 }
 
-void Messenger::handle_bounce(Reader& r) {
+void Messenger::handle_bounce(Reader& r, DeliveryKind kind_of_bounce) {
   // The payload is one of *our own* frames returned undelivered. Only
-  // bounced requests matter: fail the pending call with kStaleBinding so the
-  // object's communication layer can refresh its binding and retry.
+  // bounced requests matter: fail the pending call so the object's
+  // communication layer reacts — kStaleBinding (refresh the binding and
+  // retry) for an endpoint that no longer exists, kUnavailable for a worker
+  // process that exited with the request in flight (the binding was valid;
+  // the address space behind it died — retry after reactivation, and never
+  // burn a full timeout discovering it).
   const auto kind = static_cast<FrameKind>(r.u8());
   if (kind != FrameKind::kRequest) return;
   const std::uint64_t call_id = r.u64();
   if (!r.ok()) return;
+  if (kind_of_bounce == DeliveryKind::kBounceUnavailable) {
+    fail_pending(call_id,
+                 UnavailableError("request bounced: worker process exited"));
+    return;
+  }
   fail_pending(call_id, StaleBindingError("request bounced: endpoint gone"));
 }
 

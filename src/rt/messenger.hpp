@@ -157,7 +157,7 @@ class Messenger {
   void on_message(Envelope&& env);
   void handle_request(Envelope&& env, Reader& r);
   void handle_reply(Reader& r);
-  void handle_bounce(Reader& r);
+  void handle_bounce(Reader& r, DeliveryKind kind_of_bounce);
   void fail_pending(std::uint64_t call_id, Status status);
   void record_hop(obs::HopKind kind, const Envelope& env,
                   std::string_view method, std::uint32_t queue_us = 0,

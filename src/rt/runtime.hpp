@@ -23,7 +23,9 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "base/buffer.hpp"
 #include "base/status.hpp"
 #include "base/types.hpp"
 #include "net/fault.hpp"
@@ -65,6 +67,63 @@ struct RuntimeStats {
   std::uint64_t bounced = 0;
   std::uint64_t dropped = 0;
   std::uint64_t by_latency_class[net::kNumLatencyClasses] = {0, 0, 0};
+};
+
+// Everything a host object needs to run one Legion object as its own OS
+// process (the paper's literal model: objects are address-space-disjoint and
+// independently schedulable). Exposed by runtimes that can fork/exec real
+// workers — Runtime::process_control() returns nullptr everywhere else, so
+// core-layer code degrades to in-process activation without a compile-time
+// dependency on any concrete runtime.
+struct SpawnSpec {
+  // Path to the worker binary (from the OPR's executable field): a
+  // magistrate can revive an object it has never linked against.
+  std::string executable;
+  // Host the child is accounted to (fault plan, host_of, metrics).
+  HostId host;
+  // Stable identity label (the LOID string) — reused labels count as
+  // respawns of the same logical object.
+  std::string label;
+  // Serialized persist::Opr (implementation + state) the worker activates
+  // from, and the serialized system handles its shell bootstraps with.
+  Buffer opr_bytes;
+  Buffer handles_bytes;
+};
+
+struct SpawnInfo {
+  EndpointId endpoint;  // the worker's serving endpoint, routable via post()
+  std::int64_t pid = -1;
+};
+
+struct ChildInfo {
+  EndpointId endpoint;
+  std::int64_t pid = -1;
+  std::string label;
+  HostId host;
+  bool alive = false;
+};
+
+class ProcessControl {
+ public:
+  virtual ~ProcessControl() = default;
+
+  // Fork/execs `spec.executable`, waits for the worker's ready handshake,
+  // and returns its endpoint. The endpoint is routable with post() exactly
+  // like an in-process endpoint.
+  virtual Result<SpawnInfo> spawn_object(const SpawnSpec& spec) = 0;
+
+  // Graceful stop: SIGTERM, bounded wait, SIGKILL fallback; always reaps.
+  virtual Status stop_child(EndpointId endpoint) = 0;
+  // kill -9, no warning, no reap here — the reaper discovers the death just
+  // as it would a real crash (this is the fault-injection path).
+  virtual Status kill_child(EndpointId endpoint) = 0;
+  // SIGSTOP/SIGCONT: a wedged-but-alive worker (calls time out, process
+  // exists) — distinguishable from a dead one.
+  virtual Status pause_child(EndpointId endpoint) = 0;
+  virtual Status resume_child(EndpointId endpoint) = 0;
+
+  [[nodiscard]] virtual bool child_alive(EndpointId endpoint) const = 0;
+  [[nodiscard]] virtual std::vector<ChildInfo> children() const = 0;
 };
 
 class Runtime {
@@ -126,6 +185,12 @@ class Runtime {
   [[nodiscard]] virtual std::uint64_t max_received_with_label(
       const std::string& label) const = 0;
   virtual void reset_stats() = 0;
+
+  // Non-null iff this runtime can run objects as separate OS processes
+  // (ProcessRuntime in parent mode). Host objects consult this to decide
+  // between in-process activation and spawning a worker from the OPR's
+  // executable field.
+  [[nodiscard]] virtual ProcessControl* process_control() { return nullptr; }
 
   [[nodiscard]] net::Topology& topology() { return topology_; }
   [[nodiscard]] const net::Topology& topology() const { return topology_; }

@@ -6,15 +6,17 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstring>
 
 namespace legion::rt {
 
 ListenerSocket CreateLoopbackListener(std::uint16_t port, int backlog) {
   ListenerSocket out;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return out;
   const int one = 1;
   // Without this, rebinding the port of a just-died listener fails with
@@ -41,6 +43,56 @@ ListenerSocket CreateLoopbackListener(std::uint16_t port, int backlog) {
   out.fd = fd;
   out.port = ntohs(addr.sin_port);
   return out;
+}
+
+namespace {
+bool FillSunPath(const std::string& path, sockaddr_un& addr) {
+  if (path.size() >= sizeof addr.sun_path) {
+    errno = ENAMETOOLONG;
+    return false;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+}  // namespace
+
+int CreateUnixListener(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  if (!FillSunPath(path, addr)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  // A stale socket file from a previous (killed) incarnation makes bind()
+  // fail with EADDRINUSE even though nothing listens — the UDS analogue of
+  // TIME_WAIT on a TCP port.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, backlog > 0 ? backlog : SOMAXCONN) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    return -1;
+  }
+  return fd;
+}
+
+int DialUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (!FillSunPath(path, addr)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    return -1;
+  }
+  return fd;
+}
+
+int AcceptConn(int listen_fd) {
+  return ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
 }
 
 bool SetNonBlocking(int fd) {

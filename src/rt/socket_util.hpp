@@ -1,15 +1,23 @@
-// Loopback-socket helpers shared by the TCP-backed runtimes.
+// Socket helpers shared by the socket-backed runtimes.
 //
-// Both TcpRuntime (thread-per-connection) and EpollRuntime (reactor) create
+// TcpRuntime (thread-per-connection), EpollRuntime (reactor) and
+// ProcessRuntime (one child process per object, Unix-domain sockets) create
 // listeners, dial peers, and move whole frames; centralizing the syscall
 // loops keeps the EINTR/EAGAIN/partial-transfer handling — and the listener
-// socket options (SO_REUSEADDR, configurable backlog) — identical in both.
+// socket options (SO_REUSEADDR, configurable backlog, close-on-exec) —
+// identical in all of them.
+//
+// Every socket created here is close-on-exec. ProcessRuntime fork/execs a
+// worker per object; without CLOEXEC the child would inherit the parent's
+// pooled client sockets and every listener (keeping dead ports alive through
+// TIME_WAIT and leaking peer data into an address-space-disjoint object).
 #pragma once
 
 #include <sys/uio.h>
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "obs/metrics.hpp"
 
@@ -31,6 +39,20 @@ struct ListenerSocket {
 // stop/rebind path.
 [[nodiscard]] ListenerSocket CreateLoopbackListener(std::uint16_t port,
                                                     int backlog);
+
+// Binds a SOCK_STREAM Unix-domain listener at `path` (unlinking any stale
+// socket file first). Returns the listening fd, or -1 with errno preserved.
+// `path` must fit sun_path (~107 bytes) — keep socket directories short.
+[[nodiscard]] int CreateUnixListener(const std::string& path, int backlog);
+
+// Connects a SOCK_STREAM Unix-domain client socket to `path`. Returns the
+// connected fd, or -1 with errno preserved (ENOENT/ECONNREFUSED = nothing
+// listens there — the UDS flavor of a stale binding).
+[[nodiscard]] int DialUnix(const std::string& path);
+
+// accept(2) with close-on-exec set atomically (accept4). Returns the
+// accepted fd or -1 with errno preserved.
+[[nodiscard]] int AcceptConn(int listen_fd);
 
 // Sets O_NONBLOCK; returns false (errno preserved) on failure.
 bool SetNonBlocking(int fd);

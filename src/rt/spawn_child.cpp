@@ -1,0 +1,50 @@
+#include "rt/spawn_child.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace legion::rt {
+
+Result<std::int64_t> SpawnChild(const SpawnChildArgs& args) {
+  if (args.executable.empty()) {
+    return InvalidArgumentError("spawn without an executable");
+  }
+  // Everything the child dereferences is materialized BEFORE the fork:
+  // between fork and exec only async-signal-safe calls are allowed, and
+  // std::string/vector operations are not.
+  std::vector<char*> argv;
+  argv.reserve(args.argv.size() + 1);
+  for (const std::string& a : args.argv) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  const char* exe = args.executable.c_str();
+  const char* stderr_path =
+      args.stderr_path.empty() ? nullptr : args.stderr_path.c_str();
+  const int ready_fd = args.ready_fd;
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return UnavailableError("fork failed: errno " + std::to_string(errno));
+  }
+  if (pid == 0) {
+    // Child. Async-signal-safe territory until execv. dup2 clears CLOEXEC
+    // on the duplicate, so fd 3 (and only it) crosses the exec; every other
+    // legion socket is CLOEXEC by construction (rt/socket_util.hpp).
+    if (ready_fd >= 0) {
+      if (::dup2(ready_fd, 3) < 0) ::_exit(126);
+    }
+    if (stderr_path != nullptr) {
+      const int log = ::open(stderr_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (log >= 0) {
+        (void)::dup2(log, 2);
+        if (log != 2) (void)::close(log);
+      }
+    }
+    ::execv(exe, argv.data());
+    ::_exit(127);  // exec failed; the parent's ready timeout reports it
+  }
+  return static_cast<std::int64_t>(pid);
+}
+
+}  // namespace legion::rt

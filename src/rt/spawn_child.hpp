@@ -1,0 +1,37 @@
+// The designated fork/exec helper for ProcessRuntime.
+//
+// fork() in a threaded process is a minefield: the child inherits a copy of
+// the address space in which any mutex may be held by a thread that no
+// longer exists, so the window between fork and exec may only run
+// async-signal-safe code. This file is the ONE place in src/ allowed to
+// fork (scripts/lint_invariants.py rule fork-safety); everything the child
+// needs — argv vectors, file paths, fds — is prepared by the parent before
+// the fork, and the child-side code is limited to dup2/open/execv/_exit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace legion::rt {
+
+struct SpawnChildArgs {
+  std::string executable;          // path passed to execv
+  std::vector<std::string> argv;   // full argv, including argv[0]
+  // Write end of the parent's ready pipe; dup2()ed onto fd 3 in the child
+  // (the dup clears CLOEXEC, so exactly this one descriptor survives exec).
+  // -1 = no ready pipe.
+  int ready_fd = -1;
+  // Redirect the child's stderr to this file (append). "" = inherit the
+  // parent's stderr — the default outside CI log collection.
+  std::string stderr_path;
+};
+
+// fork/execs the worker. Returns the child pid; the caller owns reaping.
+// exec failure is reported by the child exiting 127 (the caller's ready-
+// handshake timeout surfaces it).
+Result<std::int64_t> SpawnChild(const SpawnChildArgs& args);
+
+}  // namespace legion::rt

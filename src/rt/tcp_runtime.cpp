@@ -191,7 +191,7 @@ void TcpRuntime::notify(EndpointId id) {
 
 void TcpRuntime::acceptor_loop(const EndpointPtr& ep) {
   for (;;) {
-    const int conn = ::accept(ep->listen_fd, nullptr, nullptr);
+    const int conn = AcceptConn(ep->listen_fd);
     if (conn < 0) {
       // Only a closed listener may end this loop: any transient failure that
       // returns here permanently deafens the endpoint while its port stays

@@ -122,7 +122,7 @@ class TcpRuntime final : public Runtime {
   std::uint64_t next_endpoint_ GUARDED_BY(map_mutex_) = 1;
 
   // Client-side connection pool, shared implementation with EpollRuntime.
-  ConnPool pool_{options_, metrics_};
+  ConnPool pool_{options_, metrics_, ConnPool::LoopbackDialer()};
 
   // Syscalls retried after an EINTR interruption (regression visibility for
   // the signal-mid-transfer case).

@@ -1,0 +1,262 @@
+// Kill -9 recovery, end to end, with every object in its own OS process.
+//
+// The full activation story from the paper, made literal: a class whose
+// definition names an executable (legion_objectd) gets its instances
+// spawned as real child processes from shipped OPRs — the magistrate and
+// host never link the object's code. A kill -9 on one worker is then
+// detected through the CheckObjects leg of the class sweep (the host still
+// answers probes; the *instance* is dead), and the object is reactivated
+// from its checkpointed OPR with the Section 4.1.4 invalidate-then-add
+// binding repair. Siblings and the host itself never notice.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/state_sections.hpp"
+#include "core/test_support.hpp"
+#include "persist/opr.hpp"
+#include "rt/process_runtime.hpp"
+#include "sim/sample_objects.hpp"
+
+namespace legion::core {
+namespace {
+
+using testing::ReadI64;
+
+constexpr const char* kObjectdPath = LEGION_OBJECTD_PATH;
+
+class ProcessRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    runtime_ = std::make_unique<rt::ProcessRuntime>();
+    pc_ = runtime_->process_control();
+    ASSERT_NE(pc_, nullptr);
+    uva_ = runtime_->topology().add_jurisdiction("uva");
+    doe_ = runtime_->topology().add_jurisdiction("doe");
+    uva1_ = runtime_->topology().add_host("uva-1", {uva_}, 8.0);
+    doe1_ = runtime_->topology().add_host("doe-1", {doe_}, 8.0);
+    doe2_ = runtime_->topology().add_host("doe-2", {doe_}, 8.0);
+
+    system_ = std::make_unique<LegionSystem>(*runtime_, SystemConfig{});
+    // The host-side registry only matters for in-process activation; the
+    // workers carry their own copy inside legion_objectd. Registered here
+    // so a spawn-less fallback fails loudly in the worker, not silently
+    // in-process... which is exactly what instance_executable prevents.
+    ASSERT_TRUE(sim::RegisterSampleObjects(system_->registry()).ok());
+    const Status st = system_->bootstrap();
+    ASSERT_TRUE(st.ok()) << st.to_string();
+    client_ = system_->make_client(uva1_);
+
+    // The class definition carries the worker executable: every instance
+    // activation — create and reactivate alike — builds an OPR naming it
+    // and goes through ProcessControl::spawn_object.
+    wire::DeriveRequest req;
+    req.name = "Worker";
+    req.instance_impl = std::string(sim::WorkerImpl::kName);
+    req.instance_executable = kObjectdPath;
+    req.extra_interface = sim::WorkerImpl{}.interface();
+    auto reply = client_->derive(LegionObjectLoid(), req);
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+    worker_class_ = reply->loid;
+
+    wire::RecoveryPolicyRequest policy;
+    policy.suspect_threshold = 2;
+    policy.probe_timeout_us = 100'000;
+    ASSERT_TRUE(client_->ref(worker_class_)
+                    .call(methods::kSetRecoveryPolicy, policy.to_buffer())
+                    .ok());
+  }
+
+  void TearDown() override {
+    client_.reset();
+    system_.reset();
+    runtime_.reset();
+  }
+
+  std::vector<Loid> PlaceWorkersOnDoe2(int n) {
+    std::vector<Loid> out;
+    for (int i = 0; i < n; ++i) {
+      auto reply = client_->create(worker_class_, sim::WorkerInit(i, 0),
+                                   {system_->magistrate_of(doe_)},
+                                   system_->host_object_of(doe2_));
+      EXPECT_TRUE(reply.ok()) << reply.status().to_string();
+      if (reply.ok()) out.push_back(reply->loid);
+    }
+    return out;
+  }
+
+  wire::SweepReply Sweep() {
+    auto raw = client_->ref(worker_class_).call(methods::kSweepInstances,
+                                                Buffer{});
+    EXPECT_TRUE(raw.ok()) << raw.status().to_string();
+    auto reply = wire::SweepReply::from_buffer(raw.ok() ? *raw : Buffer{});
+    return reply.ok() ? *reply : wire::SweepReply{};
+  }
+
+  // The live child process serving `loid`, if any (children are labeled
+  // with the LOID string at spawn).
+  Result<rt::ChildInfo> ChildOf(const Loid& loid) const {
+    const std::string label = loid.to_string();
+    for (const rt::ChildInfo& child : pc_->children()) {
+      if (child.label == label && child.alive) return child;
+    }
+    return NotFoundError("no live child for " + label);
+  }
+
+  bool AwaitChildDead(EndpointId endpoint, int timeout_ms = 5'000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (!pc_->child_alive(endpoint)) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+  std::unique_ptr<rt::ProcessRuntime> runtime_;
+  rt::ProcessControl* pc_ = nullptr;
+  std::unique_ptr<LegionSystem> system_;
+  std::unique_ptr<Client> client_;
+  JurisdictionId uva_, doe_;
+  HostId uva1_, doe1_, doe2_;
+  Loid worker_class_;
+};
+
+TEST_F(ProcessRecoveryTest, CreateSpawnsOneProcessPerInstance) {
+  const std::vector<Loid> workers = PlaceWorkersOnDoe2(3);
+  ASSERT_EQ(workers.size(), 3u);
+
+  // Three instances, three live child processes, three distinct pids.
+  std::vector<std::int64_t> pids;
+  for (const Loid& w : workers) {
+    auto child = ChildOf(w);
+    ASSERT_TRUE(child.ok()) << child.status().to_string();
+    EXPECT_GT(child->pid, 0);
+    pids.push_back(child->pid);
+  }
+  EXPECT_NE(pids[0], pids[1]);
+  EXPECT_NE(pids[1], pids[2]);
+
+  // And the method calls actually cross into those processes.
+  for (int i = 0; i < 3; ++i) {
+    auto raw = client_->ref(workers[i]).call("Get", Buffer{});
+    ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+    EXPECT_EQ(ReadI64(*raw), i);
+  }
+}
+
+TEST_F(ProcessRecoveryTest, KillNineReactivatesFromCheckpointedOpr) {
+  constexpr int kInstances = 3;
+  const std::vector<Loid> workers = PlaceWorkersOnDoe2(kInstances);
+  ASSERT_EQ(workers.size(), static_cast<std::size_t>(kInstances));
+
+  // Mutate and checkpoint every worker: revival must restore the
+  // incremented count from the vault, not the creation-time state.
+  for (int i = 0; i < kInstances; ++i) {
+    ASSERT_TRUE(client_->ref(workers[i]).call("Increment", Buffer{}).ok());
+    wire::LoidRequest req{workers[i]};
+    ASSERT_TRUE(client_->ref(system_->magistrate_of(doe_))
+                    .call(methods::kCheckpoint, req.to_buffer())
+                    .ok());
+  }
+
+  // kill -9 the middle worker through the fault plan — the same injector
+  // CI's fault campaigns use — and wait for the reaper to notice the death.
+  auto victim = ChildOf(workers[1]);
+  ASSERT_TRUE(victim.ok()) << victim.status().to_string();
+  ASSERT_TRUE(runtime_->faults().kill_child(victim->endpoint.value).ok());
+  ASSERT_TRUE(AwaitChildDead(victim->endpoint));
+
+  // ONE sweep suffices: the host still answers its probe (the parent never
+  // died), so there is no suspicion ladder to climb — the CheckObjects leg
+  // on the successful probe reports the dead instance immediately.
+  const auto verdict = Sweep();
+  EXPECT_EQ(verdict.hosts_suspect, 0u) << "host must not be condemned for a "
+                                          "single dead worker";
+  EXPECT_EQ(verdict.instances_dead, 1u);
+  EXPECT_EQ(verdict.reactivated, 1u);
+  EXPECT_EQ(verdict.failed, 0u);
+
+  // The revived object runs in a brand-new process with the checkpointed
+  // state (i=1 incremented once -> 2).
+  auto revived = ChildOf(workers[1]);
+  ASSERT_TRUE(revived.ok()) << revived.status().to_string();
+  EXPECT_NE(revived->pid, victim->pid);
+  auto raw = client_->ref(workers[1]).call("Get", Buffer{}, 500'000);
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(ReadI64(*raw), 2) << "checkpointed state lost across kill -9";
+
+  // The siblings kept their processes and their state the whole time.
+  for (int i : {0, 2}) {
+    auto sibling = ChildOf(workers[i]);
+    ASSERT_TRUE(sibling.ok()) << sibling.status().to_string();
+    auto sraw = client_->ref(workers[i]).call("Get", Buffer{});
+    ASSERT_TRUE(sraw.ok()) << sraw.status().to_string();
+    EXPECT_EQ(ReadI64(*sraw), i + 1);
+  }
+}
+
+TEST_F(ProcessRecoveryTest, StaleBoundCallerConvergesAfterRevival) {
+  const std::vector<Loid> workers = PlaceWorkersOnDoe2(1);
+  ASSERT_EQ(workers.size(), 1u);
+
+  // A second client binds before the crash, so its resolver cache holds the
+  // soon-to-be-dead endpoint.
+  auto caller = system_->make_client(doe1_, "bound-caller");
+  ASSERT_TRUE(caller->ref(workers[0]).call("Get", Buffer{}).ok());
+
+  wire::LoidRequest req{workers[0]};
+  ASSERT_TRUE(client_->ref(system_->magistrate_of(doe_))
+                  .call(methods::kCheckpoint, req.to_buffer())
+                  .ok());
+
+  auto victim = ChildOf(workers[0]);
+  ASSERT_TRUE(victim.ok());
+  ASSERT_TRUE(pc_->kill_child(victim->endpoint).ok());
+  ASSERT_TRUE(AwaitChildDead(victim->endpoint));
+  const auto verdict = Sweep();
+  ASSERT_EQ(verdict.reactivated, 1u);
+
+  // No manual invalidation: the stale send fails fast (dead child =>
+  // kStaleBinding, not a timeout), the resolver refreshes through the
+  // Binding Agent, and the retry lands on the revived process.
+  auto raw = caller->ref(workers[0]).call("Get", Buffer{}, 500'000);
+  ASSERT_TRUE(raw.ok()) << raw.status().to_string();
+  EXPECT_EQ(ReadI64(*raw), 0);
+}
+
+TEST_F(ProcessRecoveryTest, GracefulStopCapturesStateForNextActivation) {
+  const std::vector<Loid> workers = PlaceWorkersOnDoe2(1);
+  ASSERT_EQ(workers.size(), 1u);
+  ASSERT_TRUE(client_->ref(workers[0]).call("Increment", Buffer{}).ok());
+
+  // kStopObject goes through the host: capture the live worker state over
+  // its own endpoint (a real cross-process kSaveState call), SIGTERM the
+  // process, return the OPR.
+  wire::StopObjectRequest req;
+  req.loid = workers[0];
+  auto stop = client_->ref(system_->host_object_of(doe2_))
+                  .call(methods::kStopObject, req.to_buffer());
+  ASSERT_TRUE(stop.ok()) << stop.status().to_string();
+  EXPECT_FALSE(ChildOf(workers[0]).ok()) << "worker process outlived its stop";
+
+  // The returned OPR holds the state as of the stop (0 incremented once),
+  // captured across the process boundary moments before the SIGTERM.
+  auto reply = wire::StopObjectReply::from_buffer(*stop);
+  ASSERT_TRUE(reply.ok());
+  auto opr = persist::Opr::from_bytes(reply->opr_bytes);
+  ASSERT_TRUE(opr.ok()) << opr.status().to_string();
+  EXPECT_EQ(opr->executable, kObjectdPath);
+  auto sections = StateSections::from_buffer(opr->state);
+  ASSERT_TRUE(sections.ok()) << sections.status().to_string();
+  const Buffer* primary = sections->find(std::string(sim::WorkerImpl::kName));
+  ASSERT_NE(primary, nullptr);
+  Reader state(*primary);
+  EXPECT_EQ(state.i64(), 1);
+}
+
+}  // namespace
+}  // namespace legion::core
